@@ -1,0 +1,46 @@
+//! Criterion benches for the clustering substrate: K-Means / Mean-Shift /
+//! Birch on embedded corpus-like point sets, plus nearest-centroid
+//! assignment (the inference path of the semi-supervised selector).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spsel_ml::cluster::{birch::Birch, kmeans::KMeans, meanshift::MeanShift};
+use spsel_ml::ClusterAlgorithm;
+
+/// Corpus-like point cloud: 8-dim, clumped.
+fn points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let c = (i % 12) as f64 / 12.0;
+            (0..8).map(|_| c + rng.gen_range(-0.08..0.08)).collect()
+        })
+        .collect()
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let pts = points(2_000, 3);
+    let mut group = c.benchmark_group("cluster/fit_2000pts");
+    group.sample_size(10);
+    for k in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::new("kmeans", k), &k, |b, &k| {
+            b.iter(|| KMeans::new(k, 1).fit(&pts))
+        });
+        group.bench_with_input(BenchmarkId::new("birch", k), &k, |b, &k| {
+            b.iter(|| Birch::new(k, 1).fit(&pts))
+        });
+    }
+    group.bench_function("meanshift", |b| {
+        b.iter(|| MeanShift::default().fit(&pts))
+    });
+    group.finish();
+
+    let clustering = KMeans::new(200, 1).fit(&pts);
+    c.bench_function("cluster/assign_one", |b| {
+        b.iter(|| clustering.assign(&pts[17]))
+    });
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benches backing the conversion-cost half of Table 8: time to
+//! convert a CSR matrix into each other format, against one CSR SpMV.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spsel_matrix::{gen, CooMatrix, CsrMatrix, EllMatrix, HybMatrix, SpMv};
+
+fn bench_conversion(c: &mut Criterion) {
+    let coo = gen::random_uniform(50_000, 50_000, 16, 9);
+    let csr = CsrMatrix::from(&coo);
+    let x = vec![1.0; csr.ncols()];
+    let mut y = vec![0.0; csr.nrows()];
+
+    let mut group = c.benchmark_group("convert_50k_d16");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    group.bench_function("csr_spmv_baseline", |b| b.iter(|| csr.spmv(&x, &mut y)));
+    group.bench_function("to_coo", |b| b.iter(|| CooMatrix::from(&csr)));
+    group.bench_function("to_ell", |b| {
+        b.iter(|| EllMatrix::try_from_csr(&csr).expect("uniform is ELL-safe"))
+    });
+    group.bench_function("to_hyb", |b| b.iter(|| HybMatrix::from_csr(&csr)));
+    group.bench_function("from_triplets_resort", |b| {
+        let triplets: Vec<(usize, usize, f64)> = coo.iter().collect();
+        b.iter(|| CooMatrix::from_triplets(coo.nrows(), coo.ncols(), &triplets).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversion);
+criterion_main!(benches);

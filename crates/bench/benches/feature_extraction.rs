@@ -1,0 +1,50 @@
+//! Criterion benches for Table 1 feature extraction: the paper requires
+//! features computable in O(nnz), and the corpus pipeline extracts them
+//! for every matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spsel_features::{DensityImage, FeatureVector, MatrixStats};
+use spsel_matrix::{gen, CsrMatrix, SpMv};
+
+fn bench_features(c: &mut Criterion) {
+    let sizes = [5_000usize, 20_000, 80_000];
+    let mut group = c.benchmark_group("features/extract");
+    for &n in &sizes {
+        let csr = CsrMatrix::from(&gen::power_law(n, n, 2, 2.2, 1_000, 7));
+        group.throughput(Throughput::Elements(csr.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("stats", n), &csr, |b, m| {
+            b.iter(|| MatrixStats::from_csr(m))
+        });
+        group.bench_with_input(BenchmarkId::new("full_vector", n), &csr, |b, m| {
+            b.iter(|| FeatureVector::from_csr(m))
+        });
+        group.bench_with_input(BenchmarkId::new("density_image_32", n), &csr, |b, m| {
+            b.iter(|| DensityImage::from_csr(m, 32))
+        });
+    }
+    group.finish();
+}
+
+fn bench_preprocessing(c: &mut Criterion) {
+    // Fit the transform/scale/PCA pipeline on a batch of feature vectors.
+    let features: Vec<FeatureVector> = (0..200u64)
+        .map(|s| {
+            FeatureVector::from_csr(&CsrMatrix::from(&gen::random_uniform(
+                1_000 + (s as usize * 37) % 3_000,
+                2_000,
+                8,
+                s,
+            )))
+        })
+        .collect();
+    c.bench_function("features/preprocessor_fit_200", |b| {
+        b.iter(|| spsel_features::Preprocessor::fit(&features))
+    });
+    let pre = spsel_features::Preprocessor::fit(&features);
+    c.bench_function("features/embed_one", |b| {
+        b.iter(|| pre.embed(&features[0]))
+    });
+}
+
+criterion_group!(benches, bench_features, bench_preprocessing);
+criterion_main!(benches);

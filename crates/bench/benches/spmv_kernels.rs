@@ -1,0 +1,81 @@
+//! Criterion benches for the handwritten SpMV kernels: every format,
+//! sequential and parallel, on structurally distinct matrices.
+//!
+//! These benches are the CPU-side evidence for the format-performance
+//! trade-offs the paper studies: ELL wins on uniform rows, CSR on mildly
+//! irregular ones, and HYB tolerates skew that would bloat ELL.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spsel_matrix::{gen, CooMatrix, CsrMatrix, EllMatrix, HybMatrix, SellMatrix, SpMv};
+
+struct Workload {
+    name: &'static str,
+    coo: CooMatrix,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "stencil2d_100",
+            coo: gen::stencil2d(100, 1),
+        },
+        Workload {
+            name: "uniform_20k_d16",
+            coo: gen::random_uniform(20_000, 20_000, 16, 2),
+        },
+        Workload {
+            name: "powerlaw_20k",
+            coo: gen::power_law(20_000, 20_000, 2, 2.2, 2_000, 3),
+        },
+        Workload {
+            name: "bimodal_20k",
+            coo: gen::bimodal(20_000, 20_000, 4, 40, 0.2, 4),
+        },
+    ]
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    for w in workloads() {
+        let csr = CsrMatrix::from(&w.coo);
+        let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 17) as f64 * 0.1).collect();
+        let mut y = vec![0.0; csr.nrows()];
+        let nnz = csr.nnz() as u64;
+
+        let mut group = c.benchmark_group(format!("spmv/{}", w.name));
+        group.throughput(Throughput::Elements(nnz));
+
+        group.bench_function(BenchmarkId::new("coo", "seq"), |b| {
+            b.iter(|| w.coo.spmv(&x, &mut y))
+        });
+        group.bench_function(BenchmarkId::new("csr", "seq"), |b| {
+            b.iter(|| csr.spmv(&x, &mut y))
+        });
+        group.bench_function(BenchmarkId::new("csr", "par"), |b| {
+            b.iter(|| csr.spmv_par(&x, &mut y))
+        });
+        if let Ok(ell) = EllMatrix::try_from_csr(&csr) {
+            group.bench_function(BenchmarkId::new("ell", "seq"), |b| {
+                b.iter(|| ell.spmv(&x, &mut y))
+            });
+            group.bench_function(BenchmarkId::new("ell", "par"), |b| {
+                b.iter(|| ell.spmv_par(&x, &mut y))
+            });
+        }
+        let hyb = HybMatrix::from_csr(&csr);
+        group.bench_function(BenchmarkId::new("hyb", "seq"), |b| {
+            b.iter(|| hyb.spmv(&x, &mut y))
+        });
+        group.bench_function(BenchmarkId::new("hyb", "par"), |b| {
+            b.iter(|| hyb.spmv_par(&x, &mut y))
+        });
+        // SELL-32-256: the sliced-ELL extension format.
+        let sell = SellMatrix::from_csr(&csr, 32, 256);
+        group.bench_function(BenchmarkId::new("sell_32_256", "seq"), |b| {
+            b.iter(|| sell.spmv(&x, &mut y))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

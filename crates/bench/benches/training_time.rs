@@ -1,0 +1,92 @@
+//! Criterion benches backing Table 9: training time of each classifier on
+//! a corpus-scale tabular problem. (The table binary measures wall-clock
+//! once; these benches give statistically robust versions of the same
+//! comparisons.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spsel_ml::forest::{RandomForest, RandomForestParams};
+use spsel_ml::gboost::{GradientBoosting, GradientBoostingParams};
+use spsel_ml::knn::KnnClassifier;
+use spsel_ml::logreg::LogisticRegression;
+use spsel_ml::svm::LinearSvm;
+use spsel_ml::tree::DecisionTree;
+use spsel_ml::{Classifier, Dataset};
+
+/// Corpus-like training set: 1000 samples, 21 features, 4 unbalanced
+/// classes.
+fn dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let class = match rng.gen_range(0..100) {
+            0..=66 => 1,  // CSR-dominant imbalance
+            67..=92 => 2, // ELL
+            93..=97 => 3, // HYB
+            _ => 0,       // COO
+        };
+        let row: Vec<f64> = (0..21)
+            .map(|j| class as f64 * 0.7 + ((j * 13) % 7) as f64 * 0.1 + rng.gen_range(-0.5..0.5))
+            .collect();
+        x.push(row);
+        y.push(class);
+    }
+    Dataset::new(x, y, 4)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let data = dataset(1_000, 5);
+    let mut group = c.benchmark_group("train_1000x21");
+    group.sample_size(10);
+    group.bench_function("dt", |b| {
+        b.iter(|| {
+            let mut m = DecisionTree::with_defaults();
+            m.fit(&data);
+            m
+        })
+    });
+    group.bench_function("rf_100", |b| {
+        b.iter(|| {
+            let mut m = RandomForest::new(RandomForestParams::default());
+            m.fit(&data);
+            m
+        })
+    });
+    group.bench_function("svm", |b| {
+        b.iter(|| {
+            let mut m = LinearSvm::with_defaults();
+            m.fit(&data);
+            m
+        })
+    });
+    group.bench_function("knn_fit", |b| {
+        b.iter(|| {
+            let mut m = KnnClassifier::new(5);
+            m.fit(&data);
+            m
+        })
+    });
+    group.bench_function("logreg", |b| {
+        b.iter(|| {
+            let mut m = LogisticRegression::with_defaults();
+            m.fit(&data);
+            m
+        })
+    });
+    group.bench_function("xgboost_25r", |b| {
+        b.iter(|| {
+            let mut m = GradientBoosting::new(GradientBoostingParams {
+                n_rounds: 25,
+                ..Default::default()
+            });
+            m.fit(&data);
+            m
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

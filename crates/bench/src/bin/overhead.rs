@@ -1,0 +1,52 @@
+//! Overhead-conscious selection demo: break-even iteration counts and
+//! amortized-choice crossovers over the corpus (the extension of the
+//! paper's Table 8 cost analysis).
+
+use spsel_bench::HarnessOptions;
+use spsel_core::overhead::{amortized_best, break_even_iterations};
+use spsel_gpusim::cost::ConversionCostModel;
+use spsel_gpusim::Gpu;
+use spsel_matrix::Format;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let ctx = opts.context();
+    let conv = ConversionCostModel::default();
+    let gpu = Gpu::Turing;
+    let ds = ctx.dataset(gpu);
+
+    // Over all matrices whose best format is not CSR: distribution of the
+    // break-even iteration counts.
+    let mut break_evens = Vec::new();
+    let mut flips_at = [0usize; 4]; // chosen format counts at 1000 iters
+    for &i in &ds {
+        let r = ctx.bench(gpu)[i].unwrap();
+        if r.best != Format::Csr {
+            if let Some(n) = break_even_iterations(&r.times, &conv, r.best) {
+                break_evens.push(n);
+            }
+        }
+        flips_at[amortized_best(&r.times, &conv, 1000).format.index()] += 1;
+    }
+    break_evens.sort_unstable();
+    let pct = |p: f64| break_evens[((break_evens.len() - 1) as f64 * p) as usize];
+    println!("Overhead-conscious selection on {gpu} ({} matrices)\n", ds.len());
+    println!(
+        "break-even iterations for non-CSR optima (n = {}):",
+        break_evens.len()
+    );
+    if !break_evens.is_empty() {
+        println!(
+            "  p10 {:>7}   median {:>7}   p90 {:>9}",
+            pct(0.1),
+            pct(0.5),
+            pct(0.9)
+        );
+    }
+    println!("\nformats chosen by the amortized rule at 1000 iterations:");
+    for f in Format::ALL {
+        println!("  {:<4} {:>6}", f.name(), flips_at[f.index()]);
+    }
+    println!("\n(one-shot workloads stay CSR; long iterative solvers amortize conversions)");
+    opts.write_json(&break_evens);
+}

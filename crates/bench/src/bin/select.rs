@@ -1,0 +1,102 @@
+//! `select`: the end-user tool. Reads a Matrix Market file, extracts the
+//! Table 1 features, and prints the recommended storage format for each
+//! GPU (with the cluster-based explanation), plus the overhead-conscious
+//! recommendation for iterative workloads.
+//!
+//! ```sh
+//! select path/to/matrix.mtx [--iterations N] [--base N]
+//! ```
+
+use spsel_core::corpus::{Corpus, CorpusConfig};
+use spsel_core::overhead::{amortized_best, break_even_iterations};
+use spsel_core::semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
+use spsel_features::{FeatureVector, MatrixStats};
+use spsel_gpusim::cost::ConversionCostModel;
+use spsel_gpusim::{predict_times, Gpu};
+use spsel_matrix::{io, CsrMatrix, Format, SpMv};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut path = None;
+    let mut iterations = 1000usize;
+    let mut n_base = 300usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iterations" => {
+                i += 1;
+                iterations = args[i].parse().expect("--iterations takes a number");
+            }
+            "--base" => {
+                i += 1;
+                n_base = args[i].parse().expect("--base takes a number");
+            }
+            p if !p.starts_with("--") => path = Some(p.to_string()),
+            other => panic!("unknown argument `{other}`"),
+        }
+        i += 1;
+    }
+    let path = path.unwrap_or_else(|| {
+        eprintln!("usage: select MATRIX.mtx [--iterations N] [--base N]");
+        std::process::exit(2);
+    });
+
+    let coo = io::read_matrix_market_file(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let csr = CsrMatrix::from(&coo);
+    let stats = MatrixStats::from_csr(&csr);
+    let fv = FeatureVector::from_stats(&stats);
+    println!(
+        "{path}: {} x {} matrix, {} nonzeros, rows {}..{} (mean {:.1})",
+        csr.nrows(),
+        csr.ncols(),
+        csr.nnz(),
+        stats.nnz_min,
+        stats.nnz_max,
+        stats.nnz_mean
+    );
+
+    eprintln!("training selectors on a {n_base}-matrix corpus...");
+    let corpus = Corpus::build(CorpusConfig {
+        n_base,
+        augment_copies: 0,
+        seed: 0xC0FFEE,
+        with_images: false,
+        image_resolution: 32,
+        size_scale: 1.0,
+    });
+    let conv = ConversionCostModel::default();
+
+    println!("\n{:<8} {:>10} | {:>38} | amortized @{iterations} iters", "GPU", "predicted", "explanation");
+    for gpu in Gpu::ALL {
+        let bench = corpus.benchmark(gpu);
+        let usable: Vec<usize> = (0..corpus.len()).filter(|&i| bench[i].is_some()).collect();
+        let features: Vec<FeatureVector> = usable
+            .iter()
+            .map(|&i| corpus.records[i].features.clone())
+            .collect();
+        let labels: Vec<Format> = usable.iter().map(|&i| bench[i].unwrap().best).collect();
+        let selector = SemiSupervisedSelector::fit(
+            &features,
+            &labels,
+            SemiConfig::new(ClusterMethod::KMeans { nc: (usable.len() / 10).max(4) }, Labeler::Vote, 7),
+        );
+        let prediction = selector.predict(&fv);
+        let e = selector.explain(&fv);
+        let times = predict_times(&gpu.spec(), &stats, 0xF00D);
+        let amortized = amortized_best(&times, &conv, iterations);
+        let break_even = break_even_iterations(&times, &conv, amortized.format);
+        println!(
+            "{:<8} {:>10} | cluster #{:<4} size {:<5} dist {:<6.3} | {} (break-even {} iters)",
+            gpu.name(),
+            prediction.name(),
+            e.cluster,
+            e.cluster_size,
+            e.centroid_distance,
+            amortized.format.name(),
+            break_even.map_or("-".to_string(), |n| n.to_string()),
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerate Table 4: semi-supervised local performance (9 algorithms x
+//! 3 GPUs).
+
+use spsel_bench::HarnessOptions;
+use spsel_core::experiments::{table4, ExperimentContext};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let ctx = opts.context();
+    let cfg = if opts.quick {
+        table4::Table4Config {
+            nc_candidates: vec![25, 50],
+            folds: 3,
+            seed: 17,
+        }
+    } else {
+        table4::Table4Config::default()
+    };
+    eprintln!("running 9 algorithms x 3 GPUs ({} NC candidates)...", cfg.nc_candidates.len());
+    let t = table4::run(&ctx, &cfg);
+    println!("Table 4: semi-supervised performance per clustering algorithm\n");
+    println!("{}", t.render());
+    opts.write_json(&t);
+}

@@ -1,0 +1,23 @@
+//! Regenerate Table 5: semi-supervised transfer across GPUs.
+
+use spsel_bench::HarnessOptions;
+use spsel_core::experiments::{table5, ExperimentContext};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let ctx = opts.context();
+    let cfg = if opts.quick {
+        table5::Table5Config {
+            nc_candidates: vec![25],
+            folds: 3,
+            seed: 23,
+        }
+    } else {
+        table5::Table5Config::default()
+    };
+    eprintln!("running 6 transfer pairs x 9 algorithms x 3 budgets...");
+    let t = table5::run(&ctx, &cfg);
+    println!("Table 5: semi-supervised format selection under transfer\n");
+    println!("{}", t.render());
+    opts.write_json(&t);
+}

@@ -1,0 +1,25 @@
+//! Regenerate Table 6: supervised classifier performance per GPU.
+//!
+//! Pass `--images` to include the CNN row (slower).
+
+use spsel_bench::HarnessOptions;
+use spsel_core::experiments::{table6, ExperimentContext};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let ctx = opts.context();
+    let cfg = table6::Table6Config {
+        folds: if opts.quick { 3 } else { 5 },
+        seed: 31,
+        with_cnn: opts.corpus.with_images,
+        quick: opts.quick,
+    };
+    eprintln!(
+        "running supervised models (CNN: {})...",
+        if cfg.with_cnn { "yes" } else { "no (pass --images)" }
+    );
+    let t = table6::run(&ctx, &cfg);
+    println!("Table 6: performance of supervised ML models per GPU\n");
+    println!("{}", t.render());
+    opts.write_json(&t);
+}

@@ -1,0 +1,22 @@
+//! Regenerate Table 9: model training times at 0/25/50% transfer data.
+//!
+//! Pass `--images` to include the CNN row (much slower, as in the paper).
+
+use spsel_bench::HarnessOptions;
+use spsel_core::experiments::{table9, ExperimentContext};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let ctx = opts.context();
+    let cfg = table9::Table9Config {
+        nc: if opts.quick { 25 } else { 200 },
+        with_cnn: opts.corpus.with_images,
+        quick: opts.quick,
+        ..Default::default()
+    };
+    eprintln!("timing model training...");
+    let t = table9::run(&ctx, &cfg);
+    println!("Table 9: average training times (seconds)\n");
+    println!("{}", t.render());
+    opts.write_json(&t);
+}

@@ -1,0 +1,14 @@
+//! Regenerate the Section 5.1 anecdote: worst-case CSR slowdown on each
+//! GPU for mawi-like (hub-row) matrices.
+
+use spsel_bench::HarnessOptions;
+use spsel_core::experiments::worstcase;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let cases = worstcase::run();
+    println!("Worst-case slowdown from defaulting to CSR (mawi-like hub matrices)\n");
+    println!("{}", worstcase::render(&cases));
+    println!("(paper: 194.85x for mawi_201512012345 on the Quadro RTX 8000, HYB optimal)");
+    opts.write_json(&cases);
+}

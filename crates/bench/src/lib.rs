@@ -1,0 +1,134 @@
+//! Benchmark harness: table-regeneration binaries and Criterion benches.
+//!
+//! Each `table*` binary rebuilds the corpus, runs the corresponding
+//! experiment from `spsel-core::experiments`, prints the table in the
+//! paper's layout, and writes the raw result as JSON next to the text so
+//! EXPERIMENTS.md numbers are auditable.
+
+use spsel_core::corpus::{Corpus, CorpusConfig};
+use spsel_core::experiments::ExperimentContext;
+
+/// Command-line options shared by the table binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Corpus configuration.
+    pub corpus: CorpusConfig,
+    /// Reduced model sizes / fold counts for smoke runs.
+    pub quick: bool,
+    /// Where to write the JSON result (None = skip).
+    pub json_out: Option<String>,
+    /// Corpus cache path (`--cache`): load the corpus from here if the
+    /// file exists, otherwise build it and save it here.
+    pub cache: Option<String>,
+}
+
+impl HarnessOptions {
+    /// Parse from `std::env::args`:
+    ///
+    /// * `--quick` — small corpus and reduced models (smoke test);
+    /// * `--base N` — number of base matrices (default 1929);
+    /// * `--augment N` — permuted copies per base (default 1);
+    /// * `--seed S` — corpus seed;
+    /// * `--images` — rasterize density images (needed for the CNN);
+    /// * `--json PATH` — dump the result struct as JSON;
+    /// * `--cache PATH` — reuse a corpus built by an earlier run.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut quick = false;
+        let mut n_base = 1929usize;
+        let mut augment = 1usize;
+        let mut seed = 0xC0FFEEu64;
+        let mut images = false;
+        let mut json_out = None;
+        let mut cache = None;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => quick = true,
+                "--images" => images = true,
+                "--base" => {
+                    i += 1;
+                    n_base = args[i].parse().expect("--base takes a number");
+                }
+                "--augment" => {
+                    i += 1;
+                    augment = args[i].parse().expect("--augment takes a number");
+                }
+                "--seed" => {
+                    i += 1;
+                    seed = args[i].parse().expect("--seed takes a number");
+                }
+                "--json" => {
+                    i += 1;
+                    json_out = Some(args[i].clone());
+                }
+                "--cache" => {
+                    i += 1;
+                    cache = Some(args[i].clone());
+                }
+                other => panic!("unknown argument `{other}`"),
+            }
+            i += 1;
+        }
+        let mut corpus = if quick {
+            CorpusConfig::small(120, seed)
+        } else {
+            CorpusConfig {
+                n_base,
+                augment_copies: augment,
+                seed,
+                with_images: false,
+                image_resolution: 32,
+                size_scale: 1.0,
+            }
+        };
+        if images {
+            corpus.with_images = true;
+        }
+        HarnessOptions {
+            corpus,
+            quick,
+            json_out,
+            cache,
+        }
+    }
+
+    /// Build the experiment context, honoring the corpus cache. The cache
+    /// stores only the corpus; benchmarks are recomputed (they are fast
+    /// and deterministic).
+    pub fn context(&self) -> ExperimentContext {
+        if let Some(path) = &self.cache {
+            if let Ok(bytes) = std::fs::read(path) {
+                if let Ok(corpus) = serde_json::from_slice::<Corpus>(&bytes) {
+                    if corpus.config() == &self.corpus {
+                        eprintln!("loaded corpus from {path}");
+                        let benches = spsel_gpusim::Gpu::ALL
+                            .iter()
+                            .map(|&g| corpus.benchmark(g))
+                            .collect();
+                        return ExperimentContext { corpus, benches };
+                    }
+                    eprintln!("cache config mismatch; rebuilding corpus");
+                }
+            }
+            eprintln!("building corpus ({} base matrices)...", self.corpus.n_base);
+            let ctx = ExperimentContext::new(self.corpus.clone());
+            let json = serde_json::to_vec(&ctx.corpus).expect("corpus serializes");
+            std::fs::write(path, json).expect("writable cache path");
+            eprintln!("saved corpus to {path}");
+            ctx
+        } else {
+            eprintln!("building corpus ({} base matrices)...", self.corpus.n_base);
+            ExperimentContext::new(self.corpus.clone())
+        }
+    }
+
+    /// Write a serializable result as JSON if `--json` was given.
+    pub fn write_json<T: serde::Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json_out {
+            let json = serde_json::to_string_pretty(value).expect("serializable result");
+            std::fs::write(path, json).expect("writable json path");
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! The synthetic matrix corpus standing in for the SuiteSparse collection.
+//!
+//! The paper benchmarks 1929 SuiteSparse matrices (after dropping matrices
+//! that exceed GPU memory or that CUSP cannot convert to ELL) plus
+//! row/column-permuted copies used to augment the CNN training set. This
+//! module generates a corpus with the same roles: ten structural families
+//! whose parameters are sampled from wide, seeded distributions, filtered
+//! by the same CUSP ELL-conversion rule, with permuted augmentation copies.
+//!
+//! Matrices are materialized one at a time, reduced to [`MatrixStats`],
+//! [`FeatureVector`] and (optionally) a [`DensityImage`], and then dropped,
+//! so corpus construction is cheap in memory.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use spsel_features::{DensityImage, FeatureVector, MatrixStats};
+use spsel_gpusim::{benchmark_corpus, BenchResult, Gpu};
+use spsel_matrix::gen::{self, Family};
+use spsel_matrix::{permute, CooMatrix, CsrMatrix, Format, SpMv};
+
+/// Slack term of CUSP's ELL conversion rule (it tolerates a small absolute
+/// slab overhead even when the relative blow-up is large).
+pub const CUSP_ELL_SLACK: usize = 512 * 1024;
+
+/// CUSP refuses to build an ELL structure whose padded slab exceeds
+/// `3 * nnz + slack` cells; the paper drops such matrices, and so do we.
+pub fn cusp_ell_feasible(stats: &MatrixStats) -> bool {
+    stats.ell_size <= 3 * stats.nnz + CUSP_ELL_SLACK
+}
+
+/// Configuration of the synthetic corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of base (non-augmented) matrices to keep.
+    pub n_base: usize,
+    /// Permuted copies derived from each base matrix.
+    pub augment_copies: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Whether to rasterize density images (needed by the CNN baseline).
+    pub with_images: bool,
+    /// Density-image resolution.
+    pub image_resolution: usize,
+    /// Multiplier on matrix dimensions: 1.0 reproduces the paper-scale
+    /// corpus; tests use small values.
+    pub size_scale: f64,
+}
+
+impl CorpusConfig {
+    /// Paper-scale corpus: 1929 base matrices, 4 permuted copies each.
+    pub fn paper() -> Self {
+        CorpusConfig {
+            n_base: 1929,
+            augment_copies: 4,
+            seed: 0xC0FFEE,
+            with_images: false,
+            image_resolution: 32,
+            size_scale: 1.0,
+        }
+    }
+
+    /// Small corpus for tests and quick runs.
+    pub fn small(n_base: usize, seed: u64) -> Self {
+        CorpusConfig {
+            n_base,
+            augment_copies: 1,
+            seed,
+            with_images: false,
+            image_resolution: 16,
+            size_scale: 0.05,
+        }
+    }
+
+    /// Enable density images.
+    pub fn with_images(mut self, resolution: usize) -> Self {
+        self.with_images = true;
+        self.image_resolution = resolution;
+        self
+    }
+}
+
+/// One corpus entry: everything the experiments need, matrix dropped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixRecord {
+    /// Stable identifier (seeds the benchmark noise).
+    pub id: u64,
+    /// Structural family of the base matrix.
+    pub family: Family,
+    /// Index of the base matrix this record derives from (augmented copies
+    /// share it; used to keep CV splits honest if needed).
+    pub base_index: usize,
+    /// Whether this record is a permuted augmentation copy.
+    pub augmented: bool,
+    /// Raw structural statistics.
+    pub stats: MatrixStats,
+    /// Table 1 features.
+    pub features: FeatureVector,
+    /// Density image (present iff the config asked for images).
+    pub image: Option<DensityImage>,
+}
+
+/// The corpus: records plus per-GPU ground-truth benchmark results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    /// All records (base + augmented), in generation order.
+    pub records: Vec<MatrixRecord>,
+    config: CorpusConfig,
+}
+
+/// Log-uniform sample in `[lo, hi]`.
+fn log_uniform<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    (rng.gen_range(lo.ln()..=hi.ln())).exp()
+}
+
+/// Generate the base matrix for index `i`.
+fn generate_base(i: usize, cfg: &CorpusConfig) -> (Family, CooMatrix) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9e37_79b9));
+    let sc = cfg.size_scale;
+    let szu = |rng: &mut StdRng, lo: f64, hi: f64| -> usize {
+        (log_uniform(rng, lo * sc, hi * sc)).round().max(8.0) as usize
+    };
+    // Family mix: roughly one third regular (ELL-friendly), two thirds
+    // irregular, mirroring the balance of SuiteSparse that produces the
+    // paper's CSR-dominated label distribution.
+    let roll: f64 = rng.gen();
+    let family = match roll {
+        r if r < 0.08 => Family::Stencil2D,
+        r if r < 0.14 => Family::Stencil3D,
+        r if r < 0.25 => Family::Banded,
+        r if r < 0.30 => Family::MultiDiagonal,
+        r if r < 0.42 => Family::RandomUniform,
+        r if r < 0.58 => Family::PowerLaw,
+        r if r < 0.68 => Family::Kronecker,
+        r if r < 0.76 => Family::BlockDiagonal,
+        r if r < 0.90 => Family::Bimodal,
+        _ => Family::RowSkewed,
+    };
+    let seed: u64 = rng.gen();
+    let m = match family {
+        Family::Stencil2D => {
+            let side = szu(&mut rng, 20.0, 300.0);
+            gen::stencil2d(side, seed)
+        }
+        Family::Stencil3D => {
+            let side = szu(&mut rng, 8.0, 45.0).max(4);
+            gen::stencil3d(side, seed)
+        }
+        Family::Banded => {
+            let n = szu(&mut rng, 400.0, 80_000.0);
+            let bandwidth = rng.gen_range(1..=12);
+            let fill = rng.gen_range(0.35..1.0);
+            gen::banded(n, bandwidth, fill, seed)
+        }
+        Family::MultiDiagonal => {
+            let n = szu(&mut rng, 500.0, 60_000.0);
+            let ndiags = rng.gen_range(3..=25.min(n / 4).max(3));
+            gen::multi_diagonal(n, ndiags, seed)
+        }
+        Family::RandomUniform => {
+            let n = szu(&mut rng, 300.0, 60_000.0);
+            let degree = log_uniform(&mut rng, 3.0, 80.0) as usize;
+            gen::random_uniform(n, n, degree.max(2).min(n / 2).max(1), seed)
+        }
+        Family::PowerLaw => {
+            let n = szu(&mut rng, 500.0, 60_000.0);
+            let gamma = rng.gen_range(2.0..3.2);
+            let min_deg = rng.gen_range(1..=4);
+            let max_deg = (n / 8).clamp(8, 4000);
+            gen::power_law(n, n, min_deg, gamma, max_deg, seed)
+        }
+        Family::Kronecker => {
+            let scale = rng.gen_range(9..=16.min((16.0 * sc.max(0.4)) as u32).max(9));
+            let n = 1usize << scale;
+            let edge_factor = log_uniform(&mut rng, 4.0, 24.0);
+            let nnz_target = ((n as f64 * edge_factor) as usize).min(1_500_000);
+            gen::kronecker(scale, nnz_target, 0.57, 0.19, 0.19, seed)
+        }
+        Family::BlockDiagonal => {
+            let block = rng.gen_range(4..=48);
+            let nblocks = szu(&mut rng, 10.0, 2000.0).max(2);
+            let fill = rng.gen_range(0.5..1.0);
+            gen::block_diagonal(nblocks, block, fill, seed)
+        }
+        Family::Bimodal => {
+            let n = szu(&mut rng, 500.0, 60_000.0);
+            let a = rng.gen_range(2..=8);
+            let b = rng.gen_range(20..=120.min(n / 4).max(21));
+            let frac = rng.gen_range(0.05..0.45);
+            gen::bimodal(n, n, a, b, frac, seed)
+        }
+        Family::RowSkewed => {
+            let n = szu(&mut rng, 2_000.0, 120_000.0);
+            let light = rng.gen_range(2..=6);
+            let heavy = ((n as f64) * rng.gen_range(0.02..0.5)) as usize;
+            let heavy_frac = rng.gen_range(0.0005..0.01);
+            gen::row_skewed(n, n, light, heavy.max(light + 1), heavy_frac, seed)
+        }
+    };
+    (family, m)
+}
+
+fn record_from(
+    id: u64,
+    family: Family,
+    base_index: usize,
+    augmented: bool,
+    coo: &CooMatrix,
+    cfg: &CorpusConfig,
+) -> MatrixRecord {
+    let csr = CsrMatrix::from(coo);
+    let stats = MatrixStats::from_csr(&csr);
+    let features = FeatureVector::from_stats(&stats);
+    let image = cfg
+        .with_images
+        .then(|| DensityImage::from_csr(&csr, cfg.image_resolution));
+    MatrixRecord {
+        id,
+        family,
+        base_index,
+        augmented,
+        stats,
+        features,
+        image,
+    }
+}
+
+impl Corpus {
+    /// Build the corpus: generate base matrices (skipping candidates that
+    /// fail the CUSP ELL rule, as the paper does), then derive permuted
+    /// augmentation copies.
+    ///
+    /// Generation streams in small parallel batches: each kept matrix is
+    /// reduced to its records (stats, features, image) and dropped before
+    /// the next batch, so peak memory stays at O(batch) matrices instead
+    /// of the whole corpus (which would be tens of GB at paper scale).
+    pub fn build(cfg: CorpusConfig) -> Corpus {
+        const BATCH: usize = 32;
+        let mut records: Vec<MatrixRecord> =
+            Vec::with_capacity(cfg.n_base * (1 + cfg.augment_copies));
+        let mut base_index = 0usize;
+        let mut next_gen_index = 0usize;
+        while base_index < cfg.n_base {
+            // Candidates are deterministic functions of their generation
+            // index, so the corpus is reproducible regardless of how many
+            // batches the filter consumes.
+            let batch_records: Vec<Vec<MatrixRecord>> = (next_gen_index..next_gen_index + BATCH)
+                .into_par_iter()
+                .map(|gen_index| {
+                    let (family, m) = generate_base(gen_index, &cfg);
+                    let stats =
+                        MatrixStats::from_row_counts(m.nrows(), m.ncols(), &m.row_counts());
+                    if !cusp_ell_feasible(&stats) || stats.nnz == 0 {
+                        return Vec::new();
+                    }
+                    // Records receive their final base_index and id below
+                    // (they depend on how many earlier candidates passed).
+                    let mut out = Vec::with_capacity(1 + cfg.augment_copies);
+                    out.push(record_from(0, family, gen_index, false, &m, &cfg));
+                    let mut rng =
+                        StdRng::seed_from_u64(cfg.seed ^ 0xA06 ^ (gen_index as u64) << 20);
+                    for _ in 0..cfg.augment_copies {
+                        let pm = permute::random_permuted(&m, &mut rng);
+                        out.push(record_from(0, family, gen_index, true, &pm, &cfg));
+                    }
+                    out
+                })
+                .collect();
+            next_gen_index += BATCH;
+            for group in batch_records {
+                if group.is_empty() || base_index >= cfg.n_base {
+                    continue;
+                }
+                for (copy, mut r) in group.into_iter().enumerate() {
+                    r.base_index = base_index;
+                    r.id = if copy == 0 {
+                        base_index as u64
+                    } else {
+                        (base_index + copy * cfg.n_base) as u64
+                    };
+                    records.push(r);
+                }
+                base_index += 1;
+            }
+        }
+
+        // Base records first, copies after, mirroring the previous layout
+        // (stable sort preserves generation order within the groups).
+        records.sort_by_key(|r| (r.augmented, r.base_index));
+        Corpus {
+            records,
+            config: cfg,
+        }
+    }
+
+    /// Number of records (base + augmented).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The configuration used to build this corpus.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Benchmark every record on one GPU. `None` entries are records that
+    /// do not fit in that GPU's memory (dropped from its dataset).
+    pub fn benchmark(&self, gpu: Gpu) -> Vec<Option<BenchResult>> {
+        let stats: Vec<MatrixStats> = self.records.iter().map(|r| r.stats.clone()).collect();
+        let ids: Vec<u64> = self.records.iter().map(|r| r.id).collect();
+        benchmark_corpus(&gpu.spec(), &stats, &ids)
+    }
+
+    /// Indices of records that fit (all-format-feasible) on *every* GPU —
+    /// the paper's "Common Subset" used for transfer experiments.
+    pub fn common_subset(&self, benches: &[Vec<Option<BenchResult>>]) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| benches.iter().all(|b| b[i].is_some()))
+            .collect()
+    }
+
+    /// Ground-truth labels on one GPU for the given record indices.
+    pub fn labels(results: &[Option<BenchResult>], indices: &[usize]) -> Vec<Format> {
+        indices
+            .iter()
+            .map(|&i| results[i].expect("caller filtered infeasible records").best)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus() -> Corpus {
+        Corpus::build(CorpusConfig::small(40, 7))
+    }
+
+    #[test]
+    fn corpus_has_requested_size() {
+        let c = small_corpus();
+        // 40 base + 1 copy each.
+        assert_eq!(c.len(), 80);
+        assert_eq!(c.records.iter().filter(|r| !r.augmented).count(), 40);
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = Corpus::build(CorpusConfig::small(20, 3));
+        let b = Corpus::build(CorpusConfig::small(20, 3));
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.stats, y.stats);
+        }
+    }
+
+    #[test]
+    fn all_records_pass_ell_rule_for_base() {
+        let c = small_corpus();
+        for r in c.records.iter().filter(|r| !r.augmented) {
+            assert!(cusp_ell_feasible(&r.stats), "{:?} violates ELL rule", r.family);
+        }
+    }
+
+    #[test]
+    fn augmented_copies_preserve_row_count_multiset() {
+        let c = small_corpus();
+        for r in &c.records {
+            if r.augmented {
+                let base = c
+                    .records
+                    .iter()
+                    .find(|b| !b.augmented && b.base_index == r.base_index)
+                    .expect("base record exists");
+                assert_eq!(base.stats.nnz, r.stats.nnz);
+                assert_eq!(base.stats.nnz_max, r.stats.nnz_max);
+                assert_eq!(base.stats.nnz_mean, r.stats.nnz_mean);
+            }
+        }
+    }
+
+    #[test]
+    fn families_are_diverse() {
+        let c = Corpus::build(CorpusConfig::small(60, 1));
+        let fams: std::collections::HashSet<Family> =
+            c.records.iter().map(|r| r.family).collect();
+        assert!(fams.len() >= 5, "only {} families", fams.len());
+    }
+
+    #[test]
+    fn benchmark_labels_cover_multiple_formats() {
+        let c = Corpus::build(CorpusConfig::small(60, 2));
+        let results = c.benchmark(Gpu::Turing);
+        let mut seen = std::collections::HashSet::new();
+        for r in results.iter().flatten() {
+            seen.insert(r.best);
+        }
+        assert!(seen.len() >= 2, "labels degenerate: {seen:?}");
+    }
+
+    #[test]
+    fn common_subset_is_subset_of_all() {
+        let c = small_corpus();
+        let benches: Vec<_> = Gpu::ALL.iter().map(|&g| c.benchmark(g)).collect();
+        let common = c.common_subset(&benches);
+        assert!(common.len() <= c.len());
+        for &i in &common {
+            for b in &benches {
+                assert!(b[i].is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! One runner per table of the paper.
+//!
+//! Every runner consumes a shared [`ExperimentContext`] (corpus + per-GPU
+//! benchmark results) so the corpus is built and benchmarked exactly once
+//! per invocation of the harness. Each runner returns a serializable
+//! result struct with a `render()` method that prints the table in the
+//! paper's layout.
+
+pub mod ablation;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+pub mod table9;
+pub mod worstcase;
+
+use crate::corpus::{Corpus, CorpusConfig};
+use serde::{Deserialize, Serialize};
+use spsel_features::{DensityImage, FeatureVector};
+use spsel_gpusim::{BenchResult, Gpu};
+
+/// Corpus plus ground-truth benchmarks for all three GPUs.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// The synthetic corpus.
+    pub corpus: Corpus,
+    /// `benches[g][i]`: benchmark result of record `i` on `Gpu::ALL[g]`.
+    pub benches: Vec<Vec<Option<BenchResult>>>,
+}
+
+impl ExperimentContext {
+    /// Build the corpus and benchmark it on all three GPUs.
+    pub fn new(cfg: CorpusConfig) -> Self {
+        let corpus = Corpus::build(cfg);
+        let benches = Gpu::ALL.iter().map(|&g| corpus.benchmark(g)).collect();
+        ExperimentContext { corpus, benches }
+    }
+
+    /// Benchmark results for one GPU.
+    pub fn bench(&self, gpu: Gpu) -> &[Option<BenchResult>] {
+        &self.benches[gpu as usize]
+    }
+
+    /// Record indices that fit on `gpu` (that GPU's dataset).
+    pub fn dataset(&self, gpu: Gpu) -> Vec<usize> {
+        (0..self.corpus.len())
+            .filter(|&i| self.bench(gpu)[i].is_some())
+            .collect()
+    }
+
+    /// Record indices that fit on every GPU (the paper's Common Subset).
+    pub fn common_subset(&self) -> Vec<usize> {
+        self.corpus.common_subset(&self.benches)
+    }
+
+    /// Features of the given record indices.
+    pub fn features(&self, indices: &[usize]) -> Vec<FeatureVector> {
+        indices
+            .iter()
+            .map(|&i| self.corpus.records[i].features.clone())
+            .collect()
+    }
+
+    /// Density images of the given record indices (entries may be `None`
+    /// if the corpus was built without images).
+    pub fn images(&self, indices: &[usize]) -> Vec<Option<DensityImage>> {
+        indices
+            .iter()
+            .map(|&i| self.corpus.records[i].image.clone())
+            .collect()
+    }
+
+    /// Unwrapped benchmark results of the given indices on one GPU.
+    ///
+    /// # Panics
+    /// Panics if an index is infeasible on that GPU; pass indices from
+    /// [`ExperimentContext::dataset`] or [`ExperimentContext::common_subset`].
+    pub fn results(&self, gpu: Gpu, indices: &[usize]) -> Vec<BenchResult> {
+        indices
+            .iter()
+            .map(|&i| self.bench(gpu)[i].expect("index must be feasible on this GPU"))
+            .collect()
+    }
+}
+
+/// The six source→target GPU pairs of Table 5, in the paper's row order.
+pub const TRANSFER_PAIRS: [(Gpu, Gpu); 6] = [
+    (Gpu::Pascal, Gpu::Turing),
+    (Gpu::Pascal, Gpu::Volta),
+    (Gpu::Turing, Gpu::Pascal),
+    (Gpu::Turing, Gpu::Volta),
+    (Gpu::Volta, Gpu::Pascal),
+    (Gpu::Volta, Gpu::Turing),
+];
+
+/// Helper shared by Tables 4 and 5: the nine clustering × labeling
+/// combinations in the paper's row order.
+pub fn nine_algorithms(nc: usize) -> Vec<(crate::semi::ClusterMethod, crate::semi::Labeler)> {
+    use crate::semi::{ClusterMethod, Labeler};
+    let methods = [
+        ClusterMethod::KMeans { nc },
+        ClusterMethod::MeanShift,
+        ClusterMethod::Birch { nc },
+    ];
+    let labelers = [Labeler::Vote, Labeler::LogisticRegression, Labeler::RandomForest];
+    methods
+        .into_iter()
+        .flat_map(|m| labelers.into_iter().map(move |l| (m, l)))
+        .collect()
+}
+
+/// One row shared by the semi-supervised tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SemiRow {
+    /// "K-Means-VOTE" etc.
+    pub algorithm: String,
+    /// Number of clusters used.
+    pub nc: usize,
+    /// MCC score.
+    pub mcc: f64,
+    /// Accuracy.
+    pub acc: f64,
+    /// Weighted F1.
+    pub f1: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_and_partitions() {
+        let ctx = ExperimentContext::new(CorpusConfig::small(25, 11));
+        assert_eq!(ctx.benches.len(), 3);
+        let common = ctx.common_subset();
+        for g in Gpu::ALL {
+            let ds = ctx.dataset(g);
+            assert!(common.len() <= ds.len());
+            // results() must not panic on dataset indices.
+            let r = ctx.results(g, &ds);
+            assert_eq!(r.len(), ds.len());
+        }
+    }
+
+    #[test]
+    fn nine_algorithms_are_nine() {
+        assert_eq!(nine_algorithms(10).len(), 9);
+    }
+}

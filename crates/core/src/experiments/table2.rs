@@ -1,0 +1,74 @@
+//! Table 2: the GPU hardware specifications.
+
+use serde::Serialize;
+use spsel_gpusim::{Gpu, GpuSpec};
+
+/// Table 2 contents.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2 {
+    /// One spec per GPU in paper column order.
+    pub specs: Vec<GpuSpec>,
+}
+
+/// Collect the hardware table.
+pub fn run() -> Table2 {
+    Table2 {
+        specs: Gpu::ALL.iter().map(|g| g.spec()).collect(),
+    }
+}
+
+impl Table2 {
+    /// Render in the paper's layout (rows = attributes, columns = GPUs).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let col = |s: &str| format!("{s:>12}");
+        out.push_str(&format!("{:<18}", "u-architecture"));
+        for s in &self.specs {
+            out.push_str(&col(s.gpu.name()));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:<18}", "Model"));
+        for s in &self.specs {
+            out.push_str(&col(s.model));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:<18}", "# of SMs"));
+        for s in &self.specs {
+            out.push_str(&col(&s.sms.to_string()));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:<18}", "L1 cache per SM"));
+        for s in &self.specs {
+            out.push_str(&col(&format!("{} KiB", s.l1_kib)));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:<18}", "L2 cache"));
+        for s in &self.specs {
+            out.push_str(&col(&format!("{} KiB", s.l2_kib)));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:<18}", "Memory (GB)"));
+        for s in &self.specs {
+            out.push_str(&col(&s.memory_gb.to_string()));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:<18}", "Memory bandwidth"));
+        for s in &self.specs {
+            out.push_str(&col(&format!("{} GB/s", s.bandwidth_gbs)));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_three_gpus() {
+        let t = super::run();
+        let r = t.render();
+        for name in ["Pascal", "Volta", "Turing", "GTX 1080", "RTX 8000", "897 GB/s"] {
+            assert!(r.contains(name), "missing {name} in:\n{r}");
+        }
+    }
+}

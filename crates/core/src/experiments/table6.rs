@@ -1,0 +1,142 @@
+//! Table 6: local performance of the supervised classifiers (DT, RF, SVM,
+//! KNN, XGBoost, CNN) on each GPU, with the GT / CSR / Threshold columns.
+
+use super::ExperimentContext;
+use crate::speedup::SelectionQuality;
+use crate::supervised::{SupervisedConfig, SupervisedModel};
+use crate::transfer::local_supervised;
+use serde::{Deserialize, Serialize};
+use spsel_gpusim::Gpu;
+
+/// Configuration of the Table 6 run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table6Config {
+    /// Cross-validation folds.
+    pub folds: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Include the CNN (requires a corpus built with images; expensive).
+    pub with_cnn: bool,
+    /// Use reduced model sizes (tests / smoke runs).
+    pub quick: bool,
+}
+
+impl Default for Table6Config {
+    fn default() -> Self {
+        Table6Config {
+            folds: 5,
+            seed: 31,
+            with_cnn: true,
+            quick: false,
+        }
+    }
+}
+
+/// One row of Table 6.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table6Row {
+    /// Model name.
+    pub model: String,
+    /// Quality metrics (ACC, F1, MCC, GT, CSR, Threshold).
+    pub quality: SelectionQuality,
+}
+
+/// Table 6 contents: one block per GPU.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table6 {
+    /// `rows[g]`: model rows for `Gpu::ALL[g]`.
+    pub rows: Vec<Vec<Table6Row>>,
+}
+
+/// Run the supervised local evaluation on every GPU.
+pub fn run(ctx: &ExperimentContext, cfg: &Table6Config) -> Table6 {
+    let models: Vec<SupervisedModel> = SupervisedModel::ALL
+        .into_iter()
+        .filter(|m| cfg.with_cnn || !m.needs_images())
+        .collect();
+    let mut rows = Vec::new();
+    for gpu in Gpu::ALL {
+        let indices = ctx.dataset(gpu);
+        let features = ctx.features(&indices);
+        let images = ctx.images(&indices);
+        let results = ctx.results(gpu, &indices);
+        let mut gpu_rows = Vec::new();
+        for model in &models {
+            let sup_cfg = if cfg.quick {
+                SupervisedConfig::quick(*model, cfg.seed)
+            } else {
+                SupervisedConfig::new(*model, cfg.seed)
+            };
+            let images_arg = model.needs_images().then_some(images.as_slice());
+            let quality = local_supervised(
+                &features,
+                images_arg,
+                &results,
+                sup_cfg,
+                cfg.folds,
+                cfg.seed,
+            );
+            gpu_rows.push(Table6Row {
+                model: model.name().to_string(),
+                quality,
+            });
+        }
+        rows.push(gpu_rows);
+    }
+    Table6 { rows }
+}
+
+impl Table6 {
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10}{:>8}{:>7}{:>7}{:>7}{:>7}{:>9}\n",
+            "MLM", "ACC", "F1", "MCC", "GT", "CSR", "Thresh."
+        ));
+        for (g, gpu) in Gpu::ALL.iter().enumerate() {
+            out.push_str(&format!("--- {gpu} ---\n"));
+            for row in &self.rows[g] {
+                let q = &row.quality;
+                out.push_str(&format!(
+                    "{:<10}{:>8.2}{:>7.2}{:>7.2}{:>7.2}{:>7.2}{:>9}\n",
+                    row.model,
+                    q.acc * 100.0,
+                    q.f1,
+                    q.mcc,
+                    q.gt,
+                    q.csr,
+                    q.threshold
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    #[test]
+    fn small_run_without_cnn() {
+        let ctx = ExperimentContext::new(CorpusConfig::small(24, 4));
+        let cfg = Table6Config {
+            folds: 3,
+            seed: 1,
+            with_cnn: false,
+            quick: true,
+        };
+        let t = run(&ctx, &cfg);
+        assert_eq!(t.rows.len(), 3);
+        for gpu_rows in &t.rows {
+            assert_eq!(gpu_rows.len(), 5);
+            for row in gpu_rows {
+                assert!(row.quality.gt <= 1.0 + 1e-9, "{row:?}");
+                assert!(row.quality.acc > 0.2, "{row:?}");
+            }
+        }
+        assert!(t.render().contains("XGBoost"));
+    }
+}

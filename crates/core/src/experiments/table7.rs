@@ -1,0 +1,159 @@
+//! Table 7: the supervised classifiers under transfer, five GPU pairs x
+//! five tabular models x three retraining budgets (the paper omits the
+//! CNN for cost, and the Volta-to-Pascal pair for space).
+
+use super::ExperimentContext;
+use crate::speedup::SelectionQuality;
+use crate::supervised::{SupervisedConfig, SupervisedModel};
+use crate::transfer::{transfer_supervised, RetrainBudget, TransferInput};
+use serde::{Deserialize, Serialize};
+use spsel_gpusim::Gpu;
+
+/// The five transfer pairs of Table 7 in the paper's row order (Volta to
+/// Pascal is omitted, as in the paper).
+pub const TABLE7_PAIRS: [(Gpu, Gpu); 5] = [
+    (Gpu::Turing, Gpu::Volta),
+    (Gpu::Pascal, Gpu::Volta),
+    (Gpu::Turing, Gpu::Pascal),
+    (Gpu::Pascal, Gpu::Turing),
+    (Gpu::Volta, Gpu::Turing),
+];
+
+/// Configuration of the Table 7 run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table7Config {
+    /// Cross-validation folds.
+    pub folds: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Use reduced model sizes (tests / smoke runs).
+    pub quick: bool,
+}
+
+impl Default for Table7Config {
+    fn default() -> Self {
+        Table7Config {
+            folds: 5,
+            seed: 37,
+            quick: false,
+        }
+    }
+}
+
+/// One row of Table 7: a model under one transfer pair at all budgets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table7Row {
+    /// Model name.
+    pub model: String,
+    /// Quality per budget in `RetrainBudget::ALL` order.
+    pub budgets: [SelectionQuality; 3],
+}
+
+/// Table 7 contents.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table7 {
+    /// `(source, target, rows)` per pair.
+    pub pairs: Vec<(Gpu, Gpu, Vec<Table7Row>)>,
+}
+
+/// Run the supervised transfer evaluation.
+pub fn run(ctx: &ExperimentContext, cfg: &Table7Config) -> Table7 {
+    let common = ctx.common_subset();
+    let features = ctx.features(&common);
+    let mut pairs = Vec::new();
+    for (source, target) in TABLE7_PAIRS {
+        let source_results = ctx.results(source, &common);
+        let target_results = ctx.results(target, &common);
+        let input = TransferInput {
+            features: &features,
+            images: None,
+            source: &source_results,
+            target: &target_results,
+        };
+        let mut rows = Vec::new();
+        for model in SupervisedModel::TABULAR {
+            let sup_cfg = if cfg.quick {
+                SupervisedConfig::quick(model, cfg.seed)
+            } else {
+                SupervisedConfig::new(model, cfg.seed)
+            };
+            let mut budgets = Vec::with_capacity(3);
+            for budget in RetrainBudget::ALL {
+                budgets.push(transfer_supervised(input, sup_cfg, budget, cfg.folds, cfg.seed));
+            }
+            rows.push(Table7Row {
+                model: model.name().to_string(),
+                budgets: [budgets[0], budgets[1], budgets[2]],
+            });
+        }
+        pairs.push((source, target, rows));
+    }
+    Table7 { pairs }
+}
+
+impl Table7 {
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10}",
+            "MLM"
+        ));
+        for b in RetrainBudget::ALL {
+            out.push_str(&format!(
+                "|{:>7}{:>6}{:>6}{:>6}{:>6} ",
+                format!("ACC-{}", b.label()),
+                "F1",
+                "MCC",
+                "GT",
+                "CSR"
+            ));
+        }
+        out.push('\n');
+        for (source, target, rows) in &self.pairs {
+            out.push_str(&format!("--- {source} to {target} ---\n"));
+            for row in rows {
+                out.push_str(&format!("{:<10}", row.model));
+                for q in &row.budgets {
+                    out.push_str(&format!(
+                        "|{:>7.2}{:>6.2}{:>6.2}{:>6.2}{:>6.2} ",
+                        q.acc * 100.0,
+                        q.f1,
+                        q.mcc,
+                        q.gt,
+                        q.csr
+                    ));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    #[test]
+    fn small_run_has_five_pairs_of_five_models() {
+        let ctx = ExperimentContext::new(CorpusConfig::small(24, 6));
+        let cfg = Table7Config {
+            folds: 3,
+            seed: 2,
+            quick: true,
+        };
+        let t = run(&ctx, &cfg);
+        assert_eq!(t.pairs.len(), 5);
+        for (_, _, rows) in &t.pairs {
+            assert_eq!(rows.len(), 5);
+            for row in rows {
+                for q in &row.budgets {
+                    assert!((0.0..=1.0).contains(&q.acc));
+                }
+            }
+        }
+        assert!(t.render().contains("Turing to Volta"));
+    }
+}

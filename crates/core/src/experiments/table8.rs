@@ -1,0 +1,155 @@
+//! Table 8: relative format-conversion cost and total benchmarking hours
+//! per platform.
+//!
+//! The first half reports the conversion-cost ratios; in addition to the
+//! paper's model numbers we *measure* the ratios with this workspace's own
+//! CPU kernels and conversions on a sample of corpus-like matrices, which
+//! gives an independently reproduced version of the same table.
+
+use super::ExperimentContext;
+use serde::{Deserialize, Serialize};
+use spsel_gpusim::{conversion_cost_relative, estimate_benchmark_hours, Gpu};
+use spsel_matrix::{gen, CooMatrix, CsrMatrix, EllMatrix, Format, HybMatrix, SpMv};
+use std::time::Instant;
+
+/// Table 8 contents.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table8 {
+    /// Model ratios (the paper's values, adapted from prior work).
+    pub model_ratios: [f64; 4],
+    /// Ratios measured with this crate's CPU conversions and kernels.
+    pub measured_ratios: [f64; 4],
+    /// Estimated benchmarking hours per GPU (paper: Pascal 27, Quadro 24,
+    /// Volta 18).
+    pub hours: [f64; 3],
+    /// Matrices counted per GPU.
+    pub counted: [usize; 3],
+}
+
+/// Median of a mutable sample.
+fn median(xs: &mut [f64]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Measure conversion-cost/SpMV ratios on a sample of generated matrices.
+pub fn measure_conversion_ratios(sample_seeds: &[u64]) -> [f64; 4] {
+    let mut coo_r = Vec::new();
+    let mut ell_r = Vec::new();
+    let mut hyb_r = Vec::new();
+    for &seed in sample_seeds {
+        let base = gen::random_uniform(20_000, 20_000, 16, seed);
+        let csr = CsrMatrix::from(&base);
+        let x = vec![1.0; csr.ncols()];
+        let mut y = vec![0.0; csr.nrows()];
+
+        // Time one CSR SpMV (averaged over a few runs to steady the clock).
+        let t0 = Instant::now();
+        let reps = 5;
+        for _ in 0..reps {
+            csr.spmv(&x, &mut y);
+        }
+        let spmv = t0.elapsed().as_secs_f64() / reps as f64;
+
+        let t0 = Instant::now();
+        let coo = CooMatrix::from(&csr);
+        let coo_t = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&coo);
+
+        let t0 = Instant::now();
+        let ell = EllMatrix::try_from_csr(&csr).expect("uniform matrix is ELL-safe");
+        let ell_t = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&ell);
+
+        let t0 = Instant::now();
+        let hyb = HybMatrix::from_csr(&csr);
+        let hyb_t = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&hyb);
+
+        coo_r.push(coo_t / spmv);
+        ell_r.push(ell_t / spmv);
+        hyb_r.push(hyb_t / spmv);
+    }
+    let mut out = [0.0; 4];
+    out[Format::Coo.index()] = median(&mut coo_r);
+    out[Format::Csr.index()] = 0.0;
+    out[Format::Ell.index()] = median(&mut ell_r);
+    out[Format::Hyb.index()] = median(&mut hyb_r);
+    out
+}
+
+/// Run the Table 8 accounting.
+pub fn run(ctx: &ExperimentContext, trials: usize, read_seconds: f64) -> Table8 {
+    let measured_ratios = measure_conversion_ratios(&[1, 2, 3]);
+    let mut hours = [0.0; 3];
+    let mut counted = [0usize; 3];
+    let stats: Vec<_> = ctx.corpus.records.iter().map(|r| r.stats.clone()).collect();
+    let ids: Vec<u64> = ctx.corpus.records.iter().map(|r| r.id).collect();
+    for (g, gpu) in Gpu::ALL.iter().enumerate() {
+        hours[g] = estimate_benchmark_hours(&gpu.spec(), &stats, &ids, trials, read_seconds);
+        counted[g] = ctx.dataset(*gpu).len();
+    }
+    Table8 {
+        model_ratios: conversion_cost_relative(),
+        measured_ratios,
+        hours,
+        counted,
+    }
+}
+
+impl Table8 {
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Format   Conversion Cost (model)   (measured, CPU kernels)\n");
+        for f in [Format::Coo, Format::Ell, Format::Hyb] {
+            out.push_str(&format!(
+                "{:<9}{:>18.0}{:>26.1}\n",
+                f.name(),
+                self.model_ratios[f.index()],
+                self.measured_ratios[f.index()]
+            ));
+        }
+        out.push('\n');
+        out.push_str("Platform   Matrices   Time (Hours)\n");
+        let names = ["Pascal", "Volta", "Quadro"];
+        // Paper order: Pascal, Quadro, Volta; keep Gpu::ALL order but label.
+        for (g, gpu) in Gpu::ALL.iter().enumerate() {
+            let label = if *gpu == Gpu::Turing { names[2] } else { gpu.name() };
+            out.push_str(&format!(
+                "{:<11}{:>8}{:>14.1}\n",
+                label, self.counted[g], self.hours[g]
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    #[test]
+    fn measured_ratios_are_ordered_like_the_paper() {
+        // Exact magnitudes are hardware- and build-profile-dependent (the
+        // paper's 9/102/147 are GPU numbers); assert the structure only:
+        // CSR costs nothing, every other conversion costs something.
+        let r = measure_conversion_ratios(&[7]);
+        assert_eq!(r[Format::Csr.index()], 0.0);
+        assert!(r[Format::Coo.index()] > 0.0);
+        assert!(r[Format::Ell.index()] > 0.0);
+        assert!(r[Format::Hyb.index()] > 0.0);
+    }
+
+    #[test]
+    fn hours_positive_for_nonempty_corpus() {
+        let ctx = ExperimentContext::new(CorpusConfig::small(10, 3));
+        let t = run(&ctx, 100, 5.0);
+        for h in t.hours {
+            assert!(h > 0.0);
+        }
+        assert!(t.render().contains("Time (Hours)"));
+    }
+}

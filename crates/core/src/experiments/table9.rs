@@ -1,0 +1,194 @@
+//! Table 9: wall-clock training time of each model in the transfer
+//! setting with 0 / 25 / 50 % additional target data.
+
+use super::ExperimentContext;
+use crate::semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
+use crate::supervised::{SupervisedConfig, SupervisedModel, SupervisedSelector};
+use serde::{Deserialize, Serialize};
+use spsel_gpusim::Gpu;
+use spsel_matrix::Format;
+use spsel_ml::cv::stratified_subsample;
+use std::time::Instant;
+
+/// Configuration of the Table 9 run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table9Config {
+    /// Source/target GPUs used for timing (any pair works; times depend
+    /// only on data sizes).
+    pub source: Gpu,
+    /// Target architecture providing the retraining labels.
+    pub target: Gpu,
+    /// Number of clusters for the K-Means rows.
+    pub nc: usize,
+    /// Include the CNN row (expensive).
+    pub with_cnn: bool,
+    /// Use reduced model sizes.
+    pub quick: bool,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Table9Config {
+    fn default() -> Self {
+        Table9Config {
+            source: Gpu::Pascal,
+            target: Gpu::Turing,
+            nc: 200,
+            with_cnn: false,
+            quick: false,
+            seed: 41,
+        }
+    }
+}
+
+/// One row: a model and its training seconds per budget.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table9Row {
+    /// Model name.
+    pub model: String,
+    /// Seconds at 0 / 25 / 50 % transfer data.
+    pub seconds: [f64; 3],
+}
+
+/// Table 9 contents.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table9 {
+    /// All measured rows.
+    pub rows: Vec<Table9Row>,
+}
+
+/// Run the training-time measurement.
+pub fn run(ctx: &ExperimentContext, cfg: &Table9Config) -> Table9 {
+    let common = ctx.common_subset();
+    let features = ctx.features(&common);
+    let images = ctx.images(&common);
+    let source_labels: Vec<Format> = ctx
+        .results(cfg.source, &common)
+        .iter()
+        .map(|r| r.best)
+        .collect();
+    let target_labels: Vec<Format> = ctx
+        .results(cfg.target, &common)
+        .iter()
+        .map(|r| r.best)
+        .collect();
+    let y_target: Vec<usize> = target_labels.iter().map(|l| l.index()).collect();
+
+    // At budget b the training set is the source-labeled corpus plus the
+    // b-fraction of target-labeled matrices appended (training cost grows
+    // with the budget, as in the paper's Table 9).
+    let budget_sets: Vec<(Vec<usize>, Vec<Format>)> = [0.0, 0.25, 0.5]
+        .iter()
+        .map(|&frac| {
+            let extra = if frac > 0.0 {
+                stratified_subsample(&y_target, Format::COUNT, frac, cfg.seed)
+            } else {
+                Vec::new()
+            };
+            let mut idx: Vec<usize> = (0..features.len()).collect();
+            let mut labels = source_labels.clone();
+            for &e in &extra {
+                idx.push(e);
+                labels.push(target_labels[e]);
+            }
+            (idx, labels)
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+
+    // Supervised models.
+    let models: Vec<SupervisedModel> = SupervisedModel::ALL
+        .into_iter()
+        .filter(|m| cfg.with_cnn || !m.needs_images())
+        .collect();
+    for model in models {
+        let sup_cfg = if cfg.quick {
+            SupervisedConfig::quick(model, cfg.seed)
+        } else {
+            SupervisedConfig::new(model, cfg.seed)
+        };
+        let mut seconds = [0.0; 3];
+        for (b, (idx, labels)) in budget_sets.iter().enumerate() {
+            let f: Vec<_> = idx.iter().map(|&i| features[i].clone()).collect();
+            let img: Vec<_> = idx.iter().map(|&i| images[i].clone()).collect();
+            let img_arg = model.needs_images().then_some(img.as_slice());
+            let t0 = Instant::now();
+            let sel = SupervisedSelector::fit(&f, img_arg, labels, sup_cfg);
+            seconds[b] = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&sel);
+        }
+        rows.push(Table9Row {
+            model: model.name().to_string(),
+            seconds,
+        });
+    }
+
+    // Semi-supervised rows: clustering is fitted once per budget run (the
+    // timing includes it, matching the "training time" accounting), then
+    // relabeled with the extra target data.
+    for labeler in [Labeler::Vote, Labeler::LogisticRegression, Labeler::RandomForest] {
+        let semi_cfg = SemiConfig::new(ClusterMethod::KMeans { nc: cfg.nc }, labeler, cfg.seed);
+        let mut seconds = [0.0; 3];
+        for (b, frac) in [0.0, 0.25, 0.5].iter().enumerate() {
+            let t0 = Instant::now();
+            let mut sel = SemiSupervisedSelector::fit(&features, &source_labels, semi_cfg);
+            if *frac > 0.0 {
+                let sub = stratified_subsample(&y_target, Format::COUNT, *frac, cfg.seed);
+                let sub_labels: Vec<Format> = sub.iter().map(|&i| target_labels[i]).collect();
+                sel.relabel(&sub, &sub_labels);
+            }
+            seconds[b] = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&sel);
+        }
+        rows.push(Table9Row {
+            model: format!("K-Means-{}", labeler.name()),
+            seconds,
+        });
+    }
+
+    Table9 { rows }
+}
+
+impl Table9 {
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16}{:>10}{:>10}{:>10}\n",
+            "Model", "0%", "25%", "50%"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<16}{:>10.3}{:>10.3}{:>10.3}\n",
+                row.model, row.seconds[0], row.seconds[1], row.seconds[2]
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    #[test]
+    fn timing_rows_are_positive_and_complete() {
+        let ctx = ExperimentContext::new(CorpusConfig::small(20, 8));
+        let cfg = Table9Config {
+            nc: 5,
+            quick: true,
+            ..Default::default()
+        };
+        let t = run(&ctx, &cfg);
+        // 5 tabular models + 3 K-Means rows.
+        assert_eq!(t.rows.len(), 8);
+        for row in &t.rows {
+            for s in row.seconds {
+                assert!(s >= 0.0);
+            }
+        }
+        assert!(t.render().contains("K-Means-VOTE"));
+    }
+}

@@ -1,0 +1,153 @@
+//! The Section 5.1 anecdote: the worst-case slowdown from defaulting to
+//! CSR. The paper reports a 194.85x slowdown for the `mawi_201512012345`
+//! network trace on the Quadro RTX 8000, where HYB is optimal.
+//!
+//! `mawi`-like matrices (tens of millions of near-empty rows plus a few
+//! enormous hub rows) are exactly the shape our `row_skewed` generator
+//! produces; this runner sweeps hub sizes and reports the worst CSR
+//! slowdown the performance model yields on each GPU.
+
+use serde::{Deserialize, Serialize};
+use spsel_features::MatrixStats;
+use spsel_gpusim::{predict_times, Gpu};
+use spsel_matrix::Format;
+
+/// One worst-case observation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorstCase {
+    /// GPU.
+    pub gpu: Gpu,
+    /// Rows of the matrix.
+    pub nrows: usize,
+    /// Size of the hub row.
+    pub hub: usize,
+    /// CSR time / best time.
+    pub slowdown: f64,
+    /// The optimal format.
+    pub best: Format,
+}
+
+/// Build `mawi`-like statistics: `nrows` rows of 2 nonzeros plus one hub
+/// row of `hub` nonzeros.
+pub fn mawi_like(nrows: usize, hub: usize) -> MatrixStats {
+    // Constructed analytically (a real counts vector with tens of millions
+    // of entries would add nothing).
+    let nnz = 2 * (nrows - 1) + hub;
+    let mean = nnz as f64 / nrows as f64;
+    let dev_low = mean - 2.0;
+    let dev_high = hub as f64 - mean;
+    let var = ((nrows - 1) as f64 * dev_low * dev_low + dev_high * dev_high) / nrows as f64;
+    MatrixStats {
+        nrows,
+        ncols: nrows,
+        nnz,
+        nnz_min: 2,
+        nnz_max: hub,
+        nnz_mean: mean,
+        nnz_std: var.sqrt(),
+        sig_lower: dev_low.abs(),
+        sig_higher: dev_high,
+        csr_max: hub + 62,
+        hyb_ell_width: 2,
+        hyb_ell_size: 2 * nrows,
+        hyb_ell_nnz: 2 * nrows,
+        hyb_coo_nnz: hub.saturating_sub(2),
+        diagonals: nrows.min(hub + 2),
+        dia_size: nrows * nrows.min(hub + 2),
+        ell_size: hub * nrows,
+    }
+}
+
+/// Sweep hub sizes on every GPU and report each GPU's worst case.
+pub fn run() -> Vec<WorstCase> {
+    let mut out = Vec::new();
+    for gpu in Gpu::ALL {
+        let spec = gpu.spec();
+        let mut worst: Option<WorstCase> = None;
+        for &nrows in &[1_000_000usize, 4_000_000, 16_000_000] {
+            for &hub_frac in &[0.05f64, 0.2, 0.5, 0.9] {
+                let hub = (nrows as f64 * hub_frac) as usize;
+                let stats = mawi_like(nrows, hub);
+                let times = predict_times(&spec, &stats, 0xBAD);
+                let Some(best) = times.best() else { continue };
+                if best == Format::Csr || !times.get(Format::Csr).is_finite() {
+                    continue;
+                }
+                let slowdown = times.get(Format::Csr) / times.get(best);
+                if worst.as_ref().is_none_or(|w| slowdown > w.slowdown) {
+                    worst = Some(WorstCase {
+                        gpu,
+                        nrows,
+                        hub,
+                        slowdown,
+                        best,
+                    });
+                }
+            }
+        }
+        if let Some(w) = worst {
+            out.push(w);
+        }
+    }
+    out
+}
+
+/// Render the worst cases.
+pub fn render(cases: &[WorstCase]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8}{:>12}{:>12}{:>12}{:>8}\n",
+        "GPU", "rows", "hub nnz", "slowdown", "best"
+    ));
+    for c in cases {
+        out.push_str(&format!(
+            "{:<8}{:>12}{:>12}{:>12.2}{:>8}\n",
+            c.gpu.name(),
+            c.nrows,
+            c.hub,
+            c.slowdown,
+            c.best.name()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_is_order_of_magnitude() {
+        let cases = run();
+        assert_eq!(cases.len(), 3);
+        for c in &cases {
+            assert!(
+                c.slowdown > 10.0,
+                "{}: worst slowdown only {:.1}",
+                c.gpu.name(),
+                c.slowdown
+            );
+            assert_ne!(c.best, Format::Csr);
+        }
+        // The Turing anecdote: slowdown deep into the double digits with a
+        // non-CSR optimum, as in the paper's 194.85x HYB example.
+        let turing = cases.iter().find(|c| c.gpu == Gpu::Turing).unwrap();
+        assert!(turing.slowdown > 50.0, "Turing slowdown {:.1}", turing.slowdown);
+    }
+
+    #[test]
+    fn mawi_like_stats_are_consistent() {
+        let s = mawi_like(1000, 500);
+        assert_eq!(s.nnz, 2 * 999 + 500);
+        assert_eq!(s.nnz_max, 500);
+        assert_eq!(s.hyb_coo_nnz, 498);
+        assert!(s.nnz_std > 0.0);
+    }
+
+    #[test]
+    fn render_contains_gpus() {
+        let r = render(&run());
+        assert!(r.contains("Turing"));
+        assert!(r.contains("slowdown"));
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-model feature-subset selection.
+//!
+//! The paper (Section 5.1): "Each supervised algorithm uses an optimized
+//! subset of the features from Table 1. The input features are selected
+//! based on the best performance for that method." This module implements
+//! that optimization as greedy forward selection under cross-validated
+//! accuracy.
+
+use serde::{Deserialize, Serialize};
+use spsel_features::{FeatureId, FeatureVector};
+use spsel_matrix::Format;
+use spsel_ml::cv::stratified_kfold;
+use spsel_ml::forest::{RandomForest, RandomForestParams};
+use spsel_ml::knn::KnnClassifier;
+use spsel_ml::tree::{DecisionTree, DecisionTreeParams};
+use spsel_ml::{accuracy, Classifier, Dataset};
+
+/// Model families supported by the feature-selection search (small,
+/// fast-to-refit models — the search fits hundreds of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchModel {
+    /// Shallow decision tree.
+    Dt,
+    /// Small random forest.
+    Rf,
+    /// 5-nearest-neighbors.
+    Knn,
+}
+
+fn fit_predict(
+    model: SearchModel,
+    train: &Dataset,
+    test_x: &[Vec<f64>],
+    seed: u64,
+) -> Vec<usize> {
+    match model {
+        SearchModel::Dt => {
+            let mut m = DecisionTree::new(DecisionTreeParams {
+                max_depth: Some(8),
+                seed,
+                ..Default::default()
+            });
+            m.fit(train);
+            m.predict(test_x)
+        }
+        SearchModel::Rf => {
+            let mut m = RandomForest::new(RandomForestParams {
+                n_estimators: 15,
+                max_depth: Some(6),
+                seed,
+                ..Default::default()
+            });
+            m.fit(train);
+            m.predict(test_x)
+        }
+        SearchModel::Knn => {
+            let mut m = KnnClassifier::new(5);
+            m.fit(train);
+            m.predict(test_x)
+        }
+    }
+}
+
+/// Cross-validated accuracy of `model` on the given feature subset.
+pub fn subset_cv_accuracy(
+    features: &[FeatureVector],
+    labels: &[Format],
+    subset: &[FeatureId],
+    model: SearchModel,
+    folds: usize,
+    seed: u64,
+) -> f64 {
+    assert!(!subset.is_empty(), "need at least one feature");
+    let x: Vec<Vec<f64>> = features.iter().map(|f| f.select(subset)).collect();
+    let y: Vec<usize> = labels.iter().map(|l| l.index()).collect();
+    let mut accs = Vec::new();
+    for (train, test) in stratified_kfold(&y, Format::COUNT, folds, seed) {
+        let train_data = Dataset::new(
+            train.iter().map(|&i| x[i].clone()).collect(),
+            train.iter().map(|&i| y[i]).collect(),
+            Format::COUNT,
+        );
+        let test_x: Vec<Vec<f64>> = test.iter().map(|&i| x[i].clone()).collect();
+        let test_y: Vec<usize> = test.iter().map(|&i| y[i]).collect();
+        let preds = fit_predict(model, &train_data, &test_x, seed);
+        accs.push(accuracy(&test_y, &preds, Format::COUNT));
+    }
+    accs.iter().sum::<f64>() / accs.len() as f64
+}
+
+/// Result of the greedy search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureSelection {
+    /// Selected features in the order they were added.
+    pub features: Vec<FeatureId>,
+    /// Cross-validated accuracy after each addition.
+    pub accuracy_trace: Vec<f64>,
+}
+
+/// Greedy forward selection: start empty, repeatedly add the feature that
+/// improves cross-validated accuracy the most, stop at `max_features` or
+/// when no candidate improves the score by more than `min_gain`.
+pub fn greedy_forward_selection(
+    features: &[FeatureVector],
+    labels: &[Format],
+    model: SearchModel,
+    max_features: usize,
+    min_gain: f64,
+    folds: usize,
+    seed: u64,
+) -> FeatureSelection {
+    assert_eq!(features.len(), labels.len());
+    assert!(max_features >= 1);
+    let mut selected: Vec<FeatureId> = Vec::new();
+    let mut remaining: Vec<FeatureId> = FeatureId::ALL.to_vec();
+    let mut trace = Vec::new();
+    let mut best_so_far = 0.0f64;
+
+    while selected.len() < max_features && !remaining.is_empty() {
+        let mut best: Option<(usize, f64)> = None;
+        for (pos, &cand) in remaining.iter().enumerate() {
+            let mut subset = selected.clone();
+            subset.push(cand);
+            let acc = subset_cv_accuracy(features, labels, &subset, model, folds, seed);
+            if best.as_ref().is_none_or(|&(_, b)| acc > b) {
+                best = Some((pos, acc));
+            }
+        }
+        let (pos, acc) = best.expect("remaining is non-empty");
+        if !selected.is_empty() && acc < best_so_far + min_gain {
+            break;
+        }
+        best_so_far = acc;
+        selected.push(remaining.remove(pos));
+        trace.push(acc);
+    }
+    FeatureSelection {
+        features: selected,
+        accuracy_trace: trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spsel_matrix::{gen, CsrMatrix};
+
+    /// A problem where one feature (nnz_max, separating uniform stencils
+    /// from heavy-tailed graphs) carries most of the signal.
+    fn problem() -> (Vec<FeatureVector>, Vec<Format>) {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for s in 0..12u64 {
+            features.push(FeatureVector::from_csr(&CsrMatrix::from(&gen::stencil2d(
+                9 + s as usize % 5,
+                s,
+            ))));
+            labels.push(Format::Ell);
+            features.push(FeatureVector::from_csr(&CsrMatrix::from(&gen::power_law(
+                250, 250, 2, 2.2, 120, s,
+            ))));
+            labels.push(Format::Csr);
+        }
+        (features, labels)
+    }
+
+    #[test]
+    fn greedy_selection_finds_a_small_accurate_subset() {
+        let (features, labels) = problem();
+        let sel = greedy_forward_selection(
+            &features,
+            &labels,
+            SearchModel::Dt,
+            4,
+            1e-6,
+            3,
+            7,
+        );
+        assert!(!sel.features.is_empty());
+        assert!(sel.features.len() <= 4);
+        assert_eq!(sel.features.len(), sel.accuracy_trace.len());
+        // A single well-chosen feature already separates this problem.
+        assert!(
+            sel.accuracy_trace[0] > 0.9,
+            "first feature accuracy {}",
+            sel.accuracy_trace[0]
+        );
+    }
+
+    #[test]
+    fn trace_is_monotone_under_min_gain() {
+        let (features, labels) = problem();
+        let sel = greedy_forward_selection(
+            &features,
+            &labels,
+            SearchModel::Knn,
+            5,
+            0.0,
+            3,
+            3,
+        );
+        for w in sel.accuracy_trace.windows(2) {
+            assert!(w[1] + 1e-9 >= w[0], "greedy step decreased accuracy: {w:?}");
+        }
+    }
+
+    #[test]
+    fn subset_accuracy_bounded() {
+        let (features, labels) = problem();
+        let acc = subset_cv_accuracy(
+            &features,
+            &labels,
+            &[FeatureId::NRows, FeatureId::NnzMax],
+            SearchModel::Rf,
+            3,
+            1,
+        );
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_subset_rejected() {
+        let (features, labels) = problem();
+        subset_cv_accuracy(&features, &labels, &[], SearchModel::Dt, 3, 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Semi-supervised sparse matrix format selection.
+//!
+//! This crate is the paper's primary contribution plus the experiment
+//! harness around it:
+//!
+//! * [`corpus`] — a seeded synthetic matrix corpus standing in for the
+//!   SuiteSparse collection, with permutation augmentation and per-GPU
+//!   ground-truth labels from the `spsel-gpusim` performance model;
+//! * [`semi`] — the semi-supervised selector: cluster matrices in the
+//!   transformed feature space, then label each cluster with a small
+//!   amount of benchmark data (Majority Vote, Logistic Regression, or
+//!   Random Forest per cluster);
+//! * [`supervised`] — the six supervised baselines (DT, RF, SVM, KNN,
+//!   XGBoost, CNN) behind one interface;
+//! * [`transfer`] — the cross-architecture transfer protocol with
+//!   0 / 25 / 50 % retraining budgets;
+//! * [`speedup`] — the paper's GT / CSR / Threshold performance columns;
+//! * [`experiments`] — one runner per table of the paper (Tables 2-9 plus
+//!   the Section 5.1 worst-case anecdote).
+
+pub mod corpus;
+pub mod experiments;
+pub mod featsel;
+pub mod online;
+pub mod overhead;
+pub mod regression;
+pub mod semi;
+pub mod speedup;
+pub mod supervised;
+pub mod transfer;
+
+pub use corpus::{Corpus, CorpusConfig, MatrixRecord};
+pub use featsel::{greedy_forward_selection, FeatureSelection, SearchModel};
+pub use online::{OnlineDecision, OnlineSelector};
+pub use overhead::{amortized_best, break_even_iterations, AmortizedChoice};
+pub use regression::TimeRegressor;
+pub use semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
+pub use speedup::{selection_quality, SelectionQuality};
+pub use supervised::{SupervisedConfig, SupervisedModel};
+pub use transfer::{transfer_semi, transfer_semi_budgets, transfer_supervised, RetrainBudget};

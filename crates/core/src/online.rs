@@ -1,0 +1,216 @@
+//! The online classification system the paper's conclusion sketches:
+//! "an online classification system that makes full use of the
+//! clustering-based approach by being able to learn from SpMV operations
+//! while they are being performed."
+//!
+//! [`OnlineSelector`] wraps the incremental K-Means extension with
+//! per-cluster format labels and a benchmark queue: matrices stream in,
+//! join or open clusters, and the selector tells the caller which
+//! matrices are worth benchmarking (new or unlabeled clusters). Feeding
+//! back one measured label per new cluster keeps the selector current
+//! without ever refitting.
+
+use crate::semi::SemiSupervisedSelector;
+use spsel_features::{FeatureVector, Preprocessor};
+use spsel_matrix::Format;
+use spsel_ml::cluster::online::OnlineKMeans;
+
+/// A streaming format selector built on incremental clustering.
+#[derive(Debug, Clone)]
+pub struct OnlineSelector {
+    preprocessor: Preprocessor,
+    clusters: OnlineKMeans,
+    /// Per-cluster format label (`None` until a benchmark arrives).
+    labels: Vec<Option<Format>>,
+    /// Fallback when a cluster has no label yet.
+    default: Format,
+    /// Observations since the last benchmark, per cluster (staleness).
+    unlabeled_observations: Vec<usize>,
+}
+
+/// The selector's answer for one streamed matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineDecision {
+    /// Cluster the matrix joined (possibly freshly created).
+    pub cluster: usize,
+    /// Whether the matrix opened a new cluster.
+    pub new_cluster: bool,
+    /// Recommended format (the cluster label, or the default).
+    pub format: Format,
+    /// Whether benchmarking this matrix would label an unlabeled cluster —
+    /// the caller should measure it and call
+    /// [`OnlineSelector::report_benchmark`].
+    pub benchmark_requested: bool,
+}
+
+impl OnlineSelector {
+    /// Start from a fitted batch selector: the batch clustering seeds the
+    /// online centroids, its cluster labels carry over, and the batch
+    /// preprocessing pipeline is reused (transforms are corpus statistics,
+    /// stable enough to freeze).
+    ///
+    /// `distance_threshold` controls when a streamed matrix is novel
+    /// enough to open a new cluster; `max_clusters` bounds growth.
+    pub fn from_batch(
+        batch: &SemiSupervisedSelector,
+        distance_threshold: f64,
+        max_clusters: usize,
+    ) -> Self {
+        let clusters = OnlineKMeans::from_clustering(
+            batch.clustering(),
+            distance_threshold,
+            max_clusters,
+        );
+        let labels: Vec<Option<Format>> =
+            batch.cluster_labels().iter().map(|&f| Some(f)).collect();
+        let n = labels.len();
+        OnlineSelector {
+            preprocessor: batch.preprocessor().clone(),
+            clusters,
+            labels,
+            default: Format::Csr,
+            unlabeled_observations: vec![0; n],
+        }
+    }
+
+    /// Current number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.n_clusters()
+    }
+
+    /// Clusters still waiting for a benchmark label.
+    pub fn unlabeled_clusters(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_none()).count()
+    }
+
+    /// Stream one matrix: it joins (or opens) a cluster and receives that
+    /// cluster's format recommendation. The decision says whether the
+    /// caller should benchmark this matrix to label its cluster.
+    pub fn observe(&mut self, features: &FeatureVector) -> OnlineDecision {
+        let z = self.preprocessor.embed(features);
+        let (cluster, new_cluster) = self.clusters.observe(&z);
+        if new_cluster {
+            self.labels.push(None);
+            self.unlabeled_observations.push(0);
+        }
+        let benchmark_requested = self.labels[cluster].is_none();
+        if benchmark_requested {
+            self.unlabeled_observations[cluster] += 1;
+        }
+        OnlineDecision {
+            cluster,
+            new_cluster,
+            format: self.labels[cluster].unwrap_or(self.default),
+            benchmark_requested,
+        }
+    }
+
+    /// Predict without updating the model.
+    pub fn predict(&self, features: &FeatureVector) -> Format {
+        let z = self.preprocessor.embed(features);
+        let c = self.clusters.assign(&z);
+        self.labels[c].unwrap_or(self.default)
+    }
+
+    /// Feed back a measured best format for a matrix previously assigned
+    /// to `cluster` (typically in response to `benchmark_requested`).
+    /// Overwrites the cluster's label — the latest measurement wins, which
+    /// is the right policy when the deployment platform changes over time.
+    pub fn report_benchmark(&mut self, cluster: usize, best: Format) {
+        assert!(cluster < self.labels.len(), "cluster out of range");
+        self.labels[cluster] = Some(best);
+        self.unlabeled_observations[cluster] = 0;
+    }
+
+    /// Matrices observed in unlabeled clusters since their last benchmark —
+    /// a measure of how much prediction quality is degraded by missing
+    /// labels.
+    pub fn staleness(&self) -> usize {
+        self.unlabeled_observations.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semi::{ClusterMethod, Labeler, SemiConfig};
+    use spsel_matrix::{gen, CsrMatrix};
+
+    fn batch_selector() -> (SemiSupervisedSelector, Vec<FeatureVector>) {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for s in 0..15u64 {
+            features.push(FeatureVector::from_csr(&CsrMatrix::from(&gen::stencil2d(
+                10 + s as usize % 5,
+                s,
+            ))));
+            labels.push(Format::Ell);
+            features.push(FeatureVector::from_csr(&CsrMatrix::from(&gen::power_law(
+                300, 300, 2, 2.4, 120, s,
+            ))));
+            labels.push(Format::Csr);
+        }
+        let sel = SemiSupervisedSelector::fit(
+            &features,
+            &labels,
+            SemiConfig::new(ClusterMethod::KMeans { nc: 6 }, Labeler::Vote, 3),
+        );
+        (sel, features)
+    }
+
+    #[test]
+    fn warm_start_preserves_batch_predictions() {
+        let (batch, features) = batch_selector();
+        let online = OnlineSelector::from_batch(&batch, 0.5, 32);
+        for f in &features {
+            assert_eq!(online.predict(f), batch.predict(f));
+        }
+        assert_eq!(online.unlabeled_clusters(), 0);
+    }
+
+    #[test]
+    fn novel_family_requests_benchmark_then_uses_it() {
+        let (batch, _) = batch_selector();
+        let mut online = OnlineSelector::from_batch(&batch, 0.3, 32);
+        // A family the batch never saw: huge row-skewed matrices.
+        let novel =
+            FeatureVector::from_csr(&CsrMatrix::from(&gen::bimodal(2000, 2000, 3, 40, 0.3, 8)));
+        let d = online.observe(&novel);
+        if d.new_cluster {
+            assert!(d.benchmark_requested, "new cluster must ask for a benchmark");
+            assert_eq!(d.format, Format::Csr, "default before any benchmark");
+            online.report_benchmark(d.cluster, Format::Hyb);
+            assert_eq!(online.predict(&novel), Format::Hyb);
+            assert_eq!(online.unlabeled_clusters(), 0);
+        } else {
+            // Absorbed into an existing (labeled) cluster: no benchmark.
+            assert!(!d.benchmark_requested);
+        }
+    }
+
+    #[test]
+    fn staleness_counts_unlabeled_observations() {
+        let (batch, _) = batch_selector();
+        let mut online = OnlineSelector::from_batch(&batch, 0.05, 64);
+        let mut requested = 0;
+        for s in 0..10u64 {
+            let f = FeatureVector::from_csr(&CsrMatrix::from(&gen::multi_diagonal(
+                700 + s as usize * 13,
+                7,
+                s,
+            )));
+            let d = online.observe(&f);
+            requested += d.benchmark_requested as usize;
+        }
+        assert_eq!(online.staleness(), requested);
+        // Labeling every unlabeled cluster clears the staleness.
+        let unlabeled: Vec<usize> = (0..online.n_clusters())
+            .filter(|&c| online.labels[c].is_none())
+            .collect();
+        for c in unlabeled {
+            online.report_benchmark(c, Format::Ell);
+        }
+        assert_eq!(online.staleness(), 0);
+        assert_eq!(online.unlabeled_clusters(), 0);
+    }
+}

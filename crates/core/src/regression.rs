@@ -1,0 +1,168 @@
+//! Regression-based format selection: the other family of prior work the
+//! paper describes ("the ML models can be either regression or
+//! classification based").
+//!
+//! One ridge regressor per format predicts `log(kernel time)` from the
+//! embedded features; selection takes the argmin of the predicted times.
+//! Unlike the classifiers this exposes *quantitative* estimates, which is
+//! what the overhead-conscious rule in [`crate::overhead`] needs when no
+//! benchmark of the new matrix exists.
+
+use crate::overhead::{amortized_best, AmortizedChoice};
+use serde::{Deserialize, Serialize};
+use spsel_features::{FeatureVector, Preprocessor};
+use spsel_gpusim::cost::ConversionCostModel;
+use spsel_gpusim::{BenchResult, SpmvTimes};
+use spsel_matrix::Format;
+use spsel_ml::ridge::RidgeRegression;
+
+/// A per-format kernel-time regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeRegressor {
+    preprocessor: Preprocessor,
+    /// One model per format (Format::ALL order), fitted on log-times.
+    models: Vec<RidgeRegression>,
+}
+
+impl TimeRegressor {
+    /// Fit on benchmarked training matrices. Infeasible (infinite) format
+    /// times are skipped for that format's regressor.
+    pub fn fit(features: &[FeatureVector], results: &[BenchResult], lambda: f64) -> Self {
+        assert_eq!(features.len(), results.len(), "one result per matrix");
+        assert!(!features.is_empty(), "cannot fit on empty data");
+        let rows: Vec<Vec<f64>> = features.iter().map(|f| f.as_slice().to_vec()).collect();
+        let preprocessor = Preprocessor::fit_rows(&rows, Some(8));
+        let embedded: Vec<Vec<f64>> = rows.iter().map(|r| preprocessor.embed_row(r)).collect();
+
+        let models = Format::ALL
+            .into_iter()
+            .map(|f| {
+                let mut x = Vec::new();
+                let mut y = Vec::new();
+                for (z, r) in embedded.iter().zip(results) {
+                    let t = r.times.get(f);
+                    if t.is_finite() {
+                        x.push(z.clone());
+                        y.push(t.ln());
+                    }
+                }
+                let mut m = RidgeRegression::new(lambda);
+                assert!(!x.is_empty(), "format {f} has no feasible training matrix");
+                m.fit(&x, &y);
+                m
+            })
+            .collect();
+        TimeRegressor {
+            preprocessor,
+            models,
+        }
+    }
+
+    /// Predicted kernel times (microseconds) for one matrix.
+    pub fn predict_times(&self, features: &FeatureVector) -> SpmvTimes {
+        let z = self.preprocessor.embed(features);
+        let mut us = [0.0; 4];
+        for f in Format::ALL {
+            us[f.index()] = self.models[f.index()].predict_one(&z).exp();
+        }
+        SpmvTimes { us }
+    }
+
+    /// Qualitative selection: the format with the smallest predicted time.
+    pub fn predict(&self, features: &FeatureVector) -> Format {
+        self.predict_times(features)
+            .best()
+            .expect("predicted times are finite")
+    }
+
+    /// Batch qualitative selection.
+    pub fn predict_batch(&self, features: &[FeatureVector]) -> Vec<Format> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Quantitative, overhead-conscious selection for a workload that will
+    /// run `iterations` SpMV calls (combines the predicted times with the
+    /// conversion-cost model).
+    pub fn predict_amortized(
+        &self,
+        features: &FeatureVector,
+        conv: &ConversionCostModel,
+        iterations: usize,
+    ) -> AmortizedChoice {
+        let times = self.predict_times(features);
+        amortized_best(&times, conv, iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, CorpusConfig};
+    use spsel_gpusim::Gpu;
+
+    fn setup() -> (Vec<FeatureVector>, Vec<BenchResult>) {
+        let corpus = Corpus::build(CorpusConfig::small(70, 55));
+        let bench = corpus.benchmark(Gpu::Volta);
+        let usable: Vec<usize> = (0..corpus.len()).filter(|&i| bench[i].is_some()).collect();
+        (
+            usable
+                .iter()
+                .map(|&i| corpus.records[i].features.clone())
+                .collect(),
+            usable.iter().map(|&i| bench[i].unwrap()).collect(),
+        )
+    }
+
+    #[test]
+    fn predicted_times_are_positive_and_ordered_sensibly() {
+        let (features, results) = setup();
+        let reg = TimeRegressor::fit(&features, &results, 1e-3);
+        let mut log_err = 0.0;
+        let mut count = 0;
+        for (f, r) in features.iter().zip(&results) {
+            let pred = reg.predict_times(f);
+            for fmt in Format::ALL {
+                assert!(pred.get(fmt) > 0.0);
+                let truth = r.times.get(fmt);
+                if truth.is_finite() {
+                    log_err += (pred.get(fmt).ln() - truth.ln()).abs();
+                    count += 1;
+                }
+            }
+        }
+        // Mean absolute log-error under ln(3): the regressor genuinely
+        // tracks kernel times rather than guessing a constant.
+        let mean = log_err / count as f64;
+        assert!(mean < 1.1, "mean |log error| {mean}");
+    }
+
+    #[test]
+    fn argmin_selection_beats_chance() {
+        let (features, results) = setup();
+        let reg = TimeRegressor::fit(&features, &results, 1e-3);
+        let preds = reg.predict_batch(&features);
+        let correct = preds
+            .iter()
+            .zip(&results)
+            .filter(|(p, r)| **p == r.best)
+            .count();
+        let acc = correct as f64 / results.len() as f64;
+        assert!(acc > 0.5, "regression selector train accuracy {acc}");
+    }
+
+    #[test]
+    fn amortized_prediction_defaults_to_csr_for_one_shot() {
+        let (features, results) = setup();
+        let reg = TimeRegressor::fit(&features, &results, 1e-3);
+        let conv = ConversionCostModel::default();
+        // With a single iteration the conversion can never pay off unless
+        // the predicted non-CSR advantage is over 100x.
+        let mut csr_choices = 0;
+        for f in features.iter().take(20) {
+            if reg.predict_amortized(f, &conv, 1).format == Format::Csr {
+                csr_choices += 1;
+            }
+        }
+        assert!(csr_choices >= 18, "only {csr_choices}/20 one-shot choices stayed CSR");
+    }
+}

@@ -1,0 +1,453 @@
+//! The semi-supervised format selector (the paper's contribution).
+//!
+//! Training has two decoupled stages, which is exactly what makes the
+//! method portable and explainable:
+//!
+//! 1. **Clustering** (unsupervised, architecture-independent): embed the
+//!    Table 1 features through the transform → scale → PCA pipeline and
+//!    cluster with K-Means, Mean-Shift, or Birch.
+//! 2. **Cluster labeling** (cheap, per-architecture): decide each
+//!    cluster's *single* format label from benchmark labels of (a fraction
+//!    of) its members — by Majority Vote, or by fitting a small Logistic
+//!    Regression / Random Forest on the benchmarked members and taking its
+//!    prediction at the cluster centroid. Either way a cluster carries one
+//!    format, which is what makes the classification explainable.
+//!
+//! Prediction assigns a new matrix to the nearest cluster centroid and
+//! applies that cluster's labeling rule. Porting to a new architecture
+//! only repeats stage 2 ([`SemiSupervisedSelector::relabel`]).
+
+use serde::{Deserialize, Serialize};
+use spsel_features::{FeatureVector, Preprocessor};
+use spsel_matrix::Format;
+use spsel_ml::cluster::{birch::Birch, kmeans::KMeans, meanshift::MeanShift};
+use spsel_ml::forest::{RandomForest, RandomForestParams};
+use spsel_ml::logreg::LogisticRegression;
+use spsel_ml::{Classifier, ClusterAlgorithm, Clustering, Dataset};
+
+/// Clustering algorithm choice (the rows of the paper's Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ClusterMethod {
+    /// K-Means with `nc` clusters.
+    KMeans { nc: usize },
+    /// Mean-Shift (determines its own cluster count).
+    MeanShift,
+    /// Birch with `nc` final clusters.
+    Birch { nc: usize },
+}
+
+impl ClusterMethod {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterMethod::KMeans { .. } => "K-Means",
+            ClusterMethod::MeanShift => "Mean-Shift",
+            ClusterMethod::Birch { .. } => "Birch",
+        }
+    }
+}
+
+/// Cluster-labeling strategy (the columns of the paper's Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Labeler {
+    /// Majority vote over benchmarked members.
+    Vote,
+    /// Per-cluster logistic regression on the embedded features.
+    LogisticRegression,
+    /// Per-cluster random forest on the embedded features.
+    RandomForest,
+}
+
+impl Labeler {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Labeler::Vote => "VOTE",
+            Labeler::LogisticRegression => "LR",
+            Labeler::RandomForest => "RF",
+        }
+    }
+}
+
+/// Configuration of the semi-supervised selector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SemiConfig {
+    /// Clustering algorithm.
+    pub method: ClusterMethod,
+    /// Cluster-labeling strategy.
+    pub labeler: Labeler,
+    /// Seed for clustering and per-cluster models.
+    pub seed: u64,
+    /// PCA dimensionality of the embedding (the paper uses 8).
+    pub pca_dim: usize,
+}
+
+impl SemiConfig {
+    /// Paper-default configuration: K-Means + majority vote.
+    pub fn new(method: ClusterMethod, labeler: Labeler, seed: u64) -> Self {
+        SemiConfig {
+            method,
+            labeler,
+            seed,
+            pca_dim: spsel_features::pipeline::DEFAULT_PCA_DIM,
+        }
+    }
+}
+
+/// A fitted semi-supervised selector.
+#[derive(Debug, Clone)]
+pub struct SemiSupervisedSelector {
+    config: SemiConfig,
+    preprocessor: Preprocessor,
+    clustering: Clustering,
+    /// Embedded training points (kept for relabeling).
+    embedded: Vec<Vec<f64>>,
+    /// One format label per cluster.
+    labels: Vec<Format>,
+}
+
+/// Majority format among `labels`, ties broken toward the globally more
+/// common format (lower Format index order as final tie-break).
+fn majority(labels: &[Format], fallback: Format) -> Format {
+    if labels.is_empty() {
+        return fallback;
+    }
+    let mut counts = [0usize; Format::COUNT];
+    for l in labels {
+        counts[l.index()] += 1;
+    }
+    // CSR-first order mirrors the "default to CSR" convention on ties
+    // (strict comparison keeps the earliest maximum).
+    let order = [Format::Csr, Format::Ell, Format::Hyb, Format::Coo];
+    let mut best = order[0];
+    for f in order {
+        if counts[f.index()] > counts[best.index()] {
+            best = f;
+        }
+    }
+    best
+}
+
+impl SemiSupervisedSelector {
+    /// Fit clustering on all features, then label clusters using the given
+    /// per-matrix benchmark labels (the *local* protocol: every training
+    /// matrix is benchmarked).
+    ///
+    /// ```
+    /// use spsel_core::semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
+    /// use spsel_features::FeatureVector;
+    /// use spsel_matrix::{gen, CsrMatrix, Format};
+    ///
+    /// let features: Vec<FeatureVector> = (0..8)
+    ///     .map(|s| FeatureVector::from_csr(&CsrMatrix::from(&gen::stencil2d(10 + s, s as u64))))
+    ///     .collect();
+    /// let labels = vec![Format::Ell; 8];
+    /// let cfg = SemiConfig::new(ClusterMethod::KMeans { nc: 2 }, Labeler::Vote, 1);
+    /// let sel = SemiSupervisedSelector::fit(&features, &labels, cfg);
+    /// assert_eq!(sel.predict(&features[0]), Format::Ell);
+    /// ```
+    pub fn fit(features: &[FeatureVector], labels: &[Format], config: SemiConfig) -> Self {
+        assert_eq!(features.len(), labels.len(), "one label per matrix");
+        assert!(!features.is_empty(), "cannot fit on an empty corpus");
+        let rows: Vec<Vec<f64>> = features.iter().map(|f| f.as_slice().to_vec()).collect();
+        let preprocessor = Preprocessor::fit_rows(&rows, Some(config.pca_dim));
+        let embedded: Vec<Vec<f64>> = rows.iter().map(|r| preprocessor.embed_row(r)).collect();
+
+        let clustering = match config.method {
+            ClusterMethod::KMeans { nc } => KMeans::new(nc, config.seed).fit(&embedded),
+            ClusterMethod::MeanShift => MeanShift::default().fit(&embedded),
+            ClusterMethod::Birch { nc } => Birch::new(nc, config.seed).fit(&embedded),
+        };
+
+        let mut selector = SemiSupervisedSelector {
+            config,
+            preprocessor,
+            clustering,
+            embedded,
+            labels: Vec::new(),
+        };
+        let all: Vec<usize> = (0..labels.len()).collect();
+        selector.label_clusters(&all, labels, None);
+        selector
+    }
+
+    /// (Re-)label every cluster from benchmark labels of a subset of
+    /// training matrices: `benchmarked[i]` is an index into the training
+    /// set and `labels[i]` its measured best format on the target
+    /// architecture. Clusters without any benchmarked member keep their
+    /// previous model if one exists, else default to CSR.
+    ///
+    /// This is the porting step: on a new architecture only the benchmarked
+    /// subset costs machine time; the clustering is reused unchanged.
+    pub fn relabel(&mut self, benchmarked: &[usize], labels: &[Format]) {
+        assert_eq!(benchmarked.len(), labels.len());
+        let old = std::mem::take(&mut self.labels);
+        self.label_clusters(benchmarked, labels, Some(old));
+    }
+
+    fn label_clusters(
+        &mut self,
+        benchmarked: &[usize],
+        labels: &[Format],
+        previous: Option<Vec<Format>>,
+    ) {
+        let nc = self.clustering.n_clusters();
+        // Group benchmarked samples by their cluster.
+        let mut by_cluster: Vec<Vec<(usize, Format)>> = vec![Vec::new(); nc];
+        for (pos, &i) in benchmarked.iter().enumerate() {
+            let c = self.clustering.assignments[i];
+            by_cluster[c].push((i, labels[pos]));
+        }
+        // Global majority as the fallback for clusters with no data.
+        let global = majority(labels, Format::Csr);
+
+        self.labels = (0..nc)
+            .map(|c| {
+                let members = &by_cluster[c];
+                if members.is_empty() {
+                    return match &previous {
+                        Some(old) => old[c],
+                        None => global,
+                    };
+                }
+                let member_labels: Vec<Format> = members.iter().map(|&(_, l)| l).collect();
+                let maj = majority(&member_labels, global);
+                let distinct = member_labels
+                    .iter()
+                    .collect::<std::collections::HashSet<_>>()
+                    .len();
+                // Pure or tiny clusters need no model; this is also what
+                // keeps LR/RF labeling cheap (paper Table 9).
+                if distinct <= 1 || members.len() < 4 {
+                    return maj;
+                }
+                let x: Vec<Vec<f64>> =
+                    members.iter().map(|&(i, _)| self.embedded[i].clone()).collect();
+                let y: Vec<usize> = member_labels.iter().map(|l| l.index()).collect();
+                let data = Dataset::new(x, y, Format::COUNT);
+                let centroid = &self.clustering.centroids[c];
+                match self.config.labeler {
+                    Labeler::Vote => maj,
+                    Labeler::LogisticRegression => {
+                        let mut lr = LogisticRegression::with_defaults();
+                        lr.fit(&data);
+                        Format::from_index(lr.predict_one(centroid))
+                    }
+                    Labeler::RandomForest => {
+                        let mut rf = RandomForest::new(RandomForestParams {
+                            n_estimators: 25,
+                            seed: self.config.seed ^ c as u64,
+                            ..Default::default()
+                        });
+                        rf.fit(&data);
+                        Format::from_index(rf.predict_one(centroid))
+                    }
+                }
+            })
+            .collect();
+    }
+
+    /// Number of clusters (the paper's NC column).
+    pub fn n_clusters(&self) -> usize {
+        self.clustering.n_clusters()
+    }
+
+    /// The fitted clustering.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// The fitted preprocessing pipeline.
+    pub fn preprocessor(&self) -> &Preprocessor {
+        &self.preprocessor
+    }
+
+    /// Predict the format for a matrix's feature vector: the label of the
+    /// nearest cluster.
+    pub fn predict(&self, features: &FeatureVector) -> Format {
+        let z = self.preprocessor.embed(features);
+        self.labels[self.clustering.assign(&z)]
+    }
+
+    /// The per-cluster format labels.
+    pub fn cluster_labels(&self) -> &[Format] {
+        &self.labels
+    }
+
+    /// Predict a batch of feature vectors.
+    pub fn predict_batch(&self, features: &[FeatureVector]) -> Vec<Format> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Explain a prediction: the cluster id, its centroid distance, the
+    /// cluster's size in the training set, and the decision rule used.
+    /// This is the "explainability" the paper contrasts with black-box
+    /// supervised models.
+    pub fn explain(&self, features: &FeatureVector) -> Explanation {
+        let z = self.preprocessor.embed(features);
+        let c = self.clustering.assign(&z);
+        let members = self
+            .clustering
+            .assignments
+            .iter()
+            .filter(|&&a| a == c)
+            .count();
+        let dist = spsel_ml::dist(&z, &self.clustering.centroids[c]);
+        let rule = match self.config.labeler {
+            Labeler::Vote => "majority vote over benchmarked members",
+            Labeler::LogisticRegression => "logistic regression at the cluster centroid",
+            Labeler::RandomForest => "random forest at the cluster centroid",
+        };
+        Explanation {
+            cluster: c,
+            centroid_distance: dist,
+            cluster_size: members,
+            rule,
+            format: self.labels[c],
+        }
+    }
+}
+
+/// A human-readable account of one prediction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Cluster the matrix was assigned to.
+    pub cluster: usize,
+    /// Euclidean distance to that cluster's centroid in the embedding.
+    pub centroid_distance: f64,
+    /// Number of training matrices in the cluster.
+    pub cluster_size: usize,
+    /// Decision rule applied inside the cluster.
+    pub rule: &'static str,
+    /// The predicted format.
+    pub format: Format,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spsel_matrix::{gen, CsrMatrix};
+
+    /// Features from two structurally distinct populations, labeled by
+    /// population (a clean clustering problem).
+    fn two_population_problem() -> (Vec<FeatureVector>, Vec<Format>) {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for s in 0..20u64 {
+            // Uniform stencils -> "ELL".
+            let csr = CsrMatrix::from(&gen::stencil2d(12 + s as usize % 8, s));
+            features.push(FeatureVector::from_csr(&csr));
+            labels.push(Format::Ell);
+            // Power-law graphs -> "CSR".
+            let csr = CsrMatrix::from(&gen::power_law(400, 400, 2, 2.2, 150, s));
+            features.push(FeatureVector::from_csr(&csr));
+            labels.push(Format::Csr);
+        }
+        (features, labels)
+    }
+
+    fn kmeans_cfg(labeler: Labeler) -> SemiConfig {
+        SemiConfig::new(ClusterMethod::KMeans { nc: 8 }, labeler, 42)
+    }
+
+    #[test]
+    fn separable_problem_is_learned_by_vote() {
+        let (features, labels) = two_population_problem();
+        let sel = SemiSupervisedSelector::fit(&features, &labels, kmeans_cfg(Labeler::Vote));
+        let preds = sel.predict_batch(&features);
+        let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+        assert!(
+            correct as f64 / labels.len() as f64 > 0.9,
+            "train accuracy {correct}/{}",
+            labels.len()
+        );
+    }
+
+    #[test]
+    fn all_labelers_work() {
+        let (features, labels) = two_population_problem();
+        for labeler in [Labeler::Vote, Labeler::LogisticRegression, Labeler::RandomForest] {
+            let sel = SemiSupervisedSelector::fit(&features, &labels, kmeans_cfg(labeler));
+            let preds = sel.predict_batch(&features);
+            let acc = preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f64
+                / labels.len() as f64;
+            assert!(acc > 0.8, "{}: accuracy {acc}", labeler.name());
+        }
+    }
+
+    #[test]
+    fn all_cluster_methods_work() {
+        let (features, labels) = two_population_problem();
+        for method in [
+            ClusterMethod::KMeans { nc: 6 },
+            ClusterMethod::MeanShift,
+            ClusterMethod::Birch { nc: 6 },
+        ] {
+            let sel = SemiSupervisedSelector::fit(
+                &features,
+                &labels,
+                SemiConfig::new(method, Labeler::Vote, 1),
+            );
+            assert!(sel.n_clusters() >= 1, "{}", method.name());
+            let preds = sel.predict_batch(&features);
+            let acc = preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f64
+                / labels.len() as f64;
+            assert!(acc > 0.6, "{}: accuracy {acc}", method.name());
+        }
+    }
+
+    #[test]
+    fn relabel_flips_cluster_labels() {
+        let (features, labels) = two_population_problem();
+        let mut sel =
+            SemiSupervisedSelector::fit(&features, &labels, kmeans_cfg(Labeler::Vote));
+        // Target architecture inverts the labels; relabel with everything.
+        let flipped: Vec<Format> = labels
+            .iter()
+            .map(|l| if *l == Format::Ell { Format::Csr } else { Format::Ell })
+            .collect();
+        let all: Vec<usize> = (0..labels.len()).collect();
+        sel.relabel(&all, &flipped);
+        let preds = sel.predict_batch(&features);
+        let acc = preds.iter().zip(&flipped).filter(|(p, l)| p == l).count() as f64
+            / labels.len() as f64;
+        assert!(acc > 0.9, "accuracy after relabel {acc}");
+    }
+
+    #[test]
+    fn relabel_with_partial_data_keeps_old_labels_elsewhere() {
+        let (features, labels) = two_population_problem();
+        let mut sel =
+            SemiSupervisedSelector::fit(&features, &labels, kmeans_cfg(Labeler::Vote));
+        let before = sel.predict_batch(&features);
+        // Relabel with an empty benchmark set: nothing must change.
+        sel.relabel(&[], &[]);
+        assert_eq!(sel.predict_batch(&features), before);
+    }
+
+    #[test]
+    fn explanation_is_consistent_with_prediction() {
+        let (features, labels) = two_population_problem();
+        let sel = SemiSupervisedSelector::fit(&features, &labels, kmeans_cfg(Labeler::Vote));
+        for f in features.iter().take(5) {
+            let e = sel.explain(f);
+            assert_eq!(e.format, sel.predict(f));
+            assert!(e.cluster < sel.n_clusters());
+            assert!(e.cluster_size >= 1);
+            assert!(e.centroid_distance.is_finite());
+        }
+    }
+
+    #[test]
+    fn majority_prefers_csr_on_tie() {
+        assert_eq!(
+            majority(&[Format::Coo, Format::Csr], Format::Hyb),
+            Format::Csr
+        );
+        assert_eq!(majority(&[], Format::Hyb), Format::Hyb);
+        assert_eq!(
+            majority(&[Format::Coo, Format::Coo, Format::Csr], Format::Hyb),
+            Format::Coo
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! The paper's selection-quality metrics: ACC / F1 / MCC plus the
+//! performance-oriented GT, CSR, and Threshold columns of Table 6.
+
+use serde::{Deserialize, Serialize};
+use spsel_gpusim::BenchResult;
+use spsel_matrix::Format;
+use spsel_ml::ConfusionMatrix;
+
+/// Slowdown factor over the CSR baseline that counts as a "significant"
+/// misprediction in the paper's Threshold column.
+pub const SLOWDOWN_THRESHOLD: f64 = 1.5;
+
+/// Classification and performance quality of a set of format predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectionQuality {
+    /// Classification accuracy.
+    pub acc: f64,
+    /// Support-weighted F1.
+    pub f1: f64,
+    /// Multiclass Matthews correlation coefficient.
+    pub mcc: f64,
+    /// Geometric-mean speedup relative to the oracle (always <= 1).
+    pub gt: f64,
+    /// Geometric-mean speedup relative to always-CSR.
+    pub csr: f64,
+    /// Matrices suffering a >= 1.5x slowdown over CSR from mispredictions.
+    pub threshold: usize,
+    /// Number of evaluated matrices.
+    pub n: usize,
+}
+
+/// Evaluate predictions against benchmark ground truth.
+///
+/// `results[i]` must be the benchmark outcome of the matrix whose
+/// prediction is `predictions[i]`.
+pub fn selection_quality(predictions: &[Format], results: &[BenchResult]) -> SelectionQuality {
+    assert_eq!(predictions.len(), results.len(), "one result per prediction");
+    let n = predictions.len();
+    let y_true: Vec<usize> = results.iter().map(|r| r.best.index()).collect();
+    let y_pred: Vec<usize> = predictions.iter().map(|p| p.index()).collect();
+    let cm = ConfusionMatrix::from_labels(&y_true, &y_pred, Format::COUNT);
+
+    let mut log_gt = 0.0;
+    let mut log_csr = 0.0;
+    let mut threshold = 0usize;
+    for (p, r) in predictions.iter().zip(results) {
+        let t_pred = r.times.get(*p);
+        let t_best = r.times.get(r.best);
+        let t_csr = r.times.get(Format::Csr);
+        // A predicted format that does not fit in memory is an infinite
+        // slowdown; clamp its contribution but count the threshold hit.
+        if !t_pred.is_finite() {
+            log_gt += (1.0f64 / 1e3).ln();
+            log_csr += (1.0f64 / 1e3).ln();
+            threshold += 1;
+            continue;
+        }
+        log_gt += (t_best / t_pred).ln();
+        log_csr += (t_csr / t_pred).ln();
+        if t_pred / t_csr >= SLOWDOWN_THRESHOLD {
+            threshold += 1;
+        }
+    }
+    let denom = n.max(1) as f64;
+    SelectionQuality {
+        acc: cm.accuracy(),
+        f1: cm.weighted_f1(),
+        mcc: cm.mcc(),
+        gt: (log_gt / denom).exp(),
+        csr: (log_csr / denom).exp(),
+        threshold,
+        n,
+    }
+}
+
+impl SelectionQuality {
+    /// Merge fold-level qualities into their average (the paper reports
+    /// means over 5-fold cross-validation).
+    pub fn average(folds: &[SelectionQuality]) -> SelectionQuality {
+        assert!(!folds.is_empty());
+        let k = folds.len() as f64;
+        SelectionQuality {
+            acc: folds.iter().map(|q| q.acc).sum::<f64>() / k,
+            f1: folds.iter().map(|q| q.f1).sum::<f64>() / k,
+            mcc: folds.iter().map(|q| q.mcc).sum::<f64>() / k,
+            gt: folds.iter().map(|q| q.gt).sum::<f64>() / k,
+            csr: folds.iter().map(|q| q.csr).sum::<f64>() / k,
+            threshold: (folds.iter().map(|q| q.threshold).sum::<usize>() as f64 / k).round()
+                as usize,
+            n: folds.iter().map(|q| q.n).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spsel_gpusim::SpmvTimes;
+
+    fn result(us: [f64; 4]) -> BenchResult {
+        let times = SpmvTimes { us };
+        BenchResult {
+            times,
+            best: times.best().unwrap(),
+        }
+    }
+
+    #[test]
+    fn oracle_prediction_is_perfect() {
+        let results = vec![
+            result([10.0, 5.0, 7.0, 20.0]),  // best CSR
+            result([10.0, 9.0, 4.0, 20.0]),  // best ELL
+        ];
+        let preds: Vec<Format> = results.iter().map(|r| r.best).collect();
+        let q = selection_quality(&preds, &results);
+        assert_eq!(q.acc, 1.0);
+        assert!((q.gt - 1.0).abs() < 1e-12);
+        assert!(q.csr >= 1.0);
+        assert_eq!(q.threshold, 0);
+    }
+
+    #[test]
+    fn always_csr_has_unit_csr_speedup() {
+        let results = vec![
+            result([10.0, 5.0, 7.0, 20.0]),
+            result([10.0, 9.0, 4.0, 20.0]),
+        ];
+        let preds = vec![Format::Csr, Format::Csr];
+        let q = selection_quality(&preds, &results);
+        assert!((q.csr - 1.0).abs() < 1e-12);
+        // GT speedup: sqrt(1 * 4/9).
+        assert!((q.gt - (4.0f64 / 9.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_counts_bad_mispredictions() {
+        let results = vec![
+            result([30.0, 10.0, 11.0, 40.0]), // CSR best
+        ];
+        // Predicting COO: 30/10 = 3x slowdown over CSR.
+        let q = selection_quality(&[Format::Coo], &results);
+        assert_eq!(q.threshold, 1);
+        assert!(q.csr < 1.0);
+        // Predicting ELL: 11/10 = 1.1x, below the 1.5 threshold.
+        let q = selection_quality(&[Format::Ell], &results);
+        assert_eq!(q.threshold, 0);
+    }
+
+    #[test]
+    fn infeasible_prediction_counts_as_threshold_hit() {
+        let results = vec![result([10.0, 5.0, f64::INFINITY, 20.0])];
+        let q = selection_quality(&[Format::Ell], &results);
+        assert_eq!(q.threshold, 1);
+        assert!(q.gt < 0.01);
+    }
+
+    #[test]
+    fn average_is_elementwise_mean() {
+        let a = SelectionQuality {
+            acc: 0.8,
+            f1: 0.8,
+            mcc: 0.5,
+            gt: 0.9,
+            csr: 1.0,
+            threshold: 4,
+            n: 10,
+        };
+        let b = SelectionQuality {
+            acc: 0.6,
+            f1: 0.6,
+            mcc: 0.3,
+            gt: 0.7,
+            csr: 1.2,
+            threshold: 8,
+            n: 10,
+        };
+        let m = SelectionQuality::average(&[a, b]);
+        assert!((m.acc - 0.7).abs() < 1e-12);
+        assert!((m.mcc - 0.4).abs() < 1e-12);
+        assert_eq!(m.threshold, 6);
+        assert_eq!(m.n, 20);
+    }
+}

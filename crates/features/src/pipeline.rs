@@ -1,0 +1,206 @@
+//! The paper's full preprocessing pipeline: transforms → min-max scaling
+//! → PCA.
+//!
+//! [`Preprocessor::fit`] learns every stage from training feature vectors
+//! and produces an 8-dimensional (configurable) embedding in which
+//! Euclidean distance correlates with matrix similarity — the input space
+//! of the clustering algorithms and the KNN predictor.
+
+use crate::{FeatureVector, MinMaxScaler, Pca, TransformSet};
+use serde::{Deserialize, Serialize};
+
+/// Default PCA dimensionality used in the paper.
+pub const DEFAULT_PCA_DIM: usize = 8;
+
+/// Fitted preprocessing pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Preprocessor {
+    transforms: TransformSet,
+    scaler: MinMaxScaler,
+    pca: Option<Pca>,
+}
+
+impl Preprocessor {
+    /// Fit the pipeline on raw feature rows. `pca_dim = None` skips PCA
+    /// (useful for ablations); `Some(k)` keeps the top `k` components.
+    pub fn fit_rows(rows: &[Vec<f64>], pca_dim: Option<usize>) -> Self {
+        assert!(!rows.is_empty(), "need training rows");
+        let transforms = TransformSet::auto(rows);
+        let transformed: Vec<Vec<f64>> = rows.iter().map(|r| transforms.apply(r)).collect();
+        let scaler = MinMaxScaler::fit(&transformed);
+        let scaled: Vec<Vec<f64>> = transformed.iter().map(|r| scaler.transform(r)).collect();
+        let pca = pca_dim.map(|k| Pca::fit(&scaled, k));
+        Preprocessor {
+            transforms,
+            scaler,
+            pca,
+        }
+    }
+
+    /// Fit on [`FeatureVector`]s with the paper's default 8-dim PCA.
+    pub fn fit(features: &[FeatureVector]) -> Self {
+        let rows: Vec<Vec<f64>> = features.iter().map(|f| f.as_slice().to_vec()).collect();
+        Self::fit_rows(&rows, Some(DEFAULT_PCA_DIM))
+    }
+
+    /// Fit without the transform stage (the naive pipeline the paper shows
+    /// to fail); still scales and projects.
+    pub fn fit_without_transforms(rows: &[Vec<f64>], pca_dim: Option<usize>) -> Self {
+        assert!(!rows.is_empty(), "need training rows");
+        let transforms = TransformSet::identity(rows[0].len());
+        let scaler = MinMaxScaler::fit(rows);
+        let scaled: Vec<Vec<f64>> = rows.iter().map(|r| scaler.transform(r)).collect();
+        let pca = pca_dim.map(|k| Pca::fit(&scaled, k));
+        Preprocessor {
+            transforms,
+            scaler,
+            pca,
+        }
+    }
+
+    /// Output dimensionality of the pipeline.
+    pub fn out_dim(&self) -> usize {
+        self.pca
+            .as_ref()
+            .map_or_else(|| self.scaler.dim(), |p| p.k())
+    }
+
+    /// The fitted transform stage.
+    pub fn transforms(&self) -> &TransformSet {
+        &self.transforms
+    }
+
+    /// The fitted PCA stage, if any.
+    pub fn pca(&self) -> Option<&Pca> {
+        self.pca.as_ref()
+    }
+
+    /// Embed one raw feature row.
+    pub fn embed_row(&self, row: &[f64]) -> Vec<f64> {
+        let t = self.transforms.apply(row);
+        let s = self.scaler.transform(&t);
+        match &self.pca {
+            Some(p) => p.transform(&s),
+            None => s,
+        }
+    }
+
+    /// Embed one [`FeatureVector`].
+    pub fn embed(&self, f: &FeatureVector) -> Vec<f64> {
+        self.embed_row(f.as_slice())
+    }
+
+    /// Embed a batch of feature vectors.
+    pub fn embed_all(&self, fs: &[FeatureVector]) -> Vec<Vec<f64>> {
+        fs.iter().map(|f| self.embed(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeatureId;
+    use spsel_matrix::{gen, CsrMatrix};
+
+    fn corpus_features() -> Vec<FeatureVector> {
+        let mut fs = Vec::new();
+        for seed in 0..6 {
+            fs.push(FeatureVector::from_csr(&CsrMatrix::from(&gen::random_uniform(
+                100 + seed as usize * 37,
+                120,
+                5,
+                seed,
+            ))));
+            fs.push(FeatureVector::from_csr(&CsrMatrix::from(&gen::power_law(
+                150, 150, 2, 2.2, 100, seed,
+            ))));
+            fs.push(FeatureVector::from_csr(&CsrMatrix::from(&gen::stencil2d(
+                10 + seed as usize,
+                seed,
+            ))));
+        }
+        fs
+    }
+
+    #[test]
+    fn default_pipeline_outputs_8_dims() {
+        let fs = corpus_features();
+        let pre = Preprocessor::fit(&fs);
+        assert_eq!(pre.out_dim(), DEFAULT_PCA_DIM);
+        for f in &fs {
+            assert_eq!(pre.embed(f).len(), DEFAULT_PCA_DIM);
+        }
+    }
+
+    #[test]
+    fn no_pca_keeps_feature_count() {
+        let fs = corpus_features();
+        let rows: Vec<Vec<f64>> = fs.iter().map(|f| f.as_slice().to_vec()).collect();
+        let pre = Preprocessor::fit_rows(&rows, None);
+        assert_eq!(pre.out_dim(), crate::NUM_FEATURES);
+    }
+
+    #[test]
+    fn embeddings_are_finite() {
+        let fs = corpus_features();
+        let pre = Preprocessor::fit(&fs);
+        for f in &fs {
+            for v in pre.embed(f) {
+                assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn transform_stage_compresses_dynamic_range() {
+        // Corpus with log-spread sizes: the nnz column is heavy-tailed, so
+        // the auto policy must log-transform it, and in the transformed
+        // space a mid-size matrix should sit genuinely between a tiny and a
+        // huge one instead of collapsing onto the tiny one.
+        let mut fs = Vec::new();
+        for (i, n) in [50usize, 70, 90, 120, 160, 220, 300, 400, 550, 750, 1000, 1400, 1900,
+            2600, 3500, 4800, 6500, 8800, 12000]
+        .iter()
+        .enumerate()
+        {
+            fs.push(FeatureVector::from_csr(&CsrMatrix::from(
+                &gen::random_uniform(*n, *n, 8, i as u64),
+            )));
+        }
+        let rows: Vec<Vec<f64>> = fs.iter().map(|f| f.as_slice().to_vec()).collect();
+
+        let with = Preprocessor::fit_rows(&rows, None);
+        let without = Preprocessor::fit_without_transforms(&rows, None);
+        assert_ne!(
+            with.transforms().transforms()[FeatureId::Nnz.index()],
+            crate::Transform::Identity,
+            "nnz column must be detected as skewed"
+        );
+
+        // Look at the nnz coordinate (no PCA, so columns are preserved):
+        // without transforms the mid-size matrix collapses onto the small
+        // one; with the variance-stabilizing transform it sits much closer
+        // to the middle of the [small, huge] interval.
+        let (small, mid, huge) = (&fs[0], &fs[9], &fs[18]);
+        let j = FeatureId::Nnz.index();
+        let rel = |p: &Preprocessor| -> f64 {
+            let (s, m, h) = (p.embed(small)[j], p.embed(mid)[j], p.embed(huge)[j]);
+            (m - s) / (h - s)
+        };
+        let (r_with, r_without) = (rel(&with), rel(&without));
+        assert!(
+            r_with > 2.0 * r_without,
+            "transforms should spread mid-size matrices: {r_with} vs {r_without}"
+        );
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let fs = corpus_features();
+        let a = Preprocessor::fit(&fs);
+        let b = Preprocessor::fit(&fs);
+        for f in &fs {
+            assert_eq!(a.embed(f), b.embed(f));
+        }
+    }
+}

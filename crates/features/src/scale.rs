@@ -1,0 +1,121 @@
+//! Min-max scaling of feature columns to `[0, 1]`.
+//!
+//! Distance-based methods (K-Means, KNN, Mean-Shift, Birch) need features
+//! on a common scale; tree-based classifiers do not care. The scaler is fit
+//! on training rows and clamps unseen out-of-range values into `[0, 1]` so
+//! inference-time outliers cannot explode distances.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-column min-max scaler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fit column ranges on training rows.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or rows have inconsistent widths.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "need training rows to fit scaler");
+        let dim = rows[0].len();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for r in rows {
+            assert_eq!(r.len(), dim, "row width mismatch");
+            for j in 0..dim {
+                mins[j] = mins[j].min(r[j]);
+                maxs[j] = maxs[j].max(r[j]);
+            }
+        }
+        MinMaxScaler { mins, maxs }
+    }
+
+    /// Number of columns.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Fitted column minima.
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Fitted column maxima.
+    pub fn maxs(&self) -> &[f64] {
+        &self.maxs
+    }
+
+    /// Scale a row in place, clamping to `[0, 1]`. Constant columns map
+    /// to `0.0`.
+    pub fn transform_in_place(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.dim(), "row width mismatch");
+        for j in 0..row.len() {
+            let range = self.maxs[j] - self.mins[j];
+            row[j] = if range <= 0.0 {
+                0.0
+            } else {
+                ((row[j] - self.mins[j]) / range).clamp(0.0, 1.0)
+            };
+        }
+    }
+
+    /// Scale a row into a new vector.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = row.to_vec();
+        self.transform_in_place(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<f64>> {
+        vec![vec![0.0, 10.0, 5.0], vec![2.0, 30.0, 5.0], vec![1.0, 20.0, 5.0]]
+    }
+
+    #[test]
+    fn training_rows_map_into_unit_interval() {
+        let s = MinMaxScaler::fit(&rows());
+        for r in rows() {
+            for v in s.transform(&r) {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        assert_eq!(s.transform(&[0.0, 10.0, 5.0]), vec![0.0, 0.0, 0.0]);
+        assert_eq!(s.transform(&[2.0, 30.0, 5.0]), vec![1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let s = MinMaxScaler::fit(&rows());
+        assert_eq!(s.transform(&[1.0, 20.0, 123.0])[2], 0.0);
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let s = MinMaxScaler::fit(&rows());
+        let t = s.transform(&[-10.0, 100.0, 5.0]);
+        assert_eq!(t[0], 0.0);
+        assert_eq!(t[1], 1.0);
+    }
+
+    #[test]
+    fn midpoint_scales_linearly() {
+        let s = MinMaxScaler::fit(&rows());
+        let t = s.transform(&[1.0, 20.0, 5.0]);
+        assert!((t[0] - 0.5).abs() < 1e-15);
+        assert!((t[1] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fit_panics_on_empty() {
+        MinMaxScaler::fit(&[]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Per-feature variance-stabilizing transforms.
+//!
+//! The paper's key observation: several Table 1 features follow power-law
+//! distributions over a realistic corpus, so Euclidean-distance clustering
+//! on raw values degenerates into outlier clusters. A `log` (or `sqrt`)
+//! transform applied to sparsely-distributed features before scaling fixes
+//! this. [`TransformSet::auto`] reproduces that policy by measuring the
+//! skewness of every feature column.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotone per-feature transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Transform {
+    /// Leave the value unchanged.
+    Identity,
+    /// `ln(1 + max(x, 0))`: for heavy-tailed counts and sizes.
+    Log1p,
+    /// `sqrt(max(x, 0))`: for moderately skewed features.
+    Sqrt,
+}
+
+impl Transform {
+    /// Apply the transform to one value.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Transform::Identity => x,
+            Transform::Log1p => (1.0 + x.max(0.0)).ln(),
+            Transform::Sqrt => x.max(0.0).sqrt(),
+        }
+    }
+}
+
+/// Sample skewness `E[(x - mu)^3] / sigma^3` of a value slice.
+pub fn skewness(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let mut m2 = 0.0;
+    let mut m3 = 0.0;
+    for &x in xs {
+        let d = x - mean;
+        m2 += d * d;
+        m3 += d * d * d;
+    }
+    m2 /= n as f64;
+    m3 /= n as f64;
+    if m2 <= 1e-300 {
+        0.0
+    } else {
+        m3 / m2.powf(1.5)
+    }
+}
+
+/// Skewness above which a column gets `log1p`.
+pub const LOG_SKEW_THRESHOLD: f64 = 2.0;
+/// Skewness above which a column gets `sqrt`.
+pub const SQRT_SKEW_THRESHOLD: f64 = 0.75;
+
+/// One transform per feature column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformSet {
+    transforms: Vec<Transform>,
+}
+
+impl TransformSet {
+    /// All-identity set for `dim` columns.
+    pub fn identity(dim: usize) -> Self {
+        TransformSet {
+            transforms: vec![Transform::Identity; dim],
+        }
+    }
+
+    /// Explicit per-column transforms.
+    pub fn new(transforms: Vec<Transform>) -> Self {
+        TransformSet { transforms }
+    }
+
+    /// Choose a transform per column from the column's skewness over the
+    /// training rows: strongly skewed columns get `log1p`, moderately
+    /// skewed ones `sqrt`, the rest are left alone.
+    pub fn auto(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "need training rows to fit transforms");
+        let dim = rows[0].len();
+        let mut transforms = Vec::with_capacity(dim);
+        let mut col = vec![0.0; rows.len()];
+        for j in 0..dim {
+            for (i, r) in rows.iter().enumerate() {
+                col[i] = r[j];
+            }
+            let sk = skewness(&col);
+            transforms.push(if sk > LOG_SKEW_THRESHOLD {
+                Transform::Log1p
+            } else if sk > SQRT_SKEW_THRESHOLD {
+                Transform::Sqrt
+            } else {
+                Transform::Identity
+            });
+        }
+        TransformSet { transforms }
+    }
+
+    /// Number of columns this set covers.
+    pub fn dim(&self) -> usize {
+        self.transforms.len()
+    }
+
+    /// The per-column transforms.
+    pub fn transforms(&self) -> &[Transform] {
+        &self.transforms
+    }
+
+    /// Transform a row in place.
+    pub fn apply_in_place(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.transforms.len(), "row width mismatch");
+        for (x, t) in row.iter_mut().zip(&self.transforms) {
+            *x = t.apply(*x);
+        }
+    }
+
+    /// Transform a row into a new vector.
+    pub fn apply(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = row.to_vec();
+        self.apply_in_place(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transforms_are_monotone() {
+        for t in [Transform::Identity, Transform::Log1p, Transform::Sqrt] {
+            let mut prev = t.apply(0.0);
+            for i in 1..100 {
+                let v = t.apply(i as f64 * 0.5);
+                assert!(v >= prev, "{t:?} not monotone");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn log1p_of_zero_is_zero() {
+        assert_eq!(Transform::Log1p.apply(0.0), 0.0);
+        assert_eq!(Transform::Sqrt.apply(0.0), 0.0);
+    }
+
+    #[test]
+    fn negative_inputs_clamped() {
+        assert_eq!(Transform::Log1p.apply(-5.0), 0.0);
+        assert_eq!(Transform::Sqrt.apply(-5.0), 0.0);
+    }
+
+    #[test]
+    fn skewness_of_symmetric_data_is_zero() {
+        let xs = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&xs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewness_detects_heavy_tail() {
+        // Power-law-ish sample: mostly small values, one huge.
+        let mut xs = vec![1.0; 99];
+        xs.push(1000.0);
+        assert!(skewness(&xs) > 5.0);
+    }
+
+    #[test]
+    fn skewness_degenerate_cases() {
+        assert_eq!(skewness(&[]), 0.0);
+        assert_eq!(skewness(&[3.0]), 0.0);
+        assert_eq!(skewness(&[2.0, 2.0, 2.0]), 0.0); // zero variance
+    }
+
+    #[test]
+    fn auto_picks_log_for_power_law_column() {
+        // Column 0: power-law; column 1: uniform.
+        let rows: Vec<Vec<f64>> = (1..=200)
+            .map(|i| {
+                let pl = if i % 50 == 0 { 1e6 } else { i as f64 };
+                vec![pl, i as f64 % 7.0]
+            })
+            .collect();
+        let ts = TransformSet::auto(&rows);
+        assert_eq!(ts.transforms()[0], Transform::Log1p);
+        assert_eq!(ts.transforms()[1], Transform::Identity);
+    }
+
+    #[test]
+    fn apply_respects_columns() {
+        let ts = TransformSet::new(vec![Transform::Log1p, Transform::Identity]);
+        let out = ts.apply(&[std::f64::consts::E - 1.0, 5.0]);
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        assert_eq!(out[1], 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn apply_panics_on_width_mismatch() {
+        TransformSet::identity(3).apply(&[1.0, 2.0]);
+    }
+}

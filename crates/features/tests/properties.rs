@@ -1,0 +1,110 @@
+//! Property-based tests of the feature-extraction and preprocessing
+//! invariants the selector relies on.
+
+use proptest::prelude::*;
+use spsel_features::{FeatureId, FeatureVector, MatrixStats, MinMaxScaler, Pca, Preprocessor};
+
+/// Random row-count vectors (the input MatrixStats is derived from).
+fn arb_counts() -> impl Strategy<Value = (usize, Vec<usize>)> {
+    (1usize..40).prop_flat_map(|nrows| {
+        proptest::collection::vec(0usize..50, nrows).prop_map(move |c| (nrows, c))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stats_identities_hold((nrows, counts) in arb_counts()) {
+        let ncols = 64usize;
+        let s = MatrixStats::from_row_counts(nrows, ncols, &counts);
+        prop_assert_eq!(s.nnz, counts.iter().sum::<usize>());
+        prop_assert!(s.nnz_min <= s.nnz_max);
+        prop_assert!(s.nnz_mean >= s.nnz_min as f64 - 1e-12);
+        prop_assert!(s.nnz_mean <= s.nnz_max as f64 + 1e-12);
+        // ELL slab always at least as large as nnz; HYB parts partition nnz.
+        prop_assert!(s.ell_size >= s.nnz);
+        prop_assert_eq!(s.hyb_ell_nnz + s.hyb_coo_nnz, s.nnz);
+        prop_assert!(s.hyb_ell_size >= s.hyb_ell_nnz);
+        // csr_max is between the max row and the whole matrix.
+        prop_assert!(s.csr_max >= s.nnz_max);
+        prop_assert!(s.csr_max <= s.nnz);
+        // Fractions bounded.
+        prop_assert!((0.0..=1.0).contains(&s.ell_fraction()));
+        prop_assert!((0.0..=1.0).contains(&s.hyb_ell_fraction()));
+    }
+
+    #[test]
+    fn feature_vector_is_finite((nrows, counts) in arb_counts()) {
+        let s = MatrixStats::from_row_counts(nrows, 64, &counts);
+        let fv = FeatureVector::from_stats(&s);
+        for id in FeatureId::ALL {
+            prop_assert!(fv.get(id).is_finite(), "{} not finite", id);
+        }
+        // Derived differences are consistent.
+        let max_mu = fv.get(FeatureId::NnzMax) - fv.get(FeatureId::NnzMu);
+        prop_assert!((fv.get(FeatureId::MaxMu) - max_mu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaler_maps_training_rows_into_unit_cube(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e6f64..1e6, 3), 1..40)
+    ) {
+        let scaler = MinMaxScaler::fit(&rows);
+        for r in &rows {
+            for v in scaler.transform(r) {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn full_rank_pca_preserves_pairwise_distances(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 3), 4..20)
+    ) {
+        // PCA with k = dim is an isometry up to centering.
+        let pca = Pca::fit(&rows, 3);
+        if pca.explained_variance().iter().all(|&v| v > 1e-9) {
+            let d_orig = dist(&rows[0], &rows[1]);
+            let z0 = pca.transform(&rows[0]);
+            let z1 = pca.transform(&rows[1]);
+            let d_proj = dist(&z0, &z1);
+            prop_assert!((d_orig - d_proj).abs() < 1e-6 * (1.0 + d_orig));
+        }
+    }
+
+    #[test]
+    fn preprocessor_embeddings_are_deterministic_and_finite(
+        seeds in proptest::collection::vec(0u64..500, 5..12)
+    ) {
+        use spsel_matrix::{gen, CsrMatrix};
+        let features: Vec<FeatureVector> = seeds
+            .iter()
+            .map(|&s| {
+                FeatureVector::from_csr(&CsrMatrix::from(&gen::random_uniform(
+                    50 + (s as usize % 100),
+                    80,
+                    4,
+                    s,
+                )))
+            })
+            .collect();
+        let a = Preprocessor::fit(&features);
+        let b = Preprocessor::fit(&features);
+        for f in &features {
+            let za = a.embed(f);
+            prop_assert_eq!(&za, &b.embed(f));
+            prop_assert!(za.iter().all(|v| v.is_finite()));
+        }
+    }
+}
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}

@@ -1,0 +1,133 @@
+//! Corpus benchmarking: turn matrix statistics into ground-truth labels.
+
+use crate::model::{predict_times, SpmvTimes};
+use crate::spec::GpuSpec;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use spsel_features::MatrixStats;
+use spsel_matrix::Format;
+
+/// Benchmark outcome for one matrix on one GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchResult {
+    /// Modeled kernel times.
+    pub times: SpmvTimes,
+    /// Fastest feasible format (the ground-truth label).
+    pub best: Format,
+}
+
+/// Benchmark a corpus: one result per matrix, `None` when no format fits
+/// in device memory (the paper drops such matrices from that GPU's
+/// dataset).
+///
+/// `ids[i]` is the stable identifier of matrix `i`, used to seed the
+/// deterministic measurement noise.
+pub fn benchmark_corpus(
+    spec: &GpuSpec,
+    stats: &[MatrixStats],
+    ids: &[u64],
+) -> Vec<Option<BenchResult>> {
+    assert_eq!(stats.len(), ids.len(), "one id per matrix");
+    stats
+        .par_iter()
+        .zip(ids.par_iter())
+        .map(|(s, &id)| {
+            let times = predict_times(spec, s, id);
+            times.best().map(|best| BenchResult { times, best })
+        })
+        .collect()
+}
+
+/// Count the best-format label distribution of benchmark results (Table 3
+/// rows). Index order matches [`Format::ALL`].
+pub fn label_distribution(results: &[Option<BenchResult>]) -> [usize; 4] {
+    let mut counts = [0usize; 4];
+    for r in results.iter().flatten() {
+        counts[r.best.index()] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{pascal_gtx1080, volta_v100};
+
+    fn corpus() -> (Vec<MatrixStats>, Vec<u64>) {
+        let mut stats = Vec::new();
+        // Uniform ELL-friendly matrices.
+        for i in 0..5usize {
+            stats.push(MatrixStats::from_row_counts(
+                50_000 + i * 1000,
+                50_000,
+                &vec![12usize; 50_000 + i * 1000],
+            ));
+        }
+        // Irregular CSR-friendly matrices.
+        for i in 0..5usize {
+            let mut counts = vec![4usize; 40_000];
+            for j in (0..40_000).step_by(37 + i) {
+                counts[j] = 50;
+            }
+            stats.push(MatrixStats::from_row_counts(40_000, 40_000, &counts));
+        }
+        let ids = (0..stats.len() as u64).collect();
+        (stats, ids)
+    }
+
+    #[test]
+    fn corpus_gets_labels() {
+        let (stats, ids) = corpus();
+        let results = benchmark_corpus(&pascal_gtx1080(), &stats, &ids);
+        assert_eq!(results.len(), 10);
+        assert!(results.iter().all(|r| r.is_some()));
+        let dist = label_distribution(&results);
+        assert_eq!(dist.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn uniform_and_irregular_get_different_labels() {
+        let (stats, ids) = corpus();
+        let results = benchmark_corpus(&volta_v100(), &stats, &ids);
+        let first = results[0].unwrap().best;
+        let last = results[9].unwrap().best;
+        assert_ne!(first, last, "uniform vs irregular should differ");
+    }
+
+    #[test]
+    fn oom_matrix_yields_none_only_when_everything_oom() {
+        // All formats need > 0.45 * 8 GB on Pascal: ~2B nonzeros. Built
+        // literally because a 400M-entry row-count vector is pointless.
+        let s = MatrixStats {
+            nrows: 400_000_000,
+            ncols: 400_000_000,
+            nnz: 2_000_000_000,
+            nnz_min: 5,
+            nnz_max: 5,
+            nnz_mean: 5.0,
+            nnz_std: 0.0,
+            sig_lower: 0.0,
+            sig_higher: 0.0,
+            csr_max: 160,
+            hyb_ell_width: 5,
+            hyb_ell_size: 2_000_000_000,
+            hyb_ell_nnz: 2_000_000_000,
+            hyb_coo_nnz: 0,
+            diagonals: 5,
+            dia_size: 2_000_000_000,
+            ell_size: 2_000_000_000,
+        };
+        let results = benchmark_corpus(&pascal_gtx1080(), &[s], &[0]);
+        assert!(results[0].is_none());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (stats, ids) = corpus();
+        let a = benchmark_corpus(&pascal_gtx1080(), &stats, &ids);
+        let b = benchmark_corpus(&pascal_gtx1080(), &stats, &ids);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.map(|r| r.best), y.map(|r| r.best));
+        }
+    }
+}

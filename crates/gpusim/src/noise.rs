@@ -1,0 +1,94 @@
+//! Deterministic measurement noise.
+//!
+//! Real SpMV benchmarks are noisy; the paper averages 100 trials per
+//! (matrix, format). The model reproduces the residual noise of that
+//! averaged measurement with a small multiplicative lognormal term that is
+//! a pure function of `(matrix, format, gpu)`, so every experiment in the
+//! workspace is exactly reproducible.
+
+/// Relative standard deviation of the averaged measurement.
+pub const NOISE_SIGMA: f64 = 0.02;
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform value in `[0, 1)` from a hash key.
+#[inline]
+pub fn hash_unit(key: u64) -> f64 {
+    (splitmix64(key) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Approximately standard-normal value from a hash key (sum of four
+/// uniforms, variance-corrected; adequate for mild multiplicative noise).
+pub fn hash_gaussian(key: u64) -> f64 {
+    let mut s = 0.0;
+    for i in 0..4 {
+        s += hash_unit(key.wrapping_add(i).wrapping_mul(0x2545_f491_4f6c_dd1d));
+    }
+    // Sum of 4 U(0,1): mean 2, variance 4/12 = 1/3.
+    (s - 2.0) / (1.0f64 / 3.0).sqrt()
+}
+
+/// Multiplicative noise factor for a `(matrix, format, gpu)` measurement.
+pub fn noise_factor(matrix_id: u64, format_idx: usize, gpu_idx: usize) -> f64 {
+    let key = matrix_id
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((format_idx as u64) << 32)
+        .wrapping_add(gpu_idx as u64 + 1);
+    (NOISE_SIGMA * hash_gaussian(key)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(noise_factor(42, 1, 2), noise_factor(42, 1, 2));
+        assert_ne!(noise_factor(42, 1, 2), noise_factor(42, 1, 1));
+        assert_ne!(noise_factor(42, 1, 2), noise_factor(43, 1, 2));
+    }
+
+    #[test]
+    fn noise_is_mild() {
+        for m in 0..500u64 {
+            for f in 0..4 {
+                let n = noise_factor(m, f, 0);
+                assert!((0.85..=1.18).contains(&n), "noise {n} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_mean_near_one() {
+        let mean: f64 = (0..2000u64)
+            .map(|m| noise_factor(m, 0, 1))
+            .sum::<f64>()
+            / 2000.0;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn hash_unit_in_range() {
+        for k in 0..1000 {
+            let u = hash_unit(k);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let n = 5000;
+        let vals: Vec<f64> = (0..n).map(|k| hash_gaussian(k as u64 * 7919)).collect();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,223 @@
+//! GPU hardware specifications (the paper's Table 2) plus per-architecture
+//! kernel coefficients.
+
+use serde::{Deserialize, Serialize};
+
+/// The three GPU architectures evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gpu {
+    /// NVIDIA GeForce GTX 1080 (desktop/gaming).
+    Pascal,
+    /// NVIDIA Volta V100 SXM3 (HPC).
+    Volta,
+    /// NVIDIA Quadro RTX 8000 (workstation).
+    Turing,
+}
+
+impl Gpu {
+    /// All three GPUs in the paper's column order.
+    pub const ALL: [Gpu; 3] = [Gpu::Pascal, Gpu::Volta, Gpu::Turing];
+
+    /// Architecture name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gpu::Pascal => "Pascal",
+            Gpu::Volta => "Volta",
+            Gpu::Turing => "Turing",
+        }
+    }
+
+    /// The full specification for this architecture.
+    pub fn spec(self) -> GpuSpec {
+        match self {
+            Gpu::Pascal => pascal_gtx1080(),
+            Gpu::Volta => volta_v100(),
+            Gpu::Turing => turing_rtx8000(),
+        }
+    }
+}
+
+impl std::fmt::Display for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-architecture kernel-efficiency coefficients.
+///
+/// These are the calibration knobs of the model: they encode how well each
+/// CUSP kernel maps onto each microarchitecture (e.g. the COO
+/// segmented-reduction kernel is relatively stronger on Turing than on
+/// Volta), which is the mechanism behind the paper's observation that
+/// optimal-format labels differ across GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelCoeffs {
+    /// Fixed overhead per kernel launch, microseconds.
+    pub launch_us: f64,
+    /// Per-element cost of a serially processed row in the scalar CSR
+    /// kernel, nanoseconds (memory latency per dependent load).
+    pub serial_ns: f64,
+    /// Streaming inefficiency of the scalar CSR kernel (uncoalesced
+    /// per-thread row walks), multiplier >= 1.
+    pub csr_penalty: f64,
+    /// Warp-divergence sensitivity of the scalar CSR kernel: threads with
+    /// short rows idle while the longest row in their warp finishes, so
+    /// effective bandwidth drops with the max/mean row-length ratio.
+    pub csr_divergence: f64,
+    /// Streaming inefficiency of the COO segmented-reduction kernel.
+    pub coo_factor: f64,
+    /// Streaming efficiency of the fully coalesced ELL kernel.
+    pub ell_factor: f64,
+    /// Extra kernel launches of the HYB two-phase execution.
+    pub hyb_extra_launches: f64,
+    /// Fraction of device memory a format structure may occupy before the
+    /// benchmark run is considered out-of-memory.
+    pub mem_fraction: f64,
+}
+
+/// Full description of one GPU: Table 2 hardware numbers plus kernel
+/// coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Architecture tag.
+    pub gpu: Gpu,
+    /// Marketing model name.
+    pub model: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sms: usize,
+    /// L1 cache per SM, KiB.
+    pub l1_kib: usize,
+    /// L2 cache, KiB.
+    pub l2_kib: usize,
+    /// Device memory, GB.
+    pub memory_gb: usize,
+    /// Memory bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+    /// Kernel coefficients.
+    pub coeffs: KernelCoeffs,
+}
+
+impl GpuSpec {
+    /// Maximum resident threads the model assumes (2048 per SM).
+    pub fn max_threads(&self) -> f64 {
+        (self.sms * 2048) as f64
+    }
+
+    /// L2 size in bytes.
+    pub fn l2_bytes(&self) -> f64 {
+        (self.l2_kib * 1024) as f64
+    }
+
+    /// Device memory in bytes.
+    pub fn memory_bytes(&self) -> f64 {
+        self.memory_gb as f64 * 1e9
+    }
+
+    /// Bandwidth in bytes per microsecond.
+    pub fn bytes_per_us(&self) -> f64 {
+        self.bandwidth_gbs * 1e3
+    }
+}
+
+/// NVIDIA GeForce GTX 1080 (Pascal): Table 2 column 1.
+pub fn pascal_gtx1080() -> GpuSpec {
+    GpuSpec {
+        gpu: Gpu::Pascal,
+        model: "GTX 1080",
+        sms: 20,
+        l1_kib: 48,
+        l2_kib: 2048,
+        memory_gb: 8,
+        bandwidth_gbs: 320.0,
+        coeffs: KernelCoeffs {
+            launch_us: 3.5,
+            serial_ns: 14.0,
+            csr_divergence: 0.03,
+            csr_penalty: 1.15,
+            coo_factor: 1.95,
+            ell_factor: 1.09,
+            hyb_extra_launches: 2.0,
+            mem_fraction: 0.45,
+        },
+    }
+}
+
+/// NVIDIA Volta V100 SXM3: Table 2 column 2.
+pub fn volta_v100() -> GpuSpec {
+    GpuSpec {
+        gpu: Gpu::Volta,
+        model: "V100 SXM3",
+        sms: 80,
+        l1_kib: 128,
+        l2_kib: 6144,
+        memory_gb: 32,
+        bandwidth_gbs: 897.0,
+        coeffs: KernelCoeffs {
+            launch_us: 4.0,
+            serial_ns: 8.0,
+            csr_divergence: 0.02,
+            csr_penalty: 1.10,
+            coo_factor: 2.6,
+            ell_factor: 1.05,
+            hyb_extra_launches: 2.0,
+            mem_fraction: 0.45,
+        },
+    }
+}
+
+/// NVIDIA Quadro RTX 8000 (Turing): Table 2 column 3.
+pub fn turing_rtx8000() -> GpuSpec {
+    GpuSpec {
+        gpu: Gpu::Turing,
+        model: "RTX 8000",
+        sms: 72,
+        l1_kib: 64,
+        l2_kib: 6144,
+        memory_gb: 48,
+        bandwidth_gbs: 672.0,
+        coeffs: KernelCoeffs {
+            launch_us: 3.8,
+            serial_ns: 10.0,
+            csr_divergence: 0.03,
+            csr_penalty: 1.12,
+            coo_factor: 1.35,
+            ell_factor: 1.22,
+            hyb_extra_launches: 1.5,
+            mem_fraction: 0.45,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_hardware_numbers() {
+        let p = pascal_gtx1080();
+        assert_eq!((p.sms, p.l1_kib, p.l2_kib, p.memory_gb), (20, 48, 2048, 8));
+        assert_eq!(p.bandwidth_gbs, 320.0);
+        let v = volta_v100();
+        assert_eq!((v.sms, v.l1_kib, v.l2_kib, v.memory_gb), (80, 128, 6144, 32));
+        assert_eq!(v.bandwidth_gbs, 897.0);
+        let t = turing_rtx8000();
+        assert_eq!((t.sms, t.l1_kib, t.l2_kib, t.memory_gb), (72, 64, 6144, 48));
+        assert_eq!(t.bandwidth_gbs, 672.0);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let p = pascal_gtx1080();
+        assert_eq!(p.max_threads(), 40960.0);
+        assert_eq!(p.l2_bytes(), 2048.0 * 1024.0);
+        assert_eq!(p.bytes_per_us(), 320_000.0);
+    }
+
+    #[test]
+    fn gpu_enum_roundtrip() {
+        for g in Gpu::ALL {
+            assert_eq!(g.spec().gpu, g);
+        }
+        assert_eq!(Gpu::Turing.to_string(), "Turing");
+    }
+}

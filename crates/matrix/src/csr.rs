@@ -1,0 +1,285 @@
+//! Compressed sparse row (CSR): the default, most general format.
+//!
+//! CSR compresses the COO row array into `nrows + 1` row start offsets.
+//! Its kernel iterates rows, which maps to the CUSP *scalar* CSR GPU kernel
+//! (one thread per row) whose load imbalance the paper's `csr_max` feature
+//! quantifies.
+
+use crate::{CooMatrix, MatrixError, Result, SpMv};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Sparse matrix in CSR format.
+///
+/// Invariants: `row_ptr` is monotone with `row_ptr[0] == 0` and
+/// `row_ptr[nrows] == nnz`; column indices within each row are strictly
+/// increasing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build directly from raw CSR arrays, validating all invariants.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        vals: Vec<f64>,
+    ) -> Result<Self> {
+        if row_ptr.len() != nrows + 1 {
+            return Err(MatrixError::DimensionMismatch {
+                expected: nrows + 1,
+                got: row_ptr.len(),
+                what: "row_ptr",
+            });
+        }
+        if col_idx.len() != vals.len() {
+            return Err(MatrixError::DimensionMismatch {
+                expected: col_idx.len(),
+                got: vals.len(),
+                what: "vals",
+            });
+        }
+        if row_ptr[0] != 0 || row_ptr[nrows] != col_idx.len() {
+            return Err(MatrixError::Parse {
+                line: 0,
+                msg: "row_ptr must start at 0 and end at nnz".into(),
+            });
+        }
+        for r in 0..nrows {
+            if row_ptr[r] > row_ptr[r + 1] {
+                return Err(MatrixError::Parse {
+                    line: 0,
+                    msg: format!("row_ptr not monotone at row {r}"),
+                });
+            }
+            let mut prev: Option<u32> = None;
+            for &c in &col_idx[row_ptr[r]..row_ptr[r + 1]] {
+                if c as usize >= ncols {
+                    return Err(MatrixError::IndexOutOfBounds {
+                        row: r,
+                        col: c as usize,
+                        nrows,
+                        ncols,
+                    });
+                }
+                if let Some(p) = prev {
+                    if c <= p {
+                        return Err(MatrixError::DuplicateEntry {
+                            row: r,
+                            col: c as usize,
+                        });
+                    }
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        })
+    }
+
+    /// Row pointer array (`nrows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index array (length `nnz`).
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Value array (length `nnz`).
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Number of nonzeros in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// `(col_idx, vals)` slices for row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        (&self.col_idx[s..e], &self.vals[s..e])
+    }
+
+    /// Iterate `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r, c as usize, v))
+        })
+    }
+
+    /// Number of nonzeros per row as a vector (O(nrows)).
+    pub fn row_counts(&self) -> Vec<usize> {
+        (0..self.nrows).map(|r| self.row_nnz(r)).collect()
+    }
+}
+
+impl From<&CooMatrix> for CsrMatrix {
+    fn from(coo: &CooMatrix) -> Self {
+        let nrows = coo.nrows();
+        let mut row_ptr = vec![0usize; nrows + 1];
+        for &r in coo.row_indices() {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for r in 0..nrows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrMatrix {
+            nrows,
+            ncols: coo.ncols(),
+            row_ptr,
+            col_idx: coo.col_indices().to_vec(),
+            vals: coo.values().to_vec(),
+        }
+    }
+}
+
+impl From<&CsrMatrix> for CooMatrix {
+    fn from(csr: &CsrMatrix) -> Self {
+        let mut rows = Vec::with_capacity(csr.nnz());
+        for r in 0..csr.nrows {
+            rows.extend(std::iter::repeat(r as u32).take(csr.row_nnz(r)));
+        }
+        CooMatrix::from_sorted_parts(
+            csr.nrows,
+            csr.ncols,
+            rows,
+            csr.col_idx.clone(),
+            csr.vals.clone(),
+        )
+    }
+}
+
+impl SpMv for CsrMatrix {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.check_dims(x, y).unwrap();
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            let mut sum = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                sum += v * x[*c as usize];
+            }
+            y[r] = sum;
+        }
+    }
+
+    /// Row-parallel kernel (the analogue of CUSP's thread-per-row kernel).
+    fn spmv_par(&self, x: &[f64], y: &mut [f64]) {
+        self.check_dims(x, y).unwrap();
+        y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+            let (cols, vals) = self.row(r);
+            let mut sum = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                sum += v * x[*c as usize];
+            }
+            *yr = sum;
+        });
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.nrows + 1) * std::mem::size_of::<usize>() + self.vals.len() * (4 + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_coo() -> CooMatrix {
+        CooMatrix::from_triplets(
+            4,
+            4,
+            &[
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+                (2, 3, 6.0),
+                (3, 3, 7.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let coo = sample_coo();
+        let csr = CsrMatrix::from(&coo);
+        assert_eq!(CooMatrix::from(&csr), coo);
+    }
+
+    #[test]
+    fn row_ptr_structure() {
+        let csr = CsrMatrix::from(&sample_coo());
+        assert_eq!(csr.row_ptr(), &[0, 2, 3, 6, 7]);
+        assert_eq!(csr.row_nnz(2), 3);
+    }
+
+    #[test]
+    fn spmv_matches_coo() {
+        let coo = sample_coo();
+        let csr = CsrMatrix::from(&coo);
+        let x = [1.0, -1.0, 0.5, 2.0];
+        let (mut y1, mut y2, mut y3) = ([0.0; 4], [0.0; 4], [0.0; 4]);
+        coo.spmv(&x, &mut y1);
+        csr.spmv(&x, &mut y2);
+        csr.spmv_par(&x, &mut y3);
+        assert_eq!(y1, y2);
+        assert_eq!(y2, y3);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        // row_ptr wrong length
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // non-monotone
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // duplicate col within a row
+        assert!(
+            CsrMatrix::from_parts(1, 2, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err()
+        );
+        // valid
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let coo = CooMatrix::from_triplets(5, 5, &[(4, 4, 1.0)]).unwrap();
+        let csr = CsrMatrix::from(&coo);
+        let x = [1.0; 5];
+        let mut y = [0.0; 5];
+        csr.spmv(&x, &mut y);
+        assert_eq!(y, [0.0, 0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(csr.row_counts(), vec![0, 0, 0, 0, 1]);
+    }
+}

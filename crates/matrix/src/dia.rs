@@ -1,0 +1,239 @@
+//! Diagonal (DIA) format: one dense lane per occupied diagonal.
+//!
+//! DIA stores a matrix as a set of diagonals identified by their offset
+//! (`col - row`). It excels for banded matrices but can take `O(n^2)` space
+//! in the worst case, so the conversion rejects matrices with too many
+//! occupied diagonals. The format is not one of the four benchmarked classes
+//! but is required for the paper's `diagonals` / `dia_size` / `dia_frac`
+//! features.
+
+use crate::{CooMatrix, CsrMatrix, MatrixError, Result, SpMv};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Sparse matrix in diagonal format.
+///
+/// `data` is laid out diagonal-major: lane `d` occupies
+/// `data[d * nrows .. (d + 1) * nrows]`, indexed by row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiaMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// Sorted offsets (`col - row`) of the occupied diagonals.
+    offsets: Vec<i64>,
+    data: Vec<f64>,
+    nnz: usize,
+}
+
+impl DiaMatrix {
+    /// Convert from CSR, rejecting matrices with more than `max_diagonals`
+    /// occupied diagonals (padding would blow up memory).
+    pub fn try_from_csr(csr: &CsrMatrix, max_diagonals: usize) -> Result<Self> {
+        let occupied: BTreeSet<i64> = csr
+            .iter()
+            .map(|(r, c, _)| c as i64 - r as i64)
+            .collect();
+        if occupied.len() > max_diagonals {
+            return Err(MatrixError::DiaTooManyDiagonals {
+                diagonals: occupied.len(),
+                limit: max_diagonals,
+            });
+        }
+        let offsets: Vec<i64> = occupied.into_iter().collect();
+        let nrows = csr.nrows();
+        let mut data = vec![0.0; offsets.len() * nrows];
+        for (r, c, v) in csr.iter() {
+            let off = c as i64 - r as i64;
+            let lane = offsets.binary_search(&off).expect("offset collected above");
+            data[lane * nrows + r] = v;
+        }
+        Ok(DiaMatrix {
+            nrows,
+            ncols: csr.ncols(),
+            offsets,
+            data,
+            nnz: csr.nnz(),
+        })
+    }
+
+    /// Number of occupied diagonals (the paper's `diagonals` feature).
+    pub fn num_diagonals(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Offsets of the occupied diagonals, sorted ascending.
+    pub fn offsets(&self) -> &[i64] {
+        &self.offsets
+    }
+
+    /// Total stored slots including padding (the paper's `dia_size`).
+    pub fn storage_size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Fraction of stored slots that are true nonzeros (the paper's
+    /// `dia_frac`).
+    pub fn fill_fraction(&self) -> f64 {
+        if self.data.is_empty() {
+            1.0
+        } else {
+            self.nnz as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Convert back to COO (drops explicit zeros introduced by padding).
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz);
+        for (lane, &off) in self.offsets.iter().enumerate() {
+            for r in 0..self.nrows {
+                let c = r as i64 + off;
+                if c >= 0 && (c as usize) < self.ncols {
+                    let v = self.data[lane * self.nrows + r];
+                    if v != 0.0 {
+                        triplets.push((r, c as usize, v));
+                    }
+                }
+            }
+        }
+        CooMatrix::from_triplets(self.nrows, self.ncols, &triplets)
+            .expect("DIA lanes hold a valid matrix")
+    }
+}
+
+impl SpMv for DiaMatrix {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.check_dims(x, y).unwrap();
+        y.fill(0.0);
+        for (lane, &off) in self.offsets.iter().enumerate() {
+            // Valid rows satisfy 0 <= r < nrows and 0 <= r + off < ncols.
+            let lo = (-off).max(0) as usize;
+            let hi_signed = (self.ncols as i64 - off).min(self.nrows as i64);
+            let hi = hi_signed.max(lo as i64) as usize;
+            let lane_data = &self.data[lane * self.nrows..(lane + 1) * self.nrows];
+            for r in lo..hi {
+                let c = (r as i64 + off) as usize;
+                y[r] += lane_data[r] * x[c];
+            }
+        }
+    }
+
+    fn spmv_par(&self, x: &[f64], y: &mut [f64]) {
+        self.check_dims(x, y).unwrap();
+        use rayon::prelude::*;
+        let nrows = self.nrows;
+        let ncols = self.ncols;
+        y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+            let mut sum = 0.0;
+            for (lane, &off) in self.offsets.iter().enumerate() {
+                let c = r as i64 + off;
+                if c >= 0 && (c as usize) < ncols {
+                    sum += self.data[lane * nrows + r] * x[c as usize];
+                }
+            }
+            *yr = sum;
+        });
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.offsets.len() * 8 + self.data.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tridiag(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for r in 0..n {
+            if r > 0 {
+                t.push((r, r - 1, -1.0));
+            }
+            t.push((r, r, 2.0));
+            if r + 1 < n {
+                t.push((r, r + 1, -1.0));
+            }
+        }
+        CsrMatrix::from(&CooMatrix::from_triplets(n, n, &t).unwrap())
+    }
+
+    #[test]
+    fn tridiagonal_has_three_lanes() {
+        let dia = DiaMatrix::try_from_csr(&tridiag(10), 64).unwrap();
+        assert_eq!(dia.num_diagonals(), 3);
+        assert_eq!(dia.offsets(), &[-1, 0, 1]);
+        assert_eq!(dia.storage_size(), 30);
+        assert_eq!(dia.nnz(), 28);
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let csr = tridiag(16);
+        let dia = DiaMatrix::try_from_csr(&csr, 64).unwrap();
+        let x: Vec<f64> = (0..16).map(|i| (i as f64).sin()).collect();
+        let (mut y1, mut y2, mut y3) = (vec![0.0; 16], vec![0.0; 16], vec![0.0; 16]);
+        csr.spmv(&x, &mut y1);
+        dia.spmv(&x, &mut y2);
+        dia.spmv_par(&x, &mut y3);
+        for i in 0..16 {
+            assert!((y1[i] - y2[i]).abs() < 1e-12);
+            assert!((y1[i] - y3[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let csr = tridiag(8);
+        let dia = DiaMatrix::try_from_csr(&csr, 64).unwrap();
+        assert_eq!(CsrMatrix::from(&dia.to_coo()), csr);
+    }
+
+    #[test]
+    fn rejects_too_many_diagonals() {
+        // Anti-diagonal-ish scatter: every entry on its own diagonal.
+        let t: Vec<_> = (0..10).map(|i| (i, 9 - i, 1.0)).collect();
+        let csr = CsrMatrix::from(&CooMatrix::from_triplets(10, 10, &t).unwrap());
+        assert!(DiaMatrix::try_from_csr(&csr, 4).is_err());
+        assert!(DiaMatrix::try_from_csr(&csr, 16).is_ok());
+    }
+
+    #[test]
+    fn tall_matrix_regression() {
+        // Regression for a proptest-found bug: tall matrices (nrows >
+        // ncols) with sub-diagonal entries indexed x out of bounds.
+        let coo = CooMatrix::from_triplets(6, 2, &[(0, 0, 1.0), (5, 1, 2.0), (3, 0, 3.0)]).unwrap();
+        let csr = CsrMatrix::from(&coo);
+        let dia = DiaMatrix::try_from_csr(&csr, 16).unwrap();
+        let x = [2.0, 10.0];
+        let mut y = [0.0; 6];
+        dia.spmv(&x, &mut y);
+        assert_eq!(y, [2.0, 0.0, 0.0, 6.0, 0.0, 20.0]);
+        let mut y2 = [0.0; 6];
+        dia.spmv_par(&x, &mut y2);
+        assert_eq!(y, y2);
+    }
+
+    #[test]
+    fn rectangular_matrix() {
+        let coo = CooMatrix::from_triplets(3, 5, &[(0, 4, 1.0), (2, 0, 2.0)]).unwrap();
+        let csr = CsrMatrix::from(&coo);
+        let dia = DiaMatrix::try_from_csr(&csr, 16).unwrap();
+        assert_eq!(dia.offsets(), &[-2, 4]);
+        let x = [1.0, 1.0, 1.0, 1.0, 3.0];
+        let mut y = [0.0; 3];
+        dia.spmv(&x, &mut y);
+        assert_eq!(y, [3.0, 0.0, 2.0]);
+    }
+}

@@ -1,0 +1,236 @@
+//! ELLPACK (ELL) format: a dense `nrows x width` slab with padding.
+//!
+//! Every row's nonzeros are shifted left into a rectangular slab whose width
+//! is the maximum row nonzero count; shorter rows are padded. The slab is
+//! stored *column-major* (entry `(r, k)` at `k * nrows + r`), mirroring the
+//! GPU layout that makes ELL loads coalesced.
+//!
+//! Like CUSP, the conversion refuses to build an ELL structure whose width
+//! blows up relative to the mean row length (see [`cusp_width_limit`]); the
+//! paper excludes such matrices from its corpus, and so do we.
+
+use crate::{CooMatrix, CsrMatrix, MatrixError, Result, SpMv};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel column index marking a padding slot.
+pub const ELL_PAD: u32 = u32::MAX;
+
+/// Sparse matrix in ELLPACK format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EllMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// Slab width: maximum number of nonzeros in any row.
+    width: usize,
+    /// True (unpadded) nonzero count.
+    nnz: usize,
+    /// Column indices, column-major, `ELL_PAD` for padding slots.
+    col_idx: Vec<u32>,
+    /// Values, column-major, `0.0` for padding slots.
+    vals: Vec<f64>,
+}
+
+/// The width limit CUSP-style conversion tolerates before giving up:
+/// three times the mean row length plus a small slack. Strongly imbalanced
+/// matrices exceed this and cannot be stored as ELL (they blow up memory),
+/// which reproduces the CUSP failures the paper filters out.
+pub fn cusp_width_limit(nrows: usize, nnz: usize) -> usize {
+    if nrows == 0 {
+        return 16;
+    }
+    let mean = nnz as f64 / nrows as f64;
+    (3.0 * mean).ceil() as usize + 16
+}
+
+impl EllMatrix {
+    /// Convert from CSR, rejecting matrices whose widest row exceeds
+    /// `width_limit` (see [`cusp_width_limit`] for the CUSP-like default).
+    pub fn try_from_csr_with_limit(csr: &CsrMatrix, width_limit: usize) -> Result<Self> {
+        let nrows = csr.nrows();
+        let width = (0..nrows).map(|r| csr.row_nnz(r)).max().unwrap_or(0);
+        if width > width_limit {
+            return Err(MatrixError::EllTooWide {
+                max_row_nnz: width,
+                limit: width_limit,
+            });
+        }
+        let mut col_idx = vec![ELL_PAD; nrows * width];
+        let mut vals = vec![0.0; nrows * width];
+        for r in 0..nrows {
+            let (cols, values) = csr.row(r);
+            for (k, (&c, &v)) in cols.iter().zip(values).enumerate() {
+                col_idx[k * nrows + r] = c;
+                vals[k * nrows + r] = v;
+            }
+        }
+        Ok(EllMatrix {
+            nrows,
+            ncols: csr.ncols(),
+            width,
+            nnz: csr.nnz(),
+            col_idx,
+            vals,
+        })
+    }
+
+    /// Convert from CSR using the CUSP-like width limit.
+    pub fn try_from_csr(csr: &CsrMatrix) -> Result<Self> {
+        Self::try_from_csr_with_limit(csr, cusp_width_limit(csr.nrows(), csr.nnz()))
+    }
+
+    /// Slab width (maximum row nonzero count).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total slab slots including padding (`nrows * width`).
+    pub fn slab_size(&self) -> usize {
+        self.nrows * self.width
+    }
+
+    /// Fraction of slab slots holding true nonzeros (the paper's `ell_frac`).
+    pub fn fill_fraction(&self) -> f64 {
+        if self.slab_size() == 0 {
+            1.0
+        } else {
+            self.nnz as f64 / self.slab_size() as f64
+        }
+    }
+
+    /// Convert back to COO (drops padding).
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz);
+        for r in 0..self.nrows {
+            for k in 0..self.width {
+                let c = self.col_idx[k * self.nrows + r];
+                if c != ELL_PAD {
+                    triplets.push((r, c as usize, self.vals[k * self.nrows + r]));
+                }
+            }
+        }
+        CooMatrix::from_triplets(self.nrows, self.ncols, &triplets)
+            .expect("ELL slab holds a valid matrix")
+    }
+}
+
+impl SpMv for EllMatrix {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Sequential kernel walking the slab column-by-column, the traversal
+    /// order that is coalesced on GPUs.
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.check_dims(x, y).unwrap();
+        y.fill(0.0);
+        for k in 0..self.width {
+            let cols = &self.col_idx[k * self.nrows..(k + 1) * self.nrows];
+            let vals = &self.vals[k * self.nrows..(k + 1) * self.nrows];
+            for r in 0..self.nrows {
+                let c = cols[r];
+                if c != ELL_PAD {
+                    y[r] += vals[r] * x[c as usize];
+                }
+            }
+        }
+    }
+
+    /// Row-parallel kernel: each row walks its slab slots strided by nrows.
+    fn spmv_par(&self, x: &[f64], y: &mut [f64]) {
+        self.check_dims(x, y).unwrap();
+        let nrows = self.nrows;
+        y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+            let mut sum = 0.0;
+            for k in 0..self.width {
+                let c = self.col_idx[k * nrows + r];
+                if c != ELL_PAD {
+                    sum += self.vals[k * nrows + r] * x[c as usize];
+                }
+            }
+            *yr = sum;
+        });
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.slab_size() * (4 + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csr() -> CsrMatrix {
+        let coo = CooMatrix::from_triplets(
+            3,
+            4,
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+                (2, 3, 6.0),
+            ],
+        )
+        .unwrap();
+        CsrMatrix::from(&coo)
+    }
+
+    #[test]
+    fn width_is_max_row() {
+        let ell = EllMatrix::try_from_csr(&sample_csr()).unwrap();
+        assert_eq!(ell.width(), 3);
+        assert_eq!(ell.slab_size(), 9);
+        assert_eq!(ell.nnz(), 6);
+        assert!((ell.fill_fraction() - 6.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_through_coo() {
+        let csr = sample_csr();
+        let ell = EllMatrix::try_from_csr(&csr).unwrap();
+        assert_eq!(CsrMatrix::from(&ell.to_coo()), csr);
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let csr = sample_csr();
+        let ell = EllMatrix::try_from_csr(&csr).unwrap();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let (mut y1, mut y2, mut y3) = ([0.0; 3], [0.0; 3], [0.0; 3]);
+        csr.spmv(&x, &mut y1);
+        ell.spmv(&x, &mut y2);
+        ell.spmv_par(&x, &mut y3);
+        assert_eq!(y1, y2);
+        assert_eq!(y1, y3);
+    }
+
+    #[test]
+    fn rejects_imbalanced_rows() {
+        // One row with 40 nonzeros, 99 rows with 0: mean ~0.4, limit ~18.
+        let triplets: Vec<_> = (0..40).map(|c| (0usize, c as usize, 1.0)).collect();
+        let coo = CooMatrix::from_triplets(100, 64, &triplets).unwrap();
+        let err = EllMatrix::try_from_csr(&CsrMatrix::from(&coo)).unwrap_err();
+        assert!(matches!(err, MatrixError::EllTooWide { max_row_nnz: 40, .. }));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let coo = CooMatrix::zeros(4, 4);
+        let ell = EllMatrix::try_from_csr(&CsrMatrix::from(&coo)).unwrap();
+        assert_eq!(ell.width(), 0);
+        let mut y = [1.0; 4];
+        ell.spmv(&[0.0; 4], &mut y);
+        assert_eq!(y, [0.0; 4]);
+    }
+}

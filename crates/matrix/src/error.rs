@@ -1,0 +1,79 @@
+//! Error type for matrix construction, conversion, and IO.
+
+use std::fmt;
+
+/// Errors produced by matrix constructors, format conversions, and IO.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixError {
+    /// A triplet referenced a row or column outside the declared shape.
+    IndexOutOfBounds {
+        row: usize,
+        col: usize,
+        nrows: usize,
+        ncols: usize,
+    },
+    /// Two triplets referenced the same (row, col) position.
+    DuplicateEntry { row: usize, col: usize },
+    /// An ELL conversion was rejected because the row width exceeds the
+    /// configured blow-up limit (mirrors CUSP refusing to build ELL
+    /// structures for strongly imbalanced matrices).
+    EllTooWide {
+        max_row_nnz: usize,
+        limit: usize,
+    },
+    /// A DIA conversion was rejected because the number of occupied
+    /// diagonals exceeds the configured limit.
+    DiaTooManyDiagonals { diagonals: usize, limit: usize },
+    /// Vector length did not match the matrix shape.
+    DimensionMismatch {
+        expected: usize,
+        got: usize,
+        what: &'static str,
+    },
+    /// Matrix Market parse failure with a line number and message.
+    Parse { line: usize, msg: String },
+    /// Underlying IO failure (message only, to keep the error `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix"
+            ),
+            MatrixError::DuplicateEntry { row, col } => {
+                write!(f, "duplicate entry at ({row}, {col})")
+            }
+            MatrixError::EllTooWide { max_row_nnz, limit } => write!(
+                f,
+                "ELL conversion rejected: widest row has {max_row_nnz} nonzeros, limit {limit}"
+            ),
+            MatrixError::DiaTooManyDiagonals { diagonals, limit } => write!(
+                f,
+                "DIA conversion rejected: {diagonals} occupied diagonals, limit {limit}"
+            ),
+            MatrixError::DimensionMismatch {
+                expected,
+                got,
+                what,
+            } => write!(f, "{what}: expected length {expected}, got {got}"),
+            MatrixError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            MatrixError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl From<std::io::Error> for MatrixError {
+    fn from(e: std::io::Error) -> Self {
+        MatrixError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,102 @@
+//! The set of storage formats considered by the format-selection problem.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Sparse storage formats benchmarked by the paper (CUSP's four formats).
+///
+/// `Format::ALL` iterates in the fixed order used throughout the workspace
+/// (COO, CSR, ELL, HYB) which matches the row order of Table 3 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Format {
+    /// Coordinate format: explicit (row, col, value) triplets.
+    Coo,
+    /// Compressed sparse row: the de-facto default format.
+    Csr,
+    /// ELLPACK: dense `nrows x max_row_nnz` slab with padding.
+    Ell,
+    /// Hybrid: ELL for the regular part plus COO for overflow entries.
+    Hyb,
+}
+
+impl Format {
+    /// All four benchmarked formats in canonical order.
+    pub const ALL: [Format; 4] = [Format::Coo, Format::Csr, Format::Ell, Format::Hyb];
+
+    /// Number of benchmarked formats (the number of classes in the
+    /// classification problem).
+    pub const COUNT: usize = 4;
+
+    /// Stable small integer id; used as the class label in ML code.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Format::Coo => 0,
+            Format::Csr => 1,
+            Format::Ell => 2,
+            Format::Hyb => 3,
+        }
+    }
+
+    /// Inverse of [`Format::index`]. Panics on out-of-range ids.
+    #[inline]
+    pub fn from_index(i: usize) -> Format {
+        Format::ALL[i]
+    }
+
+    /// Short upper-case name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::Coo => "COO",
+            Format::Csr => "CSR",
+            Format::Ell => "ELL",
+            Format::Hyb => "HYB",
+        }
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Format {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "COO" => Ok(Format::Coo),
+            "CSR" => Ok(Format::Csr),
+            "ELL" => Ok(Format::Ell),
+            "HYB" => Ok(Format::Hyb),
+            other => Err(format!("unknown format `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for f in Format::ALL {
+            assert_eq!(Format::from_index(f.index()), f);
+        }
+    }
+
+    #[test]
+    fn parse_names() {
+        for f in Format::ALL {
+            assert_eq!(f.name().parse::<Format>().unwrap(), f);
+            assert_eq!(f.name().to_lowercase().parse::<Format>().unwrap(), f);
+        }
+        assert!("CSR5".parse::<Format>().is_err());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Format::Hyb.to_string(), "HYB");
+    }
+}

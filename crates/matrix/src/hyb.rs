@@ -1,0 +1,304 @@
+//! Hybrid (HYB) format: ELL for the regular bulk plus COO for the overflow.
+//!
+//! The ELL width is chosen with CUSP's heuristic: a slab column is worth
+//! keeping in ELL if it is active in more than `min(nrows / relative_speed,
+//! breakeven_threshold)` rows; everything beyond that width spills into a
+//! COO tail. This keeps padding bounded for matrices with a heavy-tailed
+//! row-length distribution while retaining ELL's coalescing for the bulk.
+
+use crate::{CooMatrix, CsrMatrix, SpMv};
+use serde::{Deserialize, Serialize};
+
+/// CUSP's default relative speed of ELL vs COO entry processing.
+pub const DEFAULT_RELATIVE_SPEED: f64 = 3.0;
+/// CUSP's default breakeven row-count threshold.
+pub const DEFAULT_BREAKEVEN_THRESHOLD: usize = 4096;
+
+/// Sparse matrix in hybrid ELL + COO format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// ELL slab width chosen by the split heuristic.
+    ell_width: usize,
+    /// Column-major ELL slab (same layout as [`crate::EllMatrix`]).
+    ell_cols: Vec<u32>,
+    ell_vals: Vec<f64>,
+    /// True nonzeros stored in the ELL part.
+    ell_nnz: usize,
+    /// Overflow entries (row-major sorted).
+    coo: CooMatrix,
+}
+
+/// Compute CUSP's optimal ELL width for a HYB split from row nonzero counts.
+///
+/// Returns the largest `k` such that more than
+/// `min(nrows / relative_speed, breakeven_threshold)` rows have at least `k`
+/// nonzeros.
+pub fn optimal_ell_width(
+    row_counts: &[usize],
+    relative_speed: f64,
+    breakeven_threshold: usize,
+) -> usize {
+    let nrows = row_counts.len();
+    if nrows == 0 {
+        return 0;
+    }
+    let max_w = row_counts.iter().copied().max().unwrap_or(0);
+    // count_ge[k] = number of rows with >= k nonzeros, built from a histogram.
+    let mut hist = vec![0usize; max_w + 2];
+    for &c in row_counts {
+        hist[c] += 1;
+    }
+    let cutoff = ((nrows as f64 / relative_speed) as usize).min(breakeven_threshold);
+    let mut count_ge = nrows;
+    let mut width = 0;
+    for k in 1..=max_w {
+        count_ge -= hist[k - 1];
+        if count_ge > cutoff {
+            width = k;
+        } else {
+            break;
+        }
+    }
+    width
+}
+
+impl HybMatrix {
+    /// Convert from CSR using CUSP's default split parameters.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        Self::from_csr_with_params(csr, DEFAULT_RELATIVE_SPEED, DEFAULT_BREAKEVEN_THRESHOLD)
+    }
+
+    /// Convert from CSR with explicit split parameters.
+    pub fn from_csr_with_params(
+        csr: &CsrMatrix,
+        relative_speed: f64,
+        breakeven_threshold: usize,
+    ) -> Self {
+        let nrows = csr.nrows();
+        let counts = csr.row_counts();
+        let width = optimal_ell_width(&counts, relative_speed, breakeven_threshold);
+
+        let mut ell_cols = vec![crate::ell::ELL_PAD; nrows * width];
+        let mut ell_vals = vec![0.0; nrows * width];
+        let mut ell_nnz = 0usize;
+        let mut coo_r = Vec::new();
+        let mut coo_c = Vec::new();
+        let mut coo_v = Vec::new();
+        for r in 0..nrows {
+            let (cols, vals) = csr.row(r);
+            for (k, (&c, &v)) in cols.iter().zip(vals).enumerate() {
+                if k < width {
+                    ell_cols[k * nrows + r] = c;
+                    ell_vals[k * nrows + r] = v;
+                    ell_nnz += 1;
+                } else {
+                    coo_r.push(r as u32);
+                    coo_c.push(c);
+                    coo_v.push(v);
+                }
+            }
+        }
+        HybMatrix {
+            nrows,
+            ncols: csr.ncols(),
+            ell_width: width,
+            ell_cols,
+            ell_vals,
+            ell_nnz,
+            coo: CooMatrix::from_sorted_parts(nrows, csr.ncols(), coo_r, coo_c, coo_v),
+        }
+    }
+
+    /// ELL slab width of the hybrid split.
+    pub fn ell_width(&self) -> usize {
+        self.ell_width
+    }
+
+    /// Total ELL slab slots including padding (the paper's `hyb_ell_size`).
+    pub fn ell_slab_size(&self) -> usize {
+        self.nrows * self.ell_width
+    }
+
+    /// True nonzeros stored in the ELL part.
+    pub fn ell_nnz(&self) -> usize {
+        self.ell_nnz
+    }
+
+    /// Nonzeros spilled into the COO tail (the paper's `hyb_coo`).
+    pub fn coo_nnz(&self) -> usize {
+        self.coo.nnz()
+    }
+
+    /// Fraction of nonzeros stored in the ELL part (the paper's
+    /// `hyb_ell_frac`).
+    pub fn ell_fraction(&self) -> f64 {
+        let total = self.nnz();
+        if total == 0 {
+            1.0
+        } else {
+            self.ell_nnz as f64 / total as f64
+        }
+    }
+
+    /// The COO overflow part.
+    pub fn coo_part(&self) -> &CooMatrix {
+        &self.coo
+    }
+
+    /// Convert back to COO (merging ELL and overflow parts).
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.nrows {
+            for k in 0..self.ell_width {
+                let c = self.ell_cols[k * self.nrows + r];
+                if c != crate::ell::ELL_PAD {
+                    triplets.push((r, c as usize, self.ell_vals[k * self.nrows + r]));
+                }
+            }
+        }
+        triplets.extend(self.coo.iter());
+        CooMatrix::from_triplets(self.nrows, self.ncols, &triplets)
+            .expect("HYB parts hold a valid matrix")
+    }
+}
+
+impl SpMv for HybMatrix {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    fn nnz(&self) -> usize {
+        self.ell_nnz + self.coo.nnz()
+    }
+
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.check_dims(x, y).unwrap();
+        y.fill(0.0);
+        // ELL part, column-by-column like the ELL kernel.
+        for k in 0..self.ell_width {
+            let cols = &self.ell_cols[k * self.nrows..(k + 1) * self.nrows];
+            let vals = &self.ell_vals[k * self.nrows..(k + 1) * self.nrows];
+            for r in 0..self.nrows {
+                let c = cols[r];
+                if c != crate::ell::ELL_PAD {
+                    y[r] += vals[r] * x[c as usize];
+                }
+            }
+        }
+        // COO tail.
+        for (r, c, v) in self.coo.iter() {
+            y[r] += v * x[c];
+        }
+    }
+
+    fn spmv_par(&self, x: &[f64], y: &mut [f64]) {
+        self.check_dims(x, y).unwrap();
+        use rayon::prelude::*;
+        let nrows = self.nrows;
+        y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+            let mut sum = 0.0;
+            for k in 0..self.ell_width {
+                let c = self.ell_cols[k * nrows + r];
+                if c != crate::ell::ELL_PAD {
+                    sum += self.ell_vals[k * nrows + r] * x[c as usize];
+                }
+            }
+            *yr = sum;
+        });
+        // COO tail is typically tiny; apply sequentially.
+        for (r, c, v) in self.coo.iter() {
+            y[r] += v * x[c];
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.ell_slab_size() * (4 + 8) + self.coo.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    /// 6 rows: five rows with 2 nonzeros, one row with 6.
+    fn skewed_csr() -> CsrMatrix {
+        let mut t = Vec::new();
+        for r in 0..5 {
+            t.push((r, r, 1.0));
+            t.push((r, (r + 1) % 8, 2.0));
+        }
+        for c in 0..6 {
+            t.push((5, c, 3.0));
+        }
+        CsrMatrix::from(&CooMatrix::from_triplets(6, 8, &t).unwrap())
+    }
+
+    #[test]
+    fn optimal_width_thirds_rule() {
+        // 9 rows with 1 nnz, 3 rows with 5: cutoff = min(12/3, 4096) = 4;
+        // count_ge(1) = 12 > 4 -> width >= 1; count_ge(2) = 3, not > 4.
+        let counts = [1, 1, 1, 1, 1, 1, 1, 1, 1, 5, 5, 5];
+        assert_eq!(optimal_ell_width(&counts, 3.0, 4096), 1);
+    }
+
+    #[test]
+    fn optimal_width_uniform_rows() {
+        let counts = [4usize; 30];
+        assert_eq!(optimal_ell_width(&counts, 3.0, 4096), 4);
+    }
+
+    #[test]
+    fn optimal_width_empty() {
+        assert_eq!(optimal_ell_width(&[], 3.0, 4096), 0);
+        assert_eq!(optimal_ell_width(&[0, 0, 0], 3.0, 4096), 0);
+    }
+
+    #[test]
+    fn split_preserves_entries() {
+        let csr = skewed_csr();
+        let hyb = HybMatrix::from_csr_with_params(&csr, 3.0, 4096);
+        assert_eq!(hyb.nnz(), csr.nnz());
+        assert_eq!(CsrMatrix::from(&hyb.to_coo()), csr);
+        // width should be 2 (5 of 6 rows have >= 2 entries; cutoff = 2)
+        assert_eq!(hyb.ell_width(), 2);
+        assert_eq!(hyb.coo_nnz(), 4); // heavy row spills 6 - 2 = 4 entries
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let csr = skewed_csr();
+        let hyb = HybMatrix::from_csr(&csr);
+        let x: Vec<f64> = (0..8).map(|i| i as f64 * 0.5 - 1.0).collect();
+        let (mut y1, mut y2, mut y3) = (vec![0.0; 6], vec![0.0; 6], vec![0.0; 6]);
+        csr.spmv(&x, &mut y1);
+        hyb.spmv(&x, &mut y2);
+        hyb.spmv_par(&x, &mut y3);
+        for i in 0..6 {
+            assert!((y1[i] - y2[i]).abs() < 1e-12);
+            assert!((y1[i] - y3[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ell_fraction_bounds() {
+        let hyb = HybMatrix::from_csr(&skewed_csr());
+        let f = hyb.ell_fraction();
+        assert!(f > 0.0 && f <= 1.0);
+        assert!((f - hyb.ell_nnz() as f64 / hyb.nnz() as f64).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csr = CsrMatrix::from(&CooMatrix::zeros(3, 3));
+        let hyb = HybMatrix::from_csr(&csr);
+        assert_eq!(hyb.nnz(), 0);
+        assert_eq!(hyb.ell_fraction(), 1.0);
+    }
+}

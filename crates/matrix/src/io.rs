@@ -1,0 +1,288 @@
+//! Matrix Market (`.mtx`) reading and writing.
+//!
+//! Supports the `matrix coordinate` variants the SuiteSparse collection
+//! uses: `real` / `integer` / `pattern` values with `general` / `symmetric`
+//! / `skew-symmetric` symmetry. Symmetric storage is expanded to a full
+//! general matrix on read, matching what SpMV benchmarking needs.
+
+use crate::{CooMatrix, MatrixError, Result};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ValueKind {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Read a Matrix Market file from any reader.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    // Header line.
+    let (lineno, header) = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (i + 1, line);
+                }
+            }
+            None => {
+                return Err(MatrixError::Parse {
+                    line: 0,
+                    msg: "empty file".into(),
+                })
+            }
+        }
+    };
+    let toks: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
+        return Err(MatrixError::Parse {
+            line: lineno,
+            msg: format!("bad header `{header}`"),
+        });
+    }
+    if toks[2] != "coordinate" {
+        return Err(MatrixError::Parse {
+            line: lineno,
+            msg: format!("unsupported storage `{}` (only coordinate)", toks[2]),
+        });
+    }
+    let kind = match toks[3].as_str() {
+        "real" => ValueKind::Real,
+        "integer" => ValueKind::Integer,
+        "pattern" => ValueKind::Pattern,
+        other => {
+            return Err(MatrixError::Parse {
+                line: lineno,
+                msg: format!("unsupported value type `{other}`"),
+            })
+        }
+    };
+    let symmetry = match toks[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => {
+            return Err(MatrixError::Parse {
+                line: lineno,
+                msg: format!("unsupported symmetry `{other}`"),
+            })
+        }
+    };
+
+    // Size line (skipping comments).
+    let (lineno, size_line) = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break (i + 1, line);
+                }
+            }
+            None => {
+                return Err(MatrixError::Parse {
+                    line: 0,
+                    msg: "missing size line".into(),
+                })
+            }
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<std::result::Result<_, _>>()
+        .map_err(|e| MatrixError::Parse {
+            line: lineno,
+            msg: format!("bad size line: {e}"),
+        })?;
+    if dims.len() != 3 {
+        return Err(MatrixError::Parse {
+            line: lineno,
+            msg: "size line must have 3 fields".into(),
+        });
+    }
+    let (nrows, ncols, declared_nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(declared_nnz);
+    let mut seen = 0usize;
+    for (i, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut fields = t.split_whitespace();
+        let parse_idx = |f: Option<&str>, lineno: usize| -> Result<usize> {
+            f.ok_or_else(|| MatrixError::Parse {
+                line: lineno,
+                msg: "missing index".into(),
+            })?
+            .parse::<usize>()
+            .map_err(|e| MatrixError::Parse {
+                line: lineno,
+                msg: format!("bad index: {e}"),
+            })
+        };
+        let r = parse_idx(fields.next(), i + 1)?;
+        let c = parse_idx(fields.next(), i + 1)?;
+        if r == 0 || c == 0 {
+            return Err(MatrixError::Parse {
+                line: i + 1,
+                msg: "indices are 1-based".into(),
+            });
+        }
+        let v = match kind {
+            ValueKind::Pattern => 1.0,
+            _ => fields
+                .next()
+                .ok_or_else(|| MatrixError::Parse {
+                    line: i + 1,
+                    msg: "missing value".into(),
+                })?
+                .parse::<f64>()
+                .map_err(|e| MatrixError::Parse {
+                    line: i + 1,
+                    msg: format!("bad value: {e}"),
+                })?,
+        };
+        let (r, c) = (r - 1, c - 1);
+        triplets.push((r, c, v));
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric => {
+                if r != c {
+                    triplets.push((c, r, v));
+                }
+            }
+            Symmetry::SkewSymmetric => {
+                if r != c {
+                    triplets.push((c, r, -v));
+                }
+            }
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(MatrixError::Parse {
+            line: 0,
+            msg: format!("declared {declared_nnz} entries, found {seen}"),
+        });
+    }
+    CooMatrix::from_triplets(nrows, ncols, &triplets)
+}
+
+/// Read a Matrix Market file from disk.
+pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<CooMatrix> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Write a matrix as `matrix coordinate real general`.
+pub fn write_matrix_market<W: Write>(m: &CooMatrix, mut w: W) -> Result<()> {
+    use crate::SpMv;
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by spselect")?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+/// Write a matrix to a `.mtx` file on disk.
+pub fn write_matrix_market_file<P: AsRef<Path>>(m: &CooMatrix, path: P) -> Result<()> {
+    write_matrix_market(m, std::io::BufWriter::new(std::fs::File::create(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpMv;
+
+    #[test]
+    fn parse_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 1 1.5\n3 2 -2.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.to_dense()[2][1], -2.0);
+    }
+
+    #[test]
+    fn parse_symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 1.0\n2 1 5.0\n3 3 2.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 4);
+        let d = m.to_dense();
+        assert_eq!(d[0][1], 5.0);
+        assert_eq!(d[1][0], 5.0);
+    }
+
+    #[test]
+    fn parse_skew_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        let d = m.to_dense();
+        assert_eq!(d[1][0], 3.0);
+        assert_eq!(d[0][1], -3.0);
+    }
+
+    #[test]
+    fn parse_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.values(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market("%%NotMM\n1 1 0\n".as_bytes()).is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n1 1\n".as_bytes())
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let m = CooMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 1, 1.25), (1, 3, -0.5), (2, 0, 1e-10)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn integer_values() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 1 7\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.values(), &[7.0]);
+    }
+}

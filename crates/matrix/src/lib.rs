@@ -1,0 +1,55 @@
+//! Sparse matrix storage formats and SpMV kernels.
+//!
+//! This crate is the storage/kernel substrate of the `spselect` workspace:
+//! it provides the four storage formats benchmarked by the paper (COO, CSR,
+//! ELL, HYB) plus DIA (needed for feature extraction), lossless conversions
+//! between them, sequential and parallel SpMV kernels for each, Matrix
+//! Market file IO, and a family of synthetic matrix generators used to
+//! stand in for the SuiteSparse collection.
+//!
+//! # Conventions
+//!
+//! * Values are `f64`, column indices are `u32` (supporting matrices up to
+//!   ~4.29 billion columns), row pointers are `usize`.
+//! * All formats are row-major in iteration order.
+//! * `CooMatrix` keeps its triplets sorted in row-major order; constructors
+//!   enforce this so kernels and conversions can rely on it.
+//!
+//! # Quick example
+//!
+//! ```
+//! use spsel_matrix::{CooMatrix, CsrMatrix, SpMv};
+//!
+//! let coo = CooMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+//! let csr = CsrMatrix::from(&coo);
+//! let x = [1.0, 1.0, 1.0];
+//! let mut y = [0.0; 2];
+//! csr.spmv(&x, &mut y);
+//! assert_eq!(y, [3.0, 3.0]);
+//! ```
+
+pub mod coo;
+pub mod csr;
+pub mod dia;
+pub mod ell;
+pub mod error;
+pub mod format;
+pub mod gen;
+pub mod hyb;
+pub mod io;
+pub mod permute;
+pub mod sell;
+pub mod spmv;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use dia::DiaMatrix;
+pub use ell::EllMatrix;
+pub use error::MatrixError;
+pub use format::Format;
+pub use hyb::HybMatrix;
+pub use sell::SellMatrix;
+pub use spmv::SpMv;
+
+/// Result alias for fallible matrix operations.
+pub type Result<T> = std::result::Result<T, MatrixError>;

@@ -1,0 +1,173 @@
+//! Row/column permutations, used to augment the training corpus the way the
+//! paper derives additional CNN training instances from SuiteSparse.
+
+use crate::{CooMatrix, Result, SpMv};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A permutation of `0..n`, validated at construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Permutation {
+    map: Vec<u32>,
+}
+
+impl Permutation {
+    /// Identity permutation of length `n`.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            map: (0..n as u32).collect(),
+        }
+    }
+
+    /// Uniformly random permutation.
+    pub fn random<R: Rng>(n: usize, rng: &mut R) -> Self {
+        let mut map: Vec<u32> = (0..n as u32).collect();
+        map.shuffle(rng);
+        Permutation { map }
+    }
+
+    /// Build from an explicit mapping `i -> map[i]`; must be a bijection.
+    pub fn from_map(map: Vec<u32>) -> Option<Self> {
+        let n = map.len();
+        let mut seen = vec![false; n];
+        for &m in &map {
+            let m = m as usize;
+            if m >= n || seen[m] {
+                return None;
+            }
+            seen[m] = true;
+        }
+        Some(Permutation { map })
+    }
+
+    /// Length of the permuted domain.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Image of index `i`.
+    #[inline]
+    pub fn apply(&self, i: usize) -> usize {
+        self.map[i] as usize
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0u32; self.map.len()];
+        for (i, &m) in self.map.iter().enumerate() {
+            inv[m as usize] = i as u32;
+        }
+        Permutation { map: inv }
+    }
+}
+
+/// Apply a row permutation, a column permutation, or both to a COO matrix.
+/// `None` leaves that dimension unchanged.
+pub fn permute(
+    m: &CooMatrix,
+    row_perm: Option<&Permutation>,
+    col_perm: Option<&Permutation>,
+) -> Result<CooMatrix> {
+    let triplets: Vec<(usize, usize, f64)> = m
+        .iter()
+        .map(|(r, c, v)| {
+            (
+                row_perm.map_or(r, |p| p.apply(r)),
+                col_perm.map_or(c, |p| p.apply(c)),
+                v,
+            )
+        })
+        .collect();
+    CooMatrix::from_triplets(m.nrows(), m.ncols(), &triplets)
+}
+
+/// Derive an augmented instance with independent random row and column
+/// permutations, as the paper does for its CNN training corpus.
+pub fn random_permuted<R: Rng>(m: &CooMatrix, rng: &mut R) -> CooMatrix {
+    let rp = Permutation::random(m.nrows(), rng);
+    let cp = Permutation::random(m.ncols(), rng);
+    permute(m, Some(&rp), Some(&cp)).expect("permutation preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpMv;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> CooMatrix {
+        CooMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let m = sample();
+        let p = Permutation::identity(3);
+        assert_eq!(permute(&m, Some(&p), Some(&p)).unwrap(), m);
+    }
+
+    #[test]
+    fn inverse_undoes() {
+        let m = sample();
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Permutation::random(3, &mut rng);
+        let permuted = permute(&m, Some(&p), None).unwrap();
+        let back = permute(&permuted, Some(&p.inverse()), None).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn from_map_rejects_non_bijection() {
+        assert!(Permutation::from_map(vec![0, 0, 2]).is_none());
+        assert!(Permutation::from_map(vec![0, 3, 1]).is_none());
+        assert!(Permutation::from_map(vec![2, 0, 1]).is_some());
+    }
+
+    #[test]
+    fn permutation_preserves_nnz_and_values() {
+        let m = sample();
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = random_permuted(&m, &mut rng);
+        assert_eq!(a.nnz(), m.nnz());
+        let mut va: Vec<f64> = a.values().to_vec();
+        let mut vm: Vec<f64> = m.values().to_vec();
+        va.sort_by(f64::total_cmp);
+        vm.sort_by(f64::total_cmp);
+        assert_eq!(va, vm);
+    }
+
+    #[test]
+    fn spmv_commutes_with_permutation() {
+        // (P_r A P_c^T) (P_c x) = P_r (A x)
+        let m = CooMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 1, 2.0), (1, 3, -1.0), (2, 0, 4.0), (2, 2, 0.5)],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let rp = Permutation::random(3, &mut rng);
+        let cp = Permutation::random(4, &mut rng);
+        let pm = permute(&m, Some(&rp), Some(&cp)).unwrap();
+
+        let x = [1.0, 2.0, 3.0, 4.0];
+        // px[cp(j)] = x[j]
+        let mut px = [0.0; 4];
+        for j in 0..4 {
+            px[cp.apply(j)] = x[j];
+        }
+        let mut y = [0.0; 3];
+        m.spmv(&x, &mut y);
+        let mut py = [0.0; 3];
+        pm.spmv(&px, &mut py);
+        for i in 0..3 {
+            assert!((py[rp.apply(i)] - y[i]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The `SpMv` trait: the common kernel interface implemented by every format.
+
+use crate::MatrixError;
+
+/// Sparse matrix–vector multiplication interface, `y = A * x`.
+///
+/// Every storage format implements this trait with both a sequential kernel
+/// (`spmv`) and a rayon-parallel kernel (`spmv_par`). The two must produce
+/// identical results up to floating-point reassociation; the test suite
+/// cross-validates all kernels against the COO reference.
+pub trait SpMv {
+    /// Number of rows of the matrix.
+    fn nrows(&self) -> usize;
+
+    /// Number of columns of the matrix.
+    fn ncols(&self) -> usize;
+
+    /// Number of stored true nonzeros (padding entries are not counted).
+    fn nnz(&self) -> usize;
+
+    /// Sequential kernel: overwrite `y` with `A * x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols()` or `y.len() != nrows()` (checked via
+    /// [`SpMv::check_dims`] in every implementation).
+    fn spmv(&self, x: &[f64], y: &mut [f64]);
+
+    /// Parallel kernel: overwrite `y` with `A * x` using rayon.
+    fn spmv_par(&self, x: &[f64], y: &mut [f64]);
+
+    /// Bytes of memory occupied by the format's arrays (including padding).
+    /// Used by the GPU model to detect out-of-memory formats.
+    fn memory_bytes(&self) -> usize;
+
+    /// Validate kernel operand shapes; shared by all implementations.
+    fn check_dims(&self, x: &[f64], y: &[f64]) -> Result<(), MatrixError> {
+        if x.len() != self.ncols() {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.ncols(),
+                got: x.len(),
+                what: "x vector",
+            });
+        }
+        if y.len() != self.nrows() {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.nrows(),
+                got: y.len(),
+                what: "y vector",
+            });
+        }
+        Ok(())
+    }
+}

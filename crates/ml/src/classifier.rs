@@ -1,0 +1,26 @@
+//! The common classifier interface.
+
+use crate::Dataset;
+
+/// A trainable multiclass classifier over dense feature rows.
+///
+/// Implementations are deterministic given their configured seed, so
+/// experiment tables are exactly reproducible.
+pub trait Classifier {
+    /// Fit on a training dataset, replacing any previous model.
+    fn fit(&mut self, data: &Dataset);
+
+    /// Predict the class of one feature row.
+    ///
+    /// # Panics
+    /// Panics if called before `fit` or with a row of the wrong width.
+    fn predict_one(&self, x: &[f64]) -> usize;
+
+    /// Predict a batch of rows. The default maps `predict_one`.
+    fn predict(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict_one(x)).collect()
+    }
+
+    /// Short display name for report tables.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,452 @@
+//! Birch clustering: a CF-tree (clustering-feature tree) first pass that
+//! compresses the data into subclusters, followed by a global weighted
+//! K-Means over the subcluster centroids (Zhang, Ramakrishnan, Livny 1996;
+//! scikit-learn uses an agglomerative global step, any global clusterer is
+//! admissible).
+
+use super::{ClusterAlgorithm, Clustering};
+use crate::sq_dist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Birch configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Birch {
+    /// Number of final clusters (the paper's `NC`).
+    pub n_clusters: usize,
+    /// Subcluster absorption radius threshold.
+    pub threshold: f64,
+    /// Maximum entries per CF-tree node before it splits.
+    pub branching_factor: usize,
+    /// Seed for the global K-Means step.
+    pub seed: u64,
+}
+
+impl Birch {
+    /// Birch with `n_clusters` final clusters and library defaults
+    /// (threshold 0.25, branching factor 50).
+    pub fn new(n_clusters: usize, seed: u64) -> Self {
+        assert!(n_clusters >= 1, "need at least one cluster");
+        Birch {
+            n_clusters,
+            threshold: 0.25,
+            branching_factor: 50,
+            seed,
+        }
+    }
+}
+
+/// A clustering feature: count, linear sum, and squared-norm sum.
+#[derive(Debug, Clone, PartialEq)]
+struct Cf {
+    n: f64,
+    ls: Vec<f64>,
+    ss: f64,
+}
+
+impl Cf {
+    fn from_point(p: &[f64]) -> Self {
+        Cf {
+            n: 1.0,
+            ls: p.to_vec(),
+            ss: p.iter().map(|v| v * v).sum(),
+        }
+    }
+
+    fn centroid(&self) -> Vec<f64> {
+        self.ls.iter().map(|v| v / self.n).collect()
+    }
+
+    fn merge(&mut self, other: &Cf) {
+        self.n += other.n;
+        for (a, b) in self.ls.iter_mut().zip(&other.ls) {
+            *a += b;
+        }
+        self.ss += other.ss;
+    }
+
+    /// RMS radius of this CF after absorbing `other`.
+    fn radius_after_merge(&self, other: &Cf) -> f64 {
+        let n = self.n + other.n;
+        let ss = self.ss + other.ss;
+        let mut c2 = 0.0;
+        for (a, b) in self.ls.iter().zip(&other.ls) {
+            let s = a + b;
+            c2 += (s / n) * (s / n);
+        }
+        (ss / n - c2).max(0.0).sqrt()
+    }
+
+    fn centroid_sq_dist(&self, other: &Cf) -> f64 {
+        let mut d = 0.0;
+        for (a, b) in self.ls.iter().zip(&other.ls) {
+            let diff = a / self.n - b / other.n;
+            d += diff * diff;
+        }
+        d
+    }
+}
+
+enum Node {
+    Leaf { entries: Vec<Cf> },
+    Internal { summaries: Vec<Cf>, children: Vec<Node> },
+}
+
+/// Result of inserting into a node: possibly a split into two halves.
+enum InsertResult {
+    Ok,
+    Split(Cf, Node, Cf, Node),
+}
+
+fn summarize(entries: &[Cf]) -> Cf {
+    let mut total = entries[0].clone();
+    for e in &entries[1..] {
+        total.merge(e);
+    }
+    total
+}
+
+/// Split a set of CFs into two groups seeded by the farthest pair.
+fn split_entries(mut entries: Vec<Cf>) -> (Vec<Cf>, Vec<Cf>) {
+    let n = entries.len();
+    debug_assert!(n >= 2);
+    let (mut si, mut sj, mut best) = (0, 1, -1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = entries[i].centroid_sq_dist(&entries[j]);
+            if d > best {
+                best = d;
+                si = i;
+                sj = j;
+            }
+        }
+    }
+    // Remove the higher index first so the lower one stays valid.
+    let seed_b = entries.remove(sj);
+    let seed_a = entries.remove(si);
+    let mut a = vec![seed_a];
+    let mut b = vec![seed_b];
+    for e in entries {
+        if e.centroid_sq_dist(&a[0]) <= e.centroid_sq_dist(&b[0]) {
+            a.push(e);
+        } else {
+            b.push(e);
+        }
+    }
+    (a, b)
+}
+
+impl Node {
+    fn insert(&mut self, point_cf: Cf, threshold: f64, branching: usize) -> InsertResult {
+        match self {
+            Node::Leaf { entries } => {
+                // Nearest entry by centroid distance.
+                if let Some((idx, _)) = entries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| (i, e.centroid_sq_dist(&point_cf)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                {
+                    if entries[idx].radius_after_merge(&point_cf) <= threshold {
+                        entries[idx].merge(&point_cf);
+                        return InsertResult::Ok;
+                    }
+                }
+                entries.push(point_cf);
+                if entries.len() <= branching {
+                    return InsertResult::Ok;
+                }
+                let (a, b) = split_entries(std::mem::take(entries));
+                let (cfa, cfb) = (summarize(&a), summarize(&b));
+                InsertResult::Split(cfa, Node::Leaf { entries: a }, cfb, Node::Leaf { entries: b })
+            }
+            Node::Internal { summaries, children } => {
+                let (idx, _) = summaries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (i, s.centroid_sq_dist(&point_cf)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("internal nodes are non-empty");
+                summaries[idx].merge(&point_cf);
+                match children[idx].insert(point_cf, threshold, branching) {
+                    InsertResult::Ok => InsertResult::Ok,
+                    InsertResult::Split(cfa, na, cfb, nb) => {
+                        summaries[idx] = cfa;
+                        children[idx] = na;
+                        summaries.push(cfb);
+                        children.push(nb);
+                        if children.len() <= branching {
+                            return InsertResult::Ok;
+                        }
+                        // Split this internal node: partition children by
+                        // proximity to the farthest summary pair.
+                        let summaries_taken = std::mem::take(summaries);
+                        let children_taken = std::mem::take(children);
+                        let n = summaries_taken.len();
+                        let (mut si, mut sj, mut best) = (0, 1, -1.0);
+                        for i in 0..n {
+                            for j in (i + 1)..n {
+                                let d = summaries_taken[i].centroid_sq_dist(&summaries_taken[j]);
+                                if d > best {
+                                    best = d;
+                                    si = i;
+                                    sj = j;
+                                }
+                            }
+                        }
+                        let mut sa = Vec::new();
+                        let mut ca = Vec::new();
+                        let mut sb = Vec::new();
+                        let mut cb = Vec::new();
+                        let anchor_a = summaries_taken[si].clone();
+                        let anchor_b = summaries_taken[sj].clone();
+                        for (s, c) in summaries_taken.into_iter().zip(children_taken) {
+                            if s.centroid_sq_dist(&anchor_a) <= s.centroid_sq_dist(&anchor_b) {
+                                sa.push(s);
+                                ca.push(c);
+                            } else {
+                                sb.push(s);
+                                cb.push(c);
+                            }
+                        }
+                        let (cfa, cfb) = (summarize(&sa), summarize(&sb));
+                        InsertResult::Split(
+                            cfa,
+                            Node::Internal { summaries: sa, children: ca },
+                            cfb,
+                            Node::Internal { summaries: sb, children: cb },
+                        )
+                    }
+                }
+            }
+        }
+    }
+
+    fn collect_leaf_entries(&self, out: &mut Vec<Cf>) {
+        match self {
+            Node::Leaf { entries } => out.extend(entries.iter().cloned()),
+            Node::Internal { children, .. } => {
+                for c in children {
+                    c.collect_leaf_entries(out);
+                }
+            }
+        }
+    }
+}
+
+/// Weighted K-Means over subcluster centroids (the global step).
+fn weighted_kmeans(
+    centroids_in: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    let n = centroids_in.len();
+    let k = k.min(n);
+    let dim = centroids_in[0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Weighted k-means++ seeding.
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = rng.gen_range(0..n);
+    centers.push(centroids_in[first].clone());
+    let mut d2: Vec<f64> = centroids_in
+        .iter()
+        .zip(weights)
+        .map(|(p, &w)| w * sq_dist(p, &centers[0]))
+        .collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centers.push(centroids_in[next].clone());
+        for (i, p) in centroids_in.iter().enumerate() {
+            let d = weights[i] * sq_dist(p, centers.last().expect("just pushed"));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+
+    for _ in 0..100 {
+        let assignments: Vec<usize> = centroids_in
+            .iter()
+            .map(|p| {
+                centers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| (i, sq_dist(p, c)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(i, _)| i)
+                    .expect("k >= 1")
+            })
+            .collect();
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut wsum = vec![0.0; k];
+        for ((p, &a), &w) in centroids_in.iter().zip(&assignments).zip(weights) {
+            wsum[a] += w;
+            for (s, v) in sums[a].iter_mut().zip(p) {
+                *s += w * v;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            if wsum[c] <= 0.0 {
+                continue;
+            }
+            let new_c: Vec<f64> = sums[c].iter().map(|s| s / wsum[c]).collect();
+            movement += sq_dist(&centers[c], &new_c);
+            centers[c] = new_c;
+        }
+        if movement < 1e-12 {
+            break;
+        }
+    }
+    centers
+}
+
+impl ClusterAlgorithm for Birch {
+    fn fit(&self, points: &[Vec<f64>]) -> Clustering {
+        assert!(!points.is_empty(), "cannot cluster an empty point set");
+
+        // Phase 1: build the CF tree.
+        let mut root = Node::Leaf { entries: Vec::new() };
+        for p in points {
+            match root.insert(Cf::from_point(p), self.threshold, self.branching_factor) {
+                InsertResult::Ok => {}
+                InsertResult::Split(cfa, na, cfb, nb) => {
+                    root = Node::Internal {
+                        summaries: vec![cfa, cfb],
+                        children: vec![na, nb],
+                    };
+                }
+            }
+        }
+        let mut subclusters = Vec::new();
+        root.collect_leaf_entries(&mut subclusters);
+
+        // Phase 3: global clustering of subcluster centroids.
+        let sub_centroids: Vec<Vec<f64>> = subclusters.iter().map(|c| c.centroid()).collect();
+        let weights: Vec<f64> = subclusters.iter().map(|c| c.n).collect();
+        let centroids = weighted_kmeans(&sub_centroids, &weights, self.n_clusters, self.seed);
+
+        let assignments = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| (i, sq_dist(p, c)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(i, _)| i)
+                    .expect("at least one centroid")
+            })
+            .collect();
+        Clustering {
+            centroids,
+            assignments,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Birch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn blobs(per: usize, centers: &[(f64, f64)], seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..per {
+                pts.push(vec![cx + rng.gen_range(-0.4..0.4), cy + rng.gen_range(-0.4..0.4)]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn cf_merge_updates_moments() {
+        let mut a = Cf::from_point(&[1.0, 2.0]);
+        a.merge(&Cf::from_point(&[3.0, 4.0]));
+        assert_eq!(a.n, 2.0);
+        assert_eq!(a.ls, vec![4.0, 6.0]);
+        assert_eq!(a.ss, 1.0 + 4.0 + 9.0 + 16.0);
+        assert_eq!(a.centroid(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn radius_after_merge_of_identical_points_is_zero() {
+        let a = Cf::from_point(&[5.0, 5.0]);
+        let b = Cf::from_point(&[5.0, 5.0]);
+        assert!(a.radius_after_merge(&b) < 1e-9);
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let pts = blobs(40, &[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], 1);
+        let c = Birch::new(3, 5).fit(&pts);
+        assert_eq!(c.n_clusters(), 3);
+        for blob in 0..3 {
+            let ids: std::collections::HashSet<usize> =
+                (0..40).map(|i| c.assignments[blob * 40 + i]).collect();
+            assert_eq!(ids.len(), 1, "blob {blob} split");
+        }
+    }
+
+    #[test]
+    fn tight_threshold_many_subclusters_still_k_final() {
+        let pts = blobs(50, &[(0.0, 0.0), (6.0, 6.0)], 2);
+        let b = Birch {
+            threshold: 1e-6,
+            ..Birch::new(2, 1)
+        };
+        let c = b.fit(&pts);
+        assert_eq!(c.n_clusters(), 2);
+    }
+
+    #[test]
+    fn branching_splits_do_not_lose_points() {
+        // Force many splits with a tiny branching factor.
+        let pts = blobs(60, &[(0.0, 0.0), (4.0, 0.0), (8.0, 0.0)], 3);
+        let b = Birch {
+            branching_factor: 4,
+            threshold: 0.2,
+            ..Birch::new(3, 2)
+        };
+        let c = b.fit(&pts);
+        assert_eq!(c.assignments.len(), 180);
+        assert_eq!(c.n_clusters(), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts = blobs(30, &[(0.0, 0.0), (7.0, 7.0)], 4);
+        let b = Birch::new(4, 9);
+        assert_eq!(b.fit(&pts), b.fit(&pts));
+    }
+
+    #[test]
+    fn n_clusters_clamped_to_points() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let c = Birch::new(10, 0).fit(&pts);
+        assert!(c.n_clusters() <= 3);
+    }
+}

@@ -1,0 +1,231 @@
+//! K-Means clustering with k-means++ seeding and Lloyd iterations.
+
+use super::{ClusterAlgorithm, Clustering};
+use crate::sq_dist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// K-Means configuration.
+///
+/// ```
+/// use spsel_ml::{ClusterAlgorithm, KMeans};
+/// let points = vec![vec![0.0], vec![0.1], vec![9.0], vec![9.1]];
+/// let clustering = KMeans::new(2, 42).fit(&points);
+/// assert_eq!(clustering.n_clusters(), 2);
+/// assert_eq!(clustering.assign(&[0.05]), clustering.assignments[0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    /// Number of clusters (the paper's `NC`).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on total centroid movement.
+    pub tol: f64,
+    /// Seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl KMeans {
+    /// K-Means with `k` clusters and sensible defaults.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "k must be positive");
+        KMeans {
+            k,
+            max_iter: 100,
+            tol: 1e-9,
+            seed,
+        }
+    }
+
+    /// k-means++ seeding: first centroid uniform, each next one sampled
+    /// proportional to squared distance from the nearest chosen centroid.
+    fn init_centroids(&self, points: &[Vec<f64>], rng: &mut StdRng) -> Vec<Vec<f64>> {
+        let n = points.len();
+        let k = self.k.min(n);
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(points[rng.gen_range(0..n)].clone());
+        let mut d2: Vec<f64> = points
+            .iter()
+            .map(|p| sq_dist(p, &centroids[0]))
+            .collect();
+        while centroids.len() < k {
+            let total: f64 = d2.iter().sum();
+            let next = if total <= 0.0 {
+                // All remaining points coincide with chosen centroids.
+                rng.gen_range(0..n)
+            } else {
+                let mut target = rng.gen_range(0.0..total);
+                let mut chosen = n - 1;
+                for (i, &d) in d2.iter().enumerate() {
+                    if target < d {
+                        chosen = i;
+                        break;
+                    }
+                    target -= d;
+                }
+                chosen
+            };
+            centroids.push(points[next].clone());
+            let c = centroids.last().expect("just pushed");
+            for (i, p) in points.iter().enumerate() {
+                let d = sq_dist(p, c);
+                if d < d2[i] {
+                    d2[i] = d;
+                }
+            }
+        }
+        centroids
+    }
+}
+
+impl ClusterAlgorithm for KMeans {
+    fn fit(&self, points: &[Vec<f64>]) -> Clustering {
+        assert!(!points.is_empty(), "cannot cluster an empty point set");
+        let n = points.len();
+        let dim = points[0].len();
+        let k = self.k.min(n);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut centroids = self.init_centroids(points, &mut rng);
+        let mut assignments = vec![0usize; n];
+
+        for _ in 0..self.max_iter {
+            // Assignment step (parallel).
+            assignments = points
+                .par_iter()
+                .map(|p| {
+                    centroids
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| (i, sq_dist(p, c)))
+                        .min_by(|a, b| a.1.total_cmp(&b.1))
+                        .map(|(i, _)| i)
+                        .expect("k >= 1")
+                })
+                .collect();
+
+            // Update step.
+            let mut sums = vec![vec![0.0; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (p, &a) in points.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, v) in sums[a].iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+            let mut movement = 0.0;
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at the point farthest from
+                    // its centroid, a standard repair that keeps k stable.
+                    let (far, _) = points
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| (i, sq_dist(p, &centroids[assignments[i]])))
+                        .max_by(|a, b| a.1.total_cmp(&b.1))
+                        .expect("non-empty points");
+                    movement += sq_dist(&centroids[c], &points[far]);
+                    centroids[c] = points[far].clone();
+                    continue;
+                }
+                let inv = 1.0 / counts[c] as f64;
+                let mut new_c = sums[c].clone();
+                for v in new_c.iter_mut() {
+                    *v *= inv;
+                }
+                movement += sq_dist(&centroids[c], &new_c);
+                centroids[c] = new_c;
+            }
+            if movement < self.tol {
+                break;
+            }
+        }
+
+        // Final assignment against the last centroids.
+        let assignments = points
+            .par_iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| (i, sq_dist(p, c)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(i, _)| i)
+                    .expect("k >= 1")
+            })
+            .collect();
+        Clustering {
+            centroids,
+            assignments,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "K-Means"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn blobs(per: usize, centers: &[(f64, f64)], seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..per {
+                pts.push(vec![cx + rng.gen_range(-0.5..0.5), cy + rng.gen_range(-0.5..0.5)]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let pts = blobs(30, &[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], 1);
+        let c = KMeans::new(3, 7).fit(&pts);
+        assert_eq!(c.n_clusters(), 3);
+        // Every blob maps to a single cluster.
+        for blob in 0..3 {
+            let ids: std::collections::HashSet<usize> =
+                (0..30).map(|i| c.assignments[blob * 30 + i]).collect();
+            assert_eq!(ids.len(), 1, "blob {blob} split across clusters");
+        }
+        // Low inertia: all points near their centroid.
+        assert!((c.inertia(&pts) / pts.len() as f64) < 0.5);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let c = KMeans::new(10, 0).fit(&pts);
+        assert_eq!(c.n_clusters(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = blobs(20, &[(0.0, 0.0), (5.0, 5.0)], 2);
+        let a = KMeans::new(4, 3).fit(&pts);
+        let b = KMeans::new(4, 3).fit(&pts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_points_handled() {
+        let pts = vec![vec![1.0, 1.0]; 10];
+        let c = KMeans::new(3, 0).fit(&pts);
+        assert!(c.n_clusters() <= 3);
+        assert_eq!(c.inertia(&pts), 0.0);
+    }
+
+    #[test]
+    fn more_clusters_lower_inertia() {
+        let pts = blobs(25, &[(0.0, 0.0), (4.0, 4.0), (8.0, 0.0), (4.0, -4.0)], 5);
+        let i2 = KMeans::new(2, 1).fit(&pts).inertia(&pts);
+        let i8 = KMeans::new(8, 1).fit(&pts).inertia(&pts);
+        assert!(i8 < i2, "inertia should decrease with k: {i8} >= {i2}");
+    }
+}

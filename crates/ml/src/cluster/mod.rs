@@ -1,0 +1,300 @@
+//! Clustering algorithms: the heart of the paper's semi-supervised method.
+//!
+//! Each algorithm consumes embedded feature points and produces a
+//! [`Clustering`]: a set of centroids plus the training assignments. New
+//! matrices are assigned to the nearest centroid (the paper's
+//! centroid-based prediction rule), so clusters carry across architectures
+//! while labels stay per-architecture.
+
+pub mod birch;
+pub mod kmeans;
+pub mod meanshift;
+pub mod online;
+
+use crate::sq_dist;
+use serde::{Deserialize, Serialize};
+
+/// The result of fitting a clustering algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index per training point.
+    pub assignments: Vec<usize>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Index of the centroid nearest to `x`.
+    pub fn assign(&self, x: &[f64]) -> usize {
+        assert!(!self.centroids.is_empty(), "empty clustering");
+        self.centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, sq_dist(x, c)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+            .expect("at least one centroid")
+    }
+
+    /// Members (training point indices) of each cluster.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut m = vec![Vec::new(); self.n_clusters()];
+        for (i, &c) in self.assignments.iter().enumerate() {
+            m[c].push(i);
+        }
+        m
+    }
+
+    /// Sum of squared distances of training points to their centroid
+    /// (inertia), given the original points.
+    pub fn inertia(&self, points: &[Vec<f64>]) -> f64 {
+        points
+            .iter()
+            .zip(&self.assignments)
+            .map(|(p, &c)| sq_dist(p, &self.centroids[c]))
+            .sum()
+    }
+
+    /// Merge cluster `b` into cluster `a` (the paper notes that merging
+    /// and splitting clusters is cheaper than retraining when the corpus
+    /// evolves). The merged centroid is the member-weighted mean; cluster
+    /// indices above `b` shift down by one.
+    ///
+    /// # Panics
+    /// Panics if `a == b` or either index is out of range.
+    pub fn merge(&mut self, a: usize, b: usize) {
+        assert!(a != b, "cannot merge a cluster with itself");
+        assert!(a < self.n_clusters() && b < self.n_clusters());
+        let (na, nb) = {
+            let mut counts = (0usize, 0usize);
+            for &c in &self.assignments {
+                if c == a {
+                    counts.0 += 1;
+                } else if c == b {
+                    counts.1 += 1;
+                }
+            }
+            counts
+        };
+        let total = (na + nb).max(1) as f64;
+        let cb = self.centroids[b].clone();
+        for (va, vb) in self.centroids[a].iter_mut().zip(&cb) {
+            *va = (*va * na as f64 + *vb * nb as f64) / total;
+        }
+        self.centroids.remove(b);
+        for c in self.assignments.iter_mut() {
+            if *c == b {
+                *c = a - (a > b) as usize;
+            } else if *c > b {
+                *c -= 1;
+            }
+        }
+    }
+
+    /// Split cluster `c` into two by a 2-means pass over its members
+    /// (given the original points). Returns the index of the new cluster,
+    /// or `None` if the cluster has fewer than two distinct members.
+    pub fn split(&mut self, c: usize, points: &[Vec<f64>], seed: u64) -> Option<usize> {
+        assert!(c < self.n_clusters());
+        assert_eq!(points.len(), self.assignments.len());
+        let members: Vec<usize> = self
+            .assignments
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect();
+        if members.len() < 2 {
+            return None;
+        }
+        let member_points: Vec<Vec<f64>> =
+            members.iter().map(|&i| points[i].clone()).collect();
+        let sub = crate::cluster::kmeans::KMeans::new(2, seed).fit(&member_points);
+        let side_b = sub.assignments.iter().filter(|&&a| a == 1).count();
+        if sub.n_clusters() < 2 || side_b == 0 || side_b == members.len() {
+            return None; // all members identical: no genuine split exists
+        }
+        let new_index = self.n_clusters();
+        self.centroids[c] = sub.centroids[0].clone();
+        self.centroids.push(sub.centroids[1].clone());
+        for (pos, &i) in members.iter().enumerate() {
+            if sub.assignments[pos] == 1 {
+                self.assignments[i] = new_index;
+            }
+        }
+        Some(new_index)
+    }
+}
+
+/// A clustering algorithm that can be fit on a set of points.
+pub trait ClusterAlgorithm {
+    /// Fit on the given points.
+    ///
+    /// # Panics
+    /// Panics on an empty point set.
+    fn fit(&self, points: &[Vec<f64>]) -> Clustering;
+
+    /// Short display name for report tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Purity of each cluster with respect to ground-truth labels: the fraction
+/// of members whose label equals the cluster's plurality label. Returns
+/// `(per_cluster_purity, overall_weighted_purity)`; empty clusters get
+/// purity 1.
+pub fn cluster_purity(
+    clustering: &Clustering,
+    labels: &[usize],
+    n_classes: usize,
+) -> (Vec<f64>, f64) {
+    assert_eq!(clustering.assignments.len(), labels.len());
+    let members = clustering.members();
+    let mut per = Vec::with_capacity(members.len());
+    let mut weighted = 0.0;
+    let total: usize = members.iter().map(|m| m.len()).sum();
+    for m in &members {
+        if m.is_empty() {
+            per.push(1.0);
+            continue;
+        }
+        let mut counts = vec![0usize; n_classes];
+        for &i in m {
+            counts[labels[i]] += 1;
+        }
+        let purity = *counts.iter().max().expect("non-empty") as f64 / m.len() as f64;
+        per.push(purity);
+        weighted += purity * m.len() as f64;
+    }
+    let overall = if total == 0 { 1.0 } else { weighted / total as f64 };
+    (per, overall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_clustering() -> Clustering {
+        Clustering {
+            centroids: vec![vec![0.0, 0.0], vec![10.0, 10.0]],
+            assignments: vec![0, 0, 1, 1, 1],
+        }
+    }
+
+    #[test]
+    fn assign_picks_nearest() {
+        let c = toy_clustering();
+        assert_eq!(c.assign(&[1.0, -1.0]), 0);
+        assert_eq!(c.assign(&[9.0, 12.0]), 1);
+    }
+
+    #[test]
+    fn members_partition_points() {
+        let m = toy_clustering().members();
+        assert_eq!(m[0], vec![0, 1]);
+        assert_eq!(m[1], vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn purity_of_pure_clusters_is_one() {
+        let c = toy_clustering();
+        let labels = [2, 2, 0, 0, 0];
+        let (per, overall) = cluster_purity(&c, &labels, 3);
+        assert_eq!(per, vec![1.0, 1.0]);
+        assert_eq!(overall, 1.0);
+    }
+
+    #[test]
+    fn purity_of_mixed_cluster() {
+        let c = toy_clustering();
+        let labels = [2, 1, 0, 0, 1];
+        let (per, overall) = cluster_purity(&c, &labels, 3);
+        assert_eq!(per[0], 0.5);
+        assert!((per[1] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((overall - (0.5 * 2.0 + 2.0 / 3.0 * 3.0) / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_clusters() {
+        let mut c = toy_clustering();
+        c.merge(0, 1);
+        assert_eq!(c.n_clusters(), 1);
+        assert!(c.assignments.iter().all(|&a| a == 0));
+        // Weighted mean of (0,0) x2 and (10,10) x3.
+        assert_eq!(c.centroids[0], vec![6.0, 6.0]);
+    }
+
+    #[test]
+    fn merge_higher_into_lower_and_vice_versa_agree_on_membership() {
+        let mut a = toy_clustering();
+        let mut b = toy_clustering();
+        a.merge(0, 1);
+        b.merge(1, 0);
+        assert_eq!(a.n_clusters(), 1);
+        assert_eq!(b.n_clusters(), 1);
+        assert_eq!(a.centroids[0], b.centroids[0]);
+    }
+
+    #[test]
+    fn merge_shifts_higher_indices() {
+        let mut c = Clustering {
+            centroids: vec![vec![0.0], vec![5.0], vec![10.0]],
+            assignments: vec![0, 1, 2, 2],
+        };
+        c.merge(0, 1);
+        assert_eq!(c.n_clusters(), 2);
+        // The former cluster 2 is now cluster 1.
+        assert_eq!(c.assignments, vec![0, 0, 1, 1]);
+        assert_eq!(c.centroids[1], vec![10.0]);
+    }
+
+    #[test]
+    fn split_separates_bimodal_cluster() {
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+        ];
+        let mut c = Clustering {
+            centroids: vec![vec![5.0, 5.0]],
+            assignments: vec![0, 0, 0, 0],
+        };
+        let new = c.split(0, &points, 3).expect("splittable");
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.assignments[0], c.assignments[1]);
+        assert_eq!(c.assignments[2], c.assignments[3]);
+        assert_ne!(c.assignments[0], c.assignments[2]);
+        assert_eq!(new, 1);
+    }
+
+    #[test]
+    fn split_refuses_singleton_and_identical() {
+        let points = vec![vec![1.0], vec![1.0], vec![2.0]];
+        let mut c = Clustering {
+            centroids: vec![vec![1.0], vec![2.0]],
+            assignments: vec![0, 0, 1],
+        };
+        // Cluster 1 has one member.
+        assert_eq!(c.split(1, &points, 0), None);
+        // Cluster 0 has two identical members: 2-means collapses.
+        assert_eq!(c.split(0, &points, 0), None);
+    }
+
+    #[test]
+    fn inertia_zero_for_points_on_centroids() {
+        let c = toy_clustering();
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![10.0, 10.0],
+            vec![10.0, 10.0],
+            vec![10.0, 10.0],
+        ];
+        assert_eq!(c.inertia(&pts), 0.0);
+    }
+}

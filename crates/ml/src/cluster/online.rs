@@ -1,0 +1,190 @@
+//! Online (incremental) K-Means.
+//!
+//! The paper's conclusion calls for an *online* learning scenario in which
+//! new matrices arrive continuously and new clusters form on the fly, and
+//! notes it "would require an incremental clustering algorithm, which is
+//! beyond the scope of this work". This module provides that extension:
+//! sequential K-Means with distance-threshold cluster creation, so a
+//! deployed selector can absorb never-before-seen sparsity patterns
+//! without refitting.
+
+use super::Clustering;
+use crate::{dist, sq_dist};
+use serde::{Deserialize, Serialize};
+
+/// Incremental K-Means with threshold-gated cluster creation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineKMeans {
+    /// A point farther than this from every centroid opens a new cluster.
+    pub distance_threshold: f64,
+    /// Hard cap on the number of clusters.
+    pub max_clusters: usize,
+    centroids: Vec<Vec<f64>>,
+    counts: Vec<usize>,
+}
+
+impl OnlineKMeans {
+    /// New empty model.
+    pub fn new(distance_threshold: f64, max_clusters: usize) -> Self {
+        assert!(distance_threshold > 0.0, "threshold must be positive");
+        assert!(max_clusters >= 1, "need at least one cluster slot");
+        OnlineKMeans {
+            distance_threshold,
+            max_clusters,
+            centroids: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Warm-start from an existing (batch) clustering.
+    pub fn from_clustering(c: &Clustering, distance_threshold: f64, max_clusters: usize) -> Self {
+        let members = c.members();
+        OnlineKMeans {
+            distance_threshold,
+            max_clusters: max_clusters.max(c.n_clusters()),
+            centroids: c.centroids.clone(),
+            counts: members.iter().map(|m| m.len().max(1)).collect(),
+        }
+    }
+
+    /// Current number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Current centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Observations absorbed per cluster.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Absorb one observation; returns `(cluster_index, created_new)`.
+    ///
+    /// The point joins the nearest centroid if it is within the threshold
+    /// (or the cluster cap is reached), moving that centroid by the running
+    /// mean update `c += (x - c) / n`; otherwise it seeds a new cluster.
+    pub fn observe(&mut self, x: &[f64]) -> (usize, bool) {
+        if self.centroids.is_empty() {
+            self.centroids.push(x.to_vec());
+            self.counts.push(1);
+            return (0, true);
+        }
+        let (nearest, d2) = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, sq_dist(x, c)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty");
+        let far = d2.sqrt() > self.distance_threshold;
+        if far && self.centroids.len() < self.max_clusters {
+            self.centroids.push(x.to_vec());
+            self.counts.push(1);
+            return (self.centroids.len() - 1, true);
+        }
+        self.counts[nearest] += 1;
+        let n = self.counts[nearest] as f64;
+        for (c, v) in self.centroids[nearest].iter_mut().zip(x) {
+            *c += (v - *c) / n;
+        }
+        (nearest, false)
+    }
+
+    /// Nearest-centroid assignment without updating the model.
+    pub fn assign(&self, x: &[f64]) -> usize {
+        assert!(!self.centroids.is_empty(), "no observations yet");
+        self.centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, sq_dist(x, c)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    }
+
+    /// Distance from `x` to its nearest centroid (an outlier score).
+    pub fn novelty(&self, x: &[f64]) -> f64 {
+        self.centroids
+            .iter()
+            .map(|c| dist(x, c))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_point_creates_cluster() {
+        let mut m = OnlineKMeans::new(1.0, 10);
+        let (id, new) = m.observe(&[0.0, 0.0]);
+        assert_eq!((id, new), (0, true));
+        assert_eq!(m.n_clusters(), 1);
+    }
+
+    #[test]
+    fn nearby_points_join_and_shift_centroid() {
+        let mut m = OnlineKMeans::new(2.0, 10);
+        m.observe(&[0.0, 0.0]);
+        let (id, new) = m.observe(&[1.0, 0.0]);
+        assert_eq!((id, new), (0, false));
+        assert_eq!(m.centroids()[0], vec![0.5, 0.0]);
+        assert_eq!(m.counts()[0], 2);
+    }
+
+    #[test]
+    fn distant_point_opens_new_cluster() {
+        let mut m = OnlineKMeans::new(1.0, 10);
+        m.observe(&[0.0, 0.0]);
+        let (id, new) = m.observe(&[10.0, 0.0]);
+        assert_eq!((id, new), (1, true));
+    }
+
+    #[test]
+    fn cap_forces_absorption() {
+        let mut m = OnlineKMeans::new(0.5, 2);
+        m.observe(&[0.0]);
+        m.observe(&[10.0]);
+        let (id, new) = m.observe(&[100.0]);
+        assert!(!new);
+        assert_eq!(id, 1); // nearest existing cluster
+        assert_eq!(m.n_clusters(), 2);
+    }
+
+    #[test]
+    fn warm_start_preserves_batch_centroids() {
+        let batch = Clustering {
+            centroids: vec![vec![0.0], vec![5.0]],
+            assignments: vec![0, 0, 1],
+        };
+        let m = OnlineKMeans::from_clustering(&batch, 1.0, 8);
+        assert_eq!(m.n_clusters(), 2);
+        assert_eq!(m.assign(&[4.7]), 1);
+        assert_eq!(m.counts(), &[2, 1]);
+    }
+
+    #[test]
+    fn novelty_is_zero_on_centroid() {
+        let mut m = OnlineKMeans::new(1.0, 4);
+        m.observe(&[3.0, 4.0]);
+        assert_eq!(m.novelty(&[3.0, 4.0]), 0.0);
+        assert!((m.novelty(&[0.0, 0.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_two_blobs_converges_to_two_clusters() {
+        let mut m = OnlineKMeans::new(2.0, 50);
+        for i in 0..100 {
+            let base = if i % 2 == 0 { 0.0 } else { 20.0 };
+            let jitter = (i % 7) as f64 * 0.1;
+            m.observe(&[base + jitter]);
+        }
+        assert_eq!(m.n_clusters(), 2);
+        assert!(m.assign(&[1.0]) != m.assign(&[19.0]));
+    }
+}

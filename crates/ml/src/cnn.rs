@@ -1,0 +1,644 @@
+//! A small convolutional neural network on matrix density images,
+//! reimplementing the CNN format-selection baseline (conv → pool → conv →
+//! pool → dense → softmax) with handwritten forward and backward passes.
+//!
+//! The input to [`Classifier::fit`] is a dataset whose rows are flattened
+//! square grayscale images (`res * res` values in `[0, 1]`, see
+//! `spsel-features`' `DensityImage`).
+
+use crate::{Classifier, Dataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of [`CnnClassifier`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CnnParams {
+    /// Channels of the first 3x3 conv layer.
+    pub conv1_channels: usize,
+    /// Channels of the second 3x3 conv layer.
+    pub conv2_channels: usize,
+    /// Width of the hidden dense layer.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Seed for initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for CnnParams {
+    fn default() -> Self {
+        CnnParams {
+            conv1_channels: 8,
+            conv2_channels: 16,
+            hidden: 64,
+            epochs: 10,
+            batch_size: 32,
+            lr: 0.01,
+            momentum: 0.9,
+            seed: 0,
+        }
+    }
+}
+
+/// Fixed 3x3 convolution kernel size.
+const K: usize = 3;
+
+/// Geometry derived from the input resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Shape {
+    res: usize,
+    c1: usize, // conv1 output side = res - 2
+    p1: usize, // pool1 output side = c1 / 2
+    c2: usize, // conv2 output side = p1 - 2
+    p2: usize, // pool2 output side = c2 / 2
+}
+
+impl Shape {
+    fn new(res: usize) -> Self {
+        assert!(res >= 8, "image resolution too small for two conv/pool stages");
+        let c1 = res - (K - 1);
+        let p1 = c1 / 2;
+        let c2 = p1 - (K - 1);
+        let p2 = c2 / 2;
+        assert!(p2 >= 1, "resolution collapses to nothing");
+        Shape { res, c1, p1, c2, p2 }
+    }
+}
+
+/// All trainable parameters, flat.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Weights {
+    /// conv1: `[c1_ch][1][3][3]`
+    w1: Vec<f32>,
+    b1: Vec<f32>,
+    /// conv2: `[c2_ch][c1_ch][3][3]`
+    w2: Vec<f32>,
+    b2: Vec<f32>,
+    /// fc1: `[hidden][flat]`
+    w3: Vec<f32>,
+    b3: Vec<f32>,
+    /// fc2: `[classes][hidden]`
+    w4: Vec<f32>,
+    b4: Vec<f32>,
+}
+
+impl Weights {
+    fn zeros_like(&self) -> Weights {
+        Weights {
+            w1: vec![0.0; self.w1.len()],
+            b1: vec![0.0; self.b1.len()],
+            w2: vec![0.0; self.w2.len()],
+            b2: vec![0.0; self.b2.len()],
+            w3: vec![0.0; self.w3.len()],
+            b3: vec![0.0; self.b3.len()],
+            w4: vec![0.0; self.w4.len()],
+            b4: vec![0.0; self.b4.len()],
+        }
+    }
+
+    fn for_each_pair(&mut self, other: &Weights, mut f: impl FnMut(&mut f32, f32)) {
+        for (a, &b) in self.w1.iter_mut().zip(&other.w1) {
+            f(a, b);
+        }
+        for (a, &b) in self.b1.iter_mut().zip(&other.b1) {
+            f(a, b);
+        }
+        for (a, &b) in self.w2.iter_mut().zip(&other.w2) {
+            f(a, b);
+        }
+        for (a, &b) in self.b2.iter_mut().zip(&other.b2) {
+            f(a, b);
+        }
+        for (a, &b) in self.w3.iter_mut().zip(&other.w3) {
+            f(a, b);
+        }
+        for (a, &b) in self.b3.iter_mut().zip(&other.b3) {
+            f(a, b);
+        }
+        for (a, &b) in self.w4.iter_mut().zip(&other.w4) {
+            f(a, b);
+        }
+        for (a, &b) in self.b4.iter_mut().zip(&other.b4) {
+            f(a, b);
+        }
+    }
+}
+
+/// Activations of one forward pass, kept for backprop.
+struct Trace {
+    input: Vec<f32>,        // [res*res]
+    conv1: Vec<f32>,        // post-ReLU [c1_ch * c1 * c1]
+    pool1: Vec<f32>,        // [c1_ch * p1 * p1]
+    pool1_arg: Vec<usize>,  // argmax index into conv1
+    conv2: Vec<f32>,        // post-ReLU [c2_ch * c2 * c2]
+    pool2: Vec<f32>,        // [c2_ch * p2 * p2] == flat
+    pool2_arg: Vec<usize>,  // argmax index into conv2
+    hidden: Vec<f32>,       // post-ReLU [hidden]
+    probs: Vec<f32>,        // [classes]
+}
+
+/// Convolutional classifier on density images.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CnnClassifier {
+    params: CnnParams,
+    shape: Option<Shape>,
+    weights: Option<Weights>,
+    n_classes: usize,
+    loss_history: Vec<f32>,
+}
+
+impl CnnClassifier {
+    /// New untrained network.
+    pub fn new(params: CnnParams) -> Self {
+        CnnClassifier {
+            params,
+            shape: None,
+            weights: None,
+            n_classes: 0,
+            loss_history: Vec::new(),
+        }
+    }
+
+    /// New untrained network with default parameters.
+    pub fn with_defaults() -> Self {
+        Self::new(CnnParams::default())
+    }
+
+    fn init_weights(&self, shape: Shape, n_classes: usize, rng: &mut StdRng) -> Weights {
+        let p = &self.params;
+        let flat = p.conv2_channels * shape.p2 * shape.p2;
+        let he = |fan_in: usize, rng: &mut StdRng, len: usize| -> Vec<f32> {
+            let scale = (2.0 / fan_in as f32).sqrt();
+            (0..len).map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale).collect()
+        };
+        Weights {
+            w1: he(K * K, rng, p.conv1_channels * K * K),
+            b1: vec![0.0; p.conv1_channels],
+            w2: he(p.conv1_channels * K * K, rng, p.conv2_channels * p.conv1_channels * K * K),
+            b2: vec![0.0; p.conv2_channels],
+            w3: he(flat, rng, p.hidden * flat),
+            b3: vec![0.0; p.hidden],
+            w4: he(p.hidden, rng, n_classes * p.hidden),
+            b4: vec![0.0; n_classes],
+        }
+    }
+
+    /// Forward pass, recording activations.
+    fn forward(&self, w: &Weights, shape: Shape, x: &[f32]) -> Trace {
+        let p = &self.params;
+        let (res, c1s, p1s, c2s, p2s) = (shape.res, shape.c1, shape.p1, shape.c2, shape.p2);
+
+        // conv1 (+ReLU): single input channel.
+        let mut conv1 = vec![0.0f32; p.conv1_channels * c1s * c1s];
+        for oc in 0..p.conv1_channels {
+            let wk = &w.w1[oc * K * K..(oc + 1) * K * K];
+            for y in 0..c1s {
+                for xx in 0..c1s {
+                    let mut acc = w.b1[oc];
+                    for ki in 0..K {
+                        let row = &x[(y + ki) * res + xx..(y + ki) * res + xx + K];
+                        let wrow = &wk[ki * K..ki * K + K];
+                        acc += row[0] * wrow[0] + row[1] * wrow[1] + row[2] * wrow[2];
+                    }
+                    conv1[oc * c1s * c1s + y * c1s + xx] = acc.max(0.0);
+                }
+            }
+        }
+
+        // maxpool1 2x2.
+        let mut pool1 = vec![0.0f32; p.conv1_channels * p1s * p1s];
+        let mut pool1_arg = vec![0usize; pool1.len()];
+        for c in 0..p.conv1_channels {
+            for y in 0..p1s {
+                for xx in 0..p1s {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut arg = 0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let idx = c * c1s * c1s + (2 * y + dy) * c1s + (2 * xx + dx);
+                            if conv1[idx] > best {
+                                best = conv1[idx];
+                                arg = idx;
+                            }
+                        }
+                    }
+                    let o = c * p1s * p1s + y * p1s + xx;
+                    pool1[o] = best;
+                    pool1_arg[o] = arg;
+                }
+            }
+        }
+
+        // conv2 (+ReLU): multi-channel input.
+        let mut conv2 = vec![0.0f32; p.conv2_channels * c2s * c2s];
+        for oc in 0..p.conv2_channels {
+            for y in 0..c2s {
+                for xx in 0..c2s {
+                    let mut acc = w.b2[oc];
+                    for ic in 0..p.conv1_channels {
+                        let wk = &w.w2
+                            [(oc * p.conv1_channels + ic) * K * K..(oc * p.conv1_channels + ic + 1) * K * K];
+                        for ki in 0..K {
+                            let base = ic * p1s * p1s + (y + ki) * p1s + xx;
+                            let row = &pool1[base..base + K];
+                            let wrow = &wk[ki * K..ki * K + K];
+                            acc += row[0] * wrow[0] + row[1] * wrow[1] + row[2] * wrow[2];
+                        }
+                    }
+                    conv2[oc * c2s * c2s + y * c2s + xx] = acc.max(0.0);
+                }
+            }
+        }
+
+        // maxpool2 2x2.
+        let mut pool2 = vec![0.0f32; p.conv2_channels * p2s * p2s];
+        let mut pool2_arg = vec![0usize; pool2.len()];
+        for c in 0..p.conv2_channels {
+            for y in 0..p2s {
+                for xx in 0..p2s {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut arg = 0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let idx = c * c2s * c2s + (2 * y + dy) * c2s + (2 * xx + dx);
+                            if conv2[idx] > best {
+                                best = conv2[idx];
+                                arg = idx;
+                            }
+                        }
+                    }
+                    let o = c * p2s * p2s + y * p2s + xx;
+                    pool2[o] = best;
+                    pool2_arg[o] = arg;
+                }
+            }
+        }
+
+        // fc1 (+ReLU).
+        let flat = pool2.len();
+        let mut hidden = vec![0.0f32; p.hidden];
+        for h in 0..p.hidden {
+            let wrow = &w.w3[h * flat..(h + 1) * flat];
+            let mut acc = w.b3[h];
+            for (a, b) in wrow.iter().zip(&pool2) {
+                acc += a * b;
+            }
+            hidden[h] = acc.max(0.0);
+        }
+
+        // fc2 + softmax.
+        let mut logits = vec![0.0f32; self.n_classes];
+        for k in 0..self.n_classes {
+            let wrow = &w.w4[k * p.hidden..(k + 1) * p.hidden];
+            let mut acc = w.b4[k];
+            for (a, b) in wrow.iter().zip(&hidden) {
+                acc += a * b;
+            }
+            logits[k] = acc;
+        }
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for l in logits.iter_mut() {
+            *l = (*l - max).exp();
+            sum += *l;
+        }
+        for l in logits.iter_mut() {
+            *l /= sum;
+        }
+
+        Trace {
+            input: x.to_vec(),
+            conv1,
+            pool1,
+            pool1_arg,
+            conv2,
+            pool2,
+            pool2_arg,
+            hidden,
+            probs: logits,
+        }
+    }
+
+    /// Accumulate gradients of one sample into `grad`. Returns the
+    /// cross-entropy loss of the sample.
+    fn backward(&self, w: &Weights, shape: Shape, trace: &Trace, label: usize, grad: &mut Weights) -> f32 {
+        let p = &self.params;
+        let (res, c1s, p1s, c2s, _p2s) = (shape.res, shape.c1, shape.p1, shape.c2, shape.p2);
+        let loss = -(trace.probs[label].max(1e-12)).ln();
+
+        // d logits.
+        let mut dlogits = trace.probs.clone();
+        dlogits[label] -= 1.0;
+
+        // fc2.
+        let flat = trace.pool2.len();
+        let mut dhidden = vec![0.0f32; p.hidden];
+        for k in 0..self.n_classes {
+            let g = dlogits[k];
+            grad.b4[k] += g;
+            let wrow = &w.w4[k * p.hidden..(k + 1) * p.hidden];
+            let grow = &mut grad.w4[k * p.hidden..(k + 1) * p.hidden];
+            for h in 0..p.hidden {
+                grow[h] += g * trace.hidden[h];
+                dhidden[h] += g * wrow[h];
+            }
+        }
+        // ReLU mask on hidden.
+        for h in 0..p.hidden {
+            if trace.hidden[h] <= 0.0 {
+                dhidden[h] = 0.0;
+            }
+        }
+
+        // fc1.
+        let mut dpool2 = vec![0.0f32; flat];
+        for h in 0..p.hidden {
+            let g = dhidden[h];
+            if g == 0.0 {
+                continue;
+            }
+            grad.b3[h] += g;
+            let wrow = &w.w3[h * flat..(h + 1) * flat];
+            let grow = &mut grad.w3[h * flat..(h + 1) * flat];
+            for f in 0..flat {
+                grow[f] += g * trace.pool2[f];
+                dpool2[f] += g * wrow[f];
+            }
+        }
+
+        // unpool2 + ReLU mask on conv2.
+        let mut dconv2 = vec![0.0f32; p.conv2_channels * c2s * c2s];
+        for (o, &arg) in trace.pool2_arg.iter().enumerate() {
+            if trace.conv2[arg] > 0.0 {
+                dconv2[arg] += dpool2[o];
+            }
+        }
+
+        // conv2 backward.
+        let mut dpool1 = vec![0.0f32; p.conv1_channels * p1s * p1s];
+        for oc in 0..p.conv2_channels {
+            for y in 0..c2s {
+                for xx in 0..c2s {
+                    let g = dconv2[oc * c2s * c2s + y * c2s + xx];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    grad.b2[oc] += g;
+                    for ic in 0..p.conv1_channels {
+                        let wbase = (oc * p.conv1_channels + ic) * K * K;
+                        for ki in 0..K {
+                            let base = ic * p1s * p1s + (y + ki) * p1s + xx;
+                            for kj in 0..K {
+                                grad.w2[wbase + ki * K + kj] += g * trace.pool1[base + kj];
+                                dpool1[base + kj] += g * w.w2[wbase + ki * K + kj];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // unpool1 + ReLU mask on conv1.
+        let mut dconv1 = vec![0.0f32; p.conv1_channels * c1s * c1s];
+        for (o, &arg) in trace.pool1_arg.iter().enumerate() {
+            if trace.conv1[arg] > 0.0 {
+                dconv1[arg] += dpool1[o];
+            }
+        }
+
+        // conv1 backward (input gradients are not needed).
+        for oc in 0..p.conv1_channels {
+            for y in 0..c1s {
+                for xx in 0..c1s {
+                    let g = dconv1[oc * c1s * c1s + y * c1s + xx];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    grad.b1[oc] += g;
+                    let wbase = oc * K * K;
+                    for ki in 0..K {
+                        let base = (y + ki) * res + xx;
+                        for kj in 0..K {
+                            grad.w1[wbase + ki * K + kj] += g * trace.input[base + kj];
+                        }
+                    }
+                }
+            }
+        }
+        loss
+    }
+
+    /// Mean training cross-entropy of the last fit, per epoch.
+    pub fn loss_history(&self) -> &[f32] {
+        &self.loss_history
+    }
+}
+
+impl CnnClassifier {
+    fn as_f32(x: &[f64]) -> Vec<f32> {
+        x.iter().map(|&v| v as f32).collect()
+    }
+}
+
+impl Classifier for CnnClassifier {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let dim = data.dim();
+        let res = (dim as f64).sqrt().round() as usize;
+        assert_eq!(res * res, dim, "rows must be flattened square images");
+        let shape = Shape::new(res);
+        self.shape = Some(shape);
+        self.n_classes = data.n_classes;
+
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut weights = self.init_weights(shape, data.n_classes, &mut rng);
+        let mut velocity = weights.zeros_like();
+        self.loss_history.clear();
+
+        let n = data.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let images: Vec<Vec<f32>> = data.x.iter().map(|r| Self::as_f32(r)).collect();
+
+        for _ in 0..self.params.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f32;
+            for batch in order.chunks(self.params.batch_size) {
+                let mut grad = weights.zeros_like();
+                for &i in batch {
+                    let trace = self.forward(&weights, shape, &images[i]);
+                    epoch_loss += self.backward(&weights, shape, &trace, data.y[i], &mut grad);
+                }
+                let scale = self.params.lr / batch.len() as f32;
+                let momentum = self.params.momentum;
+                velocity.for_each_pair(&grad, |v, g| *v = momentum * *v - scale * g);
+                weights.for_each_pair(&velocity, |w, v| *w += v);
+            }
+            self.loss_history.push(epoch_loss / n as f32);
+        }
+        self.weights = Some(weights);
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        let w = self.weights.as_ref().expect("predict before fit");
+        let shape = self.shape.expect("fitted shape");
+        let trace = self.forward(w, shape, &Self::as_f32(x));
+        trace
+            .probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(k, _)| k)
+            .expect("at least one class")
+    }
+
+    fn predict(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        use rayon::prelude::*;
+        xs.par_iter().map(|x| self.predict_one(x)).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "CNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> CnnParams {
+        CnnParams {
+            conv1_channels: 2,
+            conv2_channels: 3,
+            hidden: 8,
+            epochs: 30,
+            batch_size: 8,
+            lr: 0.05,
+            momentum: 0.9,
+            seed: 1,
+        }
+    }
+
+    /// Images 10x10: class 0 lights the top half, class 1 the bottom half.
+    fn half_images(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let mut img = vec![0.0f64; 100];
+            for r in 0..10 {
+                for c in 0..10 {
+                    let lit = if class == 0 { r < 5 } else { r >= 5 };
+                    img[r * 10 + c] = if lit {
+                        0.7 + rng.gen_range(0.0..0.3)
+                    } else {
+                        rng.gen_range(0.0..0.1)
+                    };
+                }
+            }
+            x.push(img);
+            y.push(class);
+        }
+        Dataset::new(x, y, 2)
+    }
+
+    #[test]
+    fn learns_spatial_pattern() {
+        let train = half_images(60, 1);
+        let test = half_images(20, 2);
+        let mut cnn = CnnClassifier::new(tiny_params());
+        cnn.fit(&train);
+        let acc = crate::accuracy(&test.y, &cnn.predict(&test.x), 2);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let train = half_images(40, 3);
+        let mut cnn = CnnClassifier::new(tiny_params());
+        cnn.fit(&train);
+        let h = cnn.loss_history();
+        assert!(h.len() == 30);
+        assert!(
+            h.last().unwrap() < &(h[0] * 0.8),
+            "loss did not decrease: {h:?}"
+        );
+    }
+
+    #[test]
+    fn probabilities_normalized() {
+        let train = half_images(20, 4);
+        let mut cnn = CnnClassifier::new(tiny_params());
+        cnn.fit(&train);
+        let shape = cnn.shape.unwrap();
+        let w = cnn.weights.as_ref().unwrap();
+        let trace = cnn.forward(w, shape, &CnnClassifier::as_f32(&train.x[0]));
+        let sum: f32 = trace.probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        // Verify backprop on a handful of parameters with central
+        // differences on a tiny network and one sample.
+        let data = half_images(2, 5);
+        let mut cnn = CnnClassifier::new(CnnParams {
+            conv1_channels: 2,
+            conv2_channels: 2,
+            hidden: 4,
+            epochs: 0,
+            ..tiny_params()
+        });
+        cnn.n_classes = 2;
+        let shape = Shape::new(10);
+        cnn.shape = Some(shape);
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = cnn.init_weights(shape, 2, &mut rng);
+        let img = CnnClassifier::as_f32(&data.x[0]);
+        let label = data.y[0];
+
+        let mut grad = w.zeros_like();
+        let trace = cnn.forward(&w, shape, &img);
+        cnn.backward(&w, shape, &trace, label, &mut grad);
+
+        let eps = 1e-3f32;
+        // Check a sample of weights from each layer.
+        let checks: Vec<(&str, usize)> = vec![("w1", 3), ("w2", 7), ("w3", 5), ("w4", 2), ("b2", 1)];
+        for (layer, idx) in checks {
+            let mut wp = w.clone();
+            let mut wm = w.clone();
+            let (p_ref, m_ref, g): (&mut f32, &mut f32, f32) = match layer {
+                "w1" => (&mut wp.w1[idx], &mut wm.w1[idx], grad.w1[idx]),
+                "w2" => (&mut wp.w2[idx], &mut wm.w2[idx], grad.w2[idx]),
+                "w3" => (&mut wp.w3[idx], &mut wm.w3[idx], grad.w3[idx]),
+                "w4" => (&mut wp.w4[idx], &mut wm.w4[idx], grad.w4[idx]),
+                "b2" => (&mut wp.b2[idx], &mut wm.b2[idx], grad.b2[idx]),
+                _ => unreachable!(),
+            };
+            *p_ref += eps;
+            *m_ref -= eps;
+            let lp = -(cnn.forward(&wp, shape, &img).probs[label].max(1e-12)).ln();
+            let lm = -(cnn.forward(&wm, shape, &img).probs[label].max(1e-12)).ln();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - g).abs() < 2e-2 * (1.0 + num.abs().max(g.abs())),
+                "{layer}[{idx}]: numerical {num} vs analytic {g}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_square_input_rejected() {
+        let data = Dataset::new(vec![vec![0.0; 99]], vec![0], 1);
+        CnnClassifier::with_defaults().fit(&data);
+    }
+}

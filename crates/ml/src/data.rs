@@ -1,0 +1,104 @@
+//! Tabular dataset container shared by all classifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// A labeled tabular dataset: `x[i]` is a feature row, `y[i]` its class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature rows, all the same width.
+    pub x: Vec<Vec<f64>>,
+    /// Class labels in `0..n_classes`.
+    pub y: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl Dataset {
+    /// Build a dataset, validating row widths and label range.
+    ///
+    /// # Panics
+    /// Panics on length mismatch, inconsistent widths, or out-of-range
+    /// labels.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<usize>, n_classes: usize) -> Self {
+        assert_eq!(x.len(), y.len(), "one label per row");
+        if let Some(first) = x.first() {
+            let w = first.len();
+            assert!(x.iter().all(|r| r.len() == w), "inconsistent row widths");
+        }
+        assert!(
+            y.iter().all(|&l| l < n_classes),
+            "label out of range 0..{n_classes}"
+        );
+        Dataset { x, y, n_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimensionality (0 for an empty dataset).
+    pub fn dim(&self) -> usize {
+        self.x.first().map_or(0, |r| r.len())
+    }
+
+    /// Samples per class.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.y {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// New dataset containing the rows at `indices` (clones rows).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: indices.iter().map(|&i| self.x[i].clone()).collect(),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+            n_classes: self.n_classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = Dataset::new(
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            vec![0, 1, 0],
+            2,
+        );
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.class_counts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn subset_picks_rows() {
+        let d = Dataset::new(vec![vec![1.0], vec![2.0], vec![3.0]], vec![0, 1, 2], 3);
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.x, vec![vec![3.0], vec![1.0]]);
+        assert_eq!(s.y, vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_label_out_of_range() {
+        Dataset::new(vec![vec![1.0]], vec![5], 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_ragged_rows() {
+        Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 0], 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Brute-force k-nearest-neighbors classifier.
+//!
+//! The paper notes that a KNN predictor over the same transformed /
+//! scaled / PCA-projected feature space as the clustering algorithms
+//! should be competitive with the semi-supervised approach; this is that
+//! predictor.
+
+use crate::{sq_dist, Classifier, Dataset};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// KNN classifier with majority vote (ties broken toward the nearest
+/// neighbor's class).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnClassifier {
+    /// Number of neighbors.
+    pub k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl KnnClassifier {
+    /// New untrained classifier with `k` neighbors.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        KnnClassifier {
+            k,
+            x: Vec::new(),
+            y: Vec::new(),
+            n_classes: 0,
+        }
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        self.x = data.x.clone();
+        self.y = data.y.clone();
+        self.n_classes = data.n_classes;
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        assert!(!self.x.is_empty(), "predict before fit");
+        let k = self.k.min(self.x.len());
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(xi, &yi)| (sq_dist(x, xi), yi))
+            .collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let neighbors = &mut dists[..k];
+        neighbors.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+
+        let mut votes = vec![0usize; self.n_classes];
+        for &(_, label) in neighbors.iter() {
+            votes[label] += 1;
+        }
+        let max_votes = *votes.iter().max().expect("at least one class");
+        // Tie break: the tied class whose representative appears earliest
+        // in the sorted neighbor list (i.e. is nearest).
+        neighbors
+            .iter()
+            .find(|&&(_, label)| votes[label] == max_votes)
+            .map(|&(_, label)| label)
+            .expect("k >= 1")
+    }
+
+    fn predict(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.par_iter().map(|x| self.predict_one(x)).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Dataset {
+        Dataset::new(
+            vec![
+                vec![0.0, 0.0],
+                vec![0.1, 0.0],
+                vec![0.0, 0.1],
+                vec![5.0, 5.0],
+                vec![5.1, 5.0],
+                vec![5.0, 5.1],
+            ],
+            vec![0, 0, 0, 1, 1, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn nearest_cluster_wins() {
+        let mut knn = KnnClassifier::new(3);
+        knn.fit(&simple());
+        assert_eq!(knn.predict_one(&[0.2, 0.2]), 0);
+        assert_eq!(knn.predict_one(&[4.8, 4.9]), 1);
+    }
+
+    #[test]
+    fn k1_memorizes_training_data() {
+        let data = simple();
+        let mut knn = KnnClassifier::new(1);
+        knn.fit(&data);
+        assert_eq!(knn.predict(&data.x), data.y);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let data = simple();
+        let mut knn = KnnClassifier::new(100);
+        knn.fit(&data);
+        // All six points vote; 3 vs 3 tie resolved toward the nearest.
+        assert_eq!(knn.predict_one(&[0.0, 0.0]), 0);
+        assert_eq!(knn.predict_one(&[5.0, 5.0]), 1);
+    }
+
+    #[test]
+    fn tie_broken_by_proximity() {
+        let data = Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![3.0], vec![4.0]],
+            vec![0, 0, 1, 1],
+            2,
+        );
+        let mut knn = KnnClassifier::new(4);
+        knn.fit(&data);
+        // Query at 0.5: votes tie 2-2, nearest neighbor has class 0.
+        assert_eq!(knn.predict_one(&[0.5]), 0);
+        // Query at 3.5: nearest is class 1.
+        assert_eq!(knn.predict_one(&[3.5]), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_rejected() {
+        KnnClassifier::new(0);
+    }
+}

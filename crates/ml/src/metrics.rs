@@ -1,0 +1,244 @@
+//! Multiclass evaluation metrics.
+//!
+//! The paper argues that plain accuracy and F1 hide failure on the rare COO
+//! and HYB classes, and reports Matthews correlation coefficient (MCC) in
+//! its multiclass generalization (Gorodkin's R_K). All three metrics are
+//! implemented over a shared confusion matrix.
+
+use serde::{Deserialize, Serialize};
+
+/// A `k x k` confusion matrix; `counts[t][p]` counts samples of true class
+/// `t` predicted as class `p`.
+///
+/// ```
+/// use spsel_ml::ConfusionMatrix;
+/// let cm = ConfusionMatrix::from_labels(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+/// assert_eq!(cm.accuracy(), 0.75);
+/// assert!(cm.mcc() > 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Build from parallel slices of true and predicted labels.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or labels `>= n_classes`.
+    pub fn from_labels(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> Self {
+        assert_eq!(y_true.len(), y_pred.len(), "label slices must align");
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            counts[t][p] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of true class `t` predicted as `p`.
+    pub fn get(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|r| r.iter().sum::<usize>()).sum()
+    }
+
+    /// Correctly classified samples (trace).
+    pub fn correct(&self) -> usize {
+        (0..self.n_classes()).map(|i| self.counts[i][i]).sum()
+    }
+
+    /// Overall accuracy in `[0, 1]`; `1.0` for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            self.correct() as f64 / total as f64
+        }
+    }
+
+    /// Per-class F1 scores. A class absent from both truth and predictions
+    /// contributes an F1 of 0 (scikit-learn's `zero_division=0` behavior).
+    pub fn per_class_f1(&self) -> Vec<f64> {
+        let k = self.n_classes();
+        (0..k)
+            .map(|c| {
+                let tp = self.counts[c][c];
+                let fp: usize = (0..k).filter(|&t| t != c).map(|t| self.counts[t][c]).sum();
+                let fn_: usize = (0..k).filter(|&p| p != c).map(|p| self.counts[c][p]).sum();
+                let denom = 2 * tp + fp + fn_;
+                if denom == 0 {
+                    0.0
+                } else {
+                    2.0 * tp as f64 / denom as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Weighted-average F1 over classes (weights = class support), the
+    /// convention the paper's F1 column follows for the highly unbalanced
+    /// format classes.
+    pub fn weighted_f1(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        let f1 = self.per_class_f1();
+        (0..self.n_classes())
+            .map(|c| {
+                let support: usize = self.counts[c].iter().sum();
+                f1[c] * support as f64
+            })
+            .sum::<f64>()
+            / total as f64
+    }
+
+    /// Unweighted macro-average F1 over classes.
+    pub fn macro_f1(&self) -> f64 {
+        let f1 = self.per_class_f1();
+        if f1.is_empty() {
+            1.0
+        } else {
+            f1.iter().sum::<f64>() / f1.len() as f64
+        }
+    }
+
+    /// Multiclass Matthews correlation coefficient (Gorodkin's R_K).
+    ///
+    /// Returns 0 when either marginal is degenerate (all samples in one
+    /// true class, or all predictions one class), matching scikit-learn.
+    pub fn mcc(&self) -> f64 {
+        let k = self.n_classes();
+        let s = self.total() as f64;
+        if s == 0.0 {
+            return 0.0;
+        }
+        let c = self.correct() as f64;
+        let t: Vec<f64> = (0..k)
+            .map(|i| self.counts[i].iter().sum::<usize>() as f64)
+            .collect();
+        let p: Vec<f64> = (0..k)
+            .map(|j| (0..k).map(|i| self.counts[i][j]).sum::<usize>() as f64)
+            .collect();
+        let tp_sum: f64 = t.iter().zip(&p).map(|(a, b)| a * b).sum();
+        let t2: f64 = t.iter().map(|a| a * a).sum();
+        let p2: f64 = p.iter().map(|a| a * a).sum();
+        let denom = ((s * s - p2) * (s * s - t2)).sqrt();
+        if denom <= 0.0 {
+            0.0
+        } else {
+            (c * s - tp_sum) / denom
+        }
+    }
+}
+
+/// Accuracy from label slices.
+pub fn accuracy(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> f64 {
+    ConfusionMatrix::from_labels(y_true, y_pred, n_classes).accuracy()
+}
+
+/// Support-weighted F1 from label slices (the paper's F1 column).
+pub fn f1_score(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> f64 {
+    ConfusionMatrix::from_labels(y_true, y_pred, n_classes).weighted_f1()
+}
+
+/// Multiclass MCC from label slices.
+pub fn mcc(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> f64 {
+    ConfusionMatrix::from_labels(y_true, y_pred, n_classes).mcc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let y = [0, 1, 2, 1, 0];
+        let cm = ConfusionMatrix::from_labels(&y, &y, 3);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+        assert_eq!(cm.weighted_f1(), 1.0);
+        assert!((cm.mcc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn always_wrong_binary_has_negative_mcc() {
+        let y_true = [0, 0, 1, 1];
+        let y_pred = [1, 1, 0, 0];
+        let cm = ConfusionMatrix::from_labels(&y_true, &y_pred, 2);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert!((cm.mcc() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_prediction_has_zero_mcc() {
+        // Predicting the majority class everywhere: 75% accuracy, MCC 0.
+        let y_true = [0, 0, 0, 1];
+        let y_pred = [0, 0, 0, 0];
+        let cm = ConfusionMatrix::from_labels(&y_true, &y_pred, 2);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(cm.mcc(), 0.0);
+    }
+
+    #[test]
+    fn mcc_matches_binary_formula() {
+        // tp=5, tn=3, fp=2, fn=1
+        let mut y_true = vec![1; 6];
+        y_true.extend(vec![0; 5]);
+        let mut y_pred = vec![1; 5];
+        y_pred.push(0); // fn
+        y_pred.extend(vec![1, 1]); // fp
+        y_pred.extend(vec![0, 0, 0]); // tn
+        let cm = ConfusionMatrix::from_labels(&y_true, &y_pred, 2);
+        let (tp, tn, fp, fnn): (f64, f64, f64, f64) = (5.0, 3.0, 2.0, 1.0);
+        let expected = (tp * tn - fp * fnn)
+            / ((tp + fp) * (tp + fnn) * (tn + fp) * (tn + fnn)).sqrt();
+        assert!((cm.mcc() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_ignores_absent_class_support() {
+        // Class 2 never appears: weighted F1 unaffected, macro pulled down.
+        let y_true = [0, 0, 1, 1];
+        let y_pred = [0, 0, 1, 0];
+        let cm = ConfusionMatrix::from_labels(&y_true, &y_pred, 3);
+        let f1 = cm.per_class_f1();
+        assert_eq!(f1[2], 0.0);
+        assert!(cm.weighted_f1() > cm.macro_f1());
+    }
+
+    #[test]
+    fn imbalance_depresses_mcc_but_not_accuracy() {
+        // 90 majority correct, 10 minority all wrong.
+        let mut y_true = vec![0; 90];
+        y_true.extend(vec![1; 10]);
+        let y_pred = vec![0; 100];
+        let cm = ConfusionMatrix::from_labels(&y_true, &y_pred, 2);
+        assert!(cm.accuracy() >= 0.9);
+        assert_eq!(cm.mcc(), 0.0);
+    }
+
+    #[test]
+    fn counts_are_indexed_true_then_pred() {
+        let cm = ConfusionMatrix::from_labels(&[0], &[1], 2);
+        assert_eq!(cm.get(0, 1), 1);
+        assert_eq!(cm.get(1, 0), 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let cm = ConfusionMatrix::from_labels(&[], &[], 3);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.mcc(), 0.0);
+        assert_eq!(cm.total(), 0);
+    }
+}

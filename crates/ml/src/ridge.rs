@@ -1,0 +1,209 @@
+//! Ridge regression (L2-regularized least squares) solved by normal
+//! equations with Cholesky factorization.
+//!
+//! Backs the regression-style format selectors of prior work (the paper's
+//! Section 2.2: "the ML models can be either regression or classification
+//! based"): one regressor per format predicts the kernel time and the
+//! selector takes the argmin.
+
+use serde::{Deserialize, Serialize};
+
+/// Ridge regression model `y ~ w . x + b`.
+///
+/// ```
+/// use spsel_ml::RidgeRegression;
+/// let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+/// let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] + 1.0).collect();
+/// let mut m = RidgeRegression::new(1e-9);
+/// m.fit(&x, &y);
+/// assert!((m.predict_one(&[20.0]) - 61.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RidgeRegression {
+    /// L2 penalty on the weights (the bias is not penalized).
+    pub lambda: f64,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+/// Cholesky solve of the symmetric positive-definite system `A x = b`
+/// (row-major `n x n`). Returns `None` if the factorization breaks down.
+fn cholesky_solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.len();
+    let mut l = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i][j] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    // Forward substitution: L z = b.
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i][k] * z[k];
+        }
+        z[i] = sum / l[i][i];
+    }
+    // Back substitution: L^T x = z.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = z[i];
+        for k in (i + 1)..n {
+            sum -= l[k][i] * x[k];
+        }
+        x[i] = sum / l[i][i];
+    }
+    Some(x)
+}
+
+impl RidgeRegression {
+    /// New unfitted model with penalty `lambda`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        RidgeRegression {
+            lambda,
+            weights: Vec::new(),
+            bias: 0.0,
+        }
+    }
+
+    /// Fit on rows `x` with targets `y` by solving the normal equations
+    /// over the bias-augmented design matrix.
+    ///
+    /// # Panics
+    /// Panics on empty input or mismatched lengths.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len(), "one target per row");
+        assert!(!x.is_empty(), "cannot fit on empty data");
+        let n = x.len();
+        let d = x[0].len();
+        // Gram matrix of [x | 1] plus lambda I (bias unpenalized).
+        let mut gram = vec![vec![0.0f64; d + 1]; d + 1];
+        let mut rhs = vec![0.0f64; d + 1];
+        for (xi, &yi) in x.iter().zip(y) {
+            assert_eq!(xi.len(), d, "inconsistent row widths");
+            for a in 0..d {
+                for b in a..d {
+                    gram[a][b] += xi[a] * xi[b];
+                }
+                gram[a][d] += xi[a];
+                rhs[a] += xi[a] * yi;
+            }
+            rhs[d] += yi;
+        }
+        gram[d][d] = n as f64;
+        for a in 0..d {
+            for b in a..d {
+                gram[b][a] = gram[a][b];
+            }
+            gram[d][a] = gram[a][d];
+            gram[a][a] += self.lambda;
+        }
+        // Tiny jitter keeps the factorization alive on degenerate data.
+        let solution = cholesky_solve(&gram, &rhs).unwrap_or_else(|| {
+            let mut jittered = gram.clone();
+            for (i, row) in jittered.iter_mut().enumerate() {
+                row[i] += 1e-8;
+            }
+            cholesky_solve(&jittered, &rhs).expect("jittered system is SPD")
+        });
+        self.bias = solution[d];
+        self.weights = solution[..d].to_vec();
+    }
+
+    /// Predict the target of one row.
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature width mismatch");
+        self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.bias
+    }
+
+    /// Predict a batch of rows.
+    pub fn predict(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict_one(x)).collect()
+    }
+
+    /// Fitted weights (empty before `fit`).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        // y = 2 x0 - 3 x1 + 5
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 7) as f64, (i % 5) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 5.0).collect();
+        let mut m = RidgeRegression::new(1e-9);
+        m.fit(&x, &y);
+        assert!((m.weights()[0] - 2.0).abs() < 1e-6);
+        assert!((m.weights()[1] + 3.0).abs() < 1e-6);
+        assert!((m.bias() - 5.0).abs() < 1e-6);
+        assert!((m.predict_one(&[10.0, 10.0]) + 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 4.0 * r[0]).collect();
+        let mut weak = RidgeRegression::new(1e-9);
+        let mut strong = RidgeRegression::new(1e5);
+        weak.fit(&x, &y);
+        strong.fit(&x, &y);
+        assert!(strong.weights()[0].abs() < weak.weights()[0].abs());
+    }
+
+    #[test]
+    fn handles_constant_feature() {
+        // Degenerate column: Gram matrix is singular without the ridge.
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[1] * 2.0 + 1.0).collect();
+        let mut m = RidgeRegression::new(1e-6);
+        m.fit(&x, &y);
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert!((m.predict_one(xi) - yi).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert!(cholesky_solve(&a, &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut m = RidgeRegression::new(1.0);
+        m.fit(&[vec![2.0]], &[6.0]);
+        // Heavily determined by regularization but must stay finite.
+        assert!(m.predict_one(&[2.0]).is_finite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_fit_panics() {
+        RidgeRegression::new(1.0).fit(&[], &[]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Linear support vector machine, one-vs-rest, squared hinge loss.
+//!
+//! Trained by full-batch gradient descent with momentum on
+//! `0.5 ||w||^2 + C/n * sum max(0, 1 - y f(x))^2`, which is smooth and
+//! deterministic. Multiclass prediction takes the argmax of the per-class
+//! decision values. Features are expected to be pre-scaled (the supervised
+//! pipeline scales them).
+
+use crate::{Classifier, Dataset};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of [`LinearSvm`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearSvmParams {
+    /// Misclassification cost.
+    pub c: f64,
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Gradient-descent iterations per binary problem.
+    pub max_iter: usize,
+}
+
+impl Default for LinearSvmParams {
+    fn default() -> Self {
+        // The loss uses the *mean* hinge term, so `c` plays the role of
+        // `C * n` in the usual sum formulation; 500 corresponds to a
+        // moderately regularized LinearSVC on corpus-sized datasets. The
+        // learning rate is relative: the trainer divides it by a Lipschitz
+        // estimate of the objective, so the same setting is stable across
+        // feature scales.
+        LinearSvmParams {
+            c: 500.0,
+            lr: 1.0,
+            momentum: 0.95,
+            max_iter: 800,
+        }
+    }
+}
+
+/// One-vs-rest linear SVM classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearSvm {
+    params: LinearSvmParams,
+    /// Per-class weight vectors, `n_classes x (dim + 1)`, bias last.
+    weights: Vec<Vec<f64>>,
+    n_classes: usize,
+    dim: usize,
+}
+
+impl LinearSvm {
+    /// New untrained model.
+    pub fn new(params: LinearSvmParams) -> Self {
+        LinearSvm {
+            params,
+            weights: Vec::new(),
+            n_classes: 0,
+            dim: 0,
+        }
+    }
+
+    /// New untrained model with default parameters.
+    pub fn with_defaults() -> Self {
+        Self::new(LinearSvmParams::default())
+    }
+
+    /// Decision value `w_k . x + b_k` for class `k`.
+    pub fn decision(&self, k: usize, x: &[f64]) -> f64 {
+        let w = &self.weights[k];
+        w[..self.dim]
+            .iter()
+            .zip(x)
+            .map(|(wi, xi)| wi * xi)
+            .sum::<f64>()
+            + w[self.dim]
+    }
+
+    /// Fit one binary one-vs-rest problem; `targets[i]` in {-1, +1}.
+    fn fit_binary(&self, data: &Dataset, targets: &[f64]) -> Vec<f64> {
+        let (n, d) = (data.len(), data.dim());
+        let mut w = vec![0.0; d + 1];
+        let mut velocity = vec![0.0; d + 1];
+        let c_over_n = self.params.c / n as f64;
+        // Step size from a Lipschitz estimate of the squared-hinge
+        // objective: L ~ 1 (regularizer) + 2 C E[||x||^2 + 1].
+        let mean_sq: f64 = data
+            .x
+            .iter()
+            .map(|x| x.iter().map(|v| v * v).sum::<f64>() + 1.0)
+            .sum::<f64>()
+            / n as f64;
+        let step = self.params.lr / (1.0 + 2.0 * self.params.c * mean_sq);
+        for _ in 0..self.params.max_iter {
+            // grad = w (excluding bias) + C/n * sum -2 y (1 - y f)_+ x
+            let mut grad = vec![0.0; d + 1];
+            grad[..d].copy_from_slice(&w[..d]);
+            for (x, &yi) in data.x.iter().zip(targets) {
+                let f: f64 = w[..d].iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + w[d];
+                let margin = 1.0 - yi * f;
+                if margin > 0.0 {
+                    let coef = -2.0 * c_over_n * yi * margin;
+                    for j in 0..d {
+                        grad[j] += coef * x[j];
+                    }
+                    grad[d] += coef;
+                }
+            }
+            for j in 0..=d {
+                velocity[j] = self.params.momentum * velocity[j] - step * grad[j];
+                w[j] += velocity[j];
+            }
+        }
+        w
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        self.n_classes = data.n_classes;
+        self.dim = data.dim();
+        self.weights = (0..data.n_classes)
+            .map(|k| {
+                let targets: Vec<f64> = data
+                    .y
+                    .iter()
+                    .map(|&l| if l == k { 1.0 } else { -1.0 })
+                    .collect();
+                self.fit_binary(data, &targets)
+            })
+            .collect();
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        assert_eq!(x.len(), self.dim, "feature width mismatch");
+        (0..self.n_classes)
+            .map(|k| (k, self.decision(k, x)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(k, _)| k)
+            .expect("at least one class")
+    }
+
+    fn name(&self) -> &'static str {
+        "SVM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(n: usize, seed: u64, classes: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = [(-3.0, -3.0), (3.0, 3.0), (-3.0, 3.0), (3.0, -3.0)];
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let c = i % classes;
+            x.push(vec![
+                centers[c].0 + rng.gen_range(-1.0..1.0),
+                centers[c].1 + rng.gen_range(-1.0..1.0),
+            ]);
+            y.push(c);
+        }
+        Dataset::new(x, y, classes)
+    }
+
+    #[test]
+    fn binary_separable() {
+        let train = blobs(100, 1, 2);
+        let test = blobs(50, 2, 2);
+        let mut svm = LinearSvm::with_defaults();
+        svm.fit(&train);
+        let acc = crate::accuracy(&test.y, &svm.predict(&test.x), 2);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn four_class_ovr() {
+        let train = blobs(200, 3, 4);
+        let test = blobs(80, 4, 4);
+        let mut svm = LinearSvm::with_defaults();
+        svm.fit(&train);
+        let acc = crate::accuracy(&test.y, &svm.predict(&test.x), 4);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn margin_sign_matches_class() {
+        let train = blobs(100, 5, 2);
+        let mut svm = LinearSvm::with_defaults();
+        svm.fit(&train);
+        // A point deep inside class 0's blob has positive class-0 decision.
+        assert!(svm.decision(0, &[-3.0, -3.0]) > 0.0);
+        assert!(svm.decision(1, &[-3.0, -3.0]) < 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = blobs(60, 6, 2);
+        let mut a = LinearSvm::with_defaults();
+        let mut b = LinearSvm::with_defaults();
+        a.fit(&data);
+        b.fit(&data);
+        assert_eq!(a.weights, b.weights);
+    }
+}

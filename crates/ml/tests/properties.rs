@@ -1,0 +1,119 @@
+//! Property-based tests of the ML substrate's core invariants.
+
+use proptest::prelude::*;
+use spsel_ml::cluster::kmeans::KMeans;
+use spsel_ml::cluster::online::OnlineKMeans;
+use spsel_ml::tree::DecisionTree;
+use spsel_ml::{sq_dist, Classifier, ClusterAlgorithm, ConfusionMatrix, Dataset};
+
+/// Random labels in 0..k for n samples.
+fn arb_labels(k: usize) -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    proptest::collection::vec((0..k, 0..k), 1..120)
+        .prop_map(|pairs| pairs.into_iter().unzip())
+}
+
+/// Random small point cloud.
+fn arb_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-100.0f64..100.0, 2..4),
+        1..60,
+    )
+    .prop_map(|mut pts| {
+        // Equalize dimensions to the first point's.
+        let d = pts[0].len();
+        for p in pts.iter_mut() {
+            p.resize(d, 0.0);
+        }
+        pts
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn metrics_are_bounded((y_true, y_pred) in arb_labels(4)) {
+        let cm = ConfusionMatrix::from_labels(&y_true, &y_pred, 4);
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&cm.weighted_f1()));
+        prop_assert!((0.0..=1.0).contains(&cm.macro_f1()));
+        prop_assert!((-1.0..=1.0).contains(&cm.mcc()));
+        // Trace + errors == total.
+        prop_assert_eq!(cm.total(), y_true.len());
+    }
+
+    #[test]
+    fn perfect_predictions_maximize_all_metrics((y, _) in arb_labels(3)) {
+        let cm = ConfusionMatrix::from_labels(&y, &y, 3);
+        prop_assert_eq!(cm.accuracy(), 1.0);
+        prop_assert_eq!(cm.weighted_f1(), 1.0);
+        // MCC is 1 unless the marginals are degenerate (single class).
+        let distinct = y.iter().collect::<std::collections::HashSet<_>>().len();
+        if distinct > 1 {
+            prop_assert!((cm.mcc() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kmeans_assignments_are_nearest_centroid(points in arb_points(), k in 1usize..8) {
+        let clustering = KMeans::new(k, 7).fit(&points);
+        for (p, &a) in points.iter().zip(&clustering.assignments) {
+            let assigned = sq_dist(p, &clustering.centroids[a]);
+            for c in &clustering.centroids {
+                prop_assert!(assigned <= sq_dist(p, c) + 1e-9);
+            }
+        }
+        // Assignment via the public API agrees with the stored one.
+        for (p, &a) in points.iter().zip(&clustering.assignments) {
+            let via_api = clustering.assign(p);
+            prop_assert!(
+                (sq_dist(p, &clustering.centroids[via_api])
+                    - sq_dist(p, &clustering.centroids[a])).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn kmeans_centroid_count_bounded(points in arb_points(), k in 1usize..10) {
+        let clustering = KMeans::new(k, 3).fit(&points);
+        prop_assert!(clustering.n_clusters() <= k.min(points.len()).max(1));
+        prop_assert_eq!(clustering.assignments.len(), points.len());
+    }
+
+    #[test]
+    fn online_kmeans_counts_are_conserved(points in arb_points()) {
+        let mut m = OnlineKMeans::new(5.0, 16);
+        for p in &points {
+            m.observe(p);
+        }
+        prop_assert_eq!(m.counts().iter().sum::<usize>(), points.len());
+        prop_assert!(m.n_clusters() <= 16);
+        prop_assert!(m.n_clusters() >= 1);
+    }
+
+    #[test]
+    fn unlimited_tree_memorizes_distinct_rows(seed in 0u64..1000) {
+        // Rows with unique feature values are always separable.
+        let n = 20;
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 + (seed % 7) as f64 * 0.01]).collect();
+        let y: Vec<usize> = (0..n).map(|i| ((i as u64 ^ seed) % 3) as usize).collect();
+        let data = Dataset::new(x.clone(), y.clone(), 3);
+        let mut t = DecisionTree::with_defaults();
+        t.fit(&data);
+        prop_assert_eq!(t.predict(&x), y);
+    }
+
+    #[test]
+    fn stratified_kfold_partitions(y in proptest::collection::vec(0usize..3, 10..100), k in 2usize..5) {
+        let folds = spsel_ml::cv::stratified_kfold(&y, 3, k, 11);
+        let mut seen = vec![false; y.len()];
+        for (train, test) in &folds {
+            prop_assert_eq!(train.len() + test.len(), y.len());
+            for &i in test {
+                prop_assert!(!seen[i], "index {} in two test folds", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+}

@@ -1,0 +1,81 @@
+//! Portability: the paper's headline scenario. A selector trained with
+//! Pascal benchmarks is carried to Turing; the clusters are reused and
+//! only a handful of matrices per cluster are re-benchmarked to relabel
+//! them.
+//!
+//! ```sh
+//! cargo run --release --example portability
+//! ```
+
+use spselect::core::corpus::{Corpus, CorpusConfig};
+use spselect::core::semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
+use spselect::features::FeatureVector;
+use spselect::gpusim::Gpu;
+use spselect::matrix::Format;
+
+fn accuracy(preds: &[Format], truth: &[Format]) -> f64 {
+    preds.iter().zip(truth).filter(|(p, t)| p == t).count() as f64 / truth.len() as f64
+}
+
+fn main() {
+    println!("building corpus...");
+    let corpus = Corpus::build(CorpusConfig::small(200, 9));
+    let pascal = corpus.benchmark(Gpu::Pascal);
+    let turing = corpus.benchmark(Gpu::Turing);
+
+    // Matrices feasible on both GPUs.
+    let common: Vec<usize> = (0..corpus.len())
+        .filter(|&i| pascal[i].is_some() && turing[i].is_some())
+        .collect();
+    let features: Vec<FeatureVector> = common
+        .iter()
+        .map(|&i| corpus.records[i].features.clone())
+        .collect();
+    let pascal_labels: Vec<Format> = common.iter().map(|&i| pascal[i].unwrap().best).collect();
+    let turing_labels: Vec<Format> = common.iter().map(|&i| turing[i].unwrap().best).collect();
+
+    let disagree = pascal_labels
+        .iter()
+        .zip(&turing_labels)
+        .filter(|(a, b)| a != b)
+        .count();
+    println!(
+        "{} of {} matrices have a different optimal format on Turing than on Pascal",
+        disagree,
+        common.len()
+    );
+
+    // Train on Pascal.
+    let cfg = SemiConfig::new(ClusterMethod::KMeans { nc: 50 }, Labeler::Vote, 3);
+    let mut selector = SemiSupervisedSelector::fit(&features, &pascal_labels, cfg);
+
+    // Evaluate directly on Turing: 0% retraining.
+    let preds = selector.predict_batch(&features);
+    println!(
+        "\naccuracy on Turing with Pascal-trained labels (0% retraining): {:.1}%",
+        100.0 * accuracy(&preds, &turing_labels)
+    );
+
+    // Port: benchmark TWO matrices per cluster on Turing and relabel.
+    let members = selector.clustering().members();
+    let mut benchmarked = Vec::new();
+    for cluster_members in &members {
+        for &m in cluster_members.iter().take(2) {
+            benchmarked.push(m);
+        }
+    }
+    let budget_labels: Vec<Format> = benchmarked.iter().map(|&i| turing_labels[i]).collect();
+    println!(
+        "re-benchmarking {} of {} matrices on Turing (about 2 per cluster)...",
+        benchmarked.len(),
+        common.len()
+    );
+    selector.relabel(&benchmarked, &budget_labels);
+
+    let preds = selector.predict_batch(&features);
+    println!(
+        "accuracy on Turing after cheap relabeling: {:.1}%",
+        100.0 * accuracy(&preds, &turing_labels)
+    );
+    println!("\nThe clusters themselves never changed — only their labels did.");
+}

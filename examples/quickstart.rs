@@ -1,0 +1,66 @@
+//! Quickstart: train a semi-supervised format selector on a synthetic
+//! corpus, predict the best format for a new matrix, explain the decision,
+//! and run the actual SpMV in the chosen format.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use spselect::core::corpus::{Corpus, CorpusConfig};
+use spselect::core::semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
+use spselect::features::FeatureVector;
+use spselect::gpusim::Gpu;
+use spselect::matrix::{gen, CooMatrix, CsrMatrix, EllMatrix, Format, HybMatrix, SpMv};
+
+fn main() {
+    // 1. Build a small corpus and benchmark it on the Turing model.
+    println!("building corpus...");
+    let corpus = Corpus::build(CorpusConfig::small(150, 42));
+    let bench = corpus.benchmark(Gpu::Turing);
+
+    let usable: Vec<usize> = (0..corpus.len()).filter(|&i| bench[i].is_some()).collect();
+    let features: Vec<FeatureVector> = usable
+        .iter()
+        .map(|&i| corpus.records[i].features.clone())
+        .collect();
+    let labels: Vec<Format> = usable.iter().map(|&i| bench[i].unwrap().best).collect();
+
+    // 2. Fit the semi-supervised selector: K-Means clustering over the
+    //    transformed feature space, majority-vote cluster labels.
+    let cfg = SemiConfig::new(ClusterMethod::KMeans { nc: 40 }, Labeler::Vote, 7);
+    let selector = SemiSupervisedSelector::fit(&features, &labels, cfg);
+    println!(
+        "fitted selector with {} clusters over {} matrices",
+        selector.n_clusters(),
+        features.len()
+    );
+
+    // 3. A new matrix arrives: a 2-D stencil (very uniform rows).
+    let new_matrix: CooMatrix = gen::stencil2d(64, 123);
+    let csr = CsrMatrix::from(&new_matrix);
+    let fv = FeatureVector::from_csr(&csr);
+    let prediction = selector.predict(&fv);
+    let explanation = selector.explain(&fv);
+    println!("\nnew matrix: 64x64 5-point stencil ({} nonzeros)", csr.nnz());
+    println!("predicted format: {prediction}");
+    println!(
+        "explanation: cluster #{} ({} training matrices, centroid distance {:.3}), rule: {}",
+        explanation.cluster,
+        explanation.cluster_size,
+        explanation.centroid_distance,
+        explanation.rule
+    );
+
+    // 4. Use the predicted format for the actual SpMV.
+    let x = vec![1.0; csr.ncols()];
+    let mut y = vec![0.0; csr.nrows()];
+    match prediction {
+        Format::Csr => csr.spmv(&x, &mut y),
+        Format::Coo => new_matrix.spmv(&x, &mut y),
+        Format::Ell => EllMatrix::try_from_csr(&csr)
+            .expect("stencil is ELL-friendly")
+            .spmv(&x, &mut y),
+        Format::Hyb => HybMatrix::from_csr(&csr).spmv(&x, &mut y),
+    }
+    println!("\nSpMV in {prediction}: y[0..4] = {:?}", &y[..4]);
+}

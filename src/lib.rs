@@ -1,0 +1,27 @@
+//! # spselect
+//!
+//! A from-scratch Rust reproduction of *"Explaining the Performance of
+//! Supervised and Semi-Supervised Methods for Automated Sparse Matrix
+//! Format Selection"* (Dhandhania et al., ICPP Workshops 2021).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`matrix`] — sparse storage formats (COO/CSR/ELL/HYB/DIA), SpMV
+//!   kernels, Matrix Market IO, synthetic generators;
+//! * [`features`] — the paper's Table 1 statistical features and the
+//!   preprocessing pipeline (log/sqrt transforms, min-max scaling, PCA);
+//! * [`ml`] — from-scratch classifiers, clustering algorithms, metrics,
+//!   and cross-validation;
+//! * [`gpusim`] — the analytic GPU SpMV performance model used as the
+//!   benchmarking substrate (Pascal GTX 1080, Volta V100, Turing RTX 8000);
+//! * [`core`] — the semi-supervised format selector, supervised baselines,
+//!   the synthetic corpus, and the experiment runners for every table in
+//!   the paper.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough.
+
+pub use spsel_core as core;
+pub use spsel_features as features;
+pub use spsel_gpusim as gpusim;
+pub use spsel_matrix as matrix;
+pub use spsel_ml as ml;

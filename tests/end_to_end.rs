@@ -1,0 +1,92 @@
+//! End-to-end integration: corpus → benchmark labels → semi-supervised and
+//! supervised selectors → evaluation, across crates.
+
+use spselect::core::corpus::{Corpus, CorpusConfig};
+use spselect::core::semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
+use spselect::core::speedup::selection_quality;
+use spselect::core::supervised::{SupervisedConfig, SupervisedModel, SupervisedSelector};
+use spselect::features::FeatureVector;
+use spselect::gpusim::{BenchResult, Gpu};
+use spselect::matrix::Format;
+
+fn setup() -> (Vec<FeatureVector>, Vec<BenchResult>) {
+    let corpus = Corpus::build(CorpusConfig::small(80, 77));
+    let bench = corpus.benchmark(Gpu::Pascal);
+    let usable: Vec<usize> = (0..corpus.len()).filter(|&i| bench[i].is_some()).collect();
+    let features = usable
+        .iter()
+        .map(|&i| corpus.records[i].features.clone())
+        .collect();
+    let results = usable.iter().map(|&i| bench[i].unwrap()).collect();
+    (features, results)
+}
+
+#[test]
+fn semi_supervised_end_to_end_beats_always_csr() {
+    let (features, results) = setup();
+    let labels: Vec<Format> = results.iter().map(|r| r.best).collect();
+    let cfg = SemiConfig::new(ClusterMethod::KMeans { nc: 30 }, Labeler::Vote, 5);
+    let selector = SemiSupervisedSelector::fit(&features, &labels, cfg);
+    let preds = selector.predict_batch(&features);
+    let q = selection_quality(&preds, &results);
+    let always_csr = vec![Format::Csr; results.len()];
+    let q_csr = selection_quality(&always_csr, &results);
+    assert!(q.acc > q_csr.acc, "selector {} <= always-CSR {}", q.acc, q_csr.acc);
+    assert!(q.csr >= q_csr.csr, "no speedup over CSR baseline");
+    assert!(q.gt <= 1.0 + 1e-9);
+}
+
+#[test]
+fn supervised_end_to_end_learns_the_labels() {
+    let (features, results) = setup();
+    let labels: Vec<Format> = results.iter().map(|r| r.best).collect();
+    for model in [SupervisedModel::Rf, SupervisedModel::Xgb] {
+        let sel = SupervisedSelector::fit(
+            &features,
+            None,
+            &labels,
+            SupervisedConfig::quick(model, 3),
+        );
+        let preds = sel.predict_batch(&features, None);
+        let q = selection_quality(&preds, &results);
+        assert!(q.acc > 0.9, "{model}: training accuracy {}", q.acc);
+    }
+}
+
+#[test]
+fn explanations_match_predictions_end_to_end() {
+    let (features, results) = setup();
+    let labels: Vec<Format> = results.iter().map(|r| r.best).collect();
+    let cfg = SemiConfig::new(ClusterMethod::Birch { nc: 20 }, Labeler::RandomForest, 2);
+    let selector = SemiSupervisedSelector::fit(&features, &labels, cfg);
+    for f in features.iter().take(20) {
+        let e = selector.explain(f);
+        assert_eq!(e.format, selector.predict(f));
+        assert!(e.cluster < selector.n_clusters());
+    }
+}
+
+#[test]
+fn cluster_labels_cover_training_majorities() {
+    let (features, results) = setup();
+    let labels: Vec<Format> = results.iter().map(|r| r.best).collect();
+    let cfg = SemiConfig::new(ClusterMethod::KMeans { nc: 15 }, Labeler::Vote, 1);
+    let selector = SemiSupervisedSelector::fit(&features, &labels, cfg);
+    // Every cluster label must be a format that actually occurs in the
+    // training labels (vote cannot invent classes).
+    let occurring: std::collections::HashSet<Format> = labels.iter().copied().collect();
+    for &l in selector.cluster_labels() {
+        assert!(occurring.contains(&l), "{l} never occurs in training data");
+    }
+}
+
+#[test]
+fn benchmark_results_are_deterministic_across_runs() {
+    let (_, a) = setup();
+    let (_, b) = setup();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.best, y.best);
+        assert_eq!(x.times.us, y.times.us);
+    }
+}

@@ -1,0 +1,111 @@
+//! Cross-crate property tests: every storage format must represent exactly
+//! the same matrix, every kernel must compute the same product, and Matrix
+//! Market IO must round-trip — on arbitrary random matrices.
+
+use proptest::prelude::*;
+use spselect::matrix::{io, CooMatrix, CsrMatrix, DiaMatrix, EllMatrix, HybMatrix, SellMatrix, SpMv};
+
+/// Strategy: a small random sparse matrix as (nrows, ncols, triplets).
+fn arb_matrix() -> impl Strategy<Value = CooMatrix> {
+    (1usize..24, 1usize..24).prop_flat_map(|(nrows, ncols)| {
+        let cells = nrows * ncols;
+        proptest::collection::btree_set(0..cells, 0..cells.min(60)).prop_map(
+            move |positions| {
+                let triplets: Vec<(usize, usize, f64)> = positions
+                    .into_iter()
+                    .map(|p| {
+                        let v = ((p * 31 % 13) as f64) - 6.0;
+                        (p / ncols, p % ncols, if v == 0.0 { 1.0 } else { v })
+                    })
+                    .collect();
+                CooMatrix::from_triplets(nrows, ncols, &triplets).expect("valid triplets")
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_formats_represent_the_same_matrix(coo in arb_matrix()) {
+        let csr = CsrMatrix::from(&coo);
+        prop_assert_eq!(CooMatrix::from(&csr), coo.clone());
+
+        let hyb = HybMatrix::from_csr(&csr);
+        prop_assert_eq!(hyb.to_coo(), coo.clone());
+
+        // ELL with an explicit permissive limit (tiny matrices can be
+        // arbitrarily imbalanced).
+        let ell = EllMatrix::try_from_csr_with_limit(&csr, 1024).unwrap();
+        prop_assert_eq!(ell.to_coo(), coo.clone());
+
+        let dia = DiaMatrix::try_from_csr(&csr, 64).unwrap();
+        prop_assert_eq!(dia.to_coo(), coo.clone());
+
+        let sell = SellMatrix::from_csr(&csr, 4, 8);
+        prop_assert_eq!(sell.to_coo(), coo);
+    }
+
+    #[test]
+    fn all_kernels_agree(coo in arb_matrix()) {
+        let csr = CsrMatrix::from(&coo);
+        let hyb = HybMatrix::from_csr(&csr);
+        let ell = EllMatrix::try_from_csr_with_limit(&csr, 1024).unwrap();
+        let dia = DiaMatrix::try_from_csr(&csr, 64).unwrap();
+
+        let x: Vec<f64> = (0..coo.ncols()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut reference = vec![0.0; coo.nrows()];
+        coo.spmv(&x, &mut reference);
+
+        let mut y = vec![0.0; coo.nrows()];
+        let check = |y: &[f64], reference: &[f64]| -> bool {
+            y.iter().zip(reference).all(|(a, b)| (a - b).abs() < 1e-9)
+        };
+
+        csr.spmv(&x, &mut y);
+        prop_assert!(check(&y, &reference), "csr seq");
+        csr.spmv_par(&x, &mut y);
+        prop_assert!(check(&y, &reference), "csr par");
+        ell.spmv(&x, &mut y);
+        prop_assert!(check(&y, &reference), "ell seq");
+        ell.spmv_par(&x, &mut y);
+        prop_assert!(check(&y, &reference), "ell par");
+        hyb.spmv(&x, &mut y);
+        prop_assert!(check(&y, &reference), "hyb seq");
+        hyb.spmv_par(&x, &mut y);
+        prop_assert!(check(&y, &reference), "hyb par");
+        dia.spmv(&x, &mut y);
+        prop_assert!(check(&y, &reference), "dia seq");
+        dia.spmv_par(&x, &mut y);
+        prop_assert!(check(&y, &reference), "dia par");
+        coo.spmv_par(&x, &mut y);
+        prop_assert!(check(&y, &reference), "coo par");
+
+        let sell = SellMatrix::from_csr(&csr, 4, 16);
+        sell.spmv(&x, &mut y);
+        prop_assert!(check(&y, &reference), "sell seq");
+        sell.spmv_par(&x, &mut y);
+        prop_assert!(check(&y, &reference), "sell par");
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(coo in arb_matrix()) {
+        let mut buf = Vec::new();
+        io::write_matrix_market(&coo, &mut buf).expect("write");
+        let back = io::read_matrix_market(buf.as_slice()).expect("read");
+        prop_assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn memory_accounting_is_consistent(coo in arb_matrix()) {
+        use spselect::features::MatrixStats;
+        let csr = CsrMatrix::from(&coo);
+        let stats = MatrixStats::from_csr(&csr);
+        let [coo_b, csr_b, _ell_b, hyb_b] = stats.format_bytes();
+        prop_assert_eq!(coo_b, coo.memory_bytes());
+        prop_assert_eq!(csr_b, csr.memory_bytes());
+        let hyb = HybMatrix::from_csr(&csr);
+        prop_assert_eq!(hyb_b, hyb.memory_bytes());
+    }
+}

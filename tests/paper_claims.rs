@@ -1,0 +1,141 @@
+//! Integration tests asserting the paper's qualitative claims hold in this
+//! reproduction (the "shape" checks of the evaluation):
+//!
+//! 1. CSR is the dominant optimal format on every GPU (Table 3);
+//! 2. optimal formats differ across architectures (the portability
+//!    problem, Section 3);
+//! 3. Mean-Shift underperforms K-Means for format selection (Table 4);
+//! 4. retraining budgets help the supervised models more than the
+//!    semi-supervised one (Tables 5 and 7);
+//! 5. higher cluster purity bounds the attainable vote accuracy
+//!    (Section 4's example).
+
+use spselect::core::corpus::{Corpus, CorpusConfig};
+use spselect::core::experiments::{table4, table5, ExperimentContext};
+use spselect::core::semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
+use spselect::gpusim::Gpu;
+use spselect::matrix::Format;
+use spselect::ml::cluster::cluster_purity;
+
+fn ctx() -> ExperimentContext {
+    ExperimentContext::new(CorpusConfig::small(120, 33))
+}
+
+#[test]
+fn csr_dominates_every_gpu() {
+    let ctx = ctx();
+    for gpu in Gpu::ALL {
+        let mut counts = [0usize; 4];
+        for r in ctx.bench(gpu).iter().flatten() {
+            counts[r.best.index()] += 1;
+        }
+        let total: usize = counts.iter().sum();
+        let csr = counts[Format::Csr.index()];
+        assert!(
+            csr * 2 > total,
+            "{gpu}: CSR holds only {csr}/{total} labels"
+        );
+        // And the problem is not degenerate: at least one other class.
+        assert!(csr < total, "{gpu}: all labels CSR, nothing to learn");
+    }
+}
+
+#[test]
+fn labels_differ_across_architectures() {
+    let ctx = ctx();
+    let common = ctx.common_subset();
+    let mut disagreements = 0;
+    for &i in &common {
+        let labels: Vec<Format> = Gpu::ALL
+            .iter()
+            .map(|&g| ctx.bench(g)[i].unwrap().best)
+            .collect();
+        if labels.iter().any(|l| *l != labels[0]) {
+            disagreements += 1;
+        }
+    }
+    assert!(
+        disagreements * 20 > common.len(),
+        "only {disagreements}/{} matrices have architecture-dependent labels",
+        common.len()
+    );
+}
+
+#[test]
+fn meanshift_underperforms_kmeans() {
+    let ctx = ctx();
+    let cfg = table4::Table4Config {
+        nc_candidates: vec![30],
+        folds: 3,
+        seed: 7,
+    };
+    let t = table4::run(&ctx, &cfg);
+    // Compare mean MCC of the three K-Means rows vs three Mean-Shift rows,
+    // averaged over GPUs (the paper's Table 4 observation).
+    let mut km = 0.0;
+    let mut ms = 0.0;
+    for gpu_rows in &t.rows {
+        for row in gpu_rows {
+            if row.algorithm.starts_with("K-Means") {
+                km += row.mcc;
+            } else if row.algorithm.starts_with("Mean-Shift") {
+                ms += row.mcc;
+            }
+        }
+    }
+    assert!(km > ms, "K-Means MCC sum {km} <= Mean-Shift {ms}");
+}
+
+#[test]
+fn semi_supervised_transfer_is_robust_at_zero_budget() {
+    let ctx = ctx();
+    let cfg = table5::Table5Config {
+        nc_candidates: vec![30],
+        folds: 3,
+        seed: 3,
+    };
+    let t = table5::run(&ctx, &cfg);
+    for (source, target, rows) in &t.pairs {
+        let kmeans_vote = rows
+            .iter()
+            .find(|r| r.algorithm == "K-Means-VOTE")
+            .expect("row exists");
+        let acc0 = kmeans_vote.budgets[0][1];
+        let acc50 = kmeans_vote.budgets[2][1];
+        // 0% accuracy should already be decent, and retraining should not
+        // be a dramatic jump (the paper: "additional retraining only
+        // provides a moderate increase").
+        assert!(acc0 > 0.5, "{source}->{target}: 0% accuracy {acc0}");
+        assert!(
+            acc50 + 0.02 >= acc0,
+            "{source}->{target}: retraining hurt badly ({acc0} -> {acc50})"
+        );
+    }
+}
+
+#[test]
+fn purity_bounds_vote_accuracy() {
+    // Fit a selector, compute its clustering purity on training labels,
+    // and verify training accuracy of the vote cannot exceed purity
+    // (Section 4: purity is the upper bound of the vote).
+    let ctx = ctx();
+    let ds = ctx.dataset(Gpu::Volta);
+    let features = ctx.features(&ds);
+    let results = ctx.results(Gpu::Volta, &ds);
+    let labels: Vec<Format> = results.iter().map(|r| r.best).collect();
+    let cfg = SemiConfig::new(ClusterMethod::KMeans { nc: 25 }, Labeler::Vote, 11);
+    let sel = SemiSupervisedSelector::fit(&features, &labels, cfg);
+
+    let y: Vec<usize> = labels.iter().map(|l| l.index()).collect();
+    let (_, overall_purity) = cluster_purity(sel.clustering(), &y, Format::COUNT);
+
+    let preds = sel.predict_batch(&features);
+    let train_acc = preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f64
+        / labels.len() as f64;
+    assert!(
+        train_acc <= overall_purity + 1e-9,
+        "vote training accuracy {train_acc} exceeds purity {overall_purity}"
+    );
+    // And the clustering must be useful at all.
+    assert!(overall_purity > 0.6, "purity only {overall_purity}");
+}
