@@ -31,9 +31,7 @@ fn bench_clustering(c: &mut Criterion) {
             b.iter(|| Birch::new(k, 1).fit(&pts))
         });
     }
-    group.bench_function("meanshift", |b| {
-        b.iter(|| MeanShift::default().fit(&pts))
-    });
+    group.bench_function("meanshift", |b| b.iter(|| MeanShift::default().fit(&pts)));
     group.finish();
 
     let clustering = KMeans::new(200, 1).fit(&pts);

@@ -41,9 +41,7 @@ fn bench_preprocessing(c: &mut Criterion) {
         b.iter(|| spsel_features::Preprocessor::fit(&features))
     });
     let pre = spsel_features::Preprocessor::fit(&features);
-    c.bench_function("features/embed_one", |b| {
-        b.iter(|| pre.embed(&features[0]))
-    });
+    c.bench_function("features/embed_one", |b| b.iter(|| pre.embed(&features[0])));
 }
 
 criterion_group!(benches, bench_features, bench_preprocessing);

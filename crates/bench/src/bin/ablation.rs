@@ -7,30 +7,38 @@ use spsel_core::experiments::ablation;
 use spsel_gpusim::Gpu;
 
 fn main() {
-    let opts = HarnessOptions::from_args();
-    let ctx = opts.context();
-    let (nc, folds) = if opts.quick { (25, 3) } else { (200, 5) };
+    let mut h = HarnessOptions::open();
+    let ctx = h.context();
+    let (nc, folds) = if h.opts.quick { (25, 3) } else { (200, 5) };
 
     println!("Ablation studies (GPU: Turing unless noted)\n");
 
-    let t = ablation::transforms(&ctx, Gpu::Turing, nc, 17);
+    let t = h.time("transforms", || {
+        ablation::transforms(&ctx, Gpu::Turing, nc, 17)
+    });
     println!("{}", ablation::render_transforms(&t));
 
     let dims = [2usize, 4, 8, 12, 16];
-    let pca = ablation::pca_sweep(&ctx, Gpu::Turing, &dims, nc, folds, 17);
+    let pca = h.time("pca_sweep", || {
+        ablation::pca_sweep(&ctx, Gpu::Turing, &dims, nc, folds, 17)
+    });
     println!("{}", ablation::render_pca(&pca));
 
-    let ncs: Vec<usize> = if opts.quick {
+    let ncs: Vec<usize> = if h.opts.quick {
         vec![5, 15, 30, 60]
     } else {
         vec![25, 50, 100, 200, 400, 800]
     };
-    let ncp = ablation::nc_sweep(&ctx, Gpu::Turing, &ncs, folds, 17);
+    let ncp = h.time("nc_sweep", || {
+        ablation::nc_sweep(&ctx, Gpu::Turing, &ncs, folds, 17)
+    });
     println!("{}", ablation::render_nc(&ncp));
 
     let votes = [1usize, 2, 4, 8, 1_000_000];
-    let vp = ablation::votes_per_cluster(&ctx, Gpu::Pascal, &votes, nc, folds, 17);
+    let vp = h.time("votes_per_cluster", || {
+        ablation::votes_per_cluster(&ctx, Gpu::Pascal, &votes, nc, folds, 17)
+    });
     println!("{}", ablation::render_votes(&vp));
 
-    opts.write_json(&(t, pca, ncp, vp));
+    h.finish(&(t, pca, ncp, vp));
 }

@@ -9,8 +9,8 @@ use spsel_gpusim::Gpu;
 use spsel_matrix::Format;
 
 fn main() {
-    let opts = HarnessOptions::from_args();
-    let ctx = opts.context();
+    let mut h = HarnessOptions::open();
+    let ctx = h.context();
     let conv = ConversionCostModel::default();
     let gpu = Gpu::Turing;
     let ds = ctx.dataset(gpu);
@@ -30,7 +30,10 @@ fn main() {
     }
     break_evens.sort_unstable();
     let pct = |p: f64| break_evens[((break_evens.len() - 1) as f64 * p) as usize];
-    println!("Overhead-conscious selection on {gpu} ({} matrices)\n", ds.len());
+    println!(
+        "Overhead-conscious selection on {gpu} ({} matrices)\n",
+        ds.len()
+    );
     println!(
         "break-even iterations for non-CSR optima (n = {}):",
         break_evens.len()
@@ -48,5 +51,5 @@ fn main() {
         println!("  {:<4} {:>6}", f.name(), flips_at[f.index()]);
     }
     println!("\n(one-shot workloads stay CSR; long iterative solvers amortize conversions)");
-    opts.write_json(&break_evens);
+    h.finish(&break_evens);
 }

@@ -1,0 +1,104 @@
+//! `perfcheck`: measure the experiment pipeline's parallel speedup and
+//! cache effectiveness, and emit the numbers as a JSON run report.
+//!
+//! Three timed configurations of `ExperimentContext` construction:
+//!
+//! 1. **cold-serial** — parallelism forced off, cache disabled (the
+//!    pre-parallel baseline);
+//! 2. **cold-parallel** — parallel build + benchmark, writing into a
+//!    fresh cache directory;
+//! 3. **warm-cached** — the same run again, now served from the cache.
+//!
+//! The report records `parallel_speedup` (1 vs 2) and `cache_speedup`
+//! (2 vs 3), and the run asserts that parallel and serial construction
+//! produce bit-identical corpora and benchmark results.
+
+use spsel_bench::HarnessOptions;
+use spsel_core::cache::Cache;
+use spsel_core::experiments::ExperimentContext;
+use spsel_core::telemetry::RunReport;
+use std::time::Instant;
+
+fn main() {
+    let mut h = HarnessOptions::open();
+    let cfg = h.opts.corpus.clone();
+    let dir = h
+        .opts
+        .cache_dir
+        .clone()
+        .unwrap_or_else(|| "results/cache".to_string());
+    let dir = format!("{dir}/perfcheck-{}", std::process::id());
+    eprintln!("perfcheck: {} base matrices, cache dir {dir}", cfg.n_base);
+
+    // 1. Cold, serial, uncached.
+    rayon::set_serial(true);
+    let start = Instant::now();
+    let serial_ctx = ExperimentContext::build(
+        cfg.clone(),
+        &Cache::disabled(),
+        &mut RunReport::new("perfcheck-serial"),
+    );
+    let serial_s = start.elapsed().as_secs_f64();
+    rayon::set_serial(false);
+    eprintln!("cold-serial    {serial_s:>8.2}s");
+
+    // 2. Cold, parallel, populating a fresh cache.
+    let cache = Cache::new(&dir);
+    let start = Instant::now();
+    let parallel_ctx =
+        ExperimentContext::build(cfg.clone(), &cache, &mut RunReport::new("perfcheck-cold"));
+    let cold_s = start.elapsed().as_secs_f64();
+    eprintln!("cold-parallel  {cold_s:>8.2}s");
+
+    // Parallel execution must be bit-identical to serial.
+    assert_eq!(
+        serial_ctx.corpus.records, parallel_ctx.corpus.records,
+        "parallel corpus differs from serial"
+    );
+    assert_eq!(
+        serial_ctx.benches, parallel_ctx.benches,
+        "parallel benchmarks differ from serial"
+    );
+
+    // 3. Warm, served from the cache.
+    let warm_cache = Cache::new(&dir);
+    let start = Instant::now();
+    let warm_ctx = ExperimentContext::build(
+        cfg.clone(),
+        &warm_cache,
+        &mut RunReport::new("perfcheck-warm"),
+    );
+    let warm_s = start.elapsed().as_secs_f64();
+    eprintln!("warm-cached    {warm_s:>8.2}s");
+    assert_eq!(warm_ctx.benches, parallel_ctx.benches, "cached run differs");
+    let wr = warm_cache.report();
+    assert_eq!(wr.misses, 0, "warm run should not miss ({wr:?})");
+
+    h.report.record("cold_serial", serial_s);
+    h.report.record("cold_parallel", cold_s);
+    h.report.record("warm_cached", warm_s);
+    let parallel_speedup = serial_s / cold_s;
+    let cache_speedup = cold_s / warm_s;
+    println!("parallel speedup (cold serial / cold parallel): {parallel_speedup:.2}x");
+    println!("cache speedup    (cold parallel / warm cached): {cache_speedup:.2}x");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    h.finish(&PerfSummary {
+        parallel_speedup,
+        cache_speedup,
+        cold_serial_s: serial_s,
+        cold_parallel_s: cold_s,
+        warm_cached_s: warm_s,
+        threads: rayon::current_num_threads(),
+    });
+}
+
+#[derive(serde::Serialize)]
+struct PerfSummary {
+    parallel_speedup: f64,
+    cache_speedup: f64,
+    cold_serial_s: f64,
+    cold_parallel_s: f64,
+    warm_cached_s: f64,
+    threads: usize,
+}

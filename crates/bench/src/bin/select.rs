@@ -69,7 +69,10 @@ fn main() {
     });
     let conv = ConversionCostModel::default();
 
-    println!("\n{:<8} {:>10} | {:>38} | amortized @{iterations} iters", "GPU", "predicted", "explanation");
+    println!(
+        "\n{:<8} {:>10} | {:>38} | amortized @{iterations} iters",
+        "GPU", "predicted", "explanation"
+    );
     for gpu in Gpu::ALL {
         let bench = corpus.benchmark(gpu);
         let usable: Vec<usize> = (0..corpus.len()).filter(|&i| bench[i].is_some()).collect();
@@ -81,7 +84,13 @@ fn main() {
         let selector = SemiSupervisedSelector::fit(
             &features,
             &labels,
-            SemiConfig::new(ClusterMethod::KMeans { nc: (usable.len() / 10).max(4) }, Labeler::Vote, 7),
+            SemiConfig::new(
+                ClusterMethod::KMeans {
+                    nc: (usable.len() / 10).max(4),
+                },
+                Labeler::Vote,
+                7,
+            ),
         );
         let prediction = selector.predict(&fv);
         let e = selector.explain(&fv);

@@ -4,9 +4,9 @@ use spsel_bench::HarnessOptions;
 use spsel_core::experiments::table2;
 
 fn main() {
-    let opts = HarnessOptions::from_args();
-    let t = table2::run();
+    let mut h = HarnessOptions::open();
+    let t = h.time("experiment", table2::run);
     println!("Table 2: NVIDIA GPUs used in the experiments\n");
     println!("{}", t.render());
-    opts.write_json(&t);
+    h.finish(&t);
 }

@@ -1,13 +1,13 @@
 //! Regenerate Table 3: best-format distribution per GPU + common subset.
 
 use spsel_bench::HarnessOptions;
-use spsel_core::experiments::{table3, ExperimentContext};
+use spsel_core::experiments::table3;
 
 fn main() {
-    let opts = HarnessOptions::from_args();
-    let ctx = opts.context();
-    let t = table3::run(&ctx);
+    let mut h = HarnessOptions::open();
+    let ctx = h.context();
+    let t = h.time("experiment", || table3::run(&ctx));
     println!("Table 3: distribution of the best sparse formats across GPUs\n");
     println!("{}", t.render());
-    opts.write_json(&t);
+    h.finish(&t);
 }

@@ -2,12 +2,12 @@
 //! 3 GPUs).
 
 use spsel_bench::HarnessOptions;
-use spsel_core::experiments::{table4, ExperimentContext};
+use spsel_core::experiments::table4;
 
 fn main() {
-    let opts = HarnessOptions::from_args();
-    let ctx = opts.context();
-    let cfg = if opts.quick {
+    let mut h = HarnessOptions::open();
+    let ctx = h.context();
+    let cfg = if h.opts.quick {
         table4::Table4Config {
             nc_candidates: vec![25, 50],
             folds: 3,
@@ -16,9 +16,12 @@ fn main() {
     } else {
         table4::Table4Config::default()
     };
-    eprintln!("running 9 algorithms x 3 GPUs ({} NC candidates)...", cfg.nc_candidates.len());
-    let t = table4::run(&ctx, &cfg);
+    eprintln!(
+        "running 9 algorithms x 3 GPUs ({} NC candidates)...",
+        cfg.nc_candidates.len()
+    );
+    let t = h.time("experiment", || table4::run(&ctx, &cfg));
     println!("Table 4: semi-supervised performance per clustering algorithm\n");
     println!("{}", t.render());
-    opts.write_json(&t);
+    h.finish(&t);
 }

@@ -1,12 +1,12 @@
 //! Regenerate Table 5: semi-supervised transfer across GPUs.
 
 use spsel_bench::HarnessOptions;
-use spsel_core::experiments::{table5, ExperimentContext};
+use spsel_core::experiments::table5;
 
 fn main() {
-    let opts = HarnessOptions::from_args();
-    let ctx = opts.context();
-    let cfg = if opts.quick {
+    let mut h = HarnessOptions::open();
+    let ctx = h.context();
+    let cfg = if h.opts.quick {
         table5::Table5Config {
             nc_candidates: vec![25],
             folds: 3,
@@ -16,8 +16,8 @@ fn main() {
         table5::Table5Config::default()
     };
     eprintln!("running 6 transfer pairs x 9 algorithms x 3 budgets...");
-    let t = table5::run(&ctx, &cfg);
+    let t = h.time("experiment", || table5::run(&ctx, &cfg));
     println!("Table 5: semi-supervised format selection under transfer\n");
     println!("{}", t.render());
-    opts.write_json(&t);
+    h.finish(&t);
 }

@@ -3,23 +3,27 @@
 //! Pass `--images` to include the CNN row (slower).
 
 use spsel_bench::HarnessOptions;
-use spsel_core::experiments::{table6, ExperimentContext};
+use spsel_core::experiments::table6;
 
 fn main() {
-    let opts = HarnessOptions::from_args();
-    let ctx = opts.context();
+    let mut h = HarnessOptions::open();
+    let ctx = h.context();
     let cfg = table6::Table6Config {
-        folds: if opts.quick { 3 } else { 5 },
+        folds: if h.opts.quick { 3 } else { 5 },
         seed: 31,
-        with_cnn: opts.corpus.with_images,
-        quick: opts.quick,
+        with_cnn: h.opts.corpus.with_images,
+        quick: h.opts.quick,
     };
     eprintln!(
         "running supervised models (CNN: {})...",
-        if cfg.with_cnn { "yes" } else { "no (pass --images)" }
+        if cfg.with_cnn {
+            "yes"
+        } else {
+            "no (pass --images)"
+        }
     );
-    let t = table6::run(&ctx, &cfg);
+    let t = h.time("experiment", || table6::run(&ctx, &cfg));
     println!("Table 6: performance of supervised ML models per GPU\n");
     println!("{}", t.render());
-    opts.write_json(&t);
+    h.finish(&t);
 }

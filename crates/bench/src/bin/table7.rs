@@ -1,19 +1,19 @@
 //! Regenerate Table 7: supervised classifiers under transfer.
 
 use spsel_bench::HarnessOptions;
-use spsel_core::experiments::{table7, ExperimentContext};
+use spsel_core::experiments::table7;
 
 fn main() {
-    let opts = HarnessOptions::from_args();
-    let ctx = opts.context();
+    let mut h = HarnessOptions::open();
+    let ctx = h.context();
     let cfg = table7::Table7Config {
-        folds: if opts.quick { 3 } else { 5 },
+        folds: if h.opts.quick { 3 } else { 5 },
         seed: 37,
-        quick: opts.quick,
+        quick: h.opts.quick,
     };
     eprintln!("running 5 transfer pairs x 5 models x 3 budgets...");
-    let t = table7::run(&ctx, &cfg);
+    let t = h.time("experiment", || table7::run(&ctx, &cfg));
     println!("Table 7: supervised format selection under transfer\n");
     println!("{}", t.render());
-    opts.write_json(&t);
+    h.finish(&t);
 }

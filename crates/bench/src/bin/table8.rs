@@ -1,13 +1,13 @@
 //! Regenerate Table 8: conversion cost ratios and benchmarking hours.
 
 use spsel_bench::HarnessOptions;
-use spsel_core::experiments::{table8, ExperimentContext};
+use spsel_core::experiments::table8;
 
 fn main() {
-    let opts = HarnessOptions::from_args();
-    let ctx = opts.context();
-    let t = table8::run(&ctx, 100, 5.0);
+    let mut h = HarnessOptions::open();
+    let ctx = h.context();
+    let t = h.time("experiment", || table8::run(&ctx, 100, 5.0));
     println!("Table 8: format conversion cost and benchmarking time\n");
     println!("{}", t.render());
-    opts.write_json(&t);
+    h.finish(&t);
 }

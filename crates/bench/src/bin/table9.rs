@@ -3,20 +3,20 @@
 //! Pass `--images` to include the CNN row (much slower, as in the paper).
 
 use spsel_bench::HarnessOptions;
-use spsel_core::experiments::{table9, ExperimentContext};
+use spsel_core::experiments::table9;
 
 fn main() {
-    let opts = HarnessOptions::from_args();
-    let ctx = opts.context();
+    let mut h = HarnessOptions::open();
+    let ctx = h.context();
     let cfg = table9::Table9Config {
-        nc: if opts.quick { 25 } else { 200 },
-        with_cnn: opts.corpus.with_images,
-        quick: opts.quick,
+        nc: if h.opts.quick { 25 } else { 200 },
+        with_cnn: h.opts.corpus.with_images,
+        quick: h.opts.quick,
         ..Default::default()
     };
     eprintln!("timing model training...");
-    let t = table9::run(&ctx, &cfg);
+    let t = h.time("experiment", || table9::run(&ctx, &cfg));
     println!("Table 9: average training times (seconds)\n");
     println!("{}", t.render());
-    opts.write_json(&t);
+    h.finish(&t);
 }

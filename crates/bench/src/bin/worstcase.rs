@@ -5,10 +5,10 @@ use spsel_bench::HarnessOptions;
 use spsel_core::experiments::worstcase;
 
 fn main() {
-    let opts = HarnessOptions::from_args();
-    let cases = worstcase::run();
+    let mut h = HarnessOptions::open();
+    let cases = h.time("experiment", worstcase::run);
     println!("Worst-case slowdown from defaulting to CSR (mawi-like hub matrices)\n");
     println!("{}", worstcase::render(&cases));
     println!("(paper: 194.85x for mawi_201512012345 on the Quadro RTX 8000, HYB optimal)");
-    opts.write_json(&cases);
+    h.finish(&cases);
 }

@@ -1,12 +1,17 @@
 //! Benchmark harness: table-regeneration binaries and Criterion benches.
 //!
-//! Each `table*` binary rebuilds the corpus, runs the corresponding
-//! experiment from `spsel-core::experiments`, prints the table in the
-//! paper's layout, and writes the raw result as JSON next to the text so
-//! EXPERIMENTS.md numbers are auditable.
+//! Each `table*` binary builds (or loads from the persistent cache) the
+//! corpus + benchmark context, runs the corresponding experiment from
+//! `spsel-core::experiments`, prints the table in the paper's layout, and
+//! writes the raw result as JSON next to the text so EXPERIMENTS.md
+//! numbers are auditable. Every invocation also emits a JSON *run report*
+//! (phase timings + cache hit/miss counters) next to the table's output —
+//! see `spsel-core::telemetry`.
 
-use spsel_core::corpus::{Corpus, CorpusConfig};
+use spsel_core::cache::{Cache, DEFAULT_CACHE_DIR};
+use spsel_core::corpus::CorpusConfig;
 use spsel_core::experiments::ExperimentContext;
+use spsel_core::telemetry::RunReport;
 
 /// Command-line options shared by the table binaries.
 #[derive(Debug, Clone)]
@@ -17,9 +22,20 @@ pub struct HarnessOptions {
     pub quick: bool,
     /// Where to write the JSON result (None = skip).
     pub json_out: Option<String>,
-    /// Corpus cache path (`--cache`): load the corpus from here if the
-    /// file exists, otherwise build it and save it here.
-    pub cache: Option<String>,
+    /// Cache directory (None = caching disabled for this run).
+    pub cache_dir: Option<String>,
+    /// Name of the running binary (labels the run report).
+    pub bin_name: String,
+}
+
+/// A [`HarnessOptions`] bundled with the live run report and cache handle
+/// produced by [`HarnessOptions::open`].
+pub struct Harness {
+    /// Parsed options.
+    pub opts: HarnessOptions,
+    /// The run's instrumentation record.
+    pub report: RunReport,
+    cache: Cache,
 }
 
 impl HarnessOptions {
@@ -31,21 +47,34 @@ impl HarnessOptions {
     /// * `--seed S` — corpus seed;
     /// * `--images` — rasterize density images (needed for the CNN);
     /// * `--json PATH` — dump the result struct as JSON;
-    /// * `--cache PATH` — reuse a corpus built by an earlier run.
+    /// * `--cache DIR` — cache directory (default `results/cache`);
+    /// * `--no-cache` — disable the persistent cache for this run
+    ///   (equivalent to `SPSEL_NO_CACHE=1`).
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
+        let bin_name = args
+            .first()
+            .map(|a| {
+                std::path::Path::new(a)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("run")
+                    .to_string()
+            })
+            .unwrap_or_else(|| "run".to_string());
         let mut quick = false;
         let mut n_base = 1929usize;
         let mut augment = 1usize;
         let mut seed = 0xC0FFEEu64;
         let mut images = false;
         let mut json_out = None;
-        let mut cache = None;
+        let mut cache_dir = Some(DEFAULT_CACHE_DIR.to_string());
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
                 "--quick" => quick = true,
                 "--images" => images = true,
+                "--no-cache" => cache_dir = None,
                 "--base" => {
                     i += 1;
                     n_base = args[i].parse().expect("--base takes a number");
@@ -64,7 +93,7 @@ impl HarnessOptions {
                 }
                 "--cache" => {
                     i += 1;
-                    cache = Some(args[i].clone());
+                    cache_dir = Some(args[i].clone());
                 }
                 other => panic!("unknown argument `{other}`"),
             }
@@ -89,46 +118,83 @@ impl HarnessOptions {
             corpus,
             quick,
             json_out,
-            cache,
+            cache_dir,
+            bin_name,
         }
     }
 
-    /// Build the experiment context, honoring the corpus cache. The cache
-    /// stores only the corpus; benchmarks are recomputed (they are fast
-    /// and deterministic).
-    pub fn context(&self) -> ExperimentContext {
-        if let Some(path) = &self.cache {
-            if let Ok(bytes) = std::fs::read(path) {
-                if let Ok(corpus) = serde_json::from_slice::<Corpus>(&bytes) {
-                    if corpus.config() == &self.corpus {
-                        eprintln!("loaded corpus from {path}");
-                        let benches = spsel_gpusim::Gpu::ALL
-                            .iter()
-                            .map(|&g| corpus.benchmark(g))
-                            .collect();
-                        return ExperimentContext { corpus, benches };
-                    }
-                    eprintln!("cache config mismatch; rebuilding corpus");
-                }
-            }
-            eprintln!("building corpus ({} base matrices)...", self.corpus.n_base);
-            let ctx = ExperimentContext::new(self.corpus.clone());
-            let json = serde_json::to_vec(&ctx.corpus).expect("corpus serializes");
-            std::fs::write(path, json).expect("writable cache path");
-            eprintln!("saved corpus to {path}");
-            ctx
-        } else {
-            eprintln!("building corpus ({} base matrices)...", self.corpus.n_base);
-            ExperimentContext::new(self.corpus.clone())
+    /// Parse options and open the harness (cache handle + run report).
+    pub fn open() -> Harness {
+        let opts = Self::from_args();
+        let cache = match &opts.cache_dir {
+            Some(dir) => Cache::from_env(dir),
+            None => Cache::disabled(),
+        };
+        let report = RunReport::new(opts.bin_name.clone());
+        Harness {
+            opts,
+            report,
+            cache,
         }
+    }
+}
+
+impl Harness {
+    /// Build the experiment context through the persistent cache: a warm
+    /// run loads the corpus and all three GPUs' benchmark results from
+    /// disk; a cold run computes them (corpus generation record-parallel,
+    /// the three GPU benchmarks concurrently) and stores them back.
+    pub fn context(&mut self) -> ExperimentContext {
+        match self.cache.dir() {
+            Some(dir) => eprintln!(
+                "corpus: {} base matrices (cache: {})",
+                self.opts.corpus.n_base,
+                dir.display()
+            ),
+            None => eprintln!(
+                "corpus: {} base matrices (cache disabled)",
+                self.opts.corpus.n_base
+            ),
+        }
+        ExperimentContext::build(self.opts.corpus.clone(), &self.cache, &mut self.report)
+    }
+
+    /// Time `f` as a named phase of the run report.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        self.report.time(name, f)
     }
 
     /// Write a serializable result as JSON if `--json` was given.
     pub fn write_json<T: serde::Serialize>(&self, value: &T) {
-        if let Some(path) = &self.json_out {
+        if let Some(path) = &self.opts.json_out {
             let json = serde_json::to_string_pretty(value).expect("serializable result");
             std::fs::write(path, json).expect("writable json path");
             eprintln!("wrote {path}");
+        }
+    }
+
+    /// Finish the run: write the result JSON (if requested) and the run
+    /// report — next to the result when `--json` was given, otherwise
+    /// under `results/`.
+    pub fn finish<T: serde::Serialize>(mut self, value: &T) {
+        self.write_json(value);
+        self.report.cache = self.cache.report();
+        let path = match &self.opts.json_out {
+            Some(json) => format!("{json}.report.json"),
+            None => format!("results/{}-report.json", self.opts.bin_name),
+        };
+        let report_json = serde_json::to_string_pretty(&self.report).expect("report serializes");
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&path, report_json) {
+            Ok(()) => eprintln!(
+                "run report: {path} ({:.2}s total, cache {} hits / {} misses)",
+                self.report.total_seconds(),
+                self.report.cache.hits,
+                self.report.cache.misses
+            ),
+            Err(e) => eprintln!("run report: cannot write {path}: {e}"),
         }
     }
 }

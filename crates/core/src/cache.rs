@@ -1,0 +1,363 @@
+//! Persistent on-disk cache for corpus construction and GPU benchmarking.
+//!
+//! Artifacts live under a cache directory (default `results/cache/`), one
+//! JSON file per artifact, named by a stable FNV-1a hash of everything
+//! that determines the artifact's content:
+//!
+//! * corpus files — `(CORPUS_VERSION, CorpusConfig)`;
+//! * benchmark files — `(CORPUS_VERSION, CorpusConfig, Gpu)`, with every
+//!   entry additionally tagged by its record index and record id, which
+//!   are re-validated on load.
+//!
+//! Any change to the corpus generator or benchmark model must bump
+//! [`CORPUS_VERSION`], which invalidates every cached artifact at once.
+//!
+//! The cache is strictly best-effort and corruption-tolerant: a missing,
+//! truncated, stale, or otherwise unreadable file is a cache miss and the
+//! artifact is recomputed; a failed write only warns. Nothing in this
+//! module panics on I/O or parse errors. Writes are atomic
+//! (write-to-temp, then rename) so a crashed or concurrent run can never
+//! leave a half-written artifact that a later run would half-read.
+//!
+//! Setting `SPSEL_NO_CACHE=1` disables the cache entirely (see
+//! [`Cache::from_env`]).
+
+use crate::corpus::{Corpus, CorpusConfig, MatrixRecord};
+use crate::telemetry::CacheReport;
+use serde::{Deserialize, Serialize};
+use spsel_gpusim::{BenchResult, Gpu};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Version of the corpus generator + benchmark model semantics. Bump on
+/// any change that alters generated records or benchmark results, so
+/// stale cache entries can never be mistaken for current ones.
+pub const CORPUS_VERSION: u32 = 1;
+
+/// Environment variable that disables the cache when set to a non-empty
+/// value other than `0`.
+pub const NO_CACHE_ENV: &str = "SPSEL_NO_CACHE";
+
+/// Default cache directory, relative to the working directory.
+pub const DEFAULT_CACHE_DIR: &str = "results/cache";
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable hex key of a serializable cache-key structure.
+fn key_of<T: Serialize>(value: &T) -> String {
+    // The serde shim encodes objects in insertion order with shortest
+    // round-trip floats, so equal keys always produce equal bytes.
+    let bytes = serde_json::to_vec(value).expect("cache key serializes");
+    format!("{:016x}", fnv1a(&bytes))
+}
+
+#[derive(Serialize)]
+struct CorpusKey {
+    version: u32,
+    config: CorpusConfig,
+}
+
+#[derive(Serialize)]
+struct BenchKey {
+    version: u32,
+    config: CorpusConfig,
+    gpu: String,
+}
+
+#[derive(Serialize, Deserialize)]
+struct CorpusFile {
+    version: u32,
+    config: CorpusConfig,
+    records: Vec<MatrixRecord>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BenchEntry {
+    index: usize,
+    id: u64,
+    result: Option<BenchResult>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BenchFile {
+    version: u32,
+    config: CorpusConfig,
+    gpu: String,
+    entries: Vec<BenchEntry>,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+/// Handle to the on-disk cache. Cheap to clone; clones share counters.
+#[derive(Clone)]
+pub struct Cache {
+    root: Option<PathBuf>,
+    counters: Arc<Counters>,
+}
+
+impl Cache {
+    /// Cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Cache {
+            root: Some(dir.into()),
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// A disabled cache: every load misses, every store is a no-op.
+    pub fn disabled() -> Self {
+        Cache {
+            root: None,
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// Default cache honoring [`NO_CACHE_ENV`]: disabled when the
+    /// variable is set to a non-empty value other than `0`, otherwise
+    /// rooted at `dir`.
+    pub fn from_env(dir: impl Into<PathBuf>) -> Self {
+        match std::env::var(NO_CACHE_ENV) {
+            Ok(v) if !v.is_empty() && v != "0" => Cache::disabled(),
+            _ => Cache::new(dir),
+        }
+    }
+
+    /// Whether loads and stores touch the disk at all.
+    pub fn enabled(&self) -> bool {
+        self.root.is_some()
+    }
+
+    /// The cache directory, when enabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.root.as_deref()
+    }
+
+    /// Snapshot of the hit/miss/store counters for the run report.
+    pub fn report(&self) -> CacheReport {
+        CacheReport {
+            enabled: self.enabled(),
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            stores: self.counters.stores.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Path of the corpus artifact for `cfg`.
+    pub fn corpus_path(&self, cfg: &CorpusConfig) -> Option<PathBuf> {
+        let key = key_of(&CorpusKey {
+            version: CORPUS_VERSION,
+            config: cfg.clone(),
+        });
+        self.root
+            .as_ref()
+            .map(|r| r.join(format!("corpus-{key}.json")))
+    }
+
+    /// Path of the benchmark artifact for `(cfg, gpu)`.
+    pub fn bench_path(&self, cfg: &CorpusConfig, gpu: Gpu) -> Option<PathBuf> {
+        let key = key_of(&BenchKey {
+            version: CORPUS_VERSION,
+            config: cfg.clone(),
+            gpu: gpu.name().to_string(),
+        });
+        self.root
+            .as_ref()
+            .map(|r| r.join(format!("bench-{key}.json")))
+    }
+
+    fn hit(&self) {
+        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Load a cached corpus for `cfg`, if a valid artifact exists.
+    pub fn load_corpus(&self, cfg: &CorpusConfig) -> Option<Corpus> {
+        let path = self.corpus_path(cfg)?;
+        let loaded = read_json::<CorpusFile>(&path).and_then(|file| {
+            // The hash already encodes version + config, but re-validate:
+            // hashes can collide and files can be renamed by hand.
+            if file.version == CORPUS_VERSION && &file.config == cfg {
+                Some(Corpus::from_parts(file.records, file.config))
+            } else {
+                None
+            }
+        });
+        match loaded {
+            Some(c) => {
+                self.hit();
+                Some(c)
+            }
+            None => {
+                self.miss();
+                None
+            }
+        }
+    }
+
+    /// Persist a corpus (best-effort).
+    pub fn store_corpus(&self, corpus: &Corpus) {
+        let Some(path) = self.corpus_path(corpus.config()) else {
+            return;
+        };
+        let file = CorpusFile {
+            version: CORPUS_VERSION,
+            config: corpus.config().clone(),
+            records: corpus.records.clone(),
+        };
+        if write_json_atomic(&path, &file) {
+            self.counters.stores.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Load cached benchmark results for `(cfg, gpu)`, validating every
+    /// entry against the records it claims to describe.
+    pub fn load_bench(
+        &self,
+        cfg: &CorpusConfig,
+        gpu: Gpu,
+        records: &[MatrixRecord],
+    ) -> Option<Vec<Option<BenchResult>>> {
+        let path = self.bench_path(cfg, gpu)?;
+        let loaded = read_json::<BenchFile>(&path).and_then(|file| {
+            let valid = file.version == CORPUS_VERSION
+                && &file.config == cfg
+                && file.gpu == gpu.name()
+                && file.entries.len() == records.len()
+                && file
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .all(|(i, e)| e.index == i && e.id == records[i].id);
+            if valid {
+                Some(file.entries.into_iter().map(|e| e.result).collect())
+            } else {
+                None
+            }
+        });
+        match loaded {
+            Some(r) => {
+                self.hit();
+                Some(r)
+            }
+            None => {
+                self.miss();
+                None
+            }
+        }
+    }
+
+    /// Persist benchmark results (best-effort).
+    pub fn store_bench(
+        &self,
+        cfg: &CorpusConfig,
+        gpu: Gpu,
+        records: &[MatrixRecord],
+        results: &[Option<BenchResult>],
+    ) {
+        let Some(path) = self.bench_path(cfg, gpu) else {
+            return;
+        };
+        debug_assert_eq!(records.len(), results.len());
+        let file = BenchFile {
+            version: CORPUS_VERSION,
+            config: cfg.clone(),
+            gpu: gpu.name().to_string(),
+            entries: records
+                .iter()
+                .zip(results)
+                .enumerate()
+                .map(|(index, (r, result))| BenchEntry {
+                    index,
+                    id: r.id,
+                    result: *result,
+                })
+                .collect(),
+        };
+        if write_json_atomic(&path, &file) {
+            self.counters.stores.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Read + parse, tolerating every failure mode by returning `None`.
+fn read_json<T: Deserialize>(path: &Path) -> Option<T> {
+    let bytes = std::fs::read(path).ok()?;
+    serde_json::from_slice(&bytes).ok()
+}
+
+/// Atomic best-effort write: serialize, write to a unique temp file in
+/// the same directory, rename over the destination. Returns success.
+fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> bool {
+    let json = serde_json::to_vec(value).expect("cache artifact serializes");
+    let Some(parent) = path.parent() else {
+        return false;
+    };
+    if std::fs::create_dir_all(parent).is_err() {
+        eprintln!("cache: cannot create {}", parent.display());
+        return false;
+    }
+    let tmp = parent.join(format!(
+        ".{}.tmp.{}",
+        path.file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("artifact"),
+        std::process::id()
+    ));
+    if let Err(e) = std::fs::write(&tmp, &json) {
+        eprintln!("cache: write {} failed: {e}", tmp.display());
+        return false;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        eprintln!("cache: rename to {} failed: {e}", path.display());
+        let _ = std::fs::remove_file(&tmp);
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_and_distinguish_inputs() {
+        let a = CorpusConfig::small(10, 1);
+        let b = CorpusConfig::small(10, 2);
+        let cache = Cache::new("/tmp/unused");
+        assert_eq!(cache.corpus_path(&a), cache.corpus_path(&a));
+        assert_ne!(cache.corpus_path(&a), cache.corpus_path(&b));
+        assert_ne!(
+            cache.bench_path(&a, Gpu::Pascal),
+            cache.bench_path(&a, Gpu::Volta)
+        );
+    }
+
+    #[test]
+    fn disabled_cache_never_touches_disk() {
+        let cache = Cache::disabled();
+        let cfg = CorpusConfig::small(4, 1);
+        assert!(!cache.enabled());
+        assert!(cache.corpus_path(&cfg).is_none());
+        assert!(cache.load_corpus(&cfg).is_none());
+        let report = cache.report();
+        assert!(!report.enabled);
+        // A disabled load is not a miss: the cache was never consulted.
+        assert_eq!((report.hits, report.misses, report.stores), (0, 0, 0));
+    }
+}

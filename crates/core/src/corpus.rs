@@ -249,8 +249,7 @@ impl Corpus {
                 .into_par_iter()
                 .map(|gen_index| {
                     let (family, m) = generate_base(gen_index, &cfg);
-                    let stats =
-                        MatrixStats::from_row_counts(m.nrows(), m.ncols(), &m.row_counts());
+                    let stats = MatrixStats::from_row_counts(m.nrows(), m.ncols(), &m.row_counts());
                     if !cusp_ell_feasible(&stats) || stats.nnz == 0 {
                         return Vec::new();
                     }
@@ -292,6 +291,12 @@ impl Corpus {
             records,
             config: cfg,
         }
+    }
+
+    /// Reassemble a corpus from records and the config that produced them
+    /// (used when loading a cached corpus artifact).
+    pub fn from_parts(records: Vec<MatrixRecord>, config: CorpusConfig) -> Corpus {
+        Corpus { records, config }
     }
 
     /// Number of records (base + augmented).
@@ -364,7 +369,11 @@ mod tests {
     fn all_records_pass_ell_rule_for_base() {
         let c = small_corpus();
         for r in c.records.iter().filter(|r| !r.augmented) {
-            assert!(cusp_ell_feasible(&r.stats), "{:?} violates ELL rule", r.family);
+            assert!(
+                cusp_ell_feasible(&r.stats),
+                "{:?} violates ELL rule",
+                r.family
+            );
         }
     }
 
@@ -388,8 +397,7 @@ mod tests {
     #[test]
     fn families_are_diverse() {
         let c = Corpus::build(CorpusConfig::small(60, 1));
-        let fams: std::collections::HashSet<Family> =
-            c.records.iter().map(|r| r.family).collect();
+        let fams: std::collections::HashSet<Family> = c.records.iter().map(|r| r.family).collect();
         assert!(fams.len() >= 5, "only {} families", fams.len());
     }
 

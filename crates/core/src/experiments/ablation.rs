@@ -102,8 +102,7 @@ pub fn pca_sweep(
     let results = ctx.results(gpu, &ds);
     dims.iter()
         .map(|&dim| {
-            let mut cfg =
-                SemiConfig::new(ClusterMethod::KMeans { nc }, Labeler::Vote, seed);
+            let mut cfg = SemiConfig::new(ClusterMethod::KMeans { nc }, Labeler::Vote, seed);
             cfg.pca_dim = dim;
             let q = crate::transfer::local_semi(&features, &results, cfg, folds, seed);
             // Explained variance measured on the full dataset.
@@ -204,8 +203,7 @@ pub fn votes_per_cluster(
             for (train, test) in stratified_kfold(&y, Format::COUNT, folds, seed) {
                 let train_features: Vec<FeatureVector> =
                     train.iter().map(|&i| features[i].clone()).collect();
-                let train_labels: Vec<Format> =
-                    train.iter().map(|&i| results[i].best).collect();
+                let train_labels: Vec<Format> = train.iter().map(|&i| results[i].best).collect();
                 // Fit clusters with *no* labels used beyond the vote subset:
                 // fit() needs labels for the initial labeling, so fit with
                 // the full set and then overwrite via relabel with only the
@@ -221,8 +219,7 @@ pub fn votes_per_cluster(
                     subset.extend(m.iter().take(votes).copied());
                 }
                 benchmarked_total += subset.len();
-                let subset_labels: Vec<Format> =
-                    subset.iter().map(|&i| train_labels[i]).collect();
+                let subset_labels: Vec<Format> = subset.iter().map(|&i| train_labels[i]).collect();
                 // Reset labels to the vote-subset-only view.
                 sel.relabel(&subset, &subset_labels);
 
@@ -254,7 +251,8 @@ pub fn render_transforms(t: &TransformAblation) -> String {
 
 /// Render the PCA sweep.
 pub fn render_pca(points: &[PcaPoint]) -> String {
-    let mut out = String::from("PCA dimension sweep (K-Means-VOTE):\n  dim    MCC    ACC  explained\n");
+    let mut out =
+        String::from("PCA dimension sweep (K-Means-VOTE):\n  dim    MCC    ACC  explained\n");
     for p in points {
         out.push_str(&format!(
             "{:>5} {:>6.3} {:>6.3} {:>10.3}\n",
@@ -266,7 +264,8 @@ pub fn render_pca(points: &[PcaPoint]) -> String {
 
 /// Render the NC sweep.
 pub fn render_nc(points: &[NcPoint]) -> String {
-    let mut out = String::from("cluster count sweep (K-Means-VOTE):\n   NC    MCC    ACC  purity\n");
+    let mut out =
+        String::from("cluster count sweep (K-Means-VOTE):\n   NC    MCC    ACC  purity\n");
     for p in points {
         out.push_str(&format!(
             "{:>5} {:>6.3} {:>6.3} {:>7.3}\n",

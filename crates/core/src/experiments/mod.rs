@@ -17,7 +17,10 @@ pub mod table8;
 pub mod table9;
 pub mod worstcase;
 
+use crate::cache::Cache;
 use crate::corpus::{Corpus, CorpusConfig};
+use crate::telemetry::RunReport;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use spsel_features::{DensityImage, FeatureVector};
 use spsel_gpusim::{BenchResult, Gpu};
@@ -32,10 +35,42 @@ pub struct ExperimentContext {
 }
 
 impl ExperimentContext {
-    /// Build the corpus and benchmark it on all three GPUs.
+    /// Build the corpus and benchmark it on all three GPUs (no cache, no
+    /// instrumentation — see [`ExperimentContext::build`] for both).
     pub fn new(cfg: CorpusConfig) -> Self {
-        let corpus = Corpus::build(cfg);
-        let benches = Gpu::ALL.iter().map(|&g| corpus.benchmark(g)).collect();
+        Self::build(cfg, &Cache::disabled(), &mut RunReport::new("context"))
+    }
+
+    /// Cache-aware, instrumented construction: the corpus and each GPU's
+    /// benchmark results are loaded from `cache` when a valid artifact
+    /// exists and recomputed (then stored back) otherwise. The three GPU
+    /// targets are benchmarked concurrently; each per-GPU benchmark is
+    /// itself record-parallel, and both levels produce results identical
+    /// to a serial run. Phase timings and cache counters land in `report`.
+    pub fn build(cfg: CorpusConfig, cache: &Cache, report: &mut RunReport) -> Self {
+        let corpus = report.time("corpus_build", || {
+            cache.load_corpus(&cfg).unwrap_or_else(|| {
+                let corpus = Corpus::build(cfg.clone());
+                cache.store_corpus(&corpus);
+                corpus
+            })
+        });
+        let benches = report.time("benchmark", || {
+            Gpu::ALL
+                .to_vec()
+                .into_par_iter()
+                .map(|g| {
+                    cache
+                        .load_bench(corpus.config(), g, &corpus.records)
+                        .unwrap_or_else(|| {
+                            let results = corpus.benchmark(g);
+                            cache.store_bench(corpus.config(), g, &corpus.records, &results);
+                            results
+                        })
+                })
+                .collect()
+        });
+        report.cache = cache.report();
         ExperimentContext { corpus, benches }
     }
 
@@ -105,7 +140,11 @@ pub fn nine_algorithms(nc: usize) -> Vec<(crate::semi::ClusterMethod, crate::sem
         ClusterMethod::MeanShift,
         ClusterMethod::Birch { nc },
     ];
-    let labelers = [Labeler::Vote, Labeler::LogisticRegression, Labeler::RandomForest];
+    let labelers = [
+        Labeler::Vote,
+        Labeler::LogisticRegression,
+        Labeler::RandomForest,
+    ];
     methods
         .into_iter()
         .flat_map(|m| labelers.into_iter().map(move |l| (m, l)))

@@ -67,7 +67,9 @@ mod tests {
     fn renders_all_three_gpus() {
         let t = super::run();
         let r = t.render();
-        for name in ["Pascal", "Volta", "Turing", "GTX 1080", "RTX 8000", "897 GB/s"] {
+        for name in [
+            "Pascal", "Volta", "Turing", "GTX 1080", "RTX 8000", "897 GB/s",
+        ] {
             assert!(r.contains(name), "missing {name} in:\n{r}");
         }
     }

@@ -45,7 +45,11 @@ fn methods(nc: usize) -> [ClusterMethod; 3] {
     ]
 }
 
-const LABELERS: [Labeler; 3] = [Labeler::Vote, Labeler::LogisticRegression, Labeler::RandomForest];
+const LABELERS: [Labeler; 3] = [
+    Labeler::Vote,
+    Labeler::LogisticRegression,
+    Labeler::RandomForest,
+];
 
 /// Run the local semi-supervised evaluation on every GPU.
 pub fn run(ctx: &ExperimentContext, cfg: &Table4Config) -> Table4 {
@@ -75,14 +79,12 @@ pub fn run(ctx: &ExperimentContext, cfg: &Table4Config) -> Table4 {
                     // Report the NC actually used: for Mean-Shift, measure
                     // the discovered cluster count on the full dataset.
                     let nc_used = match m {
-                        ClusterMethod::MeanShift => {
-                            crate::semi::SemiSupervisedSelector::fit(
-                                &features,
-                                &results.iter().map(|r| r.best).collect::<Vec<_>>(),
-                                semi_cfg,
-                            )
-                            .n_clusters()
-                        }
+                        ClusterMethod::MeanShift => crate::semi::SemiSupervisedSelector::fit(
+                            &features,
+                            &results.iter().map(|r| r.best).collect::<Vec<_>>(),
+                            semi_cfg,
+                        )
+                        .n_clusters(),
                         _ => nc,
                     };
                     let row = SemiRow {

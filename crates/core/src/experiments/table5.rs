@@ -47,7 +47,11 @@ pub struct Table5 {
     pub pairs: Vec<(Gpu, Gpu, Vec<Table5Row>)>,
 }
 
-const LABELERS: [Labeler; 3] = [Labeler::Vote, Labeler::LogisticRegression, Labeler::RandomForest];
+const LABELERS: [Labeler; 3] = [
+    Labeler::Vote,
+    Labeler::LogisticRegression,
+    Labeler::RandomForest,
+];
 
 /// Run the transfer evaluation over all six GPU pairs.
 pub fn run(ctx: &ExperimentContext, cfg: &Table5Config) -> Table5 {
@@ -100,12 +104,19 @@ pub fn run(ctx: &ExperimentContext, cfg: &Table5Config) -> Table5 {
                     }
                     let row = Table5Row {
                         algorithm: format!("{}-{}", method.name(), labeler.name()),
-                        nc: if matches!(method, ClusterMethod::MeanShift) { ms_nc } else { nc },
+                        nc: if matches!(method, ClusterMethod::MeanShift) {
+                            ms_nc
+                        } else {
+                            nc
+                        },
                         budgets,
                     };
                     // Select NC by the 0%-budget MCC (transfer without
                     // target data is the headline scenario).
-                    if best.as_ref().is_none_or(|b| row.budgets[0][0] > b.budgets[0][0]) {
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| row.budgets[0][0] > b.budgets[0][0])
+                    {
                         best = Some(row);
                     }
                 }
@@ -123,8 +134,17 @@ impl Table5 {
         let mut out = String::new();
         out.push_str(&format!(
             "{:<24}{:>6} |{:>7}{:>7}{:>7} |{:>7}{:>7}{:>7} |{:>7}{:>7}{:>7}\n",
-            "Algorithm", "NC", "MCC-0", "ACC-0", "F1-0", "MCC-25", "ACC-25", "F1-25", "MCC-50",
-            "ACC-50", "F1-50"
+            "Algorithm",
+            "NC",
+            "MCC-0",
+            "ACC-0",
+            "F1-0",
+            "MCC-25",
+            "ACC-25",
+            "F1-25",
+            "MCC-50",
+            "ACC-50",
+            "F1-50"
         ));
         for (source, target, rows) in &self.pairs {
             out.push_str(&format!("--- {source} to {target} ---\n"));

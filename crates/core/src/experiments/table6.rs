@@ -69,12 +69,7 @@ pub fn run(ctx: &ExperimentContext, cfg: &Table6Config) -> Table6 {
             };
             let images_arg = model.needs_images().then_some(images.as_slice());
             let quality = local_supervised(
-                &features,
-                images_arg,
-                &results,
-                sup_cfg,
-                cfg.folds,
-                cfg.seed,
+                &features, images_arg, &results, sup_cfg, cfg.folds, cfg.seed,
             );
             gpu_rows.push(Table6Row {
                 model: model.name().to_string(),

@@ -79,7 +79,9 @@ pub fn run(ctx: &ExperimentContext, cfg: &Table7Config) -> Table7 {
             };
             let mut budgets = Vec::with_capacity(3);
             for budget in RetrainBudget::ALL {
-                budgets.push(transfer_supervised(input, sup_cfg, budget, cfg.folds, cfg.seed));
+                budgets.push(transfer_supervised(
+                    input, sup_cfg, budget, cfg.folds, cfg.seed,
+                ));
             }
             rows.push(Table7Row {
                 model: model.name().to_string(),
@@ -95,10 +97,7 @@ impl Table7 {
     /// Render in the paper's layout.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!(
-            "{:<10}",
-            "MLM"
-        ));
+        out.push_str(&format!("{:<10}", "MLM"));
         for b in RetrainBudget::ALL {
             out.push_str(&format!(
                 "|{:>7}{:>6}{:>6}{:>6}{:>6} ",

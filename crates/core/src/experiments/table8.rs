@@ -116,7 +116,11 @@ impl Table8 {
         let names = ["Pascal", "Volta", "Quadro"];
         // Paper order: Pascal, Quadro, Volta; keep Gpu::ALL order but label.
         for (g, gpu) in Gpu::ALL.iter().enumerate() {
-            let label = if *gpu == Gpu::Turing { names[2] } else { gpu.name() };
+            let label = if *gpu == Gpu::Turing {
+                names[2]
+            } else {
+                gpu.name()
+            };
             out.push_str(&format!(
                 "{:<11}{:>8}{:>14.1}\n",
                 label, self.counted[g], self.hours[g]

@@ -127,7 +127,11 @@ pub fn run(ctx: &ExperimentContext, cfg: &Table9Config) -> Table9 {
     // Semi-supervised rows: clustering is fitted once per budget run (the
     // timing includes it, matching the "training time" accounting), then
     // relabeled with the extra target data.
-    for labeler in [Labeler::Vote, Labeler::LogisticRegression, Labeler::RandomForest] {
+    for labeler in [
+        Labeler::Vote,
+        Labeler::LogisticRegression,
+        Labeler::RandomForest,
+    ] {
         let semi_cfg = SemiConfig::new(ClusterMethod::KMeans { nc: cfg.nc }, labeler, cfg.seed);
         let mut seconds = [0.0; 3];
         for (b, frac) in [0.0, 0.25, 0.5].iter().enumerate() {

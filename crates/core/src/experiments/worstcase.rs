@@ -132,7 +132,11 @@ mod tests {
         // The Turing anecdote: slowdown deep into the double digits with a
         // non-CSR optimum, as in the paper's 194.85x HYB example.
         let turing = cases.iter().find(|c| c.gpu == Gpu::Turing).unwrap();
-        assert!(turing.slowdown > 50.0, "Turing slowdown {:.1}", turing.slowdown);
+        assert!(
+            turing.slowdown > 50.0,
+            "Turing slowdown {:.1}",
+            turing.slowdown
+        );
     }
 
     #[test]

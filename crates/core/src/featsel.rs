@@ -27,12 +27,7 @@ pub enum SearchModel {
     Knn,
 }
 
-fn fit_predict(
-    model: SearchModel,
-    train: &Dataset,
-    test_x: &[Vec<f64>],
-    seed: u64,
-) -> Vec<usize> {
+fn fit_predict(model: SearchModel, train: &Dataset, test_x: &[Vec<f64>], seed: u64) -> Vec<usize> {
     match model {
         SearchModel::Dt => {
             let mut m = DecisionTree::new(DecisionTreeParams {
@@ -167,15 +162,7 @@ mod tests {
     #[test]
     fn greedy_selection_finds_a_small_accurate_subset() {
         let (features, labels) = problem();
-        let sel = greedy_forward_selection(
-            &features,
-            &labels,
-            SearchModel::Dt,
-            4,
-            1e-6,
-            3,
-            7,
-        );
+        let sel = greedy_forward_selection(&features, &labels, SearchModel::Dt, 4, 1e-6, 3, 7);
         assert!(!sel.features.is_empty());
         assert!(sel.features.len() <= 4);
         assert_eq!(sel.features.len(), sel.accuracy_trace.len());
@@ -190,15 +177,7 @@ mod tests {
     #[test]
     fn trace_is_monotone_under_min_gain() {
         let (features, labels) = problem();
-        let sel = greedy_forward_selection(
-            &features,
-            &labels,
-            SearchModel::Knn,
-            5,
-            0.0,
-            3,
-            3,
-        );
+        let sel = greedy_forward_selection(&features, &labels, SearchModel::Knn, 5, 0.0, 3, 3);
         for w in sel.accuracy_trace.windows(2) {
             assert!(w[1] + 1e-9 >= w[0], "greedy step decreased accuracy: {w:?}");
         }

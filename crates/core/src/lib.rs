@@ -18,6 +18,7 @@
 //! * [`experiments`] — one runner per table of the paper (Tables 2-9 plus
 //!   the Section 5.1 worst-case anecdote).
 
+pub mod cache;
 pub mod corpus;
 pub mod experiments;
 pub mod featsel;
@@ -27,8 +28,10 @@ pub mod regression;
 pub mod semi;
 pub mod speedup;
 pub mod supervised;
+pub mod telemetry;
 pub mod transfer;
 
+pub use cache::Cache;
 pub use corpus::{Corpus, CorpusConfig, MatrixRecord};
 pub use featsel::{greedy_forward_selection, FeatureSelection, SearchModel};
 pub use online::{OnlineDecision, OnlineSelector};
@@ -37,4 +40,5 @@ pub use regression::TimeRegressor;
 pub use semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
 pub use speedup::{selection_quality, SelectionQuality};
 pub use supervised::{SupervisedConfig, SupervisedModel};
+pub use telemetry::RunReport;
 pub use transfer::{transfer_semi, transfer_semi_budgets, transfer_supervised, RetrainBudget};

@@ -56,13 +56,9 @@ impl OnlineSelector {
         distance_threshold: f64,
         max_clusters: usize,
     ) -> Self {
-        let clusters = OnlineKMeans::from_clustering(
-            batch.clustering(),
-            distance_threshold,
-            max_clusters,
-        );
-        let labels: Vec<Option<Format>> =
-            batch.cluster_labels().iter().map(|&f| Some(f)).collect();
+        let clusters =
+            OnlineKMeans::from_clustering(batch.clustering(), distance_threshold, max_clusters);
+        let labels: Vec<Option<Format>> = batch.cluster_labels().iter().map(|&f| Some(f)).collect();
         let n = labels.len();
         OnlineSelector {
             preprocessor: batch.preprocessor().clone(),
@@ -177,7 +173,10 @@ mod tests {
             FeatureVector::from_csr(&CsrMatrix::from(&gen::bimodal(2000, 2000, 3, 40, 0.3, 8)));
         let d = online.observe(&novel);
         if d.new_cluster {
-            assert!(d.benchmark_requested, "new cluster must ask for a benchmark");
+            assert!(
+                d.benchmark_requested,
+                "new cluster must ask for a benchmark"
+            );
             assert_eq!(d.format, Format::Csr, "default before any benchmark");
             online.report_benchmark(d.cluster, Format::Hyb);
             assert_eq!(online.predict(&novel), Format::Hyb);

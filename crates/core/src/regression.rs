@@ -163,6 +163,9 @@ mod tests {
                 csr_choices += 1;
             }
         }
-        assert!(csr_choices >= 18, "only {csr_choices}/20 one-shot choices stayed CSR");
+        assert!(
+            csr_choices >= 18,
+            "only {csr_choices}/20 one-shot choices stayed CSR"
+        );
     }
 }

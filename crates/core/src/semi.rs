@@ -102,6 +102,14 @@ pub struct SemiSupervisedSelector {
     clustering: Clustering,
     /// Embedded training points (kept for relabeling).
     embedded: Vec<Vec<f64>>,
+    /// Current per-member labels: target-architecture measurements where a
+    /// member has been benchmarked, the labels seen at fit time otherwise
+    /// (kept so relabeling can vote over *all* members, not just the
+    /// benchmarked subset).
+    member_labels: Vec<Format>,
+    /// Whether each member's label is a measurement on the *current*
+    /// architecture (fresh) or carried over from fit time (stale).
+    member_fresh: Vec<bool>,
     /// One format label per cluster.
     labels: Vec<Format>,
 }
@@ -123,6 +131,35 @@ fn majority(labels: &[Format], fallback: Format) -> Format {
     for f in order {
         if counts[f.index()] > counts[best.index()] {
             best = f;
+        }
+    }
+    best
+}
+
+/// Weighted majority: each `(label, weight)` pair contributes its weight to
+/// the label's count. Exact ties prefer `prior` when given (evidence that
+/// merely ties must not overturn the label a cluster already carries),
+/// otherwise fall back to CSR-first order as in [`majority`].
+fn weighted_majority(votes: &[(Format, f64)], fallback: Format, prior: Option<Format>) -> Format {
+    let mut counts = [0.0f64; Format::COUNT];
+    let mut total = 0.0;
+    for &(l, w) in votes {
+        counts[l.index()] += w;
+        total += w;
+    }
+    if total == 0.0 {
+        return fallback;
+    }
+    let order = [Format::Csr, Format::Ell, Format::Hyb, Format::Coo];
+    let mut best = order[0];
+    for f in order {
+        if counts[f.index()] > counts[best.index()] {
+            best = f;
+        }
+    }
+    if let Some(p) = prior {
+        if counts[p.index()] == counts[best.index()] {
+            return p;
         }
     }
     best
@@ -164,66 +201,112 @@ impl SemiSupervisedSelector {
             preprocessor,
             clustering,
             embedded,
+            member_labels: labels.to_vec(),
+            member_fresh: vec![true; labels.len()],
             labels: Vec::new(),
         };
-        let all: Vec<usize> = (0..labels.len()).collect();
-        selector.label_clusters(&all, labels, None);
+        selector.label_clusters(None, 1.0);
         selector
     }
 
-    /// (Re-)label every cluster from benchmark labels of a subset of
-    /// training matrices: `benchmarked[i]` is an index into the training
-    /// set and `labels[i]` its measured best format on the target
-    /// architecture. Clusters without any benchmarked member keep their
-    /// previous model if one exists, else default to CSR.
+    /// (Re-)label every cluster after benchmarking a subset of training
+    /// matrices on a new architecture: `benchmarked[i]` is an index into
+    /// the training set and `labels[i]` its measured best format on the
+    /// target architecture.
+    ///
+    /// Benchmarked members take their fresh target labels. Every other
+    /// member keeps the (now stale) label it carried before, with its vote
+    /// discounted by the observed source/target agreement: if the fresh
+    /// measurements agree with the labels they replace at rate `r`, a stale
+    /// vote counts `max(0, 2r - 1)` of a fresh one (its excess reliability
+    /// over chance). Discarding the unbenchmarked members entirely would
+    /// let one or two noisy target samples overturn a label backed by the
+    /// whole cluster; counting them at full weight would stop a 50% budget
+    /// from ever flipping a cluster whose optimal format really changed.
     ///
     /// This is the porting step: on a new architecture only the benchmarked
     /// subset costs machine time; the clustering is reused unchanged.
     pub fn relabel(&mut self, benchmarked: &[usize], labels: &[Format]) {
         assert_eq!(benchmarked.len(), labels.len());
+        // Agreement between fresh measurements and the labels they replace
+        // estimates how trustworthy the remaining stale labels are.
+        let agree = benchmarked
+            .iter()
+            .zip(labels)
+            .filter(|&(&i, l)| self.member_labels[i] == *l)
+            .count();
+        let stale_weight = if benchmarked.is_empty() {
+            1.0
+        } else {
+            (2.0 * agree as f64 / benchmarked.len() as f64 - 1.0).max(0.0)
+        };
+        self.member_fresh = vec![false; self.member_labels.len()];
+        for (pos, &i) in benchmarked.iter().enumerate() {
+            self.member_labels[i] = labels[pos];
+            self.member_fresh[i] = true;
+        }
         let old = std::mem::take(&mut self.labels);
-        self.label_clusters(benchmarked, labels, Some(old));
+        self.label_clusters(Some(old), stale_weight);
     }
 
-    fn label_clusters(
-        &mut self,
-        benchmarked: &[usize],
-        labels: &[Format],
-        previous: Option<Vec<Format>>,
-    ) {
+    fn label_clusters(&mut self, previous: Option<Vec<Format>>, stale_weight: f64) {
         let nc = self.clustering.n_clusters();
-        // Group benchmarked samples by their cluster.
-        let mut by_cluster: Vec<Vec<(usize, Format)>> = vec![Vec::new(); nc];
-        for (pos, &i) in benchmarked.iter().enumerate() {
+        // Group every training member by its cluster.
+        let mut by_cluster: Vec<Vec<(usize, Format, bool)>> = vec![Vec::new(); nc];
+        for (i, &label) in self.member_labels.iter().enumerate() {
             let c = self.clustering.assignments[i];
-            by_cluster[c].push((i, labels[pos]));
+            by_cluster[c].push((i, label, self.member_fresh[i]));
         }
-        // Global majority as the fallback for clusters with no data.
-        let global = majority(labels, Format::Csr);
+        // Global majority as the fallback for clusters with no members.
+        let global = majority(&self.member_labels, Format::Csr);
 
         self.labels = (0..nc)
             .map(|c| {
                 let members = &by_cluster[c];
-                if members.is_empty() {
-                    return match &previous {
-                        Some(old) => old[c],
-                        None => global,
-                    };
-                }
-                let member_labels: Vec<Format> = members.iter().map(|&(_, l)| l).collect();
-                let maj = majority(&member_labels, global);
-                let distinct = member_labels
+                let fresh: Vec<(usize, Format)> = members
                     .iter()
+                    .filter(|&&(_, _, f)| f)
+                    .map(|&(i, l, _)| (i, l))
+                    .collect();
+                // A cluster without any fresh measurement keeps its
+                // previous label: there is no new evidence to act on.
+                if fresh.is_empty() {
+                    if let Some(old) = &previous {
+                        return old[c];
+                    }
+                    if members.is_empty() {
+                        return global;
+                    }
+                }
+                let votes: Vec<(Format, f64)> = members
+                    .iter()
+                    .map(|&(_, l, f)| (l, if f { 1.0 } else { stale_weight }))
+                    .collect();
+                let prior = previous.as_ref().map(|old| old[c]);
+                let maj = weighted_majority(&votes, global, prior);
+                // The per-cluster model trains on the members whose labels
+                // are trusted for the current architecture: all members at
+                // fit time, the benchmarked subset after a relabel.
+                let trusted = if previous.is_none() {
+                    members.iter().map(|&(i, l, _)| (i, l)).collect()
+                } else {
+                    fresh
+                };
+                let distinct = trusted
+                    .iter()
+                    .map(|&(_, l)| l)
                     .collect::<std::collections::HashSet<_>>()
                     .len();
                 // Pure or tiny clusters need no model; this is also what
                 // keeps LR/RF labeling cheap (paper Table 9).
-                if distinct <= 1 || members.len() < 4 {
+                if distinct <= 1 || trusted.len() < 4 {
                     return maj;
                 }
-                let x: Vec<Vec<f64>> =
-                    members.iter().map(|&(i, _)| self.embedded[i].clone()).collect();
-                let y: Vec<usize> = member_labels.iter().map(|l| l.index()).collect();
+                let x: Vec<Vec<f64>> = trusted
+                    .iter()
+                    .map(|&(i, _)| self.embedded[i].clone())
+                    .collect();
+                let y: Vec<usize> = trusted.iter().map(|&(_, l)| l.index()).collect();
                 let data = Dataset::new(x, y, Format::COUNT);
                 let centroid = &self.clustering.centroids[c];
                 match self.config.labeler {
@@ -309,7 +392,11 @@ impl SemiSupervisedSelector {
 }
 
 /// A human-readable account of one prediction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` rule text points at compiled-in
+/// decision-rule descriptions, so explanations are emitted but never parsed
+/// back.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Explanation {
     /// Cluster the matrix was assigned to.
     pub cluster: usize,
@@ -366,7 +453,11 @@ mod tests {
     #[test]
     fn all_labelers_work() {
         let (features, labels) = two_population_problem();
-        for labeler in [Labeler::Vote, Labeler::LogisticRegression, Labeler::RandomForest] {
+        for labeler in [
+            Labeler::Vote,
+            Labeler::LogisticRegression,
+            Labeler::RandomForest,
+        ] {
             let sel = SemiSupervisedSelector::fit(&features, &labels, kmeans_cfg(labeler));
             let preds = sel.predict_batch(&features);
             let acc = preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f64
@@ -399,26 +490,30 @@ mod tests {
     #[test]
     fn relabel_flips_cluster_labels() {
         let (features, labels) = two_population_problem();
-        let mut sel =
-            SemiSupervisedSelector::fit(&features, &labels, kmeans_cfg(Labeler::Vote));
+        let mut sel = SemiSupervisedSelector::fit(&features, &labels, kmeans_cfg(Labeler::Vote));
         // Target architecture inverts the labels; relabel with everything.
         let flipped: Vec<Format> = labels
             .iter()
-            .map(|l| if *l == Format::Ell { Format::Csr } else { Format::Ell })
+            .map(|l| {
+                if *l == Format::Ell {
+                    Format::Csr
+                } else {
+                    Format::Ell
+                }
+            })
             .collect();
         let all: Vec<usize> = (0..labels.len()).collect();
         sel.relabel(&all, &flipped);
         let preds = sel.predict_batch(&features);
-        let acc = preds.iter().zip(&flipped).filter(|(p, l)| p == l).count() as f64
-            / labels.len() as f64;
+        let acc =
+            preds.iter().zip(&flipped).filter(|(p, l)| p == l).count() as f64 / labels.len() as f64;
         assert!(acc > 0.9, "accuracy after relabel {acc}");
     }
 
     #[test]
     fn relabel_with_partial_data_keeps_old_labels_elsewhere() {
         let (features, labels) = two_population_problem();
-        let mut sel =
-            SemiSupervisedSelector::fit(&features, &labels, kmeans_cfg(Labeler::Vote));
+        let mut sel = SemiSupervisedSelector::fit(&features, &labels, kmeans_cfg(Labeler::Vote));
         let before = sel.predict_batch(&features);
         // Relabel with an empty benchmark set: nothing must change.
         sel.relabel(&[], &[]);

@@ -34,7 +34,11 @@ pub struct SelectionQuality {
 /// `results[i]` must be the benchmark outcome of the matrix whose
 /// prediction is `predictions[i]`.
 pub fn selection_quality(predictions: &[Format], results: &[BenchResult]) -> SelectionQuality {
-    assert_eq!(predictions.len(), results.len(), "one result per prediction");
+    assert_eq!(
+        predictions.len(),
+        results.len(),
+        "one result per prediction"
+    );
     let n = predictions.len();
     let y_true: Vec<usize> = results.iter().map(|r| r.best.index()).collect();
     let y_pred: Vec<usize> = predictions.iter().map(|p| p.index()).collect();
@@ -108,8 +112,8 @@ mod tests {
     #[test]
     fn oracle_prediction_is_perfect() {
         let results = vec![
-            result([10.0, 5.0, 7.0, 20.0]),  // best CSR
-            result([10.0, 9.0, 4.0, 20.0]),  // best ELL
+            result([10.0, 5.0, 7.0, 20.0]), // best CSR
+            result([10.0, 9.0, 4.0, 20.0]), // best ELL
         ];
         let preds: Vec<Format> = results.iter().map(|r| r.best).collect();
         let q = selection_quality(&preds, &results);

@@ -145,8 +145,7 @@ impl SupervisedSelector {
 
         let (model, pre) = match config.model {
             SupervisedModel::Dt => {
-                let x: Vec<Vec<f64>> =
-                    features.iter().map(|f| f.as_slice().to_vec()).collect();
+                let x: Vec<Vec<f64>> = features.iter().map(|f| f.as_slice().to_vec()).collect();
                 let mut m = DecisionTree::new(DecisionTreeParams {
                     max_depth: Some(if config.quick { 6 } else { 20 }),
                     seed: config.seed,
@@ -156,8 +155,7 @@ impl SupervisedSelector {
                 (ModelImpl::Dt(m), None)
             }
             SupervisedModel::Rf => {
-                let x: Vec<Vec<f64>> =
-                    features.iter().map(|f| f.as_slice().to_vec()).collect();
+                let x: Vec<Vec<f64>> = features.iter().map(|f| f.as_slice().to_vec()).collect();
                 let mut m = RandomForest::new(RandomForestParams {
                     n_estimators: if config.quick { 20 } else { 100 },
                     max_depth: Some(6),
@@ -168,8 +166,7 @@ impl SupervisedSelector {
                 (ModelImpl::Rf(m), None)
             }
             SupervisedModel::Xgb => {
-                let x: Vec<Vec<f64>> =
-                    features.iter().map(|f| f.as_slice().to_vec()).collect();
+                let x: Vec<Vec<f64>> = features.iter().map(|f| f.as_slice().to_vec()).collect();
                 let mut m = GradientBoosting::new(GradientBoostingParams {
                     n_rounds: if config.quick { 15 } else { 100 },
                     learning_rate: 0.1,
@@ -179,12 +176,9 @@ impl SupervisedSelector {
                 (ModelImpl::Xgb(m), None)
             }
             SupervisedModel::Svm | SupervisedModel::Knn => {
-                let rows: Vec<Vec<f64>> =
-                    features.iter().map(|f| f.as_slice().to_vec()).collect();
-                let pre = Preprocessor::fit_rows(
-                    &rows,
-                    Some(spsel_features::pipeline::DEFAULT_PCA_DIM),
-                );
+                let rows: Vec<Vec<f64>> = features.iter().map(|f| f.as_slice().to_vec()).collect();
+                let pre =
+                    Preprocessor::fit_rows(&rows, Some(spsel_features::pipeline::DEFAULT_PCA_DIM));
                 let x: Vec<Vec<f64>> = rows.iter().map(|r| pre.embed_row(r)).collect();
                 let data = Dataset::new(x, y, Format::COUNT);
                 let m = match config.model {
@@ -339,8 +333,8 @@ mod tests {
             },
         );
         let preds = sel.predict_batch(&features, Some(&images));
-        let acc = preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f64
-            / labels.len() as f64;
+        let acc =
+            preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f64 / labels.len() as f64;
         assert!(acc > 0.8, "CNN train accuracy {acc}");
     }
 

@@ -1,0 +1,128 @@
+//! Run instrumentation: phase wall-clock timers and cache counters,
+//! serialized as the JSON run report written next to each table's output.
+//!
+//! The report answers, for any regenerated table: how long each pipeline
+//! phase took, whether the on-disk cache was used, and how effective it
+//! was — which is what makes the "cold run is parallel" and "warm run is
+//! cached" claims auditable instead of anecdotal.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Wall-clock duration of one pipeline phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSample {
+    /// Phase name (`corpus_build`, `benchmark`, `experiment`, ...).
+    pub name: String,
+    /// Elapsed wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Snapshot of the cache counters at report time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheReport {
+    /// Whether the cache was consulted at all (false under
+    /// `SPSEL_NO_CACHE=1` or when running without a cache directory).
+    pub enabled: bool,
+    /// Artifacts served from disk.
+    pub hits: u64,
+    /// Artifacts that had to be recomputed (absent, stale, or corrupt).
+    pub misses: u64,
+    /// Artifacts written back to disk this run.
+    pub stores: u64,
+}
+
+/// Structured record of one harness invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Name of the run (usually the table binary's name).
+    pub name: String,
+    /// Per-phase wall-clock timings, in execution order.
+    pub phases: Vec<PhaseSample>,
+    /// Cache effectiveness for this run.
+    pub cache: CacheReport,
+    /// Worker threads the parallel runtime used (1 when forced serial).
+    pub threads: usize,
+    /// Whether `SPSEL_SERIAL=1` forced serial execution.
+    pub serial: bool,
+}
+
+impl RunReport {
+    /// Fresh report; thread count and serial flag are sampled from the
+    /// parallel runtime at construction.
+    pub fn new(name: impl Into<String>) -> Self {
+        let serial = rayon::serial_forced();
+        RunReport {
+            name: name.into(),
+            phases: Vec::new(),
+            cache: CacheReport::default(),
+            threads: if serial {
+                1
+            } else {
+                rayon::current_num_threads()
+            },
+            serial,
+        }
+    }
+
+    /// Time `f` as one named phase, appending its sample to the report.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.phases.push(PhaseSample {
+            name: name.to_string(),
+            seconds: start.elapsed().as_secs_f64(),
+        });
+        out
+    }
+
+    /// Record an externally measured phase.
+    pub fn record(&mut self, name: &str, seconds: f64) {
+        self.phases.push(PhaseSample {
+            name: name.to_string(),
+            seconds,
+        });
+    }
+
+    /// Elapsed seconds of a named phase, if it was recorded.
+    pub fn phase_seconds(&self, name: &str) -> Option<f64> {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.seconds)
+    }
+
+    /// Total seconds across all recorded phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.seconds).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_in_order() {
+        let mut r = RunReport::new("test");
+        let x = r.time("a", || 2 + 2);
+        assert_eq!(x, 4);
+        r.record("b", 1.5);
+        assert_eq!(r.phases.len(), 2);
+        assert_eq!(r.phases[0].name, "a");
+        assert_eq!(r.phase_seconds("b"), Some(1.5));
+        assert!(r.total_seconds() >= 1.5);
+        assert!(r.phase_seconds("missing").is_none());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = RunReport::new("rt");
+        r.record("phase", 0.25);
+        r.cache.hits = 3;
+        r.cache.enabled = true;
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -23,8 +23,11 @@ pub enum RetrainBudget {
 
 impl RetrainBudget {
     /// The paper's three budgets in column order.
-    pub const ALL: [RetrainBudget; 3] =
-        [RetrainBudget::Zero, RetrainBudget::Quarter, RetrainBudget::Half];
+    pub const ALL: [RetrainBudget; 3] = [
+        RetrainBudget::Zero,
+        RetrainBudget::Quarter,
+        RetrainBudget::Half,
+    ];
 
     /// The fraction of training data this budget benchmarks.
     pub fn fraction(self) -> f64 {
@@ -123,8 +126,7 @@ pub fn local_supervised(
                 cfg,
             );
             let test_imgs = images_of(images, &test);
-            let preds =
-                sel.predict_batch(&features_of(features, &test), test_imgs.as_deref());
+            let preds = sel.predict_batch(&features_of(features, &test), test_imgs.as_deref());
             selection_quality(&preds, &results_of(results, &test))
         })
         .collect();
@@ -152,14 +154,15 @@ pub fn transfer_semi_budgets(
         );
         let test_features = features_of(input.features, &test);
         let test_results = results_of(input.target, &test);
-        let train_y: Vec<usize> =
-            train.iter().map(|&i| input.target[i].best.index()).collect();
+        let train_y: Vec<usize> = train
+            .iter()
+            .map(|&i| input.target[i].best.index())
+            .collect();
         for (b, budget) in RetrainBudget::ALL.into_iter().enumerate() {
             let preds = if budget.fraction() > 0.0 {
                 // Stratified subset of the training fold, benchmarked on
                 // the target architecture.
-                let sub =
-                    stratified_subsample(&train_y, Format::COUNT, budget.fraction(), seed);
+                let sub = stratified_subsample(&train_y, Format::COUNT, budget.fraction(), seed);
                 let sub_labels: Vec<Format> =
                     sub.iter().map(|&p| input.target[train[p]].best).collect();
                 let mut sel = base.clone();
@@ -187,7 +190,10 @@ pub fn transfer_semi(
     seed: u64,
 ) -> SelectionQuality {
     let all = transfer_semi_budgets(input, cfg, folds, seed);
-    all[RetrainBudget::ALL.iter().position(|b| *b == budget).expect("budget listed")]
+    all[RetrainBudget::ALL
+        .iter()
+        .position(|b| *b == budget)
+        .expect("budget listed")]
 }
 
 /// Transfer protocol for a supervised model (Table 7): the model trains on
@@ -202,33 +208,33 @@ pub fn transfer_supervised(
     seed: u64,
 ) -> SelectionQuality {
     let y_target: Vec<usize> = input.target.iter().map(|r| r.best.index()).collect();
-    let qualities: Vec<SelectionQuality> =
-        stratified_kfold(&y_target, Format::COUNT, folds, seed)
-            .into_iter()
-            .map(|(train, test)| {
-                let mut labels = labels_of(input.source, &train);
-                if budget.fraction() > 0.0 {
-                    let train_y: Vec<usize> =
-                        train.iter().map(|&i| input.target[i].best.index()).collect();
-                    let sub =
-                        stratified_subsample(&train_y, Format::COUNT, budget.fraction(), seed);
-                    for &p in &sub {
-                        labels[p] = input.target[train[p]].best;
-                    }
+    let qualities: Vec<SelectionQuality> = stratified_kfold(&y_target, Format::COUNT, folds, seed)
+        .into_iter()
+        .map(|(train, test)| {
+            let mut labels = labels_of(input.source, &train);
+            if budget.fraction() > 0.0 {
+                let train_y: Vec<usize> = train
+                    .iter()
+                    .map(|&i| input.target[i].best.index())
+                    .collect();
+                let sub = stratified_subsample(&train_y, Format::COUNT, budget.fraction(), seed);
+                for &p in &sub {
+                    labels[p] = input.target[train[p]].best;
                 }
-                let train_imgs = images_of(input.images, &train);
-                let sel = SupervisedSelector::fit(
-                    &features_of(input.features, &train),
-                    train_imgs.as_deref(),
-                    &labels,
-                    cfg,
-                );
-                let test_imgs = images_of(input.images, &test);
-                let preds =
-                    sel.predict_batch(&features_of(input.features, &test), test_imgs.as_deref());
-                selection_quality(&preds, &results_of(input.target, &test))
-            })
-            .collect();
+            }
+            let train_imgs = images_of(input.images, &train);
+            let sel = SupervisedSelector::fit(
+                &features_of(input.features, &train),
+                train_imgs.as_deref(),
+                &labels,
+                cfg,
+            );
+            let test_imgs = images_of(input.images, &test);
+            let preds =
+                sel.predict_batch(&features_of(input.features, &test), test_imgs.as_deref());
+            selection_quality(&preds, &results_of(input.target, &test))
+        })
+        .collect();
     SelectionQuality::average(&qualities)
 }
 

@@ -1,0 +1,166 @@
+//! Persistent-cache behavior: warm reads reproduce the computed artifacts
+//! exactly, corrupted or truncated cache files fall back to recomputation
+//! without panicking, and `SPSEL_NO_CACHE` turns the layer off entirely.
+//!
+//! Each test writes into its own directory under `target/` so runs never
+//! interfere with each other or with the real `results/cache/`.
+
+use spsel_core::cache::{Cache, NO_CACHE_ENV};
+use spsel_core::corpus::{Corpus, CorpusConfig};
+use spsel_core::experiments::ExperimentContext;
+use spsel_core::telemetry::RunReport;
+use spsel_gpusim::Gpu;
+use std::path::PathBuf;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/cache-tests")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_cfg() -> CorpusConfig {
+    CorpusConfig::small(20, 7)
+}
+
+#[test]
+fn warm_read_returns_identical_artifacts() {
+    let dir = test_dir("warm");
+    let cache = Cache::new(&dir);
+    let cfg = small_cfg();
+
+    let corpus = Corpus::build(cfg.clone());
+    cache.store_corpus(&corpus);
+    let results = corpus.benchmark(Gpu::Turing);
+    cache.store_bench(corpus.config(), Gpu::Turing, &corpus.records, &results);
+
+    // A fresh handle (fresh counters) must reproduce both artifacts
+    // exactly from disk.
+    let warm = Cache::new(&dir);
+    let loaded = warm.load_corpus(&cfg).expect("warm corpus read");
+    assert_eq!(loaded.records, corpus.records);
+    assert_eq!(loaded.config(), corpus.config());
+    let loaded_bench = warm
+        .load_bench(corpus.config(), Gpu::Turing, &corpus.records)
+        .expect("warm bench read");
+    assert_eq!(loaded_bench, results);
+    let report = warm.report();
+    assert_eq!((report.hits, report.misses), (2, 0), "{report:?}");
+
+    // The stored file bytes are stable: storing the same artifacts again
+    // produces byte-identical files (deterministic serialization, so the
+    // cache key and content never drift between runs).
+    let corpus_path = warm.corpus_path(&cfg).unwrap();
+    let bench_path = warm.bench_path(&cfg, Gpu::Turing).unwrap();
+    let before = (
+        std::fs::read(&corpus_path).unwrap(),
+        std::fs::read(&bench_path).unwrap(),
+    );
+    warm.store_corpus(&corpus);
+    warm.store_bench(corpus.config(), Gpu::Turing, &corpus.records, &results);
+    assert_eq!(std::fs::read(&corpus_path).unwrap(), before.0);
+    assert_eq!(std::fs::read(&bench_path).unwrap(), before.1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_entries_recompute_silently() {
+    let dir = test_dir("corrupt");
+    let cfg = small_cfg();
+
+    // Populate through the full pipeline.
+    let cache = Cache::new(&dir);
+    let ctx = ExperimentContext::build(cfg.clone(), &cache, &mut RunReport::new("seed"));
+
+    let corpus_path = cache.corpus_path(&cfg).unwrap();
+    let bench_path = cache.bench_path(&cfg, Gpu::Pascal).unwrap();
+
+    // Truncate the corpus artifact mid-JSON and replace one bench
+    // artifact with garbage bytes.
+    let bytes = std::fs::read(&corpus_path).unwrap();
+    std::fs::write(&corpus_path, &bytes[..bytes.len() / 2]).unwrap();
+    std::fs::write(&bench_path, b"{not json\xff\xfe").unwrap();
+
+    // Loads must fail soft (None), never panic.
+    let damaged = Cache::new(&dir);
+    assert!(damaged.load_corpus(&cfg).is_none());
+    assert!(damaged
+        .load_bench(ctx.corpus.config(), Gpu::Pascal, &ctx.corpus.records)
+        .is_none());
+
+    // The full pipeline must recompute the damaged artifacts, reuse the
+    // intact ones, and end with the same results as the seed run.
+    let rebuild = Cache::new(&dir);
+    let ctx2 = ExperimentContext::build(cfg.clone(), &rebuild, &mut RunReport::new("rebuild"));
+    assert_eq!(ctx2.corpus.records, ctx.corpus.records);
+    assert_eq!(ctx2.benches, ctx.benches);
+    let report = rebuild.report();
+    assert_eq!(report.misses, 2, "corpus + 1 bench damaged: {report:?}");
+    assert_eq!(report.hits, 2, "2 bench artifacts intact: {report:?}");
+    assert_eq!(report.stores, 2, "damaged artifacts rewritten: {report:?}");
+
+    // After the repair run, a fully warm run hits everything.
+    let warm = Cache::new(&dir);
+    let ctx3 = ExperimentContext::build(cfg, &warm, &mut RunReport::new("warm"));
+    assert_eq!(ctx3.benches, ctx.benches);
+    let report = warm.report();
+    assert_eq!((report.hits, report.misses), (4, 0), "{report:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mismatched_config_is_a_miss() {
+    let dir = test_dir("config");
+    let cache = Cache::new(&dir);
+    let corpus = Corpus::build(small_cfg());
+    cache.store_corpus(&corpus);
+
+    // A different corpus config (different seed) must not resolve to the
+    // stored artifact.
+    let other = CorpusConfig::small(20, 8);
+    assert!(cache.load_corpus(&other).is_none());
+    assert_ne!(
+        cache.corpus_path(&small_cfg()).unwrap(),
+        cache.corpus_path(&other).unwrap(),
+        "distinct configs must map to distinct cache files"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_cache_env_disables_the_layer() {
+    // Env-var manipulation stays inside this one test; the test binary
+    // runs tests in threads, but no other test in this file reads the
+    // variable through `from_env`, and we restore it before returning.
+    let dir = test_dir("envoff");
+
+    std::env::set_var(NO_CACHE_ENV, "1");
+    let cache = Cache::from_env(&dir);
+    std::env::remove_var(NO_CACHE_ENV);
+    assert!(!cache.enabled());
+    assert!(cache.dir().is_none());
+    assert!(cache.corpus_path(&small_cfg()).is_none());
+
+    // Stores are no-ops: nothing appears on disk, loads return None, and
+    // the counters stay untouched (a disabled layer records no misses).
+    let corpus = Corpus::build(small_cfg());
+    cache.store_corpus(&corpus);
+    assert!(!dir.exists(), "disabled cache must not create {dir:?}");
+    assert!(cache.load_corpus(&small_cfg()).is_none());
+    let report = cache.report();
+    assert!(!report.enabled);
+    assert_eq!((report.hits, report.misses, report.stores), (0, 0, 0));
+
+    // "0" and unset mean enabled.
+    std::env::set_var(NO_CACHE_ENV, "0");
+    let on = Cache::from_env(&dir);
+    std::env::remove_var(NO_CACHE_ENV);
+    assert!(on.enabled());
+    assert!(Cache::from_env(&dir).enabled());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

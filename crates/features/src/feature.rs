@@ -84,7 +84,10 @@ impl FeatureId {
     /// Position in [`FeatureId::ALL`].
     #[inline]
     pub fn index(self) -> usize {
-        FeatureId::ALL.iter().position(|&f| f == self).expect("all ids listed")
+        FeatureId::ALL
+            .iter()
+            .position(|&f| f == self)
+            .expect("all ids listed")
     }
 
     /// The paper's snake_case feature name.
@@ -121,10 +124,7 @@ impl FeatureId {
     pub fn is_heavy_tailed(self) -> bool {
         !matches!(
             self,
-            FeatureId::NnzFrac
-                | FeatureId::HybEllFrac
-                | FeatureId::DiaFrac
-                | FeatureId::EllFrac
+            FeatureId::NnzFrac | FeatureId::HybEllFrac | FeatureId::DiaFrac | FeatureId::EllFrac
         )
     }
 }
@@ -214,8 +214,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: std::collections::HashSet<_> =
-            FeatureId::ALL.iter().map(|f| f.name()).collect();
+        let names: std::collections::HashSet<_> = FeatureId::ALL.iter().map(|f| f.name()).collect();
         assert_eq!(names.len(), NUM_FEATURES);
     }
 
@@ -251,7 +250,10 @@ mod tests {
         let csr = CsrMatrix::from(&gen::stencil2d(8, 0));
         let fv = FeatureVector::from_csr(&csr);
         let sub = fv.select(&[FeatureId::NnzMax, FeatureId::NRows]);
-        assert_eq!(sub, vec![fv.get(FeatureId::NnzMax), fv.get(FeatureId::NRows)]);
+        assert_eq!(
+            sub,
+            vec![fv.get(FeatureId::NnzMax), fv.get(FeatureId::NRows)]
+        );
     }
 
     #[test]

@@ -120,9 +120,8 @@ mod tests {
 
     #[test]
     fn matrix_smaller_than_grid() {
-        let csr = CsrMatrix::from(
-            &CooMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]).unwrap(),
-        );
+        let csr =
+            CsrMatrix::from(&CooMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]).unwrap());
         let img = DensityImage::from_csr(&csr, 8);
         assert!(img.get(0, 0) > 0.0);
         assert!(img.get(4, 4) > 0.0);

@@ -129,7 +129,11 @@ impl Pca {
         Pca {
             mean,
             components: eigenvectors.into_iter().take(k).collect(),
-            explained_variance: eigenvalues.into_iter().take(k).map(|e| e.max(0.0)).collect(),
+            explained_variance: eigenvalues
+                .into_iter()
+                .take(k)
+                .map(|e| e.max(0.0))
+                .collect(),
             total_variance,
         }
     }
@@ -247,7 +251,10 @@ mod tests {
         // First axis should be close to (1, 1)/sqrt(2) up to sign.
         let c = &pca.transform(&[1.0 + rows[0][0], 1.0 + rows[0][1]]);
         let c0 = &pca.transform(&[rows[0][0], rows[0][1]]);
-        assert!((c[0] - c0[0]).abs() > 1.0, "diagonal step should move the projection strongly");
+        assert!(
+            (c[0] - c0[0]).abs() > 1.0,
+            "diagonal step should move the projection strongly"
+        );
         assert!(pca.explained_variance_ratio() > 0.99);
     }
 

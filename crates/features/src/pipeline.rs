@@ -105,12 +105,9 @@ mod tests {
     fn corpus_features() -> Vec<FeatureVector> {
         let mut fs = Vec::new();
         for seed in 0..6 {
-            fs.push(FeatureVector::from_csr(&CsrMatrix::from(&gen::random_uniform(
-                100 + seed as usize * 37,
-                120,
-                5,
-                seed,
-            ))));
+            fs.push(FeatureVector::from_csr(&CsrMatrix::from(
+                &gen::random_uniform(100 + seed as usize * 37, 120, 5, seed),
+            )));
             fs.push(FeatureVector::from_csr(&CsrMatrix::from(&gen::power_law(
                 150, 150, 2, 2.2, 100, seed,
             ))));
@@ -158,8 +155,10 @@ mod tests {
         // space a mid-size matrix should sit genuinely between a tiny and a
         // huge one instead of collapsing onto the tiny one.
         let mut fs = Vec::new();
-        for (i, n) in [50usize, 70, 90, 120, 160, 220, 300, 400, 550, 750, 1000, 1400, 1900,
-            2600, 3500, 4800, 6500, 8800, 12000]
+        for (i, n) in [
+            50usize, 70, 90, 120, 160, 220, 300, 400, 550, 750, 1000, 1400, 1900, 2600, 3500, 4800,
+            6500, 8800, 12000,
+        ]
         .iter()
         .enumerate()
         {

@@ -76,7 +76,11 @@ mod tests {
     use super::*;
 
     fn rows() -> Vec<Vec<f64>> {
-        vec![vec![0.0, 10.0, 5.0], vec![2.0, 30.0, 5.0], vec![1.0, 20.0, 5.0]]
+        vec![
+            vec![0.0, 10.0, 5.0],
+            vec![2.0, 30.0, 5.0],
+            vec![1.0, 20.0, 5.0],
+        ]
     }
 
     #[test]

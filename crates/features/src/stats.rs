@@ -86,7 +86,11 @@ impl MatrixStats {
     pub fn from_row_counts(nrows: usize, ncols: usize, counts: &[usize]) -> Self {
         assert_eq!(counts.len(), nrows, "one count per row");
         let nnz: usize = counts.iter().sum();
-        let mean = if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 };
+        let mean = if nrows == 0 {
+            0.0
+        } else {
+            nnz as f64 / nrows as f64
+        };
         let nnz_min = counts.iter().copied().min().unwrap_or(0);
         let nnz_max = counts.iter().copied().max().unwrap_or(0);
 
@@ -106,9 +110,21 @@ impl MatrixStats {
                 higher_n += 1;
             }
         }
-        let nnz_std = if nrows == 0 { 0.0 } else { (var_sum / nrows as f64).sqrt() };
-        let sig_lower = if lower_n == 0 { 0.0 } else { (lower_sum / lower_n as f64).sqrt() };
-        let sig_higher = if higher_n == 0 { 0.0 } else { (higher_sum / higher_n as f64).sqrt() };
+        let nnz_std = if nrows == 0 {
+            0.0
+        } else {
+            (var_sum / nrows as f64).sqrt()
+        };
+        let sig_lower = if lower_n == 0 {
+            0.0
+        } else {
+            (lower_sum / lower_n as f64).sqrt()
+        };
+        let sig_higher = if higher_n == 0 {
+            0.0
+        } else {
+            (higher_sum / higher_n as f64).sqrt()
+        };
 
         let csr_max = counts
             .chunks(WARP_ROWS)

@@ -154,7 +154,13 @@ mod tests {
             dia_size: 1_200_000_000,
             ell_size: 1_200_000_000,
         };
-        let h = estimate_benchmark_hours(&turing_rtx8000(), &[huge.clone()], &[0], 100, 5.0);
+        let h = estimate_benchmark_hours(
+            &turing_rtx8000(),
+            std::slice::from_ref(&huge),
+            &[0],
+            100,
+            5.0,
+        );
         // Turing fits it, so it is benchmarked there.
         assert!(h > 0.0);
         // On Pascal every format is out of memory: the matrix is dropped.

@@ -237,7 +237,11 @@ mod tests {
         for gpu in [pascal_gtx1080(), volta_v100(), turing_rtx8000()] {
             let t = predict_times(&gpu, &s, 7);
             for f in Format::ALL {
-                assert!(t.get(f).is_finite() && t.get(f) > 0.0, "{f} on {}", gpu.model);
+                assert!(
+                    t.get(f).is_finite() && t.get(f) > 0.0,
+                    "{f} on {}",
+                    gpu.model
+                );
             }
         }
     }

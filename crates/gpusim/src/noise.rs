@@ -67,10 +67,7 @@ mod tests {
 
     #[test]
     fn noise_mean_near_one() {
-        let mean: f64 = (0..2000u64)
-            .map(|m| noise_factor(m, 0, 1))
-            .sum::<f64>()
-            / 2000.0;
+        let mean: f64 = (0..2000u64).map(|m| noise_factor(m, 0, 1)).sum::<f64>() / 2000.0;
         assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
     }
 

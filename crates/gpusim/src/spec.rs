@@ -77,7 +77,10 @@ pub struct KernelCoeffs {
 
 /// Full description of one GPU: Table 2 hardware numbers plus kernel
 /// coefficients.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` model name cannot be deserialized,
+/// and nothing round-trips specs (they are compiled-in constants).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct GpuSpec {
     /// Architecture tag.
     pub gpu: Gpu,
@@ -198,7 +201,10 @@ mod tests {
         assert_eq!((p.sms, p.l1_kib, p.l2_kib, p.memory_gb), (20, 48, 2048, 8));
         assert_eq!(p.bandwidth_gbs, 320.0);
         let v = volta_v100();
-        assert_eq!((v.sms, v.l1_kib, v.l2_kib, v.memory_gb), (80, 128, 6144, 32));
+        assert_eq!(
+            (v.sms, v.l1_kib, v.l2_kib, v.memory_gb),
+            (80, 128, 6144, 32)
+        );
         assert_eq!(v.bandwidth_gbs, 897.0);
         let t = turing_rtx8000();
         assert_eq!((t.sms, t.l1_kib, t.l2_kib, t.memory_gb), (72, 64, 6144, 48));

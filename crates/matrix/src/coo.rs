@@ -27,7 +27,11 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Build from unsorted triplets. Sorts row-major and validates bounds
     /// and duplicates.
-    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(usize, usize, f64)]) -> Result<Self> {
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self> {
         let mut t: Vec<(usize, usize, f64)> = Vec::with_capacity(triplets.len());
         for &(r, c, v) in triplets {
             if r >= nrows || c >= ncols {
@@ -40,7 +44,7 @@ impl CooMatrix {
             }
             t.push((r, c, v));
         }
-        t.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        t.sort_unstable_by_key(|a| (a.0, a.1));
         for w in t.windows(2) {
             if w[0].0 == w[1].0 && w[0].1 == w[1].1 {
                 return Err(MatrixError::DuplicateEntry {
@@ -72,7 +76,10 @@ impl CooMatrix {
     ) -> Self {
         debug_assert_eq!(rows.len(), cols.len());
         debug_assert_eq!(rows.len(), vals.len());
-        debug_assert!(rows.iter().zip(&cols).all(|(&r, &c)| (r as usize) < nrows && (c as usize) < ncols));
+        debug_assert!(rows
+            .iter()
+            .zip(&cols)
+            .all(|(&r, &c)| (r as usize) < nrows && (c as usize) < ncols));
         debug_assert!(rows
             .windows(2)
             .zip(cols.windows(2))
@@ -141,8 +148,7 @@ impl CooMatrix {
 
     /// Transpose (swaps rows/cols and re-sorts).
     pub fn transpose(&self) -> CooMatrix {
-        let triplets: Vec<(usize, usize, f64)> =
-            self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        let triplets: Vec<(usize, usize, f64)> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
         CooMatrix::from_triplets(self.ncols, self.nrows, &triplets)
             .expect("transpose preserves validity")
     }
@@ -226,22 +232,15 @@ mod tests {
     use super::*;
 
     fn sample() -> CooMatrix {
-        CooMatrix::from_triplets(
-            3,
-            4,
-            &[(2, 0, 5.0), (0, 1, 2.0), (0, 3, 3.0), (1, 2, -1.0)],
-        )
-        .unwrap()
+        CooMatrix::from_triplets(3, 4, &[(2, 0, 5.0), (0, 1, 2.0), (0, 3, 3.0), (1, 2, -1.0)])
+            .unwrap()
     }
 
     #[test]
     fn triplets_are_sorted() {
         let m = sample();
         let t: Vec<_> = m.iter().collect();
-        assert_eq!(
-            t,
-            vec![(0, 1, 2.0), (0, 3, 3.0), (1, 2, -1.0), (2, 0, 5.0)]
-        );
+        assert_eq!(t, vec![(0, 1, 2.0), (0, 3, 3.0), (1, 2, -1.0), (2, 0, 5.0)]);
     }
 
     #[test]
@@ -253,7 +252,10 @@ mod tests {
     #[test]
     fn rejects_duplicates() {
         let err = CooMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0)]).unwrap_err();
-        assert!(matches!(err, MatrixError::DuplicateEntry { row: 0, col: 0 }));
+        assert!(matches!(
+            err,
+            MatrixError::DuplicateEntry { row: 0, col: 0 }
+        ));
     }
 
     #[test]

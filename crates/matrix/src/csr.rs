@@ -121,7 +121,9 @@ impl CsrMatrix {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.nrows).flat_map(move |r| {
             let (cols, vals) = self.row(r);
-            cols.iter().zip(vals).map(move |(&c, &v)| (r, c as usize, v))
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (r, c as usize, v))
         })
     }
 
@@ -155,7 +157,7 @@ impl From<&CsrMatrix> for CooMatrix {
     fn from(csr: &CsrMatrix) -> Self {
         let mut rows = Vec::with_capacity(csr.nnz());
         for r in 0..csr.nrows {
-            rows.extend(std::iter::repeat(r as u32).take(csr.row_nnz(r)));
+            rows.extend(std::iter::repeat_n(r as u32, csr.row_nnz(r)));
         }
         CooMatrix::from_sorted_parts(
             csr.nrows,
@@ -182,13 +184,13 @@ impl SpMv for CsrMatrix {
 
     fn spmv(&self, x: &[f64], y: &mut [f64]) {
         self.check_dims(x, y).unwrap();
-        for r in 0..self.nrows {
+        for (r, out) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(r);
             let mut sum = 0.0;
             for (c, v) in cols.iter().zip(vals) {
                 sum += v * x[*c as usize];
             }
-            y[r] = sum;
+            *out = sum;
         }
     }
 
@@ -265,9 +267,7 @@ mod tests {
         // non-monotone
         assert!(CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
         // duplicate col within a row
-        assert!(
-            CsrMatrix::from_parts(1, 2, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err()
-        );
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err());
         // valid
         assert!(CsrMatrix::from_parts(1, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
     }

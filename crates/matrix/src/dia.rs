@@ -29,10 +29,7 @@ impl DiaMatrix {
     /// Convert from CSR, rejecting matrices with more than `max_diagonals`
     /// occupied diagonals (padding would blow up memory).
     pub fn try_from_csr(csr: &CsrMatrix, max_diagonals: usize) -> Result<Self> {
-        let occupied: BTreeSet<i64> = csr
-            .iter()
-            .map(|(r, c, _)| c as i64 - r as i64)
-            .collect();
+        let occupied: BTreeSet<i64> = csr.iter().map(|(r, c, _)| c as i64 - r as i64).collect();
         if occupied.len() > max_diagonals {
             return Err(MatrixError::DiaTooManyDiagonals {
                 diagonals: occupied.len(),

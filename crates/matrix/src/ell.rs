@@ -221,7 +221,13 @@ mod tests {
         let triplets: Vec<_> = (0..40).map(|c| (0usize, c as usize, 1.0)).collect();
         let coo = CooMatrix::from_triplets(100, 64, &triplets).unwrap();
         let err = EllMatrix::try_from_csr(&CsrMatrix::from(&coo)).unwrap_err();
-        assert!(matches!(err, MatrixError::EllTooWide { max_row_nnz: 40, .. }));
+        assert!(matches!(
+            err,
+            MatrixError::EllTooWide {
+                max_row_nnz: 40,
+                ..
+            }
+        ));
     }
 
     #[test]

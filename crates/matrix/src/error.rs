@@ -17,10 +17,7 @@ pub enum MatrixError {
     /// An ELL conversion was rejected because the row width exceeds the
     /// configured blow-up limit (mirrors CUSP refusing to build ELL
     /// structures for strongly imbalanced matrices).
-    EllTooWide {
-        max_row_nnz: usize,
-        limit: usize,
-    },
+    EllTooWide { max_row_nnz: usize, limit: usize },
     /// A DIA conversion was rejected because the number of occupied
     /// diagonals exceeds the configured limit.
     DiaTooManyDiagonals { diagonals: usize, limit: usize },

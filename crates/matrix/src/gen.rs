@@ -352,7 +352,11 @@ pub fn bimodal(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut rows_cols = Vec::with_capacity(nrows);
     for _ in 0..nrows {
-        let k = if rng.gen_bool(frac_b) { degree_b } else { degree_a };
+        let k = if rng.gen_bool(frac_b) {
+            degree_b
+        } else {
+            degree_a
+        };
         rows_cols.push(sample_distinct(&mut rng, k.min(ncols).max(1), ncols));
     }
     from_rows(nrows, ncols, rows_cols, &mut rng)
@@ -443,7 +447,7 @@ mod tests {
     fn row_skewed_has_two_populations() {
         let m = row_skewed(300, 4000, 3, 600, 0.02, 7);
         let counts = m.row_counts();
-        assert!(counts.iter().any(|&c| c == 600));
+        assert!(counts.contains(&600));
         assert!(counts.iter().filter(|&&c| c == 3).count() > 200);
     }
 
@@ -451,15 +455,19 @@ mod tests {
     fn kronecker_shape_and_count() {
         let m = kronecker(7, 500, 0.57, 0.19, 0.19, 3);
         assert_eq!(m.nrows(), 128);
-        assert!(m.nnz() > 300, "duplicate collapse too aggressive: {}", m.nnz());
+        assert!(
+            m.nnz() > 300,
+            "duplicate collapse too aggressive: {}",
+            m.nnz()
+        );
     }
 
     #[test]
     fn bimodal_degrees() {
         let m = bimodal(200, 500, 4, 40, 0.3, 5);
         let counts = m.row_counts();
-        assert!(counts.iter().any(|&c| c == 4));
-        assert!(counts.iter().any(|&c| c == 40));
+        assert!(counts.contains(&4));
+        assert!(counts.contains(&40));
         assert!(counts.iter().all(|&c| c == 4 || c == 40));
     }
 

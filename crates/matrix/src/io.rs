@@ -44,7 +44,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
             }
         }
     };
-    let toks: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let toks: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
         return Err(MatrixError::Parse {
             line: lineno,
@@ -211,7 +214,8 @@ mod tests {
 
     #[test]
     fn parse_general_real() {
-        let text = "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 1 1.5\n3 2 -2.0\n";
+        let text =
+            "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 1 1.5\n3 2 -2.0\n";
         let m = read_matrix_market(text.as_bytes()).unwrap();
         assert_eq!(m.nrows(), 3);
         assert_eq!(m.nnz(), 2);
@@ -220,7 +224,8 @@ mod tests {
 
     #[test]
     fn parse_symmetric_expands() {
-        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 1.0\n2 1 5.0\n3 3 2.0\n";
+        let text =
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 1.0\n2 1 5.0\n3 3 2.0\n";
         let m = read_matrix_market(text.as_bytes()).unwrap();
         assert_eq!(m.nnz(), 4);
         let d = m.to_dense();
@@ -267,12 +272,8 @@ mod tests {
 
     #[test]
     fn write_read_roundtrip() {
-        let m = CooMatrix::from_triplets(
-            3,
-            4,
-            &[(0, 1, 1.25), (1, 3, -0.5), (2, 0, 1e-10)],
-        )
-        .unwrap();
+        let m =
+            CooMatrix::from_triplets(3, 4, &[(0, 1, 1.25), (1, 3, -0.5), (2, 0, 1e-10)]).unwrap();
         let mut buf = Vec::new();
         write_matrix_market(&m, &mut buf).unwrap();
         let back = read_matrix_market(buf.as_slice()).unwrap();

@@ -145,12 +145,9 @@ mod tests {
     #[test]
     fn spmv_commutes_with_permutation() {
         // (P_r A P_c^T) (P_c x) = P_r (A x)
-        let m = CooMatrix::from_triplets(
-            3,
-            4,
-            &[(0, 1, 2.0), (1, 3, -1.0), (2, 0, 4.0), (2, 2, 0.5)],
-        )
-        .unwrap();
+        let m =
+            CooMatrix::from_triplets(3, 4, &[(0, 1, 2.0), (1, 3, -1.0), (2, 0, 4.0), (2, 2, 0.5)])
+                .unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let rp = Permutation::random(3, &mut rng);
         let cp = Permutation::random(4, &mut rng);

@@ -147,7 +147,11 @@ impl SellMatrix {
                 for k in 0..self.slice_widths[s] {
                     let cc = self.col_idx[base + k * self.c + lane];
                     if cc != SELL_PAD {
-                        triplets.push((orig as usize, cc as usize, self.vals[base + k * self.c + lane]));
+                        triplets.push((
+                            orig as usize,
+                            cc as usize,
+                            self.vals[base + k * self.c + lane],
+                        ));
                     }
                 }
             }
@@ -259,8 +263,14 @@ mod tests {
             sell.spmv(&x, &mut y1);
             sell.spmv_par(&x, &mut y2);
             for i in 0..64 {
-                assert!((y1[i] - want[i]).abs() < 1e-10, "seq C={c} s={sigma} row {i}");
-                assert!((y2[i] - want[i]).abs() < 1e-10, "par C={c} s={sigma} row {i}");
+                assert!(
+                    (y1[i] - want[i]).abs() < 1e-10,
+                    "seq C={c} s={sigma} row {i}"
+                );
+                assert!(
+                    (y2[i] - want[i]).abs() < 1e-10,
+                    "par C={c} s={sigma} row {i}"
+                );
             }
         }
     }

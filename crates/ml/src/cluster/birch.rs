@@ -89,8 +89,13 @@ impl Cf {
 }
 
 enum Node {
-    Leaf { entries: Vec<Cf> },
-    Internal { summaries: Vec<Cf>, children: Vec<Node> },
+    Leaf {
+        entries: Vec<Cf>,
+    },
+    Internal {
+        summaries: Vec<Cf>,
+        children: Vec<Node>,
+    },
 }
 
 /// Result of inserting into a node: possibly a split into two halves.
@@ -159,9 +164,17 @@ impl Node {
                 }
                 let (a, b) = split_entries(std::mem::take(entries));
                 let (cfa, cfb) = (summarize(&a), summarize(&b));
-                InsertResult::Split(cfa, Node::Leaf { entries: a }, cfb, Node::Leaf { entries: b })
+                InsertResult::Split(
+                    cfa,
+                    Node::Leaf { entries: a },
+                    cfb,
+                    Node::Leaf { entries: b },
+                )
             }
-            Node::Internal { summaries, children } => {
+            Node::Internal {
+                summaries,
+                children,
+            } => {
                 let (idx, _) = summaries
                     .iter()
                     .enumerate()
@@ -213,9 +226,15 @@ impl Node {
                         let (cfa, cfb) = (summarize(&sa), summarize(&sb));
                         InsertResult::Split(
                             cfa,
-                            Node::Internal { summaries: sa, children: ca },
+                            Node::Internal {
+                                summaries: sa,
+                                children: ca,
+                            },
                             cfb,
-                            Node::Internal { summaries: sb, children: cb },
+                            Node::Internal {
+                                summaries: sb,
+                                children: cb,
+                            },
                         )
                     }
                 }
@@ -323,7 +342,9 @@ impl ClusterAlgorithm for Birch {
         assert!(!points.is_empty(), "cannot cluster an empty point set");
 
         // Phase 1: build the CF tree.
-        let mut root = Node::Leaf { entries: Vec::new() };
+        let mut root = Node::Leaf {
+            entries: Vec::new(),
+        };
         for p in points {
             match root.insert(Cf::from_point(p), self.threshold, self.branching_factor) {
                 InsertResult::Ok => {}
@@ -376,7 +397,10 @@ mod tests {
         let mut pts = Vec::new();
         for &(cx, cy) in centers {
             for _ in 0..per {
-                pts.push(vec![cx + rng.gen_range(-0.4..0.4), cy + rng.gen_range(-0.4..0.4)]);
+                pts.push(vec![
+                    cx + rng.gen_range(-0.4..0.4),
+                    cy + rng.gen_range(-0.4..0.4),
+                ]);
             }
         }
         pts

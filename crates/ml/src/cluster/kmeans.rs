@@ -47,10 +47,7 @@ impl KMeans {
         let k = self.k.min(n);
         let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
         centroids.push(points[rng.gen_range(0..n)].clone());
-        let mut d2: Vec<f64> = points
-            .iter()
-            .map(|p| sq_dist(p, &centroids[0]))
-            .collect();
+        let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
         while centroids.len() < k {
             let total: f64 = d2.iter().sum();
             let next = if total <= 0.0 {
@@ -177,7 +174,10 @@ mod tests {
         let mut pts = Vec::new();
         for &(cx, cy) in centers {
             for _ in 0..per {
-                pts.push(vec![cx + rng.gen_range(-0.5..0.5), cy + rng.gen_range(-0.5..0.5)]);
+                pts.push(vec![
+                    cx + rng.gen_range(-0.5..0.5),
+                    cy + rng.gen_range(-0.5..0.5),
+                ]);
             }
         }
         pts

@@ -74,9 +74,7 @@ impl MeanShift {
         let mut seeds: Vec<(Vec<i64>, Vec<f64>)> = bins
             .into_iter()
             .filter(|(_, (_, c))| *c >= self.min_bin_freq)
-            .map(|(key, (sum, c))| {
-                (key, sum.into_iter().map(|s| s / c as f64).collect())
-            })
+            .map(|(key, (sum, c))| (key, sum.into_iter().map(|s| s / c as f64).collect()))
             .collect();
         // Deterministic order regardless of hash iteration.
         seeds.sort_by(|a, b| a.0.cmp(&b.0));
@@ -115,8 +113,7 @@ impl ClusterAlgorithm for MeanShift {
                     if within == 0 {
                         return None;
                     }
-                    let new_center: Vec<f64> =
-                        sum.into_iter().map(|s| s / within as f64).collect();
+                    let new_center: Vec<f64> = sum.into_iter().map(|s| s / within as f64).collect();
                     let shift = sq_dist(&center, &new_center).sqrt();
                     center = new_center;
                     if shift < bandwidth * 1e-3 {

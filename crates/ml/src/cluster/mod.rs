@@ -112,8 +112,7 @@ impl Clustering {
         if members.len() < 2 {
             return None;
         }
-        let member_points: Vec<Vec<f64>> =
-            members.iter().map(|&i| points[i].clone()).collect();
+        let member_points: Vec<Vec<f64>> = members.iter().map(|&i| points[i].clone()).collect();
         let sub = crate::cluster::kmeans::KMeans::new(2, seed).fit(&member_points);
         let side_b = sub.assignments.iter().filter(|&&a| a == 1).count();
         if sub.n_clusters() < 2 || side_b == 0 || side_b == members.len() {
@@ -170,7 +169,11 @@ pub fn cluster_purity(
         per.push(purity);
         weighted += purity * m.len() as f64;
     }
-    let overall = if total == 0 { 1.0 } else { weighted / total as f64 };
+    let overall = if total == 0 {
+        1.0
+    } else {
+        weighted / total as f64
+    };
     (per, overall)
 }
 

@@ -63,13 +63,22 @@ struct Shape {
 
 impl Shape {
     fn new(res: usize) -> Self {
-        assert!(res >= 8, "image resolution too small for two conv/pool stages");
+        assert!(
+            res >= 8,
+            "image resolution too small for two conv/pool stages"
+        );
         let c1 = res - (K - 1);
         let p1 = c1 / 2;
         let c2 = p1 - (K - 1);
         let p2 = c2 / 2;
         assert!(p2 >= 1, "resolution collapses to nothing");
-        Shape { res, c1, p1, c2, p2 }
+        Shape {
+            res,
+            c1,
+            p1,
+            c2,
+            p2,
+        }
     }
 }
 
@@ -134,15 +143,15 @@ impl Weights {
 
 /// Activations of one forward pass, kept for backprop.
 struct Trace {
-    input: Vec<f32>,        // [res*res]
-    conv1: Vec<f32>,        // post-ReLU [c1_ch * c1 * c1]
-    pool1: Vec<f32>,        // [c1_ch * p1 * p1]
-    pool1_arg: Vec<usize>,  // argmax index into conv1
-    conv2: Vec<f32>,        // post-ReLU [c2_ch * c2 * c2]
-    pool2: Vec<f32>,        // [c2_ch * p2 * p2] == flat
-    pool2_arg: Vec<usize>,  // argmax index into conv2
-    hidden: Vec<f32>,       // post-ReLU [hidden]
-    probs: Vec<f32>,        // [classes]
+    input: Vec<f32>,       // [res*res]
+    conv1: Vec<f32>,       // post-ReLU [c1_ch * c1 * c1]
+    pool1: Vec<f32>,       // [c1_ch * p1 * p1]
+    pool1_arg: Vec<usize>, // argmax index into conv1
+    conv2: Vec<f32>,       // post-ReLU [c2_ch * c2 * c2]
+    pool2: Vec<f32>,       // [c2_ch * p2 * p2] == flat
+    pool2_arg: Vec<usize>, // argmax index into conv2
+    hidden: Vec<f32>,      // post-ReLU [hidden]
+    probs: Vec<f32>,       // [classes]
 }
 
 /// Convolutional classifier on density images.
@@ -175,14 +184,23 @@ impl CnnClassifier {
     fn init_weights(&self, shape: Shape, n_classes: usize, rng: &mut StdRng) -> Weights {
         let p = &self.params;
         let flat = p.conv2_channels * shape.p2 * shape.p2;
+        // He-uniform: U(-a, a) has variance a^2/3, so a = sqrt(6/fan_in)
+        // yields the He variance 2/fan_in. Under-scaling here leaves the
+        // ReLU stack with vanishing gradients at small learning rates.
         let he = |fan_in: usize, rng: &mut StdRng, len: usize| -> Vec<f32> {
-            let scale = (2.0 / fan_in as f32).sqrt();
-            (0..len).map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale).collect()
+            let scale = (6.0 / fan_in as f32).sqrt();
+            (0..len)
+                .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+                .collect()
         };
         Weights {
             w1: he(K * K, rng, p.conv1_channels * K * K),
             b1: vec![0.0; p.conv1_channels],
-            w2: he(p.conv1_channels * K * K, rng, p.conv2_channels * p.conv1_channels * K * K),
+            w2: he(
+                p.conv1_channels * K * K,
+                rng,
+                p.conv2_channels * p.conv1_channels * K * K,
+            ),
             b2: vec![0.0; p.conv2_channels],
             w3: he(flat, rng, p.hidden * flat),
             b3: vec![0.0; p.hidden],
@@ -244,8 +262,8 @@ impl CnnClassifier {
                 for xx in 0..c2s {
                     let mut acc = w.b2[oc];
                     for ic in 0..p.conv1_channels {
-                        let wk = &w.w2
-                            [(oc * p.conv1_channels + ic) * K * K..(oc * p.conv1_channels + ic + 1) * K * K];
+                        let wk = &w.w2[(oc * p.conv1_channels + ic) * K * K
+                            ..(oc * p.conv1_channels + ic + 1) * K * K];
                         for ki in 0..K {
                             let base = ic * p1s * p1s + (y + ki) * p1s + xx;
                             let row = &pool1[base..base + K];
@@ -329,7 +347,14 @@ impl CnnClassifier {
 
     /// Accumulate gradients of one sample into `grad`. Returns the
     /// cross-entropy loss of the sample.
-    fn backward(&self, w: &Weights, shape: Shape, trace: &Trace, label: usize, grad: &mut Weights) -> f32 {
+    fn backward(
+        &self,
+        w: &Weights,
+        shape: Shape,
+        trace: &Trace,
+        label: usize,
+        grad: &mut Weights,
+    ) -> f32 {
         let p = &self.params;
         let (res, c1s, p1s, c2s, _p2s) = (shape.res, shape.c1, shape.p1, shape.c2, shape.p2);
         let loss = -(trace.probs[label].max(1e-12)).ln();
@@ -611,7 +636,8 @@ mod tests {
 
         let eps = 1e-3f32;
         // Check a sample of weights from each layer.
-        let checks: Vec<(&str, usize)> = vec![("w1", 3), ("w2", 7), ("w3", 5), ("w4", 2), ("b2", 1)];
+        let checks: Vec<(&str, usize)> =
+            vec![("w1", 3), ("w2", 7), ("w3", 5), ("w4", 2), ("b2", 1)];
         for (layer, idx) in checks {
             let mut wp = w.clone();
             let mut wm = w.clone();

@@ -88,7 +88,9 @@ impl Classifier for RandomForest {
             .into_par_iter()
             .map(|t| {
                 // Independent bootstrap per tree, derived deterministically.
-                let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)));
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)),
+                );
                 let bootstrap: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
                 let sample = data.subset(&bootstrap);
                 let mut tree = DecisionTree::new(DecisionTreeParams {

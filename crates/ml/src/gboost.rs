@@ -42,8 +42,15 @@ impl Default for GradientBoostingParams {
 /// One node of a regression tree, arena-indexed.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum RegNode {
-    Leaf { weight: f64 },
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf {
+        weight: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,8 +64,17 @@ impl RegTree {
         loop {
             match &self.nodes[i] {
                 RegNode::Leaf { weight } => return *weight,
-                RegNode::Split { feature, threshold, left, right } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -102,7 +118,11 @@ impl<'a> TreeBuilder<'a> {
         let mut scratch: Vec<(f64, f64, f64)> = Vec::with_capacity(indices.len());
         for f in 0..dim {
             scratch.clear();
-            scratch.extend(indices.iter().map(|&i| (self.x[i][f], self.grad[i], self.hess[i])));
+            scratch.extend(
+                indices
+                    .iter()
+                    .map(|&i| (self.x[i][f], self.grad[i], self.hess[i])),
+            );
             scratch.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
             let mut gl = 0.0;
             let mut hl = 0.0;
@@ -137,7 +157,12 @@ impl<'a> TreeBuilder<'a> {
         self.nodes.push(RegNode::Leaf { weight: 0.0 }); // placeholder
         let left = self.build(&left_idx, depth + 1);
         let right = self.build(&right_idx, depth + 1);
-        self.nodes[me] = RegNode::Split { feature, threshold, left, right };
+        self.nodes[me] = RegNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         me
     }
 }
@@ -235,7 +260,9 @@ impl Classifier for GradientBoosting {
                         nodes: Vec::new(),
                     };
                     builder.build(&all_indices, 0);
-                    RegTree { nodes: builder.nodes }
+                    RegTree {
+                        nodes: builder.nodes,
+                    }
                 })
                 .collect();
 
@@ -352,7 +379,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let data = Dataset::new(
-            (0..30).map(|i| vec![(i % 7) as f64, (i % 5) as f64]).collect(),
+            (0..30)
+                .map(|i| vec![(i % 7) as f64, (i % 5) as f64])
+                .collect(),
             (0..30).map(|i| (i % 2) as usize).collect(),
             2,
         );

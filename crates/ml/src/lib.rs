@@ -33,7 +33,9 @@ pub mod svm;
 pub mod tree;
 
 pub use classifier::Classifier;
-pub use cluster::{birch::Birch, kmeans::KMeans, meanshift::MeanShift, ClusterAlgorithm, Clustering};
+pub use cluster::{
+    birch::Birch, kmeans::KMeans, meanshift::MeanShift, ClusterAlgorithm, Clustering,
+};
 pub use cnn::CnnClassifier;
 pub use cv::{stratified_kfold, train_test_split};
 pub use data::Dataset;

@@ -200,8 +200,8 @@ mod tests {
         y_pred.extend(vec![0, 0, 0]); // tn
         let cm = ConfusionMatrix::from_labels(&y_true, &y_pred, 2);
         let (tp, tn, fp, fnn): (f64, f64, f64, f64) = (5.0, 3.0, 2.0, 1.0);
-        let expected = (tp * tn - fp * fnn)
-            / ((tp + fp) * (tp + fnn) * (tn + fp) * (tn + fnn)).sqrt();
+        let expected =
+            (tp * tn - fp * fnn) / ((tp + fp) * (tp + fnn) * (tn + fp) * (tn + fnn)).sqrt();
         assert!((cm.mcc() - expected).abs() < 1e-12);
     }
 

@@ -194,8 +194,7 @@ impl DecisionTree {
         // Gini cannot see the XOR-style interactions that only pay off one
         // level deeper. Recursion still terminates because a found split
         // always separates distinct feature values.
-        let Some((feature, threshold, gain_gini)) =
-            self.best_split(data, indices, &feats, scratch)
+        let Some((feature, threshold, gain_gini)) = self.best_split(data, indices, &feats, scratch)
         else {
             self.nodes.push(Node::Leaf { class: majority });
             return self.nodes.len() - 1;
@@ -252,7 +251,11 @@ impl Classifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -271,12 +274,7 @@ mod tests {
         // XOR with slight jitter: needs depth 2.
         let mut x = Vec::new();
         let mut y = Vec::new();
-        for (a, b, l) in [
-            (0.0, 0.0, 0),
-            (0.0, 1.0, 1),
-            (1.0, 0.0, 1),
-            (1.0, 1.0, 0),
-        ] {
+        for (a, b, l) in [(0.0, 0.0, 0), (0.0, 1.0, 1), (1.0, 0.0, 1), (1.0, 1.0, 0)] {
             for j in 0..4 {
                 let eps = j as f64 * 0.01;
                 x.push(vec![a + eps, b - eps]);
@@ -318,11 +316,7 @@ mod tests {
 
     #[test]
     fn constant_features_yield_majority_leaf() {
-        let data = Dataset::new(
-            vec![vec![5.0], vec![5.0], vec![5.0]],
-            vec![0, 1, 1],
-            2,
-        );
+        let data = Dataset::new(vec![vec![5.0], vec![5.0], vec![5.0]], vec![0, 1, 1], 2);
         let mut t = DecisionTree::with_defaults();
         t.fit(&data);
         assert_eq!(t.node_count(), 1);

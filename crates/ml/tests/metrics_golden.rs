@@ -1,0 +1,164 @@
+//! Golden-fixture tests for the evaluation metrics: every expected value
+//! below was computed by hand from the written confusion matrix (and
+//! cross-checked against scikit-learn's conventions), so a regression in
+//! `accuracy`, F1, or the multiclass MCC shows up as a mismatch against a
+//! literal constant rather than against another code path.
+
+use spsel_ml::metrics::{accuracy, f1_score, mcc};
+use spsel_ml::ConfusionMatrix;
+
+const TOL: f64 = 1e-12;
+
+/// Expand a counts matrix (`counts[t][p]`) into aligned label slices.
+fn labels_from_counts(counts: &[&[usize]]) -> (Vec<usize>, Vec<usize>) {
+    let mut y_true = Vec::new();
+    let mut y_pred = Vec::new();
+    for (t, row) in counts.iter().enumerate() {
+        for (p, &n) in row.iter().enumerate() {
+            for _ in 0..n {
+                y_true.push(t);
+                y_pred.push(p);
+            }
+        }
+    }
+    (y_true, y_pred)
+}
+
+fn assert_close(got: f64, want: f64, what: &str) {
+    assert!((got - want).abs() < TOL, "{what}: got {got}, want {want}");
+}
+
+/// 3-class matrix with symmetric marginals:
+///
+/// ```text
+///            pred 0  1  2
+/// true 0        [4, 1, 0]
+/// true 1        [1, 3, 1]
+/// true 2        [0, 1, 4]
+/// ```
+///
+/// n = 15, trace = 11, row sums = col sums = [5, 5, 5].
+/// * accuracy = 11/15
+/// * per-class F1 = [8/10, 6/10, 8/10] (e.g. class 0: tp=4, fp=1, fn=1)
+/// * macro F1 = weighted F1 = 11/15 (equal supports)
+/// * MCC (Gorodkin): c*s - Σt·p = 11*15 - 75 = 90;
+///   denom = sqrt((225-75)(225-75)) = 150; MCC = 90/150 = 0.6 exactly.
+#[test]
+fn symmetric_three_class_fixture() {
+    let counts: [&[usize]; 3] = [&[4, 1, 0], &[1, 3, 1], &[0, 1, 4]];
+    let (y_true, y_pred) = labels_from_counts(&counts);
+    let cm = ConfusionMatrix::from_labels(&y_true, &y_pred, 3);
+
+    for (t, row) in counts.iter().enumerate() {
+        for (p, &n) in row.iter().enumerate() {
+            assert_eq!(cm.get(t, p), n, "cell ({t},{p})");
+        }
+    }
+    assert_close(cm.accuracy(), 11.0 / 15.0, "accuracy");
+    let f1 = cm.per_class_f1();
+    assert_close(f1[0], 0.8, "f1[0]");
+    assert_close(f1[1], 0.6, "f1[1]");
+    assert_close(f1[2], 0.8, "f1[2]");
+    assert_close(cm.macro_f1(), 11.0 / 15.0, "macro F1");
+    assert_close(cm.weighted_f1(), 11.0 / 15.0, "weighted F1");
+    assert_close(cm.mcc(), 0.6, "MCC");
+
+    // The free functions must agree with the matrix methods.
+    assert_close(accuracy(&y_true, &y_pred, 3), 11.0 / 15.0, "accuracy fn");
+    assert_close(f1_score(&y_true, &y_pred, 3), 11.0 / 15.0, "f1 fn");
+    assert_close(mcc(&y_true, &y_pred, 3), 0.6, "mcc fn");
+}
+
+/// scikit-learn's own multiclass example:
+/// `y_true = [0,1,2,0,1,2]`, `y_pred = [0,2,1,0,0,1]`.
+///
+/// ```text
+///            pred 0  1  2
+/// true 0        [2, 0, 0]
+/// true 1        [1, 0, 1]
+/// true 2        [0, 2, 0]
+/// ```
+///
+/// * accuracy = 2/6
+/// * per-class F1 = [4/5, 0, 0] (class 0: tp=2, fp=1, fn=0)
+/// * macro F1 = weighted F1 = 4/15
+/// * MCC: c*s - Σt·p = 2*6 - (2*3 + 2*2 + 2*1) = 0, so exactly 0 —
+///   the prediction carries no class information despite 33% accuracy.
+#[test]
+fn sklearn_doc_example_fixture() {
+    let y_true = [0, 1, 2, 0, 1, 2];
+    let y_pred = [0, 2, 1, 0, 0, 1];
+    let cm = ConfusionMatrix::from_labels(&y_true, &y_pred, 3);
+    assert_close(cm.accuracy(), 2.0 / 6.0, "accuracy");
+    let f1 = cm.per_class_f1();
+    assert_close(f1[0], 0.8, "f1[0]");
+    assert_close(f1[1], 0.0, "f1[1]");
+    assert_close(f1[2], 0.0, "f1[2]");
+    assert_close(cm.macro_f1(), 4.0 / 15.0, "macro F1");
+    assert_close(cm.weighted_f1(), 4.0 / 15.0, "weighted F1");
+    assert_close(cm.mcc(), 0.0, "MCC");
+}
+
+/// Binary fixture checked against the textbook binary MCC formula:
+/// tp=6, fn=2, fp=1, tn=3 (class 1 = positive).
+///
+/// ```text
+///            pred 0  1
+/// true 0        [3, 1]
+/// true 1        [2, 6]
+/// ```
+///
+/// * accuracy = 9/12
+/// * F1(class 1) = 2*6/(12+1+2) = 12/15; F1(class 0) = 6/(6+2+1) = 6/9
+/// * weighted F1 = (4*(6/9) + 8*(12/15))/12
+/// * MCC = (6*3 - 1*2)/sqrt(7*8*4*5) = 16/sqrt(1120)
+#[test]
+fn binary_fixture_matches_textbook_formula() {
+    let counts: [&[usize]; 2] = [&[3, 1], &[2, 6]];
+    let (y_true, y_pred) = labels_from_counts(&counts);
+    let cm = ConfusionMatrix::from_labels(&y_true, &y_pred, 2);
+    assert_close(cm.accuracy(), 9.0 / 12.0, "accuracy");
+    let f1 = cm.per_class_f1();
+    assert_close(f1[0], 6.0 / 9.0, "f1[0]");
+    assert_close(f1[1], 12.0 / 15.0, "f1[1]");
+    assert_close(
+        cm.weighted_f1(),
+        (4.0 * (6.0 / 9.0) + 8.0 * (12.0 / 15.0)) / 12.0,
+        "weighted F1",
+    );
+    assert_close(cm.macro_f1(), (6.0 / 9.0 + 12.0 / 15.0) / 2.0, "macro F1");
+    assert_close(cm.mcc(), 16.0 / 1120.0_f64.sqrt(), "MCC");
+}
+
+/// Degenerate marginals: when every true label is one class, or every
+/// prediction is one class, MCC must be 0 (scikit-learn convention) while
+/// accuracy still reflects raw agreement.
+#[test]
+fn degenerate_one_class_fixtures() {
+    // All-true-one-class, predictions mixed: 3 of 5 correct.
+    let y_true = [1, 1, 1, 1, 1];
+    let y_pred = [1, 0, 1, 2, 1];
+    let cm = ConfusionMatrix::from_labels(&y_true, &y_pred, 3);
+    assert_close(cm.accuracy(), 3.0 / 5.0, "accuracy (true degenerate)");
+    assert_close(cm.mcc(), 0.0, "MCC (true degenerate)");
+    // F1 for class 1: tp=3, fp=0, fn=2 -> 6/8; classes 0 and 2 have no
+    // true members and no correct predictions -> 0.
+    let f1 = cm.per_class_f1();
+    assert_close(f1[1], 0.75, "f1[1] (true degenerate)");
+    assert_close(cm.weighted_f1(), 0.75, "weighted F1 (true degenerate)");
+    assert_close(cm.macro_f1(), 0.25, "macro F1 (true degenerate)");
+
+    // All predictions one class over mixed truth.
+    let y_true = [0, 0, 2, 1, 0];
+    let y_pred = [0, 0, 0, 0, 0];
+    let cm = ConfusionMatrix::from_labels(&y_true, &y_pred, 3);
+    assert_close(cm.accuracy(), 3.0 / 5.0, "accuracy (pred degenerate)");
+    assert_close(cm.mcc(), 0.0, "MCC (pred degenerate)");
+
+    // Both degenerate and fully correct: accuracy 1, MCC still 0 by
+    // convention (no discrimination was demonstrated).
+    let y = [2, 2, 2];
+    let cm = ConfusionMatrix::from_labels(&y, &y, 3);
+    assert_close(cm.accuracy(), 1.0, "accuracy (both degenerate)");
+    assert_close(cm.mcc(), 0.0, "MCC (both degenerate)");
+}

@@ -8,24 +8,21 @@ use spsel_ml::{sq_dist, Classifier, ClusterAlgorithm, ConfusionMatrix, Dataset};
 
 /// Random labels in 0..k for n samples.
 fn arb_labels(k: usize) -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
-    proptest::collection::vec((0..k, 0..k), 1..120)
-        .prop_map(|pairs| pairs.into_iter().unzip())
+    proptest::collection::vec((0..k, 0..k), 1..120).prop_map(|pairs| pairs.into_iter().unzip())
 }
 
 /// Random small point cloud.
 fn arb_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(-100.0f64..100.0, 2..4),
-        1..60,
+    proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, 2..4), 1..60).prop_map(
+        |mut pts| {
+            // Equalize dimensions to the first point's.
+            let d = pts[0].len();
+            for p in pts.iter_mut() {
+                p.resize(d, 0.0);
+            }
+            pts
+        },
     )
-    .prop_map(|mut pts| {
-        // Equalize dimensions to the first point's.
-        let d = pts[0].len();
-        for p in pts.iter_mut() {
-            p.resize(d, 0.0);
-        }
-        pts
-    })
 }
 
 proptest! {

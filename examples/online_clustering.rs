@@ -18,8 +18,7 @@ fn main() {
     // Batch phase: cluster an initial corpus.
     println!("building initial corpus...");
     let corpus = Corpus::build(CorpusConfig::small(120, 21));
-    let features: Vec<FeatureVector> =
-        corpus.records.iter().map(|r| r.features.clone()).collect();
+    let features: Vec<FeatureVector> = corpus.records.iter().map(|r| r.features.clone()).collect();
     let pre = Preprocessor::fit(&features);
     let embedded: Vec<Vec<f64>> = features.iter().map(|f| pre.embed(f)).collect();
     let batch = KMeans::new(20, 5).fit(&embedded);

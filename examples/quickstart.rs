@@ -41,7 +41,10 @@ fn main() {
     let fv = FeatureVector::from_csr(&csr);
     let prediction = selector.predict(&fv);
     let explanation = selector.explain(&fv);
-    println!("\nnew matrix: 64x64 5-point stencil ({} nonzeros)", csr.nnz());
+    println!(
+        "\nnew matrix: 64x64 5-point stencil ({} nonzeros)",
+        csr.nnz()
+    );
     println!("predicted format: {prediction}");
     println!(
         "explanation: cluster #{} ({} training matrices, centroid distance {:.3}), rule: {}",

@@ -44,7 +44,12 @@ fn main() {
     let t_coo = time_spmv(&coo, &x, &mut y, 5);
     let t_hyb = time_spmv(&hyb, &x, &mut y, 5);
     println!("\nCPU kernel times (sequential):");
-    println!("  CSR {:.3} ms | COO {:.3} ms | HYB {:.3} ms", t_csr * 1e3, t_coo * 1e3, t_hyb * 1e3);
+    println!(
+        "  CSR {:.3} ms | COO {:.3} ms | HYB {:.3} ms",
+        t_csr * 1e3,
+        t_coo * 1e3,
+        t_hyb * 1e3
+    );
 
     // GPU model verdict on every architecture.
     println!("\nGPU model verdict:");

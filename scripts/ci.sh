@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, and the full test suite.
+#
+# Usage: scripts/ci.sh [--fix]
+#   --fix   run `cargo fmt` in write mode instead of --check
+#
+# The build environment has no crates.io access; everything below runs
+# with --offline against the vendored shims in shims/.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FMT_ARGS=(--check)
+if [[ "${1:-}" == "--fix" ]]; then
+    FMT_ARGS=()
+fi
+
+echo "==> cargo fmt ${FMT_ARGS[*]:-}"
+cargo fmt --all -- "${FMT_ARGS[@]}"
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo test (tier-1: root package)"
+cargo test -q --offline
+
+echo "==> cargo test (full workspace)"
+cargo test -q --offline --workspace
+
+echo "CI green."

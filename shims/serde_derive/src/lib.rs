@@ -1,0 +1,258 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline). Supports
+//! the shapes this workspace serializes: non-generic named-field structs and
+//! enums whose variants are unit or struct-like. Tuple structs, tuple
+//! variants, generics and `#[serde(...)]` attributes are rejected loudly.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named fields.
+    Struct(Vec<String>),
+    /// Variants: name plus `None` (unit) or named fields (struct-like).
+    Enum(Vec<(String, Option<Vec<String>>)>),
+}
+
+/// Split a brace group's stream at top-level commas, tracking `<`/`>` depth
+/// so commas inside generic arguments don't split (commas inside `()`/`[]`
+/// groups are naturally nested tokens and never seen here).
+fn split_commas(group: &Group) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle = 0i32;
+    for tok in group.stream() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().unwrap().push(tok);
+    }
+    if parts.last().is_some_and(|p| p.is_empty()) {
+        parts.pop();
+    }
+    parts
+}
+
+/// Skip leading `#[...]` attributes and visibility, returning the index of
+/// the first substantive token.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the `[...]` group
+                if matches!(toks.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1; // optional `(crate)` etc.
+                if matches!(
+                    toks.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Field name from one comma-separated part of a struct body.
+fn field_name(part: &[TokenTree]) -> String {
+    let i = skip_attrs_and_vis(part, 0);
+    match part.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected field name, found {other:?}"),
+    }
+}
+
+fn parse(input: TokenStream) -> (String, Shape) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            let k = id.to_string();
+            assert!(
+                k == "struct" || k == "enum",
+                "serde derive: expected struct or enum, found `{k}`"
+            );
+            k
+        }
+        other => panic!("serde derive: expected item keyword, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "serde derive: generic type `{name}` not supported by the offline shim"
+        );
+    }
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("serde derive: tuple struct `{name}` not supported by the offline shim")
+        }
+        other => panic!("serde derive: expected item body for `{name}`, found {other:?}"),
+    };
+    let shape = if kind == "struct" {
+        Shape::Struct(split_commas(body).iter().map(|p| field_name(p)).collect())
+    } else {
+        let variants = split_commas(body)
+            .iter()
+            .map(|part| {
+                let vi = skip_attrs_and_vis(part, 0);
+                let vname = match part.get(vi) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => panic!("serde derive: expected variant name, found {other:?}"),
+                };
+                let fields = match part.get(vi + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Some(split_commas(g).iter().map(|p| field_name(p)).collect())
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!(
+                            "serde derive: tuple variant `{name}::{vname}` not supported by the offline shim"
+                        )
+                    }
+                    _ => None,
+                };
+                (vname, fields)
+            })
+            .collect();
+        Shape::Enum(variants)
+    };
+    (name, shape)
+}
+
+/// Derive `serde::Serialize` (value-tree form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{pairs}])")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Some(fs) => {
+                        let binds = fs.join(", ");
+                        let pairs: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             (::std::string::String::from(\"{v}\"), ::serde::Value::Object(vec![{pairs}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde derive: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (value-tree form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::get_field(__obj, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "let __obj = ::serde::expect_object(__v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| f.is_none())
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|(v, f)| f.as_ref().map(|fs| (v, fs)))
+                .map(|(v, fs)| {
+                    let inits: String = fs
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::get_field(__inner, \"{f}\", \"{name}::{v}\")?,")
+                        })
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{\n\
+                            let __inner = ::serde::expect_object(__val, \"{name}::{v}\")?;\n\
+                            ::std::result::Result::Ok({name}::{v} {{ {inits} }})\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                    ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                        {unit_arms}\n\
+                        __other => ::std::result::Result::Err(::serde::Error::unknown_variant(__other, \"{name}\")),\n\
+                    }},\n\
+                    ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                        let (__key, __val) = &__pairs[0];\n\
+                        match __key.as_str() {{\n\
+                            {data_arms}\n\
+                            __other => ::std::result::Result::Err(::serde::Error::unknown_variant(__other, \"{name}\")),\n\
+                        }}\n\
+                    }},\n\
+                    __other => ::std::result::Result::Err(::serde::Error::expected(\"variant of {name}\", __other.kind())),\n\
+                }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde derive: generated Deserialize impl must parse")
+}

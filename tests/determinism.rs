@@ -1,0 +1,51 @@
+//! Parallel execution must be a pure performance optimisation: corpus
+//! generation and GPU benchmarking give bit-identical results whether the
+//! record loop runs serially or across threads. The generators use one
+//! seeded RNG per record (never a shared stream), so the schedule cannot
+//! leak into the output.
+//!
+//! Everything lives in a single `#[test]` because the serial/parallel
+//! switch is process-global: concurrent test functions toggling it would
+//! race.
+
+use spselect::core::corpus::{Corpus, CorpusConfig};
+use spselect::core::experiments::ExperimentContext;
+use spselect::gpusim::Gpu;
+
+fn with_serial<R>(f: impl FnOnce() -> R) -> R {
+    rayon::set_serial(true);
+    let r = f();
+    rayon::set_serial(false);
+    r
+}
+
+#[test]
+fn parallel_pipeline_is_bit_identical_to_serial() {
+    let cfg = CorpusConfig::small(60, 2024);
+
+    // Corpus generation: serial vs parallel.
+    let serial = with_serial(|| Corpus::build(cfg.clone()));
+    let parallel = Corpus::build(cfg.clone());
+    assert_eq!(
+        serial.records.len(),
+        parallel.records.len(),
+        "corpus sizes differ"
+    );
+    for (s, p) in serial.records.iter().zip(&parallel.records) {
+        assert_eq!(s, p, "record {} differs between serial and parallel", s.id);
+    }
+
+    // Benchmarking: serial vs parallel, per GPU.
+    for gpu in Gpu::ALL {
+        let bs = with_serial(|| serial.benchmark(gpu));
+        let bp = parallel.benchmark(gpu);
+        assert_eq!(bs, bp, "benchmark results differ on {gpu:?}");
+    }
+
+    // And end-to-end through the context builder (which additionally
+    // fans the three GPU targets out concurrently).
+    let ctx_serial = with_serial(|| ExperimentContext::new(cfg.clone()));
+    let ctx_parallel = ExperimentContext::new(cfg);
+    assert_eq!(ctx_serial.corpus.records, ctx_parallel.corpus.records);
+    assert_eq!(ctx_serial.benches, ctx_parallel.benches);
+}

@@ -31,7 +31,12 @@ fn semi_supervised_end_to_end_beats_always_csr() {
     let q = selection_quality(&preds, &results);
     let always_csr = vec![Format::Csr; results.len()];
     let q_csr = selection_quality(&always_csr, &results);
-    assert!(q.acc > q_csr.acc, "selector {} <= always-CSR {}", q.acc, q_csr.acc);
+    assert!(
+        q.acc > q_csr.acc,
+        "selector {} <= always-CSR {}",
+        q.acc,
+        q_csr.acc
+    );
     assert!(q.csr >= q_csr.csr, "no speedup over CSR baseline");
     assert!(q.gt <= 1.0 + 1e-9);
 }
@@ -41,12 +46,8 @@ fn supervised_end_to_end_learns_the_labels() {
     let (features, results) = setup();
     let labels: Vec<Format> = results.iter().map(|r| r.best).collect();
     for model in [SupervisedModel::Rf, SupervisedModel::Xgb] {
-        let sel = SupervisedSelector::fit(
-            &features,
-            None,
-            &labels,
-            SupervisedConfig::quick(model, 3),
-        );
+        let sel =
+            SupervisedSelector::fit(&features, None, &labels, SupervisedConfig::quick(model, 3));
         let preds = sel.predict_batch(&features, None);
         let q = selection_quality(&preds, &results);
         assert!(q.acc > 0.9, "{model}: training accuracy {}", q.acc);

@@ -3,24 +3,24 @@
 //! Market IO must round-trip — on arbitrary random matrices.
 
 use proptest::prelude::*;
-use spselect::matrix::{io, CooMatrix, CsrMatrix, DiaMatrix, EllMatrix, HybMatrix, SellMatrix, SpMv};
+use spselect::matrix::{
+    io, CooMatrix, CsrMatrix, DiaMatrix, EllMatrix, HybMatrix, SellMatrix, SpMv,
+};
 
 /// Strategy: a small random sparse matrix as (nrows, ncols, triplets).
 fn arb_matrix() -> impl Strategy<Value = CooMatrix> {
     (1usize..24, 1usize..24).prop_flat_map(|(nrows, ncols)| {
         let cells = nrows * ncols;
-        proptest::collection::btree_set(0..cells, 0..cells.min(60)).prop_map(
-            move |positions| {
-                let triplets: Vec<(usize, usize, f64)> = positions
-                    .into_iter()
-                    .map(|p| {
-                        let v = ((p * 31 % 13) as f64) - 6.0;
-                        (p / ncols, p % ncols, if v == 0.0 { 1.0 } else { v })
-                    })
-                    .collect();
-                CooMatrix::from_triplets(nrows, ncols, &triplets).expect("valid triplets")
-            },
-        )
+        proptest::collection::btree_set(0..cells, 0..cells.min(60)).prop_map(move |positions| {
+            let triplets: Vec<(usize, usize, f64)> = positions
+                .into_iter()
+                .map(|p| {
+                    let v = ((p * 31 % 13) as f64) - 6.0;
+                    (p / ncols, p % ncols, if v == 0.0 { 1.0 } else { v })
+                })
+                .collect();
+            CooMatrix::from_triplets(nrows, ncols, &triplets).expect("valid triplets")
+        })
     })
 }
 

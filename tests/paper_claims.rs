@@ -10,7 +10,7 @@
 //! 5. higher cluster purity bounds the attainable vote accuracy
 //!    (Section 4's example).
 
-use spselect::core::corpus::{Corpus, CorpusConfig};
+use spselect::core::corpus::CorpusConfig;
 use spselect::core::experiments::{table4, table5, ExperimentContext};
 use spselect::core::semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
 use spselect::gpusim::Gpu;
@@ -130,8 +130,8 @@ fn purity_bounds_vote_accuracy() {
     let (_, overall_purity) = cluster_purity(sel.clustering(), &y, Format::COUNT);
 
     let preds = sel.predict_batch(&features);
-    let train_acc = preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f64
-        / labels.len() as f64;
+    let train_acc =
+        preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f64 / labels.len() as f64;
     assert!(
         train_acc <= overall_purity + 1e-9,
         "vote training accuracy {train_acc} exceeds purity {overall_purity}"

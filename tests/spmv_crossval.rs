@@ -1,0 +1,197 @@
+//! SpMV cross-validation: for every storage format, the sequential and
+//! parallel kernels must agree with a reference product computed straight
+//! from the COO triplets (no format kernel in the loop) — on random
+//! matrices and on the degenerate shapes that historically break padded
+//! formats: all-zero matrices, single-row and single-column matrices, and
+//! hub rows long enough to exceed the CUSP ELL width cutoff.
+
+use proptest::prelude::*;
+use spselect::matrix::ell::cusp_width_limit;
+use spselect::matrix::{CooMatrix, CsrMatrix, DiaMatrix, EllMatrix, HybMatrix, SellMatrix, SpMv};
+
+/// Reference product computed by plain triplet accumulation.
+fn reference_product(coo: &CooMatrix, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; coo.nrows()];
+    for (r, c, v) in coo.iter() {
+        y[r] += v * x[c];
+    }
+    y
+}
+
+fn input_vector(ncols: usize) -> Vec<f64> {
+    (0..ncols)
+        .map(|i| ((i * 7 + 3) % 11) as f64 - 5.0)
+        .collect()
+}
+
+fn close(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(p, q)| (p - q).abs() < 1e-9)
+}
+
+/// Run every format's sequential and parallel kernels against the
+/// reference; panic (with the format name) on any mismatch.
+fn assert_kernels_agree(coo: &CooMatrix) {
+    let x = input_vector(coo.ncols());
+    let reference = reference_product(coo, &x);
+    let csr = CsrMatrix::from(coo);
+
+    let mut y = vec![0.0; coo.nrows()];
+    let check = |name: &str, y: &[f64]| {
+        assert!(
+            close(y, &reference),
+            "{name}: {:?} != reference {:?} ({}x{}, {} nnz)",
+            y,
+            reference,
+            coo.nrows(),
+            coo.ncols(),
+            coo.nnz()
+        );
+    };
+
+    coo.spmv(&x, &mut y);
+    check("coo/seq", &y);
+    coo.spmv_par(&x, &mut y);
+    check("coo/par", &y);
+    csr.spmv(&x, &mut y);
+    check("csr/seq", &y);
+    csr.spmv_par(&x, &mut y);
+    check("csr/par", &y);
+
+    // Unlimited width so even hub rows convert; the CUSP-limited path is
+    // exercised separately below.
+    let ell = EllMatrix::try_from_csr_with_limit(&csr, usize::MAX).expect("unlimited ELL");
+    ell.spmv(&x, &mut y);
+    check("ell/seq", &y);
+    ell.spmv_par(&x, &mut y);
+    check("ell/par", &y);
+
+    let hyb = HybMatrix::from_csr(&csr);
+    hyb.spmv(&x, &mut y);
+    check("hyb/seq", &y);
+    hyb.spmv_par(&x, &mut y);
+    check("hyb/par", &y);
+
+    let dia = DiaMatrix::try_from_csr(&csr, usize::MAX).expect("unlimited DIA");
+    dia.spmv(&x, &mut y);
+    check("dia/seq", &y);
+    dia.spmv_par(&x, &mut y);
+    check("dia/par", &y);
+
+    for (c, sigma) in [(1, 1), (4, 8), (8, 64)] {
+        let sell = SellMatrix::from_csr(&csr, c, sigma);
+        sell.spmv(&x, &mut y);
+        check("sell/seq", &y);
+        sell.spmv_par(&x, &mut y);
+        check("sell/par", &y);
+    }
+}
+
+/// Strategy: matrix shape plus a subset of cells with small nonzero values.
+/// Sizes start at 1; the 0-nnz case is covered because the cell subset may
+/// be empty, and fully empty shapes get dedicated tests below.
+fn arb_coo() -> impl Strategy<Value = CooMatrix> {
+    (1usize..20, 1usize..20).prop_flat_map(|(nrows, ncols)| {
+        let cells = nrows * ncols;
+        proptest::collection::btree_set(0..cells, 0..cells.min(50)).prop_map(move |cells| {
+            let triplets: Vec<(usize, usize, f64)> = cells
+                .into_iter()
+                .map(|p| {
+                    let v = ((p * 17 % 9) as f64) - 4.0;
+                    (p / ncols, p % ncols, if v == 0.0 { 0.5 } else { v })
+                })
+                .collect();
+            CooMatrix::from_triplets(nrows, ncols, &triplets).expect("valid triplets")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn kernels_agree_on_random_matrices(coo in arb_coo()) {
+        assert_kernels_agree(&coo);
+    }
+
+    #[test]
+    fn kernels_agree_on_single_row(ncols in 1usize..40, step in 1usize..5) {
+        // One row, nonzeros at every `step`-th column: width == nnz, so the
+        // ELL slab is a single fully dense row.
+        let triplets: Vec<(usize, usize, f64)> =
+            (0..ncols).step_by(step).map(|c| (0, c, c as f64 + 1.0)).collect();
+        let coo = CooMatrix::from_triplets(1, ncols, &triplets).expect("valid");
+        assert_kernels_agree(&coo);
+    }
+
+    #[test]
+    fn kernels_agree_on_single_column(nrows in 1usize..40, step in 1usize..5) {
+        let triplets: Vec<(usize, usize, f64)> =
+            (0..nrows).step_by(step).map(|r| (r, 0, r as f64 - 3.0)).collect();
+        let coo = CooMatrix::from_triplets(nrows, 1, &triplets).expect("valid");
+        assert_kernels_agree(&coo);
+    }
+
+    #[test]
+    fn kernels_agree_on_hub_rows(nrows in 4usize..24, hub_len in 16usize..64) {
+        // One dense hub row over a diagonal background: max row length far
+        // above the mean, the shape that drives HYB's ELL/COO split and
+        // overruns the CUSP ELL width limit.
+        let ncols = hub_len.max(nrows);
+        let mut triplets: Vec<(usize, usize, f64)> =
+            (1..nrows).map(|r| (r, r % ncols, 1.0 + r as f64)).collect();
+        for c in 0..hub_len {
+            triplets.push((0, c, 0.25 * c as f64 + 1.0));
+        }
+        triplets.sort_by_key(|t| (t.0, t.1));
+        let coo = CooMatrix::from_triplets(nrows, ncols, &triplets).expect("valid");
+        assert_kernels_agree(&coo);
+
+        // The CUSP-limited conversion must refuse exactly when the hub
+        // width exceeds the limit — and a successful conversion must
+        // still compute the right product.
+        let csr = CsrMatrix::from(&coo);
+        let limit = cusp_width_limit(coo.nrows(), coo.nnz());
+        match EllMatrix::try_from_csr(&csr) {
+            Ok(ell) => {
+                prop_assert!(hub_len <= limit);
+                let x = input_vector(coo.ncols());
+                let mut y = vec![0.0; coo.nrows()];
+                ell.spmv(&x, &mut y);
+                prop_assert!(close(&y, &reference_product(&coo, &x)));
+            }
+            Err(_) => prop_assert!(hub_len > limit, "refused below limit {limit}"),
+        }
+    }
+}
+
+#[test]
+fn kernels_agree_on_empty_matrices() {
+    // No nonzeros at all, across a range of shapes including 1x1, a
+    // single empty row, and a single empty column.
+    for (nrows, ncols) in [(1, 1), (1, 7), (7, 1), (5, 5), (3, 17)] {
+        let coo = CooMatrix::from_triplets(nrows, ncols, &[]).expect("valid empty");
+        assert_eq!(coo.nnz(), 0);
+        assert_kernels_agree(&coo);
+    }
+}
+
+#[test]
+fn parallel_kernels_match_serial_bit_for_bit() {
+    // Beyond tolerance-based agreement: on a matrix large enough to span
+    // many parallel blocks, spmv_par must equal spmv exactly (the
+    // parallel runtime assigns rows to fixed output slots, so there is no
+    // reduction-order ambiguity).
+    let coo = spselect::matrix::gen::power_law(400, 400, 3, 2.1, 80, 7);
+    let csr = CsrMatrix::from(&coo);
+    let x = input_vector(coo.ncols());
+    let mut seq = vec![0.0; coo.nrows()];
+    let mut par = vec![0.0; coo.nrows()];
+    csr.spmv(&x, &mut seq);
+    csr.spmv_par(&x, &mut par);
+    assert_eq!(seq, par, "CSR parallel product is not bit-identical");
+
+    let hyb = HybMatrix::from_csr(&csr);
+    hyb.spmv(&x, &mut seq);
+    hyb.spmv_par(&x, &mut par);
+    assert_eq!(seq, par, "HYB parallel product is not bit-identical");
+}
