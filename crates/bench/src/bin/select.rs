@@ -4,7 +4,7 @@
 //! recommendation for iterative workloads.
 //!
 //! ```sh
-//! select path/to/matrix.mtx [--iterations N] [--base N]
+//! select path/to/matrix.mtx [--iterations N] [--base N] [--faults R]
 //! ```
 
 use spsel_core::corpus::{Corpus, CorpusConfig};
@@ -12,7 +12,7 @@ use spsel_core::overhead::{amortized_best, break_even_iterations};
 use spsel_core::semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
 use spsel_features::{FeatureVector, MatrixStats};
 use spsel_gpusim::cost::ConversionCostModel;
-use spsel_gpusim::{predict_times, Gpu};
+use spsel_gpusim::{predict_times, FaultConfig, Gpu, TrialPolicy};
 use spsel_matrix::{io, CsrMatrix, Format, SpMv};
 
 fn main() {
@@ -20,6 +20,7 @@ fn main() {
     let mut path = None;
     let mut iterations = 1000usize;
     let mut n_base = 300usize;
+    let mut faults = FaultConfig::from_env();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -31,13 +32,26 @@ fn main() {
                 i += 1;
                 n_base = args[i].parse().expect("--base takes a number");
             }
+            "--faults" => {
+                i += 1;
+                let rate: f64 = args[i].parse().expect("--faults takes a rate in [0, 1]");
+                faults = if rate > 0.0 {
+                    FaultConfig::uniform(rate.min(1.0), faults.seed)
+                } else {
+                    FaultConfig::off()
+                };
+            }
+            "--fault-seed" => {
+                i += 1;
+                faults.seed = args[i].parse().expect("--fault-seed takes a number");
+            }
             p if !p.starts_with("--") => path = Some(p.to_string()),
             other => panic!("unknown argument `{other}`"),
         }
         i += 1;
     }
     let path = path.unwrap_or_else(|| {
-        eprintln!("usage: select MATRIX.mtx [--iterations N] [--base N]");
+        eprintln!("usage: select MATRIX.mtx [--iterations N] [--base N] [--faults R]");
         std::process::exit(2);
     });
 
@@ -74,13 +88,34 @@ fn main() {
         "GPU", "predicted", "explanation"
     );
     for gpu in Gpu::ALL {
-        let bench = corpus.benchmark(gpu);
+        let bench = if faults.enabled() {
+            let measured = corpus.measure(gpu, &faults, &TrialPolicy::default());
+            for (index, err) in measured.quarantined() {
+                eprintln!(
+                    "degradation: {} record {index} quarantined ({err})",
+                    gpu.name()
+                );
+            }
+            measured.results()
+        } else {
+            corpus.benchmark(gpu)
+        };
         let usable: Vec<usize> = (0..corpus.len()).filter(|&i| bench[i].is_some()).collect();
+        if usable.is_empty() {
+            eprintln!("degradation: no usable training matrices on {}", gpu.name());
+            continue;
+        }
         let features: Vec<FeatureVector> = usable
             .iter()
             .map(|&i| corpus.records[i].features.clone())
             .collect();
-        let labels: Vec<Format> = usable.iter().map(|&i| bench[i].unwrap().best).collect();
+        let labels: Vec<Format> = match Corpus::labels(&bench, &usable) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("degradation: cannot label {} corpus: {e}", gpu.name());
+                continue;
+            }
+        };
         let selector = SemiSupervisedSelector::fit(
             &features,
             &labels,

@@ -8,10 +8,11 @@
 //! (phase timings + cache hit/miss counters) next to the table's output —
 //! see `spsel-core::telemetry`.
 
-use spsel_core::cache::{Cache, DEFAULT_CACHE_DIR};
+use spsel_core::cache::{Cache, GcConfig, DEFAULT_CACHE_DIR};
 use spsel_core::corpus::CorpusConfig;
 use spsel_core::experiments::ExperimentContext;
 use spsel_core::telemetry::RunReport;
+use spsel_gpusim::{FaultConfig, TrialPolicy};
 
 /// Command-line options shared by the table binaries.
 #[derive(Debug, Clone)]
@@ -26,6 +27,12 @@ pub struct HarnessOptions {
     pub cache_dir: Option<String>,
     /// Name of the running binary (labels the run report).
     pub bin_name: String,
+    /// Fault-injection configuration (off unless `--faults`/`SPSEL_FAULTS`).
+    pub faults: FaultConfig,
+    /// Trial policy for the fault-tolerant measurement path.
+    pub policy: TrialPolicy,
+    /// Run a cache garbage collection before the experiment.
+    pub cache_gc: bool,
 }
 
 /// A [`HarnessOptions`] bundled with the live run report and cache handle
@@ -49,7 +56,12 @@ impl HarnessOptions {
     /// * `--json PATH` — dump the result struct as JSON;
     /// * `--cache DIR` — cache directory (default `results/cache`);
     /// * `--no-cache` — disable the persistent cache for this run
-    ///   (equivalent to `SPSEL_NO_CACHE=1`).
+    ///   (equivalent to `SPSEL_NO_CACHE=1`);
+    /// * `--faults R` — enable deterministic fault injection at rate `R`
+    ///   (equivalent to `SPSEL_FAULTS=R`; `0` disables);
+    /// * `--fault-seed S` — fault-injection seed (`SPSEL_FAULT_SEED`);
+    /// * `--trials N` — trials per benchmark cell under fault injection;
+    /// * `--cache-gc` — garbage-collect the cache directory before running.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let bin_name = args
@@ -69,12 +81,34 @@ impl HarnessOptions {
         let mut images = false;
         let mut json_out = None;
         let mut cache_dir = Some(DEFAULT_CACHE_DIR.to_string());
+        // Environment first (SPSEL_FAULTS / SPSEL_FAULT_SEED); flags override.
+        let mut faults = FaultConfig::from_env();
+        let mut policy = TrialPolicy::default();
+        let mut cache_gc = false;
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
                 "--quick" => quick = true,
                 "--images" => images = true,
                 "--no-cache" => cache_dir = None,
+                "--cache-gc" => cache_gc = true,
+                "--faults" => {
+                    i += 1;
+                    let rate: f64 = args[i].parse().expect("--faults takes a rate in [0, 1]");
+                    faults = if rate > 0.0 {
+                        FaultConfig::uniform(rate.min(1.0), faults.seed)
+                    } else {
+                        FaultConfig::off()
+                    };
+                }
+                "--fault-seed" => {
+                    i += 1;
+                    faults.seed = args[i].parse().expect("--fault-seed takes a number");
+                }
+                "--trials" => {
+                    i += 1;
+                    policy.trials = args[i].parse().expect("--trials takes a number");
+                }
                 "--base" => {
                     i += 1;
                     n_base = args[i].parse().expect("--base takes a number");
@@ -120,16 +154,27 @@ impl HarnessOptions {
             json_out,
             cache_dir,
             bin_name,
+            faults,
+            policy,
+            cache_gc,
         }
     }
 
     /// Parse options and open the harness (cache handle + run report).
+    /// Runs cache garbage collection first when `--cache-gc` was given.
     pub fn open() -> Harness {
         let opts = Self::from_args();
         let cache = match &opts.cache_dir {
-            Some(dir) => Cache::from_env(dir),
+            Some(dir) => Cache::from_env(dir).with_faults(opts.faults),
             None => Cache::disabled(),
         };
+        if opts.cache_gc {
+            let gc = cache.gc(&GcConfig::default());
+            eprintln!(
+                "cache gc: scanned {}, kept {} ({} bytes), evicted {} ({} bytes)",
+                gc.scanned, gc.kept, gc.bytes_kept, gc.evicted, gc.bytes_evicted
+            );
+        }
         let report = RunReport::new(opts.bin_name.clone());
         Harness {
             opts,
@@ -156,7 +201,19 @@ impl Harness {
                 self.opts.corpus.n_base
             ),
         }
-        ExperimentContext::build(self.opts.corpus.clone(), &self.cache, &mut self.report)
+        if self.opts.faults.enabled() {
+            eprintln!(
+                "fault injection: on (seed {}, transient {:.3})",
+                self.opts.faults.seed, self.opts.faults.rates.transient
+            );
+        }
+        ExperimentContext::build_with_faults(
+            self.opts.corpus.clone(),
+            &self.cache,
+            &mut self.report,
+            &self.opts.faults,
+            &self.opts.policy,
+        )
     }
 
     /// Time `f` as a named phase of the run report.
@@ -179,6 +236,9 @@ impl Harness {
     pub fn finish<T: serde::Serialize>(mut self, value: &T) {
         self.write_json(value);
         self.report.cache = self.cache.report();
+        if self.report.degradation.any() {
+            eprintln!("{}", self.report.degradation.summary());
+        }
         let path = match &self.opts.json_out {
             Some(json) => format!("{json}.report.json"),
             None => format!("results/{}-report.json", self.opts.bin_name),

@@ -25,10 +25,11 @@
 use crate::corpus::{Corpus, CorpusConfig, MatrixRecord};
 use crate::telemetry::CacheReport;
 use serde::{Deserialize, Serialize};
-use spsel_gpusim::{BenchResult, Gpu};
+use spsel_gpusim::{BenchResult, FaultConfig, Gpu};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, SystemTime};
 
 /// Version of the corpus generator + benchmark model semantics. Bump on
 /// any change that alters generated records or benchmark results, so
@@ -99,6 +100,8 @@ struct Counters {
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
+    corrupt: AtomicU64,
+    corruption_injected: AtomicU64,
 }
 
 /// Handle to the on-disk cache. Cheap to clone; clones share counters.
@@ -106,6 +109,7 @@ struct Counters {
 pub struct Cache {
     root: Option<PathBuf>,
     counters: Arc<Counters>,
+    faults: FaultConfig,
 }
 
 impl Cache {
@@ -114,6 +118,7 @@ impl Cache {
         Cache {
             root: Some(dir.into()),
             counters: Arc::new(Counters::default()),
+            faults: FaultConfig::off(),
         }
     }
 
@@ -122,7 +127,21 @@ impl Cache {
         Cache {
             root: None,
             counters: Arc::new(Counters::default()),
+            faults: FaultConfig::off(),
         }
+    }
+
+    /// Enable fault injection on artifact writes: stores roll a
+    /// cache-corruption fault and may be deterministically truncated,
+    /// exercising the corruption-tolerant read path.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Cache-artifact corruptions injected on write so far.
+    pub fn corruption_injected(&self) -> u64 {
+        self.counters.corruption_injected.load(Ordering::Relaxed)
     }
 
     /// Default cache honoring [`NO_CACHE_ENV`]: disabled when the
@@ -132,6 +151,13 @@ impl Cache {
         match std::env::var(NO_CACHE_ENV) {
             Ok(v) if !v.is_empty() && v != "0" => Cache::disabled(),
             _ => Cache::new(dir),
+        }
+    }
+
+    /// Touch an artifact's mtime so GC sees it as recently used.
+    fn touch(path: &Path) {
+        if let Ok(f) = std::fs::File::options().append(true).open(path) {
+            let _ = f.set_modified(SystemTime::now());
         }
     }
 
@@ -152,6 +178,7 @@ impl Cache {
             hits: self.counters.hits.load(Ordering::Relaxed),
             misses: self.counters.misses.load(Ordering::Relaxed),
             stores: self.counters.stores.load(Ordering::Relaxed),
+            corrupt: self.counters.corrupt.load(Ordering::Relaxed),
         }
     }
 
@@ -186,21 +213,37 @@ impl Cache {
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count an unreadable artifact: a miss, plus the corruption tally
+    /// the degradation report surfaces.
+    fn corrupt_miss(&self, path: &Path) {
+        self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
+        self.miss();
+        eprintln!("cache: corrupt artifact {} (recomputing)", path.display());
+    }
+
     /// Load a cached corpus for `cfg`, if a valid artifact exists.
     pub fn load_corpus(&self, cfg: &CorpusConfig) -> Option<Corpus> {
         let path = self.corpus_path(cfg)?;
-        let loaded = read_json::<CorpusFile>(&path).and_then(|file| {
+        let loaded = match read_json::<CorpusFile>(&path) {
+            ReadOutcome::Corrupt => {
+                self.corrupt_miss(&path);
+                return None;
+            }
+            ReadOutcome::Missing => None,
             // The hash already encodes version + config, but re-validate:
             // hashes can collide and files can be renamed by hand.
-            if file.version == CORPUS_VERSION && &file.config == cfg {
-                Some(Corpus::from_parts(file.records, file.config))
-            } else {
-                None
+            ReadOutcome::Ok(file) => {
+                if file.version == CORPUS_VERSION && &file.config == cfg {
+                    Some(Corpus::from_parts(file.records, file.config))
+                } else {
+                    None
+                }
             }
-        });
+        };
         match loaded {
             Some(c) => {
                 self.hit();
+                Self::touch(&path);
                 Some(c)
             }
             None => {
@@ -220,9 +263,20 @@ impl Cache {
             config: corpus.config().clone(),
             records: corpus.records.clone(),
         };
-        if write_json_atomic(&path, &file) {
+        if write_json_atomic(&path, &file, self.store_corruption(&path)) {
             self.counters.stores.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Roll the cache-corruption fault for one artifact write. Returns the
+    /// truncation fraction when the write should be damaged.
+    fn store_corruption(&self, path: &Path) -> Option<f64> {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let frac = self.faults.corrupt_artifact(fnv1a(name.as_bytes()))?;
+        self.counters
+            .corruption_injected
+            .fetch_add(1, Ordering::Relaxed);
+        Some(frac)
     }
 
     /// Load cached benchmark results for `(cfg, gpu)`, validating every
@@ -234,25 +288,33 @@ impl Cache {
         records: &[MatrixRecord],
     ) -> Option<Vec<Option<BenchResult>>> {
         let path = self.bench_path(cfg, gpu)?;
-        let loaded = read_json::<BenchFile>(&path).and_then(|file| {
-            let valid = file.version == CORPUS_VERSION
-                && &file.config == cfg
-                && file.gpu == gpu.name()
-                && file.entries.len() == records.len()
-                && file
-                    .entries
-                    .iter()
-                    .enumerate()
-                    .all(|(i, e)| e.index == i && e.id == records[i].id);
-            if valid {
-                Some(file.entries.into_iter().map(|e| e.result).collect())
-            } else {
-                None
+        let loaded = match read_json::<BenchFile>(&path) {
+            ReadOutcome::Corrupt => {
+                self.corrupt_miss(&path);
+                return None;
             }
-        });
+            ReadOutcome::Missing => None,
+            ReadOutcome::Ok(file) => {
+                let valid = file.version == CORPUS_VERSION
+                    && &file.config == cfg
+                    && file.gpu == gpu.name()
+                    && file.entries.len() == records.len()
+                    && file
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .all(|(i, e)| e.index == i && e.id == records[i].id);
+                if valid {
+                    Some(file.entries.into_iter().map(|e| e.result).collect())
+                } else {
+                    None
+                }
+            }
+        };
         match loaded {
             Some(r) => {
                 self.hit();
+                Self::touch(&path);
                 Some(r)
             }
             None => {
@@ -289,22 +351,128 @@ impl Cache {
                 })
                 .collect(),
         };
-        if write_json_atomic(&path, &file) {
+        if write_json_atomic(&path, &file, self.store_corruption(&path)) {
             self.counters.stores.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Garbage-collect the cache directory: evict artifacts older than
+    /// `max_age`, then evict oldest-first until the directory fits in
+    /// `max_bytes`. A disabled cache GC is a no-op. Artifacts touched on
+    /// every hit, so live entries stay young.
+    pub fn gc(&self, cfg: &GcConfig) -> GcReport {
+        let mut report = GcReport::default();
+        let Some(root) = self.root.as_deref() else {
+            return report;
+        };
+        let Ok(entries) = std::fs::read_dir(root) else {
+            return report;
+        };
+        let now = SystemTime::now();
+        // (mtime, size, path) for every artifact, oldest first.
+        let mut files: Vec<(SystemTime, u64, PathBuf)> = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            // Only artifacts; leave stray temp files and foreign files.
+            if !name.ends_with(".json") || name.starts_with('.') {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            let mtime = meta.modified().unwrap_or(now);
+            files.push((mtime, meta.len(), path));
+        }
+        files.sort_by_key(|(mtime, _, _)| *mtime);
+        report.scanned = files.len();
+        let mut kept_bytes: u64 = files.iter().map(|(_, len, _)| len).sum();
+        for (i, (mtime, len, path)) in files.iter().enumerate() {
+            let expired = now
+                .duration_since(*mtime)
+                .map(|age| age > cfg.max_age)
+                .unwrap_or(false);
+            // Oldest-first: everything after this entry is younger, so
+            // once the directory fits, the rest survives.
+            let oversized = kept_bytes > cfg.max_bytes;
+            if !expired && !oversized {
+                report.bytes_kept = kept_bytes;
+                report.kept = files.len() - i;
+                return report;
+            }
+            if std::fs::remove_file(path).is_ok() {
+                report.evicted += 1;
+                report.bytes_evicted += len;
+                kept_bytes -= len;
+            }
+        }
+        report.bytes_kept = kept_bytes;
+        report
+    }
+}
+
+/// Limits for [`Cache::gc`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcConfig {
+    /// Evict oldest artifacts until the directory is at most this large.
+    pub max_bytes: u64,
+    /// Evict artifacts not read or written for longer than this.
+    pub max_age: Duration,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            max_bytes: 256 * 1024 * 1024,
+            max_age: Duration::from_secs(7 * 24 * 3600),
         }
     }
 }
 
-/// Read + parse, tolerating every failure mode by returning `None`.
-fn read_json<T: Deserialize>(path: &Path) -> Option<T> {
-    let bytes = std::fs::read(path).ok()?;
-    serde_json::from_slice(&bytes).ok()
+/// What one GC pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Artifacts examined.
+    pub scanned: usize,
+    /// Artifacts kept.
+    pub kept: usize,
+    /// Artifacts deleted.
+    pub evicted: usize,
+    /// Bytes reclaimed.
+    pub bytes_evicted: u64,
+    /// Bytes remaining in the directory.
+    pub bytes_kept: u64,
+}
+
+enum ReadOutcome<T> {
+    /// No file (or unreadable directory entry): a plain miss.
+    Missing,
+    /// The file exists but does not parse: a damaged artifact.
+    Corrupt,
+    /// Parsed successfully (may still fail semantic validation).
+    Ok(T),
+}
+
+/// Read + parse, distinguishing an absent artifact from a damaged one.
+fn read_json<T: Deserialize>(path: &Path) -> ReadOutcome<T> {
+    let Ok(bytes) = std::fs::read(path) else {
+        return ReadOutcome::Missing;
+    };
+    match serde_json::from_slice(&bytes) {
+        Ok(v) => ReadOutcome::Ok(v),
+        Err(_) => ReadOutcome::Corrupt,
+    }
 }
 
 /// Atomic best-effort write: serialize, write to a unique temp file in
 /// the same directory, rename over the destination. Returns success.
-fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> bool {
-    let json = serde_json::to_vec(value).expect("cache artifact serializes");
+/// `corrupt_frac` simulates a torn write for fault injection: the payload
+/// is truncated to that fraction of its bytes before hitting disk.
+fn write_json_atomic<T: Serialize>(path: &Path, value: &T, corrupt_frac: Option<f64>) -> bool {
+    let mut json = serde_json::to_vec(value).expect("cache artifact serializes");
+    if let Some(frac) = corrupt_frac {
+        let keep = ((json.len() as f64) * frac) as usize;
+        json.truncate(keep.max(1));
+    }
     let Some(parent) = path.parent() else {
         return false;
     };

@@ -11,12 +11,15 @@
 //! [`FeatureVector`] and (optionally) a [`DensityImage`], and then dropped,
 //! so corpus construction is cheap in memory.
 
+use crate::error::{CoreError, CoreResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use spsel_features::{DensityImage, FeatureVector, MatrixStats};
-use spsel_gpusim::{benchmark_corpus, BenchResult, Gpu};
+use spsel_gpusim::{
+    benchmark_corpus, measure_corpus, BenchResult, CorpusBench, FaultConfig, Gpu, TrialPolicy,
+};
 use spsel_matrix::gen::{self, Family};
 use spsel_matrix::{permute, CooMatrix, CsrMatrix, Format, SpMv};
 
@@ -322,6 +325,16 @@ impl Corpus {
         benchmark_corpus(&gpu.spec(), &stats, &ids)
     }
 
+    /// Resiliently benchmark every record on one GPU: trial-level
+    /// measurement with retry, robust aggregation, and quarantine. With
+    /// `faults` disabled the outcomes are bit-identical to
+    /// [`Corpus::benchmark`].
+    pub fn measure(&self, gpu: Gpu, faults: &FaultConfig, policy: &TrialPolicy) -> CorpusBench {
+        let stats: Vec<MatrixStats> = self.records.iter().map(|r| r.stats.clone()).collect();
+        let ids: Vec<u64> = self.records.iter().map(|r| r.id).collect();
+        measure_corpus(&gpu.spec(), &stats, &ids, faults, policy)
+    }
+
     /// Indices of records that fit (all-format-feasible) on *every* GPU —
     /// the paper's "Common Subset" used for transfer experiments.
     pub fn common_subset(&self, benches: &[Vec<Option<BenchResult>>]) -> Vec<usize> {
@@ -331,10 +344,20 @@ impl Corpus {
     }
 
     /// Ground-truth labels on one GPU for the given record indices.
-    pub fn labels(results: &[Option<BenchResult>], indices: &[usize]) -> Vec<Format> {
+    /// Errors (instead of panicking) when an index has no usable
+    /// benchmark result — infeasible or quarantined records can reach
+    /// here under fault injection.
+    pub fn labels(results: &[Option<BenchResult>], indices: &[usize]) -> CoreResult<Vec<Format>> {
         indices
             .iter()
-            .map(|&i| results[i].expect("caller filtered infeasible records").best)
+            .map(|&i| {
+                results.get(i).copied().flatten().map(|r| r.best).ok_or(
+                    CoreError::InfeasibleRecord {
+                        gpu: String::new(),
+                        index: i,
+                    },
+                )
+            })
             .collect()
     }
 }

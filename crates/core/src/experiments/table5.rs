@@ -53,14 +53,23 @@ const LABELERS: [Labeler; 3] = [
     Labeler::RandomForest,
 ];
 
-/// Run the transfer evaluation over all six GPU pairs.
+/// Run the transfer evaluation over all six GPU pairs (pairs whose source
+/// or target GPU degraded away are skipped).
 pub fn run(ctx: &ExperimentContext, cfg: &Table5Config) -> Table5 {
     let common = ctx.common_subset();
     let features = ctx.features(&common);
+    let active = ctx.active_gpus();
     let mut pairs = Vec::new();
     for (source, target) in TRANSFER_PAIRS {
-        let source_results = ctx.results(source, &common);
-        let target_results = ctx.results(target, &common);
+        if !active.contains(&source) || !active.contains(&target) {
+            eprintln!("degradation: skipping transfer {source} to {target} (GPU lost)");
+            continue;
+        }
+        let (Ok(source_results), Ok(target_results)) =
+            (ctx.results(source, &common), ctx.results(target, &common))
+        else {
+            continue; // common subset is feasible on active GPUs
+        };
         let input = TransferInput {
             features: &features,
             images: None,
@@ -120,7 +129,9 @@ pub fn run(ctx: &ExperimentContext, cfg: &Table5Config) -> Table5 {
                         best = Some(row);
                     }
                 }
-                rows.push(best.expect("at least one candidate"));
+                if let Some(row) = best {
+                    rows.push(row);
+                }
             }
         }
         pairs.push((source, target, rows));

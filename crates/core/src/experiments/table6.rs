@@ -6,7 +6,6 @@ use crate::speedup::SelectionQuality;
 use crate::supervised::{SupervisedConfig, SupervisedModel};
 use crate::transfer::local_supervised;
 use serde::{Deserialize, Serialize};
-use spsel_gpusim::Gpu;
 
 /// Configuration of the Table 6 run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -41,25 +40,32 @@ pub struct Table6Row {
     pub quality: SelectionQuality,
 }
 
-/// Table 6 contents: one block per GPU.
+/// Table 6 contents: one block per surviving GPU.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table6 {
-    /// `rows[g]`: model rows for `Gpu::ALL[g]`.
+    /// GPUs that contributed a block (all three unless one degraded away).
+    pub gpus: Vec<String>,
+    /// `rows[g]`: model rows for `gpus[g]`.
     pub rows: Vec<Vec<Table6Row>>,
 }
 
-/// Run the supervised local evaluation on every GPU.
+/// Run the supervised local evaluation on every surviving GPU. Models
+/// whose fit fails (e.g. the CNN on a corpus without images) are skipped
+/// with a note rather than aborting the table.
 pub fn run(ctx: &ExperimentContext, cfg: &Table6Config) -> Table6 {
     let models: Vec<SupervisedModel> = SupervisedModel::ALL
         .into_iter()
         .filter(|m| cfg.with_cnn || !m.needs_images())
         .collect();
+    let mut gpus = Vec::new();
     let mut rows = Vec::new();
-    for gpu in Gpu::ALL {
+    for gpu in ctx.active_gpus() {
         let indices = ctx.dataset(gpu);
         let features = ctx.features(&indices);
         let images = ctx.images(&indices);
-        let results = ctx.results(gpu, &indices);
+        let Ok(results) = ctx.results(gpu, &indices) else {
+            continue; // dataset indices are feasible by construction
+        };
         let mut gpu_rows = Vec::new();
         for model in &models {
             let sup_cfg = if cfg.quick {
@@ -68,28 +74,34 @@ pub fn run(ctx: &ExperimentContext, cfg: &Table6Config) -> Table6 {
                 SupervisedConfig::new(*model, cfg.seed)
             };
             let images_arg = model.needs_images().then_some(images.as_slice());
-            let quality = local_supervised(
+            match local_supervised(
                 &features, images_arg, &results, sup_cfg, cfg.folds, cfg.seed,
-            );
-            gpu_rows.push(Table6Row {
-                model: model.name().to_string(),
-                quality,
-            });
+            ) {
+                Ok(quality) => gpu_rows.push(Table6Row {
+                    model: model.name().to_string(),
+                    quality,
+                }),
+                Err(e) => eprintln!("degradation: skipping {} on {gpu}: {e}", model.name()),
+            }
         }
+        gpus.push(gpu.name().to_string());
         rows.push(gpu_rows);
     }
-    Table6 { rows }
+    Table6 { gpus, rows }
 }
 
 impl Table6 {
-    /// Render in the paper's layout.
+    /// Render in the paper's layout (surviving GPUs only).
     pub fn render(&self) -> String {
+        if self.rows.is_empty() {
+            return "Table 6: no surviving GPU datasets\n".to_string();
+        }
         let mut out = String::new();
         out.push_str(&format!(
             "{:<10}{:>8}{:>7}{:>7}{:>7}{:>7}{:>9}\n",
             "MLM", "ACC", "F1", "MCC", "GT", "CSR", "Thresh."
         ));
-        for (g, gpu) in Gpu::ALL.iter().enumerate() {
+        for (g, gpu) in self.gpus.iter().enumerate() {
             out.push_str(&format!("--- {gpu} ---\n"));
             for row in &self.rows[g] {
                 let q = &row.quality;

@@ -56,14 +56,23 @@ pub struct Table7 {
     pub pairs: Vec<(Gpu, Gpu, Vec<Table7Row>)>,
 }
 
-/// Run the supervised transfer evaluation.
+/// Run the supervised transfer evaluation (pairs whose source or target
+/// GPU degraded away are skipped; models whose fit fails are skipped).
 pub fn run(ctx: &ExperimentContext, cfg: &Table7Config) -> Table7 {
     let common = ctx.common_subset();
     let features = ctx.features(&common);
+    let active = ctx.active_gpus();
     let mut pairs = Vec::new();
     for (source, target) in TABLE7_PAIRS {
-        let source_results = ctx.results(source, &common);
-        let target_results = ctx.results(target, &common);
+        if !active.contains(&source) || !active.contains(&target) {
+            eprintln!("degradation: skipping transfer {source} to {target} (GPU lost)");
+            continue;
+        }
+        let (Ok(source_results), Ok(target_results)) =
+            (ctx.results(source, &common), ctx.results(target, &common))
+        else {
+            continue; // common subset is feasible on active GPUs
+        };
         let input = TransferInput {
             features: &features,
             images: None,
@@ -79,14 +88,20 @@ pub fn run(ctx: &ExperimentContext, cfg: &Table7Config) -> Table7 {
             };
             let mut budgets = Vec::with_capacity(3);
             for budget in RetrainBudget::ALL {
-                budgets.push(transfer_supervised(
-                    input, sup_cfg, budget, cfg.folds, cfg.seed,
-                ));
+                match transfer_supervised(input, sup_cfg, budget, cfg.folds, cfg.seed) {
+                    Ok(q) => budgets.push(q),
+                    Err(e) => {
+                        eprintln!("degradation: skipping {} transfer: {e}", model.name());
+                        break;
+                    }
+                }
             }
-            rows.push(Table7Row {
-                model: model.name().to_string(),
-                budgets: [budgets[0], budgets[1], budgets[2]],
-            });
+            if budgets.len() == 3 {
+                rows.push(Table7Row {
+                    model: model.name().to_string(),
+                    budgets: [budgets[0], budgets[1], budgets[2]],
+                });
+            }
         }
         pairs.push((source, target, rows));
     }

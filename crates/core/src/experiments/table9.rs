@@ -57,21 +57,24 @@ pub struct Table9 {
     pub rows: Vec<Table9Row>,
 }
 
-/// Run the training-time measurement.
+/// Run the training-time measurement. Returns an empty table when either
+/// timing GPU degraded away (nothing to time on a dead dataset).
 pub fn run(ctx: &ExperimentContext, cfg: &Table9Config) -> Table9 {
     let common = ctx.common_subset();
     let features = ctx.features(&common);
     let images = ctx.images(&common);
-    let source_labels: Vec<Format> = ctx
-        .results(cfg.source, &common)
-        .iter()
-        .map(|r| r.best)
-        .collect();
-    let target_labels: Vec<Format> = ctx
-        .results(cfg.target, &common)
-        .iter()
-        .map(|r| r.best)
-        .collect();
+    let (Ok(source_results), Ok(target_results)) = (
+        ctx.results(cfg.source, &common),
+        ctx.results(cfg.target, &common),
+    ) else {
+        eprintln!(
+            "degradation: skipping table 9 ({} or {} lost)",
+            cfg.source, cfg.target
+        );
+        return Table9 { rows: Vec::new() };
+    };
+    let source_labels: Vec<Format> = source_results.iter().map(|r| r.best).collect();
+    let target_labels: Vec<Format> = target_results.iter().map(|r| r.best).collect();
     let y_target: Vec<usize> = target_labels.iter().map(|l| l.index()).collect();
 
     // At budget b the training set is the source-labeled corpus plus the
@@ -109,14 +112,26 @@ pub fn run(ctx: &ExperimentContext, cfg: &Table9Config) -> Table9 {
             SupervisedConfig::new(model, cfg.seed)
         };
         let mut seconds = [0.0; 3];
+        let mut fit_failed = false;
         for (b, (idx, labels)) in budget_sets.iter().enumerate() {
             let f: Vec<_> = idx.iter().map(|&i| features[i].clone()).collect();
             let img: Vec<_> = idx.iter().map(|&i| images[i].clone()).collect();
             let img_arg = model.needs_images().then_some(img.as_slice());
             let t0 = Instant::now();
-            let sel = SupervisedSelector::fit(&f, img_arg, labels, sup_cfg);
-            seconds[b] = t0.elapsed().as_secs_f64();
-            std::hint::black_box(&sel);
+            match SupervisedSelector::fit(&f, img_arg, labels, sup_cfg) {
+                Ok(sel) => {
+                    seconds[b] = t0.elapsed().as_secs_f64();
+                    std::hint::black_box(&sel);
+                }
+                Err(e) => {
+                    eprintln!("degradation: skipping {} timing: {e}", model.name());
+                    fit_failed = true;
+                    break;
+                }
+            }
+        }
+        if fit_failed {
+            continue;
         }
         rows.push(Table9Row {
             model: model.name().to_string(),

@@ -20,6 +20,7 @@
 
 pub mod cache;
 pub mod corpus;
+pub mod error;
 pub mod experiments;
 pub mod featsel;
 pub mod online;
@@ -31,8 +32,9 @@ pub mod supervised;
 pub mod telemetry;
 pub mod transfer;
 
-pub use cache::Cache;
+pub use cache::{Cache, GcConfig, GcReport};
 pub use corpus::{Corpus, CorpusConfig, MatrixRecord};
+pub use error::{CoreError, CoreResult};
 pub use featsel::{greedy_forward_selection, FeatureSelection, SearchModel};
 pub use online::{OnlineDecision, OnlineSelector};
 pub use overhead::{amortized_best, break_even_iterations, AmortizedChoice};
@@ -40,5 +42,5 @@ pub use regression::TimeRegressor;
 pub use semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
 pub use speedup::{selection_quality, SelectionQuality};
 pub use supervised::{SupervisedConfig, SupervisedModel};
-pub use telemetry::RunReport;
+pub use telemetry::{DegradationReport, RunReport};
 pub use transfer::{transfer_semi, transfer_semi_budgets, transfer_supervised, RetrainBudget};

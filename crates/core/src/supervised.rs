@@ -7,6 +7,7 @@
 //! same preprocessing as the clustering algorithms), and the CNN takes the
 //! density image.
 
+use crate::error::{CoreError, CoreResult};
 use serde::{Deserialize, Serialize};
 use spsel_features::{DensityImage, FeatureVector, Preprocessor};
 use spsel_matrix::Format;
@@ -131,16 +132,22 @@ pub struct SupervisedSelector {
 }
 
 impl SupervisedSelector {
-    /// Fit a selector. `images` must be provided (and non-`None` for every
-    /// record) when `config.model.needs_images()`.
+    /// Fit a selector. Errors with [`CoreError::MissingImages`] when
+    /// `config.model.needs_images()` and `images` is absent or incomplete,
+    /// and with [`CoreError::EmptyDataset`] on an empty training set —
+    /// both are routine under degraded (fault-injected) runs.
     pub fn fit(
         features: &[FeatureVector],
         images: Option<&[Option<DensityImage>]>,
         labels: &[Format],
         config: SupervisedConfig,
-    ) -> Self {
+    ) -> CoreResult<Self> {
         assert_eq!(features.len(), labels.len(), "one label per matrix");
-        assert!(!features.is_empty(), "cannot fit on an empty corpus");
+        if features.is_empty() {
+            return Err(CoreError::EmptyDataset {
+                gpu: "training set".into(),
+            });
+        }
         let y: Vec<usize> = labels.iter().map(|l| l.index()).collect();
 
         let (model, pre) = match config.model {
@@ -196,19 +203,21 @@ impl SupervisedSelector {
                 (m, Some(pre))
             }
             SupervisedModel::Cnn => {
-                let images = images.expect("CNN needs density images");
+                let Some(images) = images else {
+                    return Err(CoreError::MissingImages {
+                        model: config.model.name().to_string(),
+                    });
+                };
                 assert_eq!(images.len(), features.len());
-                let x: Vec<Vec<f64>> = images
-                    .iter()
-                    .map(|img| {
-                        img.as_ref()
-                            .expect("CNN needs an image per record")
-                            .pixels()
-                            .iter()
-                            .map(|&p| p as f64)
-                            .collect()
-                    })
-                    .collect();
+                let mut x: Vec<Vec<f64>> = Vec::with_capacity(images.len());
+                for img in images {
+                    let Some(img) = img.as_ref() else {
+                        return Err(CoreError::MissingImages {
+                            model: config.model.name().to_string(),
+                        });
+                    };
+                    x.push(img.pixels().iter().map(|&p| p as f64).collect());
+                }
                 let mut m = CnnClassifier::new(CnnParams {
                     epochs: if config.quick { 3 } else { 12 },
                     seed: config.seed,
@@ -218,7 +227,7 @@ impl SupervisedSelector {
                 (ModelImpl::Cnn(Box::new(m)), None)
             }
         };
-        SupervisedSelector { config, model, pre }
+        Ok(SupervisedSelector { config, model, pre })
     }
 
     /// The configuration this selector was fitted with.
@@ -299,7 +308,8 @@ mod tests {
                 None,
                 &labels,
                 SupervisedConfig::quick(model, 3),
-            );
+            )
+            .unwrap();
             let preds = sel.predict_batch(&features, None);
             let acc = preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f64
                 / labels.len() as f64;
@@ -331,7 +341,8 @@ mod tests {
                 seed: 1,
                 quick: false,
             },
-        );
+        )
+        .unwrap();
         let preds = sel.predict_batch(&features, Some(&images));
         let acc =
             preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f64 / labels.len() as f64;
@@ -339,15 +350,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn cnn_without_images_panics() {
+    fn cnn_without_images_errors_instead_of_panicking() {
         let (features, labels) = problem();
-        SupervisedSelector::fit(
+        let err = SupervisedSelector::fit(
             &features,
             None,
             &labels,
             SupervisedConfig::quick(SupervisedModel::Cnn, 0),
-        );
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::MissingImages { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_training_set_errors() {
+        let err = SupervisedSelector::fit(
+            &[],
+            None,
+            &[],
+            SupervisedConfig::quick(SupervisedModel::Dt, 0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::EmptyDataset { .. }), "{err}");
     }
 
     #[test]
@@ -358,13 +382,15 @@ mod tests {
             None,
             &labels,
             SupervisedConfig::quick(SupervisedModel::Rf, 9),
-        );
+        )
+        .unwrap();
         let b = SupervisedSelector::fit(
             &features,
             None,
             &labels,
             SupervisedConfig::quick(SupervisedModel::Rf, 9),
-        );
+        )
+        .unwrap();
         assert_eq!(
             a.predict_batch(&features, None),
             b.predict_batch(&features, None)

@@ -7,6 +7,7 @@
 //! cached" claims auditable instead of anecdotal.
 
 use serde::{Deserialize, Serialize};
+use spsel_gpusim::{FaultCounters, FaultRates};
 use std::time::Instant;
 
 /// Wall-clock duration of one pipeline phase.
@@ -30,6 +31,108 @@ pub struct CacheReport {
     pub misses: u64,
     /// Artifacts written back to disk this run.
     pub stores: u64,
+    /// Misses caused specifically by an unreadable (truncated or
+    /// garbage) artifact, as opposed to an absent or stale one.
+    pub corrupt: u64,
+}
+
+/// One quarantined record: excluded from a GPU's dataset, with the reason.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedRecord {
+    /// GPU whose dataset lost the record.
+    pub gpu: String,
+    /// Record index within the corpus.
+    pub index: usize,
+    /// Stable record id.
+    pub id: u64,
+    /// Error class (`transient_exhausted`, `insufficient_trials`).
+    pub class: String,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// Count of one degradation class, for the per-class summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassCount {
+    /// Class name.
+    pub class: String,
+    /// Occurrences.
+    pub count: u64,
+}
+
+/// The `degradation` section of a run report: everything the fault
+/// injector did and everything the pipeline absorbed or lost.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Whether fault injection was active this run.
+    pub faults_enabled: bool,
+    /// Fault seed (meaningful only when enabled).
+    pub fault_seed: u64,
+    /// Per-class injection rates.
+    pub fault_rates: FaultRates,
+    /// Injection and recovery counters, merged across GPUs.
+    pub injected: FaultCounters,
+    /// Records excluded from a GPU's dataset, with reasons.
+    pub quarantined: Vec<QuarantinedRecord>,
+    /// Per-class counts over `quarantined` plus whole-GPU failures.
+    pub per_class: Vec<ClassCount>,
+    /// Records with no feasible format on some GPU (includes injected
+    /// OOM-induced infeasibility).
+    pub infeasible: u64,
+    /// Cache artifact corruptions injected on write this run.
+    pub cache_corruption_injected: u64,
+    /// GPUs whose entire benchmark run failed and was skipped.
+    pub failed_gpus: Vec<String>,
+}
+
+impl DegradationReport {
+    /// Add one quarantined record and keep the per-class counts in sync.
+    pub fn quarantine(&mut self, record: QuarantinedRecord) {
+        self.bump_class(&record.class.clone());
+        self.quarantined.push(record);
+    }
+
+    /// Record a whole-GPU outage.
+    pub fn fail_gpu(&mut self, gpu: &str) {
+        self.failed_gpus.push(gpu.to_string());
+        self.bump_class("gpu_outage");
+    }
+
+    fn bump_class(&mut self, class: &str) {
+        match self.per_class.iter_mut().find(|c| c.class == class) {
+            Some(c) => c.count += 1,
+            None => self.per_class.push(ClassCount {
+                class: class.to_string(),
+                count: 1,
+            }),
+        }
+    }
+
+    /// Whether anything degraded at all (worth printing).
+    pub fn any(&self) -> bool {
+        self.injected.any()
+            || !self.quarantined.is_empty()
+            || !self.failed_gpus.is_empty()
+            || self.cache_corruption_injected > 0
+    }
+
+    /// One-line human summary for stderr.
+    pub fn summary(&self) -> String {
+        format!(
+            "faults: {} transient ({} retries), {} spikes, {} dropped, {} oom, \
+             {} outliers rejected; {} quarantined, {} gpu(s) lost, \
+             {} cache corruption(s) injected",
+            self.injected.transient,
+            self.injected.retries,
+            self.injected.spikes,
+            self.injected.dropped,
+            self.injected.oom_injected,
+            self.injected.outliers_rejected,
+            self.quarantined.len(),
+            self.failed_gpus.len(),
+            self.cache_corruption_injected,
+        )
+    }
 }
 
 /// Structured record of one harness invocation.
@@ -45,6 +148,8 @@ pub struct RunReport {
     pub threads: usize,
     /// Whether `SPSEL_SERIAL=1` forced serial execution.
     pub serial: bool,
+    /// Fault injection and graceful-degradation accounting.
+    pub degradation: DegradationReport,
 }
 
 impl RunReport {
@@ -62,6 +167,7 @@ impl RunReport {
                 rayon::current_num_threads()
             },
             serial,
+            degradation: DegradationReport::default(),
         }
     }
 
@@ -122,6 +228,54 @@ mod tests {
         r.cache.hits = 3;
         r.cache.enabled = true;
         let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn degradation_tracks_quarantines_and_classes() {
+        let mut d = DegradationReport {
+            faults_enabled: true,
+            fault_seed: 7,
+            ..Default::default()
+        };
+        assert!(!d.any());
+        d.quarantine(QuarantinedRecord {
+            gpu: "Volta".into(),
+            index: 3,
+            id: 12,
+            class: "insufficient_trials".into(),
+            reason: "CSR: only 2 valid trials, need 3".into(),
+        });
+        d.quarantine(QuarantinedRecord {
+            gpu: "Pascal".into(),
+            index: 9,
+            id: 40,
+            class: "insufficient_trials".into(),
+            reason: "ELL: only 1 valid trials, need 3".into(),
+        });
+        d.fail_gpu("Turing");
+        assert!(d.any());
+        assert_eq!(d.quarantined.len(), 2);
+        assert_eq!(d.failed_gpus, vec!["Turing".to_string()]);
+        let insufficient = d
+            .per_class
+            .iter()
+            .find(|c| c.class == "insufficient_trials")
+            .unwrap();
+        assert_eq!(insufficient.count, 2);
+        let outage = d
+            .per_class
+            .iter()
+            .find(|c| c.class == "gpu_outage")
+            .unwrap();
+        assert_eq!(outage.count, 1);
+        assert!(d.summary().contains("2 quarantined"));
+        // The section serializes as part of the run report.
+        let mut r = RunReport::new("deg");
+        r.degradation = d;
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("degradation"));
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
     }

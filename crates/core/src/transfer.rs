@@ -1,6 +1,7 @@
 //! Evaluation protocols: local 5-fold cross-validation and the
 //! cross-architecture transfer experiment with 0 / 25 / 50 % retraining.
 
+use crate::error::CoreResult;
 use crate::semi::{SemiConfig, SemiSupervisedSelector};
 use crate::speedup::{selection_quality, SelectionQuality};
 use crate::supervised::{SupervisedConfig, SupervisedSelector};
@@ -105,7 +106,8 @@ pub fn local_semi(
     SelectionQuality::average(&qualities)
 }
 
-/// Local protocol for a supervised model.
+/// Local protocol for a supervised model. Errors when the model cannot be
+/// fit (e.g. CNN without images) instead of panicking.
 pub fn local_supervised(
     features: &[FeatureVector],
     images: Option<&[Option<DensityImage>]>,
@@ -113,24 +115,22 @@ pub fn local_supervised(
     cfg: SupervisedConfig,
     folds: usize,
     seed: u64,
-) -> SelectionQuality {
+) -> CoreResult<SelectionQuality> {
     let y: Vec<usize> = results.iter().map(|r| r.best.index()).collect();
-    let qualities: Vec<SelectionQuality> = stratified_kfold(&y, Format::COUNT, folds, seed)
-        .into_iter()
-        .map(|(train, test)| {
-            let train_imgs = images_of(images, &train);
-            let sel = SupervisedSelector::fit(
-                &features_of(features, &train),
-                train_imgs.as_deref(),
-                &labels_of(results, &train),
-                cfg,
-            );
-            let test_imgs = images_of(images, &test);
-            let preds = sel.predict_batch(&features_of(features, &test), test_imgs.as_deref());
-            selection_quality(&preds, &results_of(results, &test))
-        })
-        .collect();
-    SelectionQuality::average(&qualities)
+    let mut qualities: Vec<SelectionQuality> = Vec::with_capacity(folds);
+    for (train, test) in stratified_kfold(&y, Format::COUNT, folds, seed) {
+        let train_imgs = images_of(images, &train);
+        let sel = SupervisedSelector::fit(
+            &features_of(features, &train),
+            train_imgs.as_deref(),
+            &labels_of(results, &train),
+            cfg,
+        )?;
+        let test_imgs = images_of(images, &test);
+        let preds = sel.predict_batch(&features_of(features, &test), test_imgs.as_deref());
+        qualities.push(selection_quality(&preds, &results_of(results, &test)));
+    }
+    Ok(SelectionQuality::average(&qualities))
 }
 
 /// Transfer protocol for the semi-supervised selector (Table 5) at all
@@ -206,36 +206,33 @@ pub fn transfer_supervised(
     budget: RetrainBudget,
     folds: usize,
     seed: u64,
-) -> SelectionQuality {
+) -> CoreResult<SelectionQuality> {
     let y_target: Vec<usize> = input.target.iter().map(|r| r.best.index()).collect();
-    let qualities: Vec<SelectionQuality> = stratified_kfold(&y_target, Format::COUNT, folds, seed)
-        .into_iter()
-        .map(|(train, test)| {
-            let mut labels = labels_of(input.source, &train);
-            if budget.fraction() > 0.0 {
-                let train_y: Vec<usize> = train
-                    .iter()
-                    .map(|&i| input.target[i].best.index())
-                    .collect();
-                let sub = stratified_subsample(&train_y, Format::COUNT, budget.fraction(), seed);
-                for &p in &sub {
-                    labels[p] = input.target[train[p]].best;
-                }
+    let mut qualities: Vec<SelectionQuality> = Vec::with_capacity(folds);
+    for (train, test) in stratified_kfold(&y_target, Format::COUNT, folds, seed) {
+        let mut labels = labels_of(input.source, &train);
+        if budget.fraction() > 0.0 {
+            let train_y: Vec<usize> = train
+                .iter()
+                .map(|&i| input.target[i].best.index())
+                .collect();
+            let sub = stratified_subsample(&train_y, Format::COUNT, budget.fraction(), seed);
+            for &p in &sub {
+                labels[p] = input.target[train[p]].best;
             }
-            let train_imgs = images_of(input.images, &train);
-            let sel = SupervisedSelector::fit(
-                &features_of(input.features, &train),
-                train_imgs.as_deref(),
-                &labels,
-                cfg,
-            );
-            let test_imgs = images_of(input.images, &test);
-            let preds =
-                sel.predict_batch(&features_of(input.features, &test), test_imgs.as_deref());
-            selection_quality(&preds, &results_of(input.target, &test))
-        })
-        .collect();
-    SelectionQuality::average(&qualities)
+        }
+        let train_imgs = images_of(input.images, &train);
+        let sel = SupervisedSelector::fit(
+            &features_of(input.features, &train),
+            train_imgs.as_deref(),
+            &labels,
+            cfg,
+        )?;
+        let test_imgs = images_of(input.images, &test);
+        let preds = sel.predict_batch(&features_of(input.features, &test), test_imgs.as_deref());
+        qualities.push(selection_quality(&preds, &results_of(input.target, &test)));
+    }
+    Ok(SelectionQuality::average(&qualities))
 }
 
 #[cfg(test)]
@@ -318,8 +315,8 @@ mod tests {
             target: &target,
         };
         let cfg = SupervisedConfig::quick(SupervisedModel::Dt, 3);
-        let q0 = transfer_supervised(input, cfg, RetrainBudget::Zero, 5, 2);
-        let q50 = transfer_supervised(input, cfg, RetrainBudget::Half, 5, 2);
+        let q0 = transfer_supervised(input, cfg, RetrainBudget::Zero, 5, 2).unwrap();
+        let q50 = transfer_supervised(input, cfg, RetrainBudget::Half, 5, 2).unwrap();
         // At 0% population A carries only stale source labels (~50%
         // overall accuracy); at 50% half of its labels are corrected, so
         // accuracy must rise markedly (though mixed labels cap it).
@@ -337,7 +334,8 @@ mod tests {
             SupervisedConfig::quick(SupervisedModel::Rf, 5),
             5,
             3,
-        );
+        )
+        .unwrap();
         assert!(q.acc > 0.85, "acc {}", q.acc);
     }
 }

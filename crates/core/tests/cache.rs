@@ -5,12 +5,13 @@
 //! Each test writes into its own directory under `target/` so runs never
 //! interfere with each other or with the real `results/cache/`.
 
-use spsel_core::cache::{Cache, NO_CACHE_ENV};
+use spsel_core::cache::{Cache, GcConfig, NO_CACHE_ENV};
 use spsel_core::corpus::{Corpus, CorpusConfig};
 use spsel_core::experiments::ExperimentContext;
 use spsel_core::telemetry::RunReport;
-use spsel_gpusim::Gpu;
+use spsel_gpusim::{FaultConfig, Gpu};
 use std::path::PathBuf;
+use std::time::{Duration, SystemTime};
 
 fn test_dir(name: &str) -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -107,6 +108,106 @@ fn corrupted_entries_recompute_silently() {
     assert_eq!(ctx3.benches, ctx.benches);
     let report = warm.report();
     assert_eq!((report.hits, report.misses), (4, 0), "{report:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn set_age(path: &std::path::Path, age: Duration) {
+    let f = std::fs::File::options().append(true).open(path).unwrap();
+    f.set_modified(SystemTime::now() - age).unwrap();
+}
+
+#[test]
+fn gc_evicts_oldest_first_under_size_pressure() {
+    let dir = test_dir("gc-size");
+    let cache = Cache::new(&dir);
+
+    // Four artifacts with distinct ages; each file is a few hundred bytes.
+    let mut paths = Vec::new();
+    for (i, days) in [40u64, 30, 20, 10].iter().enumerate() {
+        let corpus = Corpus::build(CorpusConfig::small(6, 100 + i as u64));
+        cache.store_corpus(&corpus);
+        let path = cache.corpus_path(corpus.config()).unwrap();
+        set_age(&path, Duration::from_secs(days * 86_400));
+        paths.push(path);
+    }
+    let sizes: Vec<u64> = paths
+        .iter()
+        .map(|p| std::fs::metadata(p).unwrap().len())
+        .collect();
+
+    // Budget fits only the two newest files: the two oldest must go, in
+    // mtime order, and the survivors stay readable.
+    let budget = sizes[2] + sizes[3];
+    let gc = cache.gc(&GcConfig {
+        max_bytes: budget,
+        max_age: Duration::from_secs(365 * 86_400),
+    });
+    assert_eq!(gc.scanned, 4, "{gc:?}");
+    assert_eq!(gc.evicted, 2, "{gc:?}");
+    assert_eq!(gc.kept, 2, "{gc:?}");
+    assert_eq!(gc.bytes_evicted, sizes[0] + sizes[1], "{gc:?}");
+    assert!(!paths[0].exists(), "oldest file must be evicted first");
+    assert!(!paths[1].exists());
+    assert!(paths[2].exists());
+    assert!(paths[3].exists());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gc_expires_by_age_and_keeps_live_entries() {
+    let dir = test_dir("gc-age");
+    let cache = Cache::new(&dir);
+
+    let old = Corpus::build(CorpusConfig::small(6, 1));
+    cache.store_corpus(&old);
+    let old_path = cache.corpus_path(old.config()).unwrap();
+    set_age(&old_path, Duration::from_secs(30 * 86_400));
+
+    let fresh = Corpus::build(CorpusConfig::small(6, 2));
+    cache.store_corpus(&fresh);
+    let fresh_path = cache.corpus_path(fresh.config()).unwrap();
+
+    let gc = cache.gc(&GcConfig {
+        max_bytes: u64::MAX,
+        max_age: Duration::from_secs(7 * 86_400),
+    });
+    assert_eq!((gc.evicted, gc.kept), (1, 1), "{gc:?}");
+    assert!(!old_path.exists(), "expired entry must be evicted");
+    assert!(fresh_path.exists(), "live entry must survive");
+    assert!(
+        cache.load_corpus(fresh.config()).is_some(),
+        "survivor stays readable"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_corruption_is_counted_and_recomputed() {
+    let dir = test_dir("inject");
+    let cfg = small_cfg();
+    let corpus = Corpus::build(cfg.clone());
+
+    // A corrupt-rate-1.0 cache truncates every artifact it stores.
+    let faulty = Cache::new(&dir).with_faults(FaultConfig::uniform(1.0, 3));
+    faulty.store_corpus(&corpus);
+    assert_eq!(faulty.corruption_injected(), 1);
+    let path = faulty.corpus_path(&cfg).unwrap();
+    let stored = std::fs::read(&path).unwrap();
+
+    // The artifact really is damaged on disk, and a clean reader detects
+    // it: soft miss, corruption counted, no panic.
+    let reader = Cache::new(&dir);
+    assert!(reader.load_corpus(&cfg).is_none());
+    let report = reader.report();
+    assert_eq!(report.corrupt, 1, "{report:?}");
+
+    // Recomputing through the same path heals the entry.
+    reader.store_corpus(&corpus);
+    assert!(std::fs::read(&path).unwrap().len() > stored.len());
+    assert!(Cache::new(&dir).load_corpus(&cfg).is_some());
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,392 @@
+//! Deterministic fault injection for the simulated benchmark campaign.
+//!
+//! Real benchmark campaigns fail in mundane ways: a kernel launch times
+//! out, a driver hiccup produces a 20x timing spike, a trial's output file
+//! is lost, a matrix that should fit reports an out-of-memory error, a
+//! cache artifact is truncated by a killed process. The paper's authors
+//! absorb this by averaging 100 trials per (matrix, format) and silently
+//! dropping matrices; a production autotuner has to absorb it explicitly.
+//!
+//! This module injects those failure classes *deterministically*: every
+//! fault is a pure function of `(seed, matrix, format, gpu, trial,
+//! attempt)` through the same [`splitmix64`] mixer the measurement noise
+//! uses. The same seed therefore reproduces the same faults bit-for-bit,
+//! which is what makes chaos runs debuggable and the recovery machinery
+//! testable without flakes.
+
+use crate::noise::{hash_unit, splitmix64};
+use serde::{Deserialize, Serialize};
+
+/// The injectable failure classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// A trial attempt fails transiently; a retry may succeed.
+    Transient,
+    /// A trial completes but reports a 5-50x outlier time.
+    Spike,
+    /// A trial's measurement is lost entirely (no retry possible).
+    Drop,
+    /// The cell reports out-of-memory even though the model says it fits.
+    Oom,
+    /// A stored cache artifact is truncated on write.
+    CacheCorruption,
+    /// An entire per-GPU benchmark run fails (host crash, driver wedge).
+    GpuOutage,
+}
+
+impl FaultClass {
+    /// Every class, in reporting order.
+    pub const ALL: [FaultClass; 6] = [
+        FaultClass::Transient,
+        FaultClass::Spike,
+        FaultClass::Drop,
+        FaultClass::Oom,
+        FaultClass::CacheCorruption,
+        FaultClass::GpuOutage,
+    ];
+
+    /// Stable name used in telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Transient => "transient",
+            FaultClass::Spike => "spike",
+            FaultClass::Drop => "drop",
+            FaultClass::Oom => "oom",
+            FaultClass::CacheCorruption => "cache_corruption",
+            FaultClass::GpuOutage => "gpu_outage",
+        }
+    }
+
+    /// Per-class domain-separation tag mixed into the hash key.
+    fn tag(self) -> u64 {
+        match self {
+            FaultClass::Transient => 0x7472_616e,
+            FaultClass::Spike => 0x7370_696b,
+            FaultClass::Drop => 0x6472_6f70,
+            FaultClass::Oom => 0x6f6f_6d21,
+            FaultClass::CacheCorruption => 0x6361_6368,
+            FaultClass::GpuOutage => 0x6f75_7467,
+        }
+    }
+}
+
+/// Per-class injection probabilities, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// Probability a trial attempt fails transiently.
+    pub transient: f64,
+    /// Probability a trial's time is a 5-50x outlier.
+    pub spike: f64,
+    /// Probability a trial is dropped outright.
+    pub drop: f64,
+    /// Probability a (matrix, format) cell reports a spurious OOM.
+    pub oom: f64,
+    /// Probability a cache artifact write is truncated.
+    pub cache_corruption: f64,
+    /// Probability an entire per-GPU benchmark run fails.
+    pub gpu_outage: f64,
+}
+
+impl FaultRates {
+    /// The same rate for the per-measurement classes (transient, spike,
+    /// drop, oom, cache corruption). GPU outage stays 0 — killing a whole
+    /// backend is opt-in, not part of the uniform chaos dial.
+    pub fn uniform(rate: f64) -> Self {
+        FaultRates {
+            transient: rate,
+            spike: rate,
+            drop: rate,
+            oom: rate,
+            cache_corruption: rate,
+            gpu_outage: 0.0,
+        }
+    }
+
+    /// The configured rate of one class.
+    pub fn get(&self, class: FaultClass) -> f64 {
+        match class {
+            FaultClass::Transient => self.transient,
+            FaultClass::Spike => self.spike,
+            FaultClass::Drop => self.drop,
+            FaultClass::Oom => self.oom,
+            FaultClass::CacheCorruption => self.cache_corruption,
+            FaultClass::GpuOutage => self.gpu_outage,
+        }
+    }
+
+    /// Whether any class can fire.
+    pub fn any(&self) -> bool {
+        FaultClass::ALL.iter().any(|&c| self.get(c) > 0.0)
+    }
+}
+
+/// A seeded fault-injection plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Master fault seed; independent from the corpus seed so the same
+    /// corpus can be chaos-tested under many fault schedules.
+    pub seed: u64,
+    /// Per-class injection rates.
+    pub rates: FaultRates,
+}
+
+/// Environment variable carrying a uniform fault rate (`SPSEL_FAULTS=0.05`).
+pub const FAULTS_ENV: &str = "SPSEL_FAULTS";
+
+/// Environment variable overriding the fault seed (`SPSEL_FAULT_SEED=7`).
+pub const FAULT_SEED_ENV: &str = "SPSEL_FAULT_SEED";
+
+/// Default fault seed when none is given.
+pub const DEFAULT_FAULT_SEED: u64 = 0xFA_017;
+
+impl FaultConfig {
+    /// No faults: every roll misses, measurement is bit-identical to the
+    /// fault-free pipeline.
+    pub fn off() -> Self {
+        FaultConfig {
+            seed: DEFAULT_FAULT_SEED,
+            rates: FaultRates::default(),
+        }
+    }
+
+    /// All per-measurement classes at the same `rate`.
+    pub fn uniform(rate: f64, seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            rates: FaultRates::uniform(rate),
+        }
+    }
+
+    /// Read `SPSEL_FAULTS` / `SPSEL_FAULT_SEED`: unset, empty, or `0`
+    /// means faults off.
+    pub fn from_env() -> Self {
+        let rate = std::env::var(FAULTS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .unwrap_or(0.0);
+        let seed = std::env::var(FAULT_SEED_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(DEFAULT_FAULT_SEED);
+        if rate > 0.0 {
+            FaultConfig::uniform(rate.min(1.0), seed)
+        } else {
+            FaultConfig {
+                seed,
+                rates: FaultRates::default(),
+            }
+        }
+    }
+
+    /// Whether this plan can inject anything at all.
+    pub fn enabled(&self) -> bool {
+        self.rates.any()
+    }
+
+    /// Domain-separated hash key for one fault decision.
+    fn key(&self, class: FaultClass, parts: [u64; 4]) -> u64 {
+        let mut h = splitmix64(self.seed ^ class.tag());
+        for p in parts {
+            h = splitmix64(h ^ p.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        h
+    }
+
+    /// Roll one fault decision for `(matrix, format, gpu, trial/attempt)`.
+    pub fn roll(
+        &self,
+        class: FaultClass,
+        matrix_id: u64,
+        format_idx: usize,
+        gpu_idx: usize,
+        event: u64,
+    ) -> bool {
+        let rate = self.rates.get(class);
+        if rate <= 0.0 {
+            return false;
+        }
+        hash_unit(self.key(class, [matrix_id, format_idx as u64, gpu_idx as u64, event])) < rate
+    }
+
+    /// Whether the whole benchmark run on `gpu_idx` is lost. Keyed by the
+    /// GPU alone so an outage takes out one backend, not one cell.
+    pub fn gpu_outage(&self, gpu_idx: usize) -> bool {
+        self.rates.gpu_outage > 0.0
+            && hash_unit(self.key(FaultClass::GpuOutage, [gpu_idx as u64, 0, 0, 0]))
+                < self.rates.gpu_outage
+    }
+
+    /// Outlier magnitude of a spiked trial: log-uniform in `[5, 50]`.
+    pub fn spike_magnitude(
+        &self,
+        matrix_id: u64,
+        format_idx: usize,
+        gpu_idx: usize,
+        trial: u64,
+    ) -> f64 {
+        let u = hash_unit(self.key(
+            FaultClass::Spike,
+            [matrix_id ^ 0x5eed, format_idx as u64, gpu_idx as u64, trial],
+        ));
+        5.0 * 10.0f64.powf(u)
+    }
+
+    /// Per-trial multiplicative measurement jitter (lognormal, sigma 2%),
+    /// applied on top of the cell's averaged noise so repeated trials of
+    /// one cell disagree slightly, as real trials do.
+    ///
+    /// Jitter is *antithetic*: trial 0 is unjittered, and trials `2p-1` /
+    /// `2p` share one deviate with opposite signs. With an odd trial count
+    /// and no lost trials the median is therefore exactly the unjittered
+    /// measurement — healthy cells aggregate to the fault-free value bit
+    /// for bit, and only cells that actually lost a trial can drift.
+    pub fn trial_jitter(
+        &self,
+        matrix_id: u64,
+        format_idx: usize,
+        gpu_idx: usize,
+        trial: u64,
+    ) -> f64 {
+        if trial == 0 {
+            return 1.0;
+        }
+        let pair = trial.div_ceil(2);
+        let sign = if trial % 2 == 1 { 1.0 } else { -1.0 };
+        let key = self.key(
+            FaultClass::Drop, // reuse a tag namespace, offset below
+            [
+                matrix_id ^ 0x6a69_7474,
+                format_idx as u64,
+                gpu_idx as u64,
+                pair,
+            ],
+        );
+        (sign * 0.02 * crate::noise::hash_gaussian(key)).exp()
+    }
+
+    /// Whether the cache artifact identified by `artifact_key` is
+    /// truncated on write, and at which fraction of its length.
+    pub fn corrupt_artifact(&self, artifact_key: u64) -> Option<f64> {
+        if !self.roll(FaultClass::CacheCorruption, artifact_key, 0, 0, 0) {
+            return None;
+        }
+        // Keep 10-90% of the bytes so the truncation is never a no-op.
+        let frac =
+            0.1 + 0.8 * hash_unit(self.key(FaultClass::CacheCorruption, [artifact_key, 1, 0, 0]));
+        Some(frac)
+    }
+
+    /// Deterministic retry backoff in simulated microseconds for retry
+    /// `attempt` (1-based): exponential, base 250us.
+    pub fn backoff_us(attempt: u64) -> f64 {
+        250.0 * (1u64 << attempt.min(16)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_never_fires() {
+        let f = FaultConfig::off();
+        assert!(!f.enabled());
+        for id in 0..200 {
+            for class in FaultClass::ALL {
+                assert!(!f.roll(class, id, 1, 2, 3));
+            }
+        }
+        assert!(!f.gpu_outage(0));
+        assert!(f.corrupt_artifact(42).is_none());
+    }
+
+    #[test]
+    fn rolls_are_deterministic_and_seed_sensitive() {
+        let a = FaultConfig::uniform(0.5, 1);
+        let b = FaultConfig::uniform(0.5, 2);
+        let mut diff = 0;
+        for id in 0..500u64 {
+            let ra = a.roll(FaultClass::Transient, id, 0, 0, 0);
+            assert_eq!(ra, a.roll(FaultClass::Transient, id, 0, 0, 0));
+            if ra != b.roll(FaultClass::Transient, id, 0, 0, 0) {
+                diff += 1;
+            }
+        }
+        assert!(diff > 100, "seeds barely differ: {diff}");
+    }
+
+    #[test]
+    fn rates_are_respected() {
+        let f = FaultConfig::uniform(0.05, 9);
+        let n = 20_000u64;
+        let hits = (0..n)
+            .filter(|&id| f.roll(FaultClass::Drop, id, 1, 1, 0))
+            .count() as f64;
+        let rate = hits / n as f64;
+        assert!((rate - 0.05).abs() < 0.01, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        // The same coordinates must not fire all classes in lockstep.
+        let f = FaultConfig::uniform(0.5, 7);
+        let mut agree = 0;
+        for id in 0..1000u64 {
+            if f.roll(FaultClass::Transient, id, 0, 0, 0) == f.roll(FaultClass::Spike, id, 0, 0, 0)
+            {
+                agree += 1;
+            }
+        }
+        assert!((300..700).contains(&agree), "classes correlated: {agree}");
+    }
+
+    #[test]
+    fn spike_magnitude_in_range() {
+        let f = FaultConfig::uniform(1.0, 3);
+        for id in 0..500 {
+            let m = f.spike_magnitude(id, 1, 2, 0);
+            assert!((5.0..=50.0).contains(&m), "magnitude {m}");
+        }
+    }
+
+    #[test]
+    fn trial_jitter_is_mild_and_centered() {
+        let f = FaultConfig::uniform(0.05, 11);
+        let vals: Vec<f64> = (0..2000u64).map(|id| f.trial_jitter(id, 0, 0, 1)).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "jitter mean {mean}");
+        for v in vals {
+            assert!((0.85..=1.2).contains(&v), "jitter {v}");
+        }
+    }
+
+    #[test]
+    fn trial_jitter_is_antithetic_around_an_unjittered_center() {
+        let f = FaultConfig::uniform(0.05, 11);
+        assert_eq!(f.trial_jitter(42, 1, 2, 0), 1.0, "trial 0 is the center");
+        for pair in 1..4u64 {
+            let up = f.trial_jitter(42, 1, 2, 2 * pair - 1);
+            let down = f.trial_jitter(42, 1, 2, 2 * pair);
+            assert!(
+                (up * down - 1.0).abs() < 1e-12,
+                "pair {pair}: {up} * {down} != 1"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_is_exponential() {
+        assert_eq!(FaultConfig::backoff_us(1), 500.0);
+        assert_eq!(FaultConfig::backoff_us(2), 1000.0);
+        assert_eq!(FaultConfig::backoff_us(3), 2000.0);
+    }
+
+    #[test]
+    fn outage_is_per_gpu_not_per_cell() {
+        let mut cfg = FaultConfig::off();
+        cfg.rates.gpu_outage = 1.0;
+        assert!(cfg.gpu_outage(0) && cfg.gpu_outage(1) && cfg.gpu_outage(2));
+        cfg.rates.gpu_outage = 0.0;
+        assert!(!cfg.gpu_outage(0));
+    }
+}

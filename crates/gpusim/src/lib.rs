@@ -28,11 +28,16 @@
 
 pub mod bench;
 pub mod cost;
+pub mod faults;
 pub mod model;
 pub mod noise;
 pub mod spec;
 
-pub use bench::{benchmark_corpus, BenchResult};
+pub use bench::{
+    benchmark_corpus, label_distribution, measure_corpus, BenchError, BenchOutcome, BenchResult,
+    CorpusBench, FaultCounters, TrialPolicy,
+};
 pub use cost::{conversion_cost_relative, estimate_benchmark_hours, ConversionCostModel};
+pub use faults::{FaultClass, FaultConfig, FaultRates, FAULTS_ENV, FAULT_SEED_ENV};
 pub use model::{best_format, explain_times, predict_times, SpmvTimes, TimeBreakdown};
 pub use spec::{pascal_gtx1080, turing_rtx8000, volta_v100, Gpu, GpuSpec, KernelCoeffs};

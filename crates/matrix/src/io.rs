@@ -116,8 +116,23 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
         });
     }
     let (nrows, ncols, declared_nnz) = (dims[0], dims[1], dims[2]);
+    // Guard against absurd size lines before trusting them: the dense
+    // extent must be representable and the entry count cannot exceed it.
+    let dense = nrows.checked_mul(ncols).ok_or_else(|| MatrixError::Parse {
+        line: lineno,
+        msg: format!("dimension overflow: {nrows} x {ncols}"),
+    })?;
+    if declared_nnz > dense {
+        return Err(MatrixError::Parse {
+            line: lineno,
+            msg: format!("declared {declared_nnz} entries exceed {nrows} x {ncols} capacity"),
+        });
+    }
 
-    let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(declared_nnz);
+    // Cap preallocation so a corrupt size line cannot trigger a huge
+    // allocation before any entry is parsed.
+    const PREALLOC_CAP: usize = 1 << 20;
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(declared_nnz.min(PREALLOC_CAP));
     let mut seen = 0usize;
     for (i, line) in lines {
         let line = line?;
@@ -159,6 +174,12 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
                     msg: format!("bad value: {e}"),
                 })?,
         };
+        if !v.is_finite() {
+            return Err(MatrixError::Parse {
+                line: i + 1,
+                msg: format!("non-finite value `{v}`"),
+            });
+        }
         let (r, c) = (r - 1, c - 1);
         triplets.push((r, c, v));
         match symmetry {
@@ -285,5 +306,64 @@ mod tests {
         let text = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 1 7\n";
         let m = read_matrix_market(text.as_bytes()).unwrap();
         assert_eq!(m.values(), &[7.0]);
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        // Header but no size line.
+        let err = read_matrix_market("%%MatrixMarket matrix coordinate real general\n".as_bytes())
+            .unwrap_err();
+        assert!(matches!(err, MatrixError::Parse { .. }), "{err}");
+        // Size line promises more entries than the body delivers.
+        let text = "%%MatrixMarket matrix coordinate real general\n3 3 3\n1 1 1.0\n2 2 2.0\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("declared 3 entries"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_symmetry_token() {
+        let text = "%%MatrixMarket matrix coordinate real hermitian\n2 2 1\n1 1 1.0\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unsupported symmetry"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for bad in ["inf", "-inf", "nan", "1e999"] {
+            let text = format!("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 {bad}\n");
+            let err = read_matrix_market(text.as_bytes()).unwrap_err();
+            assert!(
+                err.to_string().contains("non-finite value"),
+                "`{bad}`: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_dimension_overflow() {
+        let text = format!(
+            "%%MatrixMarket matrix coordinate real general\n{n} {n} 1\n1 1 1.0\n",
+            n = usize::MAX
+        );
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("dimension overflow"), "{err}");
+    }
+
+    #[test]
+    fn rejects_nnz_beyond_capacity() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 9\n1 1 1.0\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("exceed"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_after_symmetric_expansion() {
+        // (2,1) stored explicitly and also produced by expanding (1,2).
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n2 1 1.0\n2 1 2.0\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, MatrixError::DuplicateEntry { .. }),
+            "expected duplicate-entry error, got {err}"
+        );
     }
 }

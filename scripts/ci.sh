@@ -27,4 +27,18 @@ cargo test -q --offline
 echo "==> cargo test (full workspace)"
 cargo test -q --offline --workspace
 
+echo "==> fault-injection smoke (table binaries under 5% faults)"
+cargo build -q --release --offline -p spsel-bench --bin table2 --bin table3
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+# table2 is static but must still accept and survive the fault flags.
+./target/release/table2 --faults 0.05 >/dev/null
+# table3 benchmarks a small corpus under faults: it must exit 0 and its
+# run report must carry an enabled degradation section.
+./target/release/table3 --quick --no-cache --faults 0.05 \
+    --json "$SMOKE_DIR/table3.json" >/dev/null
+REPORT="$SMOKE_DIR/table3.json.report.json"
+grep -q '"degradation"' "$REPORT"
+grep -q '"faults_enabled": *true' "$REPORT"
+
 echo "CI green."

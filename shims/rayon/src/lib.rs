@@ -22,6 +22,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 static FORCE_SERIAL: AtomicBool = AtomicBool::new(false);
 
+/// Worker-count override: 0 = unset (fall back to `SPSEL_THREADS`, then
+/// hardware parallelism).
+static FORCE_THREADS: AtomicUsize = AtomicUsize::new(0);
+
 /// Force all parallel drivers onto the calling thread (used by the
 /// determinism tests; also controllable via `SPSEL_SERIAL=1`).
 pub fn set_serial(on: bool) {
@@ -34,15 +38,33 @@ pub fn serial_forced() -> bool {
         || std::env::var_os("SPSEL_SERIAL").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
-/// Worker count the drivers will use.
+/// Pin the worker count (`None` restores the default). The thread-sweep
+/// tests use this to prove output is bit-identical at any width; the
+/// `SPSEL_THREADS` environment variable offers the same control externally.
+pub fn set_threads(n: Option<usize>) {
+    FORCE_THREADS.store(n.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Worker count the drivers will use: `set_serial` wins, then
+/// `set_threads`, then `SPSEL_THREADS`, then hardware parallelism.
 pub fn current_num_threads() -> usize {
     if serial_forced() {
-        1
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        return 1;
     }
+    let forced = FORCE_THREADS.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = std::env::var_os("SPSEL_THREADS")
+        .and_then(|v| v.into_string().ok())
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Pointer wrapper so workers can write disjoint output slots.
@@ -546,6 +568,19 @@ mod tests {
             t.to_bits(),
             "parallel sum must be bit-identical"
         );
+    }
+
+    #[test]
+    fn thread_override_gives_identical_results() {
+        let v: Vec<u64> = (0..8_192).collect();
+        let base: Vec<u64> = v.par_iter().map(|&x| x.rotate_left(7) ^ x).collect();
+        for workers in [1, 2, 4, 8] {
+            super::set_threads(Some(workers));
+            assert_eq!(super::current_num_threads(), workers);
+            let got: Vec<u64> = v.par_iter().map(|&x| x.rotate_left(7) ^ x).collect();
+            assert_eq!(got, base, "{workers} workers diverged");
+        }
+        super::set_threads(None);
     }
 
     #[test]

@@ -47,7 +47,8 @@ fn supervised_end_to_end_learns_the_labels() {
     let labels: Vec<Format> = results.iter().map(|r| r.best).collect();
     for model in [SupervisedModel::Rf, SupervisedModel::Xgb] {
         let sel =
-            SupervisedSelector::fit(&features, None, &labels, SupervisedConfig::quick(model, 3));
+            SupervisedSelector::fit(&features, None, &labels, SupervisedConfig::quick(model, 3))
+                .unwrap();
         let preds = sel.predict_batch(&features, None);
         let q = selection_quality(&preds, &results);
         assert!(q.acc > 0.9, "{model}: training accuracy {}", q.acc);

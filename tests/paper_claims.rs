@@ -121,7 +121,7 @@ fn purity_bounds_vote_accuracy() {
     let ctx = ctx();
     let ds = ctx.dataset(Gpu::Volta);
     let features = ctx.features(&ds);
-    let results = ctx.results(Gpu::Volta, &ds);
+    let results = ctx.results(Gpu::Volta, &ds).unwrap();
     let labels: Vec<Format> = results.iter().map(|r| r.best).collect();
     let cfg = SemiConfig::new(ClusterMethod::KMeans { nc: 25 }, Labeler::Vote, 11);
     let sel = SemiSupervisedSelector::fit(&features, &labels, cfg);

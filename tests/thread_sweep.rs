@@ -1,0 +1,62 @@
+//! Thread-count sweep: the rayon shim's index-addressed slots promise
+//! bit-identical output at any worker count. Prove it end-to-end through
+//! corpus generation, benchmarking, and the fault-tolerant measurement
+//! path (`SPSEL_THREADS` offers the same control from the environment).
+
+use spselect::core::corpus::{Corpus, CorpusConfig};
+use spselect::gpusim::{FaultConfig, Gpu, TrialPolicy};
+
+#[test]
+fn corpus_and_benches_are_bit_identical_at_any_worker_count() {
+    let cfg = CorpusConfig::small(24, 99);
+    let faults = FaultConfig::uniform(0.05, 7);
+    let policy = TrialPolicy::default();
+
+    let build = || {
+        let corpus = Corpus::build(cfg.clone());
+        let benches: Vec<_> = Gpu::ALL.iter().map(|&g| corpus.benchmark(g)).collect();
+        let measured: Vec<_> = Gpu::ALL
+            .iter()
+            .map(|&g| corpus.measure(g, &faults, &policy).results())
+            .collect();
+        (corpus, benches, measured)
+    };
+
+    rayon::set_threads(Some(1));
+    let (base_corpus, base_benches, base_measured) = build();
+    let base_ids: Vec<u64> = base_corpus.records.iter().map(|r| r.id).collect();
+
+    for workers in [2, 4, 8] {
+        rayon::set_threads(Some(workers));
+        let (corpus, benches, measured) = build();
+        let ids: Vec<u64> = corpus.records.iter().map(|r| r.id).collect();
+        assert_eq!(ids, base_ids, "{workers} workers: corpus diverged");
+        for (g, gpu) in Gpu::ALL.iter().enumerate() {
+            for i in 0..corpus.len() {
+                let same_bench = match (benches[g][i], base_benches[g][i]) {
+                    (Some(a), Some(b)) => {
+                        a.times.us.map(f64::to_bits) == b.times.us.map(f64::to_bits)
+                    }
+                    (None, None) => true,
+                    _ => false,
+                };
+                assert!(
+                    same_bench,
+                    "{workers} workers: {gpu} bench record {i} diverged"
+                );
+                let same_measured = match (measured[g][i], base_measured[g][i]) {
+                    (Some(a), Some(b)) => {
+                        a.times.us.map(f64::to_bits) == b.times.us.map(f64::to_bits)
+                    }
+                    (None, None) => true,
+                    _ => false,
+                };
+                assert!(
+                    same_measured,
+                    "{workers} workers: {gpu} faulty measurement {i} diverged"
+                );
+            }
+        }
+    }
+    rayon::set_threads(None);
+}
