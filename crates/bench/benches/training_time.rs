@@ -88,5 +88,32 @@ fn bench_training(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_training);
+/// Corpus-scale tree ensembles: the two heaviest trainers at full paper
+/// configuration (100 trees / 100 boosting rounds) on a 2000x21 problem,
+/// the size the augmented corpus presents per GPU.
+fn bench_training_corpus_scale(c: &mut Criterion) {
+    let data = dataset(2_000, 5);
+    let mut group = c.benchmark_group("train_2000x21");
+    group.sample_size(10);
+    group.bench_function("rf_100", |b| {
+        b.iter(|| {
+            let mut m = RandomForest::new(RandomForestParams::default());
+            m.fit(&data);
+            m
+        })
+    });
+    group.bench_function("xgboost_100r", |b| {
+        b.iter(|| {
+            let mut m = GradientBoosting::new(GradientBoostingParams {
+                n_rounds: 100,
+                ..Default::default()
+            });
+            m.fit(&data);
+            m
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_training_corpus_scale);
 criterion_main!(benches);

@@ -13,13 +13,16 @@ fn main() {
 
     println!("Ablation studies (GPU: Turing unless noted)\n");
 
-    let t = h.time("transforms", || {
+    // Each sweep goes through the experiment cache under its own key:
+    // the params tuple captures every input beyond the shared context.
+    let t = h.cached_experiment("transforms", &ctx, &("Turing", nc, 17u64), || {
         ablation::transforms(&ctx, Gpu::Turing, nc, 17)
     });
     println!("{}", ablation::render_transforms(&t));
 
     let dims = [2usize, 4, 8, 12, 16];
-    let pca = h.time("pca_sweep", || {
+    let pca_params = ("Turing", dims, (nc, folds, 17u64));
+    let pca = h.cached_experiment("pca_sweep", &ctx, &pca_params, || {
         ablation::pca_sweep(&ctx, Gpu::Turing, &dims, nc, folds, 17)
     });
     println!("{}", ablation::render_pca(&pca));
@@ -29,13 +32,15 @@ fn main() {
     } else {
         vec![25, 50, 100, 200, 400, 800]
     };
-    let ncp = h.time("nc_sweep", || {
+    let nc_params = ("Turing", ncs.clone(), (folds, 17u64));
+    let ncp = h.cached_experiment("nc_sweep", &ctx, &nc_params, || {
         ablation::nc_sweep(&ctx, Gpu::Turing, &ncs, folds, 17)
     });
     println!("{}", ablation::render_nc(&ncp));
 
     let votes = [1usize, 2, 4, 8, 1_000_000];
-    let vp = h.time("votes_per_cluster", || {
+    let votes_params = ("Pascal", votes, (nc, folds, 17u64));
+    let vp = h.cached_experiment("votes_per_cluster", &ctx, &votes_params, || {
         ablation::votes_per_cluster(&ctx, Gpu::Pascal, &votes, nc, folds, 17)
     });
     println!("{}", ablation::render_votes(&vp));

@@ -12,12 +12,36 @@
 //! The report records `parallel_speedup` (1 vs 2) and `cache_speedup`
 //! (2 vs 3), and the run asserts that parallel and serial construction
 //! produce bit-identical corpora and benchmark results.
+//!
+//! It then measures the training phase on the real corpus: per-model fit
+//! time, the presorted-vs-naive split-search speedup for the tree family,
+//! and a cold/warm demonstration of the per-table experiment cache (a
+//! warm Table 4 rerun must be served entirely from disk).
 
 use spsel_bench::HarnessOptions;
 use spsel_core::cache::Cache;
-use spsel_core::experiments::ExperimentContext;
+use spsel_core::experiments::{table4, ExperimentContext};
 use spsel_core::telemetry::RunReport;
+use spsel_gpusim::Gpu;
+use spsel_matrix::Format;
+use spsel_ml::forest::{RandomForest, RandomForestParams};
+use spsel_ml::gboost::{GradientBoosting, GradientBoostingParams};
+use spsel_ml::knn::KnnClassifier;
+use spsel_ml::tree::{DecisionTree, DecisionTreeParams};
+use spsel_ml::{Classifier, Dataset};
 use std::time::Instant;
+
+/// Milliseconds of the fastest of three runs of `f` (best-of-n damps
+/// scheduler noise without a full Criterion session).
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
 
 fn main() {
     let mut h = HarnessOptions::open();
@@ -82,7 +106,130 @@ fn main() {
     println!("parallel speedup (cold serial / cold parallel): {parallel_speedup:.2}x");
     println!("cache speedup    (cold parallel / warm cached): {cache_speedup:.2}x");
 
+    // 4. Training phase on the real corpus: the Turing dataset, labels
+    //    from the modeled benchmarks — exactly what the supervised
+    //    experiments train on.
+    let ds = parallel_ctx.dataset(Gpu::Turing);
+    let features = parallel_ctx.features(&ds);
+    let results = parallel_ctx
+        .results(Gpu::Turing, &ds)
+        .expect("feasible Turing dataset");
+    let x: Vec<Vec<f64>> = features.iter().map(|f| f.as_slice().to_vec()).collect();
+    let y: Vec<usize> = results.iter().map(|r| r.best.index()).collect();
+    let data = Dataset::new(x, y, Format::COUNT);
+    eprintln!(
+        "training set: {} samples x {} features",
+        data.len(),
+        data.dim()
+    );
+
+    let dt_params = DecisionTreeParams {
+        max_depth: Some(20),
+        seed: 17,
+        ..Default::default()
+    };
+    let dt_naive_ms = time_ms(|| DecisionTree::new(dt_params.clone()).fit_naive(&data));
+    let dt_presorted_ms = time_ms(|| DecisionTree::new(dt_params.clone()).fit(&data));
+    let gb_params = GradientBoostingParams {
+        n_rounds: if h.opts.quick { 10 } else { 100 },
+        ..Default::default()
+    };
+    let gboost_naive_ms = time_ms(|| GradientBoosting::new(gb_params.clone()).fit_naive(&data));
+    let gboost_presorted_ms = time_ms(|| GradientBoosting::new(gb_params.clone()).fit(&data));
+    let rf_fit_ms = time_ms(|| {
+        RandomForest::new(RandomForestParams {
+            n_estimators: if h.opts.quick { 20 } else { 100 },
+            max_depth: Some(6),
+            seed: 17,
+            ..Default::default()
+        })
+        .fit(&data)
+    });
+    let knn_fit_ms = time_ms(|| KnnClassifier::new(5).fit(&data));
+    let training = TrainingSummary {
+        samples: data.len(),
+        dt_naive_ms,
+        dt_presorted_ms,
+        dt_split_speedup: dt_naive_ms / dt_presorted_ms,
+        gboost_naive_ms,
+        gboost_presorted_ms,
+        gboost_split_speedup: gboost_naive_ms / gboost_presorted_ms,
+        tree_family_speedup: (dt_naive_ms + gboost_naive_ms)
+            / (dt_presorted_ms + gboost_presorted_ms),
+        rf_fit_ms,
+        knn_fit_ms,
+    };
+    h.report.record("train_dt_naive", dt_naive_ms / 1e3);
+    h.report.record("train_dt_presorted", dt_presorted_ms / 1e3);
+    h.report.record("train_gboost_naive", gboost_naive_ms / 1e3);
+    h.report
+        .record("train_gboost_presorted", gboost_presorted_ms / 1e3);
+    h.report.record("train_rf", rf_fit_ms / 1e3);
+    h.report.record("train_knn", knn_fit_ms / 1e3);
+    println!(
+        "split-search speedup (naive / presorted): dt {:.2}x, xgboost {:.2}x, \
+         tree family {:.2}x",
+        training.dt_split_speedup, training.gboost_split_speedup, training.tree_family_speedup
+    );
+    println!(
+        "fit time: dt {dt_presorted_ms:.0}ms, rf {rf_fit_ms:.0}ms, \
+         xgboost {gboost_presorted_ms:.0}ms, knn {knn_fit_ms:.0}ms"
+    );
+
+    // 5. Experiment cache, cold vs warm: a Table 4 run stored once must
+    //    be served from disk with zero training on the rerun.
+    let exp_dir = format!("{dir}-exp");
+    let exp_cache = Cache::new(&exp_dir);
+    let t4cfg = table4::Table4Config {
+        nc_candidates: vec![25, 50],
+        folds: 3,
+        seed: 17,
+    };
+    let digest = parallel_ctx.digest();
+    let start = Instant::now();
+    assert!(
+        exp_cache
+            .load_experiment::<table4::Table4, _>("table4", digest, &t4cfg)
+            .is_none(),
+        "fresh experiment cache must miss"
+    );
+    let cold_t4 = table4::run(&parallel_ctx, &t4cfg);
+    exp_cache.store_experiment("table4", digest, &t4cfg, &cold_t4);
+    let exp_cold_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let warm_t4: table4::Table4 = exp_cache
+        .load_experiment("table4", digest, &t4cfg)
+        .expect("warm experiment rerun must hit");
+    let exp_warm_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        serde_json::to_string(&warm_t4).unwrap(),
+        serde_json::to_string(&cold_t4).unwrap(),
+        "cached table differs from computed"
+    );
+    let exp_report = exp_cache.report();
+    assert_eq!(
+        (exp_report.experiment_hits, exp_report.experiment_misses),
+        (1, 1),
+        "expected exactly one miss (cold) and one hit (warm)"
+    );
+    h.report.record("experiment_cold", exp_cold_s);
+    h.report.record("experiment_warm", exp_warm_s);
+    let experiment_cache = ExperimentCacheSummary {
+        cold_s: exp_cold_s,
+        warm_s: exp_warm_s,
+        speedup: exp_cold_s / exp_warm_s,
+        hits: exp_report.experiment_hits,
+        misses: exp_report.experiment_misses,
+        stores: exp_report.experiment_stores,
+    };
+    println!(
+        "experiment cache (table4): cold {exp_cold_s:.2}s, warm {exp_warm_s:.4}s \
+         ({:.0}x), {} hit / {} miss",
+        experiment_cache.speedup, exp_report.experiment_hits, exp_report.experiment_misses
+    );
+
     let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&exp_dir);
     h.finish(&PerfSummary {
         parallel_speedup,
         cache_speedup,
@@ -90,6 +237,8 @@ fn main() {
         cold_parallel_s: cold_s,
         warm_cached_s: warm_s,
         threads: rayon::current_num_threads(),
+        training,
+        experiment_cache,
     });
 }
 
@@ -101,4 +250,35 @@ struct PerfSummary {
     cold_parallel_s: f64,
     warm_cached_s: f64,
     threads: usize,
+    training: TrainingSummary,
+    experiment_cache: ExperimentCacheSummary,
+}
+
+/// Fit times on the per-GPU corpus dataset, plus the naive-vs-presorted
+/// split-search comparison backing the tree-family speedup claim.
+#[derive(serde::Serialize)]
+struct TrainingSummary {
+    samples: usize,
+    dt_naive_ms: f64,
+    dt_presorted_ms: f64,
+    dt_split_speedup: f64,
+    gboost_naive_ms: f64,
+    gboost_presorted_ms: f64,
+    gboost_split_speedup: f64,
+    /// Combined (dt + gboost) naive / presorted ratio — the headline
+    /// training-phase speedup.
+    tree_family_speedup: f64,
+    rf_fit_ms: f64,
+    knn_fit_ms: f64,
+}
+
+/// Cold compute-and-store vs warm load-from-disk for one Table 4 run.
+#[derive(serde::Serialize)]
+struct ExperimentCacheSummary {
+    cold_s: f64,
+    warm_s: f64,
+    speedup: f64,
+    hits: u64,
+    misses: u64,
+    stores: u64,
 }

@@ -20,7 +20,7 @@ fn main() {
         "running 9 algorithms x 3 GPUs ({} NC candidates)...",
         cfg.nc_candidates.len()
     );
-    let t = h.time("experiment", || table4::run(&ctx, &cfg));
+    let t = h.cached_experiment("table4", &ctx, &cfg, || table4::run(&ctx, &cfg));
     println!("Table 4: semi-supervised performance per clustering algorithm\n");
     println!("{}", t.render());
     h.finish(&t);

@@ -22,7 +22,7 @@ fn main() {
             "no (pass --images)"
         }
     );
-    let t = h.time("experiment", || table6::run(&ctx, &cfg));
+    let t = h.cached_experiment("table6", &ctx, &cfg, || table6::run(&ctx, &cfg));
     println!("Table 6: performance of supervised ML models per GPU\n");
     println!("{}", t.render());
     h.finish(&t);

@@ -12,7 +12,7 @@ fn main() {
         quick: h.opts.quick,
     };
     eprintln!("running 5 transfer pairs x 5 models x 3 budgets...");
-    let t = h.time("experiment", || table7::run(&ctx, &cfg));
+    let t = h.cached_experiment("table7", &ctx, &cfg, || table7::run(&ctx, &cfg));
     println!("Table 7: supervised format selection under transfer\n");
     println!("{}", t.render());
     h.finish(&t);

@@ -221,6 +221,43 @@ impl Harness {
         self.report.time(name, f)
     }
 
+    /// Run the experiment phase through the per-table result cache.
+    ///
+    /// The key covers the experiment code version, the table name, a
+    /// digest of the full experiment context (corpus config + every
+    /// benchmark measurement, bit-for-bit) and the experiment parameters,
+    /// so a warm rerun with identical inputs loads the finished table
+    /// from disk and skips training/CV entirely. Falls back to computing
+    /// (and storing the result) on a miss. Bypassed — straight to `f` —
+    /// when caching is disabled or fault injection is active: degraded
+    /// results must not be served to later clean runs. The phase in the
+    /// run report is named after `table`, hit or miss.
+    pub fn cached_experiment<T, P>(
+        &mut self,
+        table: &str,
+        ctx: &ExperimentContext,
+        params: &P,
+        f: impl FnOnce() -> T,
+    ) -> T
+    where
+        T: serde::Serialize + serde::Deserialize,
+        P: serde::Serialize,
+    {
+        if !self.cache.enabled() || self.opts.faults.enabled() {
+            return self.report.time(table, f);
+        }
+        let digest = ctx.digest();
+        let start = std::time::Instant::now();
+        if let Some(cached) = self.cache.load_experiment::<T, P>(table, digest, params) {
+            self.report.record(table, start.elapsed().as_secs_f64());
+            eprintln!("experiment cache: warm hit for {table} — skipping training");
+            return cached;
+        }
+        let out = self.report.time(table, f);
+        self.cache.store_experiment(table, digest, params, &out);
+        out
+    }
+
     /// Write a serializable result as JSON if `--json` was given.
     pub fn write_json<T: serde::Serialize>(&self, value: &T) {
         if let Some(path) = &self.opts.json_out {

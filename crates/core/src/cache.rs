@@ -1,4 +1,5 @@
-//! Persistent on-disk cache for corpus construction and GPU benchmarking.
+//! Persistent on-disk cache for corpus construction, GPU benchmarking,
+//! and per-table experiment results.
 //!
 //! Artifacts live under a cache directory (default `results/cache/`), one
 //! JSON file per artifact, named by a stable FNV-1a hash of everything
@@ -7,10 +8,20 @@
 //! * corpus files — `(CORPUS_VERSION, CorpusConfig)`;
 //! * benchmark files — `(CORPUS_VERSION, CorpusConfig, Gpu)`, with every
 //!   entry additionally tagged by its record index and record id, which
-//!   are re-validated on load.
+//!   are re-validated on load;
+//! * experiment files — `(EXPERIMENT_VERSION, table name, context digest,
+//!   experiment params)`, so a warm rerun of a table binary skips model
+//!   training entirely.
+//!
+//! Keys are built by feeding explicit primitive bit patterns through
+//! [`KeyWriter`] — integers little-endian, floats via `f64::to_bits` — so
+//! key stability never depends on a serializer's float formatting.
 //!
 //! Any change to the corpus generator or benchmark model must bump
-//! [`CORPUS_VERSION`], which invalidates every cached artifact at once.
+//! [`CORPUS_VERSION`], which invalidates every cached artifact at once;
+//! any change to experiment semantics (protocols, models, metrics) must
+//! bump [`EXPERIMENT_VERSION`], which invalidates the experiment layer
+//! while keeping the more expensive corpus/benchmark artifacts.
 //!
 //! The cache is strictly best-effort and corruption-tolerant: a missing,
 //! truncated, stale, or otherwise unreadable file is a cache miss and the
@@ -36,6 +47,11 @@ use std::time::{Duration, SystemTime};
 /// stale cache entries can never be mistaken for current ones.
 pub const CORPUS_VERSION: u32 = 1;
 
+/// Version of the experiment semantics (CV protocols, models, metrics).
+/// Bump on any change that alters a table's numbers for the same context,
+/// so stale experiment results can never be mistaken for current ones.
+pub const EXPERIMENT_VERSION: u32 = 1;
+
 /// Environment variable that disables the cache when set to a non-empty
 /// value other than `0`.
 pub const NO_CACHE_ENV: &str = "SPSEL_NO_CACHE";
@@ -52,25 +68,89 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Stable hex key of a serializable cache-key structure.
-fn key_of<T: Serialize>(value: &T) -> String {
-    // The serde shim encodes objects in insertion order with shortest
-    // round-trip floats, so equal keys always produce equal bytes.
-    let bytes = serde_json::to_vec(value).expect("cache key serializes");
-    format!("{:016x}", fnv1a(&bytes))
+/// Incremental FNV-1a hasher for cache keys. Callers feed explicit
+/// primitive patterns — integers little-endian, strings as length-prefixed
+/// UTF-8, floats via [`f64::to_bits`] — so equal inputs always hash to
+/// equal keys regardless of how any serializer would format them.
+#[derive(Debug, Clone)]
+pub struct KeyWriter {
+    h: u64,
 }
 
-#[derive(Serialize)]
-struct CorpusKey {
-    version: u32,
-    config: CorpusConfig,
+impl Default for KeyWriter {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
-#[derive(Serialize)]
-struct BenchKey {
-    version: u32,
-    config: CorpusConfig,
-    gpu: String,
+impl KeyWriter {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        KeyWriter {
+            h: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Feed raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h ^= b as u64;
+            self.h = self.h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Feed a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Feed a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Feed a `usize` (widened to `u64` so keys match across platforms).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Feed a boolean as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.bytes(&[v as u8]);
+    }
+
+    /// Feed an `f64` as its exact IEEE-754 bit pattern: key stability is
+    /// independent of float formatting, and distinct values (including
+    /// `-0.0` vs `0.0`) hash distinctly.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Feed a string, length-prefixed so `("ab", "c")` ≠ `("a", "bc")`.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.bytes(s.as_bytes());
+    }
+
+    /// Feed every field of a corpus config (`size_scale` via `to_bits`).
+    pub fn corpus_config(&mut self, cfg: &CorpusConfig) {
+        self.usize(cfg.n_base);
+        self.usize(cfg.augment_copies);
+        self.u64(cfg.seed);
+        self.bool(cfg.with_images);
+        self.usize(cfg.image_resolution);
+        self.f64(cfg.size_scale);
+    }
+
+    /// Final hash value.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+
+    /// Final hash, formatted as the 16-hex-digit artifact-name key.
+    pub fn finish_hex(&self) -> String {
+        format!("{:016x}", self.h)
+    }
 }
 
 #[derive(Serialize, Deserialize)]
@@ -95,6 +175,22 @@ struct BenchFile {
     entries: Vec<BenchEntry>,
 }
 
+/// One cached experiment result. The payload is the table's result struct
+/// re-encoded as a JSON string so this envelope stays non-generic; the
+/// envelope fields are re-validated on load (hashes can collide and files
+/// can be renamed by hand).
+#[derive(Serialize, Deserialize)]
+struct ExperimentFile {
+    experiment_version: u32,
+    table: String,
+    /// Hex digest of the experiment context (corpus + benches).
+    context: String,
+    /// Canonical JSON of the experiment params.
+    params: String,
+    /// JSON of the result value.
+    payload: String,
+}
+
 #[derive(Default)]
 struct Counters {
     hits: AtomicU64,
@@ -102,6 +198,9 @@ struct Counters {
     stores: AtomicU64,
     corrupt: AtomicU64,
     corruption_injected: AtomicU64,
+    experiment_hits: AtomicU64,
+    experiment_misses: AtomicU64,
+    experiment_stores: AtomicU64,
 }
 
 /// Handle to the on-disk cache. Cheap to clone; clones share counters.
@@ -179,15 +278,18 @@ impl Cache {
             misses: self.counters.misses.load(Ordering::Relaxed),
             stores: self.counters.stores.load(Ordering::Relaxed),
             corrupt: self.counters.corrupt.load(Ordering::Relaxed),
+            experiment_hits: self.counters.experiment_hits.load(Ordering::Relaxed),
+            experiment_misses: self.counters.experiment_misses.load(Ordering::Relaxed),
+            experiment_stores: self.counters.experiment_stores.load(Ordering::Relaxed),
         }
     }
 
     /// Path of the corpus artifact for `cfg`.
     pub fn corpus_path(&self, cfg: &CorpusConfig) -> Option<PathBuf> {
-        let key = key_of(&CorpusKey {
-            version: CORPUS_VERSION,
-            config: cfg.clone(),
-        });
+        let mut w = KeyWriter::new();
+        w.u32(CORPUS_VERSION);
+        w.corpus_config(cfg);
+        let key = w.finish_hex();
         self.root
             .as_ref()
             .map(|r| r.join(format!("corpus-{key}.json")))
@@ -195,14 +297,34 @@ impl Cache {
 
     /// Path of the benchmark artifact for `(cfg, gpu)`.
     pub fn bench_path(&self, cfg: &CorpusConfig, gpu: Gpu) -> Option<PathBuf> {
-        let key = key_of(&BenchKey {
-            version: CORPUS_VERSION,
-            config: cfg.clone(),
-            gpu: gpu.name().to_string(),
-        });
+        let mut w = KeyWriter::new();
+        w.u32(CORPUS_VERSION);
+        w.corpus_config(cfg);
+        w.str(gpu.name());
+        let key = w.finish_hex();
         self.root
             .as_ref()
             .map(|r| r.join(format!("bench-{key}.json")))
+    }
+
+    /// Path of the experiment artifact for `(table, context digest,
+    /// params)`. `params` is hashed via its canonical JSON encoding.
+    pub fn experiment_path<P: Serialize>(
+        &self,
+        table: &str,
+        context_digest: u64,
+        params: &P,
+    ) -> Option<PathBuf> {
+        let params_json = serde_json::to_string(params).expect("experiment params serialize");
+        let mut w = KeyWriter::new();
+        w.u32(EXPERIMENT_VERSION);
+        w.str(table);
+        w.u64(context_digest);
+        w.str(&params_json);
+        let key = w.finish_hex();
+        self.root
+            .as_ref()
+            .map(|r| r.join(format!("experiment-{key}.json")))
     }
 
     fn hit(&self) {
@@ -353,6 +475,84 @@ impl Cache {
         };
         if write_json_atomic(&path, &file, self.store_corruption(&path)) {
             self.counters.stores.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Load a cached experiment result for `(table, context digest,
+    /// params)`, if a valid artifact exists. A hit means the warm rerun
+    /// skips the experiment's training/CV phase entirely.
+    pub fn load_experiment<T: Deserialize, P: Serialize>(
+        &self,
+        table: &str,
+        context_digest: u64,
+        params: &P,
+    ) -> Option<T> {
+        let path = self.experiment_path(table, context_digest, params)?;
+        let params_json = serde_json::to_string(params).expect("experiment params serialize");
+        let context = format!("{context_digest:016x}");
+        let loaded = match read_json::<ExperimentFile>(&path) {
+            ReadOutcome::Corrupt => {
+                self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.experiment_miss();
+                eprintln!("cache: corrupt artifact {} (recomputing)", path.display());
+                return None;
+            }
+            ReadOutcome::Missing => None,
+            ReadOutcome::Ok(file) => {
+                let valid = file.experiment_version == EXPERIMENT_VERSION
+                    && file.table == table
+                    && file.context == context
+                    && file.params == params_json;
+                if valid {
+                    serde_json::from_str::<T>(&file.payload).ok()
+                } else {
+                    None
+                }
+            }
+        };
+        match loaded {
+            Some(v) => {
+                self.counters
+                    .experiment_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                Self::touch(&path);
+                Some(v)
+            }
+            None => {
+                self.experiment_miss();
+                None
+            }
+        }
+    }
+
+    fn experiment_miss(&self) {
+        self.counters
+            .experiment_misses
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Persist an experiment result (best-effort).
+    pub fn store_experiment<T: Serialize, P: Serialize>(
+        &self,
+        table: &str,
+        context_digest: u64,
+        params: &P,
+        value: &T,
+    ) {
+        let Some(path) = self.experiment_path(table, context_digest, params) else {
+            return;
+        };
+        let file = ExperimentFile {
+            experiment_version: EXPERIMENT_VERSION,
+            table: table.to_string(),
+            context: format!("{context_digest:016x}"),
+            params: serde_json::to_string(params).expect("experiment params serialize"),
+            payload: serde_json::to_string(value).expect("experiment result serializes"),
+        };
+        if write_json_atomic(&path, &file, self.store_corruption(&path)) {
+            self.counters
+                .experiment_stores
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -527,5 +727,101 @@ mod tests {
         assert!(!report.enabled);
         // A disabled load is not a miss: the cache was never consulted.
         assert_eq!((report.hits, report.misses, report.stores), (0, 0, 0));
+        assert!(cache.experiment_path("t", 1, &0u32).is_none());
+        assert!(cache.load_experiment::<u32, _>("t", 1, &0u32).is_none());
+        assert_eq!(cache.report().experiment_misses, 0);
+    }
+
+    #[test]
+    fn key_writer_hashes_float_bit_patterns() {
+        // Keys must separate values that print identically under some
+        // formatters and must be exactly reproducible.
+        let mut a = KeyWriter::new();
+        a.f64(0.0);
+        let mut b = KeyWriter::new();
+        b.f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = KeyWriter::new();
+        c.f64(0.1 + 0.2);
+        let mut d = KeyWriter::new();
+        d.f64(0.3);
+        assert_ne!(c.finish(), d.finish(), "ulp-distinct floats must differ");
+
+        // Length-prefixed strings: no concatenation ambiguity.
+        let mut e = KeyWriter::new();
+        e.str("ab");
+        e.str("c");
+        let mut f = KeyWriter::new();
+        f.str("a");
+        f.str("bc");
+        assert_ne!(e.finish(), f.finish());
+
+        // size_scale reaches the corpus key as a bit pattern.
+        let mut base = CorpusConfig::small(10, 1);
+        let cache = Cache::new("/tmp/unused");
+        let p1 = cache.corpus_path(&base);
+        base.size_scale = f64::from_bits(base.size_scale.to_bits() + 1);
+        assert_ne!(p1, cache.corpus_path(&base));
+    }
+
+    #[test]
+    fn experiment_cache_round_trips_and_validates() {
+        let dir = std::env::temp_dir().join(format!("spsel-expcache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::new(&dir);
+
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Params {
+            folds: usize,
+            seed: u64,
+        }
+        let params = Params { folds: 5, seed: 17 };
+        let value: Vec<f64> = vec![0.25, -0.0, 1.5e-300];
+
+        // Cold: miss, then store.
+        assert!(cache
+            .load_experiment::<Vec<f64>, _>("table4", 0xAB, &params)
+            .is_none());
+        cache.store_experiment("table4", 0xAB, &params, &value);
+        let r = cache.report();
+        assert_eq!(
+            (r.experiment_hits, r.experiment_misses, r.experiment_stores),
+            (0, 1, 1)
+        );
+
+        // Warm: exact payload back, counted as an experiment hit.
+        let back: Vec<f64> = cache
+            .load_experiment("table4", 0xAB, &params)
+            .expect("warm hit");
+        assert_eq!(back.len(), value.len());
+        for (a, b) in back.iter().zip(&value) {
+            assert_eq!(a.to_bits(), b.to_bits(), "payload must round-trip bitwise");
+        }
+        assert_eq!(cache.report().experiment_hits, 1);
+
+        // Different table, digest, or params: separate entries, misses.
+        assert!(cache
+            .load_experiment::<Vec<f64>, _>("table6", 0xAB, &params)
+            .is_none());
+        assert!(cache
+            .load_experiment::<Vec<f64>, _>("table4", 0xAC, &params)
+            .is_none());
+        assert!(cache
+            .load_experiment::<Vec<f64>, _>("table4", 0xAB, &Params { folds: 3, seed: 17 })
+            .is_none());
+
+        // Experiment artifacts ride the standard GC.
+        let gc = cache.gc(&GcConfig {
+            max_bytes: 0,
+            max_age: Duration::from_secs(0),
+        });
+        assert_eq!(gc.scanned, 1);
+        assert_eq!(gc.evicted, 1);
+        assert!(cache
+            .load_experiment::<Vec<f64>, _>("table4", 0xAB, &params)
+            .is_none());
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

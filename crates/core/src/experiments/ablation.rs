@@ -12,6 +12,7 @@
 use super::ExperimentContext;
 use crate::semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
 use crate::speedup::selection_quality;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use spsel_features::{FeatureVector, Preprocessor};
 use spsel_gpusim::Gpu;
@@ -101,7 +102,10 @@ pub fn pca_sweep(
     let Ok(results) = ctx.results(gpu, &ds) else {
         return Vec::new(); // dataset indices are feasible by construction
     };
-    dims.iter()
+    // Grid points run through the parallel runtime; each derives its work
+    // from (dim, seed) alone and fills its own slot, so worker count does
+    // not change the sweep.
+    dims.par_iter()
         .map(|&dim| {
             let mut cfg = SemiConfig::new(ClusterMethod::KMeans { nc }, Labeler::Vote, seed);
             cfg.pca_dim = dim;
@@ -152,7 +156,7 @@ pub fn nc_sweep(
     let pre = Preprocessor::fit_rows(&rows, Some(8));
     let embedded: Vec<Vec<f64>> = rows.iter().map(|r| pre.embed_row(r)).collect();
 
-    ncs.iter()
+    ncs.par_iter()
         .map(|&nc| {
             let cfg = SemiConfig::new(ClusterMethod::KMeans { nc }, Labeler::Vote, seed);
             let q = crate::transfer::local_semi(&features, &results, cfg, folds, seed);
@@ -200,7 +204,7 @@ pub fn votes_per_cluster(
     let y: Vec<usize> = results.iter().map(|r| r.best.index()).collect();
 
     votes_options
-        .iter()
+        .par_iter()
         .map(|&votes| {
             let mut accs = Vec::new();
             let mut mccs = Vec::new();

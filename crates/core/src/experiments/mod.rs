@@ -171,6 +171,35 @@ impl ExperimentContext {
         }
     }
 
+    /// Canonical digest of everything an experiment's numbers can depend
+    /// on: corpus version + config (floats as bit patterns) and, per GPU,
+    /// every benchmark entry (presence, the four per-format timings as bit
+    /// patterns, and the best-format index). Two contexts with equal
+    /// digests produce bit-identical tables for equal experiment params,
+    /// which is what keys the experiment-phase cache.
+    pub fn digest(&self) -> u64 {
+        let mut w = crate::cache::KeyWriter::new();
+        w.u32(crate::cache::CORPUS_VERSION);
+        w.corpus_config(self.corpus.config());
+        w.usize(self.benches.len());
+        for per_gpu in &self.benches {
+            w.usize(per_gpu.len());
+            for entry in per_gpu {
+                match entry {
+                    None => w.bool(false),
+                    Some(r) => {
+                        w.bool(true);
+                        for &us in &r.times.us {
+                            w.f64(us);
+                        }
+                        w.usize(r.best.index());
+                    }
+                }
+            }
+        }
+        w.finish()
+    }
+
     /// Benchmark results for one GPU.
     pub fn bench(&self, gpu: Gpu) -> &[Option<BenchResult>] {
         &self.benches[gpu as usize]

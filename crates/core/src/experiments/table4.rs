@@ -4,6 +4,7 @@
 use super::{ExperimentContext, SemiRow};
 use crate::semi::{ClusterMethod, Labeler, SemiConfig};
 use crate::transfer::local_semi;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the Table 4 run.
@@ -53,62 +54,84 @@ const LABELERS: [Labeler; 3] = [
 ];
 
 /// Run the local semi-supervised evaluation on every surviving GPU.
+///
+/// The nine (clustering, labeler) cells of every GPU run through the
+/// parallel runtime: each cell reads shared inputs, derives all its work
+/// from `cfg.seed`, and fills only its own output slot, so any worker
+/// count produces the same table as a serial run.
 pub fn run(ctx: &ExperimentContext, cfg: &Table4Config) -> Table4 {
     let mut gpus = Vec::new();
-    let mut rows = Vec::new();
+    let mut inputs = Vec::new();
     for gpu in ctx.active_gpus() {
         let indices = ctx.dataset(gpu);
         let features = ctx.features(&indices);
         let Ok(results) = ctx.results(gpu, &indices) else {
             continue; // dataset indices are feasible by construction
         };
-        let mut gpu_rows = Vec::new();
+        gpus.push(gpu.name().to_string());
+        inputs.push((features, results));
+    }
+
+    let mut cells = Vec::new();
+    for g in 0..inputs.len() {
         for method in methods(0) {
             for labeler in LABELERS {
-                // Mean-Shift chooses its own cluster count; K-Means and
-                // Birch sweep the candidates and keep the best MCC.
-                let candidates: Vec<usize> = match method {
-                    ClusterMethod::MeanShift => vec![0],
-                    _ => cfg.nc_candidates.clone(),
-                };
-                let mut best: Option<SemiRow> = None;
-                for nc in candidates {
-                    let m = match method {
-                        ClusterMethod::KMeans { .. } => ClusterMethod::KMeans { nc },
-                        ClusterMethod::Birch { .. } => ClusterMethod::Birch { nc },
-                        ClusterMethod::MeanShift => ClusterMethod::MeanShift,
-                    };
-                    let semi_cfg = SemiConfig::new(m, labeler, cfg.seed);
-                    let q = local_semi(&features, &results, semi_cfg, cfg.folds, cfg.seed);
-                    // Report the NC actually used: for Mean-Shift, measure
-                    // the discovered cluster count on the full dataset.
-                    let nc_used = match m {
-                        ClusterMethod::MeanShift => crate::semi::SemiSupervisedSelector::fit(
-                            &features,
-                            &results.iter().map(|r| r.best).collect::<Vec<_>>(),
-                            semi_cfg,
-                        )
-                        .n_clusters(),
-                        _ => nc,
-                    };
-                    let row = SemiRow {
-                        algorithm: format!("{}-{}", m.name(), labeler.name()),
-                        nc: nc_used,
-                        mcc: q.mcc,
-                        acc: q.acc,
-                        f1: q.f1,
-                    };
-                    if best.as_ref().is_none_or(|b| row.mcc > b.mcc) {
-                        best = Some(row);
-                    }
-                }
-                if let Some(row) = best {
-                    gpu_rows.push(row);
-                }
+                cells.push((g, method, labeler));
             }
         }
-        gpus.push(gpu.name().to_string());
-        rows.push(gpu_rows);
+    }
+    let cells_per_gpu = methods(0).len() * LABELERS.len();
+
+    let computed: Vec<(usize, Option<SemiRow>)> = cells
+        .into_par_iter()
+        .map(|(g, method, labeler)| {
+            let (features, results) = &inputs[g];
+            // Mean-Shift chooses its own cluster count; K-Means and
+            // Birch sweep the candidates and keep the best MCC.
+            let candidates: Vec<usize> = match method {
+                ClusterMethod::MeanShift => vec![0],
+                _ => cfg.nc_candidates.clone(),
+            };
+            let mut best: Option<SemiRow> = None;
+            for nc in candidates {
+                let m = match method {
+                    ClusterMethod::KMeans { .. } => ClusterMethod::KMeans { nc },
+                    ClusterMethod::Birch { .. } => ClusterMethod::Birch { nc },
+                    ClusterMethod::MeanShift => ClusterMethod::MeanShift,
+                };
+                let semi_cfg = SemiConfig::new(m, labeler, cfg.seed);
+                let q = local_semi(features, results, semi_cfg, cfg.folds, cfg.seed);
+                // Report the NC actually used: for Mean-Shift, measure
+                // the discovered cluster count on the full dataset.
+                let nc_used = match m {
+                    ClusterMethod::MeanShift => crate::semi::SemiSupervisedSelector::fit(
+                        features,
+                        &results.iter().map(|r| r.best).collect::<Vec<_>>(),
+                        semi_cfg,
+                    )
+                    .n_clusters(),
+                    _ => nc,
+                };
+                let row = SemiRow {
+                    algorithm: format!("{}-{}", m.name(), labeler.name()),
+                    nc: nc_used,
+                    mcc: q.mcc,
+                    acc: q.acc,
+                    f1: q.f1,
+                };
+                if best.as_ref().is_none_or(|b| row.mcc > b.mcc) {
+                    best = Some(row);
+                }
+            }
+            (g, best)
+        })
+        .collect();
+
+    let mut rows: Vec<Vec<SemiRow>> = vec![Vec::with_capacity(cells_per_gpu); inputs.len()];
+    for (g, row) in computed {
+        if let Some(row) = row {
+            rows[g].push(row);
+        }
     }
     Table4 { gpus, rows }
 }

@@ -5,6 +5,7 @@ use super::ExperimentContext;
 use crate::speedup::SelectionQuality;
 use crate::supervised::{SupervisedConfig, SupervisedModel};
 use crate::transfer::local_supervised;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the Table 6 run.
@@ -52,13 +53,17 @@ pub struct Table6 {
 /// Run the supervised local evaluation on every surviving GPU. Models
 /// whose fit fails (e.g. the CNN on a corpus without images) are skipped
 /// with a note rather than aborting the table.
+///
+/// All (model, GPU) cells run through the parallel runtime: each cell
+/// derives its work from `cfg.seed` alone and fills only its own output
+/// slot, so any worker count produces the same table as a serial run.
 pub fn run(ctx: &ExperimentContext, cfg: &Table6Config) -> Table6 {
     let models: Vec<SupervisedModel> = SupervisedModel::ALL
         .into_iter()
         .filter(|m| cfg.with_cnn || !m.needs_images())
         .collect();
     let mut gpus = Vec::new();
-    let mut rows = Vec::new();
+    let mut inputs = Vec::new();
     for gpu in ctx.active_gpus() {
         let indices = ctx.dataset(gpu);
         let features = ctx.features(&indices);
@@ -66,26 +71,47 @@ pub fn run(ctx: &ExperimentContext, cfg: &Table6Config) -> Table6 {
         let Ok(results) = ctx.results(gpu, &indices) else {
             continue; // dataset indices are feasible by construction
         };
-        let mut gpu_rows = Vec::new();
+        gpus.push(gpu.name().to_string());
+        inputs.push((gpu, features, images, results));
+    }
+
+    let mut cells = Vec::new();
+    for g in 0..inputs.len() {
         for model in &models {
+            cells.push((g, *model));
+        }
+    }
+    let computed: Vec<(usize, Option<Table6Row>)> = cells
+        .into_par_iter()
+        .map(|(g, model)| {
+            let (gpu, features, images, results) = &inputs[g];
             let sup_cfg = if cfg.quick {
-                SupervisedConfig::quick(*model, cfg.seed)
+                SupervisedConfig::quick(model, cfg.seed)
             } else {
-                SupervisedConfig::new(*model, cfg.seed)
+                SupervisedConfig::new(model, cfg.seed)
             };
             let images_arg = model.needs_images().then_some(images.as_slice());
-            match local_supervised(
-                &features, images_arg, &results, sup_cfg, cfg.folds, cfg.seed,
-            ) {
-                Ok(quality) => gpu_rows.push(Table6Row {
-                    model: model.name().to_string(),
-                    quality,
-                }),
-                Err(e) => eprintln!("degradation: skipping {} on {gpu}: {e}", model.name()),
+            match local_supervised(features, images_arg, results, sup_cfg, cfg.folds, cfg.seed) {
+                Ok(quality) => (
+                    g,
+                    Some(Table6Row {
+                        model: model.name().to_string(),
+                        quality,
+                    }),
+                ),
+                Err(e) => {
+                    eprintln!("degradation: skipping {} on {gpu}: {e}", model.name());
+                    (g, None)
+                }
             }
+        })
+        .collect();
+
+    let mut rows: Vec<Vec<Table6Row>> = vec![Vec::with_capacity(models.len()); inputs.len()];
+    for (g, row) in computed {
+        if let Some(row) = row {
+            rows[g].push(row);
         }
-        gpus.push(gpu.name().to_string());
-        rows.push(gpu_rows);
     }
     Table6 { gpus, rows }
 }

@@ -6,6 +6,7 @@ use super::ExperimentContext;
 use crate::speedup::SelectionQuality;
 use crate::supervised::{SupervisedConfig, SupervisedModel};
 use crate::transfer::{transfer_supervised, RetrainBudget, TransferInput};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use spsel_gpusim::Gpu;
 
@@ -58,11 +59,15 @@ pub struct Table7 {
 
 /// Run the supervised transfer evaluation (pairs whose source or target
 /// GPU degraded away are skipped; models whose fit fails are skipped).
+///
+/// All (model, pair) cells run through the parallel runtime: each cell
+/// derives its work from `cfg.seed` alone and fills only its own output
+/// slot, so any worker count produces the same table as a serial run.
 pub fn run(ctx: &ExperimentContext, cfg: &Table7Config) -> Table7 {
     let common = ctx.common_subset();
     let features = ctx.features(&common);
     let active = ctx.active_gpus();
-    let mut pairs = Vec::new();
+    let mut live_pairs = Vec::new();
     for (source, target) in TABLE7_PAIRS {
         if !active.contains(&source) || !active.contains(&target) {
             eprintln!("degradation: skipping transfer {source} to {target} (GPU lost)");
@@ -73,14 +78,25 @@ pub fn run(ctx: &ExperimentContext, cfg: &Table7Config) -> Table7 {
         else {
             continue; // common subset is feasible on active GPUs
         };
-        let input = TransferInput {
-            features: &features,
-            images: None,
-            source: &source_results,
-            target: &target_results,
-        };
-        let mut rows = Vec::new();
+        live_pairs.push((source, target, source_results, target_results));
+    }
+
+    let mut cells = Vec::new();
+    for p in 0..live_pairs.len() {
         for model in SupervisedModel::TABULAR {
+            cells.push((p, model));
+        }
+    }
+    let computed: Vec<(usize, Option<Table7Row>)> = cells
+        .into_par_iter()
+        .map(|(p, model)| {
+            let (_, _, source_results, target_results) = &live_pairs[p];
+            let input = TransferInput {
+                features: &features,
+                images: None,
+                source: source_results,
+                target: target_results,
+            };
             let sup_cfg = if cfg.quick {
                 SupervisedConfig::quick(model, cfg.seed)
             } else {
@@ -96,14 +112,22 @@ pub fn run(ctx: &ExperimentContext, cfg: &Table7Config) -> Table7 {
                     }
                 }
             }
-            if budgets.len() == 3 {
-                rows.push(Table7Row {
-                    model: model.name().to_string(),
-                    budgets: [budgets[0], budgets[1], budgets[2]],
-                });
-            }
+            let row = (budgets.len() == 3).then(|| Table7Row {
+                model: model.name().to_string(),
+                budgets: [budgets[0], budgets[1], budgets[2]],
+            });
+            (p, row)
+        })
+        .collect();
+
+    let mut pairs: Vec<(Gpu, Gpu, Vec<Table7Row>)> = live_pairs
+        .iter()
+        .map(|&(source, target, ..)| (source, target, Vec::new()))
+        .collect();
+    for (p, row) in computed {
+        if let Some(row) = row {
+            pairs[p].2.push(row);
         }
-        pairs.push((source, target, rows));
     }
     Table7 { pairs }
 }

@@ -34,6 +34,13 @@ pub struct CacheReport {
     /// Misses caused specifically by an unreadable (truncated or
     /// garbage) artifact, as opposed to an absent or stale one.
     pub corrupt: u64,
+    /// Experiment-phase results served from disk (each one skips a whole
+    /// table's training/CV work).
+    pub experiment_hits: u64,
+    /// Experiment-phase results that had to be recomputed.
+    pub experiment_misses: u64,
+    /// Experiment-phase results written back to disk this run.
+    pub experiment_stores: u64,
 }
 
 /// One quarantined record: excluded from a GPU's dataset, with the reason.

@@ -1,10 +1,16 @@
 //! Evaluation protocols: local 5-fold cross-validation and the
 //! cross-architecture transfer experiment with 0 / 25 / 50 % retraining.
+//!
+//! Folds run through the parallel runtime's index-addressed drivers: every
+//! fold derives from the same `(folds, seed)` split and writes only its own
+//! output slot, so serial and parallel runs are bit-identical at any worker
+//! count (`tests/thread_sweep.rs` proves it).
 
 use crate::error::CoreResult;
 use crate::semi::{SemiConfig, SemiSupervisedSelector};
 use crate::speedup::{selection_quality, SelectionQuality};
 use crate::supervised::{SupervisedConfig, SupervisedSelector};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use spsel_features::{DensityImage, FeatureVector};
 use spsel_gpusim::BenchResult;
@@ -92,7 +98,7 @@ pub fn local_semi(
 ) -> SelectionQuality {
     let y: Vec<usize> = results.iter().map(|r| r.best.index()).collect();
     let qualities: Vec<SelectionQuality> = stratified_kfold(&y, Format::COUNT, folds, seed)
-        .into_iter()
+        .into_par_iter()
         .map(|(train, test)| {
             let sel = SemiSupervisedSelector::fit(
                 &features_of(features, &train),
@@ -117,19 +123,23 @@ pub fn local_supervised(
     seed: u64,
 ) -> CoreResult<SelectionQuality> {
     let y: Vec<usize> = results.iter().map(|r| r.best.index()).collect();
-    let mut qualities: Vec<SelectionQuality> = Vec::with_capacity(folds);
-    for (train, test) in stratified_kfold(&y, Format::COUNT, folds, seed) {
-        let train_imgs = images_of(images, &train);
-        let sel = SupervisedSelector::fit(
-            &features_of(features, &train),
-            train_imgs.as_deref(),
-            &labels_of(results, &train),
-            cfg,
-        )?;
-        let test_imgs = images_of(images, &test);
-        let preds = sel.predict_batch(&features_of(features, &test), test_imgs.as_deref());
-        qualities.push(selection_quality(&preds, &results_of(results, &test)));
-    }
+    let qualities: Vec<SelectionQuality> = stratified_kfold(&y, Format::COUNT, folds, seed)
+        .into_par_iter()
+        .map(|(train, test)| -> CoreResult<SelectionQuality> {
+            let train_imgs = images_of(images, &train);
+            let sel = SupervisedSelector::fit(
+                &features_of(features, &train),
+                train_imgs.as_deref(),
+                &labels_of(results, &train),
+                cfg,
+            )?;
+            let test_imgs = images_of(images, &test);
+            let preds = sel.predict_batch(&features_of(features, &test), test_imgs.as_deref());
+            Ok(selection_quality(&preds, &results_of(results, &test)))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect::<CoreResult<_>>()?;
     Ok(SelectionQuality::average(&qualities))
 }
 
@@ -145,40 +155,43 @@ pub fn transfer_semi_budgets(
     seed: u64,
 ) -> [SelectionQuality; 3] {
     let y_target: Vec<usize> = input.target.iter().map(|r| r.best.index()).collect();
-    let mut per_budget: [Vec<SelectionQuality>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for (train, test) in stratified_kfold(&y_target, Format::COUNT, folds, seed) {
-        let base = SemiSupervisedSelector::fit(
-            &features_of(input.features, &train),
-            &labels_of(input.source, &train),
-            cfg,
-        );
-        let test_features = features_of(input.features, &test);
-        let test_results = results_of(input.target, &test);
-        let train_y: Vec<usize> = train
-            .iter()
-            .map(|&i| input.target[i].best.index())
+    let per_fold: Vec<[SelectionQuality; 3]> =
+        stratified_kfold(&y_target, Format::COUNT, folds, seed)
+            .into_par_iter()
+            .map(|(train, test)| {
+                let base = SemiSupervisedSelector::fit(
+                    &features_of(input.features, &train),
+                    &labels_of(input.source, &train),
+                    cfg,
+                );
+                let test_features = features_of(input.features, &test);
+                let test_results = results_of(input.target, &test);
+                let train_y: Vec<usize> = train
+                    .iter()
+                    .map(|&i| input.target[i].best.index())
+                    .collect();
+                RetrainBudget::ALL.map(|budget| {
+                    let preds = if budget.fraction() > 0.0 {
+                        // Stratified subset of the training fold, benchmarked on
+                        // the target architecture.
+                        let sub =
+                            stratified_subsample(&train_y, Format::COUNT, budget.fraction(), seed);
+                        let sub_labels: Vec<Format> =
+                            sub.iter().map(|&p| input.target[train[p]].best).collect();
+                        let mut sel = base.clone();
+                        sel.relabel(&sub, &sub_labels);
+                        sel.predict_batch(&test_features)
+                    } else {
+                        base.predict_batch(&test_features)
+                    };
+                    selection_quality(&preds, &test_results)
+                })
+            })
             .collect();
-        for (b, budget) in RetrainBudget::ALL.into_iter().enumerate() {
-            let preds = if budget.fraction() > 0.0 {
-                // Stratified subset of the training fold, benchmarked on
-                // the target architecture.
-                let sub = stratified_subsample(&train_y, Format::COUNT, budget.fraction(), seed);
-                let sub_labels: Vec<Format> =
-                    sub.iter().map(|&p| input.target[train[p]].best).collect();
-                let mut sel = base.clone();
-                sel.relabel(&sub, &sub_labels);
-                sel.predict_batch(&test_features)
-            } else {
-                base.predict_batch(&test_features)
-            };
-            per_budget[b].push(selection_quality(&preds, &test_results));
-        }
-    }
-    [
-        SelectionQuality::average(&per_budget[0]),
-        SelectionQuality::average(&per_budget[1]),
-        SelectionQuality::average(&per_budget[2]),
-    ]
+    [0, 1, 2].map(|b| {
+        let per_budget: Vec<SelectionQuality> = per_fold.iter().map(|f| f[b]).collect();
+        SelectionQuality::average(&per_budget)
+    })
 }
 
 /// Single-budget variant of [`transfer_semi_budgets`].
@@ -208,30 +221,35 @@ pub fn transfer_supervised(
     seed: u64,
 ) -> CoreResult<SelectionQuality> {
     let y_target: Vec<usize> = input.target.iter().map(|r| r.best.index()).collect();
-    let mut qualities: Vec<SelectionQuality> = Vec::with_capacity(folds);
-    for (train, test) in stratified_kfold(&y_target, Format::COUNT, folds, seed) {
-        let mut labels = labels_of(input.source, &train);
-        if budget.fraction() > 0.0 {
-            let train_y: Vec<usize> = train
-                .iter()
-                .map(|&i| input.target[i].best.index())
-                .collect();
-            let sub = stratified_subsample(&train_y, Format::COUNT, budget.fraction(), seed);
-            for &p in &sub {
-                labels[p] = input.target[train[p]].best;
+    let qualities: Vec<SelectionQuality> = stratified_kfold(&y_target, Format::COUNT, folds, seed)
+        .into_par_iter()
+        .map(|(train, test)| -> CoreResult<SelectionQuality> {
+            let mut labels = labels_of(input.source, &train);
+            if budget.fraction() > 0.0 {
+                let train_y: Vec<usize> = train
+                    .iter()
+                    .map(|&i| input.target[i].best.index())
+                    .collect();
+                let sub = stratified_subsample(&train_y, Format::COUNT, budget.fraction(), seed);
+                for &p in &sub {
+                    labels[p] = input.target[train[p]].best;
+                }
             }
-        }
-        let train_imgs = images_of(input.images, &train);
-        let sel = SupervisedSelector::fit(
-            &features_of(input.features, &train),
-            train_imgs.as_deref(),
-            &labels,
-            cfg,
-        )?;
-        let test_imgs = images_of(input.images, &test);
-        let preds = sel.predict_batch(&features_of(input.features, &test), test_imgs.as_deref());
-        qualities.push(selection_quality(&preds, &results_of(input.target, &test)));
-    }
+            let train_imgs = images_of(input.images, &train);
+            let sel = SupervisedSelector::fit(
+                &features_of(input.features, &train),
+                train_imgs.as_deref(),
+                &labels,
+                cfg,
+            )?;
+            let test_imgs = images_of(input.images, &test);
+            let preds =
+                sel.predict_batch(&features_of(input.features, &test), test_imgs.as_deref());
+            Ok(selection_quality(&preds, &results_of(input.target, &test)))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect::<CoreResult<_>>()?;
     Ok(SelectionQuality::average(&qualities))
 }
 

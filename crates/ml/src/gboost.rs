@@ -98,65 +98,142 @@ impl<'a> TreeBuilder<'a> {
         g * g / (h + self.params.lambda)
     }
 
-    fn build(&mut self, indices: &[usize], depth: usize) -> usize {
-        let g_sum: f64 = indices.iter().map(|&i| self.grad[i]).sum();
-        let h_sum: f64 = indices.iter().map(|&i| self.hess[i]).sum();
+    /// Evaluate every candidate boundary of one feature, given this node's
+    /// samples in ascending `(value, sample index)` order. Shared by the
+    /// naive and presorted builders: because both present samples in
+    /// exactly this order, the sequential `gl`/`hl` accumulations — and
+    /// therefore every gain and threshold — are bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_feature(
+        &self,
+        f: usize,
+        ordered: &[u32],
+        g_sum: f64,
+        h_sum: f64,
+        best: &mut Option<(usize, f64, f64)>,
+    ) {
+        let mut gl = 0.0;
+        let mut hl = 0.0;
+        for s in 1..ordered.len() {
+            let prev = ordered[s - 1] as usize;
+            gl += self.grad[prev];
+            hl += self.hess[prev];
+            let v_prev = self.x[prev][f];
+            let v_next = self.x[ordered[s] as usize][f];
+            if v_next <= v_prev {
+                continue;
+            }
+            let (gr, hr) = (g_sum - gl, h_sum - hl);
+            if hl < self.params.min_child_weight || hr < self.params.min_child_weight {
+                continue;
+            }
+            let gain = 0.5 * (self.score(gl, hl) + self.score(gr, hr) - self.score(g_sum, h_sum))
+                - self.params.gamma;
+            if gain > best.map_or(0.0, |(_, _, bg)| bg) + 1e-12 {
+                *best = Some((f, v_prev + (v_next - v_prev) / 2.0, gain));
+            }
+        }
+    }
 
-        let make_leaf = |nodes: &mut Vec<RegNode>, w: f64| -> usize {
-            nodes.push(RegNode::Leaf { weight: w });
-            nodes.len() - 1
-        };
+    /// Naive builder (the pre-presort reference): re-sorts every feature at
+    /// every node. Tie order is canonicalized to `(value, sample index)` so
+    /// the floating-point accumulation order — and hence the grown tree —
+    /// matches the presorted builder exactly.
+    fn build_naive(&mut self, indices: &[u32], depth: usize) -> usize {
+        let g_sum: f64 = indices.iter().map(|&i| self.grad[i as usize]).sum();
+        let h_sum: f64 = indices.iter().map(|&i| self.hess[i as usize]).sum();
 
         if depth >= self.params.max_depth || indices.len() < 2 {
             let w = self.leaf_weight(g_sum, h_sum);
-            return make_leaf(&mut self.nodes, w);
+            self.nodes.push(RegNode::Leaf { weight: w });
+            return self.nodes.len() - 1;
         }
 
         // Exact greedy split search over all features.
         let dim = self.x[0].len();
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
-        let mut scratch: Vec<(f64, f64, f64)> = Vec::with_capacity(indices.len());
+        let mut ordered: Vec<u32> = Vec::with_capacity(indices.len());
         for f in 0..dim {
-            scratch.clear();
-            scratch.extend(
-                indices
-                    .iter()
-                    .map(|&i| (self.x[i][f], self.grad[i], self.hess[i])),
-            );
-            scratch.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-            let mut gl = 0.0;
-            let mut hl = 0.0;
-            for s in 1..scratch.len() {
-                gl += scratch[s - 1].1;
-                hl += scratch[s - 1].2;
-                let (v_prev, v_next) = (scratch[s - 1].0, scratch[s].0);
-                if v_next <= v_prev {
-                    continue;
-                }
-                let (gr, hr) = (g_sum - gl, h_sum - hl);
-                if hl < self.params.min_child_weight || hr < self.params.min_child_weight {
-                    continue;
-                }
-                let gain = 0.5
-                    * (self.score(gl, hl) + self.score(gr, hr) - self.score(g_sum, h_sum))
-                    - self.params.gamma;
-                if gain > best.map_or(0.0, |(_, _, bg)| bg) + 1e-12 {
-                    best = Some((f, v_prev + (v_next - v_prev) / 2.0, gain));
-                }
-            }
+            ordered.clear();
+            ordered.extend_from_slice(indices);
+            ordered.sort_unstable_by(|&a, &b| {
+                self.x[a as usize][f]
+                    .total_cmp(&self.x[b as usize][f])
+                    .then(a.cmp(&b))
+            });
+            self.scan_feature(f, &ordered, g_sum, h_sum, &mut best);
         }
 
         let Some((feature, threshold, _)) = best else {
             let w = self.leaf_weight(g_sum, h_sum);
-            return make_leaf(&mut self.nodes, w);
+            self.nodes.push(RegNode::Leaf { weight: w });
+            return self.nodes.len() - 1;
         };
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+        let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = indices
             .iter()
-            .partition(|&&i| self.x[i][feature] <= threshold);
+            .partition(|&&i| self.x[i as usize][feature] <= threshold);
         let me = self.nodes.len();
         self.nodes.push(RegNode::Leaf { weight: 0.0 }); // placeholder
-        let left = self.build(&left_idx, depth + 1);
-        let right = self.build(&right_idx, depth + 1);
+        let left = self.build_naive(&left_idx, depth + 1);
+        let right = self.build_naive(&right_idx, depth + 1);
+        self.nodes[me] = RegNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+
+    /// Presorted builder: `cols[f]` holds this node's samples in ascending
+    /// `(feature f value, sample index)` order — presorted once per fit and
+    /// inherited through stable partitions, so no node ever sorts. Grows
+    /// trees bit-identical to [`TreeBuilder::build_naive`].
+    fn build_presorted(&mut self, indices: &[u32], cols: &[Vec<u32>], depth: usize) -> usize {
+        let g_sum: f64 = indices.iter().map(|&i| self.grad[i as usize]).sum();
+        let h_sum: f64 = indices.iter().map(|&i| self.hess[i as usize]).sum();
+
+        if depth >= self.params.max_depth || indices.len() < 2 {
+            let w = self.leaf_weight(g_sum, h_sum);
+            self.nodes.push(RegNode::Leaf { weight: w });
+            return self.nodes.len() - 1;
+        }
+
+        let dim = self.x[0].len();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        for (f, col) in cols.iter().enumerate().take(dim) {
+            self.scan_feature(f, col, g_sum, h_sum, &mut best);
+        }
+
+        let Some((feature, threshold, _)) = best else {
+            let w = self.leaf_weight(g_sum, h_sum);
+            self.nodes.push(RegNode::Leaf { weight: w });
+            return self.nodes.len() - 1;
+        };
+        let goes_left = |i: u32| self.x[i as usize][feature] <= threshold;
+        let (left_idx, right_idx): (Vec<u32>, Vec<u32>) =
+            indices.iter().partition(|&&i| goes_left(i));
+        let (mut left_cols, mut right_cols) = (
+            Vec::with_capacity(cols.len()),
+            Vec::with_capacity(cols.len()),
+        );
+        for col in cols {
+            let mut l = Vec::with_capacity(left_idx.len());
+            let mut r = Vec::with_capacity(right_idx.len());
+            for &i in col {
+                if goes_left(i) {
+                    l.push(i);
+                } else {
+                    r.push(i);
+                }
+            }
+            left_cols.push(l);
+            right_cols.push(r);
+        }
+        let me = self.nodes.len();
+        self.nodes.push(RegNode::Leaf { weight: 0.0 }); // placeholder
+        let left = self.build_presorted(&left_idx, &left_cols, depth + 1);
+        let right = self.build_presorted(&right_idx, &right_cols, depth + 1);
         self.nodes[me] = RegNode::Split {
             feature,
             threshold,
@@ -208,10 +285,21 @@ impl GradientBoosting {
         }
         m
     }
-}
 
-impl Classifier for GradientBoosting {
-    fn fit(&mut self, data: &Dataset) {
+    /// Fit with the naive per-node re-sorting split search (the pre-presort
+    /// reference). Retained so tests can prove the presorted
+    /// [`Classifier::fit`] grows bit-identical boosters and so `perfcheck`
+    /// can measure the split-search speedup on real data.
+    #[doc(hidden)]
+    pub fn fit_naive(&mut self, data: &Dataset) {
+        self.fit_impl(data, None);
+    }
+
+    /// Boosting loop shared by [`Classifier::fit`] (presorted columns in
+    /// `cols`) and [`GradientBoosting::fit_naive`] (`cols: None`). The
+    /// feature matrix never changes across rounds, so one presort serves
+    /// every tree of every round.
+    fn fit_impl(&mut self, data: &Dataset, cols: Option<&[Vec<u32>]>) {
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
         let (n, k) = (data.len(), data.n_classes);
         self.n_classes = k;
@@ -220,7 +308,7 @@ impl Classifier for GradientBoosting {
 
         // Running margins F[i*k + c].
         let mut margins = vec![0.0f64; n * k];
-        let all_indices: Vec<usize> = (0..n).collect();
+        let all_indices: Vec<u32> = (0..n as u32).collect();
 
         for _ in 0..self.params.n_rounds {
             // Softmax probabilities per sample.
@@ -259,7 +347,10 @@ impl Classifier for GradientBoosting {
                         params: &self.params,
                         nodes: Vec::new(),
                     };
-                    builder.build(&all_indices, 0);
+                    match cols {
+                        Some(cols) => builder.build_presorted(&all_indices, cols, 0),
+                        None => builder.build_naive(&all_indices, 0),
+                    };
                     RegTree {
                         nodes: builder.nodes,
                     }
@@ -273,6 +364,14 @@ impl Classifier for GradientBoosting {
             }
             self.trees.push(round);
         }
+    }
+}
+
+impl Classifier for GradientBoosting {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let cols = crate::tree::presort_columns(&data.x, data.dim());
+        self.fit_impl(data, Some(&cols));
     }
 
     fn predict_one(&self, x: &[f64]) -> usize {

@@ -60,3 +60,10 @@ pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 pub fn dist(a: &[f64], b: &[f64]) -> f64 {
     sq_dist(a, b).sqrt()
 }
+
+/// Dot product of two equal-length vectors.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}

@@ -1,4 +1,12 @@
 //! CART decision tree classifier (Gini impurity, numeric features).
+//!
+//! Split search is *presorted*: [`Classifier::fit`] sorts every feature's
+//! sample order once, and each node derives its own ordered view by a
+//! stable partition of its parent's — no node ever re-sorts. The scheme
+//! produces node-for-node identical trees (structure, thresholds,
+//! tie-breaks) to the naive per-node re-sorting search, which is kept as
+//! [`DecisionTree::fit_naive`] so the equivalence tests and the
+//! `perfcheck` speedup report can compare both paths.
 
 use crate::{Classifier, Dataset};
 use rand::rngs::StdRng;
@@ -108,9 +116,9 @@ impl DecisionTree {
             .sum::<f64>()
     }
 
-    /// Find the best (feature, threshold, weighted-gini) split over the
-    /// samples at `indices`, or `None` if no valid split exists.
-    fn best_split(
+    /// Naive split search (the pre-presort reference): re-sorts a
+    /// `(value, label)` scratch per feature at every node.
+    fn best_split_naive(
         &self,
         data: &Dataset,
         indices: &[usize],
@@ -157,24 +165,87 @@ impl DecisionTree {
         best
     }
 
-    fn build(
-        &mut self,
+    /// Presorted split search: scan each feature's samples through the
+    /// node's presorted column instead of re-sorting. The class counts are
+    /// integers, so the weighted Gini at every candidate boundary — and
+    /// therefore the chosen split — is bit-identical to the naive search.
+    fn best_split_presorted(
+        &self,
         data: &Dataset,
-        indices: &[usize],
-        depth: usize,
-        rng: &mut StdRng,
-        scratch: &mut Vec<(f64, usize)>,
-    ) -> usize {
-        let mut counts = vec![0usize; data.n_classes];
-        for &i in indices {
-            counts[data.y[i]] += 1;
+        cols: &[Vec<u32>],
+        features: &[usize],
+        left_counts: &mut [usize],
+        right_counts: &mut [usize],
+    ) -> Option<(usize, f64, f64)> {
+        let min_leaf = self.params.min_samples_leaf;
+        let mut best: Option<(usize, f64, f64)> = None;
+        for &f in features {
+            let col = &cols[f];
+            let n = col.len();
+            left_counts.fill(0);
+            right_counts.fill(0);
+            for &i in col.iter() {
+                right_counts[data.y[i as usize]] += 1;
+            }
+            for split_at in 1..n {
+                let prev = col[split_at - 1] as usize;
+                let v_prev = data.x[prev][f];
+                let label_prev = data.y[prev];
+                left_counts[label_prev] += 1;
+                right_counts[label_prev] -= 1;
+                let v_next = data.x[col[split_at] as usize][f];
+                if v_next <= v_prev {
+                    continue; // no threshold separates equal values
+                }
+                if split_at < min_leaf || n - split_at < min_leaf {
+                    continue;
+                }
+                let g = (split_at as f64 * Self::gini(left_counts, split_at)
+                    + (n - split_at) as f64 * Self::gini(right_counts, n - split_at))
+                    / n as f64;
+                let threshold = v_prev + (v_next - v_prev) / 2.0;
+                let better = match best {
+                    None => true,
+                    Some((_, _, bg)) => g < bg - 1e-15,
+                };
+                if better {
+                    best = Some((f, threshold, g));
+                }
+            }
         }
-        let majority = counts
+        best
+    }
+
+    /// Majority class of a node's class-count histogram (ties break to the
+    /// highest class index, as `max_by_key` keeps the last maximum).
+    fn majority_of(counts: &[usize]) -> usize {
+        counts
             .iter()
             .enumerate()
             .max_by_key(|&(_, c)| c)
             .map(|(k, _)| k)
-            .unwrap_or(0);
+            .unwrap_or(0)
+    }
+
+    /// Presorted recursive builder: `cols[f]` holds this node's samples in
+    /// ascending feature-`f` order; children inherit their orders by a
+    /// stable partition on the chosen split, so no node ever sorts.
+    #[allow(clippy::too_many_arguments)] // recursion state, not an API
+    fn build_presorted(
+        &mut self,
+        data: &Dataset,
+        indices: &[u32],
+        cols: Vec<Vec<u32>>,
+        depth: usize,
+        rng: &mut StdRng,
+        left_buf: &mut Vec<usize>,
+        right_buf: &mut Vec<usize>,
+    ) -> usize {
+        let mut counts = vec![0usize; data.n_classes];
+        for &i in indices {
+            counts[data.y[i as usize]] += 1;
+        }
+        let majority = Self::majority_of(&counts);
         let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
         let depth_capped = self.params.max_depth.is_some_and(|d| depth >= d);
         if pure || depth_capped || indices.len() < self.params.min_samples_split {
@@ -194,7 +265,8 @@ impl DecisionTree {
         // Gini cannot see the XOR-style interactions that only pay off one
         // level deeper. Recursion still terminates because a found split
         // always separates distinct feature values.
-        let Some((feature, threshold, gain_gini)) = self.best_split(data, indices, &feats, scratch)
+        let Some((feature, threshold, gain_gini)) =
+            self.best_split_presorted(data, &cols, &feats, left_buf, right_buf)
         else {
             self.nodes.push(Node::Leaf { class: majority });
             return self.nodes.len() - 1;
@@ -207,15 +279,48 @@ impl DecisionTree {
             return self.nodes.len() - 1;
         }
 
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-            .iter()
-            .partition(|&&i| data.x[i][feature] <= threshold);
+        let goes_left = |i: u32| data.x[i as usize][feature] <= threshold;
+        let (left_idx, right_idx): (Vec<u32>, Vec<u32>) =
+            indices.iter().partition(|&&i| goes_left(i));
+        let (mut left_cols, mut right_cols) = (
+            Vec::with_capacity(cols.len()),
+            Vec::with_capacity(cols.len()),
+        );
+        for col in cols {
+            let mut l = Vec::with_capacity(left_idx.len());
+            let mut r = Vec::with_capacity(right_idx.len());
+            for i in col {
+                if goes_left(i) {
+                    l.push(i);
+                } else {
+                    r.push(i);
+                }
+            }
+            left_cols.push(l);
+            right_cols.push(r);
+        }
 
         // Reserve this node's slot, then build children.
         let me = self.nodes.len();
         self.nodes.push(Node::Leaf { class: majority }); // placeholder
-        let left = self.build(data, &left_idx, depth + 1, rng, scratch);
-        let right = self.build(data, &right_idx, depth + 1, rng, scratch);
+        let left = self.build_presorted(
+            data,
+            &left_idx,
+            left_cols,
+            depth + 1,
+            rng,
+            left_buf,
+            right_buf,
+        );
+        let right = self.build_presorted(
+            data,
+            &right_idx,
+            right_cols,
+            depth + 1,
+            rng,
+            left_buf,
+            right_buf,
+        );
         self.nodes[me] = Node::Split {
             feature,
             threshold,
@@ -224,6 +329,100 @@ impl DecisionTree {
         };
         me
     }
+
+    /// Naive recursive builder (kept verbatim as the equivalence-test and
+    /// speedup-measurement reference; see [`DecisionTree::fit_naive`]).
+    fn build_naive(
+        &mut self,
+        data: &Dataset,
+        indices: &[usize],
+        depth: usize,
+        rng: &mut StdRng,
+        scratch: &mut Vec<(f64, usize)>,
+    ) -> usize {
+        let mut counts = vec![0usize; data.n_classes];
+        for &i in indices {
+            counts[data.y[i]] += 1;
+        }
+        let majority = Self::majority_of(&counts);
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+        let depth_capped = self.params.max_depth.is_some_and(|d| depth >= d);
+        if pure || depth_capped || indices.len() < self.params.min_samples_split {
+            self.nodes.push(Node::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        }
+
+        let mut feats: Vec<usize> = (0..data.dim()).collect();
+        if let Some(m) = self.params.max_features {
+            feats.shuffle(rng);
+            feats.truncate(m.max(1).min(data.dim()));
+            feats.sort_unstable(); // deterministic scan order
+        }
+
+        let Some((feature, threshold, gain_gini)) =
+            self.best_split_naive(data, indices, &feats, scratch)
+        else {
+            self.nodes.push(Node::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        };
+        let parent_gini = Self::gini(&counts, indices.len());
+        if gain_gini > parent_gini + 1e-12 {
+            self.nodes.push(Node::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        }
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| data.x[i][feature] <= threshold);
+
+        let me = self.nodes.len();
+        self.nodes.push(Node::Leaf { class: majority }); // placeholder
+        let left = self.build_naive(data, &left_idx, depth + 1, rng, scratch);
+        let right = self.build_naive(data, &right_idx, depth + 1, rng, scratch);
+        self.nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+
+    /// Fit with the naive per-node re-sorting split search. This is the
+    /// pre-presort implementation, retained so tests can prove the
+    /// presorted [`Classifier::fit`] grows bit-identical trees and so
+    /// `perfcheck` can measure the split-search speedup on real data.
+    #[doc(hidden)]
+    pub fn fit_naive(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        self.nodes.clear();
+        self.n_classes = data.n_classes;
+        self.dim = data.dim();
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut scratch = Vec::new();
+        self.build_naive(data, &indices, 0, &mut rng, &mut scratch);
+    }
+}
+
+/// Sort every feature's sample order once: `cols[f]` lists all sample
+/// indices in ascending order of feature `f`, ties in sample order. The
+/// per-node views derived from these by stable partition present values
+/// in exactly the order a per-node sort would, so split search over them
+/// is equivalent — without the per-node `O(n log n)`.
+pub(crate) fn presort_columns(x: &[Vec<f64>], dim: usize) -> Vec<Vec<u32>> {
+    let n = x.len() as u32;
+    (0..dim)
+        .map(|f| {
+            let mut idx: Vec<u32> = (0..n).collect();
+            idx.sort_unstable_by(|&a, &b| {
+                x[a as usize][f]
+                    .total_cmp(&x[b as usize][f])
+                    .then(a.cmp(&b))
+            });
+            idx
+        })
+        .collect()
 }
 
 impl Classifier for DecisionTree {
@@ -232,10 +431,20 @@ impl Classifier for DecisionTree {
         self.nodes.clear();
         self.n_classes = data.n_classes;
         self.dim = data.dim();
-        let indices: Vec<usize> = (0..data.len()).collect();
+        let indices: Vec<u32> = (0..data.len() as u32).collect();
+        let cols = presort_columns(&data.x, data.dim());
         let mut rng = StdRng::seed_from_u64(self.params.seed);
-        let mut scratch = Vec::new();
-        self.build(data, &indices, 0, &mut rng, &mut scratch);
+        let mut left_buf = vec![0usize; data.n_classes];
+        let mut right_buf = vec![0usize; data.n_classes];
+        self.build_presorted(
+            data,
+            &indices,
+            cols,
+            0,
+            &mut rng,
+            &mut left_buf,
+            &mut right_buf,
+        );
     }
 
     fn predict_one(&self, x: &[f64]) -> usize {

@@ -1,0 +1,184 @@
+//! Equivalence proofs for the performance rewrites: the presorted split
+//! search must grow node-for-node identical trees (structure, thresholds,
+//! tie-breaks — checked via `PartialEq` on the fitted model) to the naive
+//! per-node re-sorting search it replaced, and the norm-expansion KNN must
+//! rank neighbors exactly like the direct squared-distance scan.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spsel_ml::forest::RandomForestParams;
+use spsel_ml::gboost::GradientBoostingParams;
+use spsel_ml::tree::DecisionTreeParams;
+use spsel_ml::{Classifier, Dataset, DecisionTree, GradientBoosting, KnnClassifier, RandomForest};
+
+/// Random dataset with continuous features (ties unlikely).
+fn random_dataset(n: usize, dim: usize, n_classes: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-3.0..3.0)).collect())
+        .collect();
+    let y: Vec<usize> = x
+        .iter()
+        .map(|row| {
+            let s: f64 = row.iter().sum();
+            let noisy: f64 = s + rng.gen_range(-0.5..0.5);
+            ((noisy.abs() * 1.3) as usize) % n_classes
+        })
+        .collect();
+    Dataset::new(x, y, n_classes)
+}
+
+/// Adversarial dataset: heavy value ties (quantized features), one
+/// constant feature, one near-constant feature.
+fn tied_dataset(n: usize, n_classes: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            vec![
+                (rng.gen_range(0..4) as f64) * 0.25, // heavy ties
+                7.5,                                 // constant
+                if i == 0 { 1.0 } else { 0.0 },      // near-constant
+                (rng.gen_range(0..2) as f64),        // binary
+                rng.gen_range(-1.0..1.0),            // continuous
+            ]
+        })
+        .collect();
+    let y: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n_classes)).collect();
+    Dataset::new(x, y, n_classes)
+}
+
+fn datasets() -> Vec<(&'static str, Dataset)> {
+    vec![
+        ("random", random_dataset(160, 6, 4, 11)),
+        ("random_binary", random_dataset(90, 3, 2, 23)),
+        ("tied", tied_dataset(120, 3, 5)),
+        ("tied_small", tied_dataset(13, 2, 9)),
+    ]
+}
+
+#[test]
+fn presorted_tree_identical_to_naive() {
+    for (name, data) in datasets() {
+        for params in [
+            DecisionTreeParams::default(),
+            DecisionTreeParams {
+                max_depth: Some(3),
+                ..Default::default()
+            },
+            DecisionTreeParams {
+                min_samples_leaf: 5,
+                min_samples_split: 12,
+                ..Default::default()
+            },
+            DecisionTreeParams {
+                max_features: Some(2),
+                seed: 42,
+                ..Default::default()
+            },
+        ] {
+            let mut fast = DecisionTree::new(params.clone());
+            let mut slow = DecisionTree::new(params.clone());
+            fast.fit(&data);
+            slow.fit_naive(&data);
+            assert_eq!(fast, slow, "tree mismatch on {name} with {params:?}");
+            assert_eq!(
+                fast.predict(&data.x),
+                slow.predict(&data.x),
+                "prediction mismatch on {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn presorted_gboost_identical_to_naive() {
+    for (name, data) in datasets() {
+        for params in [
+            GradientBoostingParams {
+                n_rounds: 8,
+                max_depth: 3,
+                ..Default::default()
+            },
+            GradientBoostingParams {
+                n_rounds: 4,
+                max_depth: 6,
+                min_child_weight: 2.0,
+                ..Default::default()
+            },
+        ] {
+            let mut fast = GradientBoosting::new(params.clone());
+            let mut slow = GradientBoosting::new(params.clone());
+            fast.fit(&data);
+            slow.fit_naive(&data);
+            assert_eq!(fast, slow, "booster mismatch on {name} with {params:?}");
+            assert_eq!(
+                fast.predict(&data.x),
+                slow.predict(&data.x),
+                "prediction mismatch on {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn forest_over_presorted_trees_is_deterministic() {
+    // The forest reuses DecisionTree::fit, so tree-level equivalence covers
+    // it; this guards the wiring (bootstrap + per-tree seeds) staying
+    // deterministic across repeated fits.
+    let data = random_dataset(120, 5, 3, 31);
+    let params = RandomForestParams {
+        n_estimators: 12,
+        max_depth: Some(5),
+        seed: 7,
+        ..Default::default()
+    };
+    let mut a = RandomForest::new(params.clone());
+    let mut b = RandomForest::new(params);
+    a.fit(&data);
+    b.fit(&data);
+    assert_eq!(a, b);
+    assert_eq!(a.predict(&data.x), b.predict(&data.x));
+}
+
+#[test]
+fn knn_norm_expansion_matches_direct_distances() {
+    // Reference ranking: direct squared distances, same selection and
+    // tie-break logic as KnnClassifier::predict_one.
+    fn reference_predict(train: &Dataset, k: usize, q: &[f64]) -> usize {
+        let k = k.min(train.x.len());
+        let mut dists: Vec<(f64, usize)> = train
+            .x
+            .iter()
+            .zip(&train.y)
+            .map(|(xi, &yi)| (spsel_ml::sq_dist(q, xi), yi))
+            .collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let neighbors = &mut dists[..k];
+        neighbors.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        let mut votes = vec![0usize; train.n_classes];
+        for &(_, label) in neighbors.iter() {
+            votes[label] += 1;
+        }
+        let max_votes = *votes.iter().max().unwrap();
+        neighbors
+            .iter()
+            .find(|&&(_, label)| votes[label] == max_votes)
+            .map(|&(_, label)| label)
+            .unwrap()
+    }
+
+    for (name, data) in datasets() {
+        for k in [1, 3, 5] {
+            let mut knn = KnnClassifier::new(k);
+            knn.fit(&data);
+            let queries = random_dataset(40, data.dim(), 2, 77 + k as u64);
+            for q in &queries.x {
+                assert_eq!(
+                    knn.predict_one(q),
+                    reference_predict(&data, k, q),
+                    "knn mismatch on {name} k={k}"
+                );
+            }
+        }
+    }
+}

@@ -41,4 +41,18 @@ REPORT="$SMOKE_DIR/table3.json.report.json"
 grep -q '"degradation"' "$REPORT"
 grep -q '"faults_enabled": *true' "$REPORT"
 
+echo "==> experiment-cache smoke (warm table4 rerun must hit)"
+cargo build -q --release --offline -p spsel-bench --bin table4
+# First run populates the per-table experiment cache; the second must be
+# served from it (report: one experiment hit, zero misses) and print the
+# identical table.
+./target/release/table4 --quick --cache "$SMOKE_DIR/cache" \
+    --json "$SMOKE_DIR/table4-cold.json" > "$SMOKE_DIR/table4-cold.txt"
+./target/release/table4 --quick --cache "$SMOKE_DIR/cache" \
+    --json "$SMOKE_DIR/table4-warm.json" > "$SMOKE_DIR/table4-warm.txt"
+grep -q '"experiment_hits": *1' "$SMOKE_DIR/table4-warm.json.report.json"
+grep -q '"experiment_misses": *0' "$SMOKE_DIR/table4-warm.json.report.json"
+cmp "$SMOKE_DIR/table4-cold.txt" "$SMOKE_DIR/table4-warm.txt"
+cmp "$SMOKE_DIR/table4-cold.json" "$SMOKE_DIR/table4-warm.json"
+
 echo "CI green."

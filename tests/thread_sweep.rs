@@ -4,6 +4,11 @@
 //! path (`SPSEL_THREADS` offers the same control from the environment).
 
 use spselect::core::corpus::{Corpus, CorpusConfig};
+use spselect::core::experiments::ExperimentContext;
+use spselect::core::semi::{ClusterMethod, Labeler, SemiConfig};
+use spselect::core::speedup::SelectionQuality;
+use spselect::core::supervised::{SupervisedConfig, SupervisedModel};
+use spselect::core::transfer::{local_semi, local_supervised};
 use spselect::gpusim::{FaultConfig, Gpu, TrialPolicy};
 
 #[test]
@@ -57,6 +62,65 @@ fn corpus_and_benches_are_bit_identical_at_any_worker_count() {
                 );
             }
         }
+    }
+    rayon::set_threads(None);
+}
+
+/// Bitwise comparison of two quality summaries (PartialEq on f64 would
+/// accept -0.0 == 0.0; the promise here is stronger).
+fn same_quality(a: &SelectionQuality, b: &SelectionQuality) -> bool {
+    a.acc.to_bits() == b.acc.to_bits()
+        && a.f1.to_bits() == b.f1.to_bits()
+        && a.mcc.to_bits() == b.mcc.to_bits()
+        && a.gt.to_bits() == b.gt.to_bits()
+        && a.csr.to_bits() == b.csr.to_bits()
+        && a.threshold == b.threshold
+        && a.n == b.n
+}
+
+#[test]
+fn cross_validation_is_bit_identical_at_any_worker_count() {
+    let ctx = ExperimentContext::new(CorpusConfig::small(24, 6));
+    let ds = ctx.dataset(Gpu::Turing);
+    let features = ctx.features(&ds);
+    let results = ctx.results(Gpu::Turing, &ds).expect("feasible dataset");
+
+    // One fold-parallel supervised CV and one semi-supervised CV: every
+    // fold derives its work from the shared seed alone, so the per-fold
+    // qualities and their average must not depend on the worker count.
+    let run = || {
+        let sup = local_supervised(
+            &features,
+            None,
+            &results,
+            SupervisedConfig::quick(SupervisedModel::Rf, 5),
+            3,
+            5,
+        )
+        .expect("supervised CV fits");
+        let semi = local_semi(
+            &features,
+            &results,
+            SemiConfig::new(ClusterMethod::KMeans { nc: 8 }, Labeler::Vote, 5),
+            3,
+            5,
+        );
+        (sup, semi)
+    };
+
+    rayon::set_threads(Some(1));
+    let (base_sup, base_semi) = run();
+    for workers in [2, 4, 8] {
+        rayon::set_threads(Some(workers));
+        let (sup, semi) = run();
+        assert!(
+            same_quality(&sup, &base_sup),
+            "{workers} workers: supervised CV diverged ({sup:?} vs {base_sup:?})"
+        );
+        assert!(
+            same_quality(&semi, &base_semi),
+            "{workers} workers: semi-supervised CV diverged ({semi:?} vs {base_semi:?})"
+        );
     }
     rayon::set_threads(None);
 }
