@@ -1,0 +1,286 @@
+//! `loadgen`: concurrent load generator for `spsel-serve`.
+//!
+//! ```sh
+//! loadgen [--clients N] [--requests M] [--model MODEL.spsel]
+//!         [--addr HOST:PORT] [--seed S] [--feedback] [--json REPORT]
+//! ```
+//!
+//! By default it trains a quick model, starts an in-process daemon on an
+//! ephemeral port, and drives `N` concurrent clients (default 32) each
+//! issuing `M` selection requests (default 20) over distinct synthetic
+//! matrices, then shuts the daemon down and prints both client-observed
+//! latency and the server's own counters. With `--addr` it targets an
+//! already-running daemon instead (and does not shut it down). The exit
+//! code is nonzero if any request fails — CI uses this as the serving
+//! soak test.
+
+use spsel_core::cache::Cache;
+use spsel_core::corpus::CorpusConfig;
+use spsel_core::experiments::ExperimentContext;
+use spsel_core::telemetry::RunReport;
+use spsel_core::CoreError;
+use spsel_features::{FeatureVector, MatrixStats};
+use spsel_gpusim::Gpu;
+use spsel_matrix::{gen, CsrMatrix};
+use spsel_serve::artifact::{self, TrainConfig};
+use spsel_serve::{Client, Engine, EngineOptions, Request, ServeError, ServeOptions, Server};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(0) => {}
+        Ok(failed) => {
+            eprintln!("loadgen: {failed} requests failed");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!(
+                "loadgen: {}",
+                serde_json::to_string(&e.envelope()).expect("envelope serializes")
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn value<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, ServeError> {
+    args.get(i + 1)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CoreError::invalid_argument(format!("{flag} needs a value")).into())
+}
+
+/// One client's work: `requests` selections (plus a feedback round-trip
+/// per select when `feedback` is on), all over distinct matrices.
+fn client_loop(
+    addr: &str,
+    client_id: usize,
+    requests: usize,
+    seed: u64,
+    feedback: bool,
+) -> std::io::Result<(usize, Vec<Duration>)> {
+    let mut client = Client::connect(addr)?;
+    let gpus = [Gpu::Pascal, Gpu::Volta, Gpu::Turing];
+    let mut failed = 0usize;
+    let mut latencies = Vec::with_capacity(requests);
+    for r in 0..requests {
+        let matrix_seed = seed ^ ((client_id * requests + r) as u64);
+        let csr = CsrMatrix::from(&gen::power_law(
+            120 + (matrix_seed % 80) as usize,
+            120,
+            2,
+            2.2 + (matrix_seed % 5) as f64 * 0.1,
+            60,
+            matrix_seed,
+        ));
+        let features = FeatureVector::from_stats(&MatrixStats::from_csr(&csr))
+            .as_slice()
+            .to_vec();
+        let gpu = gpus[(client_id + r) % gpus.len()];
+        let request = Request::Select {
+            matrix: None,
+            features: Some(features),
+            gpu: gpu.name().to_string(),
+            iterations: Some(500),
+            deadline_ms: None,
+            learn: Some(true),
+        };
+        let start = Instant::now();
+        let response = client.roundtrip(&request)?;
+        latencies.push(start.elapsed());
+        if !response.ok {
+            failed += 1;
+            continue;
+        }
+        if feedback {
+            if let Some(select) = &response.select {
+                let reply = client.roundtrip(&Request::Feedback {
+                    gpu: gpu.name().to_string(),
+                    cluster: select.cluster,
+                    best: select.amortized_format.clone(),
+                })?;
+                if !reply.ok {
+                    failed += 1;
+                }
+            }
+        }
+    }
+    Ok((failed, latencies))
+}
+
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn run(args: &[String]) -> Result<usize, ServeError> {
+    let mut clients = 32usize;
+    let mut requests = 20usize;
+    let mut model_path: Option<String> = None;
+    let mut external: Option<String> = None;
+    let mut seed = 42u64;
+    let mut feedback = false;
+    let mut json = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--clients" => {
+                clients = value(args, i, "--clients")?;
+                i += 1;
+            }
+            "--requests" => {
+                requests = value(args, i, "--requests")?;
+                i += 1;
+            }
+            "--model" => {
+                model_path = Some(value(args, i, "--model")?);
+                i += 1;
+            }
+            "--addr" => {
+                external = Some(value(args, i, "--addr")?);
+                i += 1;
+            }
+            "--seed" => {
+                seed = value(args, i, "--seed")?;
+                i += 1;
+            }
+            "--json" => {
+                json = Some(value::<String>(args, i, "--json")?);
+                i += 1;
+            }
+            "--feedback" => feedback = true,
+            other => {
+                return Err(
+                    CoreError::invalid_argument(format!("unknown argument `{other}`")).into(),
+                )
+            }
+        }
+        i += 1;
+    }
+
+    // Either target an external daemon or start one in-process.
+    let (addr, server_thread) = match external {
+        Some(addr) => (addr, None),
+        None => {
+            let model = match model_path {
+                Some(path) => artifact::load(&path)?,
+                None => {
+                    eprintln!("training a quick model for the in-process daemon...");
+                    let cache = Cache::disabled();
+                    let mut report = RunReport::new("loadgen-train");
+                    let ctx = ExperimentContext::build(
+                        CorpusConfig::small(40, seed),
+                        &cache,
+                        &mut report,
+                    );
+                    artifact::train(&ctx, &TrainConfig::default())?
+                }
+            };
+            let engine = Arc::new(Engine::from_artifact(&model, &EngineOptions::default())?);
+            let server =
+                Server::bind(engine, ServeOptions::default()).map_err(|e| ServeError::Io {
+                    path: "listener".into(),
+                    message: e.to_string(),
+                })?;
+            let addr = server
+                .local_addr()
+                .map_err(|e| ServeError::Io {
+                    path: "listener".into(),
+                    message: e.to_string(),
+                })?
+                .to_string();
+            eprintln!("in-process daemon listening on {addr}");
+            (addr, Some(std::thread::spawn(move || server.run())))
+        }
+    };
+
+    eprintln!("driving {clients} clients x {requests} requests against {addr}...");
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || client_loop(&addr, c, requests, seed, feedback))
+        })
+        .collect();
+    let mut failed = 0usize;
+    let mut disconnected = 0usize;
+    let mut latencies: Vec<Duration> = Vec::with_capacity(clients * requests);
+    for h in handles {
+        match h.join().expect("client thread joins") {
+            Ok((f, l)) => {
+                failed += f;
+                latencies.extend(l);
+            }
+            Err(e) => {
+                eprintln!("client error: {e}");
+                disconnected += 1;
+            }
+        }
+    }
+    let wall = wall.elapsed();
+    failed += disconnected * requests; // a dropped client fails its whole quota
+
+    // Stop the in-process daemon and collect its counters.
+    let serving = if let Some(handle) = server_thread {
+        let mut control = Client::connect(addr.as_str()).map_err(|e| ServeError::Io {
+            path: addr.clone(),
+            message: e.to_string(),
+        })?;
+        let _ = control.roundtrip(&Request::Shutdown);
+        Some(handle.join().expect("server thread joins"))
+    } else {
+        None
+    };
+
+    latencies.sort();
+    let total = clients * requests;
+    let throughput = if wall.as_secs_f64() > 0.0 {
+        latencies.len() as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    println!(
+        "loadgen: {clients} clients x {requests} requests = {total} total, {} ok, {failed} failed",
+        total - failed
+    );
+    println!(
+        "wall {:.2}s, {throughput:.0} req/s; client-observed p50 {:.2}ms p99 {:.2}ms max {:.2}ms",
+        wall.as_secs_f64(),
+        quantile(&latencies, 0.50).as_secs_f64() * 1e3,
+        quantile(&latencies, 0.99).as_secs_f64() * 1e3,
+        latencies
+            .last()
+            .copied()
+            .unwrap_or(Duration::ZERO)
+            .as_secs_f64()
+            * 1e3,
+    );
+    if let Some(serving) = serving {
+        println!(
+            "server counters: {} requests ({} select, {} feedback), {} errors, {} new clusters, \
+             p50 {:.0}us p99 {:.0}us",
+            serving.requests,
+            serving.select_requests,
+            serving.feedback_requests,
+            serving.errors,
+            serving.new_clusters,
+            serving.p50_latency_us,
+            serving.p99_latency_us,
+        );
+        if let Some(path) = json {
+            let mut report = RunReport::new("loadgen");
+            report.record("wall", wall.as_secs_f64());
+            report.serving = Some(serving);
+            let payload = serde_json::to_string_pretty(&report).expect("report serializes");
+            std::fs::write(&path, payload).map_err(|e| ServeError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            })?;
+        }
+    }
+    Ok(failed)
+}

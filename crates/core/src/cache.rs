@@ -11,7 +11,10 @@
 //!   are re-validated on load;
 //! * experiment files — `(EXPERIMENT_VERSION, table name, context digest,
 //!   experiment params)`, so a warm rerun of a table binary skips model
-//!   training entirely.
+//!   training entirely;
+//! * model files — trained serving artifacts (see the `spsel-serve`
+//!   crate) keyed by the caller's `(artifact version, context digest,
+//!   training config)` hash, so a warm `spsel train` rerun is instant.
 //!
 //! Keys are built by feeding explicit primitive bit patterns through
 //! [`KeyWriter`] — integers little-endian, floats via `f64::to_bits` — so
@@ -191,6 +194,19 @@ struct ExperimentFile {
     payload: String,
 }
 
+/// One cached trained model artifact. The payload is the artifact's own
+/// JSON (already versioned and self-describing); the envelope pins the
+/// artifact version and full key so a renamed or colliding file can never
+/// satisfy the wrong training request.
+#[derive(Serialize, Deserialize)]
+struct ModelFile {
+    artifact_version: u32,
+    /// Hex of the caller's full model key.
+    key: String,
+    /// JSON of the model artifact.
+    payload: String,
+}
+
 #[derive(Default)]
 struct Counters {
     hits: AtomicU64,
@@ -201,6 +217,9 @@ struct Counters {
     experiment_hits: AtomicU64,
     experiment_misses: AtomicU64,
     experiment_stores: AtomicU64,
+    model_hits: AtomicU64,
+    model_misses: AtomicU64,
+    model_stores: AtomicU64,
 }
 
 /// Handle to the on-disk cache. Cheap to clone; clones share counters.
@@ -281,6 +300,9 @@ impl Cache {
             experiment_hits: self.counters.experiment_hits.load(Ordering::Relaxed),
             experiment_misses: self.counters.experiment_misses.load(Ordering::Relaxed),
             experiment_stores: self.counters.experiment_stores.load(Ordering::Relaxed),
+            model_hits: self.counters.model_hits.load(Ordering::Relaxed),
+            model_misses: self.counters.model_misses.load(Ordering::Relaxed),
+            model_stores: self.counters.model_stores.load(Ordering::Relaxed),
         }
     }
 
@@ -556,6 +578,75 @@ impl Cache {
         }
     }
 
+    /// Path of the model artifact for `(artifact_version, key)`. The key
+    /// is built by the caller (via [`KeyWriter`]) over everything that
+    /// determines the trained model: corpus/context digest and training
+    /// configuration.
+    pub fn model_path(&self, artifact_version: u32, key: u64) -> Option<PathBuf> {
+        let mut w = KeyWriter::new();
+        w.u32(artifact_version);
+        w.u64(key);
+        let name = w.finish_hex();
+        self.root
+            .as_ref()
+            .map(|r| r.join(format!("model-{name}.json")))
+    }
+
+    /// Load cached trained-model bytes for `(artifact_version, key)`, if a
+    /// valid entry exists. A hit means a warm `spsel train` rerun skips
+    /// training entirely.
+    pub fn load_model(&self, artifact_version: u32, key: u64) -> Option<String> {
+        let path = self.model_path(artifact_version, key)?;
+        let key_hex = format!("{key:016x}");
+        let loaded = match read_json::<ModelFile>(&path) {
+            ReadOutcome::Corrupt => {
+                self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.model_miss();
+                eprintln!("cache: corrupt artifact {} (recomputing)", path.display());
+                return None;
+            }
+            ReadOutcome::Missing => None,
+            ReadOutcome::Ok(file) => {
+                if file.artifact_version == artifact_version && file.key == key_hex {
+                    Some(file.payload)
+                } else {
+                    None
+                }
+            }
+        };
+        match loaded {
+            Some(payload) => {
+                self.counters.model_hits.fetch_add(1, Ordering::Relaxed);
+                Self::touch(&path);
+                Some(payload)
+            }
+            None => {
+                self.model_miss();
+                None
+            }
+        }
+    }
+
+    fn model_miss(&self) {
+        self.counters.model_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Persist trained-model bytes (best-effort). `payload` is the model
+    /// artifact's own JSON encoding.
+    pub fn store_model(&self, artifact_version: u32, key: u64, payload: &str) {
+        let Some(path) = self.model_path(artifact_version, key) else {
+            return;
+        };
+        let file = ModelFile {
+            artifact_version,
+            key: format!("{key:016x}"),
+            payload: payload.to_string(),
+        };
+        if write_json_atomic(&path, &file, self.store_corruption(&path)) {
+            self.counters.model_stores.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Garbage-collect the cache directory: evict artifacts older than
     /// `max_age`, then evict oldest-first until the directory fits in
     /// `max_bytes`. A disabled cache GC is a no-op. Artifacts touched on
@@ -821,6 +912,45 @@ mod tests {
         assert!(cache
             .load_experiment::<Vec<f64>, _>("table4", 0xAB, &params)
             .is_none());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn model_cache_round_trips_and_validates() {
+        let dir = std::env::temp_dir().join(format!("spsel-modelcache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::new(&dir);
+        let payload = r#"{"artifact_version":1,"gpus":[]}"#;
+
+        // Cold: miss, then store.
+        assert!(cache.load_model(1, 0xBEEF).is_none());
+        cache.store_model(1, 0xBEEF, payload);
+        let r = cache.report();
+        assert_eq!((r.model_hits, r.model_misses, r.model_stores), (0, 1, 1));
+
+        // Warm: exact bytes back, counted as a model hit.
+        assert_eq!(cache.load_model(1, 0xBEEF).as_deref(), Some(payload));
+        assert_eq!(cache.report().model_hits, 1);
+
+        // A different key or artifact version is a separate entry.
+        assert!(cache.load_model(1, 0xBEF0).is_none());
+        assert!(cache.load_model(2, 0xBEEF).is_none());
+
+        // Model artifacts ride the standard GC.
+        let gc = cache.gc(&GcConfig {
+            max_bytes: 0,
+            max_age: Duration::from_secs(0),
+        });
+        assert_eq!(gc.scanned, 1);
+        assert_eq!(gc.evicted, 1);
+        assert!(cache.load_model(1, 0xBEEF).is_none());
+
+        // Disabled cache: never consulted, never counted.
+        let off = Cache::disabled();
+        assert!(off.model_path(1, 1).is_none());
+        assert!(off.load_model(1, 1).is_none());
+        assert_eq!(off.report().model_misses, 0);
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -30,6 +30,37 @@ pub enum CoreError {
         /// GPU name.
         gpu: String,
     },
+    /// A malformed command-line argument or request parameter (bad flag,
+    /// unparsable number, unknown GPU/format name, ...).
+    InvalidArgument {
+        /// What was wrong, phrased for the user.
+        message: String,
+    },
+    /// An I/O failure on a user-supplied path (matrix file, model
+    /// artifact, output location).
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error text.
+        message: String,
+    },
+}
+
+impl CoreError {
+    /// Invalid-argument constructor (saves `.into()` noise at call sites).
+    pub fn invalid_argument(message: impl Into<String>) -> Self {
+        CoreError::InvalidArgument {
+            message: message.into(),
+        }
+    }
+
+    /// I/O-error constructor.
+    pub fn io(path: impl Into<String>, message: impl Into<String>) -> Self {
+        CoreError::Io {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -43,6 +74,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::EmptyDataset { gpu } => {
                 write!(f, "{gpu} contributed no usable records")
+            }
+            CoreError::InvalidArgument { message } => {
+                write!(f, "invalid argument: {message}")
+            }
+            CoreError::Io { path, message } => {
+                write!(f, "{path}: {message}")
             }
         }
     }
@@ -73,5 +110,9 @@ mod tests {
             gpu: "Pascal".into(),
         };
         assert!(e.to_string().contains("Pascal"));
+        let e = CoreError::invalid_argument("--iterations takes a number");
+        assert!(e.to_string().contains("--iterations"));
+        let e = CoreError::io("model.spsel", "No such file or directory");
+        assert!(e.to_string().contains("model.spsel"));
     }
 }

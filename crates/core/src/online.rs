@@ -108,6 +108,41 @@ impl OnlineSelector {
         self.labels[c].unwrap_or(self.default)
     }
 
+    /// The full decision [`observe`](Self::observe) would make, without
+    /// updating the model: nearest cluster, its recommendation, and
+    /// whether that cluster still wants a benchmark. `new_cluster` is
+    /// always false — peeking never opens clusters.
+    pub fn peek(&self, features: &FeatureVector) -> OnlineDecision {
+        let z = self.preprocessor.embed(features);
+        let cluster = self.clusters.assign(&z);
+        OnlineDecision {
+            cluster,
+            new_cluster: false,
+            format: self.labels[cluster].unwrap_or(self.default),
+            benchmark_requested: self.labels[cluster].is_none(),
+        }
+    }
+
+    /// Distance from a matrix to its nearest centroid in the embedded
+    /// space — how novel the matrix looks to the current clustering.
+    pub fn novelty(&self, features: &FeatureVector) -> f64 {
+        self.clusters.novelty(&self.preprocessor.embed(features))
+    }
+
+    /// Observations absorbed by one cluster (seed mass plus streamed
+    /// members), or 0 for an out-of-range index.
+    pub fn cluster_count(&self, cluster: usize) -> usize {
+        self.clusters.counts().get(cluster).copied().unwrap_or(0)
+    }
+
+    /// Whether a cluster currently carries a benchmark-derived label.
+    pub fn is_labeled(&self, cluster: usize) -> bool {
+        self.labels
+            .get(cluster)
+            .map(|l| l.is_some())
+            .unwrap_or(false)
+    }
+
     /// Feed back a measured best format for a matrix previously assigned
     /// to `cluster` (typically in response to `benchmark_requested`).
     /// Overwrites the cluster's label — the latest measurement wins, which

@@ -95,7 +95,11 @@ impl SemiConfig {
 }
 
 /// A fitted semi-supervised selector.
-#[derive(Debug, Clone)]
+///
+/// Serializes in full (pipeline, clustering, per-member label state) so a
+/// trained selector can be shipped as a model artifact and reloaded with
+/// bit-identical predictions — see the `spsel-serve` crate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SemiSupervisedSelector {
     config: SemiConfig,
     preprocessor: Preprocessor,
@@ -333,6 +337,11 @@ impl SemiSupervisedSelector {
     /// Number of clusters (the paper's NC column).
     pub fn n_clusters(&self) -> usize {
         self.clustering.n_clusters()
+    }
+
+    /// The configuration the selector was fitted with.
+    pub fn config(&self) -> &SemiConfig {
+        &self.config
     }
 
     /// The fitted clustering.

@@ -41,6 +41,53 @@ pub struct CacheReport {
     pub experiment_misses: u64,
     /// Experiment-phase results written back to disk this run.
     pub experiment_stores: u64,
+    /// Trained model artifacts served from disk (each one makes a warm
+    /// `spsel train` rerun instant).
+    pub model_hits: u64,
+    /// Trained model artifacts that had to be retrained.
+    pub model_misses: u64,
+    /// Trained model artifacts written back to disk this run.
+    pub model_stores: u64,
+}
+
+/// Snapshot of a serving process's counters (the `spsel-serve` daemon or
+/// an in-process engine driven by `loadgen`): request mix, latency
+/// quantiles from a monotonic clock, online-clustering activity, and how
+/// much feedback the online loop absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Requests received, all types (each batch counts once).
+    pub requests: u64,
+    /// `select` requests answered (batched selects count individually).
+    pub select_requests: u64,
+    /// `feedback` requests answered.
+    pub feedback_requests: u64,
+    /// `stats` requests answered.
+    pub stats_requests: u64,
+    /// `batch` envelopes received.
+    pub batch_requests: u64,
+    /// Largest number of selects carried by one batch envelope.
+    pub max_batch_size: u64,
+    /// Requests answered with an error envelope.
+    pub errors: u64,
+    /// Requests dropped because they exceeded their deadline.
+    pub deadline_exceeded: u64,
+    /// Selects answered from an already-labeled cluster (the serving
+    /// analogue of a cache hit: no benchmark needed).
+    pub cluster_hits: u64,
+    /// Selects that opened a brand-new online cluster.
+    pub new_clusters: u64,
+    /// Selects that asked the client to benchmark (unlabeled cluster).
+    pub benchmarks_requested: u64,
+    /// Feedback labels applied to online clusters.
+    pub feedback_applied: u64,
+    /// Median request latency in microseconds (monotonic clock,
+    /// log-bucketed histogram upper bound).
+    pub p50_latency_us: f64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_latency_us: f64,
+    /// Worst observed request latency in microseconds.
+    pub max_latency_us: f64,
 }
 
 /// One quarantined record: excluded from a GPU's dataset, with the reason.
@@ -157,6 +204,9 @@ pub struct RunReport {
     pub serial: bool,
     /// Fault injection and graceful-degradation accounting.
     pub degradation: DegradationReport,
+    /// Serving counters, present when the run hosted a request loop
+    /// (`spsel-serve`, `loadgen`).
+    pub serving: Option<ServingReport>,
 }
 
 impl RunReport {
@@ -175,6 +225,7 @@ impl RunReport {
             },
             serial,
             degradation: DegradationReport::default(),
+            serving: None,
         }
     }
 
@@ -234,7 +285,16 @@ mod tests {
         r.record("phase", 0.25);
         r.cache.hits = 3;
         r.cache.enabled = true;
+        r.serving = Some(ServingReport {
+            requests: 100,
+            select_requests: 90,
+            feedback_applied: 4,
+            p50_latency_us: 128.0,
+            p99_latency_us: 4096.0,
+            ..Default::default()
+        });
         let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("p99_latency_us"));
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
     }

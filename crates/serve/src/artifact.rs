@@ -1,0 +1,308 @@
+//! Versioned, self-describing model artifacts.
+//!
+//! An artifact is everything a serving process needs to make decisions
+//! without retraining: one fitted [`SemiSupervisedSelector`] per GPU
+//! (which embeds its [`spsel_features::Preprocessor`]), the explicit
+//! per-GPU cluster-label tables, the conversion-cost model, and enough
+//! provenance (artifact version, feature-pipeline digest, corpus config,
+//! context digest) to refuse anything stale.
+//!
+//! Compatibility rule: an artifact is loadable iff its
+//! `artifact_version` equals this build's [`ARTIFACT_VERSION`] *and* its
+//! `feature_digest` equals [`feature_pipeline_digest()`]. Any change to
+//! the serialized shape must bump [`ARTIFACT_VERSION`]; any change to the
+//! Table 1 feature set changes the digest by construction. Both
+//! mismatches are typed [`ServeError`]s, never panics.
+//!
+//! Serialization uses the workspace's serde_json shim, which prints
+//! floats with shortest-round-trip formatting — so a load reproduces
+//! every model coefficient bit-for-bit and decisions from a reloaded
+//! artifact are bit-identical to the selector that produced it (see
+//! `tests/artifact.rs`).
+
+use crate::error::ServeError;
+use serde::{Deserialize, Serialize};
+use spsel_core::cache::{Cache, KeyWriter};
+use spsel_core::corpus::{Corpus, CorpusConfig};
+use spsel_core::experiments::ExperimentContext;
+use spsel_core::semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
+use spsel_core::CoreResult;
+use spsel_features::{FeatureId, NUM_FEATURES};
+use spsel_gpusim::cost::ConversionCostModel;
+use spsel_matrix::Format;
+use std::path::Path;
+
+/// Version of the artifact serialization format. Bump on any change to
+/// the serialized shape or semantics; a mismatch is rejected at load.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// Digest of the feature pipeline the artifact's models consume: the
+/// feature count and the exact Table 1 feature order. Models trained
+/// against a different pipeline cannot be applied to this build's
+/// feature vectors, digest inequality catches that at load time.
+pub fn feature_pipeline_digest() -> String {
+    let mut w = KeyWriter::new();
+    w.usize(NUM_FEATURES);
+    for id in FeatureId::ALL {
+        w.str(id.name());
+    }
+    w.finish_hex()
+}
+
+/// One GPU's trained selector plus its self-describing label table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuArtifact {
+    /// GPU name (`Pascal`, `Volta`, `Turing`).
+    pub gpu: String,
+    /// The fitted selector (embeds preprocessing and clustering).
+    pub selector: SemiSupervisedSelector,
+    /// Per-cluster format labels, duplicated out of the selector so
+    /// `spsel inspect` (and foreign tooling) can read the decision table
+    /// without understanding the full selector encoding.
+    pub cluster_labels: Vec<Format>,
+    /// Matrices the selector was trained on.
+    pub training_records: usize,
+}
+
+/// A complete, versioned serving model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelArtifact {
+    /// Serialization version — must equal [`ARTIFACT_VERSION`] to load.
+    pub artifact_version: u32,
+    /// Feature-pipeline digest — must equal [`feature_pipeline_digest`].
+    pub feature_digest: String,
+    /// Hex digest of the training context (corpus + every benchmark bit).
+    pub context_digest: String,
+    /// Corpus configuration the model was trained on.
+    pub corpus: CorpusConfig,
+    /// Conversion-cost model for amortized recommendations.
+    pub conversion: ConversionCostModel,
+    /// One entry per GPU that produced a usable training set.
+    pub gpus: Vec<GpuArtifact>,
+}
+
+/// Training-time configuration: which labeler/seed to use and how the
+/// cluster count scales with the training-set size (the `select` CLI's
+/// long-standing `max(n / divisor, min_clusters)` heuristic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Seed for clustering and per-cluster models.
+    pub seed: u64,
+    /// Cluster-labeling strategy.
+    pub labeler: Labeler,
+    /// Cluster count = `max(n / cluster_divisor, min_clusters)`.
+    pub cluster_divisor: usize,
+    /// Lower bound on the cluster count.
+    pub min_clusters: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            seed: 7,
+            labeler: Labeler::Vote,
+            cluster_divisor: 10,
+            min_clusters: 4,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The per-GPU [`SemiConfig`] for a training set of `n` matrices.
+    pub fn semi_config(&self, n: usize) -> SemiConfig {
+        SemiConfig::new(
+            ClusterMethod::KMeans {
+                nc: (n / self.cluster_divisor).max(self.min_clusters),
+            },
+            self.labeler,
+            self.seed,
+        )
+    }
+
+    /// Cache key for a trained artifact: artifact version, training
+    /// context digest, and every training parameter — anything that could
+    /// change the trained model changes the key.
+    pub fn cache_key(&self, context_digest: u64) -> u64 {
+        let mut w = KeyWriter::new();
+        w.u32(ARTIFACT_VERSION);
+        w.u64(context_digest);
+        w.u64(self.seed);
+        w.str(self.labeler.name());
+        w.usize(self.cluster_divisor);
+        w.usize(self.min_clusters);
+        w.finish()
+    }
+}
+
+/// Train one selector per active GPU from an experiment context.
+/// GPUs that lost their whole benchmark run (fault degradation) are
+/// skipped; an error is returned only when *no* GPU is trainable.
+pub fn train(ctx: &ExperimentContext, tc: &TrainConfig) -> CoreResult<ModelArtifact> {
+    let mut gpus = Vec::new();
+    for gpu in ctx.active_gpus() {
+        let indices = ctx.dataset(gpu);
+        if indices.is_empty() {
+            continue;
+        }
+        let features = ctx.features(&indices);
+        let labels = match Corpus::labels(ctx.bench(gpu), &indices) {
+            Ok(l) => l,
+            Err(_) => continue,
+        };
+        let selector =
+            SemiSupervisedSelector::fit(&features, &labels, tc.semi_config(indices.len()));
+        gpus.push(GpuArtifact {
+            gpu: gpu.name().to_string(),
+            cluster_labels: selector.cluster_labels().to_vec(),
+            training_records: indices.len(),
+            selector,
+        });
+    }
+    if gpus.is_empty() {
+        return Err(spsel_core::CoreError::EmptyDataset { gpu: "all".into() });
+    }
+    Ok(ModelArtifact {
+        artifact_version: ARTIFACT_VERSION,
+        feature_digest: feature_pipeline_digest(),
+        context_digest: format!("{:016x}", ctx.digest()),
+        corpus: ctx.corpus.config().clone(),
+        conversion: ConversionCostModel::default(),
+        gpus,
+    })
+}
+
+/// Train with the artifact-bytes cache: a warm rerun with the same
+/// context and training config loads the stored bytes instead of
+/// retraining (counted as a model hit in the cache report).
+pub fn train_cached(
+    ctx: &ExperimentContext,
+    tc: &TrainConfig,
+    cache: &Cache,
+) -> Result<ModelArtifact, ServeError> {
+    let key = tc.cache_key(ctx.digest());
+    if let Some(payload) = cache.load_model(ARTIFACT_VERSION, key) {
+        // A cached payload that no longer parses (version drift without a
+        // bump would be a bug, but bugs happen) falls back to retraining.
+        if let Ok(artifact) = from_json(&payload) {
+            return Ok(artifact);
+        }
+    }
+    let artifact = train(ctx, tc)?;
+    cache.store_model(ARTIFACT_VERSION, key, &to_json(&artifact));
+    Ok(artifact)
+}
+
+/// Serialize an artifact to its canonical JSON encoding.
+pub fn to_json(artifact: &ModelArtifact) -> String {
+    serde_json::to_string(artifact).expect("model artifact serializes")
+}
+
+/// Parse and validate an artifact: version first (so any future encoding
+/// still gets a precise [`ServeError::VersionMismatch`], not a parse
+/// error), then the full decode, then the feature-pipeline digest.
+pub fn from_json(payload: &str) -> Result<ModelArtifact, ServeError> {
+    let value: serde::Value = serde_json::from_str(payload).map_err(|e| ServeError::Malformed {
+        message: e.to_string(),
+    })?;
+    let fields =
+        serde::expect_object(&value, "ModelArtifact").map_err(|e| ServeError::Malformed {
+            message: e.to_string(),
+        })?;
+    let found: u32 =
+        serde::get_field(fields, "artifact_version", "ModelArtifact").map_err(|e| {
+            ServeError::Malformed {
+                message: e.to_string(),
+            }
+        })?;
+    if found != ARTIFACT_VERSION {
+        return Err(ServeError::VersionMismatch {
+            found,
+            expected: ARTIFACT_VERSION,
+        });
+    }
+    let artifact = ModelArtifact::from_value(&value).map_err(|e| ServeError::Malformed {
+        message: e.to_string(),
+    })?;
+    let expected = feature_pipeline_digest();
+    if artifact.feature_digest != expected {
+        return Err(ServeError::FeatureDigestMismatch {
+            found: artifact.feature_digest,
+            expected,
+        });
+    }
+    Ok(artifact)
+}
+
+/// Write an artifact to `path` (not atomic: artifacts are user files,
+/// not cache entries).
+pub fn save(artifact: &ModelArtifact, path: impl AsRef<Path>) -> Result<(), ServeError> {
+    let path = path.as_ref();
+    std::fs::write(path, to_json(artifact)).map_err(|e| ServeError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// Read and validate an artifact from `path`.
+pub fn load(path: impl AsRef<Path>) -> Result<ModelArtifact, ServeError> {
+    let path = path.as_ref();
+    let payload = std::fs::read_to_string(path).map_err(|e| ServeError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    from_json(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_digest_is_stable_and_order_sensitive() {
+        assert_eq!(feature_pipeline_digest(), feature_pipeline_digest());
+        assert_eq!(feature_pipeline_digest().len(), 16);
+    }
+
+    #[test]
+    fn train_config_keys_separate_every_parameter() {
+        let base = TrainConfig::default();
+        let k = base.cache_key(1);
+        assert_eq!(k, base.cache_key(1), "keys are deterministic");
+        assert_ne!(k, base.cache_key(2), "context digest in the key");
+        assert_ne!(
+            k,
+            TrainConfig { seed: 8, ..base }.cache_key(1),
+            "seed in the key"
+        );
+        assert_ne!(
+            k,
+            TrainConfig {
+                labeler: Labeler::RandomForest,
+                ..base
+            }
+            .cache_key(1),
+            "labeler in the key"
+        );
+        assert_ne!(
+            k,
+            TrainConfig {
+                cluster_divisor: 5,
+                ..base
+            }
+            .cache_key(1),
+            "divisor in the key"
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_detected_before_full_decode() {
+        // A payload with only a (wrong) version field: a full decode would
+        // fail on missing fields, but the version check must win.
+        let err = from_json(r#"{"artifact_version": 99}"#).unwrap_err();
+        assert_eq!(err.code(), "artifact_version_mismatch");
+        let err = from_json("not json at all").unwrap_err();
+        assert_eq!(err.code(), "malformed");
+        let err = from_json(r#"{"no_version": true}"#).unwrap_err();
+        assert_eq!(err.code(), "malformed");
+    }
+}

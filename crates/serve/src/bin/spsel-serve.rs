@@ -1,0 +1,145 @@
+//! `spsel-serve`: the persistent format-selection daemon.
+//!
+//! ```sh
+//! spsel-serve --model model.spsel [--addr HOST:PORT] [--workers N]
+//!             [--deadline-ms MS] [--json REPORT]
+//! spsel-serve --quick [--seed S]      # train a throwaway model first
+//! ```
+//!
+//! On startup the daemon prints exactly one `listening on HOST:PORT`
+//! line to stdout (scripts parse it to find the ephemeral port) and then
+//! serves newline-delimited JSON requests until a `Shutdown` request.
+//! On exit it prints the serving counters and, with `--json`, writes a
+//! run report whose `serving` field holds the same counters.
+
+use spsel_core::cache::{Cache, DEFAULT_CACHE_DIR};
+use spsel_core::corpus::CorpusConfig;
+use spsel_core::experiments::ExperimentContext;
+use spsel_core::telemetry::RunReport;
+use spsel_core::CoreError;
+use spsel_serve::artifact::{self, TrainConfig};
+use spsel_serve::{Engine, EngineOptions, ServeError, ServeOptions, Server};
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        let envelope = e.envelope();
+        eprintln!(
+            "spsel-serve: {}",
+            serde_json::to_string(&envelope).expect("envelope serializes")
+        );
+        std::process::exit(1);
+    }
+}
+
+fn value<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, ServeError> {
+    args.get(i + 1)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CoreError::invalid_argument(format!("{flag} needs a value")).into())
+}
+
+fn run(args: &[String]) -> Result<(), ServeError> {
+    let mut model_path = None;
+    let mut quick = false;
+    let mut seed = 0xC0FFEEu64;
+    let mut opts = ServeOptions::default();
+    let mut json = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--model" => {
+                model_path = Some(value::<String>(args, i, "--model")?);
+                i += 1;
+            }
+            "--addr" => {
+                opts.addr = value(args, i, "--addr")?;
+                i += 1;
+            }
+            "--workers" => {
+                opts.workers = value(args, i, "--workers")?;
+                i += 1;
+            }
+            "--deadline-ms" => {
+                opts.default_deadline_ms = value(args, i, "--deadline-ms")?;
+                i += 1;
+            }
+            "--seed" => {
+                seed = value(args, i, "--seed")?;
+                i += 1;
+            }
+            "--json" => {
+                json = Some(value::<String>(args, i, "--json")?);
+                i += 1;
+            }
+            "--quick" => quick = true,
+            other => {
+                return Err(
+                    CoreError::invalid_argument(format!("unknown argument `{other}`")).into(),
+                )
+            }
+        }
+        i += 1;
+    }
+
+    let model = match model_path {
+        Some(path) => {
+            let model = artifact::load(&path)?;
+            eprintln!(
+                "loaded artifact v{} ({} GPUs) from {path}",
+                model.artifact_version,
+                model.gpus.len()
+            );
+            model
+        }
+        None if quick => {
+            eprintln!("no --model given: training a quick throwaway model");
+            let cache = Cache::from_env(DEFAULT_CACHE_DIR);
+            let mut report = RunReport::new("spsel-serve-train");
+            let context =
+                ExperimentContext::build(CorpusConfig::small(120, seed), &cache, &mut report);
+            artifact::train_cached(&context, &TrainConfig::default(), &cache)?
+        }
+        None => {
+            return Err(CoreError::invalid_argument(
+                "spsel-serve needs --model MODEL (or --quick to train a throwaway model)",
+            )
+            .into())
+        }
+    };
+
+    let engine = Arc::new(Engine::from_artifact(&model, &EngineOptions::default())?);
+    let server = Server::bind(engine, opts).map_err(|e| ServeError::Io {
+        path: "listener".into(),
+        message: e.to_string(),
+    })?;
+    let addr = server.local_addr().map_err(|e| ServeError::Io {
+        path: "listener".into(),
+        message: e.to_string(),
+    })?;
+    println!("listening on {addr}");
+
+    let serving = server.run();
+    eprintln!(
+        "served {} requests ({} select, {} feedback, {} stats, {} batch; {} errors), \
+         p50 {:.0}us p99 {:.0}us",
+        serving.requests,
+        serving.select_requests,
+        serving.feedback_requests,
+        serving.stats_requests,
+        serving.batch_requests,
+        serving.errors,
+        serving.p50_latency_us,
+        serving.p99_latency_us,
+    );
+    if let Some(path) = json {
+        let mut report = RunReport::new("spsel-serve");
+        report.serving = Some(serving);
+        let payload = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&path, payload).map_err(|e| ServeError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+    }
+    Ok(())
+}

@@ -1,0 +1,236 @@
+//! `spsel`: the model-artifact CLI.
+//!
+//! ```sh
+//! spsel train --out model.spsel [--quick | --base N] [--seed S]
+//!             [--cache DIR | --no-cache] [--cache-gc] [--json REPORT]
+//! spsel inspect MODEL
+//! spsel request ADDR JSON      # one wire round-trip against a daemon
+//! ```
+//!
+//! `train` builds (or loads from cache) the benchmark context, fits one
+//! selector per GPU, and writes a versioned artifact; a warm rerun with
+//! the same corpus and training config is served from the artifact-bytes
+//! cache without retraining. `inspect` prints an artifact's provenance
+//! and per-GPU cluster-label tables. All failures exit nonzero with the
+//! serve error envelope on stderr.
+
+use spsel_core::cache::{Cache, GcConfig, DEFAULT_CACHE_DIR};
+use spsel_core::corpus::CorpusConfig;
+use spsel_core::experiments::ExperimentContext;
+use spsel_core::telemetry::RunReport;
+use spsel_core::CoreError;
+use spsel_matrix::Format;
+use spsel_serve::artifact::{self, TrainConfig, ARTIFACT_VERSION};
+use spsel_serve::{Client, ServeError};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => {}
+        Err(e) => {
+            let envelope = e.envelope();
+            eprintln!(
+                "spsel: {}",
+                serde_json::to_string(&envelope).expect("envelope serializes")
+            );
+            std::process::exit(match e {
+                ServeError::BadRequest { .. } => 2,
+                _ => 1,
+            });
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), ServeError> {
+    match args.first().map(String::as_str) {
+        Some("train") => train(&args[1..]),
+        Some("inspect") => inspect(&args[1..]),
+        Some("request") => request(&args[1..]),
+        _ => Err(CoreError::invalid_argument(
+            "usage: spsel train --out MODEL | spsel inspect MODEL | spsel request ADDR JSON",
+        )
+        .into()),
+    }
+}
+
+/// Parse the value after a flag, typed.
+fn value<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, ServeError> {
+    args.get(i + 1)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CoreError::invalid_argument(format!("{flag} needs a value")).into())
+}
+
+fn train(args: &[String]) -> Result<(), ServeError> {
+    let mut out = None;
+    let mut n_base = 300usize;
+    let mut quick = false;
+    let mut seed = 0xC0FFEEu64;
+    let mut cache_dir = DEFAULT_CACHE_DIR.to_string();
+    let mut no_cache = false;
+    let mut cache_gc = false;
+    let mut json = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out = Some(value::<String>(args, i, "--out")?);
+                i += 1;
+            }
+            "--base" => {
+                n_base = value(args, i, "--base")?;
+                i += 1;
+            }
+            "--seed" => {
+                seed = value(args, i, "--seed")?;
+                i += 1;
+            }
+            "--cache" => {
+                cache_dir = value(args, i, "--cache")?;
+                i += 1;
+            }
+            "--json" => {
+                json = Some(value::<String>(args, i, "--json")?);
+                i += 1;
+            }
+            "--quick" => quick = true,
+            "--no-cache" => no_cache = true,
+            "--cache-gc" => cache_gc = true,
+            other => {
+                return Err(
+                    CoreError::invalid_argument(format!("unknown argument `{other}`")).into(),
+                )
+            }
+        }
+        i += 1;
+    }
+    let out = out
+        .ok_or_else(|| ServeError::from(CoreError::invalid_argument("train needs --out MODEL")))?;
+
+    let cfg = if quick {
+        CorpusConfig::small(120, seed)
+    } else {
+        CorpusConfig {
+            n_base,
+            augment_copies: 0,
+            seed,
+            with_images: false,
+            image_resolution: 32,
+            size_scale: 1.0,
+        }
+    };
+    let cache = if no_cache {
+        Cache::disabled()
+    } else {
+        Cache::from_env(&cache_dir)
+    };
+    if cache_gc {
+        let gc = cache.gc(&GcConfig::default());
+        eprintln!(
+            "cache gc: kept {} artifacts ({} bytes), evicted {} ({} bytes)",
+            gc.kept, gc.bytes_kept, gc.evicted, gc.bytes_evicted
+        );
+    }
+
+    let mut report = RunReport::new("spsel-train");
+    let context = report.time("context", || {
+        ExperimentContext::build(cfg, &cache, &mut RunReport::new("inner"))
+    });
+    let tc = TrainConfig::default();
+    let start = Instant::now();
+    let model = artifact::train_cached(&context, &tc, &cache)?;
+    report.record("train", start.elapsed().as_secs_f64());
+    artifact::save(&model, &out)?;
+    report.cache = cache.report();
+
+    let cache_note = if report.cache.model_hits > 0 {
+        " (artifact-cache hit, training skipped)"
+    } else {
+        ""
+    };
+    println!(
+        "trained artifact v{ARTIFACT_VERSION} -> {out}{cache_note}: {} GPUs, corpus {} records, context {}",
+        model.gpus.len(),
+        context.corpus.len(),
+        model.context_digest,
+    );
+    for g in &model.gpus {
+        println!(
+            "  {:<8} {} clusters over {} matrices",
+            g.gpu,
+            g.cluster_labels.len(),
+            g.training_records
+        );
+    }
+    println!(
+        "cache: {} model hits, {} misses, {} stores",
+        report.cache.model_hits, report.cache.model_misses, report.cache.model_stores
+    );
+    if let Some(path) = json {
+        let payload = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&path, payload).map_err(|e| ServeError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+    }
+    Ok(())
+}
+
+fn inspect(args: &[String]) -> Result<(), ServeError> {
+    let path = args
+        .first()
+        .ok_or_else(|| ServeError::from(CoreError::invalid_argument("inspect needs MODEL")))?;
+    let model = artifact::load(path)?;
+    println!("{path}: artifact v{}", model.artifact_version);
+    println!("  feature pipeline {}", model.feature_digest);
+    println!("  training context {}", model.context_digest);
+    println!(
+        "  corpus: {} base matrices, {} augmented copies, seed {:#x}, size scale {}",
+        model.corpus.n_base,
+        model.corpus.augment_copies,
+        model.corpus.seed,
+        model.corpus.size_scale
+    );
+    println!(
+        "  conversion costs (CSR-SpMV equivalents): COO {}, ELL {}, HYB {}",
+        model.conversion.coo, model.conversion.ell, model.conversion.hyb
+    );
+    for g in &model.gpus {
+        let mut counts = [0usize; Format::COUNT];
+        for &f in &g.cluster_labels {
+            counts[f.index()] += 1;
+        }
+        let distribution: Vec<String> = Format::ALL
+            .into_iter()
+            .filter(|f| counts[f.index()] > 0)
+            .map(|f| format!("{} x{}", f.name(), counts[f.index()]))
+            .collect();
+        println!(
+            "  {:<8} {} clusters / {} matrices: {}",
+            g.gpu,
+            g.cluster_labels.len(),
+            g.training_records,
+            distribution.join(", ")
+        );
+    }
+    Ok(())
+}
+
+fn request(args: &[String]) -> Result<(), ServeError> {
+    let (addr, payload) = match args {
+        [addr, payload] => (addr, payload),
+        _ => {
+            return Err(CoreError::invalid_argument("usage: spsel request ADDR JSON").into());
+        }
+    };
+    let mut client = Client::connect(addr.as_str()).map_err(|e| ServeError::Io {
+        path: addr.clone(),
+        message: e.to_string(),
+    })?;
+    let response = client.roundtrip_raw(payload).map_err(|e| ServeError::Io {
+        path: addr.clone(),
+        message: e.to_string(),
+    })?;
+    println!("{response}");
+    Ok(())
+}

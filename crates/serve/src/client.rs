@@ -1,0 +1,53 @@
+//! A minimal blocking client for the wire protocol, used by the
+//! `spsel request` subcommand, `loadgen`, and the end-to-end tests.
+
+use crate::protocol::{Request, Response};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One persistent connection to a `spsel-serve` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to the daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one raw request line, return the raw response line.
+    pub fn roundtrip_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.trim_end().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Send one typed request, parse the typed response.
+    pub fn roundtrip(&mut self, request: &Request) -> std::io::Result<Response> {
+        let line = serde_json::to_string(request).expect("request serializes");
+        let raw = self.roundtrip_raw(&line)?;
+        serde_json::from_str(&raw).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparsable response: {e}"),
+            )
+        })
+    }
+}

@@ -1,0 +1,359 @@
+//! The decision engine: one codepath shared by the `select` CLI, the
+//! daemon, and tests.
+//!
+//! An [`Engine`] holds, per GPU, the fitted batch selector (for
+//! explanations) and a mutex-guarded [`OnlineSelector`] warm-started from
+//! it (for streaming decisions and feedback). Decisions are fully
+//! deterministic: the simulated measurement noise is seeded by a hash of
+//! the matrix's own feature bits, so the same matrix always sees the same
+//! predicted times — which is what makes artifact round-trips
+//! bit-identical and testable.
+
+use crate::artifact::{feature_pipeline_digest, ModelArtifact, ARTIFACT_VERSION};
+use crate::error::ServeError;
+use crate::metrics::ServeMetrics;
+use crate::protocol::{
+    parse_format, parse_gpu, FormatTime, GpuStats, SelectBody, SelectReply, StatsReply,
+};
+use spsel_core::cache::KeyWriter;
+use spsel_core::overhead::{amortized_best, break_even_iterations};
+use spsel_core::semi::SemiSupervisedSelector;
+use spsel_core::OnlineSelector;
+use spsel_features::{FeatureId, FeatureVector, MatrixStats, NUM_FEATURES};
+use spsel_gpusim::cost::ConversionCostModel;
+use spsel_gpusim::{predict_times, Gpu};
+use spsel_matrix::{io, CsrMatrix, Format};
+use std::sync::Mutex;
+
+/// Online-learning knobs for the serving engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineOptions {
+    /// Embedded-space distance beyond which a streamed matrix opens a new
+    /// online cluster.
+    pub online_threshold: f64,
+    /// Upper bound on online cluster growth.
+    pub online_max_clusters: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            online_threshold: 0.5,
+            online_max_clusters: 256,
+        }
+    }
+}
+
+struct GpuState {
+    gpu: Gpu,
+    batch: SemiSupervisedSelector,
+    online: Mutex<OnlineSelector>,
+    training_records: usize,
+}
+
+/// A loaded model ready to answer selection queries.
+pub struct Engine {
+    states: Vec<GpuState>,
+    conversion: ConversionCostModel,
+    metrics: ServeMetrics,
+    artifact_version: u32,
+    feature_digest: String,
+    default_iterations: usize,
+}
+
+impl Engine {
+    /// Build from a validated artifact. Fails only if an entry names a
+    /// GPU this build does not simulate.
+    pub fn from_artifact(
+        artifact: &ModelArtifact,
+        opts: &EngineOptions,
+    ) -> Result<Self, ServeError> {
+        let mut pairs = Vec::new();
+        for g in &artifact.gpus {
+            let gpu = parse_gpu(&g.gpu)?;
+            pairs.push((gpu, g.selector.clone(), g.training_records));
+        }
+        Ok(Self::build(pairs, artifact.conversion, opts))
+    }
+
+    /// Build from freshly fitted selectors (the CLI's train-on-demand
+    /// path); `training_records` rides along for stats.
+    pub fn from_selectors(
+        selectors: Vec<(Gpu, SemiSupervisedSelector, usize)>,
+        conversion: ConversionCostModel,
+        opts: &EngineOptions,
+    ) -> Self {
+        Self::build(selectors, conversion, opts)
+    }
+
+    fn build(
+        selectors: Vec<(Gpu, SemiSupervisedSelector, usize)>,
+        conversion: ConversionCostModel,
+        opts: &EngineOptions,
+    ) -> Self {
+        let states = selectors
+            .into_iter()
+            .map(|(gpu, batch, training_records)| GpuState {
+                gpu,
+                online: Mutex::new(OnlineSelector::from_batch(
+                    &batch,
+                    opts.online_threshold,
+                    opts.online_max_clusters,
+                )),
+                batch,
+                training_records,
+            })
+            .collect();
+        Engine {
+            states,
+            conversion,
+            metrics: ServeMetrics::new(),
+            artifact_version: ARTIFACT_VERSION,
+            feature_digest: feature_pipeline_digest(),
+            default_iterations: 1000,
+        }
+    }
+
+    /// GPUs this engine can decide for, in artifact order.
+    pub fn gpus(&self) -> Vec<Gpu> {
+        self.states.iter().map(|s| s.gpu).collect()
+    }
+
+    /// The engine's serving counters (shared with the request loop).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The batch selector backing one GPU (for explanations).
+    pub fn batch_selector(&self, gpu: Gpu) -> Option<&SemiSupervisedSelector> {
+        self.states.iter().find(|s| s.gpu == gpu).map(|s| &s.batch)
+    }
+
+    fn state(&self, gpu: Gpu) -> Result<&GpuState, ServeError> {
+        self.states
+            .iter()
+            .find(|s| s.gpu == gpu)
+            .ok_or_else(|| ServeError::UnknownGpu {
+                name: format!("{} (not in the loaded model)", gpu.name()),
+            })
+    }
+
+    /// Resolve a request body to `(features, stats)`: read and
+    /// featurize the matrix file, or reconstruct stats from an inline
+    /// Table 1 vector.
+    pub fn resolve_features(
+        &self,
+        body: &SelectBody,
+    ) -> Result<(FeatureVector, MatrixStats), ServeError> {
+        if let Some(path) = &body.matrix {
+            let coo = io::read_matrix_market_file(path).map_err(|e| ServeError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            })?;
+            let csr = CsrMatrix::from(&coo);
+            let stats = MatrixStats::from_csr(&csr);
+            let fv = FeatureVector::from_stats(&stats);
+            return Ok((fv, stats));
+        }
+        if let Some(values) = &body.features {
+            if values.len() != NUM_FEATURES {
+                return Err(ServeError::FeatureDim {
+                    got: values.len(),
+                    expected: NUM_FEATURES,
+                });
+            }
+            let mut raw = [0.0; NUM_FEATURES];
+            raw.copy_from_slice(values);
+            let fv = FeatureVector::from_raw(raw);
+            let stats = stats_from_features(&fv);
+            return Ok((fv, stats));
+        }
+        Err(ServeError::BadRequest {
+            message: "select needs `matrix` (a path) or `features` (21 values)".into(),
+        })
+    }
+
+    /// Answer one selection query end to end. This is the single decision
+    /// codepath: CLI, daemon, and batch requests all land here.
+    pub fn select(&self, body: &SelectBody) -> Result<SelectReply, ServeError> {
+        let gpu = parse_gpu(&body.gpu)?;
+        let state = self.state(gpu)?;
+        let (fv, stats) = self.resolve_features(body)?;
+        let iterations = body.iterations.unwrap_or(self.default_iterations);
+        let learn = body.learn.unwrap_or(true);
+
+        let (decision, centroid_distance, cluster_size) = {
+            let mut online = state.online.lock().expect("online selector lock");
+            // Distance before the observation moves (or creates) the
+            // centroid: for a new cluster this is the novelty that
+            // exceeded the threshold.
+            let distance = online.novelty(&fv);
+            let decision = if learn {
+                online.observe(&fv)
+            } else {
+                online.peek(&fv)
+            };
+            (decision, distance, online.cluster_count(decision.cluster))
+        };
+        self.metrics
+            .select(decision.new_cluster, decision.benchmark_requested);
+
+        let times = predict_times(&gpu.spec(), &stats, matrix_id(&fv));
+        let amortized = amortized_best(&times, &self.conversion, iterations);
+        let break_even = break_even_iterations(&times, &self.conversion, amortized.format);
+        let predicted = Format::ALL
+            .into_iter()
+            .map(|f| {
+                let t = times.get(f);
+                FormatTime {
+                    format: f.name().to_string(),
+                    us: t.is_finite().then_some(t),
+                }
+            })
+            .collect();
+
+        Ok(SelectReply {
+            gpu: gpu.name().to_string(),
+            format: decision.format.name().to_string(),
+            cluster: decision.cluster,
+            cluster_size,
+            centroid_distance,
+            new_cluster: decision.new_cluster,
+            benchmark_requested: decision.benchmark_requested,
+            predicted,
+            amortized_format: amortized.format.name().to_string(),
+            amortized_total_us: amortized.total_us,
+            csr_total_us: amortized.csr_total_us,
+            break_even_iterations: break_even,
+            iterations,
+        })
+    }
+
+    /// Apply a measured label to an online cluster (the feedback loop).
+    /// Validates the cluster index so a bad client gets a typed error
+    /// instead of tripping the core's assertion.
+    pub fn feedback(
+        &self,
+        gpu: &str,
+        cluster: usize,
+        best: &str,
+    ) -> Result<crate::protocol::FeedbackReply, ServeError> {
+        let gpu = parse_gpu(gpu)?;
+        let state = self.state(gpu)?;
+        let format = parse_format(best)?;
+        let mut online = state.online.lock().expect("online selector lock");
+        if cluster >= online.n_clusters() {
+            return Err(ServeError::UnknownCluster {
+                gpu: gpu.name().to_string(),
+                cluster,
+                clusters: online.n_clusters(),
+            });
+        }
+        online.report_benchmark(cluster, format);
+        self.metrics.feedback();
+        Ok(crate::protocol::FeedbackReply {
+            gpu: gpu.name().to_string(),
+            cluster,
+            format: format.name().to_string(),
+            unlabeled_clusters: online.unlabeled_clusters(),
+            staleness: online.staleness(),
+        })
+    }
+
+    /// Snapshot the serving counters and per-GPU online state.
+    pub fn stats(&self) -> StatsReply {
+        self.metrics.stats();
+        let gpus = self
+            .states
+            .iter()
+            .map(|s| {
+                let online = s.online.lock().expect("online selector lock");
+                GpuStats {
+                    gpu: s.gpu.name().to_string(),
+                    clusters: online.n_clusters(),
+                    unlabeled_clusters: online.unlabeled_clusters(),
+                    staleness: online.staleness(),
+                    training_records: s.training_records,
+                }
+            })
+            .collect();
+        StatsReply {
+            artifact_version: self.artifact_version,
+            feature_digest: self.feature_digest.clone(),
+            gpus,
+            serving: self.metrics.report(),
+        }
+    }
+}
+
+/// Deterministic measurement-noise seed for a matrix: an FNV-1a hash of
+/// its feature bits. The same matrix (by features) always sees the same
+/// simulated times, on the CLI, the daemon, and across artifact reloads.
+pub fn matrix_id(fv: &FeatureVector) -> u64 {
+    let mut w = KeyWriter::new();
+    for &v in fv.as_slice() {
+        w.f64(v);
+    }
+    w.finish()
+}
+
+/// Reconstruct the raw [`MatrixStats`] the GPU performance model needs
+/// from a Table 1 feature vector. Every stats field is either a feature
+/// itself or derivable from one (`hyb_ell_nnz = nnz - hyb_coo`,
+/// `hyb_ell_width = hyb_ell_size / nrows`), which is what makes the
+/// inline-features request path possible without shipping the matrix.
+pub fn stats_from_features(fv: &FeatureVector) -> MatrixStats {
+    let count = |id: FeatureId| fv.get(id).max(0.0).round() as usize;
+    let nrows = count(FeatureId::NRows);
+    let nnz = count(FeatureId::Nnz);
+    let hyb_ell_size = count(FeatureId::HybEllSize);
+    let hyb_coo_nnz = count(FeatureId::HybCoo);
+    MatrixStats {
+        nrows,
+        ncols: count(FeatureId::NCols),
+        nnz,
+        nnz_min: count(FeatureId::NnzMin),
+        nnz_max: count(FeatureId::NnzMax),
+        nnz_mean: fv.get(FeatureId::NnzMu),
+        nnz_std: fv.get(FeatureId::NnzSig),
+        sig_lower: fv.get(FeatureId::SigLower),
+        sig_higher: fv.get(FeatureId::SigHigher),
+        csr_max: count(FeatureId::CsrMax),
+        hyb_ell_width: hyb_ell_size.checked_div(nrows).unwrap_or(0),
+        hyb_ell_size,
+        hyb_ell_nnz: nnz.saturating_sub(hyb_coo_nnz),
+        hyb_coo_nnz,
+        diagonals: count(FeatureId::Diagonals),
+        dia_size: count(FeatureId::DiaSize),
+        ell_size: count(FeatureId::EllSize),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spsel_matrix::gen;
+
+    #[test]
+    fn stats_survive_the_feature_round_trip() {
+        // matrix -> stats -> features -> stats must reproduce every field
+        // the GPU model reads, so inline-feature requests decide exactly
+        // like matrix-path requests.
+        for seed in 0..5u64 {
+            let csr = CsrMatrix::from(&gen::power_law(200, 200, 2, 2.3, 80, seed));
+            let stats = MatrixStats::from_csr(&csr);
+            let fv = FeatureVector::from_stats(&stats);
+            let back = stats_from_features(&fv);
+            assert_eq!(back, stats);
+            assert_eq!(matrix_id(&fv), matrix_id(&FeatureVector::from_stats(&back)));
+        }
+    }
+
+    #[test]
+    fn matrix_id_distinguishes_matrices() {
+        let a = FeatureVector::from_csr(&CsrMatrix::from(&gen::stencil2d(10, 0)));
+        let b = FeatureVector::from_csr(&CsrMatrix::from(&gen::stencil2d(11, 0)));
+        assert_ne!(matrix_id(&a), matrix_id(&b));
+        assert_eq!(matrix_id(&a), matrix_id(&a));
+    }
+}

@@ -1,0 +1,253 @@
+//! Typed serving errors and the wire error envelope.
+//!
+//! Every failure a client (or the `select` CLI) can provoke — malformed
+//! JSON, an unknown GPU, a stale artifact, a missed deadline — maps to a
+//! [`ServeError`] variant, and every variant renders as the same
+//! [`ErrorEnvelope`] on the wire: a stable machine-readable `code` plus a
+//! human-readable `message`. Nothing on the request path panics.
+
+use serde::{Deserialize, Serialize};
+use spsel_core::CoreError;
+use std::fmt;
+
+/// Why a serving operation (artifact load, request decode, decision)
+/// failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request was syntactically or semantically malformed.
+    BadRequest {
+        /// What was wrong.
+        message: String,
+    },
+    /// The request named a GPU the model does not know.
+    UnknownGpu {
+        /// The offending name.
+        name: String,
+    },
+    /// The request named a storage format that does not exist.
+    UnknownFormat {
+        /// The offending name.
+        name: String,
+    },
+    /// Feedback referenced a cluster index the online selector does not
+    /// have (would otherwise be an assertion failure deep in the core).
+    UnknownCluster {
+        /// GPU whose online selector was addressed.
+        gpu: String,
+        /// The offending cluster index.
+        cluster: usize,
+        /// Current number of clusters.
+        clusters: usize,
+    },
+    /// An inline feature vector had the wrong dimensionality.
+    FeatureDim {
+        /// Features received.
+        got: usize,
+        /// Features required (Table 1 length).
+        expected: usize,
+    },
+    /// An I/O failure on a matrix file or model artifact path.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error text.
+        message: String,
+    },
+    /// The request took longer than its deadline allowed.
+    DeadlineExceeded {
+        /// Deadline the request carried (or the server default), ms.
+        deadline_ms: u64,
+        /// Time actually spent, ms.
+        elapsed_ms: u64,
+    },
+    /// The artifact was written by an incompatible serialization version.
+    VersionMismatch {
+        /// Version found in the artifact.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The artifact was trained against a different feature pipeline.
+    FeatureDigestMismatch {
+        /// Digest found in the artifact.
+        found: String,
+        /// Digest of this build's pipeline.
+        expected: String,
+    },
+    /// An artifact (or wire payload) that should be ours does not parse.
+    Malformed {
+        /// Parser diagnostics.
+        message: String,
+    },
+    /// A core-pipeline error (training data, labeling, ...).
+    Core(CoreError),
+}
+
+impl ServeError {
+    /// Stable machine-readable error code for the wire envelope.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest { .. } => "bad_request",
+            ServeError::UnknownGpu { .. } => "unknown_gpu",
+            ServeError::UnknownFormat { .. } => "unknown_format",
+            ServeError::UnknownCluster { .. } => "unknown_cluster",
+            ServeError::FeatureDim { .. } => "feature_dim",
+            ServeError::Io { .. } => "io",
+            ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServeError::VersionMismatch { .. } => "artifact_version_mismatch",
+            ServeError::FeatureDigestMismatch { .. } => "feature_digest_mismatch",
+            ServeError::Malformed { .. } => "malformed",
+            ServeError::Core(_) => "core",
+        }
+    }
+
+    /// The wire form of this error.
+    pub fn envelope(&self) -> ErrorEnvelope {
+        ErrorEnvelope {
+            code: self.code().to_string(),
+            message: self.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest { message } => write!(f, "bad request: {message}"),
+            ServeError::UnknownGpu { name } => {
+                write!(
+                    f,
+                    "unknown GPU `{name}` (expected Pascal, Volta, or Turing)"
+                )
+            }
+            ServeError::UnknownFormat { name } => {
+                write!(
+                    f,
+                    "unknown format `{name}` (expected COO, CSR, ELL, or HYB)"
+                )
+            }
+            ServeError::UnknownCluster {
+                gpu,
+                cluster,
+                clusters,
+            } => write!(
+                f,
+                "cluster {cluster} does not exist on {gpu} ({clusters} clusters)"
+            ),
+            ServeError::FeatureDim { got, expected } => {
+                write!(f, "feature vector has {got} values, expected {expected}")
+            }
+            ServeError::Io { path, message } => write!(f, "{path}: {message}"),
+            ServeError::DeadlineExceeded {
+                deadline_ms,
+                elapsed_ms,
+            } => write!(f, "deadline of {deadline_ms} ms exceeded ({elapsed_ms} ms)"),
+            ServeError::VersionMismatch { found, expected } => write!(
+                f,
+                "artifact version {found} is incompatible with this build \
+                 (expected {expected}); re-run `spsel train`"
+            ),
+            ServeError::FeatureDigestMismatch { found, expected } => write!(
+                f,
+                "artifact was trained against feature pipeline {found}, \
+                 this build computes {expected}; re-run `spsel train`"
+            ),
+            ServeError::Malformed { message } => write!(f, "malformed payload: {message}"),
+            ServeError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        // Argument/IO core errors keep their specific wire codes so CLI
+        // and daemon report them identically.
+        match e {
+            CoreError::InvalidArgument { message } => ServeError::BadRequest { message },
+            CoreError::Io { path, message } => ServeError::Io { path, message },
+            other => ServeError::Core(other),
+        }
+    }
+}
+
+/// The wire form of every failure: one stable code, one readable message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorEnvelope {
+    /// Machine-readable error class (`bad_request`, `unknown_gpu`, ...).
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_has_a_distinct_code_and_message() {
+        let errors = [
+            ServeError::BadRequest {
+                message: "x".into(),
+            },
+            ServeError::UnknownGpu { name: "TPU".into() },
+            ServeError::UnknownFormat { name: "BSR".into() },
+            ServeError::UnknownCluster {
+                gpu: "Volta".into(),
+                cluster: 99,
+                clusters: 4,
+            },
+            ServeError::FeatureDim {
+                got: 3,
+                expected: 21,
+            },
+            ServeError::Io {
+                path: "a.mtx".into(),
+                message: "gone".into(),
+            },
+            ServeError::DeadlineExceeded {
+                deadline_ms: 5,
+                elapsed_ms: 9,
+            },
+            ServeError::VersionMismatch {
+                found: 2,
+                expected: 1,
+            },
+            ServeError::FeatureDigestMismatch {
+                found: "aa".into(),
+                expected: "bb".into(),
+            },
+            ServeError::Malformed {
+                message: "truncated".into(),
+            },
+            ServeError::Core(CoreError::EmptyDataset {
+                gpu: "Pascal".into(),
+            }),
+        ];
+        let codes: std::collections::HashSet<_> = errors.iter().map(|e| e.code()).collect();
+        assert_eq!(codes.len(), errors.len());
+        for e in &errors {
+            let env = e.envelope();
+            assert_eq!(env.code, e.code());
+            assert!(!env.message.is_empty());
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips_and_core_args_map_to_wire_codes() {
+        let env = ServeError::VersionMismatch {
+            found: 9,
+            expected: 1,
+        }
+        .envelope();
+        let json = serde_json::to_string(&env).unwrap();
+        let back: ErrorEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, env);
+
+        let e: ServeError = CoreError::invalid_argument("--base takes a number").into();
+        assert_eq!(e.code(), "bad_request");
+        let e: ServeError = CoreError::io("m.mtx", "denied").into();
+        assert_eq!(e.code(), "io");
+    }
+}

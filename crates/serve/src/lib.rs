@@ -1,0 +1,39 @@
+//! `spsel-serve`: the persistent format-selection service.
+//!
+//! The paper's conclusion sketches an online classification system that
+//! learns from SpMV operations as they are performed; this crate is the
+//! serving half that makes it deployable:
+//!
+//! * [`artifact`] — versioned, self-describing model artifacts: train
+//!   once (`spsel train`), ship the file, load it anywhere with
+//!   bit-identical decisions. Version or feature-pipeline mismatches are
+//!   typed errors, never panics.
+//! * [`engine`] — the one decision codepath (batch selector + warm
+//!   [`spsel_core::OnlineSelector`] per GPU) shared by the `select` CLI,
+//!   the daemon, and tests.
+//! * [`server`] — a newline-delimited-JSON TCP loop with a worker pool,
+//!   per-request deadlines, and graceful shutdown; [`protocol`] defines
+//!   the wire types and [`error`] the typed error envelope.
+//! * [`metrics`] — lock-free serving counters (latency quantiles from a
+//!   monotonic clock) surfaced through the `stats` request and the
+//!   run-report JSON.
+//!
+//! The daemon binary is `spsel-serve`; the artifact CLI is `spsel`
+//! (`train`, `inspect`, `request`); `loadgen` in the bench crate drives
+//! concurrent synthetic clients against all of this.
+
+pub mod artifact;
+pub mod client;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use artifact::{feature_pipeline_digest, ModelArtifact, TrainConfig, ARTIFACT_VERSION};
+pub use client::Client;
+pub use engine::{Engine, EngineOptions};
+pub use error::{ErrorEnvelope, ServeError};
+pub use metrics::ServeMetrics;
+pub use protocol::{Request, Response, SelectBody, SelectReply};
+pub use server::{ServeOptions, Server};

@@ -1,0 +1,236 @@
+//! Lock-free serving counters and a log-bucketed latency histogram.
+//!
+//! Latencies come from a monotonic clock ([`std::time::Instant`]) and land
+//! in power-of-two microsecond buckets, so p50/p99 are exact bucket upper
+//! bounds — cheap enough to record on every request, precise enough for a
+//! throughput report. A snapshot serializes as
+//! [`spsel_core::telemetry::ServingReport`] for the `stats` request and
+//! the run-report JSON.
+
+use spsel_core::telemetry::ServingReport;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets; bucket `i` holds requests with
+/// `floor(log2(us)) == i`, so the top bucket covers ~584 thousand years.
+const BUCKETS: usize = 64;
+
+/// Shared mutable serving counters (all atomics; clones of the owning
+/// engine share them by reference).
+#[derive(Debug)]
+pub struct ServeMetrics {
+    requests: AtomicU64,
+    select_requests: AtomicU64,
+    feedback_requests: AtomicU64,
+    stats_requests: AtomicU64,
+    batch_requests: AtomicU64,
+    max_batch_size: AtomicU64,
+    errors: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    cluster_hits: AtomicU64,
+    new_clusters: AtomicU64,
+    benchmarks_requested: AtomicU64,
+    feedback_applied: AtomicU64,
+    latency_buckets: [AtomicU64; BUCKETS],
+    max_latency_us: AtomicU64,
+}
+
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics {
+            requests: AtomicU64::new(0),
+            select_requests: AtomicU64::new(0),
+            feedback_requests: AtomicU64::new(0),
+            stats_requests: AtomicU64::new(0),
+            batch_requests: AtomicU64::new(0),
+            max_batch_size: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            cluster_hits: AtomicU64::new(0),
+            new_clusters: AtomicU64::new(0),
+            benchmarks_requested: AtomicU64::new(0),
+            feedback_applied: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            max_latency_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one incoming request line (any type, before parsing).
+    pub fn request(&self) {
+        bump(&self.requests);
+    }
+
+    /// Count one answered select (batched bodies count individually).
+    /// `new_cluster` / `benchmark_requested` mirror the decision flags; a
+    /// select answered from an already-labeled cluster is a cluster hit.
+    pub fn select(&self, new_cluster: bool, benchmark_requested: bool) {
+        bump(&self.select_requests);
+        if new_cluster {
+            bump(&self.new_clusters);
+        }
+        if benchmark_requested {
+            bump(&self.benchmarks_requested);
+        } else {
+            bump(&self.cluster_hits);
+        }
+    }
+
+    /// Count one applied feedback label.
+    pub fn feedback(&self) {
+        bump(&self.feedback_requests);
+        bump(&self.feedback_applied);
+    }
+
+    /// Count one stats request.
+    pub fn stats(&self) {
+        bump(&self.stats_requests);
+    }
+
+    /// Count one batch envelope of `size` bodies.
+    pub fn batch(&self, size: usize) {
+        bump(&self.batch_requests);
+        self.max_batch_size
+            .fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    /// Count one error response.
+    pub fn error(&self) {
+        bump(&self.errors);
+    }
+
+    /// Count one deadline miss (also an error response).
+    pub fn deadline_exceeded(&self) {
+        bump(&self.deadline_exceeded);
+        bump(&self.errors);
+    }
+
+    /// Record one request's wall-clock latency.
+    pub fn record_latency(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (63 - (us | 1).leading_zeros() as usize).min(BUCKETS - 1);
+        bump(&self.latency_buckets[bucket]);
+        self.max_latency_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Latency at quantile `q` in [0, 1]: the upper bound of the bucket
+    /// holding the `ceil(q * n)`-th fastest request, 0 when empty.
+    fn latency_quantile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .latency_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper bound of bucket i: 2^(i+1) - 1 microseconds.
+                return ((1u128 << (i + 1)) - 1) as f64;
+            }
+        }
+        ((1u128 << BUCKETS) - 1) as f64
+    }
+
+    /// Serializable snapshot of every counter.
+    pub fn report(&self) -> ServingReport {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServingReport {
+            requests: load(&self.requests),
+            select_requests: load(&self.select_requests),
+            feedback_requests: load(&self.feedback_requests),
+            stats_requests: load(&self.stats_requests),
+            batch_requests: load(&self.batch_requests),
+            max_batch_size: load(&self.max_batch_size),
+            errors: load(&self.errors),
+            deadline_exceeded: load(&self.deadline_exceeded),
+            cluster_hits: load(&self.cluster_hits),
+            new_clusters: load(&self.new_clusters),
+            benchmarks_requested: load(&self.benchmarks_requested),
+            feedback_applied: load(&self.feedback_applied),
+            p50_latency_us: self.latency_quantile(0.50),
+            p99_latency_us: self.latency_quantile(0.99),
+            max_latency_us: load(&self.max_latency_us) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_into_the_report() {
+        let m = ServeMetrics::new();
+        m.request();
+        m.request();
+        m.select(true, true);
+        m.select(false, false);
+        m.feedback();
+        m.stats();
+        m.batch(5);
+        m.batch(3);
+        m.error();
+        m.deadline_exceeded();
+        let r = m.report();
+        assert_eq!(r.requests, 2);
+        assert_eq!(r.select_requests, 2);
+        assert_eq!(r.new_clusters, 1);
+        assert_eq!(r.benchmarks_requested, 1);
+        assert_eq!(r.cluster_hits, 1);
+        assert_eq!(r.feedback_requests, 1);
+        assert_eq!(r.feedback_applied, 1);
+        assert_eq!(r.stats_requests, 1);
+        assert_eq!(r.batch_requests, 2);
+        assert_eq!(r.max_batch_size, 5);
+        assert_eq!(r.errors, 2, "deadline misses are also errors");
+        assert_eq!(r.deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn latency_quantiles_are_bucket_upper_bounds() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.report().p50_latency_us, 0.0, "empty histogram");
+        // 99 fast requests (~100 us), 1 slow (~50 ms).
+        for _ in 0..99 {
+            m.record_latency(Duration::from_micros(100));
+        }
+        m.record_latency(Duration::from_millis(50));
+        let r = m.report();
+        // 100 us lands in bucket 6 (64..127); upper bound 127.
+        assert_eq!(r.p50_latency_us, 127.0);
+        // The p99 target is the 99th request, still in the fast bucket.
+        assert_eq!(r.p99_latency_us, 127.0);
+        assert!(r.max_latency_us >= 50_000.0);
+        // One more slow request pushes p99 into the slow bucket.
+        for _ in 0..5 {
+            m.record_latency(Duration::from_millis(50));
+        }
+        let r = m.report();
+        assert!(r.p99_latency_us > 10_000.0);
+        // p50 is unchanged.
+        assert_eq!(r.p50_latency_us, 127.0);
+    }
+
+    #[test]
+    fn sub_microsecond_latencies_land_in_the_first_bucket() {
+        let m = ServeMetrics::new();
+        m.record_latency(Duration::from_nanos(10));
+        assert_eq!(m.report().p50_latency_us, 1.0);
+    }
+}

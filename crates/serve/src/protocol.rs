@@ -1,0 +1,365 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, over a plain TCP
+//! stream. Requests are an externally tagged enum: unit requests are bare
+//! JSON strings (`"Stats"`, `"Shutdown"`), payload-carrying requests are
+//! single-key objects (`{"Select": {...}}`). Every response is one flat
+//! [`Response`] envelope: `ok` plus exactly one populated section (or
+//! `error`), so clients never parse alternations.
+//!
+//! See the README for one worked request/response example per type.
+
+use crate::error::{ErrorEnvelope, ServeError};
+use serde::{Deserialize, Serialize};
+use spsel_core::telemetry::ServingReport;
+use spsel_gpusim::Gpu;
+use spsel_matrix::Format;
+
+/// One format-selection query: a matrix by path *or* by inline Table 1
+/// feature vector, on one GPU, for an iteration horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectBody {
+    /// Path to a Matrix Market file, readable by the server process.
+    pub matrix: Option<String>,
+    /// Inline Table 1 features (exactly 21 values, table order) —
+    /// the zero-I/O path for clients that extract features themselves.
+    pub features: Option<Vec<f64>>,
+    /// GPU to decide for (`Pascal`, `Volta`, `Turing`).
+    pub gpu: String,
+    /// SpMV iteration horizon for the amortized recommendation
+    /// (default 1000).
+    pub iterations: Option<usize>,
+    /// Whether this observation may update the online clustering
+    /// (default true; set false for read-only probes).
+    pub learn: Option<bool>,
+}
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Select a format for one matrix.
+    Select {
+        /// Path to a Matrix Market file.
+        matrix: Option<String>,
+        /// Inline Table 1 features (21 values).
+        features: Option<Vec<f64>>,
+        /// GPU to decide for.
+        gpu: String,
+        /// SpMV iteration horizon (default 1000).
+        iterations: Option<usize>,
+        /// Per-request deadline in milliseconds (overrides the server
+        /// default; omit for the default).
+        deadline_ms: Option<u64>,
+        /// Whether the online clustering may learn from this observation.
+        learn: Option<bool>,
+    },
+    /// Select for many matrices in one round-trip; the worker fans the
+    /// bodies out through the parallel runtime.
+    Batch {
+        /// The individual selection queries.
+        requests: Vec<SelectBody>,
+        /// Deadline for the whole batch, milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Report a measured best format for a cluster (the online loop):
+    /// the server labels/refreshes that cluster without refitting.
+    Feedback {
+        /// GPU whose online selector to update.
+        gpu: String,
+        /// Cluster index from an earlier select response.
+        cluster: usize,
+        /// Measured best format (`COO`, `CSR`, `ELL`, `HYB`).
+        best: String,
+    },
+    /// Fetch the serving counters and per-GPU online-clustering state.
+    Stats,
+    /// Gracefully stop the daemon after answering this request.
+    Shutdown,
+}
+
+impl Request {
+    /// View a `Select` request as the batchable body it carries.
+    pub fn select_body(
+        matrix: &Option<String>,
+        features: &Option<Vec<f64>>,
+        gpu: &str,
+        iterations: Option<usize>,
+        learn: Option<bool>,
+    ) -> SelectBody {
+        SelectBody {
+            matrix: matrix.clone(),
+            features: features.clone(),
+            gpu: gpu.to_string(),
+            iterations,
+            learn,
+        }
+    }
+}
+
+/// Predicted SpMV time of one format; `us` is absent when the format is
+/// infeasible (out of memory) on the target GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FormatTime {
+    /// Format name.
+    pub format: String,
+    /// Predicted microseconds per SpMV, absent when infeasible.
+    pub us: Option<f64>,
+}
+
+/// Answer to one selection query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectReply {
+    /// GPU the decision is for.
+    pub gpu: String,
+    /// Recommended format (the cluster's label).
+    pub format: String,
+    /// Cluster the matrix was assigned to.
+    pub cluster: usize,
+    /// Observations in that cluster (training seed plus streamed).
+    pub cluster_size: usize,
+    /// Distance to the nearest centroid before this observation.
+    pub centroid_distance: f64,
+    /// Whether this matrix opened a brand-new online cluster.
+    pub new_cluster: bool,
+    /// Whether the server wants this matrix benchmarked (unlabeled
+    /// cluster) — answer with a `Feedback` request.
+    pub benchmark_requested: bool,
+    /// Predicted per-format SpMV times.
+    pub predicted: Vec<FormatTime>,
+    /// Overhead-conscious recommendation at the iteration horizon.
+    pub amortized_format: String,
+    /// Total cost (conversion + iterations x kernel) of that choice, us.
+    pub amortized_total_us: f64,
+    /// Total cost of staying with CSR, us.
+    pub csr_total_us: f64,
+    /// Iterations after which leaving CSR pays off, absent when it never
+    /// does.
+    pub break_even_iterations: Option<usize>,
+    /// Iteration horizon the amortized numbers used.
+    pub iterations: usize,
+}
+
+/// Answer to a feedback request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackReply {
+    /// GPU whose online selector was updated.
+    pub gpu: String,
+    /// Cluster that was labeled.
+    pub cluster: usize,
+    /// The label now carried by that cluster.
+    pub format: String,
+    /// Clusters still waiting for a benchmark label.
+    pub unlabeled_clusters: usize,
+    /// Observations absorbed by unlabeled clusters since their last
+    /// benchmark.
+    pub staleness: usize,
+}
+
+/// Per-GPU online-clustering state in a stats reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuStats {
+    /// GPU name.
+    pub gpu: String,
+    /// Current online cluster count.
+    pub clusters: usize,
+    /// Clusters without a benchmark label.
+    pub unlabeled_clusters: usize,
+    /// Observations absorbed by unlabeled clusters.
+    pub staleness: usize,
+    /// Matrices used to train the batch selector behind this GPU.
+    pub training_records: usize,
+}
+
+/// Answer to a stats request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Artifact serialization version the engine was loaded from.
+    pub artifact_version: u32,
+    /// Feature-pipeline digest the engine's models consume.
+    pub feature_digest: String,
+    /// Per-GPU online state.
+    pub gpus: Vec<GpuStats>,
+    /// Serving counters since startup.
+    pub serving: ServingReport,
+}
+
+/// Answer to a shutdown request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShutdownReply {
+    /// Always true: the daemon stops accepting connections after this
+    /// response is written.
+    pub stopping: bool,
+}
+
+/// One response line: `ok` plus exactly one populated section.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Populated when `ok` is false.
+    pub error: Option<ErrorEnvelope>,
+    /// Populated for `Select` requests.
+    pub select: Option<SelectReply>,
+    /// Populated for `Batch` requests: one response per body, in order.
+    pub batch: Option<Vec<Response>>,
+    /// Populated for `Feedback` requests.
+    pub feedback: Option<FeedbackReply>,
+    /// Populated for `Stats` requests.
+    pub stats: Option<StatsReply>,
+    /// Populated for `Shutdown` requests.
+    pub shutdown: Option<ShutdownReply>,
+}
+
+impl Response {
+    fn empty(ok: bool) -> Self {
+        Response {
+            ok,
+            error: None,
+            select: None,
+            batch: None,
+            feedback: None,
+            stats: None,
+            shutdown: None,
+        }
+    }
+
+    /// Error response carrying `e`'s envelope.
+    pub fn from_error(e: &ServeError) -> Self {
+        Response {
+            error: Some(e.envelope()),
+            ..Response::empty(false)
+        }
+    }
+
+    /// Successful selection response.
+    pub fn of_select(reply: SelectReply) -> Self {
+        Response {
+            select: Some(reply),
+            ..Response::empty(true)
+        }
+    }
+
+    /// Batch response; `ok` reflects whether every body succeeded.
+    pub fn of_batch(responses: Vec<Response>) -> Self {
+        let ok = responses.iter().all(|r| r.ok);
+        Response {
+            batch: Some(responses),
+            ..Response::empty(ok)
+        }
+    }
+
+    /// Successful feedback response.
+    pub fn of_feedback(reply: FeedbackReply) -> Self {
+        Response {
+            feedback: Some(reply),
+            ..Response::empty(true)
+        }
+    }
+
+    /// Stats response.
+    pub fn of_stats(reply: StatsReply) -> Self {
+        Response {
+            stats: Some(reply),
+            ..Response::empty(true)
+        }
+    }
+
+    /// Shutdown acknowledgement.
+    pub fn of_shutdown() -> Self {
+        Response {
+            shutdown: Some(ShutdownReply { stopping: true }),
+            ..Response::empty(true)
+        }
+    }
+}
+
+/// Parse a GPU name from the wire (case-insensitive).
+pub fn parse_gpu(name: &str) -> Result<Gpu, ServeError> {
+    Gpu::ALL
+        .into_iter()
+        .find(|g| g.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| ServeError::UnknownGpu {
+            name: name.to_string(),
+        })
+}
+
+/// Parse a storage-format name from the wire (case-insensitive).
+pub fn parse_format(name: &str) -> Result<Format, ServeError> {
+    Format::ALL
+        .into_iter()
+        .find(|f| f.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| ServeError::UnknownFormat {
+            name: name.to_string(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let reqs = vec![
+            Request::Select {
+                matrix: Some("a.mtx".into()),
+                features: None,
+                gpu: "Volta".into(),
+                iterations: Some(500),
+                deadline_ms: Some(20),
+                learn: Some(false),
+            },
+            Request::Batch {
+                requests: vec![SelectBody {
+                    matrix: None,
+                    features: Some(vec![1.0; 21]),
+                    gpu: "Pascal".into(),
+                    iterations: None,
+                    learn: None,
+                }],
+                deadline_ms: None,
+            },
+            Request::Feedback {
+                gpu: "Turing".into(),
+                cluster: 3,
+                best: "HYB".into(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let json = serde_json::to_string(&r).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, r);
+        }
+        // Unit requests are bare strings on the wire.
+        assert_eq!(serde_json::to_string(&Request::Stats).unwrap(), "\"Stats\"");
+        let back: Request = serde_json::from_str("\"Shutdown\"").unwrap();
+        assert_eq!(back, Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip_and_batch_ok_aggregates() {
+        let good = Response::of_shutdown();
+        let bad = Response::from_error(&ServeError::UnknownGpu { name: "X".into() });
+        assert!(good.ok && !bad.ok);
+        let batch = Response::of_batch(vec![good.clone(), bad.clone()]);
+        assert!(!batch.ok, "one failed body fails the batch");
+        let json = serde_json::to_string(&batch).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, batch);
+        assert_eq!(
+            back.batch.as_ref().unwrap()[1].error.as_ref().unwrap().code,
+            "unknown_gpu"
+        );
+    }
+
+    #[test]
+    fn gpu_and_format_names_parse_case_insensitively() {
+        assert_eq!(parse_gpu("volta").unwrap(), Gpu::Volta);
+        assert_eq!(parse_gpu("PASCAL").unwrap(), Gpu::Pascal);
+        assert!(parse_gpu("TPU").is_err());
+        assert_eq!(parse_format("hyb").unwrap(), Format::Hyb);
+        assert_eq!(parse_format("Csr").unwrap(), Format::Csr);
+        assert!(parse_format("BSR").is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! The TCP request loop: newline-delimited JSON over
+//! [`std::net::TcpListener`], a fixed worker pool, per-request deadlines,
+//! and graceful shutdown on a `Shutdown` request.
+//!
+//! The accept loop is non-blocking and hands connections to workers
+//! through a condvar-guarded queue; workers poll their sockets with a
+//! short read timeout so a shutdown (from any connection) drains every
+//! worker within one poll interval. Batch bodies fan out through the
+//! rayon shim, so one multi-matrix request uses every core.
+
+use crate::engine::Engine;
+use crate::error::ServeError;
+use crate::metrics::ServeMetrics;
+use crate::protocol::{Request, Response, SelectBody};
+use rayon::prelude::*;
+use spsel_core::telemetry::ServingReport;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// Socket read timeout: the interval at which idle workers notice a
+/// shutdown.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Server configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Bind address; port 0 asks the OS for an ephemeral port.
+    pub addr: String,
+    /// Worker threads; 0 sizes the pool from the parallel runtime
+    /// (`rayon::current_num_threads()`, minimum 2).
+    pub workers: usize,
+    /// Default per-request deadline in milliseconds; 0 means none.
+    /// Requests can override it with `deadline_ms`.
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            default_deadline_ms: 0,
+        }
+    }
+}
+
+struct ConnQueue {
+    pending: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    opts: ServeOptions,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind the listener (fails fast on an unusable address).
+    pub fn bind(engine: Arc<Engine>, opts: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        Ok(Server {
+            listener,
+            engine,
+            opts,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (the actual port when 0 was requested).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag external code can set to stop the server (equivalent to a
+    /// `Shutdown` request).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serve until a `Shutdown` request (or the shutdown flag) stops the
+    /// loop; drains the worker pool and returns the final counters.
+    pub fn run(self) -> ServingReport {
+        let Server {
+            listener,
+            engine,
+            opts,
+            shutdown,
+        } = self;
+        listener
+            .set_nonblocking(true)
+            .expect("listener nonblocking");
+        let workers = if opts.workers > 0 {
+            opts.workers
+        } else {
+            rayon::current_num_threads().max(2)
+        };
+        let queue = Arc::new(ConnQueue {
+            pending: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let queue = Arc::clone(&queue);
+            let engine = Arc::clone(&engine);
+            let shutdown = Arc::clone(&shutdown);
+            let deadline = opts.default_deadline_ms;
+            handles.push(std::thread::spawn(move || {
+                worker_loop(&queue, &engine, &shutdown, deadline)
+            }));
+        }
+
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let mut pending = queue.pending.lock().expect("conn queue lock");
+                    pending.push_back(stream);
+                    drop(pending);
+                    queue.ready.notify_one();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+        // Drain: wake every worker; each finishes its current connection,
+        // sees the flag, and exits.
+        queue.ready.notify_all();
+        for h in handles {
+            let _ = h.join();
+        }
+        engine.metrics().report()
+    }
+}
+
+fn worker_loop(
+    queue: &ConnQueue,
+    engine: &Engine,
+    shutdown: &AtomicBool,
+    default_deadline_ms: u64,
+) {
+    loop {
+        let stream = {
+            let mut pending = queue.pending.lock().expect("conn queue lock");
+            loop {
+                if let Some(s) = pending.pop_front() {
+                    break Some(s);
+                }
+                if shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = queue
+                    .ready
+                    .wait_timeout(pending, READ_POLL)
+                    .expect("conn queue wait");
+                pending = guard;
+            }
+        };
+        match stream {
+            Some(s) => handle_connection(engine, s, shutdown, default_deadline_ms),
+            None => return,
+        }
+    }
+}
+
+/// Serve one client connection: one response line per request line, until
+/// EOF, an unrecoverable socket error, or shutdown.
+fn handle_connection(
+    engine: &Engine,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    default_deadline_ms: u64,
+) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                let received = Instant::now();
+                if !line.trim().is_empty() {
+                    let (response, stop) =
+                        handle_line(engine, line.trim(), received, default_deadline_ms);
+                    let payload = serde_json::to_string(&response).expect("response serializes");
+                    if writer
+                        .write_all(payload.as_bytes())
+                        .and_then(|_| writer.write_all(b"\n"))
+                        .and_then(|_| writer.flush())
+                        .is_err()
+                    {
+                        return;
+                    }
+                    engine.metrics().record_latency(received.elapsed());
+                    if stop {
+                        shutdown.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle poll: a partial line (if any) stays buffered in
+                // `line` and the next read appends to it.
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parse and answer one request line. Returns the response and whether
+/// the daemon should stop.
+pub fn handle_line(
+    engine: &Engine,
+    line: &str,
+    received: Instant,
+    default_deadline_ms: u64,
+) -> (Response, bool) {
+    engine.metrics().request();
+    match serde_json::from_str::<Request>(line) {
+        Ok(request) => handle_request(engine, &request, received, default_deadline_ms),
+        Err(e) => {
+            engine.metrics().error();
+            (
+                Response::from_error(&ServeError::BadRequest {
+                    message: format!("unparsable request: {e}"),
+                }),
+                false,
+            )
+        }
+    }
+}
+
+/// Answer one parsed request (shared by the socket loop and in-process
+/// tests). Deadlines are enforced against `received`: a response that
+/// took too long is replaced by a `deadline_exceeded` envelope.
+pub fn handle_request(
+    engine: &Engine,
+    request: &Request,
+    received: Instant,
+    default_deadline_ms: u64,
+) -> (Response, bool) {
+    let metrics = engine.metrics();
+    match request {
+        Request::Select {
+            matrix,
+            features,
+            gpu,
+            iterations,
+            deadline_ms,
+            learn,
+        } => {
+            let body = Request::select_body(matrix, features, gpu, *iterations, *learn);
+            let response = select_response(engine, &body);
+            let deadline = deadline_ms.unwrap_or(default_deadline_ms);
+            (
+                enforce_deadline(metrics, response, received, deadline),
+                false,
+            )
+        }
+        Request::Batch {
+            requests,
+            deadline_ms,
+        } => {
+            metrics.batch(requests.len());
+            let responses: Vec<Response> = requests
+                .par_iter()
+                .map(|body| select_response(engine, body))
+                .collect();
+            let response = Response::of_batch(responses);
+            let deadline = deadline_ms.unwrap_or(default_deadline_ms);
+            (
+                enforce_deadline(metrics, response, received, deadline),
+                false,
+            )
+        }
+        Request::Feedback { gpu, cluster, best } => match engine.feedback(gpu, *cluster, best) {
+            Ok(reply) => (Response::of_feedback(reply), false),
+            Err(e) => {
+                metrics.error();
+                (Response::from_error(&e), false)
+            }
+        },
+        Request::Stats => (Response::of_stats(engine.stats()), false),
+        Request::Shutdown => (Response::of_shutdown(), true),
+    }
+}
+
+fn select_response(engine: &Engine, body: &SelectBody) -> Response {
+    match engine.select(body) {
+        Ok(reply) => Response::of_select(reply),
+        Err(e) => {
+            engine.metrics().error();
+            Response::from_error(&e)
+        }
+    }
+}
+
+fn enforce_deadline(
+    metrics: &ServeMetrics,
+    response: Response,
+    received: Instant,
+    deadline_ms: u64,
+) -> Response {
+    if deadline_ms == 0 {
+        return response;
+    }
+    let elapsed_ms = received.elapsed().as_millis() as u64;
+    if elapsed_ms <= deadline_ms {
+        return response;
+    }
+    metrics.deadline_exceeded();
+    Response::from_error(&ServeError::DeadlineExceeded {
+        deadline_ms,
+        elapsed_ms,
+    })
+}

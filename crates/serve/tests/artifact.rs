@@ -1,0 +1,119 @@
+//! Artifact round-trip guarantees: loading a saved model must reproduce
+//! bit-identical decisions, and incompatible artifacts must fail with
+//! typed errors, never panics.
+
+use spsel_core::cache::Cache;
+use spsel_core::corpus::CorpusConfig;
+use spsel_core::experiments::ExperimentContext;
+use spsel_core::telemetry::RunReport;
+use spsel_serve::artifact::{self, TrainConfig, ARTIFACT_VERSION};
+use spsel_serve::protocol::SelectBody;
+use spsel_serve::{Engine, EngineOptions, ServeError};
+
+fn context(n_base: usize, seed: u64) -> ExperimentContext {
+    let cache = Cache::disabled();
+    let mut report = RunReport::new("artifact-test");
+    ExperimentContext::build(CorpusConfig::small(n_base, seed), &cache, &mut report)
+}
+
+fn body(gpu: &str, features: Vec<f64>) -> SelectBody {
+    SelectBody {
+        matrix: None,
+        features: Some(features),
+        gpu: gpu.to_string(),
+        iterations: Some(500),
+        learn: Some(false),
+    }
+}
+
+/// The headline tentpole guarantee: train, serialize, reload, and every
+/// decision over the full quick corpus — on every GPU — is bit-identical
+/// to the in-memory model's, including the serialized reply bytes.
+#[test]
+fn reloaded_artifact_reproduces_every_decision_bit_identically() {
+    let ctx = context(120, 0xC0FFEE);
+    let model = artifact::train(&ctx, &TrainConfig::default()).expect("training succeeds");
+
+    // The JSON form itself is stable: serialize -> parse -> serialize is
+    // byte-for-byte identical (floats use shortest round-trip printing).
+    let json = artifact::to_json(&model);
+    let reloaded = artifact::from_json(&json).expect("artifact parses");
+    assert_eq!(artifact::to_json(&reloaded), json);
+
+    let opts = EngineOptions::default();
+    let original = Engine::from_artifact(&model, &opts).expect("engine from trained model");
+    let restored = Engine::from_artifact(&reloaded, &opts).expect("engine from reloaded model");
+
+    let all: Vec<usize> = (0..ctx.corpus.len()).collect();
+    let features = ctx.features(&all);
+    let mut compared = 0usize;
+    for gpu in original.gpus() {
+        for fv in &features {
+            let b = body(gpu.name(), fv.as_slice().to_vec());
+            let a = original.select(&b).expect("original decides");
+            let r = restored.select(&b).expect("restored decides");
+            assert_eq!(a, r);
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&r).unwrap(),
+            );
+            compared += 1;
+        }
+    }
+    assert!(
+        compared >= 3 * ctx.corpus.len(),
+        "expected full corpus x all GPUs, compared only {compared}"
+    );
+}
+
+#[test]
+fn save_and_load_round_trip_through_disk() {
+    let ctx = context(30, 11);
+    let model = artifact::train(&ctx, &TrainConfig::default()).expect("training succeeds");
+    let path = std::env::temp_dir().join(format!("spsel-artifact-{}.spsel", std::process::id()));
+    artifact::save(&model, &path).expect("save succeeds");
+    let loaded = artifact::load(&path).expect("load succeeds");
+    assert_eq!(artifact::to_json(&loaded), artifact::to_json(&model));
+    std::fs::remove_file(&path).ok();
+
+    let missing = artifact::load("/nonexistent/model.spsel");
+    assert!(matches!(missing, Err(ServeError::Io { .. })));
+}
+
+#[test]
+fn incompatible_artifacts_fail_with_typed_errors_not_panics() {
+    let ctx = context(30, 11);
+    let model = artifact::train(&ctx, &TrainConfig::default()).expect("training succeeds");
+    let json = artifact::to_json(&model);
+
+    // A future artifact version is rejected before the payload is decoded.
+    let needle = format!("\"artifact_version\":{ARTIFACT_VERSION}");
+    assert!(json.contains(&needle), "envelope carries its version");
+    let tampered = json.replacen(&needle, "\"artifact_version\":999", 1);
+    match artifact::from_json(&tampered) {
+        Err(ServeError::VersionMismatch { found, expected }) => {
+            assert_eq!(found, 999);
+            assert_eq!(expected, ARTIFACT_VERSION);
+        }
+        other => panic!("expected a version mismatch, got {other:?}"),
+    }
+
+    // A different feature pipeline is rejected even at the same version.
+    let digest = artifact::feature_pipeline_digest();
+    let tampered = json.replacen(&digest, "0000000000000000", 1);
+    match artifact::from_json(&tampered) {
+        Err(ServeError::FeatureDigestMismatch { found, expected }) => {
+            assert_eq!(found, "0000000000000000");
+            assert_eq!(expected, digest);
+        }
+        other => panic!("expected a feature-digest mismatch, got {other:?}"),
+    }
+
+    // Garbage and truncated payloads are malformed, not panics.
+    for bad in ["", "not json at all", "{\"half\":", "[1,2,3]", "{}"] {
+        match artifact::from_json(bad) {
+            Err(ServeError::Malformed { .. }) => {}
+            other => panic!("expected malformed for {bad:?}, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! End-to-end daemon tests: a real `Server` on an ephemeral port, real
+//! TCP clients, every request type, error envelopes, concurrency, and
+//! graceful shutdown.
+
+use spsel_core::cache::Cache;
+use spsel_core::corpus::CorpusConfig;
+use spsel_core::experiments::ExperimentContext;
+use spsel_core::telemetry::{RunReport, ServingReport};
+use spsel_features::{FeatureVector, MatrixStats};
+use spsel_matrix::gen;
+use spsel_matrix::CsrMatrix;
+use spsel_serve::artifact::{self, TrainConfig};
+use spsel_serve::protocol::SelectBody;
+use spsel_serve::{Client, Engine, EngineOptions, Request, Response, ServeOptions, Server};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Train a small model and start a daemon on an ephemeral port.
+fn start_server(workers: usize) -> (SocketAddr, std::thread::JoinHandle<ServingReport>) {
+    let cache = Cache::disabled();
+    let mut report = RunReport::new("server-test");
+    let ctx = ExperimentContext::build(CorpusConfig::small(30, 5), &cache, &mut report);
+    let model = artifact::train(&ctx, &TrainConfig::default()).expect("training succeeds");
+    let engine = Arc::new(Engine::from_artifact(&model, &EngineOptions::default()).unwrap());
+    let server = Server::bind(
+        engine,
+        ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            default_deadline_ms: 0,
+        },
+    )
+    .expect("bind succeeds");
+    let addr = server.local_addr().expect("bound address");
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn feature_vec(seed: u64) -> Vec<f64> {
+    let csr = CsrMatrix::from(&gen::power_law(150, 150, 2, 2.4, 60, seed));
+    FeatureVector::from_stats(&MatrixStats::from_csr(&csr))
+        .as_slice()
+        .to_vec()
+}
+
+fn select_request(gpu: &str, features: Vec<f64>) -> Request {
+    Request::Select {
+        matrix: None,
+        features: Some(features),
+        gpu: gpu.to_string(),
+        iterations: Some(400),
+        deadline_ms: None,
+        learn: Some(true),
+    }
+}
+
+#[test]
+fn daemon_answers_every_request_type_and_shuts_down_cleanly() {
+    let (addr, handle) = start_server(2);
+    let mut client = Client::connect(addr).expect("client connects");
+
+    // Select with inline features.
+    let response = client
+        .roundtrip(&select_request("pascal", feature_vec(1)))
+        .unwrap();
+    assert!(response.ok, "select fails: {response:?}");
+    let select = response.select.expect("select payload");
+    assert_eq!(select.gpu, "Pascal");
+    assert_eq!(select.predicted.len(), 4);
+    assert!(select.amortized_total_us > 0.0);
+    assert!(!select.format.is_empty());
+
+    // Select with a matrix file.
+    let mtx = std::env::temp_dir().join(format!("spsel-server-test-{}.mtx", std::process::id()));
+    std::fs::write(
+        &mtx,
+        "%%MatrixMarket matrix coordinate real general\n4 4 5\n1 1 1.0\n2 2 2.0\n3 3 3.0\n4 4 4.0\n4 1 0.5\n",
+    )
+    .unwrap();
+    let response = client
+        .roundtrip(&Request::Select {
+            matrix: Some(mtx.display().to_string()),
+            features: None,
+            gpu: "volta".into(),
+            iterations: None,
+            deadline_ms: None,
+            learn: Some(false),
+        })
+        .unwrap();
+    std::fs::remove_file(&mtx).ok();
+    assert!(response.ok, "matrix-path select fails: {response:?}");
+    let from_file = response.select.expect("select payload");
+    assert_eq!(from_file.gpu, "Volta");
+
+    // Batch: all bodies decided, envelope ok.
+    let bodies: Vec<SelectBody> = (0..6)
+        .map(|s| SelectBody {
+            matrix: None,
+            features: Some(feature_vec(s)),
+            gpu: "turing".into(),
+            iterations: Some(100),
+            learn: Some(true),
+        })
+        .collect();
+    let response = client
+        .roundtrip(&Request::Batch {
+            requests: bodies,
+            deadline_ms: None,
+        })
+        .unwrap();
+    assert!(response.ok, "batch fails: {response:?}");
+    let batch = response.batch.expect("batch payload");
+    assert_eq!(batch.len(), 6);
+    assert!(batch.iter().all(|r| r.ok && r.select.is_some()));
+
+    // Feedback on the cluster the first select reported.
+    let response = client
+        .roundtrip(&Request::Feedback {
+            gpu: "pascal".into(),
+            cluster: select.cluster,
+            best: "hyb".into(),
+        })
+        .unwrap();
+    assert!(response.ok, "feedback fails: {response:?}");
+    let feedback = response.feedback.expect("feedback payload");
+    assert_eq!(feedback.format, "HYB");
+
+    // Typed errors come back as envelopes, not dropped connections.
+    for (request, code) in [
+        (select_request("quantum", feature_vec(2)), "unknown_gpu"),
+        (
+            Request::Select {
+                matrix: None,
+                features: Some(vec![1.0, 2.0]),
+                gpu: "pascal".into(),
+                iterations: None,
+                deadline_ms: None,
+                learn: None,
+            },
+            "feature_dim",
+        ),
+        (
+            Request::Feedback {
+                gpu: "pascal".into(),
+                cluster: 100_000,
+                best: "csr".into(),
+            },
+            "unknown_cluster",
+        ),
+        (
+            Request::Feedback {
+                gpu: "pascal".into(),
+                cluster: 0,
+                best: "dense".into(),
+            },
+            "unknown_format",
+        ),
+    ] {
+        let response = client.roundtrip(&request).unwrap();
+        assert!(!response.ok);
+        assert_eq!(response.error.expect("error envelope").code, code);
+    }
+
+    // An unparsable line is a bad_request envelope and the connection
+    // stays usable.
+    let raw = client.roundtrip_raw("this is not json").unwrap();
+    let parsed: Response = serde_json::from_str(&raw).unwrap();
+    assert!(!parsed.ok);
+    assert_eq!(parsed.error.unwrap().code, "bad_request");
+    let response = client
+        .roundtrip(&select_request("pascal", feature_vec(3)))
+        .unwrap();
+    assert!(response.ok);
+
+    // Stats reflect what this test did.
+    let response = client.roundtrip(&Request::Stats).unwrap();
+    assert!(response.ok);
+    let stats = response.stats.expect("stats payload");
+    assert_eq!(stats.artifact_version, artifact::ARTIFACT_VERSION);
+    assert_eq!(stats.feature_digest, artifact::feature_pipeline_digest());
+    assert_eq!(stats.gpus.len(), 3);
+    assert!(stats.serving.requests >= 10);
+    assert!(stats.serving.select_requests >= 2);
+    assert!(stats.serving.batch_requests >= 1);
+    assert!(stats.serving.feedback_requests >= 1);
+    assert!(stats.serving.errors >= 5);
+    assert_eq!(stats.serving.max_batch_size, 6);
+
+    // Shutdown stops the daemon; run() returns the final counters.
+    let response = client.roundtrip(&Request::Shutdown).unwrap();
+    assert!(response.ok);
+    assert!(response.shutdown.expect("shutdown payload").stopping);
+    let final_report = handle.join().expect("server thread joins");
+    assert!(final_report.requests >= stats.serving.requests);
+    assert!(final_report.p50_latency_us > 0.0);
+}
+
+#[test]
+fn daemon_survives_concurrent_clients_without_failures() {
+    let (addr, handle) = start_server(4);
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 10;
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let mut ok = 0usize;
+                for r in 0..REQUESTS {
+                    let request = select_request("pascal", feature_vec((c * REQUESTS + r) as u64));
+                    let response = client.roundtrip(&request).expect("roundtrip succeeds");
+                    if response.ok {
+                        ok += 1;
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+    let succeeded: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert_eq!(
+        succeeded,
+        CLIENTS * REQUESTS,
+        "every concurrent request must succeed"
+    );
+
+    let mut client = Client::connect(addr).unwrap();
+    let response = client.roundtrip(&Request::Stats).unwrap();
+    let stats = response.stats.unwrap();
+    assert!(stats.serving.select_requests >= (CLIENTS * REQUESTS) as u64);
+    client.roundtrip(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn identical_requests_get_identical_responses_when_not_learning() {
+    // learn=false must not mutate serving state, so the same request is
+    // answered identically forever — the daemon analogue of the artifact
+    // round-trip guarantee.
+    let (addr, handle) = start_server(2);
+    let mut client = Client::connect(addr).unwrap();
+    let request = Request::Select {
+        matrix: None,
+        features: Some(feature_vec(9)),
+        gpu: "turing".into(),
+        iterations: Some(250),
+        deadline_ms: None,
+        learn: Some(false),
+    };
+    let first = client.roundtrip(&request).unwrap();
+    assert!(first.ok);
+    for _ in 0..3 {
+        assert_eq!(client.roundtrip(&request).unwrap(), first);
+    }
+    client.roundtrip(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}

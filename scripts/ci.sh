@@ -55,4 +55,63 @@ grep -q '"experiment_misses": *0' "$SMOKE_DIR/table4-warm.json.report.json"
 cmp "$SMOKE_DIR/table4-cold.txt" "$SMOKE_DIR/table4-warm.txt"
 cmp "$SMOKE_DIR/table4-cold.json" "$SMOKE_DIR/table4-warm.json"
 
+echo "==> serving smoke (artifact train/inspect, daemon round-trips, loadgen)"
+cargo build -q --release --offline -p spsel-serve -p spsel-bench \
+    --bin spsel --bin spsel-serve --bin select --bin loadgen
+# Cold train writes the artifact and populates the artifact-bytes cache;
+# the warm rerun must be served from it without retraining.
+./target/release/spsel train --out "$SMOKE_DIR/model.spsel" --quick \
+    --cache "$SMOKE_DIR/cache" > "$SMOKE_DIR/train-cold.txt"
+./target/release/spsel train --out "$SMOKE_DIR/model.spsel" --quick \
+    --cache "$SMOKE_DIR/cache" > "$SMOKE_DIR/train-warm.txt"
+grep -q 'artifact-cache hit' "$SMOKE_DIR/train-warm.txt"
+grep -q 'model hits' "$SMOKE_DIR/train-warm.txt"
+./target/release/spsel inspect "$SMOKE_DIR/model.spsel" > "$SMOKE_DIR/inspect.txt"
+grep -q 'artifact v1' "$SMOKE_DIR/inspect.txt"
+# The select CLI must decide from the artifact, and fail typed (nonzero
+# exit, error envelope on stderr) on a missing matrix.
+printf '%%%%MatrixMarket matrix coordinate real general\n4 4 5\n1 1 1.0\n2 2 2.0\n3 3 3.0\n4 4 4.0\n4 1 0.5\n' \
+    > "$SMOKE_DIR/smoke.mtx"
+./target/release/select "$SMOKE_DIR/smoke.mtx" --model "$SMOKE_DIR/model.spsel" \
+    > "$SMOKE_DIR/select.txt"
+grep -q 'Pascal' "$SMOKE_DIR/select.txt"
+if ./target/release/select "$SMOKE_DIR/missing.mtx" --model "$SMOKE_DIR/model.spsel" \
+    2> "$SMOKE_DIR/select-err.txt"; then
+    echo "select must fail on a missing matrix" >&2; exit 1
+fi
+grep -q '"code":"io"' "$SMOKE_DIR/select-err.txt"
+# Daemon: ephemeral port, one request per type, clean shutdown, and a run
+# report carrying the serving counters.
+./target/release/spsel-serve --model "$SMOKE_DIR/model.spsel" \
+    --json "$SMOKE_DIR/serve-report.json" > "$SMOKE_DIR/serve.out" 2>/dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q 'listening on' "$SMOKE_DIR/serve.out" && break
+    sleep 0.1
+done
+ADDR="$(awk '/listening on/ {print $3}' "$SMOKE_DIR/serve.out")"
+./target/release/spsel request "$ADDR" \
+    '{"Select":{"matrix":null,"features":null,"gpu":"pascal","iterations":500,"deadline_ms":null,"learn":true}}' \
+    > "$SMOKE_DIR/r-bad.json"
+grep -q '"code":"bad_request"' "$SMOKE_DIR/r-bad.json"
+./target/release/spsel request "$ADDR" \
+    "{\"Select\":{\"matrix\":\"$SMOKE_DIR/smoke.mtx\",\"features\":null,\"gpu\":\"pascal\",\"iterations\":500,\"deadline_ms\":null,\"learn\":true}}" \
+    > "$SMOKE_DIR/r-select.json"
+grep -q '"ok":true' "$SMOKE_DIR/r-select.json"
+./target/release/spsel request "$ADDR" \
+    '{"Feedback":{"gpu":"pascal","cluster":0,"best":"csr"}}' > "$SMOKE_DIR/r-feedback.json"
+grep -q '"ok":true' "$SMOKE_DIR/r-feedback.json"
+./target/release/spsel request "$ADDR" '"Stats"' > "$SMOKE_DIR/r-stats.json"
+grep -q '"select_requests":1' "$SMOKE_DIR/r-stats.json"
+./target/release/spsel request "$ADDR" '"Shutdown"' > "$SMOKE_DIR/r-shutdown.json"
+grep -q '"stopping":true' "$SMOKE_DIR/r-shutdown.json"
+wait "$SERVE_PID"
+grep -q '"serving"' "$SMOKE_DIR/serve-report.json"
+grep -q '"feedback_applied": *1' "$SMOKE_DIR/serve-report.json"
+# Load test: 32 concurrent clients against an in-process daemon, zero
+# failed requests (loadgen exits nonzero otherwise).
+./target/release/loadgen --clients 32 --requests 5 --feedback \
+    --model "$SMOKE_DIR/model.spsel" > "$SMOKE_DIR/loadgen.txt" 2>/dev/null
+grep -q ' 0 failed' "$SMOKE_DIR/loadgen.txt"
+
 echo "CI green."
