@@ -3,6 +3,7 @@
 //! ```sh
 //! loadgen [--clients N] [--requests M] [--model MODEL.spsel]
 //!         [--addr HOST:PORT] [--seed S] [--feedback] [--json REPORT]
+//!         [--read-frac F] [--bench-json BENCH.json]
 //! ```
 //!
 //! By default it trains a quick model, starts an in-process daemon on an
@@ -13,6 +14,13 @@
 //! already-running daemon instead (and does not shut it down). The exit
 //! code is nonzero if any request fails — CI uses this as the serving
 //! soak test.
+//!
+//! `--read-frac F` sends that (deterministically assigned) fraction of
+//! selects as `learn: false` probes, which the engine answers lock-free
+//! from its online snapshot — the contention counters in the stats reply
+//! prove it. `--bench-json` writes a flat machine-readable benchmark
+//! record (throughput, p50/p99, contention counters, thread count) so
+//! runs are comparable across revisions.
 
 use spsel_core::cache::Cache;
 use spsel_core::corpus::CorpusConfig;
@@ -51,21 +59,31 @@ fn value<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<
         .ok_or_else(|| CoreError::invalid_argument(format!("{flag} needs a value")).into())
 }
 
+/// Deterministic read/write split: request `idx` (global order) is a
+/// `learn: false` probe when its per-mille slot falls under `read_frac`.
+/// No RNG, so the same flags always produce the same request mix.
+fn is_read(idx: usize, read_frac: f64) -> bool {
+    (idx % 1000) < (read_frac.clamp(0.0, 1.0) * 1000.0).round() as usize
+}
+
 /// One client's work: `requests` selections (plus a feedback round-trip
-/// per select when `feedback` is on), all over distinct matrices.
+/// per learning select when `feedback` is on), all over distinct
+/// matrices.
 fn client_loop(
     addr: &str,
     client_id: usize,
     requests: usize,
     seed: u64,
     feedback: bool,
+    read_frac: f64,
 ) -> std::io::Result<(usize, Vec<Duration>)> {
     let mut client = Client::connect(addr)?;
     let gpus = [Gpu::Pascal, Gpu::Volta, Gpu::Turing];
     let mut failed = 0usize;
     let mut latencies = Vec::with_capacity(requests);
     for r in 0..requests {
-        let matrix_seed = seed ^ ((client_id * requests + r) as u64);
+        let idx = client_id * requests + r;
+        let matrix_seed = seed ^ (idx as u64);
         let csr = CsrMatrix::from(&gen::power_law(
             120 + (matrix_seed % 80) as usize,
             120,
@@ -78,13 +96,14 @@ fn client_loop(
             .as_slice()
             .to_vec();
         let gpu = gpus[(client_id + r) % gpus.len()];
+        let learn = !is_read(idx, read_frac);
         let request = Request::Select {
             matrix: None,
             features: Some(features),
             gpu: gpu.name().to_string(),
             iterations: Some(500),
             deadline_ms: None,
-            learn: Some(true),
+            learn: Some(learn),
         };
         let start = Instant::now();
         let response = client.roundtrip(&request)?;
@@ -93,7 +112,7 @@ fn client_loop(
             failed += 1;
             continue;
         }
-        if feedback {
+        if feedback && learn {
             if let Some(select) = &response.select {
                 let reply = client.roundtrip(&Request::Feedback {
                     gpu: gpu.name().to_string(),
@@ -107,6 +126,27 @@ fn client_loop(
         }
     }
     Ok((failed, latencies))
+}
+
+/// The `BENCH_serve.json` schema: one flat record per run, comparable
+/// across revisions. `serving` carries the daemon's own counters
+/// (including the online-contention ones) when they were collectable.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct BenchRecord {
+    bench: String,
+    clients: usize,
+    requests_per_client: usize,
+    total_requests: usize,
+    failed: usize,
+    read_frac: f64,
+    feedback: bool,
+    threads: usize,
+    wall_seconds: f64,
+    throughput_rps: f64,
+    client_p50_ms: f64,
+    client_p99_ms: f64,
+    client_max_ms: f64,
+    serving: Option<spsel_core::telemetry::ServingReport>,
 }
 
 fn quantile(sorted: &[Duration], q: f64) -> Duration {
@@ -125,6 +165,8 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
     let mut seed = 42u64;
     let mut feedback = false;
     let mut json = None;
+    let mut read_frac = 0.0f64;
+    let mut bench_json: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -150,6 +192,14 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
             }
             "--json" => {
                 json = Some(value::<String>(args, i, "--json")?);
+                i += 1;
+            }
+            "--read-frac" => {
+                read_frac = value(args, i, "--read-frac")?;
+                i += 1;
+            }
+            "--bench-json" => {
+                bench_json = Some(value::<String>(args, i, "--bench-json")?);
                 i += 1;
             }
             "--feedback" => feedback = true,
@@ -203,7 +253,7 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
     let handles: Vec<_> = (0..clients)
         .map(|c| {
             let addr = addr.clone();
-            std::thread::spawn(move || client_loop(&addr, c, requests, seed, feedback))
+            std::thread::spawn(move || client_loop(&addr, c, requests, seed, feedback, read_frac))
         })
         .collect();
     let mut failed = 0usize;
@@ -224,7 +274,8 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
     let wall = wall.elapsed();
     failed += disconnected * requests; // a dropped client fails its whole quota
 
-    // Stop the in-process daemon and collect its counters.
+    // Stop the in-process daemon and collect its counters; an external
+    // daemon is left running and its counters come from a Stats request.
     let serving = if let Some(handle) = server_thread {
         let mut control = Client::connect(addr.as_str()).map_err(|e| ServeError::Io {
             path: addr.clone(),
@@ -233,7 +284,11 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
         let _ = control.roundtrip(&Request::Shutdown);
         Some(handle.join().expect("server thread joins"))
     } else {
-        None
+        Client::connect(addr.as_str())
+            .ok()
+            .and_then(|mut control| control.roundtrip(&Request::Stats).ok())
+            .and_then(|r| r.stats)
+            .map(|s| s.serving)
     };
 
     latencies.sort();
@@ -271,6 +326,15 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
             serving.p50_latency_us,
             serving.p99_latency_us,
         );
+        println!(
+            "contention: {} read / {} write decisions, {} write-lock acquisitions \
+             ({} us waited), {} snapshot swaps",
+            serving.read_decisions,
+            serving.write_decisions,
+            serving.write_lock_acquisitions,
+            serving.write_lock_wait_us,
+            serving.snapshot_swaps,
+        );
         if let Some(path) = json {
             let mut report = RunReport::new("loadgen");
             report.record("wall", wall.as_secs_f64());
@@ -281,6 +345,36 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
                 message: e.to_string(),
             })?;
         }
+    }
+    if let Some(path) = bench_json {
+        // Flat, machine-readable benchmark record: one file per run, so
+        // numbers stay comparable across revisions.
+        let record = BenchRecord {
+            bench: "serve".into(),
+            clients,
+            requests_per_client: requests,
+            total_requests: total,
+            failed,
+            read_frac,
+            feedback,
+            threads: rayon::current_num_threads(),
+            wall_seconds: wall.as_secs_f64(),
+            throughput_rps: throughput,
+            client_p50_ms: quantile(&latencies, 0.50).as_secs_f64() * 1e3,
+            client_p99_ms: quantile(&latencies, 0.99).as_secs_f64() * 1e3,
+            client_max_ms: latencies
+                .last()
+                .copied()
+                .unwrap_or(Duration::ZERO)
+                .as_secs_f64()
+                * 1e3,
+            serving,
+        };
+        let payload = serde_json::to_string_pretty(&record).expect("record serializes");
+        std::fs::write(&path, payload).map_err(|e| ServeError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
     }
     Ok(failed)
 }

@@ -36,7 +36,10 @@ pub use cache::{Cache, GcConfig, GcReport};
 pub use corpus::{Corpus, CorpusConfig, MatrixRecord};
 pub use error::{CoreError, CoreResult};
 pub use featsel::{greedy_forward_selection, FeatureSelection, SearchModel};
-pub use online::{OnlineDecision, OnlineSelector};
+pub use online::{
+    ContentionReport, OnlineContention, OnlineDecision, OnlineFeedbackView, OnlineSelector,
+    OnlineSnapshot, OnlineView, ShardedOnlineSelector,
+};
 pub use overhead::{amortized_best, break_even_iterations, AmortizedChoice};
 pub use regression::TimeRegressor;
 pub use semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};

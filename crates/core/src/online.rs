@@ -9,11 +9,26 @@
 //! matrices are worth benchmarking (new or unlabeled clusters). Feeding
 //! back one measured label per new cluster keeps the selector current
 //! without ever refitting.
+//!
+//! [`ShardedOnlineSelector`] is the serving-grade concurrent variant
+//! built on a snapshot/delta design: read-only decisions are answered
+//! from an immutable, atomically-swappable [`OnlineSnapshot`] without
+//! ever touching a write lock, while mutations (`observe` centroid
+//! updates, `report_benchmark` labels) go through a small write side —
+//! one centroid lock that serializes observations (their running-mean
+//! updates are order-dependent) plus per-shard label locks so feedback
+//! on one cluster region never blocks feedback (or new-cluster
+//! bookkeeping) landing elsewhere. Every mutation publishes a fresh
+//! snapshot before its reply is produced, which is what keeps a
+//! single-client stream bit-identical to the serial [`OnlineSelector`].
 
 use crate::semi::SemiSupervisedSelector;
 use spsel_features::{FeatureVector, Preprocessor};
 use spsel_matrix::Format;
 use spsel_ml::cluster::online::OnlineKMeans;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Instant;
 
 /// A streaming format selector built on incremental clustering.
 #[derive(Debug, Clone)]
@@ -158,6 +173,435 @@ impl OnlineSelector {
     /// labels.
     pub fn staleness(&self) -> usize {
         self.unlabeled_observations.iter().sum()
+    }
+}
+
+/// One shard of the per-cluster label state. Cluster `c` lives in shard
+/// `c % shards` at slot `c / shards`, so clusters created in increasing
+/// index order always append at the end of their shard.
+#[derive(Debug, Clone, Default)]
+struct LabelShard {
+    labels: Vec<Option<Format>>,
+    unlabeled_observations: Vec<usize>,
+}
+
+/// An immutable view of the online state at one instant: the centroid
+/// table plus the sharded label tables. Readers clone the `Arc` and then
+/// work entirely off the snapshot — nothing they read can change under
+/// them, and nothing they do can block a writer.
+#[derive(Debug)]
+pub struct OnlineSnapshot {
+    version: u64,
+    clusters: Arc<OnlineKMeans>,
+    shards: Vec<Arc<LabelShard>>,
+}
+
+impl OnlineSnapshot {
+    /// Monotonic publish counter (0 for the warm-start snapshot).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Current number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.n_clusters()
+    }
+
+    /// Label carried by one cluster (`None` when unlabeled or out of
+    /// range).
+    pub fn label(&self, cluster: usize) -> Option<Format> {
+        let shards = self.shards.len();
+        self.shards[cluster % shards]
+            .labels
+            .get(cluster / shards)
+            .copied()
+            .flatten()
+    }
+
+    /// Whether a cluster currently carries a benchmark-derived label.
+    pub fn is_labeled(&self, cluster: usize) -> bool {
+        self.label(cluster).is_some()
+    }
+
+    /// Clusters still waiting for a benchmark label.
+    pub fn unlabeled_clusters(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.labels.iter().filter(|l| l.is_none()).count())
+            .sum()
+    }
+
+    /// Observations absorbed by unlabeled clusters since their last
+    /// benchmark.
+    pub fn staleness(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.unlabeled_observations.iter().sum::<usize>())
+            .sum()
+    }
+
+    /// Observations absorbed by one cluster (seed mass plus streamed
+    /// members), or 0 for an out-of-range index.
+    pub fn cluster_count(&self, cluster: usize) -> usize {
+        self.clusters.counts().get(cluster).copied().unwrap_or(0)
+    }
+}
+
+/// Contention counters for one [`ShardedOnlineSelector`]: how many
+/// decisions were served lock-free from a snapshot, how many took the
+/// write side, how long writers waited, and how feedback spread over the
+/// shards. All atomics — recording is wait-free and never perturbs the
+/// hot path it measures.
+#[derive(Debug)]
+pub struct OnlineContention {
+    read_decisions: AtomicU64,
+    write_decisions: AtomicU64,
+    write_lock_acquisitions: AtomicU64,
+    write_lock_wait_us: AtomicU64,
+    snapshot_swaps: AtomicU64,
+    shard_feedbacks: Vec<AtomicU64>,
+}
+
+impl OnlineContention {
+    fn new(shards: usize) -> Self {
+        OnlineContention {
+            read_decisions: AtomicU64::new(0),
+            write_decisions: AtomicU64::new(0),
+            write_lock_acquisitions: AtomicU64::new(0),
+            write_lock_wait_us: AtomicU64::new(0),
+            snapshot_swaps: AtomicU64::new(0),
+            shard_feedbacks: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Plain-value snapshot of every counter.
+    pub fn report(&self) -> ContentionReport {
+        ContentionReport {
+            read_decisions: self.read_decisions.load(Ordering::Relaxed),
+            write_decisions: self.write_decisions.load(Ordering::Relaxed),
+            write_lock_acquisitions: self.write_lock_acquisitions.load(Ordering::Relaxed),
+            write_lock_wait_us: self.write_lock_wait_us.load(Ordering::Relaxed),
+            snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
+            shard_feedbacks: self
+                .shard_feedbacks
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable-as-plain-values form of [`OnlineContention`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ContentionReport {
+    /// Decisions answered from a snapshot without any write lock
+    /// (`learn: false` selects).
+    pub read_decisions: u64,
+    /// Decisions that took the write side (`learn: true` observes).
+    pub write_decisions: u64,
+    /// Write-side lock acquisitions (centroid lock plus shard locks).
+    pub write_lock_acquisitions: u64,
+    /// Cumulative microseconds writers spent waiting for those locks.
+    pub write_lock_wait_us: u64,
+    /// Snapshots published (one per applied mutation).
+    pub snapshot_swaps: u64,
+    /// Feedback labels applied per shard, shard order.
+    pub shard_feedbacks: Vec<u64>,
+}
+
+impl ContentionReport {
+    /// Busiest-shard feedback count divided by the mean — 1.0 is a
+    /// perfectly balanced write load, 0.0 when no feedback arrived.
+    pub fn shard_imbalance(&self) -> f64 {
+        let total: u64 = self.shard_feedbacks.iter().sum();
+        if total == 0 || self.shard_feedbacks.is_empty() {
+            return 0.0;
+        }
+        let max = *self.shard_feedbacks.iter().max().expect("non-empty") as f64;
+        max / (total as f64 / self.shard_feedbacks.len() as f64)
+    }
+}
+
+/// The full answer to one streamed decision, read or write path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineView {
+    /// The decision itself (cluster, format, benchmark request).
+    pub decision: OnlineDecision,
+    /// Distance to the nearest centroid *before* this observation moved
+    /// (or created) one — the novelty that was judged against the
+    /// threshold.
+    pub distance: f64,
+    /// Occupancy of the decided cluster after the decision.
+    pub cluster_size: usize,
+    /// Version of the snapshot the decision was made against (the newly
+    /// published one on the write path).
+    pub snapshot_version: u64,
+}
+
+/// What a feedback label changed, for the caller's reply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineFeedbackView {
+    /// Clusters still waiting for a benchmark label, post-update.
+    pub unlabeled_clusters: usize,
+    /// Staleness post-update (the labeled cluster's count was cleared).
+    pub staleness: usize,
+    /// Version of the snapshot the label landed in.
+    pub snapshot_version: u64,
+}
+
+/// Concurrent streaming selector: lock-free read decisions from an
+/// atomically-swapped snapshot, sharded write side for mutations. See
+/// the module docs for the locking design; sequential use is
+/// bit-identical to [`OnlineSelector`] (proved in
+/// `crates/core/tests/online.rs`).
+#[derive(Debug)]
+pub struct ShardedOnlineSelector {
+    preprocessor: Preprocessor,
+    default: Format,
+    snapshot: RwLock<Arc<OnlineSnapshot>>,
+    /// Serializes centroid mutations: running-mean updates and cluster
+    /// creation are order-dependent, so observes apply one at a time.
+    centroid_lock: Mutex<()>,
+    /// One lock per label shard; feedback takes only its cluster's
+    /// shard lock, never the centroid lock.
+    shard_locks: Vec<Mutex<()>>,
+    contention: OnlineContention,
+}
+
+impl ShardedOnlineSelector {
+    /// Warm-start from a fitted batch selector, exactly like
+    /// [`OnlineSelector::from_batch`], with the label table split over
+    /// `shards` write shards (clamped to at least 1).
+    pub fn from_batch(
+        batch: &SemiSupervisedSelector,
+        distance_threshold: f64,
+        max_clusters: usize,
+        shards: usize,
+    ) -> Self {
+        let shards = shards.max(1);
+        let clusters =
+            OnlineKMeans::from_clustering(batch.clustering(), distance_threshold, max_clusters);
+        let mut tables = vec![LabelShard::default(); shards];
+        for (c, &label) in batch.cluster_labels().iter().enumerate() {
+            tables[c % shards].labels.push(Some(label));
+            tables[c % shards].unlabeled_observations.push(0);
+        }
+        ShardedOnlineSelector {
+            preprocessor: batch.preprocessor().clone(),
+            default: Format::Csr,
+            snapshot: RwLock::new(Arc::new(OnlineSnapshot {
+                version: 0,
+                clusters: Arc::new(clusters),
+                shards: tables.into_iter().map(Arc::new).collect(),
+            })),
+            centroid_lock: Mutex::new(()),
+            shard_locks: (0..shards).map(|_| Mutex::new(())).collect(),
+            contention: OnlineContention::new(shards),
+        }
+    }
+
+    /// Number of write shards the label table is split over.
+    pub fn shards(&self) -> usize {
+        self.shard_locks.len()
+    }
+
+    /// The selector's contention counters.
+    pub fn contention(&self) -> &OnlineContention {
+        &self.contention
+    }
+
+    /// The current snapshot. The internal read guard is held only long
+    /// enough to clone the `Arc`; all reads off the returned snapshot are
+    /// lock-free.
+    pub fn snapshot(&self) -> Arc<OnlineSnapshot> {
+        Arc::clone(&self.snapshot.read().expect("snapshot slot poisoned"))
+    }
+
+    /// Acquire a write-side lock, charging the wait to the counters.
+    fn lock_timed<'a>(&self, lock: &'a Mutex<()>) -> MutexGuard<'a, ()> {
+        let start = Instant::now();
+        let guard = lock.lock().expect("online write lock poisoned");
+        self.contention
+            .write_lock_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        let waited = start.elapsed().as_micros() as u64;
+        if waited > 0 {
+            self.contention
+                .write_lock_wait_us
+                .fetch_add(waited, Ordering::Relaxed);
+        }
+        guard
+    }
+
+    /// Atomically replace the snapshot with `f(current)`. The swap lock
+    /// is exclusive but brief: `f` only splices prebuilt `Arc`s (or a
+    /// one-entry label edit) into the current snapshot.
+    fn publish<F>(&self, f: F) -> Arc<OnlineSnapshot>
+    where
+        F: FnOnce(&OnlineSnapshot) -> OnlineSnapshot,
+    {
+        let mut slot = self.snapshot.write().expect("snapshot slot poisoned");
+        let next = Arc::new(f(&slot));
+        *slot = Arc::clone(&next);
+        self.contention
+            .snapshot_swaps
+            .fetch_add(1, Ordering::Relaxed);
+        next
+    }
+
+    /// Answer one streamed matrix. `learn: false` is the read path: the
+    /// decision [`OnlineSelector::peek`] would make, served entirely from
+    /// the current snapshot without acquiring any write lock. `learn:
+    /// true` is the write path: [`OnlineSelector::observe`] semantics,
+    /// serialized with other observes and published as a fresh snapshot
+    /// before this method returns.
+    pub fn decide(&self, features: &FeatureVector, learn: bool) -> OnlineView {
+        let z = self.preprocessor.embed(features);
+        if !learn {
+            let snap = self.snapshot();
+            self.contention
+                .read_decisions
+                .fetch_add(1, Ordering::Relaxed);
+            let distance = snap.clusters.novelty(&z);
+            let cluster = snap.clusters.assign(&z);
+            let label = snap.label(cluster);
+            return OnlineView {
+                decision: OnlineDecision {
+                    cluster,
+                    new_cluster: false,
+                    format: label.unwrap_or(self.default),
+                    benchmark_requested: label.is_none(),
+                },
+                distance,
+                cluster_size: snap.cluster_count(cluster),
+                snapshot_version: snap.version,
+            };
+        }
+
+        let _centroids = self.lock_timed(&self.centroid_lock);
+        // The centroid lock makes this snapshot's centroid table
+        // authoritative: only observes mutate it, and they all hold the
+        // lock. The heavy work — cloning and updating the table — happens
+        // here, outside the swap lock.
+        let base = self.snapshot();
+        let distance = base.clusters.novelty(&z);
+        let mut clusters = (*base.clusters).clone();
+        let (cluster, new_cluster) = clusters.observe(&z);
+        let clusters = Arc::new(clusters);
+        let n_shards = self.shard_locks.len();
+        let shard = cluster % n_shards;
+
+        let mut format = self.default;
+        let mut benchmark_requested = true;
+        let snap = if new_cluster {
+            // Appending the new cluster's label slot touches shard state,
+            // so take that shard's lock (excluding concurrent feedback to
+            // the same region) before splicing in the update.
+            let _labels = self.lock_timed(&self.shard_locks[shard]);
+            self.publish(|cur| {
+                let mut shards = cur.shards.clone();
+                let mut data = (**shards.get(shard).expect("shard exists")).clone();
+                data.labels.push(None);
+                data.unlabeled_observations.push(1);
+                shards[shard] = Arc::new(data);
+                OnlineSnapshot {
+                    version: cur.version + 1,
+                    clusters: Arc::clone(&clusters),
+                    shards,
+                }
+            })
+        } else {
+            let _labels = self.lock_timed(&self.shard_locks[shard]);
+            self.publish(|cur| {
+                // Read the joined cluster's label at publish time so a
+                // feedback that just landed is honored.
+                let label = cur.label(cluster);
+                format = label.unwrap_or(self.default);
+                benchmark_requested = label.is_none();
+                let shards = if benchmark_requested {
+                    let mut shards = cur.shards.clone();
+                    let mut data = (**shards.get(shard).expect("shard exists")).clone();
+                    data.unlabeled_observations[cluster / n_shards] += 1;
+                    shards[shard] = Arc::new(data);
+                    shards
+                } else {
+                    cur.shards.clone()
+                };
+                OnlineSnapshot {
+                    version: cur.version + 1,
+                    clusters: Arc::clone(&clusters),
+                    shards,
+                }
+            })
+        };
+        self.contention
+            .write_decisions
+            .fetch_add(1, Ordering::Relaxed);
+        OnlineView {
+            decision: OnlineDecision {
+                cluster,
+                new_cluster,
+                format,
+                benchmark_requested,
+            },
+            distance,
+            cluster_size: snap.cluster_count(cluster),
+            snapshot_version: snap.version,
+        }
+    }
+
+    /// Feed back a measured best format for `cluster`, taking only that
+    /// cluster's shard lock — feedback never blocks observations landing
+    /// in other shards, and never blocks read decisions at all. Returns
+    /// `None` (applying nothing) when the cluster does not exist.
+    pub fn report_benchmark(&self, cluster: usize, best: Format) -> Option<OnlineFeedbackView> {
+        // Cluster indices only ever grow, so a bounds check against the
+        // current snapshot stays valid under the shard lock below.
+        if cluster >= self.snapshot().n_clusters() {
+            return None;
+        }
+        let n_shards = self.shard_locks.len();
+        let shard = cluster % n_shards;
+        let _labels = self.lock_timed(&self.shard_locks[shard]);
+        self.contention.shard_feedbacks[shard].fetch_add(1, Ordering::Relaxed);
+        let snap = self.publish(|cur| {
+            let mut shards = cur.shards.clone();
+            let mut data = (**shards.get(shard).expect("shard exists")).clone();
+            data.labels[cluster / n_shards] = Some(best);
+            data.unlabeled_observations[cluster / n_shards] = 0;
+            shards[shard] = Arc::new(data);
+            OnlineSnapshot {
+                version: cur.version + 1,
+                clusters: Arc::clone(&cur.clusters),
+                shards,
+            }
+        });
+        Some(OnlineFeedbackView {
+            unlabeled_clusters: snap.unlabeled_clusters(),
+            staleness: snap.staleness(),
+            snapshot_version: snap.version,
+        })
+    }
+
+    /// Nearest-cluster prediction from the current snapshot (read path).
+    pub fn predict(&self, features: &FeatureVector) -> Format {
+        self.decide(features, false).decision.format
+    }
+
+    /// Current number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.snapshot().n_clusters()
+    }
+
+    /// Clusters still waiting for a benchmark label.
+    pub fn unlabeled_clusters(&self) -> usize {
+        self.snapshot().unlabeled_clusters()
+    }
+
+    /// Observations absorbed by unlabeled clusters since their last
+    /// benchmark.
+    pub fn staleness(&self) -> usize {
+        self.snapshot().staleness()
     }
 }
 

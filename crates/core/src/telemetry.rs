@@ -88,6 +88,25 @@ pub struct ServingReport {
     pub p99_latency_us: f64,
     /// Worst observed request latency in microseconds.
     pub max_latency_us: f64,
+    /// Decisions answered lock-free from an online snapshot
+    /// (`learn: false` selects), summed over GPUs.
+    pub read_decisions: u64,
+    /// Decisions that took the online write path (`learn: true`).
+    pub write_decisions: u64,
+    /// Online write-side lock acquisitions (centroid + shard locks).
+    pub write_lock_acquisitions: u64,
+    /// Cumulative microseconds writers waited for online write locks.
+    pub write_lock_wait_us: u64,
+    /// Online snapshots published (one per applied mutation).
+    pub snapshot_swaps: u64,
+    /// Batch items skipped mid-compute by the cooperative deadline check.
+    pub deadline_skipped: u64,
+    /// Feedback records replayed from the journal at startup.
+    pub journal_replayed: u64,
+    /// Feedback records appended to the journal this run.
+    pub journal_appended: u64,
+    /// Journal lines skipped at replay (malformed or out-of-range).
+    pub journal_skipped: u64,
 }
 
 /// One quarantined record: excluded from a GPU's dataset, with the reason.

@@ -1,9 +1,11 @@
 //! Behavioural tests for the [`OnlineSelector`] as the serving layer uses
 //! it: deterministic streaming, benchmark prioritization for unlabeled
-//! clusters, and the feedback-then-redecide loop.
+//! clusters, the feedback-then-redecide loop — and bit-identical
+//! equivalence between the serial selector and the concurrent
+//! [`ShardedOnlineSelector`] the engine serves from.
 
 use spsel_core::semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
-use spsel_core::{OnlineDecision, OnlineSelector};
+use spsel_core::{OnlineDecision, OnlineSelector, ShardedOnlineSelector};
 use spsel_features::FeatureVector;
 use spsel_matrix::{gen, CsrMatrix, Format};
 
@@ -180,4 +182,119 @@ fn feedback_then_redecide_uses_the_measured_label() {
     // The platform drifts and a new measurement disagrees: latest wins.
     online.report_benchmark(d.cluster, Format::Ell);
     assert_eq!(online.predict(&novel), Format::Ell);
+}
+
+/// The tentpole determinism guarantee: for any single-client stream of
+/// interleaved observes, peeks, and feedback, the sharded selector makes
+/// decisions bit-identical to the serial `OnlineSelector`, at every
+/// shard count — so swapping the engine's concurrency model changed no
+/// reply.
+#[test]
+fn sharded_selector_is_bit_identical_to_serial_for_any_shard_count() {
+    let batch = batch_selector();
+    for shards in [1usize, 3, 8] {
+        let mut serial = OnlineSelector::from_batch(&batch, 0.3, 64);
+        let sharded = ShardedOnlineSelector::from_batch(&batch, 0.3, 64, shards);
+        assert_eq!(sharded.shards(), shards);
+        for (i, fv) in stream().iter().enumerate() {
+            // Read path first: peek and the lock-free decide must agree.
+            let peek = serial.peek(fv);
+            let read = sharded.decide(fv, false);
+            assert_eq!(
+                read.decision, peek,
+                "read divergence at step {i} ({shards} shards)"
+            );
+
+            // Write path: observe on both, compare every field bit for
+            // bit (distance is an f64 — compare exactly, not loosely).
+            let pre_novelty = serial.novelty(fv);
+            let d = serial.observe(fv);
+            let view = sharded.decide(fv, true);
+            assert_eq!(
+                view.decision, d,
+                "write divergence at step {i} ({shards} shards)"
+            );
+            assert_eq!(
+                view.distance.to_bits(),
+                pre_novelty.to_bits(),
+                "novelty must be the pre-observation distance, bit for bit"
+            );
+            assert_eq!(view.cluster_size, serial.cluster_count(d.cluster));
+
+            // Interleave feedback every third step to exercise the shard
+            // locks mid-stream.
+            if i % 3 == 2 {
+                let cluster = d.cluster;
+                serial.report_benchmark(cluster, Format::Hyb);
+                let fb = sharded
+                    .report_benchmark(cluster, Format::Hyb)
+                    .expect("cluster exists");
+                assert_eq!(fb.unlabeled_clusters, serial.unlabeled_clusters());
+                assert_eq!(fb.staleness, serial.staleness());
+            }
+            assert_eq!(sharded.n_clusters(), serial.n_clusters());
+            assert_eq!(sharded.staleness(), serial.staleness());
+        }
+        // Post-stream, every cluster's label and the final prediction
+        // agree.
+        let snap = sharded.snapshot();
+        for c in 0..serial.n_clusters() {
+            assert_eq!(snap.is_labeled(c), serial.is_labeled(c));
+        }
+        for fv in stream().iter().take(4) {
+            assert_eq!(sharded.predict(fv), serial.predict(fv));
+        }
+        // Out-of-range feedback is a typed None, not a panic.
+        assert!(sharded.report_benchmark(10_000, Format::Coo).is_none());
+    }
+}
+
+/// Read-only floods never touch the write side: `decide(_, false)` takes
+/// zero write locks and publishes zero snapshots, which is exactly what
+/// the serving layer's contention counters assert in CI.
+#[test]
+fn read_only_decisions_take_no_write_locks() {
+    let batch = batch_selector();
+    let sharded = ShardedOnlineSelector::from_batch(&batch, 0.3, 64, 4);
+    let base_version = sharded.snapshot().version();
+    for fv in &stream() {
+        for _ in 0..3 {
+            let view = sharded.decide(fv, false);
+            assert_eq!(view.snapshot_version, base_version);
+        }
+    }
+    let c = sharded.contention().report();
+    assert_eq!(c.read_decisions, stream().len() as u64 * 3);
+    assert_eq!(c.write_decisions, 0);
+    assert_eq!(c.write_lock_acquisitions, 0, "reads must be lock-free");
+    assert_eq!(c.write_lock_wait_us, 0);
+    assert_eq!(c.snapshot_swaps, 0);
+    assert_eq!(c.shard_imbalance(), 0.0, "no feedback yet");
+
+    // One write decision flips the counters and bumps the version.
+    let view = sharded.decide(&stream()[0], true);
+    assert_eq!(view.snapshot_version, base_version + 1);
+    let c = sharded.contention().report();
+    assert_eq!(c.write_decisions, 1);
+    assert!(c.write_lock_acquisitions >= 1);
+    assert_eq!(c.snapshot_swaps, 1);
+}
+
+/// Feedback counters land in the cluster's own shard (`cluster % shards`)
+/// and the imbalance ratio reflects a skewed write load.
+#[test]
+fn feedback_is_counted_per_shard() {
+    let batch = batch_selector();
+    let shards = 4;
+    let sharded = ShardedOnlineSelector::from_batch(&batch, 0.3, 64, shards);
+    let n = sharded.n_clusters().min(shards);
+    // All feedback onto cluster 1's shard: maximally imbalanced.
+    for _ in 0..6 {
+        sharded.report_benchmark(1 % n, Format::Ell).unwrap();
+    }
+    let c = sharded.contention().report();
+    assert_eq!(c.shard_feedbacks.len(), shards);
+    assert_eq!(c.shard_feedbacks.iter().sum::<u64>(), 6);
+    assert_eq!(c.shard_feedbacks[1 % n % shards], 6);
+    assert_eq!(c.shard_imbalance(), shards as f64, "one hot shard");
 }

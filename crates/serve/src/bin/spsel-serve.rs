@@ -2,15 +2,19 @@
 //!
 //! ```sh
 //! spsel-serve --model model.spsel [--addr HOST:PORT] [--workers N]
-//!             [--deadline-ms MS] [--json REPORT]
+//!             [--deadline-ms MS] [--shards N] [--json REPORT]
+//!             [--journal PATH | --no-journal]
 //! spsel-serve --quick [--seed S]      # train a throwaway model first
 //! ```
 //!
-//! On startup the daemon prints exactly one `listening on HOST:PORT`
-//! line to stdout (scripts parse it to find the ephemeral port) and then
-//! serves newline-delimited JSON requests until a `Shutdown` request.
-//! On exit it prints the serving counters and, with `--json`, writes a
-//! run report whose `serving` field holds the same counters.
+//! On startup the daemon replays the feedback journal (default
+//! `<model>.journal` when `--model` is given; `--no-journal` disables
+//! persistence), so cluster labels learned online survive a restart. It
+//! then prints exactly one `listening on HOST:PORT` line to stdout
+//! (scripts parse it to find the ephemeral port) and serves
+//! newline-delimited JSON requests until a `Shutdown` request. On exit
+//! it prints the serving counters and, with `--json`, writes a run
+//! report whose `serving` field holds the same counters.
 
 use spsel_core::cache::{Cache, DEFAULT_CACHE_DIR};
 use spsel_core::corpus::CorpusConfig;
@@ -44,7 +48,10 @@ fn run(args: &[String]) -> Result<(), ServeError> {
     let mut quick = false;
     let mut seed = 0xC0FFEEu64;
     let mut opts = ServeOptions::default();
+    let mut engine_opts = EngineOptions::default();
     let mut json = None;
+    let mut journal_path: Option<String> = None;
+    let mut no_journal = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,6 +59,15 @@ fn run(args: &[String]) -> Result<(), ServeError> {
                 model_path = Some(value::<String>(args, i, "--model")?);
                 i += 1;
             }
+            "--shards" => {
+                engine_opts.write_shards = value(args, i, "--shards")?;
+                i += 1;
+            }
+            "--journal" => {
+                journal_path = Some(value::<String>(args, i, "--journal")?);
+                i += 1;
+            }
+            "--no-journal" => no_journal = true,
             "--addr" => {
                 opts.addr = value(args, i, "--addr")?;
                 i += 1;
@@ -82,6 +98,15 @@ fn run(args: &[String]) -> Result<(), ServeError> {
         i += 1;
     }
 
+    // The journal lives next to the artifact unless overridden; a
+    // throwaway --quick model has nowhere sensible to persist to, so it
+    // only journals when --journal names a path explicitly.
+    let journal = if no_journal {
+        None
+    } else {
+        journal_path.or_else(|| model_path.as_ref().map(|p| format!("{p}.journal")))
+    };
+
     let model = match model_path {
         Some(path) => {
             let model = artifact::load(&path)?;
@@ -108,7 +133,12 @@ fn run(args: &[String]) -> Result<(), ServeError> {
         }
     };
 
-    let engine = Arc::new(Engine::from_artifact(&model, &EngineOptions::default())?);
+    let mut engine = Engine::from_artifact(&model, &engine_opts)?;
+    if let Some(path) = journal {
+        let (replayed, skipped) = engine.attach_journal(&path)?;
+        eprintln!("journal {path}: replayed {replayed} feedback records ({skipped} skipped)");
+    }
+    let engine = Arc::new(engine);
     let server = Server::bind(engine, opts).map_err(|e| ServeError::Io {
         path: "listener".into(),
         message: e.to_string(),

@@ -2,15 +2,19 @@
 //! daemon, and tests.
 //!
 //! An [`Engine`] holds, per GPU, the fitted batch selector (for
-//! explanations) and a mutex-guarded [`OnlineSelector`] warm-started from
-//! it (for streaming decisions and feedback). Decisions are fully
-//! deterministic: the simulated measurement noise is seeded by a hash of
-//! the matrix's own feature bits, so the same matrix always sees the same
-//! predicted times — which is what makes artifact round-trips
-//! bit-identical and testable.
+//! explanations) and a [`ShardedOnlineSelector`] warm-started from it
+//! (for streaming decisions and feedback). Read-only decisions
+//! (`learn: false`) are answered lock-free from the selector's published
+//! snapshot; observations and feedback go through its sharded write
+//! side, so decisions scale with cores instead of serializing per GPU.
+//! Decisions are fully deterministic: the simulated measurement noise is
+//! seeded by a hash of the matrix's own feature bits, so the same matrix
+//! always sees the same predicted times — which is what makes artifact
+//! round-trips bit-identical and testable.
 
 use crate::artifact::{feature_pipeline_digest, ModelArtifact, ARTIFACT_VERSION};
 use crate::error::ServeError;
+use crate::journal::{self, FeedbackJournal, JournalRecord};
 use crate::metrics::ServeMetrics;
 use crate::protocol::{
     parse_format, parse_gpu, FormatTime, GpuStats, SelectBody, SelectReply, StatsReply,
@@ -18,12 +22,14 @@ use crate::protocol::{
 use spsel_core::cache::KeyWriter;
 use spsel_core::overhead::{amortized_best, break_even_iterations};
 use spsel_core::semi::SemiSupervisedSelector;
-use spsel_core::OnlineSelector;
+use spsel_core::telemetry::ServingReport;
+use spsel_core::ShardedOnlineSelector;
 use spsel_features::{FeatureId, FeatureVector, MatrixStats, NUM_FEATURES};
 use spsel_gpusim::cost::ConversionCostModel;
 use spsel_gpusim::{predict_times, Gpu};
 use spsel_matrix::{io, CsrMatrix, Format};
-use std::sync::Mutex;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Online-learning knobs for the serving engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +39,9 @@ pub struct EngineOptions {
     pub online_threshold: f64,
     /// Upper bound on online cluster growth.
     pub online_max_clusters: usize,
+    /// Write shards per GPU for the online label table; 0 means one per
+    /// parallel-runtime worker.
+    pub write_shards: usize,
 }
 
 impl Default for EngineOptions {
@@ -40,6 +49,7 @@ impl Default for EngineOptions {
         EngineOptions {
             online_threshold: 0.5,
             online_max_clusters: 256,
+            write_shards: 0,
         }
     }
 }
@@ -47,7 +57,7 @@ impl Default for EngineOptions {
 struct GpuState {
     gpu: Gpu,
     batch: SemiSupervisedSelector,
-    online: Mutex<OnlineSelector>,
+    online: ShardedOnlineSelector,
     training_records: usize,
 }
 
@@ -59,6 +69,10 @@ pub struct Engine {
     artifact_version: u32,
     feature_digest: String,
     default_iterations: usize,
+    journal: Option<FeedbackJournal>,
+    journal_replayed: AtomicU64,
+    journal_appended: AtomicU64,
+    journal_skipped: AtomicU64,
 }
 
 impl Engine {
@@ -91,15 +105,21 @@ impl Engine {
         conversion: ConversionCostModel,
         opts: &EngineOptions,
     ) -> Self {
+        let shards = if opts.write_shards == 0 {
+            rayon::current_num_threads()
+        } else {
+            opts.write_shards
+        };
         let states = selectors
             .into_iter()
             .map(|(gpu, batch, training_records)| GpuState {
                 gpu,
-                online: Mutex::new(OnlineSelector::from_batch(
+                online: ShardedOnlineSelector::from_batch(
                     &batch,
                     opts.online_threshold,
                     opts.online_max_clusters,
-                )),
+                    shards,
+                ),
                 batch,
                 training_records,
             })
@@ -111,7 +131,33 @@ impl Engine {
             artifact_version: ARTIFACT_VERSION,
             feature_digest: feature_pipeline_digest(),
             default_iterations: 1000,
+            journal: None,
+            journal_replayed: AtomicU64::new(0),
+            journal_appended: AtomicU64::new(0),
+            journal_skipped: AtomicU64::new(0),
         }
+    }
+
+    /// Replay a feedback journal into the freshly warm-started online
+    /// state, then keep the file open for appending: every feedback
+    /// applied from now on is journaled. Returns `(replayed, skipped)` —
+    /// skipped counts malformed lines and records that no longer apply
+    /// (e.g. a cluster index past the warm-start), neither of which is
+    /// fatal. Call before sharing the engine (`&mut self` enforces this).
+    pub fn attach_journal(&mut self, path: impl AsRef<Path>) -> Result<(u64, u64), ServeError> {
+        let (records, malformed) = journal::read(&path)?;
+        let mut replayed = 0u64;
+        let mut skipped = malformed;
+        for r in &records {
+            match self.apply_feedback(&r.gpu, r.cluster, &r.best) {
+                Ok(_) => replayed += 1,
+                Err(_) => skipped += 1,
+            }
+        }
+        self.journal_replayed.store(replayed, Ordering::Relaxed);
+        self.journal_skipped.store(skipped, Ordering::Relaxed);
+        self.journal = Some(FeedbackJournal::open(path)?);
+        Ok((replayed, skipped))
     }
 
     /// GPUs this engine can decide for, in artifact order.
@@ -182,19 +228,12 @@ impl Engine {
         let iterations = body.iterations.unwrap_or(self.default_iterations);
         let learn = body.learn.unwrap_or(true);
 
-        let (decision, centroid_distance, cluster_size) = {
-            let mut online = state.online.lock().expect("online selector lock");
-            // Distance before the observation moves (or creates) the
-            // centroid: for a new cluster this is the novelty that
-            // exceeded the threshold.
-            let distance = online.novelty(&fv);
-            let decision = if learn {
-                online.observe(&fv)
-            } else {
-                online.peek(&fv)
-            };
-            (decision, distance, online.cluster_count(decision.cluster))
-        };
+        // `learn: false` never touches a write lock: the whole view —
+        // novelty distance, cluster, label, occupancy — comes from one
+        // immutable snapshot. `learn: true` serializes with other
+        // observations and publishes a fresh snapshot before replying.
+        let view = state.online.decide(&fv, learn);
+        let decision = view.decision;
         self.metrics
             .select(decision.new_cluster, decision.benchmark_requested);
 
@@ -216,8 +255,8 @@ impl Engine {
             gpu: gpu.name().to_string(),
             format: decision.format.name().to_string(),
             cluster: decision.cluster,
-            cluster_size,
-            centroid_distance,
+            cluster_size: view.cluster_size,
+            centroid_distance: view.distance,
             new_cluster: decision.new_cluster,
             benchmark_requested: decision.benchmark_requested,
             predicted,
@@ -229,10 +268,11 @@ impl Engine {
         })
     }
 
-    /// Apply a measured label to an online cluster (the feedback loop).
-    /// Validates the cluster index so a bad client gets a typed error
-    /// instead of tripping the core's assertion.
-    pub fn feedback(
+    /// The label-application core of the feedback loop, shared by wire
+    /// requests and journal replay. Validates the cluster index so a bad
+    /// client (or a stale journal record) gets a typed error instead of
+    /// an out-of-range panic. Touches neither metrics nor the journal.
+    fn apply_feedback(
         &self,
         gpu: &str,
         cluster: usize,
@@ -241,23 +281,62 @@ impl Engine {
         let gpu = parse_gpu(gpu)?;
         let state = self.state(gpu)?;
         let format = parse_format(best)?;
-        let mut online = state.online.lock().expect("online selector lock");
-        if cluster >= online.n_clusters() {
-            return Err(ServeError::UnknownCluster {
+        let view = state
+            .online
+            .report_benchmark(cluster, format)
+            .ok_or_else(|| ServeError::UnknownCluster {
                 gpu: gpu.name().to_string(),
                 cluster,
-                clusters: online.n_clusters(),
-            });
-        }
-        online.report_benchmark(cluster, format);
-        self.metrics.feedback();
+                clusters: state.online.n_clusters(),
+            })?;
         Ok(crate::protocol::FeedbackReply {
             gpu: gpu.name().to_string(),
             cluster,
             format: format.name().to_string(),
-            unlabeled_clusters: online.unlabeled_clusters(),
-            staleness: online.staleness(),
+            unlabeled_clusters: view.unlabeled_clusters,
+            staleness: view.staleness,
         })
+    }
+
+    /// Apply a measured label to an online cluster (the feedback loop),
+    /// counting it and journaling it when a journal is attached. Only
+    /// the cluster's own shard lock is taken — feedback never blocks
+    /// reads, and never blocks observations landing in other shards.
+    pub fn feedback(
+        &self,
+        gpu: &str,
+        cluster: usize,
+        best: &str,
+    ) -> Result<crate::protocol::FeedbackReply, ServeError> {
+        let reply = self.apply_feedback(gpu, cluster, best)?;
+        self.metrics.feedback();
+        if let Some(journal) = &self.journal {
+            journal.append(&JournalRecord {
+                gpu: reply.gpu.clone(),
+                cluster: reply.cluster,
+                best: reply.format.clone(),
+            })?;
+            self.journal_appended.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(reply)
+    }
+
+    /// The full serving report: wire counters from [`ServeMetrics`] plus
+    /// the engine-level online-contention and journal counters.
+    pub fn serving_report(&self) -> ServingReport {
+        let mut report = self.metrics.report();
+        for s in &self.states {
+            let c = s.online.contention().report();
+            report.read_decisions += c.read_decisions;
+            report.write_decisions += c.write_decisions;
+            report.write_lock_acquisitions += c.write_lock_acquisitions;
+            report.write_lock_wait_us += c.write_lock_wait_us;
+            report.snapshot_swaps += c.snapshot_swaps;
+        }
+        report.journal_replayed = self.journal_replayed.load(Ordering::Relaxed);
+        report.journal_appended = self.journal_appended.load(Ordering::Relaxed);
+        report.journal_skipped = self.journal_skipped.load(Ordering::Relaxed);
+        report
     }
 
     /// Snapshot the serving counters and per-GPU online state.
@@ -267,13 +346,18 @@ impl Engine {
             .states
             .iter()
             .map(|s| {
-                let online = s.online.lock().expect("online selector lock");
+                let snap = s.online.snapshot();
+                let contention = s.online.contention().report();
                 GpuStats {
                     gpu: s.gpu.name().to_string(),
-                    clusters: online.n_clusters(),
-                    unlabeled_clusters: online.unlabeled_clusters(),
-                    staleness: online.staleness(),
+                    clusters: snap.n_clusters(),
+                    unlabeled_clusters: snap.unlabeled_clusters(),
+                    staleness: snap.staleness(),
                     training_records: s.training_records,
+                    shards: s.online.shards(),
+                    snapshot_version: snap.version(),
+                    shard_imbalance: contention.shard_imbalance(),
+                    shard_feedbacks: contention.shard_feedbacks,
                 }
             })
             .collect();
@@ -281,7 +365,7 @@ impl Engine {
             artifact_version: self.artifact_version,
             feature_digest: self.feature_digest.clone(),
             gpus,
-            serving: self.metrics.report(),
+            serving: self.serving_report(),
         }
     }
 }

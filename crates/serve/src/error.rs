@@ -60,6 +60,15 @@ pub enum ServeError {
         /// Time actually spent, ms.
         elapsed_ms: u64,
     },
+    /// A batch item was never computed: the batch deadline had already
+    /// elapsed when the cooperative check reached it. Earlier items in
+    /// the same batch still carry real replies.
+    DeadlineSkipped {
+        /// Deadline the batch carried (or the server default), ms.
+        deadline_ms: u64,
+        /// Batch time already spent when this item was reached, ms.
+        elapsed_ms: u64,
+    },
     /// The artifact was written by an incompatible serialization version.
     VersionMismatch {
         /// Version found in the artifact.
@@ -94,6 +103,7 @@ impl ServeError {
             ServeError::FeatureDim { .. } => "feature_dim",
             ServeError::Io { .. } => "io",
             ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServeError::DeadlineSkipped { .. } => "deadline_skipped",
             ServeError::VersionMismatch { .. } => "artifact_version_mismatch",
             ServeError::FeatureDigestMismatch { .. } => "feature_digest_mismatch",
             ServeError::Malformed { .. } => "malformed",
@@ -142,6 +152,14 @@ impl fmt::Display for ServeError {
                 deadline_ms,
                 elapsed_ms,
             } => write!(f, "deadline of {deadline_ms} ms exceeded ({elapsed_ms} ms)"),
+            ServeError::DeadlineSkipped {
+                deadline_ms,
+                elapsed_ms,
+            } => write!(
+                f,
+                "skipped: batch deadline of {deadline_ms} ms had elapsed \
+                 ({elapsed_ms} ms) before this item was computed"
+            ),
             ServeError::VersionMismatch { found, expected } => write!(
                 f,
                 "artifact version {found} is incompatible with this build \
@@ -207,6 +225,10 @@ mod tests {
                 message: "gone".into(),
             },
             ServeError::DeadlineExceeded {
+                deadline_ms: 5,
+                elapsed_ms: 9,
+            },
+            ServeError::DeadlineSkipped {
                 deadline_ms: 5,
                 elapsed_ms: 9,
             },

@@ -1,0 +1,160 @@
+//! Append-only feedback journal: learned labels that survive a restart.
+//!
+//! Every applied `Feedback` request appends one JSON line —
+//! `{"gpu":"Pascal","cluster":3,"best":"ELL"}` — to a journal file next
+//! to the artifact (`<model>.spsel.journal` by default). On startup
+//! `spsel-serve` replays the journal through the same
+//! [`Engine::feedback`](crate::Engine::feedback) path (without
+//! re-journaling), so cluster labels learned online are not lost when the
+//! daemon restarts. Replay is forgiving: malformed lines (a torn final
+//! write from a crash) and records that no longer apply (a cluster index
+//! beyond the fresh warm-start) are counted and skipped, never fatal.
+
+use crate::error::ServeError;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One applied feedback label, as journaled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// GPU whose online selector was updated.
+    pub gpu: String,
+    /// Cluster that was labeled.
+    pub cluster: usize,
+    /// The measured best format applied as the label.
+    pub best: String,
+}
+
+/// An open journal the engine appends applied feedback to.
+#[derive(Debug)]
+pub struct FeedbackJournal {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl FeedbackJournal {
+    /// Open (creating if absent) a journal for appending.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, ServeError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| ServeError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+        Ok(FeedbackJournal {
+            writer: Mutex::new(BufWriter::new(file)),
+            path,
+        })
+    }
+
+    /// Where this journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record and flush, so a crash loses at most the line
+    /// being written.
+    pub fn append(&self, record: &JournalRecord) -> Result<(), ServeError> {
+        let line = serde_json::to_string(record).map_err(|e| ServeError::Malformed {
+            message: e.to_string(),
+        })?;
+        let io_err = |e: std::io::Error| ServeError::Io {
+            path: self.path.display().to_string(),
+            message: e.to_string(),
+        };
+        let mut w = self.writer.lock().expect("journal writer lock");
+        writeln!(w, "{line}").map_err(io_err)?;
+        w.flush().map_err(io_err)
+    }
+}
+
+/// Read every parseable record from a journal file. A missing file is an
+/// empty journal (first start); malformed lines are counted, not fatal.
+pub fn read(path: impl AsRef<Path>) -> Result<(Vec<JournalRecord>, u64), ServeError> {
+    let path = path.as_ref();
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => {
+            return Err(ServeError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })
+        }
+    };
+    let mut records = Vec::new();
+    let mut malformed = 0u64;
+    for line in BufReader::new(file).lines() {
+        let line = line.map_err(|e| ServeError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<JournalRecord>(&line) {
+            Ok(r) => records.push(r),
+            Err(_) => malformed += 1,
+        }
+    }
+    Ok((records, malformed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(cluster: usize) -> JournalRecord {
+        JournalRecord {
+            gpu: "Pascal".into(),
+            cluster,
+            best: "ELL".into(),
+        }
+    }
+
+    #[test]
+    fn appends_accumulate_and_read_back_in_order() {
+        let dir = std::env::temp_dir().join(format!("spsel-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.spsel.journal");
+        let _ = std::fs::remove_file(&path);
+
+        let journal = FeedbackJournal::open(&path).unwrap();
+        journal.append(&record(0)).unwrap();
+        journal.append(&record(7)).unwrap();
+        drop(journal);
+        // Reopening appends after the existing records.
+        let journal = FeedbackJournal::open(&path).unwrap();
+        journal.append(&record(2)).unwrap();
+
+        let (records, malformed) = read(&path).unwrap();
+        assert_eq!(malformed, 0);
+        assert_eq!(records, vec![record(0), record(7), record(2)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_is_empty_and_torn_lines_are_counted() {
+        let dir = std::env::temp_dir();
+        let missing = dir.join("spsel-journal-never-written.journal");
+        assert_eq!(read(&missing).unwrap(), (Vec::new(), 0));
+
+        let path = dir.join(format!("spsel-journal-torn-{}.journal", std::process::id()));
+        std::fs::write(
+            &path,
+            "{\"gpu\":\"Volta\",\"cluster\":1,\"best\":\"CSR\"}\n{\"gpu\":\"Vol",
+        )
+        .unwrap();
+        let (records, malformed) = read(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].cluster, 1);
+        assert_eq!(malformed, 1, "the torn tail is skipped, not fatal");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -9,14 +9,19 @@
 //!   bit-identical decisions. Version or feature-pipeline mismatches are
 //!   typed errors, never panics.
 //! * [`engine`] — the one decision codepath (batch selector + warm
-//!   [`spsel_core::OnlineSelector`] per GPU) shared by the `select` CLI,
-//!   the daemon, and tests.
+//!   [`spsel_core::ShardedOnlineSelector`] per GPU) shared by the
+//!   `select` CLI, the daemon, and tests. Read-only decisions are
+//!   answered lock-free from a published snapshot; observations and
+//!   feedback go through a sharded write side.
 //! * [`server`] — a newline-delimited-JSON TCP loop with a worker pool,
-//!   per-request deadlines, and graceful shutdown; [`protocol`] defines
-//!   the wire types and [`error`] the typed error envelope.
+//!   per-request deadlines (enforced cooperatively inside batches), and
+//!   graceful shutdown; [`protocol`] defines the wire types and
+//!   [`error`] the typed error envelope.
 //! * [`metrics`] — lock-free serving counters (latency quantiles from a
-//!   monotonic clock) surfaced through the `stats` request and the
-//!   run-report JSON.
+//!   monotonic clock, lock-contention and snapshot-swap counts) surfaced
+//!   through the `stats` request and the run-report JSON.
+//! * [`journal`] — an append-only JSONL feedback journal replayed at
+//!   startup, so labels learned online survive a daemon restart.
 //!
 //! The daemon binary is `spsel-serve`; the artifact CLI is `spsel`
 //! (`train`, `inspect`, `request`); `loadgen` in the bench crate drives
@@ -26,6 +31,7 @@ pub mod artifact;
 pub mod client;
 pub mod engine;
 pub mod error;
+pub mod journal;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
@@ -34,6 +40,7 @@ pub use artifact::{feature_pipeline_digest, ModelArtifact, TrainConfig, ARTIFACT
 pub use client::Client;
 pub use engine::{Engine, EngineOptions};
 pub use error::{ErrorEnvelope, ServeError};
+pub use journal::{FeedbackJournal, JournalRecord};
 pub use metrics::ServeMetrics;
 pub use protocol::{Request, Response, SelectBody, SelectReply};
 pub use server::{ServeOptions, Server};

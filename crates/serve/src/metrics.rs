@@ -27,6 +27,7 @@ pub struct ServeMetrics {
     max_batch_size: AtomicU64,
     errors: AtomicU64,
     deadline_exceeded: AtomicU64,
+    deadline_skipped: AtomicU64,
     cluster_hits: AtomicU64,
     new_clusters: AtomicU64,
     benchmarks_requested: AtomicU64,
@@ -50,6 +51,7 @@ impl Default for ServeMetrics {
             max_batch_size: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
+            deadline_skipped: AtomicU64::new(0),
             cluster_hits: AtomicU64::new(0),
             new_clusters: AtomicU64::new(0),
             benchmarks_requested: AtomicU64::new(0),
@@ -115,6 +117,13 @@ impl ServeMetrics {
         bump(&self.errors);
     }
 
+    /// Count one batch item skipped by the cooperative mid-compute
+    /// deadline check (the batch envelope itself still succeeds, so this
+    /// is not an error response).
+    pub fn deadline_skipped(&self) {
+        bump(&self.deadline_skipped);
+    }
+
     /// Record one request's wall-clock latency.
     pub fn record_latency(&self, elapsed: Duration) {
         let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
@@ -166,6 +175,10 @@ impl ServeMetrics {
             p50_latency_us: self.latency_quantile(0.50),
             p99_latency_us: self.latency_quantile(0.99),
             max_latency_us: load(&self.max_latency_us) as f64,
+            deadline_skipped: load(&self.deadline_skipped),
+            // Contention and journal counters live with the engine; it
+            // merges them in `Engine::serving_report`.
+            ..ServingReport::default()
         }
     }
 }

@@ -168,6 +168,16 @@ pub struct GpuStats {
     pub staleness: usize,
     /// Matrices used to train the batch selector behind this GPU.
     pub training_records: usize,
+    /// Write shards the online label table is split over.
+    pub shards: usize,
+    /// Version of the GPU's current online snapshot (publishes since
+    /// startup).
+    pub snapshot_version: u64,
+    /// Feedback labels applied per shard, shard order.
+    pub shard_feedbacks: Vec<u64>,
+    /// Busiest-shard feedback count over the mean (1.0 = balanced,
+    /// 0.0 = no feedback yet).
+    pub shard_imbalance: f64,
 }
 
 /// Answer to a stats request.

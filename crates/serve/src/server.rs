@@ -139,7 +139,7 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
-        engine.metrics().report()
+        engine.serving_report()
     }
 }
 
@@ -256,8 +256,11 @@ pub fn handle_line(
 }
 
 /// Answer one parsed request (shared by the socket loop and in-process
-/// tests). Deadlines are enforced against `received`: a response that
-/// took too long is replaced by a `deadline_exceeded` envelope.
+/// tests). Deadlines are enforced against `received` at both ends of
+/// compute: a request whose deadline has already elapsed is rejected
+/// before any work, and a response that took too long is replaced by a
+/// `deadline_exceeded` envelope. Batch deadlines are instead enforced
+/// *during* compute, item by item (see the `Batch` arm).
 pub fn handle_request(
     engine: &Engine,
     request: &Request,
@@ -274,9 +277,15 @@ pub fn handle_request(
             deadline_ms,
             learn,
         } => {
+            let deadline = deadline_ms.unwrap_or(default_deadline_ms);
+            // Admission check: if the deadline elapsed while the request
+            // sat in the read buffer or queue, reject it typed — don't
+            // burn compute on a reply the client has already written off.
+            if let Some(rejection) = admission_check(metrics, received, deadline) {
+                return (rejection, false);
+            }
             let body = Request::select_body(matrix, features, gpu, *iterations, *learn);
             let response = select_response(engine, &body);
-            let deadline = deadline_ms.unwrap_or(default_deadline_ms);
             (
                 enforce_deadline(metrics, response, received, deadline),
                 false,
@@ -287,16 +296,31 @@ pub fn handle_request(
             deadline_ms,
         } => {
             metrics.batch(requests.len());
+            let deadline = deadline_ms.unwrap_or(default_deadline_ms);
+            // Fan out through the parallel runtime; `map` preserves item
+            // order, so results are deterministic regardless of worker
+            // count. The deadline is enforced cooperatively: each item
+            // re-checks the clock before computing, so a blown deadline
+            // stops burning CPU mid-batch and the remainder comes back as
+            // typed `deadline_skipped` envelopes while earlier items keep
+            // their real replies.
             let responses: Vec<Response> = requests
                 .par_iter()
-                .map(|body| select_response(engine, body))
+                .map(|body| {
+                    if deadline > 0 {
+                        let elapsed_ms = received.elapsed().as_millis() as u64;
+                        if elapsed_ms > deadline {
+                            metrics.deadline_skipped();
+                            return Response::from_error(&ServeError::DeadlineSkipped {
+                                deadline_ms: deadline,
+                                elapsed_ms,
+                            });
+                        }
+                    }
+                    select_response(engine, body)
+                })
                 .collect();
-            let response = Response::of_batch(responses);
-            let deadline = deadline_ms.unwrap_or(default_deadline_ms);
-            (
-                enforce_deadline(metrics, response, received, deadline),
-                false,
-            )
+            (Response::of_batch(responses), false)
         }
         Request::Feedback { gpu, cluster, best } => match engine.feedback(gpu, *cluster, best) {
             Ok(reply) => (Response::of_feedback(reply), false),
@@ -318,6 +342,27 @@ fn select_response(engine: &Engine, body: &SelectBody) -> Response {
             Response::from_error(&e)
         }
     }
+}
+
+/// Pre-compute deadline check: `Some(rejection)` when the deadline had
+/// already elapsed before any work was done.
+fn admission_check(
+    metrics: &ServeMetrics,
+    received: Instant,
+    deadline_ms: u64,
+) -> Option<Response> {
+    if deadline_ms == 0 {
+        return None;
+    }
+    let elapsed_ms = received.elapsed().as_millis() as u64;
+    if elapsed_ms <= deadline_ms {
+        return None;
+    }
+    metrics.deadline_exceeded();
+    Some(Response::from_error(&ServeError::DeadlineExceeded {
+        deadline_ms,
+        elapsed_ms,
+    }))
 }
 
 fn enforce_deadline(

@@ -1,0 +1,214 @@
+//! Concurrency behaviour of the sharded serving engine: mixed
+//! select/feedback stress without lost updates, read-only floods staying
+//! off the write path, and shard-count independence of sequential
+//! replies.
+//!
+//! Thread count comes from `SPSEL_THREADS` (the same knob the rayon shim
+//! honours), clamped to the stress range 4–8 and defaulting to 8, so the
+//! test exercises real contention even on a 1-CPU container.
+
+use spsel_core::cache::Cache;
+use spsel_core::corpus::CorpusConfig;
+use spsel_core::experiments::ExperimentContext;
+use spsel_core::telemetry::RunReport;
+use spsel_features::{FeatureVector, MatrixStats};
+use spsel_matrix::{gen, CsrMatrix};
+use spsel_serve::artifact::{self, ModelArtifact, TrainConfig};
+use spsel_serve::protocol::SelectBody;
+use spsel_serve::{Engine, EngineOptions};
+use std::sync::Arc;
+
+fn train_model() -> ModelArtifact {
+    let cache = Cache::disabled();
+    let mut report = RunReport::new("concurrency-test");
+    let ctx = ExperimentContext::build(CorpusConfig::small(30, 5), &cache, &mut report);
+    artifact::train(&ctx, &TrainConfig::default()).expect("training succeeds")
+}
+
+fn body(seed: u64, gpu: &str, learn: bool) -> SelectBody {
+    let csr = CsrMatrix::from(&gen::power_law(
+        130 + (seed % 60) as usize,
+        130,
+        2,
+        2.2 + (seed % 4) as f64 * 0.1,
+        50,
+        seed,
+    ));
+    SelectBody {
+        matrix: None,
+        features: Some(
+            FeatureVector::from_stats(&MatrixStats::from_csr(&csr))
+                .as_slice()
+                .to_vec(),
+        ),
+        gpu: gpu.to_string(),
+        iterations: Some(300),
+        learn: Some(learn),
+    }
+}
+
+/// Stress thread count: `SPSEL_THREADS` clamped to 4..=8, default 8.
+fn stress_threads() -> usize {
+    std::env::var("SPSEL_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(8)
+        .clamp(4, 8)
+}
+
+/// Mixed select/feedback stress: every feedback a thread issues must be
+/// applied (none lost to a concurrent observe), and the cluster count
+/// stays within the configured bound.
+#[test]
+fn mixed_select_feedback_stress_loses_nothing() {
+    let model = train_model();
+    let engine = Arc::new(Engine::from_artifact(&model, &EngineOptions::default()).unwrap());
+    let threads = stress_threads();
+    const PER_THREAD: usize = 40;
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let gpus = ["pascal", "volta", "turing"];
+                let mut feedbacks = 0u64;
+                for r in 0..PER_THREAD {
+                    let gpu = gpus[(t + r) % gpus.len()];
+                    let reply = engine
+                        .select(&body((t * PER_THREAD + r) as u64, gpu, true))
+                        .expect("select succeeds under contention");
+                    // Answer every benchmark request, like a real client.
+                    if reply.benchmark_requested {
+                        engine
+                            .feedback(gpu, reply.cluster, "ell")
+                            .expect("feedback on a just-reported cluster succeeds");
+                        feedbacks += 1;
+                    }
+                }
+                feedbacks
+            })
+        })
+        .collect();
+    let issued: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+    let report = engine.serving_report();
+    assert_eq!(
+        report.feedback_applied, issued,
+        "every issued feedback must be applied — none lost to races"
+    );
+    assert_eq!(report.write_decisions, (threads * PER_THREAD) as u64);
+    assert_eq!(
+        report.snapshot_swaps,
+        report.write_decisions + issued,
+        "every mutation publishes exactly one snapshot"
+    );
+    let stats = engine.stats();
+    for gpu in &stats.gpus {
+        assert!(
+            gpu.clusters <= EngineOptions::default().online_max_clusters,
+            "cluster growth must respect the configured bound"
+        );
+    }
+    let total_shard_feedbacks: u64 = stats
+        .gpus
+        .iter()
+        .flat_map(|g| g.shard_feedbacks.iter())
+        .sum();
+    assert_eq!(total_shard_feedbacks, issued, "shard counters agree");
+}
+
+/// A `learn: false` flood — even a concurrent one — never takes the
+/// write path: zero write-lock acquisitions, zero snapshot swaps, and
+/// identical replies for identical requests throughout.
+#[test]
+fn read_only_floods_never_take_the_write_path() {
+    let model = train_model();
+    let engine = Arc::new(Engine::from_artifact(&model, &EngineOptions::default()).unwrap());
+    let threads = stress_threads();
+    const PER_THREAD: usize = 50;
+
+    let baseline = engine
+        .select(&body(7, "pascal", false))
+        .expect("baseline select");
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let baseline = baseline.clone();
+            std::thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    let reply = engine
+                        .select(&body(7, "pascal", false))
+                        .expect("read-only select succeeds");
+                    assert_eq!(reply, baseline, "read replies must be stable");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let report = engine.serving_report();
+    assert_eq!(report.read_decisions, (threads * PER_THREAD + 1) as u64);
+    assert_eq!(report.write_decisions, 0);
+    assert_eq!(
+        report.write_lock_acquisitions, 0,
+        "a learn:false flood must never touch a write lock"
+    );
+    assert_eq!(report.write_lock_wait_us, 0);
+    assert_eq!(report.snapshot_swaps, 0);
+    for gpu in &engine.stats().gpus {
+        assert_eq!(gpu.snapshot_version, 0, "no snapshot was ever published");
+    }
+}
+
+/// Shard count is invisible to clients: engines built from the same
+/// artifact with 1 and 8 write shards produce bit-identical reply
+/// sequences for the same sequential stream of selects and feedback.
+#[test]
+fn sequential_replies_are_identical_across_shard_counts() {
+    let model = train_model();
+    let one = Engine::from_artifact(
+        &model,
+        &EngineOptions {
+            write_shards: 1,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+    let eight = Engine::from_artifact(
+        &model,
+        &EngineOptions {
+            write_shards: 8,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+
+    for i in 0..30u64 {
+        let learn = i % 4 != 3; // mix write and read decisions
+        let gpu = ["pascal", "volta", "turing"][(i % 3) as usize];
+        let b = body(i, gpu, learn);
+        let a = one.select(&b).expect("1-shard select");
+        let z = eight.select(&b).expect("8-shard select");
+        assert_eq!(a, z, "reply divergence at step {i}");
+        if a.benchmark_requested && learn {
+            let fa = one
+                .feedback(gpu, a.cluster, "hyb")
+                .expect("1-shard feedback");
+            let fz = eight
+                .feedback(gpu, z.cluster, "hyb")
+                .expect("8-shard feedback");
+            assert_eq!(fa, fz, "feedback reply divergence at step {i}");
+        }
+    }
+    let sa = one.stats();
+    let sz = eight.stats();
+    for (a, z) in sa.gpus.iter().zip(sz.gpus.iter()) {
+        assert_eq!(a.clusters, z.clusters);
+        assert_eq!(a.unlabeled_clusters, z.unlabeled_clusters);
+        assert_eq!(a.staleness, z.staleness);
+        assert_eq!(a.shards, 1);
+        assert_eq!(z.shards, 8);
+    }
+}

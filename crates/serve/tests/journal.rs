@@ -1,0 +1,164 @@
+//! Feedback-journal persistence: labels learned online survive a daemon
+//! restart, replayed decisions are bit-identical, and torn journal tails
+//! are tolerated.
+
+use spsel_core::cache::Cache;
+use spsel_core::corpus::CorpusConfig;
+use spsel_core::experiments::ExperimentContext;
+use spsel_core::telemetry::RunReport;
+use spsel_features::{FeatureVector, MatrixStats};
+use spsel_matrix::{gen, CsrMatrix};
+use spsel_serve::artifact::{self, ModelArtifact, TrainConfig};
+use spsel_serve::{Client, Engine, EngineOptions, Request, ServeOptions, Server};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn train_model() -> ModelArtifact {
+    let cache = Cache::disabled();
+    let mut report = RunReport::new("journal-test");
+    let ctx = ExperimentContext::build(CorpusConfig::small(30, 5), &cache, &mut report);
+    artifact::train(&ctx, &TrainConfig::default()).expect("training succeeds")
+}
+
+fn novel_features() -> Vec<f64> {
+    // A bimodal shape the small training corpus never saw, so the first
+    // observation opens a fresh (unlabeled) cluster.
+    let csr = CsrMatrix::from(&gen::bimodal(1500, 1500, 3, 40, 0.3, 77));
+    FeatureVector::from_stats(&MatrixStats::from_csr(&csr))
+        .as_slice()
+        .to_vec()
+}
+
+fn select_request(features: Vec<f64>, learn: bool) -> Request {
+    Request::Select {
+        matrix: None,
+        features: Some(features),
+        gpu: "pascal".into(),
+        iterations: Some(500),
+        deadline_ms: None,
+        learn: Some(learn),
+    }
+}
+
+fn journal_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "spsel-journal-test-{tag}-{}.journal",
+        std::process::id()
+    ))
+}
+
+fn start_daemon(
+    model: &ModelArtifact,
+    journal: &PathBuf,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<spsel_core::telemetry::ServingReport>,
+) {
+    let mut engine = Engine::from_artifact(model, &EngineOptions::default()).unwrap();
+    engine
+        .attach_journal(journal)
+        .expect("journal attach succeeds");
+    let server = Server::bind(Arc::new(engine), ServeOptions::default()).expect("bind succeeds");
+    let addr = server.local_addr().expect("bound address");
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+/// The satellite's restart round-trip: feed back a label, kill the
+/// daemon, restart it from the same artifact and journal, and get the
+/// identical post-replay decision — bit for bit.
+#[test]
+fn labels_survive_a_daemon_restart_via_journal_replay() {
+    let model = train_model();
+    let journal = journal_path("restart");
+    let _ = std::fs::remove_file(&journal);
+
+    // First life: probe which warm cluster a matrix lands in, then feed
+    // back a deliberately surprising corrective label (platform drift)
+    // and capture the relabeled decision. The journal persists applied
+    // feedback, so it is exactly this relabeling that must survive.
+    let (addr, handle) = start_daemon(&model, &journal);
+    let mut client = Client::connect(addr).unwrap();
+    let first = client
+        .roundtrip(&select_request(novel_features(), false))
+        .unwrap();
+    assert!(first.ok, "select fails: {first:?}");
+    let select = first.select.expect("select payload");
+    let fb = client
+        .roundtrip(&Request::Feedback {
+            gpu: "pascal".into(),
+            cluster: select.cluster,
+            best: "coo".into(),
+        })
+        .unwrap();
+    assert!(fb.ok, "feedback fails: {fb:?}");
+    let labeled = client
+        .roundtrip(&select_request(novel_features(), false))
+        .unwrap();
+    assert!(labeled.ok);
+    assert_eq!(
+        labeled.select.as_ref().unwrap().format,
+        "COO",
+        "the measured label decides immediately"
+    );
+    let report = {
+        client.roundtrip(&Request::Shutdown).unwrap();
+        handle.join().unwrap()
+    };
+    assert_eq!(report.journal_appended, 1);
+    assert_eq!(report.journal_replayed, 0, "first life replays nothing");
+
+    // Second life: same artifact, same journal. Replay must restore the
+    // label without the cluster ever being re-benchmarked, and the same
+    // learn:false probe must get the identical reply.
+    let (addr, handle) = start_daemon(&model, &journal);
+    let mut client = Client::connect(addr).unwrap();
+    let replayed = client
+        .roundtrip(&select_request(novel_features(), false))
+        .unwrap();
+    assert!(replayed.ok);
+    assert_eq!(
+        replayed.select, labeled.select,
+        "post-replay decision must be bit-identical to the pre-restart one"
+    );
+    let stats = client.roundtrip(&Request::Stats).unwrap();
+    let serving = stats.stats.expect("stats payload").serving;
+    assert_eq!(serving.journal_replayed, 1);
+    assert_eq!(serving.journal_skipped, 0);
+    client.roundtrip(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+    std::fs::remove_file(&journal).ok();
+}
+
+/// Replay is forgiving: a torn final line (crash mid-append) and a
+/// record for a cluster the fresh warm-start doesn't have are counted as
+/// skipped, and the engine still serves.
+#[test]
+fn torn_and_stale_journal_records_are_skipped_not_fatal() {
+    let model = train_model();
+    let journal = journal_path("torn");
+    std::fs::write(
+        &journal,
+        "{\"gpu\":\"Pascal\",\"cluster\":0,\"best\":\"ELL\"}\n\
+         {\"gpu\":\"Pascal\",\"cluster\":99999,\"best\":\"CSR\"}\n\
+         {\"gpu\":\"Pas",
+    )
+    .unwrap();
+
+    let mut engine = Engine::from_artifact(&model, &EngineOptions::default()).unwrap();
+    let (replayed, skipped) = engine.attach_journal(&journal).unwrap();
+    assert_eq!(replayed, 1, "the valid in-range record is applied");
+    assert_eq!(skipped, 2, "the stale record and the torn tail are not");
+    let report = engine.serving_report();
+    assert_eq!(report.journal_replayed, 1);
+    assert_eq!(report.journal_skipped, 2);
+    assert_eq!(
+        report.feedback_applied, 0,
+        "replay is not client feedback: wire counters stay zero"
+    );
+
+    // The replayed label is live.
+    let stats = engine.stats();
+    let pascal = stats.gpus.iter().find(|g| g.gpu == "Pascal").unwrap();
+    assert!(pascal.clusters > 0);
+    std::fs::remove_file(&journal).ok();
+}

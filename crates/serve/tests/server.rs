@@ -11,17 +11,24 @@ use spsel_matrix::gen;
 use spsel_matrix::CsrMatrix;
 use spsel_serve::artifact::{self, TrainConfig};
 use spsel_serve::protocol::SelectBody;
+use spsel_serve::server::handle_request;
 use spsel_serve::{Client, Engine, EngineOptions, Request, Response, ServeOptions, Server};
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Train a small model and start a daemon on an ephemeral port.
-fn start_server(workers: usize) -> (SocketAddr, std::thread::JoinHandle<ServingReport>) {
+/// Train a small model and build an engine from it.
+fn build_engine() -> Engine {
     let cache = Cache::disabled();
     let mut report = RunReport::new("server-test");
     let ctx = ExperimentContext::build(CorpusConfig::small(30, 5), &cache, &mut report);
     let model = artifact::train(&ctx, &TrainConfig::default()).expect("training succeeds");
-    let engine = Arc::new(Engine::from_artifact(&model, &EngineOptions::default()).unwrap());
+    Engine::from_artifact(&model, &EngineOptions::default()).unwrap()
+}
+
+/// Train a small model and start a daemon on an ephemeral port.
+fn start_server(workers: usize) -> (SocketAddr, std::thread::JoinHandle<ServingReport>) {
+    let engine = Arc::new(build_engine());
     let server = Server::bind(
         engine,
         ServeOptions {
@@ -229,6 +236,98 @@ fn daemon_survives_concurrent_clients_without_failures() {
     assert!(stats.serving.select_requests >= (CLIENTS * REQUESTS) as u64);
     client.roundtrip(&Request::Shutdown).unwrap();
     handle.join().unwrap();
+}
+
+#[test]
+fn select_deadline_is_enforced_before_compute() {
+    // A request whose deadline elapsed while it sat in the queue is
+    // rejected typed, before any decision work — simulated by
+    // back-dating `received`.
+    let engine = build_engine();
+    let late = Instant::now()
+        .checked_sub(Duration::from_millis(80))
+        .expect("clock is past the epoch");
+    let request = Request::Select {
+        matrix: None,
+        features: Some(feature_vec(4)),
+        gpu: "pascal".into(),
+        iterations: None,
+        deadline_ms: Some(10),
+        learn: Some(true),
+    };
+    let (response, stop) = handle_request(&engine, &request, late, 0);
+    assert!(!stop);
+    assert!(!response.ok);
+    assert_eq!(response.error.expect("envelope").code, "deadline_exceeded");
+    let report = engine.serving_report();
+    assert_eq!(report.deadline_exceeded, 1);
+    assert_eq!(
+        report.select_requests, 0,
+        "the rejected request must not have been decided"
+    );
+    assert_eq!(report.read_decisions + report.write_decisions, 0);
+
+    // The same request with a live deadline is answered normally.
+    let (response, _) = handle_request(&engine, &request, Instant::now(), 0);
+    assert!(response.ok, "live-deadline select fails: {response:?}");
+}
+
+#[test]
+fn batch_deadline_skips_items_cooperatively() {
+    let engine = build_engine();
+    let bodies: Vec<SelectBody> = (0..5)
+        .map(|s| SelectBody {
+            matrix: None,
+            features: Some(feature_vec(s)),
+            gpu: "volta".into(),
+            iterations: Some(100),
+            learn: Some(true),
+        })
+        .collect();
+
+    // A batch whose deadline is already blown: the cooperative check
+    // fires before each item, so every item comes back as a typed
+    // `deadline_skipped` envelope and zero decisions are computed.
+    let late = Instant::now()
+        .checked_sub(Duration::from_millis(80))
+        .expect("clock is past the epoch");
+    let (response, _) = handle_request(
+        &engine,
+        &Request::Batch {
+            requests: bodies.clone(),
+            deadline_ms: Some(10),
+        },
+        late,
+        0,
+    );
+    assert!(!response.ok, "a skipped item fails the batch envelope");
+    let batch = response.batch.expect("batch payload");
+    assert_eq!(batch.len(), 5, "one envelope per item, order preserved");
+    for item in &batch {
+        assert!(!item.ok);
+        assert_eq!(
+            item.error.as_ref().expect("envelope").code,
+            "deadline_skipped"
+        );
+    }
+    let report = engine.serving_report();
+    assert_eq!(report.deadline_skipped, 5);
+    assert_eq!(report.select_requests, 0, "no item was actually decided");
+
+    // The same batch with no deadline decides every item.
+    let (response, _) = handle_request(
+        &engine,
+        &Request::Batch {
+            requests: bodies,
+            deadline_ms: None,
+        },
+        Instant::now(),
+        0,
+    );
+    assert!(response.ok, "deadline-free batch fails: {response:?}");
+    let batch = response.batch.expect("batch payload");
+    assert!(batch.iter().all(|r| r.ok && r.select.is_some()));
+    assert_eq!(engine.serving_report().deadline_skipped, 5, "unchanged");
 }
 
 #[test]

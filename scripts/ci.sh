@@ -103,15 +103,72 @@ grep -q '"ok":true' "$SMOKE_DIR/r-select.json"
 grep -q '"ok":true' "$SMOKE_DIR/r-feedback.json"
 ./target/release/spsel request "$ADDR" '"Stats"' > "$SMOKE_DIR/r-stats.json"
 grep -q '"select_requests":1' "$SMOKE_DIR/r-stats.json"
+# Contention counters must be visible in the stats reply.
+grep -q '"write_lock_acquisitions":' "$SMOKE_DIR/r-stats.json"
+grep -q '"snapshot_swaps":' "$SMOKE_DIR/r-stats.json"
+grep -q '"snapshot_version":' "$SMOKE_DIR/r-stats.json"
+grep -q '"shard_feedbacks":' "$SMOKE_DIR/r-stats.json"
 ./target/release/spsel request "$ADDR" '"Shutdown"' > "$SMOKE_DIR/r-shutdown.json"
 grep -q '"stopping":true' "$SMOKE_DIR/r-shutdown.json"
 wait "$SERVE_PID"
 grep -q '"serving"' "$SMOKE_DIR/serve-report.json"
 grep -q '"feedback_applied": *1' "$SMOKE_DIR/serve-report.json"
+# The daemon journals feedback next to the artifact by default.
+grep -q '"journal_appended": *1' "$SMOKE_DIR/serve-report.json"
+test -s "$SMOKE_DIR/model.spsel.journal"
 # Load test: 32 concurrent clients against an in-process daemon, zero
 # failed requests (loadgen exits nonzero otherwise).
 ./target/release/loadgen --clients 32 --requests 5 --feedback \
     --model "$SMOKE_DIR/model.spsel" > "$SMOKE_DIR/loadgen.txt" 2>/dev/null
 grep -q ' 0 failed' "$SMOKE_DIR/loadgen.txt"
+
+echo "==> serving restart smoke (journal replay round-trip)"
+# Second life: same artifact, same journal. The feedback recorded above
+# must be replayed, and a read-only select must answer identically
+# across two independent restarts.
+./target/release/spsel-serve --model "$SMOKE_DIR/model.spsel" \
+    > "$SMOKE_DIR/serve2.out" 2>/dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q 'listening on' "$SMOKE_DIR/serve2.out" && break
+    sleep 0.1
+done
+ADDR="$(awk '/listening on/ {print $3}' "$SMOKE_DIR/serve2.out")"
+./target/release/spsel request "$ADDR" \
+    "{\"Select\":{\"matrix\":\"$SMOKE_DIR/smoke.mtx\",\"features\":null,\"gpu\":\"pascal\",\"iterations\":500,\"deadline_ms\":null,\"learn\":false}}" \
+    > "$SMOKE_DIR/r2-select.json"
+grep -q '"ok":true' "$SMOKE_DIR/r2-select.json"
+./target/release/spsel request "$ADDR" '"Stats"' > "$SMOKE_DIR/r2-stats.json"
+grep -q '"journal_replayed":1' "$SMOKE_DIR/r2-stats.json"
+grep -q '"journal_skipped":0' "$SMOKE_DIR/r2-stats.json"
+./target/release/spsel request "$ADDR" '"Shutdown"' >/dev/null
+wait "$SERVE_PID"
+# Third life: the replayed state must yield a byte-identical reply.
+./target/release/spsel-serve --model "$SMOKE_DIR/model.spsel" \
+    > "$SMOKE_DIR/serve3.out" 2>/dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q 'listening on' "$SMOKE_DIR/serve3.out" && break
+    sleep 0.1
+done
+ADDR="$(awk '/listening on/ {print $3}' "$SMOKE_DIR/serve3.out")"
+./target/release/spsel request "$ADDR" \
+    "{\"Select\":{\"matrix\":\"$SMOKE_DIR/smoke.mtx\",\"features\":null,\"gpu\":\"pascal\",\"iterations\":500,\"deadline_ms\":null,\"learn\":false}}" \
+    > "$SMOKE_DIR/r3-select.json"
+cmp "$SMOKE_DIR/r2-select.json" "$SMOKE_DIR/r3-select.json"
+./target/release/spsel request "$ADDR" '"Shutdown"' >/dev/null
+wait "$SERVE_PID"
+
+echo "==> read-only flood smoke (lock-free decisions, machine-readable bench)"
+# A learn:false flood must never take the write path: the bench record
+# proves zero write-lock acquisitions and zero snapshot swaps.
+./target/release/loadgen --clients 8 --requests 10 --read-frac 1.0 \
+    --model "$SMOKE_DIR/model.spsel" --bench-json "$SMOKE_DIR/BENCH_serve.json" \
+    > "$SMOKE_DIR/loadgen-ro.txt" 2>/dev/null
+grep -q ' 0 failed' "$SMOKE_DIR/loadgen-ro.txt"
+grep -q '"write_lock_acquisitions": *0' "$SMOKE_DIR/BENCH_serve.json"
+grep -q '"snapshot_swaps": *0' "$SMOKE_DIR/BENCH_serve.json"
+grep -q '"write_decisions": *0' "$SMOKE_DIR/BENCH_serve.json"
+grep -q '"throughput_rps"' "$SMOKE_DIR/BENCH_serve.json"
 
 echo "CI green."
