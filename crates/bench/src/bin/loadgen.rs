@@ -1,26 +1,31 @@
 //! `loadgen`: concurrent load generator for `spsel-serve`.
 //!
 //! ```sh
-//! loadgen [--clients N] [--requests M] [--model MODEL.spsel]
+//! loadgen [--clients N] [--connections C] [--pipeline D] [--requests M]
+//!         [--protocol json|binary|both] [--model MODEL.spsel]
 //!         [--addr HOST:PORT] [--seed S] [--feedback] [--json REPORT]
 //!         [--read-frac F] [--bench-json BENCH.json]
 //! ```
 //!
 //! By default it trains a quick model, starts an in-process daemon on an
-//! ephemeral port, and drives `N` concurrent clients (default 32) each
-//! issuing `M` selection requests (default 20) over distinct synthetic
-//! matrices, then shuts the daemon down and prints both client-observed
-//! latency and the server's own counters. With `--addr` it targets an
-//! already-running daemon instead (and does not shut it down). The exit
-//! code is nonzero if any request fails — CI uses this as the serving
-//! soak test.
+//! ephemeral port, and drives `C` persistent connections (default: one
+//! per client thread) spread over `N` client threads (default 32), each
+//! connection issuing `M` selection requests (default 20) over distinct
+//! synthetic matrices with up to `D` requests in flight (default 1, i.e.
+//! strict request/response lockstep), then shuts the daemon down and
+//! prints both client-observed latency and the server's own counters.
+//! With `--addr` it targets an already-running daemon instead (and does
+//! not shut it down). The exit code is nonzero if any request fails — CI
+//! uses this as the serving soak test.
 //!
-//! `--read-frac F` sends that (deterministically assigned) fraction of
-//! selects as `learn: false` probes, which the engine answers lock-free
-//! from its online snapshot — the contention counters in the stats reply
-//! prove it. `--bench-json` writes a flat machine-readable benchmark
-//! record (throughput, p50/p99, contention counters, thread count) so
-//! runs are comparable across revisions.
+//! `--protocol` picks the wire protocol; `both` drives the same workload
+//! twice (JSON then binary) against the same daemon and `--bench-json`
+//! then records a two-element array, one record per protocol, so the two
+//! wire formats are directly comparable from one run. `--read-frac F`
+//! sends that (deterministically assigned) fraction of selects as
+//! `learn: false` probes, which the engine answers lock-free from its
+//! online snapshot — the contention counters in the stats reply prove
+//! it.
 
 use spsel_core::cache::Cache;
 use spsel_core::corpus::CorpusConfig;
@@ -31,7 +36,10 @@ use spsel_features::{FeatureVector, MatrixStats};
 use spsel_gpusim::Gpu;
 use spsel_matrix::{gen, CsrMatrix};
 use spsel_serve::artifact::{self, TrainConfig};
-use spsel_serve::{Client, Engine, EngineOptions, Request, ServeError, ServeOptions, Server};
+use spsel_serve::{
+    Client, Engine, EngineOptions, Protocol, Request, ServeError, ServeOptions, Server,
+};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -66,76 +74,215 @@ fn is_read(idx: usize, read_frac: f64) -> bool {
     (idx % 1000) < (read_frac.clamp(0.0, 1.0) * 1000.0).round() as usize
 }
 
-/// One client's work: `requests` selections (plus a feedback round-trip
-/// per learning select when `feedback` is on), all over distinct
-/// matrices.
-fn client_loop(
-    addr: &str,
-    client_id: usize,
+/// The select request for global slot `idx`: a distinct synthetic matrix
+/// per slot, GPUs rotated, deterministic for a given seed.
+fn select_request(idx: usize, seed: u64, read_frac: f64) -> (Request, Gpu, bool) {
+    let gpus = [Gpu::Pascal, Gpu::Volta, Gpu::Turing];
+    let matrix_seed = seed ^ (idx as u64);
+    let csr = CsrMatrix::from(&gen::power_law(
+        120 + (matrix_seed % 80) as usize,
+        120,
+        2,
+        2.2 + (matrix_seed % 5) as f64 * 0.1,
+        60,
+        matrix_seed,
+    ));
+    let features = FeatureVector::from_stats(&MatrixStats::from_csr(&csr))
+        .as_slice()
+        .to_vec();
+    let gpu = gpus[idx % gpus.len()];
+    let learn = !is_read(idx, read_frac);
+    let request = Request::Select {
+        matrix: None,
+        features: Some(features),
+        gpu: gpu.name().to_string(),
+        iterations: Some(500),
+        deadline_ms: None,
+        learn: Some(learn),
+    };
+    (request, gpu, learn)
+}
+
+/// One in-flight request's bookkeeping: when it was sent, and the
+/// feedback context to replay if its select succeeds.
+struct InFlight {
+    sent_at: Instant,
+    gpu: Gpu,
+    learn: bool,
+}
+
+/// One persistent connection's progress through its request quota.
+struct ConnState {
+    client: Client,
+    /// Global connection index (namespaces its request slots).
+    conn_id: usize,
+    issued: usize,
+    inflight: VecDeque<InFlight>,
+}
+
+/// The knobs one drive phase runs with (everything but the protocol).
+#[derive(Clone, Copy)]
+struct DriveConfig {
+    clients: usize,
+    connections: usize,
     requests: usize,
+    pipeline: usize,
     seed: u64,
     feedback: bool,
     read_frac: f64,
+}
+
+/// One client thread's work: its slice of persistent connections,
+/// serviced round-robin with up to `pipeline` requests in flight per
+/// connection. Responses are matched to sends in FIFO order (the
+/// protocol answers in request order), so per-request latency is
+/// send-to-receive even when pipelined.
+fn client_thread(
+    addr: &str,
+    protocol: Protocol,
+    conn_ids: std::ops::Range<usize>,
+    cfg: DriveConfig,
 ) -> std::io::Result<(usize, Vec<Duration>)> {
-    let mut client = Client::connect(addr)?;
-    let gpus = [Gpu::Pascal, Gpu::Volta, Gpu::Turing];
+    let mut conns: Vec<ConnState> = Vec::with_capacity(conn_ids.len());
+    for conn_id in conn_ids {
+        conns.push(ConnState {
+            client: Client::connect_with(addr, protocol)?,
+            conn_id,
+            issued: 0,
+            inflight: VecDeque::new(),
+        });
+    }
     let mut failed = 0usize;
-    let mut latencies = Vec::with_capacity(requests);
-    for r in 0..requests {
-        let idx = client_id * requests + r;
-        let matrix_seed = seed ^ (idx as u64);
-        let csr = CsrMatrix::from(&gen::power_law(
-            120 + (matrix_seed % 80) as usize,
-            120,
-            2,
-            2.2 + (matrix_seed % 5) as f64 * 0.1,
-            60,
-            matrix_seed,
-        ));
-        let features = FeatureVector::from_stats(&MatrixStats::from_csr(&csr))
-            .as_slice()
-            .to_vec();
-        let gpu = gpus[(client_id + r) % gpus.len()];
-        let learn = !is_read(idx, read_frac);
-        let request = Request::Select {
-            matrix: None,
-            features: Some(features),
-            gpu: gpu.name().to_string(),
-            iterations: Some(500),
-            deadline_ms: None,
-            learn: Some(learn),
-        };
-        let start = Instant::now();
-        let response = client.roundtrip(&request)?;
-        latencies.push(start.elapsed());
-        if !response.ok {
-            failed += 1;
-            continue;
+    let mut latencies = Vec::with_capacity(conns.len() * cfg.requests);
+    loop {
+        let mut live = false;
+        // Top up every connection's pipeline, then flush once per conn.
+        for conn in &mut conns {
+            while conn.issued < cfg.requests && conn.inflight.len() < cfg.pipeline {
+                let idx = conn.conn_id * cfg.requests + conn.issued;
+                let (request, gpu, learn) = select_request(idx, cfg.seed, cfg.read_frac);
+                conn.client.send(&request)?;
+                conn.inflight.push_back(InFlight {
+                    sent_at: Instant::now(),
+                    gpu,
+                    learn,
+                });
+                conn.issued += 1;
+            }
+            if !conn.inflight.is_empty() {
+                conn.client.flush()?;
+                live = true;
+            }
         }
-        if feedback && learn {
-            if let Some(select) = &response.select {
-                let reply = client.roundtrip(&Request::Feedback {
-                    gpu: gpu.name().to_string(),
-                    cluster: select.cluster,
-                    best: select.amortized_format.clone(),
-                })?;
-                if !reply.ok {
-                    failed += 1;
+        if !live {
+            return Ok((failed, latencies));
+        }
+        // Harvest one response per connection with work in flight; the
+        // blocking recv on one connection keeps its neighbours' pipelines
+        // cooking on the server meanwhile.
+        for conn in &mut conns {
+            let Some(sent) = conn.inflight.pop_front() else {
+                continue;
+            };
+            let response = conn.client.recv()?;
+            latencies.push(sent.sent_at.elapsed());
+            if !response.ok {
+                failed += 1;
+                continue;
+            }
+            if cfg.feedback && sent.learn {
+                if let Some(select) = &response.select {
+                    let reply = conn.client.roundtrip(&Request::Feedback {
+                        gpu: sent.gpu.name().to_string(),
+                        cluster: select.cluster,
+                        best: select.amortized_format.clone(),
+                    })?;
+                    if !reply.ok {
+                        failed += 1;
+                    }
                 }
             }
         }
     }
-    Ok((failed, latencies))
 }
 
-/// The `BENCH_serve.json` schema: one flat record per run, comparable
-/// across revisions. `serving` carries the daemon's own counters
-/// (including the online-contention ones) when they were collectable.
+/// What one drive phase measured.
+struct DriveResult {
+    failed: usize,
+    /// Sorted client-observed latencies, one per completed request.
+    latencies: Vec<Duration>,
+    wall: Duration,
+    total: usize,
+}
+
+/// Drive the full workload over one protocol: `cfg.connections`
+/// persistent connections partitioned over (at most) `cfg.clients`
+/// threads.
+fn drive(addr: &str, protocol: Protocol, cfg: DriveConfig) -> DriveResult {
+    let threads = cfg.clients.min(cfg.connections).max(1);
+    eprintln!(
+        "driving {} connections x {} requests (pipeline {}) over {threads} threads, \
+         {} protocol, against {addr}...",
+        cfg.connections,
+        cfg.requests,
+        cfg.pipeline,
+        protocol.name(),
+    );
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            // Partition connections evenly; the first `rem` threads take
+            // one extra.
+            let per = cfg.connections / threads;
+            let rem = cfg.connections % threads;
+            let start = t * per + t.min(rem);
+            let end = start + per + usize::from(t < rem);
+            let addr = addr.to_string();
+            std::thread::spawn(move || client_thread(&addr, protocol, start..end, cfg))
+        })
+        .collect();
+    let mut failed = 0usize;
+    let mut disconnected = 0usize;
+    let mut latencies: Vec<Duration> = Vec::with_capacity(cfg.connections * cfg.requests);
+    for h in handles {
+        match h.join().expect("client thread joins") {
+            Ok((f, l)) => {
+                failed += f;
+                latencies.extend(l);
+            }
+            Err(e) => {
+                eprintln!("client error: {e}");
+                disconnected += 1;
+            }
+        }
+    }
+    let wall = wall.elapsed();
+    // A dropped thread fails the whole quota of its connections.
+    let per_thread = cfg.connections.div_ceil(threads);
+    failed += disconnected * per_thread * cfg.requests;
+    latencies.sort();
+    DriveResult {
+        failed,
+        latencies,
+        wall,
+        total: cfg.connections * cfg.requests,
+    }
+}
+
+/// The `BENCH_serve.json` schema: one flat record per (run, protocol),
+/// comparable across revisions. `serving` carries the daemon's own
+/// counters (including the online-contention ones) when they were
+/// collectable — cumulative since daemon start, so under
+/// `--protocol both` the second record includes the first phase's
+/// traffic.
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct BenchRecord {
     bench: String,
+    protocol: String,
     clients: usize,
-    requests_per_client: usize,
+    connections: usize,
+    pipeline: usize,
+    requests_per_connection: usize,
     total_requests: usize,
     failed: usize,
     read_frac: f64,
@@ -159,7 +306,10 @@ fn quantile(sorted: &[Duration], q: f64) -> Duration {
 
 fn run(args: &[String]) -> Result<usize, ServeError> {
     let mut clients = 32usize;
+    let mut connections = 0usize; // 0: one per client thread
+    let mut pipeline = 1usize;
     let mut requests = 20usize;
+    let mut protocol_arg = "json".to_string();
     let mut model_path: Option<String> = None;
     let mut external: Option<String> = None;
     let mut seed = 42u64;
@@ -174,8 +324,20 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
                 clients = value(args, i, "--clients")?;
                 i += 1;
             }
+            "--connections" => {
+                connections = value(args, i, "--connections")?;
+                i += 1;
+            }
+            "--pipeline" => {
+                pipeline = value(args, i, "--pipeline")?;
+                i += 1;
+            }
             "--requests" => {
                 requests = value(args, i, "--requests")?;
+                i += 1;
+            }
+            "--protocol" => {
+                protocol_arg = value(args, i, "--protocol")?;
                 i += 1;
             }
             "--model" => {
@@ -211,6 +373,36 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
         }
         i += 1;
     }
+    let protocols: Vec<Protocol> = match protocol_arg.as_str() {
+        "json" => vec![Protocol::Json],
+        "binary" => vec![Protocol::Binary],
+        "both" => vec![Protocol::Json, Protocol::Binary],
+        other => {
+            return Err(CoreError::invalid_argument(format!(
+                "--protocol must be json, binary, or both (got `{other}`)"
+            ))
+            .into())
+        }
+    };
+    if feedback && pipeline > 1 {
+        return Err(CoreError::invalid_argument(
+            "--feedback needs the request/response lockstep of --pipeline 1",
+        )
+        .into());
+    }
+    let cfg = DriveConfig {
+        clients,
+        connections: if connections == 0 {
+            clients
+        } else {
+            connections
+        },
+        requests,
+        pipeline: pipeline.max(1),
+        seed,
+        feedback,
+        read_frac,
+    };
 
     // Either target an external daemon or start one in-process.
     let (addr, server_thread) = match external {
@@ -248,34 +440,76 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
         }
     };
 
-    eprintln!("driving {clients} clients x {requests} requests against {addr}...");
-    let wall = Instant::now();
-    let handles: Vec<_> = (0..clients)
-        .map(|c| {
-            let addr = addr.clone();
-            std::thread::spawn(move || client_loop(&addr, c, requests, seed, feedback, read_frac))
-        })
-        .collect();
+    // Drive each requested protocol over the same daemon, snapshotting
+    // the server counters after each phase.
     let mut failed = 0usize;
-    let mut disconnected = 0usize;
-    let mut latencies: Vec<Duration> = Vec::with_capacity(clients * requests);
-    for h in handles {
-        match h.join().expect("client thread joins") {
-            Ok((f, l)) => {
-                failed += f;
-                latencies.extend(l);
-            }
-            Err(e) => {
-                eprintln!("client error: {e}");
-                disconnected += 1;
-            }
-        }
+    let mut records: Vec<BenchRecord> = Vec::with_capacity(protocols.len());
+    let mut last_serving = None;
+    for protocol in protocols {
+        let result = drive(&addr, protocol, cfg);
+        failed += result.failed;
+        let serving = Client::connect(addr.as_str())
+            .ok()
+            .and_then(|mut control| control.roundtrip(&Request::Stats).ok())
+            .and_then(|r| r.stats)
+            .map(|s| s.serving);
+        let throughput = if result.wall.as_secs_f64() > 0.0 {
+            result.latencies.len() as f64 / result.wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        println!(
+            "loadgen[{}]: {} connections x {} requests = {} total, {} ok, {} failed",
+            protocol.name(),
+            cfg.connections,
+            cfg.requests,
+            result.total,
+            result.total - result.failed,
+            result.failed,
+        );
+        println!(
+            "wall {:.2}s, {throughput:.0} req/s; client-observed p50 {:.2}ms p99 {:.2}ms max {:.2}ms",
+            result.wall.as_secs_f64(),
+            quantile(&result.latencies, 0.50).as_secs_f64() * 1e3,
+            quantile(&result.latencies, 0.99).as_secs_f64() * 1e3,
+            result
+                .latencies
+                .last()
+                .copied()
+                .unwrap_or(Duration::ZERO)
+                .as_secs_f64()
+                * 1e3,
+        );
+        records.push(BenchRecord {
+            bench: "serve".into(),
+            protocol: protocol.name().into(),
+            clients: cfg.clients,
+            connections: cfg.connections,
+            pipeline: cfg.pipeline,
+            requests_per_connection: cfg.requests,
+            total_requests: result.total,
+            failed: result.failed,
+            read_frac,
+            feedback,
+            threads: rayon::current_num_threads(),
+            wall_seconds: result.wall.as_secs_f64(),
+            throughput_rps: throughput,
+            client_p50_ms: quantile(&result.latencies, 0.50).as_secs_f64() * 1e3,
+            client_p99_ms: quantile(&result.latencies, 0.99).as_secs_f64() * 1e3,
+            client_max_ms: result
+                .latencies
+                .last()
+                .copied()
+                .unwrap_or(Duration::ZERO)
+                .as_secs_f64()
+                * 1e3,
+            serving,
+        });
+        last_serving = serving;
     }
-    let wall = wall.elapsed();
-    failed += disconnected * requests; // a dropped client fails its whole quota
 
-    // Stop the in-process daemon and collect its counters; an external
-    // daemon is left running and its counters come from a Stats request.
+    // Stop the in-process daemon and prefer its final counters; an
+    // external daemon is left running with its stats snapshot.
     let serving = if let Some(handle) = server_thread {
         let mut control = Client::connect(addr.as_str()).map_err(|e| ServeError::Io {
             path: addr.clone(),
@@ -284,47 +518,23 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
         let _ = control.roundtrip(&Request::Shutdown);
         Some(handle.join().expect("server thread joins"))
     } else {
-        Client::connect(addr.as_str())
-            .ok()
-            .and_then(|mut control| control.roundtrip(&Request::Stats).ok())
-            .and_then(|r| r.stats)
-            .map(|s| s.serving)
+        last_serving
     };
 
-    latencies.sort();
-    let total = clients * requests;
-    let throughput = if wall.as_secs_f64() > 0.0 {
-        latencies.len() as f64 / wall.as_secs_f64()
-    } else {
-        0.0
-    };
-    println!(
-        "loadgen: {clients} clients x {requests} requests = {total} total, {} ok, {failed} failed",
-        total - failed
-    );
-    println!(
-        "wall {:.2}s, {throughput:.0} req/s; client-observed p50 {:.2}ms p99 {:.2}ms max {:.2}ms",
-        wall.as_secs_f64(),
-        quantile(&latencies, 0.50).as_secs_f64() * 1e3,
-        quantile(&latencies, 0.99).as_secs_f64() * 1e3,
-        latencies
-            .last()
-            .copied()
-            .unwrap_or(Duration::ZERO)
-            .as_secs_f64()
-            * 1e3,
-    );
     if let Some(serving) = serving {
         println!(
-            "server counters: {} requests ({} select, {} feedback), {} errors, {} new clusters, \
-             p50 {:.0}us p99 {:.0}us",
+            "server counters: {} requests ({} select, {} feedback, {} binary), {} errors \
+             ({} shed), {} new clusters, p50 {:.0}us p99 {:.0}us, peak {} connections",
             serving.requests,
             serving.select_requests,
             serving.feedback_requests,
+            serving.binary_requests,
             serving.errors,
+            serving.shed,
             serving.new_clusters,
             serving.p50_latency_us,
             serving.p99_latency_us,
+            serving.peak_connections,
         );
         println!(
             "contention: {} read / {} write decisions, {} write-lock acquisitions \
@@ -337,7 +547,6 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
         );
         if let Some(path) = json {
             let mut report = RunReport::new("loadgen");
-            report.record("wall", wall.as_secs_f64());
             report.serving = Some(serving);
             let payload = serde_json::to_string_pretty(&report).expect("report serializes");
             std::fs::write(&path, payload).map_err(|e| ServeError::Io {
@@ -347,30 +556,14 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
         }
     }
     if let Some(path) = bench_json {
-        // Flat, machine-readable benchmark record: one file per run, so
-        // numbers stay comparable across revisions.
-        let record = BenchRecord {
-            bench: "serve".into(),
-            clients,
-            requests_per_client: requests,
-            total_requests: total,
-            failed,
-            read_frac,
-            feedback,
-            threads: rayon::current_num_threads(),
-            wall_seconds: wall.as_secs_f64(),
-            throughput_rps: throughput,
-            client_p50_ms: quantile(&latencies, 0.50).as_secs_f64() * 1e3,
-            client_p99_ms: quantile(&latencies, 0.99).as_secs_f64() * 1e3,
-            client_max_ms: latencies
-                .last()
-                .copied()
-                .unwrap_or(Duration::ZERO)
-                .as_secs_f64()
-                * 1e3,
-            serving,
+        // Flat, machine-readable benchmark records: one per protocol
+        // driven. A single protocol writes one object (the historical
+        // shape); `both` writes a two-element array.
+        let payload = if records.len() == 1 {
+            serde_json::to_string_pretty(&records[0]).expect("record serializes")
+        } else {
+            serde_json::to_string_pretty(&records).expect("records serialize")
         };
-        let payload = serde_json::to_string_pretty(&record).expect("record serializes");
         std::fs::write(&path, payload).map_err(|e| ServeError::Io {
             path: path.clone(),
             message: e.to_string(),

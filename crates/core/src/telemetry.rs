@@ -107,6 +107,19 @@ pub struct ServingReport {
     pub journal_appended: u64,
     /// Journal lines skipped at replay (malformed or out-of-range).
     pub journal_skipped: u64,
+    /// Requests answered with a `shed` envelope by admission control
+    /// instead of being computed (slow reader, write buffer over the
+    /// shed threshold).
+    pub shed: u64,
+    /// Connections accepted since startup.
+    pub connections_accepted: u64,
+    /// Connections refused at accept because the connection cap was
+    /// reached.
+    pub connections_rejected: u64,
+    /// Most connections open at once.
+    pub peak_connections: u64,
+    /// Requests that arrived on binary-negotiated connections.
+    pub binary_requests: u64,
 }
 
 /// One quarantined record: excluded from a GPU's dataset, with the reason.

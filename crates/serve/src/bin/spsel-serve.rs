@@ -2,7 +2,8 @@
 //!
 //! ```sh
 //! spsel-serve --model model.spsel [--addr HOST:PORT] [--workers N]
-//!             [--deadline-ms MS] [--shards N] [--json REPORT]
+//!             [--deadline-ms MS] [--max-conns N] [--shed-kib KIB]
+//!             [--shards N] [--json REPORT]
 //!             [--journal PATH | --no-journal]
 //! spsel-serve --quick [--seed S]      # train a throwaway model first
 //! ```
@@ -80,6 +81,14 @@ fn run(args: &[String]) -> Result<(), ServeError> {
                 opts.default_deadline_ms = value(args, i, "--deadline-ms")?;
                 i += 1;
             }
+            "--max-conns" => {
+                opts.max_connections = value(args, i, "--max-conns")?;
+                i += 1;
+            }
+            "--shed-kib" => {
+                opts.shed_buffer_bytes = value::<usize>(args, i, "--shed-kib")? * 1024;
+                i += 1;
+            }
             "--seed" => {
                 seed = value(args, i, "--seed")?;
                 i += 1;
@@ -151,16 +160,21 @@ fn run(args: &[String]) -> Result<(), ServeError> {
 
     let serving = server.run();
     eprintln!(
-        "served {} requests ({} select, {} feedback, {} stats, {} batch; {} errors), \
-         p50 {:.0}us p99 {:.0}us",
+        "served {} requests ({} select, {} feedback, {} stats, {} batch; {} errors, \
+         {} shed; {} binary), p50 {:.0}us p99 {:.0}us, peak {} connections \
+         ({} rejected at cap)",
         serving.requests,
         serving.select_requests,
         serving.feedback_requests,
         serving.stats_requests,
         serving.batch_requests,
         serving.errors,
+        serving.shed,
+        serving.binary_requests,
         serving.p50_latency_us,
         serving.p99_latency_us,
+        serving.peak_connections,
+        serving.connections_rejected,
     );
     if let Some(path) = json {
         let mut report = RunReport::new("spsel-serve");

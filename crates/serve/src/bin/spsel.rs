@@ -4,7 +4,7 @@
 //! spsel train --out model.spsel [--quick | --base N] [--seed S]
 //!             [--cache DIR | --no-cache] [--cache-gc] [--json REPORT]
 //! spsel inspect MODEL
-//! spsel request ADDR JSON      # one wire round-trip against a daemon
+//! spsel request [--binary] ADDR JSON   # one wire round-trip against a daemon
 //! ```
 //!
 //! `train` builds (or loads from cache) the benchmark context, fits one
@@ -217,20 +217,39 @@ fn inspect(args: &[String]) -> Result<(), ServeError> {
 }
 
 fn request(args: &[String]) -> Result<(), ServeError> {
-    let (addr, payload) = match args {
-        [addr, payload] => (addr, payload),
+    let (addr, payload, binary) = match args {
+        [addr, payload] => (addr, payload, false),
+        [flag, addr, payload] | [addr, payload, flag] if flag == "--binary" => {
+            (addr, payload, true)
+        }
         _ => {
-            return Err(CoreError::invalid_argument("usage: spsel request ADDR JSON").into());
+            return Err(
+                CoreError::invalid_argument("usage: spsel request [--binary] ADDR JSON").into(),
+            );
         }
     };
-    let mut client = Client::connect(addr.as_str()).map_err(|e| ServeError::Io {
+    let io_err = |e: std::io::Error| ServeError::Io {
         path: addr.clone(),
         message: e.to_string(),
-    })?;
-    let response = client.roundtrip_raw(payload).map_err(|e| ServeError::Io {
-        path: addr.clone(),
-        message: e.to_string(),
-    })?;
-    println!("{response}");
+    };
+    if binary {
+        // Same JSON in, same JSON out — only the wire bytes differ: the
+        // payload parses to a typed request, travels as a binary frame,
+        // and the decoded reply prints through the same serializer the
+        // daemon uses for JSON lines, so the two paths are diffable.
+        let request = serde_json::from_str(payload).map_err(|e| ServeError::BadRequest {
+            message: format!("unparsable request: {e}"),
+        })?;
+        let mut client = Client::connect_binary(addr.as_str()).map_err(io_err)?;
+        let response = client.roundtrip(&request).map_err(io_err)?;
+        println!(
+            "{}",
+            serde_json::to_string(&response).expect("response serializes")
+        );
+    } else {
+        let mut client = Client::connect(addr.as_str()).map_err(io_err)?;
+        let response = client.roundtrip_raw(payload).map_err(io_err)?;
+        println!("{response}");
+    }
     Ok(())
 }

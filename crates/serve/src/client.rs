@@ -1,29 +1,89 @@
-//! A minimal blocking client for the wire protocol, used by the
+//! A minimal blocking client for both wire protocols, used by the
 //! `spsel request` subcommand, `loadgen`, and the end-to-end tests.
+//!
+//! [`Client::connect`] speaks newline-delimited JSON;
+//! [`Client::connect_binary`] performs the [`crate::framing::MAGIC`]
+//! handshake and speaks length-prefixed binary frames. Either way the
+//! typed surface is the same: [`Client::roundtrip`] for one
+//! request/response pair, or [`Client::send`] / [`Client::recv`] split
+//! apart to keep a pipeline of requests in flight on one connection.
 
+use crate::framing::{self, MAGIC};
 use crate::protocol::{Request, Response};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+
+/// Which wire protocol a [`Client`] negotiated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Newline-delimited JSON.
+    Json,
+    /// Length-prefixed binary frames (see [`crate::framing`]).
+    Binary,
+}
+
+impl Protocol {
+    /// Lowercase wire-protocol name (`json` / `binary`), as used by CLI
+    /// flags and bench records.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Json => "json",
+            Protocol::Binary => "binary",
+        }
+    }
+}
 
 /// One persistent connection to a `spsel-serve` daemon.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    protocol: Protocol,
 }
 
 impl Client {
-    /// Connect to the daemon.
+    /// Connect to the daemon speaking newline-delimited JSON.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        Self::connect_with(addr, Protocol::Json)
+    }
+
+    /// Connect to the daemon and negotiate the binary frame protocol:
+    /// send the magic preamble, require the server to echo it back.
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        Self::connect_with(addr, Protocol::Binary)
+    }
+
+    /// Connect speaking `protocol`.
+    pub fn connect_with(addr: impl ToSocketAddrs, protocol: Protocol) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         let read_half = stream.try_clone()?;
-        Ok(Client {
+        let mut client = Client {
             reader: BufReader::new(read_half),
             writer: BufWriter::new(stream),
-        })
+            protocol,
+        };
+        if protocol == Protocol::Binary {
+            client.writer.write_all(&MAGIC)?;
+            client.writer.flush()?;
+            let mut ack = [0u8; MAGIC.len()];
+            client.reader.read_exact(&mut ack)?;
+            if ack != MAGIC {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("server answered the {MAGIC:?} handshake with {ack:?}"),
+                ));
+            }
+        }
+        Ok(client)
     }
 
-    /// Send one raw request line, return the raw response line.
+    /// The protocol this connection negotiated.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Send one raw request line, return the raw response line
+    /// (JSON connections only; binary clients use the typed surface).
     pub fn roundtrip_raw(&mut self, line: &str) -> std::io::Result<String> {
         self.writer.write_all(line.trim_end().as_bytes())?;
         self.writer.write_all(b"\n")?;
@@ -39,15 +99,71 @@ impl Client {
         Ok(response.trim_end().to_string())
     }
 
+    /// Queue one typed request without waiting for its response; pair
+    /// with [`Self::recv`], one call per send, responses in send order.
+    /// Buffered until [`Self::flush`] (or the flush inside
+    /// [`Self::roundtrip`]) pushes the bytes out.
+    pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        match self.protocol {
+            Protocol::Json => {
+                let line = serde_json::to_string(request).expect("request serializes");
+                self.writer.write_all(line.as_bytes())?;
+                self.writer.write_all(b"\n")
+            }
+            Protocol::Binary => self.writer.write_all(&framing::encode_request(request)),
+        }
+    }
+
+    /// Push every queued request to the socket.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Read the next typed response off the connection.
+    pub fn recv(&mut self) -> std::io::Result<Response> {
+        match self.protocol {
+            Protocol::Json => {
+                let mut line = String::new();
+                let n = self.reader.read_line(&mut line)?;
+                if n == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ));
+                }
+                serde_json::from_str(line.trim_end()).map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unparsable response: {e}"),
+                    )
+                })
+            }
+            Protocol::Binary => {
+                let mut len = [0u8; 4];
+                self.reader.read_exact(&mut len)?;
+                let len = u32::from_le_bytes(len);
+                if len == 0 || len > framing::MAX_FRAME {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("response frame declares {len} bytes"),
+                    ));
+                }
+                let mut payload = vec![0u8; len as usize];
+                self.reader.read_exact(&mut payload)?;
+                framing::decode_response(payload[0], &payload[1..]).map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unparsable response frame: {e}"),
+                    )
+                })
+            }
+        }
+    }
+
     /// Send one typed request, parse the typed response.
     pub fn roundtrip(&mut self, request: &Request) -> std::io::Result<Response> {
-        let line = serde_json::to_string(request).expect("request serializes");
-        let raw = self.roundtrip_raw(&line)?;
-        serde_json::from_str(&raw).map_err(|e| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("unparsable response: {e}"),
-            )
-        })
+        self.send(request)?;
+        self.flush()?;
+        self.recv()
     }
 }

@@ -69,6 +69,25 @@ pub enum ServeError {
         /// Batch time already spent when this item was reached, ms.
         elapsed_ms: u64,
     },
+    /// The request was never computed: the connection's pending output
+    /// exceeded the shed threshold (a slow reader), so admission control
+    /// answered with this envelope instead of burning compute on a reply
+    /// the client is not draining.
+    Shed {
+        /// Bytes already queued for this connection.
+        pending_bytes: usize,
+        /// Shed threshold the server is running with.
+        threshold_bytes: usize,
+    },
+    /// A binary frame declared a length past the protocol maximum — the
+    /// stream cannot be resynchronized, so the connection is closed after
+    /// this envelope.
+    FrameTooLarge {
+        /// Declared payload length.
+        declared: u32,
+        /// Largest payload the protocol allows.
+        max: u32,
+    },
     /// The artifact was written by an incompatible serialization version.
     VersionMismatch {
         /// Version found in the artifact.
@@ -104,6 +123,8 @@ impl ServeError {
             ServeError::Io { .. } => "io",
             ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
             ServeError::DeadlineSkipped { .. } => "deadline_skipped",
+            ServeError::Shed { .. } => "shed",
+            ServeError::FrameTooLarge { .. } => "frame_too_large",
             ServeError::VersionMismatch { .. } => "artifact_version_mismatch",
             ServeError::FeatureDigestMismatch { .. } => "feature_digest_mismatch",
             ServeError::Malformed { .. } => "malformed",
@@ -159,6 +180,19 @@ impl fmt::Display for ServeError {
                 f,
                 "skipped: batch deadline of {deadline_ms} ms had elapsed \
                  ({elapsed_ms} ms) before this item was computed"
+            ),
+            ServeError::Shed {
+                pending_bytes,
+                threshold_bytes,
+            } => write!(
+                f,
+                "shed: {pending_bytes} bytes already queued for this connection \
+                 (threshold {threshold_bytes}); drain responses before sending more"
+            ),
+            ServeError::FrameTooLarge { declared, max } => write!(
+                f,
+                "frame declares a {declared}-byte payload, protocol maximum is {max}; \
+                 closing the connection"
             ),
             ServeError::VersionMismatch { found, expected } => write!(
                 f,
@@ -231,6 +265,14 @@ mod tests {
             ServeError::DeadlineSkipped {
                 deadline_ms: 5,
                 elapsed_ms: 9,
+            },
+            ServeError::Shed {
+                pending_bytes: 300_000,
+                threshold_bytes: 262_144,
+            },
+            ServeError::FrameTooLarge {
+                declared: u32::MAX,
+                max: 8 << 20,
             },
             ServeError::VersionMismatch {
                 found: 2,

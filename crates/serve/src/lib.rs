@@ -13,10 +13,15 @@
 //!   `select` CLI, the daemon, and tests. Read-only decisions are
 //!   answered lock-free from a published snapshot; observations and
 //!   feedback go through a sharded write side.
-//! * [`server`] — a newline-delimited-JSON TCP loop with a worker pool,
-//!   per-request deadlines (enforced cooperatively inside batches), and
-//!   graceful shutdown; [`protocol`] defines the wire types and
-//!   [`error`] the typed error envelope.
+//! * [`server`] — a nonblocking readiness-loop TCP server: each
+//!   [`event_loop`] worker multiplexes thousands of persistent
+//!   connections through one hand-rolled `poll(2)` loop, with pipelined
+//!   requests, per-request deadlines (enforced cooperatively inside
+//!   batches), load-shedding admission control for slow readers, and
+//!   graceful shutdown. [`protocol`] defines the JSON wire types,
+//!   [`framing`] the length-prefixed binary protocol negotiated per
+//!   connection (same [`protocol::Request`]/[`protocol::Response`] on
+//!   both), and [`error`] the typed error envelope.
 //! * [`metrics`] — lock-free serving counters (latency quantiles from a
 //!   monotonic clock, lock-contention and snapshot-swap counts) surfaced
 //!   through the `stats` request and the run-report JSON.
@@ -31,15 +36,18 @@ pub mod artifact;
 pub mod client;
 pub mod engine;
 pub mod error;
+pub mod event_loop;
+pub mod framing;
 pub mod journal;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use artifact::{feature_pipeline_digest, ModelArtifact, TrainConfig, ARTIFACT_VERSION};
-pub use client::Client;
+pub use client::{Client, Protocol};
 pub use engine::{Engine, EngineOptions};
 pub use error::{ErrorEnvelope, ServeError};
+pub use framing::{FrameBuffer, MAGIC, MAX_FRAME};
 pub use journal::{FeedbackJournal, JournalRecord};
 pub use metrics::ServeMetrics;
 pub use protocol::{Request, Response, SelectBody, SelectReply};

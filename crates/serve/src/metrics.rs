@@ -34,6 +34,12 @@ pub struct ServeMetrics {
     feedback_applied: AtomicU64,
     latency_buckets: [AtomicU64; BUCKETS],
     max_latency_us: AtomicU64,
+    shed: AtomicU64,
+    connections_accepted: AtomicU64,
+    connections_rejected: AtomicU64,
+    connections_open: AtomicU64,
+    peak_connections: AtomicU64,
+    binary_requests: AtomicU64,
 }
 
 fn bump(c: &AtomicU64) {
@@ -58,6 +64,12 @@ impl Default for ServeMetrics {
             feedback_applied: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             max_latency_us: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            peak_connections: AtomicU64::new(0),
+            binary_requests: AtomicU64::new(0),
         }
     }
 }
@@ -124,6 +136,42 @@ impl ServeMetrics {
         bump(&self.deadline_skipped);
     }
 
+    /// Count one request answered with a `shed` envelope by admission
+    /// control (also an error response, like a deadline miss).
+    pub fn shed(&self) {
+        bump(&self.shed);
+        bump(&self.errors);
+    }
+
+    /// Count one accepted connection; returns nothing but tracks the
+    /// open-connection gauge and its peak.
+    pub fn connection_opened(&self) {
+        bump(&self.connections_accepted);
+        let open = self.connections_open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_connections.fetch_max(open, Ordering::Relaxed);
+    }
+
+    /// Count one closed connection (the gauge counterpart of
+    /// [`Self::connection_opened`]).
+    pub fn connection_closed(&self) {
+        self.connections_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Count one connection refused at accept (connection cap reached).
+    pub fn connection_rejected(&self) {
+        bump(&self.connections_rejected);
+    }
+
+    /// Connections open right now.
+    pub fn open_connections(&self) -> u64 {
+        self.connections_open.load(Ordering::Relaxed)
+    }
+
+    /// Count one request that arrived on a binary-negotiated connection.
+    pub fn binary_request(&self) {
+        bump(&self.binary_requests);
+    }
+
     /// Record one request's wall-clock latency.
     pub fn record_latency(&self, elapsed: Duration) {
         let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
@@ -176,6 +224,11 @@ impl ServeMetrics {
             p99_latency_us: self.latency_quantile(0.99),
             max_latency_us: load(&self.max_latency_us) as f64,
             deadline_skipped: load(&self.deadline_skipped),
+            shed: load(&self.shed),
+            connections_accepted: load(&self.connections_accepted),
+            connections_rejected: load(&self.connections_rejected),
+            peak_connections: load(&self.peak_connections),
+            binary_requests: load(&self.binary_requests),
             // Contention and journal counters live with the engine; it
             // merges them in `Engine::serving_report`.
             ..ServingReport::default()
@@ -213,6 +266,29 @@ mod tests {
         assert_eq!(r.max_batch_size, 5);
         assert_eq!(r.errors, 2, "deadline misses are also errors");
         assert_eq!(r.deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn connection_and_shed_counters_accumulate() {
+        let m = ServeMetrics::new();
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_opened();
+        assert_eq!(m.open_connections(), 3);
+        m.connection_closed();
+        assert_eq!(m.open_connections(), 2);
+        m.connection_opened();
+        m.connection_rejected();
+        m.shed();
+        m.binary_request();
+        m.binary_request();
+        let r = m.report();
+        assert_eq!(r.connections_accepted, 4);
+        assert_eq!(r.connections_rejected, 1);
+        assert_eq!(r.peak_connections, 3, "peak was before the close");
+        assert_eq!(r.shed, 1);
+        assert_eq!(r.errors, 1, "a shed is also an error response");
+        assert_eq!(r.binary_requests, 2);
     }
 
     #[test]

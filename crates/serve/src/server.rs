@@ -1,43 +1,52 @@
-//! The TCP request loop: newline-delimited JSON over
-//! [`std::net::TcpListener`], a fixed worker pool, per-request deadlines,
-//! and graceful shutdown on a `Shutdown` request.
+//! The TCP serving loop: a nonblocking accept loop feeding readiness-
+//! driven event-loop workers (see [`crate::event_loop`]), per-request
+//! deadlines, load-shedding admission control, and graceful shutdown on
+//! a `Shutdown` request.
 //!
-//! The accept loop is non-blocking and hands connections to workers
-//! through a condvar-guarded queue; workers poll their sockets with a
-//! short read timeout so a shutdown (from any connection) drains every
-//! worker within one poll interval. Batch bodies fan out through the
-//! rayon shim, so one multi-matrix request uses every core.
+//! Each worker multiplexes thousands of persistent connections through
+//! one `poll(2)` loop instead of parking a thread per connection, so the
+//! connection count is bounded by file descriptors, not stacks. Both
+//! wire protocols — newline-delimited JSON and the length-prefixed
+//! binary frames of [`crate::framing`], negotiated per connection by its
+//! first bytes — decode to the same [`Request`] and answer through the
+//! same [`handle_request`], so the engine, journal, and contention
+//! counters cannot tell them apart. Batch bodies still fan out through
+//! the rayon shim, so one multi-matrix request uses every core.
 
 use crate::engine::Engine;
-use crate::error::ServeError;
+use crate::error::{ErrorEnvelope, ServeError};
+use crate::event_loop::{self, Inbox, LoopConfig};
 use crate::metrics::ServeMetrics;
 use crate::protocol::{Request, Response, SelectBody};
 use rayon::prelude::*;
 use spsel_core::telemetry::ServingReport;
-use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How long the accept loop sleeps when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
-/// Socket read timeout: the interval at which idle workers notice a
-/// shutdown.
-const READ_POLL: Duration = Duration::from_millis(100);
 
 /// Server configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeOptions {
     /// Bind address; port 0 asks the OS for an ephemeral port.
     pub addr: String,
-    /// Worker threads; 0 sizes the pool from the parallel runtime
-    /// (`rayon::current_num_threads()`, minimum 2).
+    /// Event-loop worker threads; 0 sizes the pool from the parallel
+    /// runtime (`rayon::current_num_threads()`, minimum 2).
     pub workers: usize,
     /// Default per-request deadline in milliseconds; 0 means none.
     /// Requests can override it with `deadline_ms`.
     pub default_deadline_ms: u64,
+    /// Open-connection cap; a connection accepted past it is answered
+    /// with one `shed` envelope and closed. 0 means unlimited.
+    pub max_connections: usize,
+    /// Per-connection pending-output bytes beyond which further requests
+    /// are answered with `shed` envelopes instead of computed (a slow
+    /// reader must not hold compute hostage). 0 disables shedding.
+    pub shed_buffer_bytes: usize,
 }
 
 impl Default for ServeOptions {
@@ -46,13 +55,10 @@ impl Default for ServeOptions {
             addr: "127.0.0.1:0".into(),
             workers: 0,
             default_deadline_ms: 0,
+            max_connections: 0,
+            shed_buffer_bytes: 256 * 1024,
         }
     }
-}
-
-struct ConnQueue {
-    pending: Mutex<VecDeque<TcpStream>>,
-    ready: Condvar,
 }
 
 /// A bound, not-yet-running server.
@@ -87,7 +93,8 @@ impl Server {
     }
 
     /// Serve until a `Shutdown` request (or the shutdown flag) stops the
-    /// loop; drains the worker pool and returns the final counters.
+    /// loop; drains the event-loop workers and returns the final
+    /// counters.
     pub fn run(self) -> ServingReport {
         let Server {
             listener,
@@ -103,29 +110,43 @@ impl Server {
         } else {
             rayon::current_num_threads().max(2)
         };
-        let queue = Arc::new(ConnQueue {
-            pending: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
-        });
+        let cfg = LoopConfig {
+            default_deadline_ms: opts.default_deadline_ms,
+            shed_buffer_bytes: opts.shed_buffer_bytes,
+        };
+        let inboxes: Vec<Arc<Inbox>> = (0..workers).map(|_| Arc::new(Inbox::new())).collect();
 
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let queue = Arc::clone(&queue);
+        for inbox in &inboxes {
+            let inbox = Arc::clone(inbox);
             let engine = Arc::clone(&engine);
             let shutdown = Arc::clone(&shutdown);
-            let deadline = opts.default_deadline_ms;
             handles.push(std::thread::spawn(move || {
-                worker_loop(&queue, &engine, &shutdown, deadline)
+                event_loop::run_worker(&inbox, &engine, &shutdown, &cfg)
             }));
         }
 
+        // Round-robin accepted connections across worker inboxes; each
+        // worker adopts its inbox on the next poll tick.
+        let mut next_worker = 0usize;
         while !shutdown.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _)) => {
-                    let mut pending = queue.pending.lock().expect("conn queue lock");
-                    pending.push_back(stream);
-                    drop(pending);
-                    queue.ready.notify_one();
+                    let metrics = engine.metrics();
+                    if opts.max_connections > 0
+                        && metrics.open_connections() >= opts.max_connections as u64
+                    {
+                        metrics.connection_rejected();
+                        reject_connection(stream, opts.max_connections);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    metrics.connection_opened();
+                    inboxes[next_worker].push(stream);
+                    next_worker = (next_worker + 1) % inboxes.len();
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(ACCEPT_POLL);
@@ -133,9 +154,8 @@ impl Server {
                 Err(_) => std::thread::sleep(ACCEPT_POLL),
             }
         }
-        // Drain: wake every worker; each finishes its current connection,
-        // sees the flag, and exits.
-        queue.ready.notify_all();
+        // Workers see the flag within one poll tick, flush what each
+        // client is owed, and exit.
         for h in handles {
             let _ = h.join();
         }
@@ -143,93 +163,26 @@ impl Server {
     }
 }
 
-fn worker_loop(
-    queue: &ConnQueue,
-    engine: &Engine,
-    shutdown: &AtomicBool,
-    default_deadline_ms: u64,
-) {
-    loop {
-        let stream = {
-            let mut pending = queue.pending.lock().expect("conn queue lock");
-            loop {
-                if let Some(s) = pending.pop_front() {
-                    break Some(s);
-                }
-                if shutdown.load(Ordering::SeqCst) {
-                    break None;
-                }
-                let (guard, _) = queue
-                    .ready
-                    .wait_timeout(pending, READ_POLL)
-                    .expect("conn queue wait");
-                pending = guard;
-            }
-        };
-        match stream {
-            Some(s) => handle_connection(engine, s, shutdown, default_deadline_ms),
-            None => return,
-        }
-    }
-}
-
-/// Serve one client connection: one response line per request line, until
-/// EOF, an unrecoverable socket error, or shutdown.
-fn handle_connection(
-    engine: &Engine,
-    stream: TcpStream,
-    shutdown: &AtomicBool,
-    default_deadline_ms: u64,
-) {
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
+/// Answer a connection refused by the connection cap with one typed
+/// `shed` line, then drop it. The envelope is built directly (there is
+/// no per-connection buffer to report) but carries the same `shed` code
+/// admission control uses, so clients handle both identically.
+fn reject_connection(mut stream: TcpStream, max_connections: usize) {
+    let response = Response {
+        ok: false,
+        error: Some(ErrorEnvelope {
+            code: "shed".to_string(),
+            message: format!("shed: connection cap of {max_connections} reached; retry later"),
+        }),
+        select: None,
+        batch: None,
+        feedback: None,
+        stats: None,
+        shutdown: None,
     };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
-    loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // EOF
-            Ok(_) => {
-                let received = Instant::now();
-                if !line.trim().is_empty() {
-                    let (response, stop) =
-                        handle_line(engine, line.trim(), received, default_deadline_ms);
-                    let payload = serde_json::to_string(&response).expect("response serializes");
-                    if writer
-                        .write_all(payload.as_bytes())
-                        .and_then(|_| writer.write_all(b"\n"))
-                        .and_then(|_| writer.flush())
-                        .is_err()
-                    {
-                        return;
-                    }
-                    engine.metrics().record_latency(received.elapsed());
-                    if stop {
-                        shutdown.store(true, Ordering::SeqCst);
-                        return;
-                    }
-                }
-                line.clear();
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                // Idle poll: a partial line (if any) stays buffered in
-                // `line` and the next read appends to it.
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => return,
-        }
-    }
+    let payload = serde_json::to_string(&response).expect("response serializes");
+    let _ = stream.write_all(payload.as_bytes());
+    let _ = stream.write_all(b"\n");
 }
 
 /// Parse and answer one request line. Returns the response and whether

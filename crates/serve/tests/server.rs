@@ -35,6 +35,7 @@ fn start_server(workers: usize) -> (SocketAddr, std::thread::JoinHandle<ServingR
             addr: "127.0.0.1:0".into(),
             workers,
             default_deadline_ms: 0,
+            ..ServeOptions::default()
         },
     )
     .expect("bind succeeds");

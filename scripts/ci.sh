@@ -171,4 +171,60 @@ grep -q '"snapshot_swaps": *0' "$SMOKE_DIR/BENCH_serve.json"
 grep -q '"write_decisions": *0' "$SMOKE_DIR/BENCH_serve.json"
 grep -q '"throughput_rps"' "$SMOKE_DIR/BENCH_serve.json"
 
+echo "==> binary-protocol smoke (negotiated framing, replies bit-identical to JSON)"
+# One daemon, two protocols. Every read-only request is issued over JSON
+# and again over the binary framing; the CLI prints both through the same
+# serializer, so the outputs must be byte-identical.
+./target/release/spsel-serve --model "$SMOKE_DIR/model.spsel" \
+    > "$SMOKE_DIR/serve4.out" 2>/dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q 'listening on' "$SMOKE_DIR/serve4.out" && break
+    sleep 0.1
+done
+ADDR="$(awk '/listening on/ {print $3}' "$SMOKE_DIR/serve4.out")"
+SELECT_REQ="{\"Select\":{\"matrix\":\"$SMOKE_DIR/smoke.mtx\",\"features\":null,\"gpu\":\"pascal\",\"iterations\":500,\"deadline_ms\":null,\"learn\":false}}"
+BATCH_REQ="{\"Batch\":{\"requests\":[{\"matrix\":\"$SMOKE_DIR/smoke.mtx\",\"features\":null,\"gpu\":\"pascal\",\"iterations\":300,\"learn\":false},{\"matrix\":\"$SMOKE_DIR/smoke.mtx\",\"features\":null,\"gpu\":\"volta\",\"iterations\":300,\"learn\":false}],\"deadline_ms\":null}}"
+./target/release/spsel request "$ADDR" "$SELECT_REQ" > "$SMOKE_DIR/b-select-json.json"
+./target/release/spsel request --binary "$ADDR" "$SELECT_REQ" > "$SMOKE_DIR/b-select-bin.json"
+cmp "$SMOKE_DIR/b-select-json.json" "$SMOKE_DIR/b-select-bin.json"
+./target/release/spsel request "$ADDR" "$BATCH_REQ" > "$SMOKE_DIR/b-batch-json.json"
+./target/release/spsel request --binary "$ADDR" "$BATCH_REQ" > "$SMOKE_DIR/b-batch-bin.json"
+cmp "$SMOKE_DIR/b-batch-json.json" "$SMOKE_DIR/b-batch-bin.json"
+./target/release/spsel request --binary "$ADDR" \
+    '{"Feedback":{"gpu":"pascal","cluster":0,"best":"csr"}}' > "$SMOKE_DIR/b-feedback.json"
+grep -q '"ok":true' "$SMOKE_DIR/b-feedback.json"
+./target/release/spsel request --binary "$ADDR" '"Stats"' > "$SMOKE_DIR/b-stats.json"
+# select + batch + feedback + stats over the binary framing so far.
+grep -q '"binary_requests":4' "$SMOKE_DIR/b-stats.json"
+grep -q '"shed":0' "$SMOKE_DIR/b-stats.json"
+
+echo "==> torn-frame smoke (request split mid-line over live TCP)"
+# A request line torn across two TCP writes with a pause in between must
+# reassemble and answer normally. (Byte-level binary-frame splits are
+# swept exhaustively by crates/serve/tests/robustness.rs in the
+# workspace test step above.)
+HOST="${ADDR%:*}"; PORT="${ADDR##*:}"
+exec 3<>"/dev/tcp/$HOST/$PORT"
+HALF=$(( ${#SELECT_REQ} / 2 ))
+printf '%s' "${SELECT_REQ:0:HALF}" >&3
+sleep 0.2
+printf '%s\n' "${SELECT_REQ:HALF}" >&3
+IFS= read -r TORN_REPLY <&3
+exec 3<&- 3>&-
+printf '%s\n' "$TORN_REPLY" | cmp - "$SMOKE_DIR/b-select-json.json"
+./target/release/spsel request --binary "$ADDR" '"Shutdown"' > "$SMOKE_DIR/b-shutdown.json"
+grep -q '"stopping":true' "$SMOKE_DIR/b-shutdown.json"
+wait "$SERVE_PID"
+
+echo "==> mini-soak (256 persistent pipelined binary connections, zero failures)"
+./target/release/loadgen --clients 8 --connections 256 --pipeline 4 \
+    --requests 4 --read-frac 1.0 --protocol binary \
+    --model "$SMOKE_DIR/model.spsel" --bench-json "$SMOKE_DIR/BENCH_soak.json" \
+    > "$SMOKE_DIR/loadgen-soak.txt" 2>/dev/null
+grep -q ' 0 failed' "$SMOKE_DIR/loadgen-soak.txt"
+grep -q '"connections": *256' "$SMOKE_DIR/BENCH_soak.json"
+grep -q '"protocol": *"binary"' "$SMOKE_DIR/BENCH_soak.json"
+grep -q '"shed": *0' "$SMOKE_DIR/BENCH_soak.json"
+
 echo "CI green."
