@@ -38,7 +38,7 @@ pub use error::{CoreError, CoreResult};
 pub use featsel::{greedy_forward_selection, FeatureSelection, SearchModel};
 pub use online::{
     ContentionReport, OnlineContention, OnlineDecision, OnlineFeedbackView, OnlineSelector,
-    OnlineSnapshot, OnlineView, ShardedOnlineSelector,
+    OnlineSnapshot, OnlineStateData, OnlineView, ShardedOnlineSelector,
 };
 pub use overhead::{amortized_best, break_even_iterations, AmortizedChoice};
 pub use regression::TimeRegressor;

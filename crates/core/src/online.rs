@@ -23,6 +23,7 @@
 //! single-client stream bit-identical to the serial [`OnlineSelector`].
 
 use crate::semi::SemiSupervisedSelector;
+use serde::{Deserialize, Serialize};
 use spsel_features::{FeatureVector, Preprocessor};
 use spsel_matrix::Format;
 use spsel_ml::cluster::online::OnlineKMeans;
@@ -349,6 +350,22 @@ pub struct OnlineFeedbackView {
     pub snapshot_version: u64,
 }
 
+/// A serializable export of one selector's complete online state: the
+/// centroid table plus the label tables flattened back into cluster
+/// order. This is the unit a checkpoint persists and a replica installs —
+/// [`ShardedOnlineSelector::export_state`] produces it and
+/// [`ShardedOnlineSelector::install_state`] makes a selector serve it,
+/// independent of how many write shards either side runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStateData {
+    /// The incremental clustering (centroids, counts, threshold, cap).
+    pub clusters: OnlineKMeans,
+    /// Per-cluster format label, cluster order (`None` when unlabeled).
+    pub labels: Vec<Option<Format>>,
+    /// Per-cluster observations since the last benchmark, cluster order.
+    pub unlabeled_observations: Vec<usize>,
+}
+
 /// Concurrent streaming selector: lock-free read decisions from an
 /// atomically-swapped snapshot, sharded write side for mutations. See
 /// the module docs for the locking design; sequential use is
@@ -583,6 +600,63 @@ impl ShardedOnlineSelector {
         })
     }
 
+    /// Flatten the current snapshot into a serializable
+    /// [`OnlineStateData`]: the centroid table plus the label tables in
+    /// cluster order. Taken from one snapshot, so the export is an
+    /// instant-consistent cut even under concurrent mutation.
+    pub fn export_state(&self) -> OnlineStateData {
+        let snap = self.snapshot();
+        let n = snap.n_clusters();
+        let n_shards = snap.shards.len();
+        let mut labels = Vec::with_capacity(n);
+        let mut unlabeled_observations = Vec::with_capacity(n);
+        for c in 0..n {
+            let shard = &snap.shards[c % n_shards];
+            labels.push(shard.labels.get(c / n_shards).copied().flatten());
+            unlabeled_observations.push(
+                shard
+                    .unlabeled_observations
+                    .get(c / n_shards)
+                    .copied()
+                    .unwrap_or(0),
+            );
+        }
+        OnlineStateData {
+            clusters: (*snap.clusters).clone(),
+            labels,
+            unlabeled_observations,
+        }
+    }
+
+    /// Replace the selector's entire online state with an exported one
+    /// (a checkpoint being restored, or a leader state a replica is
+    /// installing), re-sharded for this selector's shard count. A
+    /// lifecycle operation, not a serving mutation: it takes the whole
+    /// write side exclusively but does not count toward the contention
+    /// or snapshot-swap counters.
+    pub fn install_state(&self, state: &OnlineStateData) {
+        let _centroids = self.centroid_lock.lock().expect("centroid lock poisoned");
+        let _shards: Vec<MutexGuard<'_, ()>> = self
+            .shard_locks
+            .iter()
+            .map(|l| l.lock().expect("shard lock poisoned"))
+            .collect();
+        let n_shards = self.shard_locks.len();
+        let mut tables = vec![LabelShard::default(); n_shards];
+        for (c, label) in state.labels.iter().enumerate() {
+            tables[c % n_shards].labels.push(*label);
+            tables[c % n_shards]
+                .unlabeled_observations
+                .push(state.unlabeled_observations.get(c).copied().unwrap_or(0));
+        }
+        let mut slot = self.snapshot.write().expect("snapshot slot poisoned");
+        *slot = Arc::new(OnlineSnapshot {
+            version: slot.version + 1,
+            clusters: Arc::new(state.clusters.clone()),
+            shards: tables.into_iter().map(Arc::new).collect(),
+        });
+    }
+
     /// Nearest-cluster prediction from the current snapshot (read path).
     pub fn predict(&self, features: &FeatureVector) -> Format {
         self.decide(features, false).decision.format
@@ -664,6 +738,39 @@ mod tests {
             // Absorbed into an existing (labeled) cluster: no benchmark.
             assert!(!d.benchmark_requested);
         }
+    }
+
+    #[test]
+    fn exported_state_installs_identically_across_shard_counts() {
+        let (batch, features) = batch_selector();
+        let donor = ShardedOnlineSelector::from_batch(&batch, 0.3, 64, 4);
+        // Mutate: open clusters and label one of them.
+        let novel =
+            FeatureVector::from_csr(&CsrMatrix::from(&gen::bimodal(2000, 2000, 3, 40, 0.3, 8)));
+        let d = donor.decide(&novel, true);
+        donor.report_benchmark(d.decision.cluster, Format::Hyb);
+        let state = donor.export_state();
+        assert_eq!(state.labels.len(), donor.n_clusters());
+        assert_eq!(state.unlabeled_observations.len(), donor.n_clusters());
+
+        // Install into selectors with different shard counts: decisions
+        // and bookkeeping must match the donor exactly.
+        for shards in [1usize, 3, 8] {
+            let clone = ShardedOnlineSelector::from_batch(&batch, 0.3, 64, shards);
+            clone.install_state(&state);
+            assert_eq!(clone.n_clusters(), donor.n_clusters());
+            assert_eq!(clone.unlabeled_clusters(), donor.unlabeled_clusters());
+            assert_eq!(clone.staleness(), donor.staleness());
+            assert_eq!(clone.predict(&novel), donor.predict(&novel));
+            for f in &features {
+                assert_eq!(clone.predict(f), donor.predict(f));
+            }
+        }
+
+        // And the export itself round-trips through JSON bit-exactly.
+        let json = serde_json::to_string(&state).unwrap();
+        let back: OnlineStateData = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
     }
 
     #[test]

@@ -120,6 +120,29 @@ pub struct ServingReport {
     pub peak_connections: u64,
     /// Requests that arrived on binary-negotiated connections.
     pub binary_requests: u64,
+    /// Cluster-opening observes (`learn: true` selects) appended to the
+    /// journal this run.
+    pub observes_journaled: u64,
+    /// Observe records replayed from the journal at startup.
+    pub observes_replayed: u64,
+    /// Torn journal tails sealed (or unreadable checkpoints ignored)
+    /// across startups of this process.
+    pub torn_tails: u64,
+    /// Journal compactions: online state checkpointed and the journal
+    /// rotated down to a tail.
+    pub compactions: u64,
+    /// Model artifacts hot-swapped in without dropping a request.
+    pub swaps: u64,
+    /// `swap` requests received (success or failure).
+    pub swap_requests: u64,
+    /// `sync` (replica catch-up) requests received.
+    pub sync_requests: u64,
+    /// Journal records streamed to replicas by `sync` replies.
+    pub sync_records_sent: u64,
+    /// Bytes of checkpoint + journal records streamed to replicas.
+    pub sync_bytes_sent: u64,
+    /// Records this process applied from `sync` replies (follower side).
+    pub sync_records_applied: u64,
 }
 
 /// One quarantined record: excluded from a GPU's dataset, with the reason.

@@ -233,13 +233,28 @@ pub fn from_json(payload: &str) -> Result<ModelArtifact, ServeError> {
     Ok(artifact)
 }
 
-/// Write an artifact to `path` (not atomic: artifacts are user files,
-/// not cache entries).
+/// Write an artifact to `path` atomically: the payload lands in a
+/// sibling temp file, is fsynced, and is renamed into place, so a crash
+/// mid-save (or a concurrent `Swap` request loading the path) sees
+/// either the old artifact or the new one — never a torn hybrid.
 pub fn save(artifact: &ModelArtifact, path: impl AsRef<Path>) -> Result<(), ServeError> {
     let path = path.as_ref();
-    std::fs::write(path, to_json(artifact)).map_err(|e| ServeError::Io {
+    let io_err = |e: std::io::Error| ServeError::Io {
         path: path.display().to_string(),
         message: e.to_string(),
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let write = || -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut file, to_json(artifact).as_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    };
+    write().map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        io_err(e)
     })
 }
 

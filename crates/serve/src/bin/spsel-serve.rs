@@ -5,14 +5,25 @@
 //!             [--deadline-ms MS] [--max-conns N] [--shed-kib KIB]
 //!             [--shards N] [--json REPORT]
 //!             [--journal PATH | --no-journal]
+//!             [--journal-fsync] [--checkpoint-every N]
 //! spsel-serve --quick [--seed S]      # train a throwaway model first
+//! spsel-serve --model model.spsel --follow HOST:PORT   # replica
 //! ```
 //!
-//! On startup the daemon replays the feedback journal (default
-//! `<model>.journal` when `--model` is given; `--no-journal` disables
-//! persistence), so cluster labels learned online survive a restart. It
-//! then prints exactly one `listening on HOST:PORT` line to stdout
-//! (scripts parse it to find the ephemeral port) and serves
+//! On startup the daemon loads the checkpoint (if one exists) and
+//! replays the journal tail (default `<model>.journal` when `--model`
+//! is given; `--no-journal` disables persistence), so every online
+//! mutation — cluster-opening observes and feedback labels — survives a
+//! restart, even a `kill -9` mid-write. `--journal-fsync` fsyncs every
+//! append instead of only checkpoint/rotation boundaries;
+//! `--checkpoint-every N` compacts the journal into a checkpoint after
+//! N records (default 4096; 0 disables auto-compaction). With
+//! `--follow ADDR` the daemon is a read replica: it catches up from the
+//! leader's `Sync` stream before listening, keeps polling in the
+//! background, and serves from memory (no journal of its own).
+//!
+//! The daemon then prints exactly one `listening on HOST:PORT` line to
+//! stdout (scripts parse it to find the ephemeral port) and serves
 //! newline-delimited JSON requests until a `Shutdown` request. On exit
 //! it prints the serving counters and, with `--json`, writes a run
 //! report whose `serving` field holds the same counters.
@@ -23,8 +34,15 @@ use spsel_core::experiments::ExperimentContext;
 use spsel_core::telemetry::RunReport;
 use spsel_core::CoreError;
 use spsel_serve::artifact::{self, TrainConfig};
-use spsel_serve::{Engine, EngineOptions, ServeError, ServeOptions, Server};
+use spsel_serve::{
+    Client, Engine, EngineOptions, JournalConfig, Request, ServeError, ServeOptions, Server,
+};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// How often a `--follow` replica polls the leader for new records.
+const FOLLOW_POLL: Duration = Duration::from_millis(300);
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +62,28 @@ fn value<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<
         .ok_or_else(|| CoreError::invalid_argument(format!("{flag} needs a value")).into())
 }
 
+/// One sync round against the leader: ask for everything past what this
+/// engine has applied, apply the reply. Returns the records applied.
+fn catch_up(engine: &Engine, leader: &str) -> Result<u64, ServeError> {
+    let io = |message: String| ServeError::Io {
+        path: leader.to_string(),
+        message,
+    };
+    let mut client = Client::connect(leader).map_err(|e| io(e.to_string()))?;
+    let response = client
+        .roundtrip(&Request::Sync {
+            from_seq: engine.applied_seq(),
+        })
+        .map_err(|e| io(e.to_string()))?;
+    if let Some(envelope) = response.error {
+        return Err(io(format!("leader refused sync: {}", envelope.message)));
+    }
+    let reply = response
+        .sync
+        .ok_or_else(|| io("leader answered sync without a sync payload".into()))?;
+    engine.apply_sync(&reply)
+}
+
 fn run(args: &[String]) -> Result<(), ServeError> {
     let mut model_path = None;
     let mut quick = false;
@@ -53,6 +93,8 @@ fn run(args: &[String]) -> Result<(), ServeError> {
     let mut json = None;
     let mut journal_path: Option<String> = None;
     let mut no_journal = false;
+    let mut journal_cfg = JournalConfig::default();
+    let mut follow: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -69,6 +111,15 @@ fn run(args: &[String]) -> Result<(), ServeError> {
                 i += 1;
             }
             "--no-journal" => no_journal = true,
+            "--journal-fsync" => journal_cfg.fsync = true,
+            "--checkpoint-every" => {
+                journal_cfg.checkpoint_every = value(args, i, "--checkpoint-every")?;
+                i += 1;
+            }
+            "--follow" => {
+                follow = Some(value::<String>(args, i, "--follow")?);
+                i += 1;
+            }
             "--addr" => {
                 opts.addr = value(args, i, "--addr")?;
                 i += 1;
@@ -109,8 +160,16 @@ fn run(args: &[String]) -> Result<(), ServeError> {
 
     // The journal lives next to the artifact unless overridden; a
     // throwaway --quick model has nowhere sensible to persist to, so it
-    // only journals when --journal names a path explicitly.
-    let journal = if no_journal {
+    // only journals when --journal names a path explicitly. A follower
+    // serves the leader's state from memory: its durable copy *is* the
+    // leader's journal, so a local one would only diverge.
+    if follow.is_some() && journal_path.is_some() {
+        return Err(CoreError::invalid_argument(
+            "--follow replicates the leader's journal; it cannot also write --journal",
+        )
+        .into());
+    }
+    let journal = if no_journal || follow.is_some() {
         None
     } else {
         journal_path.or_else(|| model_path.as_ref().map(|p| format!("{p}.journal")))
@@ -144,11 +203,22 @@ fn run(args: &[String]) -> Result<(), ServeError> {
 
     let mut engine = Engine::from_artifact(&model, &engine_opts)?;
     if let Some(path) = journal {
-        let (replayed, skipped) = engine.attach_journal(&path)?;
-        eprintln!("journal {path}: replayed {replayed} feedback records ({skipped} skipped)");
+        let (replayed, skipped) = engine.attach_journal_with(&path, journal_cfg)?;
+        eprintln!("journal {path}: replayed {replayed} records ({skipped} skipped)");
     }
     let engine = Arc::new(engine);
-    let server = Server::bind(engine, opts).map_err(|e| ServeError::Io {
+
+    // A follower must converge before it answers its first request:
+    // catch up synchronously, then keep polling in the background.
+    if let Some(leader) = &follow {
+        let applied = catch_up(&engine, leader)?;
+        eprintln!(
+            "caught up with leader {leader}: applied {applied} records through seq {}",
+            engine.applied_seq()
+        );
+    }
+
+    let server = Server::bind(Arc::clone(&engine), opts).map_err(|e| ServeError::Io {
         path: "listener".into(),
         message: e.to_string(),
     })?;
@@ -156,9 +226,24 @@ fn run(args: &[String]) -> Result<(), ServeError> {
         path: "listener".into(),
         message: e.to_string(),
     })?;
+    let poller = follow.map(|leader| {
+        let engine = Arc::clone(&engine);
+        let stop = server.shutdown_flag();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(FOLLOW_POLL);
+                // Transient leader outages are survivable: the replica
+                // keeps serving what it has and retries next tick.
+                let _ = catch_up(&engine, &leader);
+            }
+        })
+    });
     println!("listening on {addr}");
 
     let serving = server.run();
+    if let Some(handle) = poller {
+        let _ = handle.join();
+    }
     eprintln!(
         "served {} requests ({} select, {} feedback, {} stats, {} batch; {} errors, \
          {} shed; {} binary), p50 {:.0}us p99 {:.0}us, peak {} connections \

@@ -107,6 +107,21 @@ pub enum ServeError {
         /// Parser diagnostics.
         message: String,
     },
+    /// An internal lock was poisoned by a panicking holder. The request
+    /// fails typed instead of propagating the panic (one wedged worker
+    /// must not take down journaling or serving).
+    LockPoisoned {
+        /// Which lock (e.g. `journal writer`, `engine lifecycle`).
+        what: String,
+    },
+    /// A swap or sync named (or delivered) state from a different
+    /// training context than the one being extended.
+    ContextDigestMismatch {
+        /// Digest found on the incoming artifact or state.
+        found: String,
+        /// Digest the operation expected.
+        expected: String,
+    },
     /// A core-pipeline error (training data, labeling, ...).
     Core(CoreError),
 }
@@ -128,6 +143,8 @@ impl ServeError {
             ServeError::VersionMismatch { .. } => "artifact_version_mismatch",
             ServeError::FeatureDigestMismatch { .. } => "feature_digest_mismatch",
             ServeError::Malformed { .. } => "malformed",
+            ServeError::LockPoisoned { .. } => "lock_poisoned",
+            ServeError::ContextDigestMismatch { .. } => "context_digest_mismatch",
             ServeError::Core(_) => "core",
         }
     }
@@ -205,6 +222,17 @@ impl fmt::Display for ServeError {
                  this build computes {expected}; re-run `spsel train`"
             ),
             ServeError::Malformed { message } => write!(f, "malformed payload: {message}"),
+            ServeError::LockPoisoned { what } => write!(
+                f,
+                "internal {what} lock was poisoned by a panicking holder; \
+                 this request failed but the daemon is still serving"
+            ),
+            ServeError::ContextDigestMismatch { found, expected } => write!(
+                f,
+                "training-context digest {found} does not match the serving \
+                 context {expected}; retrain against the same corpus or omit \
+                 the expectation"
+            ),
             ServeError::Core(e) => write!(f, "{e}"),
         }
     }
@@ -284,6 +312,13 @@ mod tests {
             },
             ServeError::Malformed {
                 message: "truncated".into(),
+            },
+            ServeError::LockPoisoned {
+                what: "journal writer".into(),
+            },
+            ServeError::ContextDigestMismatch {
+                found: "cc".into(),
+                expected: "dd".into(),
             },
             ServeError::Core(CoreError::EmptyDataset {
                 gpu: "Pascal".into(),

@@ -20,6 +20,12 @@
 //! deep pipeline is rejected by the existing pre-compute check (its
 //! `received` instant is when its bytes arrived, not when they were
 //! parsed).
+//!
+//! Lifecycle requests (`Swap`, `Sync`) ride the same loop as decisions:
+//! a hot-swap publishes the new model between two pipelined requests on
+//! the worker that carried it, while every other worker keeps answering
+//! from whichever model it resolves at decision time — no connection is
+//! paused, drained, or closed for a swap.
 
 use crate::engine::Engine;
 use crate::error::ServeError;

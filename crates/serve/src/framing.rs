@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! offset 0  u32 LE   payload length N (kind byte + body, 1 <= N <= MAX_FRAME)
-//! offset 4  u8       kind (request: 0x01..0x05, response: 0x81)
+//! offset 4  u8       kind (request: 0x01..0x07, response: 0x81)
 //! offset 5  [u8; N-1] body
 //! ```
 //!
@@ -15,8 +15,10 @@
 //! of [`f64::to_bits`] (the same trick `spsel_core::cache::KeyWriter`
 //! uses for cache keys), so a decoded feature vector or predicted time
 //! is bit-identical to what was encoded — never a victim of float
-//! formatting. Strings are UTF-8 with a `u16` length; options are a
-//! one-byte tag. Frames decode to the exact same [`Request`]/[`Response`]
+//! formatting. Strings are UTF-8 with a `u16` length (`u32` for the
+//! checkpoint and journal-record payloads of a sync reply, which can
+//! outgrow 64 KiB); options are a one-byte tag. Frames decode to the
+//! exact same [`Request`]/[`Response`]
 //! types as the JSON protocol, so the engine, journal, and contention
 //! counters cannot tell the protocols apart.
 //!
@@ -30,8 +32,8 @@
 
 use crate::error::ServeError;
 use crate::protocol::{
-    FeedbackReply, FormatTime, GpuStats, Request, Response, SelectBody, SelectReply, ShutdownReply,
-    StatsReply,
+    FeedbackReply, FormatTime, GpuStats, LifecycleStats, Request, Response, SelectBody,
+    SelectReply, ShutdownReply, StatsReply, SwapReply, SyncReply,
 };
 use crate::ErrorEnvelope;
 use spsel_core::telemetry::ServingReport;
@@ -46,7 +48,7 @@ pub const MAGIC: [u8; 4] = *b"SPB1";
 /// length prefix cannot make the server allocate unbounded memory.
 pub const MAX_FRAME: u32 = 8 << 20;
 
-/// Frame kind bytes. Requests are 0x01..0x05 (mirroring the JSON
+/// Frame kind bytes. Requests are 0x01..0x07 (mirroring the JSON
 /// request enum), every response is 0x81.
 pub mod kind {
     /// `Request::Select`.
@@ -59,6 +61,10 @@ pub mod kind {
     pub const STATS: u8 = 0x04;
     /// `Request::Shutdown`.
     pub const SHUTDOWN: u8 = 0x05;
+    /// `Request::Swap`.
+    pub const SWAP: u8 = 0x06;
+    /// `Request::Sync`.
+    pub const SYNC: u8 = 0x07;
     /// Any response envelope.
     pub const RESPONSE: u8 = 0x81;
 }
@@ -96,6 +102,14 @@ fn put_bool(out: &mut Vec<u8>, v: bool) {
 fn put_str(out: &mut Vec<u8>, s: &str) {
     let len = u16::try_from(s.len()).expect("wire strings fit in u16");
     put_u16(out, len);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Long string: `u32` length. Only for payloads that can outgrow 64 KiB
+/// (a sync reply's checkpoint and journal records).
+fn put_lstr(out: &mut Vec<u8>, s: &str) {
+    let len = u32::try_from(s.len()).expect("long wire strings fit in u32");
+    put_u32(out, len);
     out.extend_from_slice(s.as_bytes());
 }
 
@@ -181,6 +195,13 @@ impl<'a> ByteReader<'a> {
 
     fn string(&mut self, what: &str) -> Result<String, ServeError> {
         let len = self.u16(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| malformed(format!("{what} is not valid UTF-8")))
+    }
+
+    fn lstring(&mut self, what: &str) -> Result<String, ServeError> {
+        let len = self.u32(what)? as usize;
         let bytes = self.take(len, what)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| malformed(format!("{what} is not valid UTF-8")))
@@ -364,6 +385,18 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             kind::FEEDBACK
         }
         Request::Stats => kind::STATS,
+        Request::Swap {
+            path,
+            expected_digest,
+        } => {
+            put_str(&mut body, path);
+            put_opt(&mut body, expected_digest, |o, s| put_str(o, s));
+            kind::SWAP
+        }
+        Request::Sync { from_seq } => {
+            put_u64(&mut body, *from_seq);
+            kind::SYNC
+        }
         Request::Shutdown => kind::SHUTDOWN,
     };
     frame(kind_byte, body)
@@ -412,6 +445,13 @@ pub fn decode_request(kind_byte: u8, body: &[u8]) -> Result<Request, ServeError>
             best: r.string("best")?,
         },
         kind::STATS => Request::Stats,
+        kind::SWAP => Request::Swap {
+            path: r.string("path")?,
+            expected_digest: r.opt("expected_digest", |r| r.string("expected_digest"))?,
+        },
+        kind::SYNC => Request::Sync {
+            from_seq: r.u64("from_seq")?,
+        },
         kind::SHUTDOWN => Request::Shutdown,
         other => return Err(malformed(format!("unknown request kind {other:#04x}"))),
     };
@@ -510,6 +550,16 @@ fn put_serving_report(out: &mut Vec<u8>, s: &ServingReport) {
         s.connections_rejected,
         s.peak_connections,
         s.binary_requests,
+        s.observes_journaled,
+        s.observes_replayed,
+        s.torn_tails,
+        s.compactions,
+        s.swaps,
+        s.swap_requests,
+        s.sync_requests,
+        s.sync_records_sent,
+        s.sync_bytes_sent,
+        s.sync_records_applied,
     ] {
         put_u64(out, v);
     }
@@ -551,6 +601,16 @@ fn read_serving_report(r: &mut ByteReader) -> Result<ServingReport, ServeError> 
         &mut s.connections_rejected,
         &mut s.peak_connections,
         &mut s.binary_requests,
+        &mut s.observes_journaled,
+        &mut s.observes_replayed,
+        &mut s.torn_tails,
+        &mut s.compactions,
+        &mut s.swaps,
+        &mut s.swap_requests,
+        &mut s.sync_requests,
+        &mut s.sync_records_sent,
+        &mut s.sync_bytes_sent,
+        &mut s.sync_records_applied,
     ] {
         *field = r.u64("serving counter")?;
     }
@@ -576,6 +636,93 @@ fn put_stats_reply(out: &mut Vec<u8>, reply: &StatsReply) {
         put_f64(out, g.shard_imbalance);
     }
     put_serving_report(out, &reply.serving);
+    put_lifecycle_stats(out, &reply.lifecycle);
+}
+
+fn put_lifecycle_stats(out: &mut Vec<u8>, l: &LifecycleStats) {
+    put_bool(out, l.journal_attached);
+    put_u64(out, l.last_seq);
+    put_u64(out, l.applied_seq);
+    put_u64(out, l.checkpoint_seq);
+    put_u64(out, l.records_since_checkpoint);
+    put_u64(out, l.journal_bytes);
+    put_str(out, &l.context_digest);
+    put_opt(out, &l.last_swap_digest, |o, s| put_str(o, s));
+    put_u64(out, l.swaps);
+    put_u64(out, l.compactions);
+}
+
+fn read_lifecycle_stats(r: &mut ByteReader) -> Result<LifecycleStats, ServeError> {
+    Ok(LifecycleStats {
+        journal_attached: r.bool("journal_attached")?,
+        last_seq: r.u64("last_seq")?,
+        applied_seq: r.u64("applied_seq")?,
+        checkpoint_seq: r.u64("checkpoint_seq")?,
+        records_since_checkpoint: r.u64("records_since_checkpoint")?,
+        journal_bytes: r.u64("journal_bytes")?,
+        context_digest: r.string("context_digest")?,
+        last_swap_digest: r.opt("last_swap_digest", |r| r.string("last_swap_digest"))?,
+        swaps: r.u64("swaps")?,
+        compactions: r.u64("compactions")?,
+    })
+}
+
+fn put_swap_reply(out: &mut Vec<u8>, reply: &SwapReply) {
+    put_u32(out, reply.artifact_version);
+    put_str(out, &reply.context_digest);
+    put_str(out, &reply.previous_digest);
+    put_u64(out, reply.gpus as u64);
+    put_u64(out, reply.rebased);
+    put_u64(out, reply.checkpoint_seq);
+}
+
+fn read_swap_reply(r: &mut ByteReader) -> Result<SwapReply, ServeError> {
+    Ok(SwapReply {
+        artifact_version: r.u32("artifact_version")?,
+        context_digest: r.string("context_digest")?,
+        previous_digest: r.string("previous_digest")?,
+        gpus: r.usize("gpus")?,
+        rebased: r.u64("rebased")?,
+        checkpoint_seq: r.u64("checkpoint_seq")?,
+    })
+}
+
+fn put_sync_reply(out: &mut Vec<u8>, reply: &SyncReply) {
+    put_u64(out, reply.last_seq);
+    put_u64(out, reply.checkpoint_seq);
+    put_str(out, &reply.context_digest);
+    put_opt(out, &reply.checkpoint, |o, s| put_lstr(o, s));
+    put_u32(out, reply.records.len() as u32);
+    for record in &reply.records {
+        put_lstr(out, record);
+    }
+}
+
+fn read_sync_reply(r: &mut ByteReader) -> Result<SyncReply, ServeError> {
+    let last_seq = r.u64("last_seq")?;
+    let checkpoint_seq = r.u64("checkpoint_seq")?;
+    let context_digest = r.string("context_digest")?;
+    let checkpoint = r.opt("checkpoint", |r| r.lstring("checkpoint"))?;
+    let n = r.u32("record count")? as usize;
+    // Each record costs at least its 4-byte length prefix; reject counts
+    // the body cannot possibly hold before allocating for them.
+    if n > r.buf.len() {
+        return Err(malformed(format!(
+            "sync reply declares {n} records in a {}-byte body",
+            r.buf.len()
+        )));
+    }
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        records.push(r.lstring("journal record")?);
+    }
+    Ok(SyncReply {
+        last_seq,
+        checkpoint_seq,
+        context_digest,
+        checkpoint,
+        records,
+    })
 }
 
 fn read_stats_reply(r: &mut ByteReader) -> Result<StatsReply, ServeError> {
@@ -608,6 +755,7 @@ fn read_stats_reply(r: &mut ByteReader) -> Result<StatsReply, ServeError> {
         feature_digest,
         gpus,
         serving: read_serving_report(r)?,
+        lifecycle: read_lifecycle_stats(r)?,
     })
 }
 
@@ -620,6 +768,8 @@ mod section {
     pub const FEEDBACK: u8 = 4;
     pub const STATS: u8 = 5;
     pub const SHUTDOWN: u8 = 6;
+    pub const SWAP: u8 = 7;
+    pub const SYNC: u8 = 8;
 }
 
 fn put_response_body(out: &mut Vec<u8>, response: &Response) {
@@ -647,6 +797,12 @@ fn put_response_body(out: &mut Vec<u8>, response: &Response) {
     } else if let Some(stats) = &response.stats {
         out.push(section::STATS);
         put_stats_reply(out, stats);
+    } else if let Some(swap) = &response.swap {
+        out.push(section::SWAP);
+        put_swap_reply(out, swap);
+    } else if let Some(sync) = &response.sync {
+        out.push(section::SYNC);
+        put_sync_reply(out, sync);
     } else if let Some(sd) = &response.shutdown {
         out.push(section::SHUTDOWN);
         put_bool(out, sd.stopping);
@@ -667,6 +823,8 @@ fn read_response_body(r: &mut ByteReader, depth: usize) -> Result<Response, Serv
         batch: None,
         feedback: None,
         stats: None,
+        swap: None,
+        sync: None,
         shutdown: None,
     };
     match r.u8("section tag")? {
@@ -702,6 +860,8 @@ fn read_response_body(r: &mut ByteReader, depth: usize) -> Result<Response, Serv
             });
         }
         section::STATS => response.stats = Some(read_stats_reply(r)?),
+        section::SWAP => response.swap = Some(read_swap_reply(r)?),
+        section::SYNC => response.sync = Some(read_sync_reply(r)?),
         section::SHUTDOWN => {
             response.shutdown = Some(ShutdownReply {
                 stopping: r.bool("stopping")?,
@@ -749,6 +909,24 @@ mod tests {
     fn unit_requests_round_trip() {
         assert_eq!(roundtrip_request(&Request::Stats), Request::Stats);
         assert_eq!(roundtrip_request(&Request::Shutdown), Request::Shutdown);
+    }
+
+    #[test]
+    fn lifecycle_requests_round_trip() {
+        for swap in [
+            Request::Swap {
+                path: "retrained.spsel".into(),
+                expected_digest: Some("abc123".into()),
+            },
+            Request::Swap {
+                path: "m.spsel".into(),
+                expected_digest: None,
+            },
+        ] {
+            assert_eq!(roundtrip_request(&swap), swap);
+        }
+        let sync = Request::Sync { from_seq: 42 };
+        assert_eq!(roundtrip_request(&sync), sync);
     }
 
     #[test]

@@ -1,23 +1,54 @@
-//! Append-only feedback journal: learned labels that survive a restart.
+//! Durable online state: an append-only journal plus checkpoint
+//! snapshots, so a restarted daemon is state-identical to one that never
+//! died.
 //!
-//! Every applied `Feedback` request appends one JSON line —
-//! `{"gpu":"Pascal","cluster":3,"best":"ELL"}` — to a journal file next
-//! to the artifact (`<model>.spsel.journal` by default). On startup
-//! `spsel-serve` replays the journal through the same
-//! [`Engine::feedback`](crate::Engine::feedback) path (without
-//! re-journaling), so cluster labels learned online are not lost when the
-//! daemon restarts. Replay is forgiving: malformed lines (a torn final
-//! write from a crash) and records that no longer apply (a cluster index
-//! beyond the fresh warm-start) are counted and skipped, never fatal.
+//! The journal is a JSONL file next to the artifact
+//! (`<model>.spsel.journal` by default). Format v2 gives every record a
+//! monotonic sequence number and an enveloped type, and starts each file
+//! with a versioned header:
+//!
+//! ```text
+//! {"Header":{"version":2,"base_seq":0}}
+//! {"Observe":{"seq":1,"gpu":"Pascal","features":[...]}}
+//! {"Feedback":{"seq":2,"gpu":"Pascal","cluster":3,"best":"ELL"}}
+//! ```
+//!
+//! `Observe` records every `learn: true` decision (raw feature values, so
+//! replay reproduces cluster openings bit-exactly); `Feedback` records
+//! every applied label. Legacy v1 lines — bare
+//! `{"gpu":...,"cluster":...,"best":...}` records — still parse, with
+//! sequence numbers assigned in file order. Replay is forgiving:
+//! malformed lines (a torn final write from a crash) and records that no
+//! longer apply are counted and skipped, never fatal, and opening a
+//! journal whose last byte is not a newline first seals the torn tail so
+//! subsequent appends cannot be corrupted by it.
+//!
+//! When the journal grows past a record threshold the engine *compacts*
+//! it: the full online state is serialized into a [`Checkpoint`] sibling
+//! file (`<journal>.checkpoint`), written temp-file-then-atomic-rename
+//! with fsync at every boundary, and the journal is rotated down to a
+//! fresh header whose `base_seq` marks what the checkpoint covers.
+//! Startup then costs one checkpoint load plus the post-checkpoint tail.
+//! [`CrashPoint`] threads a deterministic kill switch through every step
+//! so tests can prove recovery from any interleaving.
 
 use crate::error::ServeError;
 use serde::{Deserialize, Serialize};
+use spsel_core::online::OnlineStateData;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// One applied feedback label, as journaled.
+/// Journal format version written by this build.
+pub const JOURNAL_VERSION: u32 = 2;
+
+/// Checkpoint format version written by this build.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// One applied feedback label, as journaled by format v1 (kept for
+/// compatibility: v1 lines still replay, and [`read`] still yields them).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JournalRecord {
     /// GPU whose online selector was updated.
@@ -28,28 +59,226 @@ pub struct JournalRecord {
     pub best: String,
 }
 
-/// An open journal the engine appends applied feedback to.
+/// One line of a v2 journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalLine {
+    /// File header: the format version and the sequence number everything
+    /// before this file was compacted up to (0 for a fresh journal).
+    Header {
+        /// Journal format version ([`JOURNAL_VERSION`]).
+        version: u32,
+        /// Highest sequence number covered by the checkpoint this file
+        /// is the tail of.
+        base_seq: u64,
+    },
+    /// A `learn: true` decision: the raw feature values that joined (or
+    /// opened) a cluster. Replaying them reproduces centroid motion and
+    /// cluster creation bit-exactly.
+    Observe {
+        /// Monotonic sequence number.
+        seq: u64,
+        /// GPU whose online selector observed the matrix.
+        gpu: String,
+        /// Raw (pre-embedding) feature values, [`spsel_features::NUM_FEATURES`] long.
+        features: Vec<f64>,
+    },
+    /// An applied feedback label.
+    Feedback {
+        /// Monotonic sequence number.
+        seq: u64,
+        /// GPU whose online selector was updated.
+        gpu: String,
+        /// Cluster that was labeled.
+        cluster: usize,
+        /// The measured best format applied as the label.
+        best: String,
+    },
+}
+
+impl JournalLine {
+    /// The line's sequence number (a header's `base_seq`).
+    pub fn seq(&self) -> u64 {
+        match self {
+            JournalLine::Header { base_seq, .. } => *base_seq,
+            JournalLine::Observe { seq, .. } => *seq,
+            JournalLine::Feedback { seq, .. } => *seq,
+        }
+    }
+}
+
+/// Parse one journal line: v2 envelopes first, then legacy v1 records
+/// (which become `Feedback` lines carrying `legacy_seq`). `None` means
+/// the line is malformed — a torn write, not a protocol error.
+pub fn parse_line(line: &str, legacy_seq: u64) -> Option<JournalLine> {
+    if let Ok(entry) = serde_json::from_str::<JournalLine>(line) {
+        return Some(entry);
+    }
+    serde_json::from_str::<JournalRecord>(line)
+        .ok()
+        .map(|r| JournalLine::Feedback {
+            seq: legacy_seq,
+            gpu: r.gpu,
+            cluster: r.cluster,
+            best: r.best,
+        })
+}
+
+/// Everything one pass over a journal file learns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JournalScan {
+    /// Replayable records (observes and feedback, never headers), file
+    /// order.
+    pub entries: Vec<JournalLine>,
+    /// Lines that parsed as nothing — torn writes.
+    pub malformed: u64,
+    /// Highest sequence number seen (including header `base_seq`s), 0
+    /// for an empty journal.
+    pub last_seq: u64,
+    /// File size in bytes (0 when missing).
+    pub bytes: u64,
+    /// Whether the file ends mid-line (no trailing newline) — the
+    /// signature of a torn final write.
+    pub unterminated: bool,
+}
+
+/// Scan a journal file. A missing file is an empty journal (first
+/// start); malformed lines are counted, not fatal.
+pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalScan, ServeError> {
+    let path = path.as_ref();
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(JournalScan::default()),
+        Err(e) => {
+            return Err(ServeError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })
+        }
+    };
+    let mut scan = JournalScan {
+        bytes: bytes.len() as u64,
+        unterminated: bytes.last().map(|&b| b != b'\n').unwrap_or(false),
+        ..JournalScan::default()
+    };
+    let text = String::from_utf8_lossy(&bytes);
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line, scan.last_seq + 1) {
+            Some(JournalLine::Header { base_seq, .. }) => {
+                scan.last_seq = scan.last_seq.max(base_seq);
+            }
+            Some(entry) => {
+                scan.last_seq = scan.last_seq.max(entry.seq());
+                scan.entries.push(entry);
+            }
+            None => scan.malformed += 1,
+        }
+    }
+    Ok(scan)
+}
+
+/// Read every parseable *feedback* record from a journal file (the v1
+/// view of the journal: headers and observes are skipped). A missing
+/// file is an empty journal; malformed lines are counted, not fatal.
+pub fn read(path: impl AsRef<Path>) -> Result<(Vec<JournalRecord>, u64), ServeError> {
+    let scan = read_journal(path)?;
+    let records = scan
+        .entries
+        .into_iter()
+        .filter_map(|e| match e {
+            JournalLine::Feedback {
+                gpu, cluster, best, ..
+            } => Some(JournalRecord { gpu, cluster, best }),
+            _ => None,
+        })
+        .collect();
+    Ok((records, scan.malformed))
+}
+
+/// Where a simulated kill -9 lands inside a compaction, for the
+/// deterministic crash harness: the operation simply stops at the named
+/// boundary, exactly as if the process had died there, and tests then
+/// prove a restart recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// No crash: run to completion.
+    None,
+    /// Die after writing (and fsyncing) the checkpoint temp file, before
+    /// the atomic rename publishes it.
+    BeforeCheckpointRename,
+    /// Die after the checkpoint rename, before the journal is rotated —
+    /// the checkpoint and the full journal coexist.
+    AfterCheckpointRename,
+    /// Die after writing the rotated journal's temp file, before it
+    /// replaces the live journal.
+    BeforeJournalRename,
+}
+
+/// An open journal the engine appends online mutations to.
 #[derive(Debug)]
 pub struct FeedbackJournal {
     path: PathBuf,
     writer: Mutex<BufWriter<File>>,
+    fsync: bool,
+    next_seq: AtomicU64,
 }
 
 impl FeedbackJournal {
-    /// Open (creating if absent) a journal for appending.
+    /// Open (creating if absent) a journal for appending, without
+    /// per-append fsync. See [`FeedbackJournal::open_with`].
     pub fn open(path: impl AsRef<Path>) -> Result<Self, ServeError> {
+        Self::open_with(path, false)
+    }
+
+    /// Open (creating if absent) a journal for appending. The existing
+    /// file is scanned so sequence numbers continue monotonically; a
+    /// torn tail (no trailing newline) is sealed with one newline so the
+    /// partial line costs exactly one malformed record instead of
+    /// corrupting the next append; a fresh file gets a v2 header. With
+    /// `fsync`, every append is `fsync`ed before it is acknowledged
+    /// (checkpoint and rotation boundaries always are, regardless).
+    pub fn open_with(path: impl AsRef<Path>, fsync: bool) -> Result<Self, ServeError> {
         let path = path.as_ref().to_path_buf();
+        let scan = read_journal(&path)?;
+        let io_err = |e: std::io::Error| ServeError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
         let file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(&path)
-            .map_err(|e| ServeError::Io {
-                path: path.display().to_string(),
+            .map_err(io_err)?;
+        let mut writer = BufWriter::new(file);
+        let mut dirty = false;
+        if scan.unterminated {
+            writer.write_all(b"\n").map_err(io_err)?;
+            dirty = true;
+        }
+        if scan.bytes == 0 {
+            let header = serde_json::to_string(&JournalLine::Header {
+                version: JOURNAL_VERSION,
+                base_seq: 0,
+            })
+            .map_err(|e| ServeError::Malformed {
                 message: e.to_string(),
             })?;
+            writeln!(writer, "{header}").map_err(io_err)?;
+            dirty = true;
+        }
+        if dirty {
+            writer.flush().map_err(io_err)?;
+            if fsync {
+                writer.get_ref().sync_all().map_err(io_err)?;
+            }
+        }
         Ok(FeedbackJournal {
-            writer: Mutex::new(BufWriter::new(file)),
+            writer: Mutex::new(writer),
             path,
+            fsync,
+            next_seq: AtomicU64::new(scan.last_seq + 1),
         })
     }
 
@@ -58,29 +287,223 @@ impl FeedbackJournal {
         &self.path
     }
 
-    /// Append one record and flush, so a crash loses at most the line
-    /// being written.
-    pub fn append(&self, record: &JournalRecord) -> Result<(), ServeError> {
-        let line = serde_json::to_string(record).map_err(|e| ServeError::Malformed {
-            message: e.to_string(),
-        })?;
+    /// The next sequence number an append would receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq.load(Ordering::SeqCst)
+    }
+
+    /// The highest sequence number assigned so far (0 when none).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq().saturating_sub(1)
+    }
+
+    /// Raise the sequence floor so future appends land strictly above
+    /// `seq` (used after installing a checkpoint that covers up to it).
+    pub fn ensure_seq_above(&self, seq: u64) {
+        self.next_seq.fetch_max(seq + 1, Ordering::SeqCst);
+    }
+
+    /// Serialize one line under the writer lock, assigning its sequence
+    /// number there so file order always equals sequence order.
+    fn append_with(&self, build: impl FnOnce(u64) -> JournalLine) -> Result<u64, ServeError> {
         let io_err = |e: std::io::Error| ServeError::Io {
             path: self.path.display().to_string(),
             message: e.to_string(),
         };
-        let mut w = self.writer.lock().expect("journal writer lock");
+        let mut w = self.writer.lock().map_err(|_| ServeError::LockPoisoned {
+            what: "journal writer".to_string(),
+        })?;
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let line = serde_json::to_string(&build(seq)).map_err(|e| ServeError::Malformed {
+            message: e.to_string(),
+        })?;
         writeln!(w, "{line}").map_err(io_err)?;
-        w.flush().map_err(io_err)
+        w.flush().map_err(io_err)?;
+        if self.fsync {
+            w.get_ref().sync_all().map_err(io_err)?;
+        }
+        Ok(seq)
+    }
+
+    /// Append one `learn: true` observation; returns its sequence number.
+    pub fn append_observe(&self, gpu: &str, features: &[f64]) -> Result<u64, ServeError> {
+        let gpu = gpu.to_string();
+        let features = features.to_vec();
+        self.append_with(move |seq| JournalLine::Observe { seq, gpu, features })
+    }
+
+    /// Append one applied feedback label; returns its sequence number.
+    pub fn append_feedback(
+        &self,
+        gpu: &str,
+        cluster: usize,
+        best: &str,
+    ) -> Result<u64, ServeError> {
+        let gpu = gpu.to_string();
+        let best = best.to_string();
+        self.append_with(move |seq| JournalLine::Feedback {
+            seq,
+            gpu,
+            cluster,
+            best,
+        })
+    }
+
+    /// Append one legacy record (v1 call shape; journaled as a v2
+    /// `Feedback` line).
+    pub fn append(&self, record: &JournalRecord) -> Result<(), ServeError> {
+        self.append_feedback(&record.gpu, record.cluster, &record.best)
+            .map(|_| ())
+    }
+
+    /// Flush and fsync whatever has been appended so far (a compaction
+    /// boundary: the checkpoint must not claim records the disk does not
+    /// hold).
+    pub fn sync(&self) -> Result<(), ServeError> {
+        let io_err = |e: std::io::Error| ServeError::Io {
+            path: self.path.display().to_string(),
+            message: e.to_string(),
+        };
+        let mut w = self.writer.lock().map_err(|_| ServeError::LockPoisoned {
+            what: "journal writer".to_string(),
+        })?;
+        w.flush().map_err(io_err)?;
+        w.get_ref().sync_all().map_err(io_err)
+    }
+
+    /// Rotate the journal down to a fresh header with `base_seq` (the
+    /// sequence the just-published checkpoint covers), atomically: the
+    /// replacement is written and fsynced as a sibling temp file and
+    /// renamed over the live journal, then the writer is repointed at the
+    /// new file. Returns `false` when `crash` stopped the rotation (the
+    /// old journal stays live and replay-consistent). Sequence numbering
+    /// continues monotonically across rotations.
+    pub fn rotate(&self, base_seq: u64, crash: CrashPoint) -> Result<bool, ServeError> {
+        let io_err = |e: std::io::Error| ServeError::Io {
+            path: self.path.display().to_string(),
+            message: e.to_string(),
+        };
+        let mut w = self.writer.lock().map_err(|_| ServeError::LockPoisoned {
+            what: "journal writer".to_string(),
+        })?;
+        w.flush().map_err(io_err)?;
+        w.get_ref().sync_all().map_err(io_err)?;
+        let header = serde_json::to_string(&JournalLine::Header {
+            version: JOURNAL_VERSION,
+            base_seq,
+        })
+        .map_err(|e| ServeError::Malformed {
+            message: e.to_string(),
+        })?;
+        let tmp = sibling(&self.path, ".tmp");
+        {
+            let mut f = File::create(&tmp).map_err(io_err)?;
+            writeln!(f, "{header}").map_err(io_err)?;
+            f.sync_all().map_err(io_err)?;
+        }
+        if crash == CrashPoint::BeforeJournalRename {
+            return Ok(false);
+        }
+        std::fs::rename(&tmp, &self.path).map_err(io_err)?;
+        sync_dir(&self.path);
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(io_err)?;
+        *w = BufWriter::new(file);
+        Ok(true)
     }
 }
 
-/// Read every parseable record from a journal file. A missing file is an
-/// empty journal (first start); malformed lines are counted, not fatal.
-pub fn read(path: impl AsRef<Path>) -> Result<(Vec<JournalRecord>, u64), ServeError> {
-    let path = path.as_ref();
-    let file = match File::open(path) {
-        Ok(f) => f,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+/// One GPU's exported online state inside a checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointGpu {
+    /// GPU name (matches the artifact's GPU set).
+    pub gpu: String,
+    /// The full online selector state (centroids, labels, staleness).
+    pub state: OnlineStateData,
+}
+
+/// A compacted snapshot of the engine's entire online state: everything
+/// the journal said up to `last_seq`, folded into per-GPU selector state.
+/// Startup installs the checkpoint and replays only the journal tail
+/// (records with `seq > last_seq`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Checkpoint format version ([`CHECKPOINT_VERSION`]).
+    pub checkpoint_version: u32,
+    /// Training-context digest of the artifact this state extends; a
+    /// checkpoint from a different artifact is ignored at startup.
+    pub context_digest: String,
+    /// Highest journal sequence number folded into this state.
+    pub last_seq: u64,
+    /// Per-GPU online state, artifact GPU order.
+    pub gpus: Vec<CheckpointGpu>,
+}
+
+/// Where a journal's checkpoint sibling lives
+/// (`<journal>.checkpoint`).
+pub fn checkpoint_path(journal: &Path) -> PathBuf {
+    sibling(journal, ".checkpoint")
+}
+
+/// `path` with `suffix` appended to its file name.
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    path.with_file_name(format!("{name}{suffix}"))
+}
+
+/// Best-effort directory fsync so a rename is durable, not just ordered.
+fn sync_dir(path: &Path) {
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+/// Write a checkpoint durably: serialized to a sibling temp file,
+/// fsynced, then atomically renamed into place (a reader can only ever
+/// observe the old complete checkpoint or the new complete one, never a
+/// prefix). Returns `false` when `crash` stopped the write before the
+/// rename — the temp file is left behind, exactly as a real kill -9
+/// would, and is ignored by every reader.
+pub fn write_checkpoint(
+    path: &Path,
+    checkpoint: &Checkpoint,
+    crash: CrashPoint,
+) -> Result<bool, ServeError> {
+    let io_err = |e: std::io::Error| ServeError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    };
+    let json = serde_json::to_string(checkpoint).map_err(|e| ServeError::Malformed {
+        message: e.to_string(),
+    })?;
+    let tmp = sibling(path, ".tmp");
+    {
+        let mut f = File::create(&tmp).map_err(io_err)?;
+        f.write_all(json.as_bytes()).map_err(io_err)?;
+        f.sync_all().map_err(io_err)?;
+    }
+    if crash == CrashPoint::BeforeCheckpointRename {
+        return Ok(false);
+    }
+    std::fs::rename(&tmp, path).map_err(io_err)?;
+    sync_dir(path);
+    Ok(true)
+}
+
+/// Load a checkpoint file. A missing file is `None` (no compaction has
+/// happened yet); an unreadable or version-incompatible one is an error
+/// the caller downgrades to "start from the artifact".
+pub fn load_checkpoint(path: &Path) -> Result<Option<Checkpoint>, ServeError> {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(r) => r,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => {
             return Err(ServeError::Io {
                 path: path.display().to_string(),
@@ -88,27 +511,30 @@ pub fn read(path: impl AsRef<Path>) -> Result<(Vec<JournalRecord>, u64), ServeEr
             })
         }
     };
-    let mut records = Vec::new();
-    let mut malformed = 0u64;
-    for line in BufReader::new(file).lines() {
-        let line = line.map_err(|e| ServeError::Io {
-            path: path.display().to_string(),
-            message: e.to_string(),
-        })?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        match serde_json::from_str::<JournalRecord>(&line) {
-            Ok(r) => records.push(r),
-            Err(_) => malformed += 1,
-        }
+    parse_checkpoint(&raw).map(Some)
+}
+
+/// Parse checkpoint JSON (the same bytes [`write_checkpoint`] produced,
+/// or the payload of a `Sync` reply), validating the format version.
+pub fn parse_checkpoint(raw: &str) -> Result<Checkpoint, ServeError> {
+    let checkpoint: Checkpoint = serde_json::from_str(raw).map_err(|e| ServeError::Malformed {
+        message: format!("unreadable checkpoint: {e}"),
+    })?;
+    if checkpoint.checkpoint_version != CHECKPOINT_VERSION {
+        return Err(ServeError::Malformed {
+            message: format!(
+                "unsupported checkpoint version {} (this build reads {})",
+                checkpoint.checkpoint_version, CHECKPOINT_VERSION
+            ),
+        });
     }
-    Ok((records, malformed))
+    Ok(checkpoint)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spsel_ml::cluster::online::OnlineKMeans;
 
     fn record(cluster: usize) -> JournalRecord {
         JournalRecord {
@@ -118,11 +544,15 @@ mod tests {
         }
     }
 
-    #[test]
-    fn appends_accumulate_and_read_back_in_order() {
+    fn temp_path(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("spsel-journal-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("model.spsel.journal");
+        dir.join(format!("{tag}.journal"))
+    }
+
+    #[test]
+    fn appends_accumulate_and_read_back_in_order() {
+        let path = temp_path("order");
         let _ = std::fs::remove_file(&path);
 
         let journal = FeedbackJournal::open(&path).unwrap();
@@ -156,5 +586,127 @@ mod tests {
         assert_eq!(records[0].cluster, 1);
         assert_eq!(malformed, 1, "the torn tail is skipped, not fatal");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v2_header_and_sequence_numbers_survive_reopen() {
+        let path = temp_path("seq");
+        let _ = std::fs::remove_file(&path);
+
+        let journal = FeedbackJournal::open(&path).unwrap();
+        assert_eq!(journal.next_seq(), 1, "fresh journal starts at seq 1");
+        let s1 = journal.append_observe("Pascal", &[1.0, 2.5]).unwrap();
+        let s2 = journal.append_feedback("Pascal", 3, "ELL").unwrap();
+        assert_eq!((s1, s2), (1, 2));
+        drop(journal);
+
+        let journal = FeedbackJournal::open(&path).unwrap();
+        assert_eq!(
+            journal.append_observe("Volta", &[0.5]).unwrap(),
+            3,
+            "numbering continues monotonically across reopen"
+        );
+        drop(journal);
+
+        let scan = read_journal(&path).unwrap();
+        assert_eq!(scan.malformed, 0);
+        assert_eq!(scan.last_seq, 3);
+        assert!(!scan.unterminated);
+        let seqs: Vec<u64> = scan.entries.iter().map(|e| e.seq()).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        // The file leads with a v2 header.
+        let first = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .to_string();
+        match parse_line(&first, 0) {
+            Some(JournalLine::Header { version, base_seq }) => {
+                assert_eq!((version, base_seq), (JOURNAL_VERSION, 0));
+            }
+            other => panic!("expected header, parsed {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn opening_a_torn_tail_seals_it_and_replay_skips_one_line() {
+        let path = temp_path("seal");
+        std::fs::write(
+            &path,
+            "{\"Feedback\":{\"seq\":1,\"gpu\":\"Volta\",\"cluster\":0,\"best\":\"CSR\"}}\n{\"Obse",
+        )
+        .unwrap();
+        let journal = FeedbackJournal::open(&path).unwrap();
+        assert_eq!(journal.next_seq(), 2);
+        journal.append_feedback("Volta", 1, "ELL").unwrap();
+        drop(journal);
+
+        let scan = read_journal(&path).unwrap();
+        assert_eq!(scan.malformed, 1, "the sealed torn tail is one bad line");
+        let seqs: Vec<u64> = scan.entries.iter().map(|e| e.seq()).collect();
+        assert_eq!(seqs, vec![1, 2], "the append after sealing parses cleanly");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rotation_is_atomic_and_numbering_continues() {
+        let path = temp_path("rotate");
+        let _ = std::fs::remove_file(&path);
+        let journal = FeedbackJournal::open(&path).unwrap();
+        for c in 0..3 {
+            journal.append_feedback("Pascal", c, "ELL").unwrap();
+        }
+
+        // A crash before the rename leaves the old journal fully intact.
+        assert!(!journal.rotate(3, CrashPoint::BeforeJournalRename).unwrap());
+        let scan = read_journal(&path).unwrap();
+        assert_eq!(scan.entries.len(), 3);
+
+        assert!(journal.rotate(3, CrashPoint::None).unwrap());
+        let scan = read_journal(&path).unwrap();
+        assert!(scan.entries.is_empty(), "rotation leaves only the header");
+        assert_eq!(scan.last_seq, 3, "the header carries the compacted seq");
+        assert_eq!(journal.append_feedback("Pascal", 9, "COO").unwrap(), 4);
+        let scan = read_journal(&path).unwrap();
+        assert_eq!(scan.entries.len(), 1);
+        assert_eq!(scan.last_seq, 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_writes_are_atomic_under_crash() {
+        let path = temp_path("ckpt");
+        let ckpt_path = checkpoint_path(&path);
+        let _ = std::fs::remove_file(&ckpt_path);
+        assert_eq!(load_checkpoint(&ckpt_path).unwrap(), None);
+
+        let make = |last_seq: u64| Checkpoint {
+            checkpoint_version: CHECKPOINT_VERSION,
+            context_digest: "digest-a".into(),
+            last_seq,
+            gpus: vec![CheckpointGpu {
+                gpu: "Pascal".into(),
+                state: OnlineStateData {
+                    clusters: OnlineKMeans::new(0.5, 8),
+                    labels: Vec::new(),
+                    unlabeled_observations: Vec::new(),
+                },
+            }],
+        };
+        assert!(write_checkpoint(&ckpt_path, &make(5), CrashPoint::None).unwrap());
+        assert_eq!(load_checkpoint(&ckpt_path).unwrap().unwrap().last_seq, 5);
+
+        // Crashing before the rename leaves the old checkpoint visible
+        // and valid; the temp file is ignored.
+        assert!(
+            !write_checkpoint(&ckpt_path, &make(9), CrashPoint::BeforeCheckpointRename).unwrap()
+        );
+        assert_eq!(load_checkpoint(&ckpt_path).unwrap().unwrap().last_seq, 5);
+
+        assert!(write_checkpoint(&ckpt_path, &make(9), CrashPoint::None).unwrap());
+        assert_eq!(load_checkpoint(&ckpt_path).unwrap().unwrap().last_seq, 9);
+        std::fs::remove_file(&ckpt_path).unwrap();
     }
 }

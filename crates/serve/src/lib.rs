@@ -25,8 +25,14 @@
 //! * [`metrics`] — lock-free serving counters (latency quantiles from a
 //!   monotonic clock, lock-contention and snapshot-swap counts) surfaced
 //!   through the `stats` request and the run-report JSON.
-//! * [`journal`] — an append-only JSONL feedback journal replayed at
-//!   startup, so labels learned online survive a daemon restart.
+//! * [`journal`] — an append-only, sequence-numbered JSONL journal of
+//!   every online mutation (cluster-opening observes *and* feedback
+//!   labels), replayed at startup so a restarted daemon is
+//!   state-identical to the one that died. Past a record threshold the
+//!   journal compacts into an atomic checkpoint of the online state plus
+//!   a short tail; torn tails from a mid-write crash are sealed and
+//!   counted, never fatal. The same machinery powers zero-downtime
+//!   artifact hot-swap (`Swap`) and replica catch-up (`Sync`).
 //!
 //! The daemon binary is `spsel-serve`; the artifact CLI is `spsel`
 //! (`train`, `inspect`, `request`); `loadgen` in the bench crate drives
@@ -45,10 +51,16 @@ pub mod server;
 
 pub use artifact::{feature_pipeline_digest, ModelArtifact, TrainConfig, ARTIFACT_VERSION};
 pub use client::{Client, Protocol};
-pub use engine::{Engine, EngineOptions};
+pub use engine::{Engine, EngineOptions, JournalConfig};
 pub use error::{ErrorEnvelope, ServeError};
 pub use framing::{FrameBuffer, MAGIC, MAX_FRAME};
-pub use journal::{FeedbackJournal, JournalRecord};
+pub use journal::{
+    checkpoint_path, load_checkpoint, parse_checkpoint, parse_line, read_journal, write_checkpoint,
+    Checkpoint, CheckpointGpu, CrashPoint, FeedbackJournal, JournalLine, JournalRecord,
+    JournalScan, CHECKPOINT_VERSION, JOURNAL_VERSION,
+};
 pub use metrics::ServeMetrics;
-pub use protocol::{Request, Response, SelectBody, SelectReply};
+pub use protocol::{
+    LifecycleStats, Request, Response, SelectBody, SelectReply, SwapReply, SyncReply,
+};
 pub use server::{ServeOptions, Server};

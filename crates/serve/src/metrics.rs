@@ -40,6 +40,8 @@ pub struct ServeMetrics {
     connections_open: AtomicU64,
     peak_connections: AtomicU64,
     binary_requests: AtomicU64,
+    swap_requests: AtomicU64,
+    sync_requests: AtomicU64,
 }
 
 fn bump(c: &AtomicU64) {
@@ -70,6 +72,8 @@ impl Default for ServeMetrics {
             connections_open: AtomicU64::new(0),
             peak_connections: AtomicU64::new(0),
             binary_requests: AtomicU64::new(0),
+            swap_requests: AtomicU64::new(0),
+            sync_requests: AtomicU64::new(0),
         }
     }
 }
@@ -172,6 +176,16 @@ impl ServeMetrics {
         bump(&self.binary_requests);
     }
 
+    /// Count one artifact hot-swap request (success or failure).
+    pub fn swap_request(&self) {
+        bump(&self.swap_requests);
+    }
+
+    /// Count one replica catch-up (`sync`) request.
+    pub fn sync_request(&self) {
+        bump(&self.sync_requests);
+    }
+
     /// Record one request's wall-clock latency.
     pub fn record_latency(&self, elapsed: Duration) {
         let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
@@ -229,8 +243,10 @@ impl ServeMetrics {
             connections_rejected: load(&self.connections_rejected),
             peak_connections: load(&self.peak_connections),
             binary_requests: load(&self.binary_requests),
-            // Contention and journal counters live with the engine; it
-            // merges them in `Engine::serving_report`.
+            swap_requests: load(&self.swap_requests),
+            sync_requests: load(&self.sync_requests),
+            // Contention, journal, and lifecycle counters live with the
+            // engine; it merges them in `Engine::serving_report`.
             ..ServingReport::default()
         }
     }

@@ -73,6 +73,27 @@ pub enum Request {
     },
     /// Fetch the serving counters and per-GPU online-clustering state.
     Stats,
+    /// Hot-swap the serving model: load and digest-validate a retrained
+    /// artifact, rebase the journal tail onto it, and publish it
+    /// atomically — in-flight requests finish against the old model,
+    /// nothing is dropped.
+    Swap {
+        /// Path to the retrained artifact, readable by the server
+        /// process.
+        path: String,
+        /// Expected training-context digest; the swap is rejected when
+        /// the artifact's digest differs. Omit to accept any valid
+        /// artifact.
+        expected_digest: Option<String>,
+    },
+    /// Replica catch-up: stream the checkpoint (when the caller is
+    /// behind it) plus every journal record past `from_seq`, so a
+    /// follower converges on the leader's online state.
+    Sync {
+        /// Highest sequence number the caller has already applied
+        /// (0 for a cold follower).
+        from_seq: u64,
+    },
     /// Gracefully stop the daemon after answering this request.
     Shutdown,
 }
@@ -180,6 +201,37 @@ pub struct GpuStats {
     pub shard_imbalance: f64,
 }
 
+/// Model-lifecycle state in a stats reply: where the journal, the
+/// checkpoint, and the serving model stand — replay and compaction
+/// health without reading logs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleStats {
+    /// Whether a journal is attached (mutations are durable).
+    pub journal_attached: bool,
+    /// Highest journal sequence number assigned or seen.
+    pub last_seq: u64,
+    /// Highest sequence number this engine has applied (equals
+    /// `last_seq` on a leader; trails it on a catching-up follower).
+    pub applied_seq: u64,
+    /// Highest sequence number folded into the checkpoint (0 before the
+    /// first compaction).
+    pub checkpoint_seq: u64,
+    /// Journal records accumulated since the last checkpoint — the tail
+    /// a restart would replay.
+    pub records_since_checkpoint: u64,
+    /// Current journal file size in bytes.
+    pub journal_bytes: u64,
+    /// Training-context digest of the serving model.
+    pub context_digest: String,
+    /// Context digest the last hot-swap published, absent before any
+    /// swap.
+    pub last_swap_digest: Option<String>,
+    /// Hot-swaps published since startup.
+    pub swaps: u64,
+    /// Journal compactions completed since startup.
+    pub compactions: u64,
+}
+
 /// Answer to a stats request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsReply {
@@ -191,6 +243,45 @@ pub struct StatsReply {
     pub gpus: Vec<GpuStats>,
     /// Serving counters since startup.
     pub serving: ServingReport,
+    /// Journal/checkpoint/swap lifecycle state.
+    pub lifecycle: LifecycleStats,
+}
+
+/// Answer to a hot-swap request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwapReply {
+    /// Serialization version of the artifact now serving.
+    pub artifact_version: u32,
+    /// Training-context digest of the artifact now serving.
+    pub context_digest: String,
+    /// Digest of the model that was replaced.
+    pub previous_digest: String,
+    /// GPUs in the new model.
+    pub gpus: usize,
+    /// Journal-tail records rebased onto the new model before it was
+    /// published.
+    pub rebased: u64,
+    /// Checkpoint position after the swap's compaction (unchanged when
+    /// no journal is attached).
+    pub checkpoint_seq: u64,
+}
+
+/// Answer to a sync request: what the follower is missing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncReply {
+    /// Leader's highest journal sequence number.
+    pub last_seq: u64,
+    /// Sequence the leader's checkpoint covers.
+    pub checkpoint_seq: u64,
+    /// Leader's training-context digest — a follower rejects state from
+    /// a different context.
+    pub context_digest: String,
+    /// The checkpoint file, verbatim, when `from_seq` is behind it;
+    /// absent when the follower only needs tail records.
+    pub checkpoint: Option<String>,
+    /// Journal records past `max(from_seq, checkpoint_seq)`, canonical
+    /// v2 lines in sequence order.
+    pub records: Vec<String>,
 }
 
 /// Answer to a shutdown request.
@@ -216,6 +307,10 @@ pub struct Response {
     pub feedback: Option<FeedbackReply>,
     /// Populated for `Stats` requests.
     pub stats: Option<StatsReply>,
+    /// Populated for `Swap` requests.
+    pub swap: Option<SwapReply>,
+    /// Populated for `Sync` requests.
+    pub sync: Option<SyncReply>,
     /// Populated for `Shutdown` requests.
     pub shutdown: Option<ShutdownReply>,
 }
@@ -229,6 +324,8 @@ impl Response {
             batch: None,
             feedback: None,
             stats: None,
+            swap: None,
+            sync: None,
             shutdown: None,
         }
     }
@@ -270,6 +367,22 @@ impl Response {
     pub fn of_stats(reply: StatsReply) -> Self {
         Response {
             stats: Some(reply),
+            ..Response::empty(true)
+        }
+    }
+
+    /// Hot-swap response.
+    pub fn of_swap(reply: SwapReply) -> Self {
+        Response {
+            swap: Some(reply),
+            ..Response::empty(true)
+        }
+    }
+
+    /// Sync (replica catch-up) response.
+    pub fn of_sync(reply: SyncReply) -> Self {
+        Response {
+            sync: Some(reply),
             ..Response::empty(true)
         }
     }
@@ -334,6 +447,11 @@ mod tests {
                 best: "HYB".into(),
             },
             Request::Stats,
+            Request::Swap {
+                path: "retrained.spsel".into(),
+                expected_digest: Some("abc123".into()),
+            },
+            Request::Sync { from_seq: 42 },
             Request::Shutdown,
         ];
         for r in reqs {

@@ -178,6 +178,8 @@ fn reject_connection(mut stream: TcpStream, max_connections: usize) {
         batch: None,
         feedback: None,
         stats: None,
+        swap: None,
+        sync: None,
         shutdown: None,
     };
     let payload = serde_json::to_string(&response).expect("response serializes");
@@ -283,6 +285,29 @@ pub fn handle_request(
             }
         },
         Request::Stats => (Response::of_stats(engine.stats()), false),
+        Request::Swap {
+            path,
+            expected_digest,
+        } => {
+            metrics.swap_request();
+            match engine.swap(path, expected_digest.as_deref()) {
+                Ok(reply) => (Response::of_swap(reply), false),
+                Err(e) => {
+                    metrics.error();
+                    (Response::from_error(&e), false)
+                }
+            }
+        }
+        Request::Sync { from_seq } => {
+            metrics.sync_request();
+            match engine.sync(*from_seq) {
+                Ok(reply) => (Response::of_sync(reply), false),
+                Err(e) => {
+                    metrics.error();
+                    (Response::from_error(&e), false)
+                }
+            }
+        }
         Request::Shutdown => (Response::of_shutdown(), true),
     }
 }

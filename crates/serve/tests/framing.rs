@@ -19,8 +19,8 @@ use spsel_matrix::{gen, CsrMatrix};
 use spsel_serve::artifact::{self, TrainConfig};
 use spsel_serve::framing::{self, FrameBuffer};
 use spsel_serve::protocol::{
-    FeedbackReply, FormatTime, GpuStats, Request, Response, SelectBody, SelectReply, ShutdownReply,
-    StatsReply,
+    FeedbackReply, FormatTime, GpuStats, LifecycleStats, Request, Response, SelectBody,
+    SelectReply, ShutdownReply, StatsReply, SwapReply, SyncReply,
 };
 use spsel_serve::{Client, Engine, EngineOptions, ErrorEnvelope, ServeOptions, Server};
 use std::sync::Arc;
@@ -160,6 +160,31 @@ fn report_from(pool: &[u64]) -> ServingReport {
         connections_rejected: pool[26],
         peak_connections: pool[27],
         binary_requests: pool[28],
+        observes_journaled: pool[29],
+        observes_replayed: pool[30],
+        torn_tails: pool[31],
+        compactions: pool[32],
+        swaps: pool[33],
+        swap_requests: pool[34],
+        sync_requests: pool[35],
+        sync_records_sent: pool[36],
+        sync_bytes_sent: pool[37],
+        sync_records_applied: pool[38],
+    }
+}
+
+fn lifecycle_from(pool: &[u64]) -> LifecycleStats {
+    LifecycleStats {
+        journal_attached: pool[20] & 1 != 0,
+        last_seq: pool[21],
+        applied_seq: pool[22],
+        checkpoint_seq: pool[23],
+        records_since_checkpoint: pool[24],
+        journal_bytes: pool[25],
+        context_digest: format!("{:016x}", pool[26]),
+        last_swap_digest: (pool[27] & 1 != 0).then(|| format!("{:016x}", pool[27])),
+        swaps: pool[28],
+        compactions: pool[29],
     }
 }
 
@@ -189,7 +214,7 @@ fn select_reply_from(pool: &[u64]) -> SelectReply {
 /// Every response variant, floats by bit pattern, batches nested one
 /// level (the wire cap is depth 2: a batch of non-batch responses).
 fn arb_response() -> impl Strategy<Value = Response> {
-    (collection::vec(0u64..u64::MAX, 40usize), 0u8..6).prop_map(|(pool, variant)| {
+    (collection::vec(0u64..u64::MAX, 40usize), 0u8..8).prop_map(|(pool, variant)| {
         let error = Response {
             ok: false,
             error: Some(ErrorEnvelope {
@@ -200,6 +225,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
             batch: None,
             feedback: None,
             stats: None,
+            swap: None,
+            sync: None,
             shutdown: None,
         };
         match variant {
@@ -240,6 +267,25 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     })
                     .collect(),
                 serving: report_from(&pool),
+                lifecycle: lifecycle_from(&pool),
+            }),
+            5 => Response::of_swap(SwapReply {
+                artifact_version: pool[0] as u32,
+                context_digest: format!("{:016x}", pool[1]),
+                previous_digest: format!("{:016x}", pool[2]),
+                gpus: pool[3] as usize % 8,
+                rebased: pool[4],
+                checkpoint_seq: pool[5],
+            }),
+            6 => Response::of_sync(SyncReply {
+                last_seq: pool[6],
+                checkpoint_seq: pool[7],
+                context_digest: format!("{:016x}", pool[8]),
+                checkpoint: (pool[9] & 1 != 0)
+                    .then(|| format!("{{\"checkpoint_version\":1,\"pad\":\"{:x}\"}}", pool[10])),
+                records: (0..pool[11] % 4)
+                    .map(|i| format!("{{\"Feedback\":{{\"seq\":{}}}}}", pool[12].wrapping_add(i)))
+                    .collect(),
             }),
             _ => Response {
                 shutdown: Some(ShutdownReply {
@@ -251,6 +297,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 batch: None,
                 feedback: None,
                 stats: None,
+                swap: None,
+                sync: None,
             },
         }
     })

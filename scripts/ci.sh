@@ -31,6 +31,20 @@ echo "==> fault-injection smoke (table binaries under 5% faults)"
 cargo build -q --release --offline -p spsel-bench --bin table2 --bin table3
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+# Start a daemon in the background, wait for its listening line, and
+# export SERVE_PID / ADDR. Usage: spawn_daemon OUTFILE [daemon args...]
+spawn_daemon() {
+    local out=$1
+    shift
+    ./target/release/spsel-serve "$@" > "$out" 2>/dev/null &
+    SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        grep -q 'listening on' "$out" && break
+        sleep 0.1
+    done
+    ADDR="$(awk '/listening on/ {print $3}' "$out")"
+}
 # table2 is static but must still accept and survive the fault flags.
 ./target/release/table2 --faults 0.05 >/dev/null
 # table3 benchmarks a small corpus under faults: it must exit 0 and its
@@ -226,5 +240,74 @@ grep -q ' 0 failed' "$SMOKE_DIR/loadgen-soak.txt"
 grep -q '"connections": *256' "$SMOKE_DIR/BENCH_soak.json"
 grep -q '"protocol": *"binary"' "$SMOKE_DIR/BENCH_soak.json"
 grep -q '"shed": *0' "$SMOKE_DIR/BENCH_soak.json"
+
+echo "==> crash-recovery smoke (kill -9 mid-soak, restart, probe vs uninterrupted control)"
+# Two daemons get identical traffic: five learning selects (each opens or
+# joins an online cluster and journals an Observe) and one feedback.
+# --checkpoint-every 4 forces a compaction mid-traffic, so the restart
+# exercises checkpoint load *plus* journal-tail replay. The first daemon
+# is kill -9ed (no clean shutdown, no flush opportunity); its
+# post-restart read-only probe must be byte-identical to the probe of
+# the control daemon that was never interrupted.
+LEARN_REQ="{\"Select\":{\"matrix\":\"$SMOKE_DIR/smoke.mtx\",\"features\":null,\"gpu\":\"pascal\",\"iterations\":500,\"deadline_ms\":null,\"learn\":true}}"
+PROBE_REQ="{\"Select\":{\"matrix\":\"$SMOKE_DIR/smoke.mtx\",\"features\":null,\"gpu\":\"pascal\",\"iterations\":500,\"deadline_ms\":null,\"learn\":false}}"
+FB_REQ='{"Feedback":{"gpu":"pascal","cluster":0,"best":"ell"}}'
+spawn_daemon "$SMOKE_DIR/crash1.out" --model "$SMOKE_DIR/model.spsel" \
+    --journal "$SMOKE_DIR/crash.journal" --checkpoint-every 4
+for _ in 1 2 3 4 5; do
+    ./target/release/spsel request "$ADDR" "$LEARN_REQ" >/dev/null
+done
+./target/release/spsel request "$ADDR" "$FB_REQ" >/dev/null
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+# The mid-traffic compaction must have left an atomic checkpoint behind.
+test -s "$SMOKE_DIR/crash.journal.checkpoint"
+spawn_daemon "$SMOKE_DIR/crash2.out" --model "$SMOKE_DIR/model.spsel" \
+    --journal "$SMOKE_DIR/crash.journal" --checkpoint-every 4
+./target/release/spsel request "$ADDR" "$PROBE_REQ" > "$SMOKE_DIR/crash-probe.json"
+./target/release/spsel request "$ADDR" '"Stats"' > "$SMOKE_DIR/crash-stats.json"
+# Lifecycle state must be visible in the stats reply: the checkpoint
+# covers the first 4 records, the journal tail carries the other 2.
+grep -q '"journal_attached":true' "$SMOKE_DIR/crash-stats.json"
+grep -q '"checkpoint_seq":4' "$SMOKE_DIR/crash-stats.json"
+grep -q '"last_seq":6' "$SMOKE_DIR/crash-stats.json"
+./target/release/spsel request "$ADDR" '"Shutdown"' >/dev/null
+wait "$SERVE_PID"
+# Control: same flags, same traffic, never killed.
+spawn_daemon "$SMOKE_DIR/control.out" --model "$SMOKE_DIR/model.spsel" \
+    --journal "$SMOKE_DIR/control.journal" --checkpoint-every 4
+for _ in 1 2 3 4 5; do
+    ./target/release/spsel request "$ADDR" "$LEARN_REQ" >/dev/null
+done
+./target/release/spsel request "$ADDR" "$FB_REQ" >/dev/null
+./target/release/spsel request "$ADDR" "$PROBE_REQ" > "$SMOKE_DIR/control-probe.json"
+./target/release/spsel request "$ADDR" '"Shutdown"' >/dev/null
+wait "$SERVE_PID"
+cmp "$SMOKE_DIR/crash-probe.json" "$SMOKE_DIR/control-probe.json"
+
+echo "==> replica catch-up smoke (two processes, follower converges via sync)"
+# A leader accumulates online state; a --follow replica must catch up
+# before it binds and answer read-only probes byte-identically.
+spawn_daemon "$SMOKE_DIR/leader.out" --model "$SMOKE_DIR/model.spsel" \
+    --journal "$SMOKE_DIR/leader.journal"
+LEADER_PID=$SERVE_PID
+LEADER_ADDR=$ADDR
+for _ in 1 2 3; do
+    ./target/release/spsel request "$LEADER_ADDR" "$LEARN_REQ" >/dev/null
+done
+./target/release/spsel request "$LEADER_ADDR" "$FB_REQ" >/dev/null
+spawn_daemon "$SMOKE_DIR/follower.out" --model "$SMOKE_DIR/model.spsel" \
+    --follow "$LEADER_ADDR"
+./target/release/spsel request "$LEADER_ADDR" "$PROBE_REQ" > "$SMOKE_DIR/leader-probe.json"
+./target/release/spsel request "$ADDR" "$PROBE_REQ" > "$SMOKE_DIR/follower-probe.json"
+cmp "$SMOKE_DIR/leader-probe.json" "$SMOKE_DIR/follower-probe.json"
+./target/release/spsel request "$ADDR" '"Stats"' > "$SMOKE_DIR/follower-stats.json"
+grep -q '"sync_records_applied":[1-9]' "$SMOKE_DIR/follower-stats.json"
+./target/release/spsel request "$LEADER_ADDR" '"Stats"' > "$SMOKE_DIR/leader-stats.json"
+grep -q '"sync_requests":[1-9]' "$SMOKE_DIR/leader-stats.json"
+./target/release/spsel request "$ADDR" '"Shutdown"' >/dev/null
+wait "$SERVE_PID"
+./target/release/spsel request "$LEADER_ADDR" '"Shutdown"' >/dev/null
+wait "$LEADER_PID"
 
 echo "CI green."
