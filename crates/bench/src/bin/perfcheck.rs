@@ -17,18 +17,30 @@
 //! time, the presorted-vs-naive split-search speedup for the tree family,
 //! and a cold/warm demonstration of the per-table experiment cache (a
 //! warm Table 4 rerun must be served entirely from disk).
+//!
+//! Finally it profiles the serving decision path: the single-pass
+//! `FeatureExtractor` against the legacy multi-pass `MatrixStats` walk,
+//! the per-phase (embed / assign / label) nanosecond budget of a
+//! steady-state `learn: false` select, and an Elafrou-style per-feature
+//! cost table attributing each Table 1 feature to the extractor pass
+//! that pays for it.
 
 use spsel_bench::HarnessOptions;
 use spsel_core::cache::Cache;
 use spsel_core::experiments::{table4, ExperimentContext};
+use spsel_core::semi::{ClusterMethod, Labeler, SemiConfig};
 use spsel_core::telemetry::RunReport;
+use spsel_core::{SemiSupervisedSelector, ShardedOnlineSelector};
+use spsel_features::stats::WARP_ROWS;
+use spsel_features::{FeatureExtractor, FeatureId, FeatureVector, MatrixStats};
 use spsel_gpusim::Gpu;
-use spsel_matrix::Format;
+use spsel_matrix::{gen, CsrMatrix, Format, SpMv};
 use spsel_ml::forest::{RandomForest, RandomForestParams};
 use spsel_ml::gboost::{GradientBoosting, GradientBoostingParams};
 use spsel_ml::knn::KnnClassifier;
 use spsel_ml::tree::{DecisionTree, DecisionTreeParams};
 use spsel_ml::{Classifier, Dataset};
+use std::hint::black_box;
 use std::time::Instant;
 
 /// Milliseconds of the fastest of three runs of `f` (best-of-n damps
@@ -228,6 +240,243 @@ fn main() {
         experiment_cache.speedup, exp_report.experiment_hits, exp_report.experiment_misses
     );
 
+    // 6. Decision path: the steady-state `learn: false` select budget,
+    //    stage by stage. The probe sweep mixes the corpus families at
+    //    serving-typical sizes; every number is the best of three full
+    //    sweeps (same scheduler-noise damping as `time_ms`).
+    let probes: Vec<CsrMatrix> = (0..12u64)
+        .flat_map(|s| {
+            [
+                CsrMatrix::from(&gen::stencil2d(24 + s as usize % 8, s)),
+                CsrMatrix::from(&gen::banded(600 + s as usize * 13, 5, 0.8, s)),
+                CsrMatrix::from(&gen::power_law(700 + s as usize * 11, 700, 2, 2.2, 300, s)),
+                CsrMatrix::from(&gen::row_skewed(500 + s as usize * 7, 900, 2, 80, 0.1, s)),
+            ]
+        })
+        .collect();
+    let n_probes = probes.len() as f64;
+    let probe_nnz: usize = probes.iter().map(|m| m.nnz()).sum();
+
+    // Single-pass extractor vs the retained multi-pass path (the two are
+    // bit-identical; the property suite proves it, this measures it).
+    let legacy_ms = time_ms(|| {
+        for csr in &probes {
+            black_box(MatrixStats::from_csr(csr));
+        }
+    });
+    let mut extractor = FeatureExtractor::new();
+    for csr in &probes {
+        extractor.stats(csr); // size the scratch before timing
+    }
+    let single_ms = time_ms(|| {
+        for csr in &probes {
+            black_box(extractor.stats(csr));
+        }
+    });
+    let extract_speedup = legacy_ms / single_ms;
+    let extract_ns = single_ms * 1e6 / n_probes;
+
+    // Per-pass kernels mirroring the extractor's three walks, timed over
+    // the same sweep with pre-sized epoch-stamped scratch. These are
+    // attribution weights for the feature table, not a second source of
+    // truth: their sum tracks the single-pass total.
+    let mut hist = Vec::new();
+    let mut hist_epoch: Vec<u32> = Vec::new();
+    let mut epoch = 0u32;
+    let walk1_ms = time_ms(|| {
+        for csr in &probes {
+            epoch += 1;
+            let row_ptr = csr.row_ptr();
+            let (mut nnz, mut lo, mut hi) = (0usize, usize::MAX, 0usize);
+            let (mut csr_max, mut warp) = (0usize, 0usize);
+            for r in 0..csr.nrows() {
+                let c = row_ptr[r + 1] - row_ptr[r];
+                nnz += c;
+                lo = lo.min(c);
+                hi = hi.max(c);
+                warp += c;
+                if (r + 1) % WARP_ROWS == 0 {
+                    csr_max = csr_max.max(warp);
+                    warp = 0;
+                }
+                if hist.len() <= c {
+                    hist.resize(c + 1, 0usize);
+                    hist_epoch.resize(c + 1, 0);
+                }
+                if hist_epoch[c] == epoch {
+                    hist[c] += 1;
+                } else {
+                    hist[c] = 1;
+                    hist_epoch[c] = epoch;
+                }
+            }
+            black_box((nnz, lo, hi, csr_max.max(warp)));
+        }
+    });
+    struct ProbePrep {
+        counts: Vec<usize>,
+        mean: f64,
+        width: usize,
+    }
+    let preps: Vec<ProbePrep> = probes
+        .iter()
+        .map(|m| {
+            let s = MatrixStats::from_csr(m);
+            ProbePrep {
+                counts: m.row_counts(),
+                mean: s.nnz_mean,
+                width: s.hyb_ell_width,
+            }
+        })
+        .collect();
+    let walk2_ms = time_ms(|| {
+        for p in &preps {
+            let (mut var, mut low, mut low_n) = (0.0f64, 0.0f64, 0usize);
+            let (mut high, mut high_n, mut ell_nnz) = (0.0f64, 0usize, 0usize);
+            for &c in &p.counts {
+                let d = c as f64 - p.mean;
+                var += d * d;
+                if d < 0.0 {
+                    low += d * d;
+                    low_n += 1;
+                } else if d > 0.0 {
+                    high += d * d;
+                    high_n += 1;
+                }
+                ell_nnz += c.min(p.width);
+            }
+            black_box((var, low, low_n, high, high_n, ell_nnz));
+        }
+    });
+    let mut diag_epoch: Vec<u32> = Vec::new();
+    let mut depoch = 0u32;
+    let walk3_ms = time_ms(|| {
+        for csr in &probes {
+            depoch += 1;
+            let (nrows, ncols) = (csr.nrows(), csr.ncols());
+            if nrows == 0 || ncols == 0 {
+                continue;
+            }
+            let offsets = nrows + ncols - 1;
+            if diag_epoch.len() < offsets {
+                diag_epoch.resize(offsets, 0);
+            }
+            let row_ptr = csr.row_ptr();
+            let col_idx = csr.col_idx();
+            let mut diagonals = 0usize;
+            for r in 0..nrows {
+                for &c in &col_idx[row_ptr[r]..row_ptr[r + 1]] {
+                    let idx = c as usize + nrows - 1 - r;
+                    if diag_epoch[idx] != depoch {
+                        diag_epoch[idx] = depoch;
+                        diagonals += 1;
+                    }
+                }
+            }
+            black_box(diagonals);
+        }
+    });
+    let pass_cost = |pass: &str| -> f64 {
+        let ms = match pass {
+            "row-ptr walk" => walk1_ms,
+            "counts walk" => walk2_ms,
+            "col-idx walk" => walk3_ms,
+            _ => return 0.0, // header fields and O(1) derived ratios
+        };
+        ms * 1e6 / n_probes
+    };
+    let feature_costs: Vec<FeatureCost> = FeatureId::ALL
+        .iter()
+        .map(|&id| {
+            let pass = pass_of(id);
+            let shared = pass_cost(pass);
+            let siblings = FeatureId::ALL
+                .iter()
+                .filter(|&&o| pass_of(o) == pass)
+                .count();
+            FeatureCost {
+                feature: id.name().to_string(),
+                pass: pass.to_string(),
+                pass_ns: shared,
+                share_ns: shared / siblings as f64,
+            }
+        })
+        .collect();
+
+    // Steady-state decide on a warm-started online selector trained from
+    // the real corpus: per-phase nanoseconds straight from the same
+    // counters the serving engine exports in its Stats reply.
+    let labels: Vec<Format> = results.iter().map(|r| r.best).collect();
+    let nc = 25.min((labels.len() / 2).max(2));
+    let semi = SemiSupervisedSelector::fit(
+        &features,
+        &labels,
+        SemiConfig::new(ClusterMethod::KMeans { nc }, Labeler::Vote, 17),
+    );
+    let online = ShardedOnlineSelector::from_batch(&semi, 0.5, 64, 4);
+    let probe_fvs: Vec<FeatureVector> = probes
+        .iter()
+        .map(|m| FeatureVector::from_stats(&extractor.stats(m)))
+        .collect();
+    for fv in &probe_fvs {
+        online.decide(fv, false); // size the thread-local embed scratch
+    }
+    let rounds = if h.opts.quick { 50 } else { 200 };
+    let (mut embed_sum, mut assign_sum, mut label_sum, mut n_dec) = (0u64, 0u64, 0u64, 0u64);
+    for _ in 0..rounds {
+        for fv in &probe_fvs {
+            let (view, ph) = online.decide_phased(fv, false);
+            black_box(view.decision.cluster);
+            embed_sum += ph.embed_ns;
+            assign_sum += ph.assign_ns;
+            label_sum += ph.label_ns;
+            n_dec += 1;
+        }
+    }
+    let embed_ns = embed_sum as f64 / n_dec as f64;
+    let assign_ns = assign_sum as f64 / n_dec as f64;
+    let label_ns = label_sum as f64 / n_dec as f64;
+    let select_ns = extract_ns + embed_ns + assign_ns + label_ns;
+    h.report.record("decision_extract", extract_ns / 1e9);
+    h.report.record("decision_embed", embed_ns / 1e9);
+    h.report.record("decision_assign", assign_ns / 1e9);
+    h.report.record("decision_label", label_ns / 1e9);
+    println!(
+        "decision path (learn:false, {} clusters): extract {extract_ns:.0}ns + \
+         embed {embed_ns:.0}ns + assign {assign_ns:.0}ns + label {label_ns:.0}ns \
+         = {select_ns:.0}ns/select",
+        online.n_clusters(),
+    );
+    println!(
+        "single-pass extractor vs MatrixStats::from_csr: {extract_speedup:.2}x \
+         over {} probe matrices ({probe_nnz} nnz, avg {:.0}ns/matrix)",
+        probes.len(),
+        extract_ns,
+    );
+    println!("feature budget (avg ns per probe matrix, pass cost shared by its features):");
+    for fc in &feature_costs {
+        println!(
+            "  {:<13} {:<12} pass {:>8.0} ns  share {:>7.0} ns",
+            fc.feature, fc.pass, fc.pass_ns, fc.share_ns
+        );
+    }
+    let decision_path = DecisionPathSummary {
+        probe_matrices: probes.len(),
+        probe_nnz,
+        legacy_extract_ns: legacy_ms * 1e6 / n_probes,
+        single_pass_extract_ns: extract_ns,
+        extract_speedup,
+        embed_ns,
+        assign_ns,
+        label_ns,
+        select_ns,
+        decisions_timed: n_dec,
+        row_ptr_walk_ns: pass_cost("row-ptr walk"),
+        counts_walk_ns: pass_cost("counts walk"),
+        col_idx_walk_ns: pass_cost("col-idx walk"),
+        feature_costs,
+    };
+
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&exp_dir);
     h.finish(&PerfSummary {
@@ -239,7 +488,35 @@ fn main() {
         threads: rayon::current_num_threads(),
         training,
         experiment_cache,
+        decision_path,
     });
+}
+
+/// The extractor pass that pays for one Table 1 feature: the row-pointer
+/// walk (counts, extrema, warp chunks, HYB histogram), the counts walk
+/// (mean-relative deviations, HYB ELL occupancy), the column-index walk
+/// (diagonal census), the O(1) header, or an O(1) derived ratio.
+fn pass_of(id: FeatureId) -> &'static str {
+    match id {
+        FeatureId::NRows | FeatureId::NCols => "header",
+        FeatureId::Nnz
+        | FeatureId::NnzMu
+        | FeatureId::NnzMin
+        | FeatureId::NnzMax
+        | FeatureId::CsrMax
+        | FeatureId::HybEllSize => "row-ptr walk",
+        FeatureId::NnzSig
+        | FeatureId::SigLower
+        | FeatureId::SigHigher
+        | FeatureId::HybCoo
+        | FeatureId::HybEllFrac => "counts walk",
+        FeatureId::Diagonals | FeatureId::DiaSize | FeatureId::DiaFrac => "col-idx walk",
+        FeatureId::NnzFrac
+        | FeatureId::MaxMu
+        | FeatureId::MuMin
+        | FeatureId::EllFrac
+        | FeatureId::EllSize => "derived",
+    }
 }
 
 #[derive(serde::Serialize)]
@@ -252,6 +529,43 @@ struct PerfSummary {
     threads: usize,
     training: TrainingSummary,
     experiment_cache: ExperimentCacheSummary,
+    decision_path: DecisionPathSummary,
+}
+
+/// Stage-by-stage budget of one steady-state `learn: false` select, plus
+/// the per-feature cost attribution (Elafrou-style feature budget).
+#[derive(serde::Serialize)]
+struct DecisionPathSummary {
+    probe_matrices: usize,
+    probe_nnz: usize,
+    /// Avg ns per matrix for the retained multi-pass `MatrixStats` walk.
+    legacy_extract_ns: f64,
+    /// Avg ns per matrix for the warmed single-pass extractor.
+    single_pass_extract_ns: f64,
+    extract_speedup: f64,
+    /// Avg per-decision phase nanoseconds from `decide_phased` — the same
+    /// counters the serving engine accumulates into its Stats reply.
+    embed_ns: f64,
+    assign_ns: f64,
+    label_ns: f64,
+    /// extract + embed + assign + label: the whole budget for one select.
+    select_ns: f64,
+    decisions_timed: u64,
+    row_ptr_walk_ns: f64,
+    counts_walk_ns: f64,
+    col_idx_walk_ns: f64,
+    feature_costs: Vec<FeatureCost>,
+}
+
+/// One Table 1 feature's slot in the budget: the extractor pass that
+/// computes it, that pass's cost, and the cost amortized over the pass's
+/// features (header fields and derived ratios are O(1) and cost 0).
+#[derive(serde::Serialize)]
+struct FeatureCost {
+    feature: String,
+    pass: String,
+    pass_ns: f64,
+    share_ns: f64,
 }
 
 /// Fit times on the per-GPU corpus dataset, plus the naive-vs-presorted

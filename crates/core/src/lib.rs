@@ -37,8 +37,8 @@ pub use corpus::{Corpus, CorpusConfig, MatrixRecord};
 pub use error::{CoreError, CoreResult};
 pub use featsel::{greedy_forward_selection, FeatureSelection, SearchModel};
 pub use online::{
-    ContentionReport, OnlineContention, OnlineDecision, OnlineFeedbackView, OnlineSelector,
-    OnlineSnapshot, OnlineStateData, OnlineView, ShardedOnlineSelector,
+    ContentionReport, DecisionPhaseNs, OnlineContention, OnlineDecision, OnlineFeedbackView,
+    OnlineSelector, OnlineSnapshot, OnlineStateData, OnlineView, ShardedOnlineSelector,
 };
 pub use overhead::{amortized_best, break_even_iterations, AmortizedChoice};
 pub use regression::TimeRegressor;

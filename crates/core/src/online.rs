@@ -27,6 +27,8 @@ use serde::{Deserialize, Serialize};
 use spsel_features::{FeatureVector, Preprocessor};
 use spsel_matrix::Format;
 use spsel_ml::cluster::online::OnlineKMeans;
+use spsel_ml::FlatCentroids;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::Instant;
@@ -194,6 +196,12 @@ struct LabelShard {
 pub struct OnlineSnapshot {
     version: u64,
     clusters: Arc<OnlineKMeans>,
+    /// Flattened centroids with precomputed squared norms, derived from
+    /// `clusters` when the snapshot is built. Read decisions answer
+    /// nearest-centroid queries from this single contiguous buffer;
+    /// publishes that leave the centroid table untouched (label edits)
+    /// reuse the previous snapshot's buffer via the `Arc`.
+    flat: Arc<FlatCentroids>,
     shards: Vec<Arc<LabelShard>>,
 }
 
@@ -246,6 +254,29 @@ impl OnlineSnapshot {
     pub fn cluster_count(&self, cluster: usize) -> usize {
         self.clusters.counts().get(cluster).copied().unwrap_or(0)
     }
+}
+
+/// Wall-clock nanoseconds one decision spent in each stage of the read
+/// path (all zero for `learn: true` decisions, which are dominated by the
+/// write side anyway). Returned by
+/// [`ShardedOnlineSelector::decide_phased`] so the serving layer can
+/// account its latency budget stage by stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionPhaseNs {
+    /// Preprocessing: transforms, scaling, and PCA projection.
+    pub embed_ns: u64,
+    /// Nearest-centroid query over the flat centroid buffer.
+    pub assign_ns: u64,
+    /// Label and cluster-size lookup in the sharded tables.
+    pub label_ns: u64,
+}
+
+thread_local! {
+    /// Reusable embedding buffers for the read path: `(scratch, z)` where
+    /// `scratch` carries the raw features through the in-place transform
+    /// and scaling stages and `z` receives the final embedding. Sized on
+    /// first use per thread, then allocation-free.
+    static EMBED_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// Contention counters for one [`ShardedOnlineSelector`]: how many
@@ -403,12 +434,14 @@ impl ShardedOnlineSelector {
             tables[c % shards].labels.push(Some(label));
             tables[c % shards].unlabeled_observations.push(0);
         }
+        let flat = Arc::new(clusters.flatten());
         ShardedOnlineSelector {
             preprocessor: batch.preprocessor().clone(),
             default: Format::Csr,
             snapshot: RwLock::new(Arc::new(OnlineSnapshot {
                 version: 0,
                 clusters: Arc::new(clusters),
+                flat,
                 shards: tables.into_iter().map(Arc::new).collect(),
             })),
             centroid_lock: Mutex::new(()),
@@ -473,28 +506,60 @@ impl ShardedOnlineSelector {
     /// serialized with other observes and published as a fresh snapshot
     /// before this method returns.
     pub fn decide(&self, features: &FeatureVector, learn: bool) -> OnlineView {
-        let z = self.preprocessor.embed(features);
+        self.decide_phased(features, learn).0
+    }
+
+    /// [`Self::decide`] plus per-phase wall-clock nanoseconds, so the
+    /// serving layer can account the decision budget stage by stage.
+    pub fn decide_phased(
+        &self,
+        features: &FeatureVector,
+        learn: bool,
+    ) -> (OnlineView, DecisionPhaseNs) {
+        let mut phases = DecisionPhaseNs::default();
         if !learn {
-            let snap = self.snapshot();
-            self.contention
-                .read_decisions
-                .fetch_add(1, Ordering::Relaxed);
-            let distance = snap.clusters.novelty(&z);
-            let cluster = snap.clusters.assign(&z);
-            let label = snap.label(cluster);
-            return OnlineView {
-                decision: OnlineDecision {
-                    cluster,
-                    new_cluster: false,
-                    format: label.unwrap_or(self.default),
-                    benchmark_requested: label.is_none(),
-                },
-                distance,
-                cluster_size: snap.cluster_count(cluster),
-                snapshot_version: snap.version,
-            };
+            // Steady-state read path: allocation-free. The embedding runs
+            // through thread-local scratch, the nearest-centroid query
+            // walks the snapshot's flat buffer, and the reply is built
+            // from plain copies. (`resize` on the warm scratch is a no-op;
+            // the only allocations ever are the first call on a thread or
+            // a model hot-swap that widens the embedding.)
+            let view = EMBED_SCRATCH.with(|cell| {
+                let (scratch, z) = &mut *cell.borrow_mut();
+                let t0 = Instant::now();
+                scratch.resize(features.as_slice().len(), 0.0);
+                z.resize(self.preprocessor.out_dim(), 0.0);
+                self.preprocessor
+                    .embed_into(features.as_slice(), scratch, z);
+                let t1 = Instant::now();
+                let snap = self.snapshot();
+                self.contention
+                    .read_decisions
+                    .fetch_add(1, Ordering::Relaxed);
+                let (cluster, distance) = snap.flat.nearest(z).expect("no observations yet");
+                let t2 = Instant::now();
+                let label = snap.label(cluster);
+                let cluster_size = snap.cluster_count(cluster);
+                let t3 = Instant::now();
+                phases.embed_ns = (t1 - t0).as_nanos() as u64;
+                phases.assign_ns = (t2 - t1).as_nanos() as u64;
+                phases.label_ns = (t3 - t2).as_nanos() as u64;
+                OnlineView {
+                    decision: OnlineDecision {
+                        cluster,
+                        new_cluster: false,
+                        format: label.unwrap_or(self.default),
+                        benchmark_requested: label.is_none(),
+                    },
+                    distance,
+                    cluster_size,
+                    snapshot_version: snap.version,
+                }
+            });
+            return (view, phases);
         }
 
+        let z = self.preprocessor.embed(features);
         let _centroids = self.lock_timed(&self.centroid_lock);
         // The centroid lock makes this snapshot's centroid table
         // authoritative: only observes mutate it, and they all hold the
@@ -505,6 +570,7 @@ impl ShardedOnlineSelector {
         let mut clusters = (*base.clusters).clone();
         let (cluster, new_cluster) = clusters.observe(&z);
         let clusters = Arc::new(clusters);
+        let flat = Arc::new(clusters.flatten());
         let n_shards = self.shard_locks.len();
         let shard = cluster % n_shards;
 
@@ -524,6 +590,7 @@ impl ShardedOnlineSelector {
                 OnlineSnapshot {
                     version: cur.version + 1,
                     clusters: Arc::clone(&clusters),
+                    flat: Arc::clone(&flat),
                     shards,
                 }
             })
@@ -547,6 +614,7 @@ impl ShardedOnlineSelector {
                 OnlineSnapshot {
                     version: cur.version + 1,
                     clusters: Arc::clone(&clusters),
+                    flat: Arc::clone(&flat),
                     shards,
                 }
             })
@@ -554,17 +622,20 @@ impl ShardedOnlineSelector {
         self.contention
             .write_decisions
             .fetch_add(1, Ordering::Relaxed);
-        OnlineView {
-            decision: OnlineDecision {
-                cluster,
-                new_cluster,
-                format,
-                benchmark_requested,
+        (
+            OnlineView {
+                decision: OnlineDecision {
+                    cluster,
+                    new_cluster,
+                    format,
+                    benchmark_requested,
+                },
+                distance,
+                cluster_size: snap.cluster_count(cluster),
+                snapshot_version: snap.version,
             },
-            distance,
-            cluster_size: snap.cluster_count(cluster),
-            snapshot_version: snap.version,
-        }
+            phases,
+        )
     }
 
     /// Feed back a measured best format for `cluster`, taking only that
@@ -590,6 +661,7 @@ impl ShardedOnlineSelector {
             OnlineSnapshot {
                 version: cur.version + 1,
                 clusters: Arc::clone(&cur.clusters),
+                flat: Arc::clone(&cur.flat),
                 shards,
             }
         });
@@ -653,6 +725,7 @@ impl ShardedOnlineSelector {
         *slot = Arc::new(OnlineSnapshot {
             version: slot.version + 1,
             clusters: Arc::new(state.clusters.clone()),
+            flat: Arc::new(state.clusters.flatten()),
             shards: tables.into_iter().map(Arc::new).collect(),
         });
     }

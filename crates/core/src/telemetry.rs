@@ -88,6 +88,30 @@ pub struct ServingReport {
     pub p99_latency_us: f64,
     /// Worst observed request latency in microseconds.
     pub max_latency_us: f64,
+    /// `learn: false` selects with per-phase decision timing recorded
+    /// (the denominator for the four `decision_*_ns` sums below).
+    pub timed_decisions: u64,
+    /// Cumulative nanoseconds those decisions spent extracting Table 1
+    /// features from the matrix (single-pass extractor; zero for selects
+    /// that supplied an inline feature vector).
+    pub decision_extract_ns: u64,
+    /// Cumulative nanoseconds spent embedding features (variance
+    /// transforms, min-max scaling, PCA projection).
+    pub decision_embed_ns: u64,
+    /// Cumulative nanoseconds in the nearest-centroid query over the
+    /// flat centroid buffer.
+    pub decision_assign_ns: u64,
+    /// Cumulative nanoseconds in cluster label and size lookups.
+    pub decision_label_ns: u64,
+    /// Median decision-path latency in microseconds (extract + embed +
+    /// assign + label for one `learn: false` select, log-bucketed
+    /// nanosecond histogram upper bound). Unlike `p50_latency_us` this
+    /// excludes protocol parse/serialize and pipeline queue time, so it
+    /// is the honest figure for the decision budget on a machine where
+    /// clients and server share cores.
+    pub decision_p50_us: f64,
+    /// 99th-percentile decision-path latency in microseconds.
+    pub decision_p99_us: f64,
     /// Decisions answered lock-free from an online snapshot
     /// (`learn: false` selects), summed over GPUs.
     pub read_decisions: u64,

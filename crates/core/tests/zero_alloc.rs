@@ -1,0 +1,114 @@
+//! Proof that the steady-state decision hot path is allocation-free.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! pass (which may size thread-local scratch), a flood of `learn: false`
+//! decisions and single-pass feature extractions must perform exactly
+//! zero heap allocations. Everything lives in one `#[test]` because the
+//! counter is process-global: concurrent test threads would pollute it.
+
+use spsel_core::semi::{ClusterMethod, Labeler, SemiConfig};
+use spsel_core::{SemiSupervisedSelector, ShardedOnlineSelector};
+use spsel_features::{FeatureExtractor, FeatureVector};
+use spsel_matrix::{gen, CsrMatrix, Format};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_decision_path_does_not_allocate() {
+    // Fit a small batch selector and warm-start the sharded online
+    // selector — the setup allocates freely, only the flood below is
+    // under measurement.
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for s in 0..12u64 {
+        features.push(FeatureVector::from_csr(&CsrMatrix::from(&gen::stencil2d(
+            10 + s as usize % 5,
+            s,
+        ))));
+        labels.push(Format::Ell);
+        features.push(FeatureVector::from_csr(&CsrMatrix::from(&gen::power_law(
+            250, 250, 2, 2.4, 100, s,
+        ))));
+        labels.push(Format::Csr);
+    }
+    let batch = SemiSupervisedSelector::fit(
+        &features,
+        &labels,
+        SemiConfig::new(ClusterMethod::KMeans { nc: 5 }, Labeler::Vote, 3),
+    );
+    let online = ShardedOnlineSelector::from_batch(&batch, 0.5, 64, 4);
+
+    let matrices: Vec<CsrMatrix> = (0..4u64)
+        .map(|s| CsrMatrix::from(&gen::banded(120 + s as usize * 17, 4, 0.8, s)))
+        .collect();
+    let mut extractor = FeatureExtractor::new();
+
+    // Warm-up: the first extraction sizes the extractor's scratch and the
+    // first decision on this thread sizes the embedding buffers.
+    let mut warm = Vec::new();
+    for csr in &matrices {
+        let fv = FeatureVector::from_stats(&extractor.stats(csr));
+        online.decide(&fv, false);
+        warm.push(fv);
+    }
+
+    // Measured flood: extraction + embed + nearest-centroid + label
+    // lookup, round-robin over the warm matrices. Zero allocations.
+    let before = allocations();
+    let mut checksum = 0usize;
+    for round in 0..50 {
+        let csr = &matrices[round % matrices.len()];
+        let fv = FeatureVector::from_stats(&extractor.stats(csr));
+        let view = online.decide(&fv, false);
+        checksum += view.decision.cluster;
+    }
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "steady-state learn:false decisions must not allocate (saw {during})"
+    );
+
+    // The flood produced real decisions (keeps the loop from being
+    // optimized away and sanity-checks the path actually ran).
+    assert!(checksum < 50 * online.n_clusters().max(1));
+
+    // Decisions agree with the allocating warm-up pass.
+    for (csr, fv) in matrices.iter().zip(&warm) {
+        let again = FeatureVector::from_stats(&extractor.stats(csr));
+        let bits_a: Vec<u64> = again.as_slice().iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u64> = fv.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b);
+    }
+}

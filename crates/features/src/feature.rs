@@ -81,13 +81,13 @@ impl FeatureId {
         FeatureId::EllSize,
     ];
 
-    /// Position in [`FeatureId::ALL`].
+    /// Position in [`FeatureId::ALL`]. The enum declares its variants in
+    /// Table 1 order, so the discriminant *is* the position — a constant-
+    /// time cast instead of a scan (`all_ids_index_by_discriminant` pins
+    /// the declaration order to `ALL`).
     #[inline]
     pub fn index(self) -> usize {
-        FeatureId::ALL
-            .iter()
-            .position(|&f| f == self)
-            .expect("all ids listed")
+        self as usize
     }
 
     /// The paper's snake_case feature name.
@@ -210,6 +210,16 @@ mod tests {
             seen[id.index()] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn all_ids_index_by_discriminant() {
+        // `index()` is a discriminant cast; it is only correct while the
+        // enum declaration order matches `ALL` (Table 1 order).
+        for (i, id) in FeatureId::ALL.iter().enumerate() {
+            assert_eq!(id.index(), i, "{id} out of declaration order");
+            assert_eq!(FeatureId::ALL[id.index()], *id);
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! assert_eq!(fv.get(spsel_features::FeatureId::NnzMax), 5.0);
 //! ```
 
+pub mod extract;
 pub mod feature;
 pub mod image;
 pub mod pca;
@@ -26,6 +27,7 @@ pub mod scale;
 pub mod stats;
 pub mod transform;
 
+pub use extract::FeatureExtractor;
 pub use feature::{FeatureId, FeatureVector, NUM_FEATURES};
 pub use image::DensityImage;
 pub use pca::Pca;

@@ -5,20 +5,66 @@
 //! projects the transformed, scaled features onto the top 8 components
 //! before clustering.
 
-use serde::{Deserialize, Serialize};
-
 /// A fitted PCA projection.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The kept components live in one contiguous row-major `k x dim` buffer
+/// so a projection walks a single cache-resident block instead of
+/// pointer-chasing per-component `Vec`s. The serialized form keeps the
+/// original nested `components` shape (hand-written impls below), so
+/// artifacts written before the flat layout load unchanged.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pca {
     /// Column means of the training data (length `dim`).
     mean: Vec<f64>,
-    /// Principal axes, row-major `k x dim`, orthonormal rows sorted by
-    /// decreasing eigenvalue.
-    components: Vec<Vec<f64>>,
+    /// Principal axes, flat row-major `k x dim`, orthonormal rows sorted
+    /// by decreasing eigenvalue.
+    components: Vec<f64>,
+    /// Number of kept components.
+    k: usize,
     /// Eigenvalues (variances) of the kept components.
     explained_variance: Vec<f64>,
     /// Total variance of the training data (sum of all eigenvalues).
     total_variance: f64,
+}
+
+// The wire shape is the historic one — `components` as nested rows, same
+// field names and order — so model artifacts serialized before the flat
+// layout deserialize unchanged and re-serialized artifacts are
+// byte-identical.
+impl serde::Serialize for Pca {
+    fn to_value(&self) -> serde::Value {
+        let dim = self.mean.len();
+        let nested: Vec<Vec<f64>> = if dim == 0 {
+            vec![Vec::new(); self.k]
+        } else {
+            self.components.chunks(dim).map(|c| c.to_vec()).collect()
+        };
+        serde::Value::Object(vec![
+            ("mean".to_string(), self.mean.to_value()),
+            ("components".to_string(), nested.to_value()),
+            (
+                "explained_variance".to_string(),
+                self.explained_variance.to_value(),
+            ),
+            ("total_variance".to_string(), self.total_variance.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Pca {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = serde::expect_object(v, "Pca")?;
+        let mean: Vec<f64> = serde::get_field(obj, "mean", "Pca")?;
+        let nested: Vec<Vec<f64>> = serde::get_field(obj, "components", "Pca")?;
+        let k = nested.len();
+        Ok(Pca {
+            mean,
+            components: nested.into_iter().flatten().collect(),
+            k,
+            explained_variance: serde::get_field(obj, "explained_variance", "Pca")?,
+            total_variance: serde::get_field(obj, "total_variance", "Pca")?,
+        })
+    }
 }
 
 /// Jacobi eigendecomposition of a symmetric matrix (row-major `n x n`).
@@ -90,16 +136,37 @@ impl Pca {
     /// `k == 0`. `k` is clamped to the data dimension.
     pub fn fit(rows: &[Vec<f64>], k: usize) -> Self {
         assert!(!rows.is_empty(), "need training rows to fit PCA");
-        assert!(k > 0, "need at least one component");
-        let n = rows.len();
         let dim = rows[0].len();
-        let k = k.min(dim);
-
-        let mut mean = vec![0.0; dim];
         for r in rows {
             assert_eq!(r.len(), dim, "row width mismatch");
+        }
+        Self::fit_with(rows.len(), dim, k, |i, buf| buf.copy_from_slice(&rows[i]))
+    }
+
+    /// Fit a `k`-component PCA over `n` rows produced on demand:
+    /// `fill(i, buf)` writes row `i` into the single reused buffer (it is
+    /// called twice per row — mean pass, then covariance pass). Visits
+    /// rows in index order with the same accumulation, so the fitted
+    /// projection is bit-identical to [`Pca::fit`] on materialized rows.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `k == 0`. `k` is clamped to `dim`.
+    pub fn fit_with(
+        n: usize,
+        dim: usize,
+        k: usize,
+        mut fill: impl FnMut(usize, &mut [f64]),
+    ) -> Self {
+        assert!(n > 0, "need training rows to fit PCA");
+        assert!(k > 0, "need at least one component");
+        let k = k.min(dim);
+
+        let mut buf = vec![0.0; dim];
+        let mut mean = vec![0.0; dim];
+        for i in 0..n {
+            fill(i, &mut buf);
             for j in 0..dim {
-                mean[j] += r[j];
+                mean[j] += buf[j];
             }
         }
         for mj in mean.iter_mut() {
@@ -109,11 +176,12 @@ impl Pca {
         // Covariance matrix (population normalization; the constant factor
         // does not affect component directions).
         let mut cov = vec![vec![0.0; dim]; dim];
-        for r in rows {
+        for r in 0..n {
+            fill(r, &mut buf);
             for i in 0..dim {
-                let di = r[i] - mean[i];
+                let di = buf[i] - mean[i];
                 for j in i..dim {
-                    cov[i][j] += di * (r[j] - mean[j]);
+                    cov[i][j] += di * (buf[j] - mean[j]);
                 }
             }
         }
@@ -128,7 +196,8 @@ impl Pca {
         let total_variance: f64 = eigenvalues.iter().map(|e| e.max(0.0)).sum();
         Pca {
             mean,
-            components: eigenvectors.into_iter().take(k).collect(),
+            components: eigenvectors.into_iter().take(k).flatten().collect(),
+            k,
             explained_variance: eigenvalues
                 .into_iter()
                 .take(k)
@@ -140,7 +209,7 @@ impl Pca {
 
     /// Number of kept components.
     pub fn k(&self) -> usize {
-        self.components.len()
+        self.k
     }
 
     /// Input dimension.
@@ -164,24 +233,37 @@ impl Pca {
 
     /// Project a row onto the kept components.
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.k];
+        self.transform_into(row, &mut out);
+        out
+    }
+
+    /// Project a row into a caller-provided buffer of length `k`,
+    /// allocation-free. Each output is the sequential dot product
+    /// `sum_j c[j] * (x[j] - m[j])` in increasing `j` from 0.0 — the same
+    /// accumulation order as the historic nested-`Vec` path, so results
+    /// are bit-identical.
+    pub fn transform_into(&self, row: &[f64], out: &mut [f64]) {
         assert_eq!(row.len(), self.dim(), "row width mismatch");
-        self.components
-            .iter()
-            .map(|comp| {
-                comp.iter()
-                    .zip(row.iter().zip(&self.mean))
-                    .map(|(c, (x, m))| c * (x - m))
-                    .sum()
-            })
-            .collect()
+        assert_eq!(out.len(), self.k, "output width mismatch");
+        let dim = self.dim();
+        for (i, o) in out.iter_mut().enumerate() {
+            let comp = &self.components[i * dim..(i + 1) * dim];
+            let mut acc = 0.0;
+            for j in 0..dim {
+                acc += comp[j] * (row[j] - self.mean[j]);
+            }
+            *o = acc;
+        }
     }
 
     /// Map a projected point back into the original space (lossy if
     /// `k < dim`).
     pub fn inverse_transform(&self, z: &[f64]) -> Vec<f64> {
         assert_eq!(z.len(), self.k(), "component count mismatch");
+        let dim = self.dim();
         let mut out = self.mean.clone();
-        for (zi, comp) in z.iter().zip(&self.components) {
+        for (zi, comp) in z.iter().zip(self.components.chunks_exact(dim)) {
             for (o, c) in out.iter_mut().zip(comp) {
                 *o += zi * c;
             }
@@ -298,5 +380,40 @@ mod tests {
         let pca = Pca::fit(&rows, 2);
         assert!(pca.explained_variance().iter().all(|&v| v.abs() < 1e-12));
         assert_eq!(pca.explained_variance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn wire_shape_is_nested_and_round_trips() {
+        use serde::{Deserialize, Serialize, Value};
+        let rows = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 0.5, 6.0],
+            vec![7.0, 8.0, 0.25],
+            vec![2.0, 9.0, 4.0],
+        ];
+        let pca = Pca::fit(&rows, 2);
+
+        // The artifact format predates the flat component buffer: an
+        // object with these exact field names in this exact order, with
+        // `components` as one nested row per kept component.
+        let v = pca.to_value();
+        let Value::Object(fields) = &v else {
+            panic!("expected object")
+        };
+        let names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            names,
+            ["mean", "components", "explained_variance", "total_variance"]
+        );
+        let Value::Array(comps) = &fields[1].1 else {
+            panic!("components must be nested rows")
+        };
+        assert_eq!(comps.len(), pca.k());
+
+        let back = Pca::from_value(&v).unwrap();
+        assert_eq!(back, pca);
+        for (a, b) in back.transform(&rows[0]).iter().zip(pca.transform(&rows[0])) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

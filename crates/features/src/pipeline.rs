@@ -24,12 +24,32 @@ impl Preprocessor {
     /// Fit the pipeline on raw feature rows. `pca_dim = None` skips PCA
     /// (useful for ablations); `Some(k)` keeps the top `k` components.
     pub fn fit_rows(rows: &[Vec<f64>], pca_dim: Option<usize>) -> Self {
+        let borrowed: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Self::fit_borrowed(&borrowed, pca_dim)
+    }
+
+    /// Fit the pipeline on borrowed rows without cloning the training
+    /// data: each downstream stage regenerates the rows it needs through
+    /// one reused buffer (`MinMaxScaler::fit_with` / `Pca::fit_with`)
+    /// instead of materializing a transformed and a scaled copy of the
+    /// whole corpus. The fitted stages are bit-identical to the historic
+    /// materializing path (`fitting_from_borrowed_rows_is_bit_identical`
+    /// proves it against an in-test reference).
+    pub fn fit_borrowed(rows: &[&[f64]], pca_dim: Option<usize>) -> Self {
         assert!(!rows.is_empty(), "need training rows");
+        let dim = rows[0].len();
         let transforms = TransformSet::auto(rows);
-        let transformed: Vec<Vec<f64>> = rows.iter().map(|r| transforms.apply(r)).collect();
-        let scaler = MinMaxScaler::fit(&transformed);
-        let scaled: Vec<Vec<f64>> = transformed.iter().map(|r| scaler.transform(r)).collect();
-        let pca = pca_dim.map(|k| Pca::fit(&scaled, k));
+        let scaler = MinMaxScaler::fit_with(rows.len(), dim, |i, buf| {
+            buf.copy_from_slice(rows[i]);
+            transforms.apply_in_place(buf);
+        });
+        let pca = pca_dim.map(|k| {
+            Pca::fit_with(rows.len(), dim, k, |i, buf| {
+                buf.copy_from_slice(rows[i]);
+                transforms.apply_in_place(buf);
+                scaler.transform_in_place(buf);
+            })
+        });
         Preprocessor {
             transforms,
             scaler,
@@ -39,8 +59,8 @@ impl Preprocessor {
 
     /// Fit on [`FeatureVector`]s with the paper's default 8-dim PCA.
     pub fn fit(features: &[FeatureVector]) -> Self {
-        let rows: Vec<Vec<f64>> = features.iter().map(|f| f.as_slice().to_vec()).collect();
-        Self::fit_rows(&rows, Some(DEFAULT_PCA_DIM))
+        let rows: Vec<&[f64]> = features.iter().map(|f| f.as_slice()).collect();
+        Self::fit_borrowed(&rows, Some(DEFAULT_PCA_DIM))
     }
 
     /// Fit without the transform stage (the naive pipeline the paper shows
@@ -70,6 +90,11 @@ impl Preprocessor {
         &self.transforms
     }
 
+    /// The fitted scaling stage.
+    pub fn scaler(&self) -> &MinMaxScaler {
+        &self.scaler
+    }
+
     /// The fitted PCA stage, if any.
     pub fn pca(&self) -> Option<&Pca> {
         self.pca.as_ref()
@@ -77,11 +102,27 @@ impl Preprocessor {
 
     /// Embed one raw feature row.
     pub fn embed_row(&self, row: &[f64]) -> Vec<f64> {
-        let t = self.transforms.apply(row);
-        let s = self.scaler.transform(&t);
+        let mut scratch = vec![0.0; row.len()];
+        let mut out = vec![0.0; self.out_dim()];
+        self.embed_into(row, &mut scratch, &mut out);
+        out
+    }
+
+    /// Embed one raw feature row into a caller-provided output buffer,
+    /// allocation-free. `scratch` (length = input dim) carries the row
+    /// through the in-place transform and scaling stages; `out` (length =
+    /// [`Self::out_dim`]) receives the final embedding. Every stage runs
+    /// the same arithmetic in the same order as the allocating path, so
+    /// the embedding is bit-identical to [`Self::embed_row`].
+    pub fn embed_into(&self, row: &[f64], scratch: &mut [f64], out: &mut [f64]) {
+        assert_eq!(row.len(), scratch.len(), "scratch width mismatch");
+        assert_eq!(out.len(), self.out_dim(), "output width mismatch");
+        scratch.copy_from_slice(row);
+        self.transforms.apply_in_place(scratch);
+        self.scaler.transform_in_place(scratch);
         match &self.pca {
-            Some(p) => p.transform(&s),
-            None => s,
+            Some(p) => p.transform_into(scratch, out),
+            None => out.copy_from_slice(scratch),
         }
     }
 
@@ -191,6 +232,43 @@ mod tests {
             r_with > 2.0 * r_without,
             "transforms should spread mid-size matrices: {r_with} vs {r_without}"
         );
+    }
+
+    #[test]
+    fn fitting_from_borrowed_rows_is_bit_identical() {
+        // Reference: the historic materializing path — clone the corpus,
+        // materialize the transformed rows for the scaler, materialize
+        // the scaled rows for PCA.
+        let fs = corpus_features();
+        let rows: Vec<Vec<f64>> = fs.iter().map(|f| f.as_slice().to_vec()).collect();
+        let transforms = TransformSet::auto(&rows);
+        let transformed: Vec<Vec<f64>> = rows.iter().map(|r| transforms.apply(r)).collect();
+        let scaler = MinMaxScaler::fit(&transformed);
+        let scaled: Vec<Vec<f64>> = transformed.iter().map(|r| scaler.transform(r)).collect();
+        let pca = Pca::fit(&scaled, DEFAULT_PCA_DIM);
+
+        let pre = Preprocessor::fit(&fs);
+        assert_eq!(pre.transforms(), &transforms);
+        assert_eq!(pre.scaler(), &scaler);
+        assert_eq!(pre.pca(), Some(&pca));
+    }
+
+    #[test]
+    fn embed_into_matches_embed_row_bitwise() {
+        let fs = corpus_features();
+        for pca_dim in [Some(DEFAULT_PCA_DIM), None] {
+            let rows: Vec<Vec<f64>> = fs.iter().map(|f| f.as_slice().to_vec()).collect();
+            let pre = Preprocessor::fit_rows(&rows, pca_dim);
+            let mut scratch = vec![0.0; crate::NUM_FEATURES];
+            let mut out = vec![0.0; pre.out_dim()];
+            for f in &fs {
+                pre.embed_into(f.as_slice(), &mut scratch, &mut out);
+                let reference = pre.embed(f);
+                let bits_a: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+                let bits_b: Vec<u64> = reference.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(bits_a, bits_b);
+            }
+        }
     }
 
     #[test]

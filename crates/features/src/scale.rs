@@ -34,6 +34,29 @@ impl MinMaxScaler {
         MinMaxScaler { mins, maxs }
     }
 
+    /// Fit column ranges over `n` rows produced on demand: `fill(i, buf)`
+    /// writes row `i` into the single reused buffer. Lets callers fit on
+    /// derived rows (e.g. transformed features) without materializing
+    /// them; visits rows in index order, so the result is bit-identical
+    /// to [`MinMaxScaler::fit`] on the materialized rows.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn fit_with(n: usize, dim: usize, mut fill: impl FnMut(usize, &mut [f64])) -> Self {
+        assert!(n > 0, "need training rows to fit scaler");
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        let mut buf = vec![0.0; dim];
+        for i in 0..n {
+            fill(i, &mut buf);
+            for j in 0..dim {
+                mins[j] = mins[j].min(buf[j]);
+                maxs[j] = maxs[j].max(buf[j]);
+            }
+        }
+        MinMaxScaler { mins, maxs }
+    }
+
     /// Number of columns.
     pub fn dim(&self) -> usize {
         self.mins.len()

@@ -81,15 +81,17 @@ impl TransformSet {
 
     /// Choose a transform per column from the column's skewness over the
     /// training rows: strongly skewed columns get `log1p`, moderately
-    /// skewed ones `sqrt`, the rest are left alone.
-    pub fn auto(rows: &[Vec<f64>]) -> Self {
+    /// skewed ones `sqrt`, the rest are left alone. Accepts owned or
+    /// borrowed rows (`&[Vec<f64>]` or `&[&[f64]]`) — fitting never needs
+    /// to own the training data.
+    pub fn auto<R: AsRef<[f64]>>(rows: &[R]) -> Self {
         assert!(!rows.is_empty(), "need training rows to fit transforms");
-        let dim = rows[0].len();
+        let dim = rows[0].as_ref().len();
         let mut transforms = Vec::with_capacity(dim);
         let mut col = vec![0.0; rows.len()];
         for j in 0..dim {
             for (i, r) in rows.iter().enumerate() {
-                col[i] = r[j];
+                col[i] = r.as_ref()[j];
             }
             let sk = skewness(&col);
             transforms.push(if sk > LOG_SKEW_THRESHOLD {

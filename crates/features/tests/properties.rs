@@ -2,7 +2,10 @@
 //! invariants the selector relies on.
 
 use proptest::prelude::*;
-use spsel_features::{FeatureId, FeatureVector, MatrixStats, MinMaxScaler, Pca, Preprocessor};
+use spsel_features::{
+    FeatureExtractor, FeatureId, FeatureVector, MatrixStats, MinMaxScaler, Pca, Preprocessor,
+};
+use spsel_matrix::{gen, CooMatrix, CsrMatrix};
 
 /// Random row-count vectors (the input MatrixStats is derived from).
 fn arb_counts() -> impl Strategy<Value = (usize, Vec<usize>)> {
@@ -76,6 +79,38 @@ proptest! {
     }
 
     #[test]
+    fn single_pass_extractor_bit_identical_on_random_patterns(csr in arb_pattern()) {
+        // One shared extractor across cases exercises scratch reuse.
+        let mut ex = FeatureExtractor::new();
+        assert_extractor_identical(&mut ex, &csr);
+    }
+
+    #[test]
+    fn single_pass_extractor_bit_identical_on_matrix_families(seed in 0u64..10_000) {
+        let s = seed as usize;
+        let families = [
+            // Empty and degenerate shapes.
+            CsrMatrix::from(&CooMatrix::zeros(0, 0)),
+            CsrMatrix::from(&CooMatrix::zeros(1 + s % 7, 0)),
+            CsrMatrix::from(&CooMatrix::zeros(0, 1 + s % 7)),
+            // Single row.
+            CsrMatrix::from(&gen::random_uniform(1, 40 + s % 40, 6, seed)),
+            // Hub rows (a few very heavy rows over a light background).
+            CsrMatrix::from(&gen::row_skewed(60 + s % 60, 150, 2, 40, 0.1, seed)),
+            // Banded / diagonal-dominated.
+            CsrMatrix::from(&gen::banded(50 + s % 80, 3 + s % 4, 0.8, seed)),
+            // Power-law degree distribution.
+            CsrMatrix::from(&gen::power_law(80 + s % 80, 90, 2, 2.2, 50, seed)),
+            // Uniform random.
+            CsrMatrix::from(&gen::random_uniform(40 + s % 40, 60, 5, seed)),
+        ];
+        let mut ex = FeatureExtractor::new();
+        for csr in &families {
+            assert_extractor_identical(&mut ex, csr);
+        }
+    }
+
+    #[test]
     fn preprocessor_embeddings_are_deterministic_and_finite(
         seeds in proptest::collection::vec(0u64..500, 5..12)
     ) {
@@ -99,6 +134,40 @@ proptest! {
             prop_assert!(za.iter().all(|v| v.is_finite()));
         }
     }
+}
+
+/// Random sparsity patterns: a deduplicated entry set over a random shape.
+fn arb_pattern() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..32, 1usize..32).prop_flat_map(|(nr, nc)| {
+        proptest::collection::btree_set((0..nr, 0..nc), 0..160).prop_map(move |set| {
+            let triplets: Vec<(usize, usize, f64)> = set
+                .iter()
+                .enumerate()
+                .map(|(i, &(r, c))| (r, c, 1.0 + i as f64 * 0.25))
+                .collect();
+            CsrMatrix::from(&CooMatrix::from_triplets(nr, nc, &triplets).unwrap())
+        })
+    })
+}
+
+/// Bit-exact comparison of the single-pass extractor against the legacy
+/// multi-pass path: stats must be `==` and the derived feature vector
+/// must match to the bit.
+fn assert_extractor_identical(ex: &mut FeatureExtractor, csr: &CsrMatrix) {
+    let legacy = MatrixStats::from_csr(csr);
+    assert_eq!(ex.stats(csr), legacy, "stats diverge");
+    let bits_new: Vec<u64> = ex
+        .features(csr)
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let bits_old: Vec<u64> = FeatureVector::from_stats(&legacy)
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(bits_new, bits_old, "feature bits diverge");
 }
 
 fn dist(a: &[f64], b: &[f64]) -> f64 {

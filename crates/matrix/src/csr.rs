@@ -169,6 +169,32 @@ impl From<&CsrMatrix> for CooMatrix {
     }
 }
 
+/// Dot product of one CSR row with the dense vector, 4-wide unrolled:
+/// four independent accumulators break the loop-carried add dependency
+/// (gathers from `x` stay serial, but the adds pipeline). Rows shorter
+/// than 4 never enter the unrolled loop and sum left to right from 0.0,
+/// exactly like the historic scalar kernel; longer rows re-associate the
+/// sum (checked against COO to relative tolerance in the property suite).
+#[inline]
+fn row_dot(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+    let n4 = cols.len() & !3;
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+    let mut i = 0;
+    while i < n4 {
+        a0 += vals[i] * x[cols[i] as usize];
+        a1 += vals[i + 1] * x[cols[i + 1] as usize];
+        a2 += vals[i + 2] * x[cols[i + 2] as usize];
+        a3 += vals[i + 3] * x[cols[i + 3] as usize];
+        i += 4;
+    }
+    let mut sum = (a0 + a1) + (a2 + a3);
+    while i < cols.len() {
+        sum += vals[i] * x[cols[i] as usize];
+        i += 1;
+    }
+    sum
+}
+
 impl SpMv for CsrMatrix {
     fn nrows(&self) -> usize {
         self.nrows
@@ -186,11 +212,7 @@ impl SpMv for CsrMatrix {
         self.check_dims(x, y).unwrap();
         for (r, out) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(r);
-            let mut sum = 0.0;
-            for (c, v) in cols.iter().zip(vals) {
-                sum += v * x[*c as usize];
-            }
-            *out = sum;
+            *out = row_dot(cols, vals, x);
         }
     }
 
@@ -199,11 +221,7 @@ impl SpMv for CsrMatrix {
         self.check_dims(x, y).unwrap();
         y.par_iter_mut().enumerate().for_each(|(r, yr)| {
             let (cols, vals) = self.row(r);
-            let mut sum = 0.0;
-            for (c, v) in cols.iter().zip(vals) {
-                sum += v * x[*c as usize];
-            }
-            *yr = sum;
+            *yr = row_dot(cols, vals, x);
         });
     }
 

@@ -1,0 +1,91 @@
+//! Equivalence of the unrolled CSR SpMV kernel against the COO reference.
+//!
+//! The CSR inner loop is 4-wide unrolled, which re-associates the row sum
+//! for rows with 4+ nonzeros — so dense-ish matrices are gated to a
+//! relative tolerance, while matrices whose rows all hold fewer than 4
+//! nonzeros must match the COO walk bit for bit (both sum left to right
+//! from 0.0). The serial and row-parallel CSR kernels share the same
+//! per-row dot, so they must always agree exactly.
+
+use proptest::prelude::*;
+use spsel_matrix::{gen, CooMatrix, CsrMatrix, SpMv};
+
+/// Deterministic dense vector with non-trivial, mixed-sign entries.
+fn dense_x(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|j| 0.5 + (j % 13) as f64 * 0.25 - (j % 7) as f64 * 0.4)
+        .collect()
+}
+
+fn spmv_of(m: &impl SpMv, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; m.nrows()];
+    m.spmv(x, &mut y);
+    y
+}
+
+fn assert_close(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    for (va, vb) in a.iter().zip(b) {
+        assert!(
+            (va - vb).abs() <= 1e-12 * (1.0 + va.abs().max(vb.abs())),
+            "{va} vs {vb}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_matches_coo_across_matrix_families(seed in 0u64..5_000) {
+        let s = seed as usize;
+        let families = [
+            gen::random_uniform(30 + s % 50, 40 + s % 30, 6, seed),
+            gen::banded(40 + s % 60, 3 + s % 5, 0.7, seed),
+            gen::power_law(50 + s % 60, 70, 2, 2.2, 40, seed),
+            gen::row_skewed(40 + s % 40, 90, 2, 30, 0.15, seed),
+        ];
+        for coo in &families {
+            let csr = CsrMatrix::from(coo);
+            let x = dense_x(coo.ncols());
+            assert_close(&spmv_of(&csr, &x), &spmv_of(coo, &x));
+        }
+    }
+
+    #[test]
+    fn short_rows_are_bit_identical_to_coo(seed in 0u64..5_000) {
+        // Every row holds < 4 nonzeros, so the unrolled kernel never
+        // re-associates: CSR row-major order equals COO sorted order and
+        // both sums accumulate left to right from 0.0.
+        let coo = gen::banded(30 + seed as usize % 60, 1, 1.0, seed);
+        let csr = CsrMatrix::from(&coo);
+        prop_assert!((0..csr.nrows()).all(|r| csr.row_nnz(r) < 4));
+        let x = dense_x(coo.ncols());
+        let (ya, yb) = (spmv_of(&csr, &x), spmv_of(&coo, &x));
+        for (a, b) in ya.iter().zip(&yb) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_csr_agree_exactly(seed in 0u64..5_000) {
+        let coo = gen::power_law(60 + seed as usize % 60, 80, 2, 2.1, 50, seed);
+        let csr = CsrMatrix::from(&coo);
+        let x = dense_x(coo.ncols());
+        let serial = spmv_of(&csr, &x);
+        let mut par = vec![0.0; csr.nrows()];
+        csr.spmv_par(&x, &mut par);
+        for (a, b) in serial.iter().zip(&par) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_shapes_are_zero(nr in 0usize..6, nc in 0usize..6) {
+        let coo = CooMatrix::zeros(nr, nc);
+        let csr = CsrMatrix::from(&coo);
+        let x = dense_x(nc);
+        let y = spmv_of(&csr, &x);
+        prop_assert!(y.iter().all(|&v| v == 0.0));
+    }
+}

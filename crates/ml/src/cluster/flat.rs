@@ -1,0 +1,143 @@
+//! Contiguous centroid storage for the serving hot path.
+//!
+//! The fitted clustering types keep centroids as `Vec<Vec<f64>>` — the
+//! natural shape for training, but a pointer chase per centroid on every
+//! nearest-centroid query. [`FlatCentroids`] is a read-only view derived
+//! at snapshot-build time: all centroids in one row-major buffer plus
+//! their precomputed squared norms, so a query is a single linear walk
+//! over one cache-resident block.
+//!
+//! The scan uses the norm expansion `‖x − c‖² = ‖x‖² − 2·x·c + ‖c‖²`:
+//! since `‖x‖²` is constant across centroids, the argmin only needs
+//! `‖c‖² − 2·x·c` per centroid — one fused multiply-add loop over the
+//! flat buffer instead of a subtract-square loop per row. The winning
+//! centroid's distance is then recomputed with the exact legacy
+//! subtract-square formula ([`crate::sq_dist`]), so the reported distance
+//! is bit-identical to the historic `novelty` path (`sqrt` is monotone
+//! and correctly rounded, so `min ∘ sqrt = sqrt ∘ min`).
+
+use crate::sq_dist;
+
+/// Read-only flattened centroids with precomputed squared norms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatCentroids {
+    dim: usize,
+    /// `len x dim`, row-major.
+    data: Vec<f64>,
+    /// `‖c_i‖²` per centroid.
+    sq_norms: Vec<f64>,
+}
+
+impl FlatCentroids {
+    /// Flatten a set of equal-width centroid rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent widths.
+    pub fn from_rows<R: AsRef<[f64]>>(rows: &[R]) -> Self {
+        let dim = rows.first().map_or(0, |r| r.as_ref().len());
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        let mut sq_norms = Vec::with_capacity(rows.len());
+        for r in rows {
+            let r = r.as_ref();
+            assert_eq!(r.len(), dim, "centroid width mismatch");
+            data.extend_from_slice(r);
+            sq_norms.push(r.iter().map(|v| v * v).sum());
+        }
+        FlatCentroids {
+            dim,
+            data,
+            sq_norms,
+        }
+    }
+
+    /// Number of centroids.
+    pub fn len(&self) -> usize {
+        self.sq_norms.len()
+    }
+
+    /// True when there are no centroids.
+    pub fn is_empty(&self) -> bool {
+        self.sq_norms.is_empty()
+    }
+
+    /// Width of each centroid.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Centroid `i` as a slice of the flat buffer.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Index of the nearest centroid and the exact Euclidean distance to
+    /// it, or `None` when empty.
+    ///
+    /// Ties break to the lowest index, matching the historic
+    /// `min_by(total_cmp)` scan; the returned distance is bit-identical
+    /// to `sq_dist(x, nearest).sqrt()` on the legacy nested layout.
+    pub fn nearest(&self, x: &[f64]) -> Option<(usize, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        assert_eq!(x.len(), self.dim, "query width mismatch");
+        let mut best = 0usize;
+        let mut best_score = f64::INFINITY;
+        for (i, (chunk, &n2)) in self
+            .data
+            .chunks_exact(self.dim.max(1))
+            .zip(&self.sq_norms)
+            .enumerate()
+        {
+            let mut xc = 0.0;
+            for j in 0..self.dim {
+                xc += x[j] * chunk[j];
+            }
+            let score = n2 - 2.0 * xc;
+            if score < best_score {
+                best = i;
+                best_score = score;
+            }
+        }
+        Some((best, sq_dist(x, self.row(best)).sqrt()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_nearest() {
+        let f = FlatCentroids::from_rows::<Vec<f64>>(&[]);
+        assert!(f.is_empty());
+        assert_eq!(f.nearest(&[]), None);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let rows = vec![vec![0.0, 0.0], vec![3.0, 4.0], vec![-1.0, 2.0]];
+        let f = FlatCentroids::from_rows(&rows);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.dim(), 2);
+        let (i, d) = f.nearest(&[2.9, 4.2]).unwrap();
+        assert_eq!(i, 1);
+        assert_eq!(d.to_bits(), sq_dist(&[2.9, 4.2], &rows[1]).sqrt().to_bits());
+    }
+
+    #[test]
+    fn ties_break_to_first_index() {
+        // Two bitwise-identical centroids: both the expansion score and
+        // the exact distance tie exactly, so the first must win.
+        let rows = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![9.0, 9.0]];
+        let f = FlatCentroids::from_rows(&rows);
+        assert_eq!(f.nearest(&[1.2, 0.8]).unwrap().0, 0);
+    }
+
+    #[test]
+    fn zero_dim_rows_are_all_at_distance_zero() {
+        let f = FlatCentroids::from_rows(&[Vec::<f64>::new(), Vec::new()]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.nearest(&[]), Some((0, 0.0)));
+    }
+}

@@ -7,6 +7,7 @@
 //! while labels stay per-architecture.
 
 pub mod birch;
+pub mod flat;
 pub mod kmeans;
 pub mod meanshift;
 pub mod online;
@@ -39,6 +40,12 @@ impl Clustering {
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(i, _)| i)
             .expect("at least one centroid")
+    }
+
+    /// Flatten the centroids for allocation-free nearest queries on a
+    /// serving hot path.
+    pub fn flatten(&self) -> flat::FlatCentroids {
+        flat::FlatCentroids::from_rows(&self.centroids)
     }
 
     /// Members (training point indices) of each cluster.

@@ -113,6 +113,13 @@ impl OnlineKMeans {
             .map(|c| dist(x, c))
             .fold(f64::INFINITY, f64::min)
     }
+
+    /// Flatten the centroids for allocation-free nearest queries: one
+    /// `FlatCentroids::nearest` call replaces the [`Self::assign`] +
+    /// [`Self::novelty`] pair (same argmin, bit-identical distance).
+    pub fn flatten(&self) -> super::flat::FlatCentroids {
+        super::flat::FlatCentroids::from_rows(&self.centroids)
+    }
 }
 
 #[cfg(test)]

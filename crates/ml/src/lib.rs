@@ -34,7 +34,8 @@ pub mod tree;
 
 pub use classifier::Classifier;
 pub use cluster::{
-    birch::Birch, kmeans::KMeans, meanshift::MeanShift, ClusterAlgorithm, Clustering,
+    birch::Birch, flat::FlatCentroids, kmeans::KMeans, meanshift::MeanShift, ClusterAlgorithm,
+    Clustering,
 };
 pub use cnn::CnnClassifier;
 pub use cv::{stratified_kfold, train_test_split};

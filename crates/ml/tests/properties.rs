@@ -89,6 +89,24 @@ proptest! {
     }
 
     #[test]
+    fn flat_centroids_match_assign_and_novelty(points in arb_points()) {
+        // Grow an online model, then check that one FlatCentroids::nearest
+        // call reproduces the legacy assign + novelty pair exactly: same
+        // argmin, bit-identical distance.
+        let mut m = OnlineKMeans::new(5.0, 16);
+        for p in &points {
+            m.observe(p);
+        }
+        let flat = m.flatten();
+        prop_assert_eq!(flat.len(), m.n_clusters());
+        for p in &points {
+            let (i, d) = flat.nearest(p).expect("non-empty");
+            prop_assert_eq!(i, m.assign(p));
+            prop_assert_eq!(d.to_bits(), m.novelty(p).to_bits());
+        }
+    }
+
+    #[test]
     fn unlimited_tree_memorizes_distinct_rows(seed in 0u64..1000) {
         // Rows with unique feature values are always separable.
         let n = 20;

@@ -36,14 +36,24 @@ use spsel_core::cache::KeyWriter;
 use spsel_core::overhead::{amortized_best, break_even_iterations};
 use spsel_core::semi::SemiSupervisedSelector;
 use spsel_core::telemetry::ServingReport;
-use spsel_core::ShardedOnlineSelector;
-use spsel_features::{FeatureId, FeatureVector, MatrixStats, NUM_FEATURES};
+use spsel_core::{DecisionPhaseNs, ShardedOnlineSelector};
+use spsel_features::{FeatureExtractor, FeatureId, FeatureVector, MatrixStats, NUM_FEATURES};
 use spsel_gpusim::cost::ConversionCostModel;
 use spsel_gpusim::{predict_times, Gpu};
 use spsel_matrix::{io, CsrMatrix, Format};
+use std::cell::RefCell;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+thread_local! {
+    /// Per-thread single-pass feature extractor: its scratch (row-count
+    /// table, column histogram, diagonal census stamps) is reused across
+    /// requests, so steady-state featurization of a matrix allocates
+    /// nothing beyond the matrix itself.
+    static EXTRACTOR: RefCell<FeatureExtractor> = RefCell::new(FeatureExtractor::new());
+}
 
 /// Online-learning knobs for the serving engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -382,15 +392,28 @@ impl Engine {
         &self,
         body: &SelectBody,
     ) -> Result<(FeatureVector, MatrixStats), ServeError> {
+        let (fv, stats, _) = self.resolve_features_timed(body)?;
+        Ok((fv, stats))
+    }
+
+    /// [`Self::resolve_features`] plus the nanoseconds spent in feature
+    /// extraction proper (the single-pass walk over the CSR form — file
+    /// IO and format conversion are excluded; 0 for inline vectors).
+    fn resolve_features_timed(
+        &self,
+        body: &SelectBody,
+    ) -> Result<(FeatureVector, MatrixStats, u64), ServeError> {
         if let Some(path) = &body.matrix {
             let coo = io::read_matrix_market_file(path).map_err(|e| ServeError::Io {
                 path: path.clone(),
                 message: e.to_string(),
             })?;
             let csr = CsrMatrix::from(&coo);
-            let stats = MatrixStats::from_csr(&csr);
+            let start = Instant::now();
+            let stats = EXTRACTOR.with(|ex| ex.borrow_mut().stats(&csr));
             let fv = FeatureVector::from_stats(&stats);
-            return Ok((fv, stats));
+            let extract_ns = start.elapsed().as_nanos() as u64;
+            return Ok((fv, stats, extract_ns));
         }
         if let Some(values) = &body.features {
             if values.len() != NUM_FEATURES {
@@ -403,7 +426,7 @@ impl Engine {
             raw.copy_from_slice(values);
             let fv = FeatureVector::from_raw(raw);
             let stats = stats_from_features(&fv);
-            return Ok((fv, stats));
+            return Ok((fv, stats, 0));
         }
         Err(ServeError::BadRequest {
             message: "select needs `matrix` (a path) or `features` (21 values)".into(),
@@ -424,10 +447,10 @@ impl Engine {
         gpu: Gpu,
         fv: &FeatureVector,
         learn: bool,
-    ) -> Result<spsel_core::OnlineView, ServeError> {
+    ) -> Result<(spsel_core::OnlineView, DecisionPhaseNs), ServeError> {
         if !(learn && self.journal_active.load(Ordering::Acquire)) {
             let state = model.state(gpu)?;
-            return Ok(state.online.decide(fv, learn));
+            return Ok(state.online.decide_phased(fv, learn));
         }
         let mut lc = self.lifecycle_lock()?;
         // Re-resolve under the lock: a swap that landed between the
@@ -435,7 +458,7 @@ impl Engine {
         // bypassed by an observe applied to the superseded model.
         let model = self.model();
         let state = model.state(gpu)?;
-        let view = state.online.decide(fv, true);
+        let (view, phases) = state.online.decide_phased(fv, true);
         if let Some(journal) = lc.journal.as_ref() {
             let seq = journal.append_observe(gpu.name(), fv.as_slice())?;
             self.observes_journaled.fetch_add(1, Ordering::Relaxed);
@@ -444,7 +467,7 @@ impl Engine {
             lc.records_since_checkpoint += 1;
             self.maybe_compact(&mut lc)?;
         }
-        Ok(view)
+        Ok((view, phases))
     }
 
     /// Answer one selection query end to end. This is the single decision
@@ -453,14 +476,17 @@ impl Engine {
         let gpu = parse_gpu(&body.gpu)?;
         let model = self.model();
         model.state(gpu)?;
-        let (fv, stats) = self.resolve_features(body)?;
+        let (fv, stats, extract_ns) = self.resolve_features_timed(body)?;
         let iterations = body.iterations.unwrap_or(self.default_iterations);
         let learn = body.learn.unwrap_or(true);
 
-        let view = self.decide(&model, gpu, &fv, learn)?;
+        let (view, phases) = self.decide(&model, gpu, &fv, learn)?;
         let decision = view.decision;
         self.metrics
             .select(decision.new_cluster, decision.benchmark_requested);
+        if !learn {
+            self.metrics.decision_phases(extract_ns, phases);
+        }
 
         let times = predict_times(&gpu.spec(), &stats, matrix_id(&fv));
         let amortized = amortized_best(&times, &model.conversion, iterations);

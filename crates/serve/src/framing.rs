@@ -536,6 +536,17 @@ fn put_serving_report(out: &mut Vec<u8>, s: &ServingReport) {
     put_f64(out, s.p99_latency_us);
     put_f64(out, s.max_latency_us);
     for v in [
+        s.timed_decisions,
+        s.decision_extract_ns,
+        s.decision_embed_ns,
+        s.decision_assign_ns,
+        s.decision_label_ns,
+    ] {
+        put_u64(out, v);
+    }
+    put_f64(out, s.decision_p50_us);
+    put_f64(out, s.decision_p99_us);
+    for v in [
         s.read_decisions,
         s.write_decisions,
         s.write_lock_acquisitions,
@@ -586,6 +597,17 @@ fn read_serving_report(r: &mut ByteReader) -> Result<ServingReport, ServeError> 
     s.p50_latency_us = r.f64("p50_latency_us")?;
     s.p99_latency_us = r.f64("p99_latency_us")?;
     s.max_latency_us = r.f64("max_latency_us")?;
+    for field in [
+        &mut s.timed_decisions,
+        &mut s.decision_extract_ns,
+        &mut s.decision_embed_ns,
+        &mut s.decision_assign_ns,
+        &mut s.decision_label_ns,
+    ] {
+        *field = r.u64("serving counter")?;
+    }
+    s.decision_p50_us = r.f64("decision_p50_us")?;
+    s.decision_p99_us = r.f64("decision_p99_us")?;
     for field in [
         &mut s.read_decisions,
         &mut s.write_decisions,

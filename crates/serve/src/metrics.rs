@@ -8,6 +8,7 @@
 //! the run-report JSON.
 
 use spsel_core::telemetry::ServingReport;
+use spsel_core::DecisionPhaseNs;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -42,10 +43,40 @@ pub struct ServeMetrics {
     binary_requests: AtomicU64,
     swap_requests: AtomicU64,
     sync_requests: AtomicU64,
+    timed_decisions: AtomicU64,
+    decision_extract_ns: AtomicU64,
+    decision_embed_ns: AtomicU64,
+    decision_assign_ns: AtomicU64,
+    decision_label_ns: AtomicU64,
+    /// Power-of-two *nanosecond* buckets for the whole decision path of
+    /// one `learn: false` select (extract + embed + assign + label) —
+    /// finer grained than the microsecond request histogram because a
+    /// steady-state decision completes in well under a microsecond.
+    decision_ns_buckets: [AtomicU64; BUCKETS],
 }
 
 fn bump(c: &AtomicU64) {
     c.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Quantile over a power-of-two bucket histogram: the upper bound
+/// (`2^(i+1) - 1` base units) of the bucket holding the `ceil(q * n)`-th
+/// fastest sample, 0 when empty.
+fn bucket_quantile(buckets: &[AtomicU64; BUCKETS], q: f64) -> f64 {
+    let counts: Vec<u64> = buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return ((1u128 << (i + 1)) - 1) as f64;
+        }
+    }
+    ((1u128 << BUCKETS) - 1) as f64
 }
 
 impl Default for ServeMetrics {
@@ -74,6 +105,12 @@ impl Default for ServeMetrics {
             binary_requests: AtomicU64::new(0),
             swap_requests: AtomicU64::new(0),
             sync_requests: AtomicU64::new(0),
+            timed_decisions: AtomicU64::new(0),
+            decision_extract_ns: AtomicU64::new(0),
+            decision_embed_ns: AtomicU64::new(0),
+            decision_assign_ns: AtomicU64::new(0),
+            decision_label_ns: AtomicU64::new(0),
+            decision_ns_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -186,6 +223,24 @@ impl ServeMetrics {
         bump(&self.sync_requests);
     }
 
+    /// Account one `learn: false` decision's per-phase nanoseconds
+    /// (`extract_ns` measured by the caller around featurization, the
+    /// rest from [`DecisionPhaseNs`]).
+    pub fn decision_phases(&self, extract_ns: u64, phases: DecisionPhaseNs) {
+        bump(&self.timed_decisions);
+        self.decision_extract_ns
+            .fetch_add(extract_ns, Ordering::Relaxed);
+        self.decision_embed_ns
+            .fetch_add(phases.embed_ns, Ordering::Relaxed);
+        self.decision_assign_ns
+            .fetch_add(phases.assign_ns, Ordering::Relaxed);
+        self.decision_label_ns
+            .fetch_add(phases.label_ns, Ordering::Relaxed);
+        let total_ns = extract_ns + phases.embed_ns + phases.assign_ns + phases.label_ns;
+        let bucket = (63 - (total_ns | 1).leading_zeros() as usize).min(BUCKETS - 1);
+        bump(&self.decision_ns_buckets[bucket]);
+    }
+
     /// Record one request's wall-clock latency.
     pub fn record_latency(&self, elapsed: Duration) {
         let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
@@ -197,25 +252,13 @@ impl ServeMetrics {
     /// Latency at quantile `q` in [0, 1]: the upper bound of the bucket
     /// holding the `ceil(q * n)`-th fastest request, 0 when empty.
     fn latency_quantile(&self, q: f64) -> f64 {
-        let counts: Vec<u64> = self
-            .latency_buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0.0;
-        }
-        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                // Upper bound of bucket i: 2^(i+1) - 1 microseconds.
-                return ((1u128 << (i + 1)) - 1) as f64;
-            }
-        }
-        ((1u128 << BUCKETS) - 1) as f64
+        bucket_quantile(&self.latency_buckets, q)
+    }
+
+    /// Decision-path latency quantile in microseconds (the histogram is
+    /// nanosecond-bucketed, hence the division).
+    fn decision_quantile_us(&self, q: f64) -> f64 {
+        bucket_quantile(&self.decision_ns_buckets, q) / 1e3
     }
 
     /// Serializable snapshot of every counter.
@@ -245,6 +288,13 @@ impl ServeMetrics {
             binary_requests: load(&self.binary_requests),
             swap_requests: load(&self.swap_requests),
             sync_requests: load(&self.sync_requests),
+            timed_decisions: load(&self.timed_decisions),
+            decision_extract_ns: load(&self.decision_extract_ns),
+            decision_embed_ns: load(&self.decision_embed_ns),
+            decision_assign_ns: load(&self.decision_assign_ns),
+            decision_label_ns: load(&self.decision_label_ns),
+            decision_p50_us: self.decision_quantile_us(0.50),
+            decision_p99_us: self.decision_quantile_us(0.99),
             // Contention, journal, and lifecycle counters live with the
             // engine; it merges them in `Engine::serving_report`.
             ..ServingReport::default()
@@ -330,6 +380,45 @@ mod tests {
         assert!(r.p99_latency_us > 10_000.0);
         // p50 is unchanged.
         assert_eq!(r.p50_latency_us, 127.0);
+    }
+
+    #[test]
+    fn decision_phase_counters_and_quantiles_accumulate() {
+        let m = ServeMetrics::new();
+        let r = m.report();
+        assert_eq!(r.decision_p50_us, 0.0, "empty decision histogram");
+        // 99 sub-microsecond decisions (~700 ns), one slow 40 us outlier.
+        for _ in 0..99 {
+            m.decision_phases(
+                200,
+                DecisionPhaseNs {
+                    embed_ns: 300,
+                    assign_ns: 150,
+                    label_ns: 50,
+                },
+            );
+        }
+        m.decision_phases(
+            30_000,
+            DecisionPhaseNs {
+                embed_ns: 5_000,
+                assign_ns: 4_000,
+                label_ns: 1_000,
+            },
+        );
+        let r = m.report();
+        assert_eq!(r.timed_decisions, 100);
+        assert_eq!(r.decision_extract_ns, 99 * 200 + 30_000);
+        assert_eq!(r.decision_embed_ns, 99 * 300 + 5_000);
+        assert_eq!(r.decision_assign_ns, 99 * 150 + 4_000);
+        assert_eq!(r.decision_label_ns, 99 * 50 + 1_000);
+        // 700 ns lands in bucket 9 (512..1023 ns): upper bound 1023 ns.
+        assert_eq!(r.decision_p50_us, 1.023);
+        // The p99 target is the 99th decision, still in the fast bucket;
+        // the 40 us outlier only shows past p99.
+        assert_eq!(r.decision_p99_us, 1.023);
+        // The request-latency histogram is untouched by decision timing.
+        assert_eq!(r.p50_latency_us, 0.0);
     }
 
     #[test]

@@ -170,6 +170,13 @@ fn report_from(pool: &[u64]) -> ServingReport {
         sync_records_sent: pool[36],
         sync_bytes_sent: pool[37],
         sync_records_applied: pool[38],
+        timed_decisions: pool[39],
+        decision_extract_ns: pool[38].rotate_left(7),
+        decision_embed_ns: pool[37].rotate_left(13),
+        decision_assign_ns: pool[36].rotate_left(21),
+        decision_label_ns: pool[35].rotate_left(31),
+        decision_p50_us: f(pool[34].rotate_left(3)),
+        decision_p99_us: f(pool[33].rotate_left(5)),
     }
 }
 
@@ -370,6 +377,28 @@ proptest! {
         prop_assert_eq!(decoded_wire, wire);
         prop_assert_eq!(buf.pending(), 0);
     }
+}
+
+/// Wire stability alone cannot catch a field the binary codec silently
+/// drops (the re-encode of the lossy decode matches the lossy wire), so
+/// a stats reply with every counter set to a distinct finite value must
+/// also round-trip by equality.
+#[test]
+fn stats_reply_fields_survive_binary_round_trip() {
+    let pool: Vec<u64> = (1..=40).collect();
+    let response = Response::of_stats(StatsReply {
+        artifact_version: 7,
+        feature_digest: "0123456789abcdef".into(),
+        gpus: Vec::new(),
+        serving: report_from(&pool),
+        lifecycle: lifecycle_from(&pool),
+    });
+    let wire = framing::encode_response(&response);
+    let mut buf = FrameBuffer::new();
+    buf.push(&wire);
+    let (kind, body) = buf.next_frame().unwrap().unwrap();
+    let decoded = framing::decode_response(kind, &body).unwrap();
+    assert_eq!(decoded, response, "binary codec dropped a stats field");
 }
 
 // ---------------------------------------------------------------------

@@ -568,11 +568,17 @@ fn soak_256_binary_connections_zero_failures() {
 /// envelope before any decision work.
 #[test]
 fn pipelined_request_behind_a_long_batch_exceeds_its_deadline() {
-    let (addr, handle) = start_server(single_worker());
-    // First a fat batch (hundreds of decisions, comfortably more than
-    // 1ms of compute), then a 1ms-deadline select pipelined behind it
-    // in the same write.
-    let bodies: Vec<SelectBody> = (0..256)
+    // The fat batch's reply is megabytes; disable shedding so the late
+    // select is judged by the deadline check, not admission control.
+    let (addr, handle) = start_server(ServeOptions {
+        shed_buffer_bytes: 0,
+        ..single_worker()
+    });
+    // First a fat batch (thousands of decisions — the allocation-free
+    // decide runs in well under a microsecond, so it takes this many to
+    // stay comfortably over 1ms of compute), then a 1ms-deadline select
+    // pipelined behind it in the same write.
+    let bodies: Vec<SelectBody> = (0..4096)
         .map(|s| SelectBody {
             matrix: None,
             features: Some(feature_vec(500 + s)),

@@ -122,6 +122,15 @@ grep -q '"write_lock_acquisitions":' "$SMOKE_DIR/r-stats.json"
 grep -q '"snapshot_swaps":' "$SMOKE_DIR/r-stats.json"
 grep -q '"snapshot_version":' "$SMOKE_DIR/r-stats.json"
 grep -q '"shard_feedbacks":' "$SMOKE_DIR/r-stats.json"
+# ...as must the per-phase decision-path counters and the dedicated
+# decision-latency histogram quantiles.
+grep -q '"timed_decisions":' "$SMOKE_DIR/r-stats.json"
+grep -q '"decision_extract_ns":' "$SMOKE_DIR/r-stats.json"
+grep -q '"decision_embed_ns":' "$SMOKE_DIR/r-stats.json"
+grep -q '"decision_assign_ns":' "$SMOKE_DIR/r-stats.json"
+grep -q '"decision_label_ns":' "$SMOKE_DIR/r-stats.json"
+grep -q '"decision_p50_us":' "$SMOKE_DIR/r-stats.json"
+grep -q '"decision_p99_us":' "$SMOKE_DIR/r-stats.json"
 ./target/release/spsel request "$ADDR" '"Shutdown"' > "$SMOKE_DIR/r-shutdown.json"
 grep -q '"stopping":true' "$SMOKE_DIR/r-shutdown.json"
 wait "$SERVE_PID"
@@ -184,6 +193,32 @@ grep -q '"write_lock_acquisitions": *0' "$SMOKE_DIR/BENCH_serve.json"
 grep -q '"snapshot_swaps": *0' "$SMOKE_DIR/BENCH_serve.json"
 grep -q '"write_decisions": *0' "$SMOKE_DIR/BENCH_serve.json"
 grep -q '"throughput_rps"' "$SMOKE_DIR/BENCH_serve.json"
+
+echo "==> decision-path budget (allocation-free hot path, p99 under the old p50)"
+# The steady-state select path must stay bit-identical to the code it
+# replaced and allocation-free: the proptest equivalence suites and the
+# counting-allocator test are the gate.
+cargo test -q --offline -p spsel-features --test properties
+cargo test -q --offline -p spsel-matrix --test spmv_equivalence
+cargo test -q --offline -p spsel-core --test zero_alloc
+# Budget: the decision-path p99 (extract+embed+assign+label, measured by
+# the daemon's nanosecond histogram and excluding pipeline queue time)
+# must sit below 31 us — the *median* request latency of the pre-
+# optimization read flood (see "The decision-path budget" in
+# EXPERIMENTS.md). Enforced on both the committed BENCH_serve.json and
+# the flood record regenerated above.
+check_decision_budget() {
+    local file=$1
+    grep -q '"decision_p99_us":' "$file"
+    awk -F'"decision_p99_us": *' '
+        NF > 1 { split($2, a, /[,}\n]/); if (a[1] + 0 >= 31.0) bad = 1 }
+        END { exit bad }
+    ' "$file" || { echo "decision_p99_us >= 31.0 in $file" >&2; exit 1; }
+}
+check_decision_budget "$SMOKE_DIR/BENCH_serve.json"
+check_decision_budget BENCH_serve.json
+# At least one timed decision must back those quantiles up.
+grep -q '"timed_decisions": *[1-9]' "$SMOKE_DIR/BENCH_serve.json"
 
 echo "==> binary-protocol smoke (negotiated framing, replies bit-identical to JSON)"
 # One daemon, two protocols. Every read-only request is issued over JSON
