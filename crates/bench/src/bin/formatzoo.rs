@@ -1,0 +1,38 @@
+//! Run the format-zoo experiment: per-workload label distributions over
+//! an extended format registry, plus the cross-workload disagreement
+//! table (how often the best format for SpMM differs from SpMV's).
+//!
+//! ```sh
+//! formatzoo [--registry cusp|extended|full] [--quick] [--json OUT.json]
+//! ```
+
+use spsel_bench::HarnessOptions;
+use spsel_core::experiments::formatzoo::{self, FormatZooConfig, RegistryChoice};
+
+fn main() {
+    let mut h = HarnessOptions::open();
+    let registry = match h.opts.registry.as_deref() {
+        None | Some("extended") => RegistryChoice::Extended,
+        Some("cusp") => RegistryChoice::CuspDefault,
+        Some("full") => RegistryChoice::Full,
+        Some(other) => {
+            eprintln!("formatzoo: --registry must be cusp, extended, or full (got `{other}`)");
+            std::process::exit(2);
+        }
+    };
+    let ctx = h.context();
+    let cfg = FormatZooConfig { registry };
+    eprintln!(
+        "labeling {} matrices x 3 GPUs x 3 workloads against the {:?} registry...",
+        ctx.corpus.len(),
+        registry,
+    );
+    let zoo = h.cached_experiment("formatzoo", &ctx, &cfg, || formatzoo::run(&ctx, &cfg));
+    println!("Format zoo: per-workload label distributions and disagreement\n");
+    println!("{}", zoo.render());
+    println!(
+        "total cross-workload disagreements: {}",
+        zoo.total_disagreements()
+    );
+    h.finish(&zoo);
+}

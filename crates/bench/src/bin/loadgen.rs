@@ -4,7 +4,7 @@
 //! loadgen [--clients N] [--connections C] [--pipeline D] [--requests M]
 //!         [--protocol json|binary|both] [--model MODEL.spsel]
 //!         [--addr HOST:PORT] [--seed S] [--feedback] [--json REPORT]
-//!         [--read-frac F] [--bench-json BENCH.json]
+//!         [--read-frac F] [--bench-json BENCH.json] [--workload W]
 //! ```
 //!
 //! By default it trains a quick model, starts an in-process daemon on an
@@ -25,7 +25,9 @@
 //! sends that (deterministically assigned) fraction of selects as
 //! `learn: false` probes, which the engine answers lock-free from its
 //! online snapshot — the contention counters in the stats reply prove
-//! it.
+//! it. `--workload W` tags every select with a workload (`spmv`, `spmm`,
+//! or `spmm<k>`); the flag is validated locally, so a typo fails fast
+//! instead of producing a full run of error envelopes.
 
 use spsel_core::cache::Cache;
 use spsel_core::corpus::CorpusConfig;
@@ -34,7 +36,7 @@ use spsel_core::telemetry::RunReport;
 use spsel_core::CoreError;
 use spsel_features::{FeatureVector, MatrixStats};
 use spsel_gpusim::Gpu;
-use spsel_matrix::{gen, CsrMatrix};
+use spsel_matrix::{gen, CsrMatrix, Workload};
 use spsel_serve::artifact::{self, TrainConfig};
 use spsel_serve::{
     Client, Engine, EngineOptions, Protocol, Request, ServeError, ServeOptions, Server,
@@ -76,7 +78,12 @@ fn is_read(idx: usize, read_frac: f64) -> bool {
 
 /// The select request for global slot `idx`: a distinct synthetic matrix
 /// per slot, GPUs rotated, deterministic for a given seed.
-fn select_request(idx: usize, seed: u64, read_frac: f64) -> (Request, Gpu, bool) {
+fn select_request(
+    idx: usize,
+    seed: u64,
+    read_frac: f64,
+    workload: Option<Workload>,
+) -> (Request, Gpu, bool) {
     let gpus = [Gpu::Pascal, Gpu::Volta, Gpu::Turing];
     let matrix_seed = seed ^ (idx as u64);
     let csr = CsrMatrix::from(&gen::power_law(
@@ -99,6 +106,7 @@ fn select_request(idx: usize, seed: u64, read_frac: f64) -> (Request, Gpu, bool)
         iterations: Some(500),
         deadline_ms: None,
         learn: Some(learn),
+        workload: workload.map(|w| w.name()),
     };
     (request, gpu, learn)
 }
@@ -130,6 +138,9 @@ struct DriveConfig {
     seed: u64,
     feedback: bool,
     read_frac: f64,
+    /// Workload tag on every select; `None` omits the field (the wire
+    /// default, SpMV).
+    workload: Option<Workload>,
 }
 
 /// One client thread's work: its slice of persistent connections,
@@ -160,7 +171,8 @@ fn client_thread(
         for conn in &mut conns {
             while conn.issued < cfg.requests && conn.inflight.len() < cfg.pipeline {
                 let idx = conn.conn_id * cfg.requests + conn.issued;
-                let (request, gpu, learn) = select_request(idx, cfg.seed, cfg.read_frac);
+                let (request, gpu, learn) =
+                    select_request(idx, cfg.seed, cfg.read_frac, cfg.workload);
                 conn.client.send(&request)?;
                 conn.inflight.push_back(InFlight {
                     sent_at: Instant::now(),
@@ -279,6 +291,7 @@ fn drive(addr: &str, protocol: Protocol, cfg: DriveConfig) -> DriveResult {
 struct BenchRecord {
     bench: String,
     protocol: String,
+    workload: String,
     clients: usize,
     connections: usize,
     pipeline: usize,
@@ -317,6 +330,7 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
     let mut json = None;
     let mut read_frac = 0.0f64;
     let mut bench_json: Option<String> = None;
+    let mut workload: Option<Workload> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -364,6 +378,13 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
                 bench_json = Some(value::<String>(args, i, "--bench-json")?);
                 i += 1;
             }
+            "--workload" => {
+                let name = value::<String>(args, i, "--workload")?;
+                workload = Some(Workload::parse(&name).map_err(|e| {
+                    ServeError::from(CoreError::invalid_argument(format!("--workload: {e}")))
+                })?);
+                i += 1;
+            }
             "--feedback" => feedback = true,
             other => {
                 return Err(
@@ -402,6 +423,7 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
         seed,
         feedback,
         read_frac,
+        workload,
     };
 
     // Either target an external daemon or start one in-process.
@@ -483,6 +505,9 @@ fn run(args: &[String]) -> Result<usize, ServeError> {
         records.push(BenchRecord {
             bench: "serve".into(),
             protocol: protocol.name().into(),
+            workload: cfg
+                .workload
+                .map_or_else(|| "spmv".to_string(), |w| w.name()),
             clients: cfg.clients,
             connections: cfg.connections,
             pipeline: cfg.pipeline,

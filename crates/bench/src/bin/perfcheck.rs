@@ -34,7 +34,7 @@ use spsel_core::{SemiSupervisedSelector, ShardedOnlineSelector};
 use spsel_features::stats::WARP_ROWS;
 use spsel_features::{FeatureExtractor, FeatureId, FeatureVector, MatrixStats};
 use spsel_gpusim::Gpu;
-use spsel_matrix::{gen, CsrMatrix, Format, SpMv};
+use spsel_matrix::{gen, CsrMatrix, Format, FormatRegistry, SpMv, Workload};
 use spsel_ml::forest::{RandomForest, RandomForestParams};
 use spsel_ml::gboost::{GradientBoosting, GradientBoostingParams};
 use spsel_ml::knn::KnnClassifier;
@@ -477,6 +477,71 @@ fn main() {
         feature_costs,
     };
 
+    // 7. Kernel section: per-format SpMV vs SpMM microsecond costs over
+    //    the full registry, built and dispatched through the registry's
+    //    own `FormatSpec::build` path — the CPU-side ground truth for the
+    //    workload abstraction. Infeasible conversions (ELL/DIA blow-up on
+    //    the irregular probe) are reported as absent, not errors.
+    let registry = FormatRegistry::full();
+    let kernel_probes = [
+        ("stencil2d-64", CsrMatrix::from(&gen::stencil2d(64, 3))),
+        (
+            "power-law-2k",
+            CsrMatrix::from(&gen::power_law(2000, 2000, 2, 2.2, 400, 3)),
+        ),
+    ];
+    let kernel_reps = if h.opts.quick { 5 } else { 20 };
+    let spmm_k = Workload::DEFAULT_SPMM_K;
+    let mut kernels: Vec<KernelCost> = Vec::new();
+    println!(
+        "kernel section ({} formats x {} probes, best of 3 x {kernel_reps} reps):",
+        registry.formats().len(),
+        kernel_probes.len(),
+    );
+    for (probe, csr) in &kernel_probes {
+        let x1 = vec![1.0; csr.ncols()];
+        let mut y1 = vec![0.0; csr.nrows()];
+        let xk = vec![1.0; csr.ncols() * spmm_k];
+        let mut yk = vec![0.0; csr.nrows() * spmm_k];
+        for spec in registry.specs() {
+            let Ok(kernel) = spec.build(csr) else {
+                println!("  {probe:<13} {:<5} infeasible", spec.name());
+                continue;
+            };
+            let spmv_us = time_ms(|| {
+                for _ in 0..kernel_reps {
+                    kernel.spmv(&x1, &mut y1);
+                    black_box(&y1);
+                }
+            }) * 1e3
+                / kernel_reps as f64;
+            let spmm_us = time_ms(|| {
+                for _ in 0..kernel_reps {
+                    kernel.spmm(&xk, spmm_k, &mut yk);
+                    black_box(&yk);
+                }
+            }) * 1e3
+                / kernel_reps as f64;
+            println!(
+                "  {probe:<13} {:<5} spmv {spmv_us:>9.1}us  spmm{spmm_k} {spmm_us:>9.1}us \
+                 ({:.2}x per column), {} KiB",
+                spec.name(),
+                spmm_us / (spmv_us * spmm_k as f64),
+                kernel.memory_bytes() / 1024,
+            );
+            kernels.push(KernelCost {
+                probe: probe.to_string(),
+                format: spec.name().to_string(),
+                nnz: csr.nnz(),
+                spmv_us,
+                spmm_k,
+                spmm_us,
+                spmm_per_column_ratio: spmm_us / (spmv_us * spmm_k as f64),
+                memory_bytes: kernel.memory_bytes(),
+            });
+        }
+    }
+
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&exp_dir);
     h.finish(&PerfSummary {
@@ -489,6 +554,7 @@ fn main() {
         training,
         experiment_cache,
         decision_path,
+        kernels,
     });
 }
 
@@ -530,6 +596,23 @@ struct PerfSummary {
     training: TrainingSummary,
     experiment_cache: ExperimentCacheSummary,
     decision_path: DecisionPathSummary,
+    kernels: Vec<KernelCost>,
+}
+
+/// One (probe matrix, format) cell of the kernel section: measured CPU
+/// SpMV and SpMM costs through the registry's dispatch path.
+#[derive(serde::Serialize)]
+struct KernelCost {
+    probe: String,
+    format: String,
+    nnz: usize,
+    spmv_us: f64,
+    spmm_k: usize,
+    spmm_us: f64,
+    /// SpMM cost per dense column relative to one SpMV — below 1.0 means
+    /// the format amortizes the sparse walk over the k columns.
+    spmm_per_column_ratio: f64,
+    memory_bytes: usize,
 }
 
 /// Stage-by-stage budget of one steady-state `learn: false` select, plus

@@ -148,6 +148,7 @@ fn run(args: &[String]) -> Result<(), ServeError> {
             gpu: gpu.name().to_string(),
             iterations: Some(iterations),
             learn: Some(false),
+            workload: None,
         };
         let reply = engine.select(&body)?;
         println!(

@@ -33,6 +33,9 @@ pub struct HarnessOptions {
     pub policy: TrialPolicy,
     /// Run a cache garbage collection before the experiment.
     pub cache_gc: bool,
+    /// Format-registry choice (`--registry cusp|extended|full`); consumed
+    /// by the binaries that label against a registry, ignored elsewhere.
+    pub registry: Option<String>,
 }
 
 /// A [`HarnessOptions`] bundled with the live run report and cache handle
@@ -85,6 +88,7 @@ impl HarnessOptions {
         let mut faults = FaultConfig::from_env();
         let mut policy = TrialPolicy::default();
         let mut cache_gc = false;
+        let mut registry = None;
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -129,6 +133,10 @@ impl HarnessOptions {
                     i += 1;
                     cache_dir = Some(args[i].clone());
                 }
+                "--registry" => {
+                    i += 1;
+                    registry = Some(args[i].clone());
+                }
                 other => panic!("unknown argument `{other}`"),
             }
             i += 1;
@@ -157,6 +165,7 @@ impl HarnessOptions {
             faults,
             policy,
             cache_gc,
+            registry,
         }
     }
 

@@ -1,0 +1,330 @@
+//! Format zoo: per-workload label distributions and the cross-workload
+//! disagreement table.
+//!
+//! The paper freezes the selection problem at (four CUSP formats, SpMV).
+//! This experiment re-poses it over a [`FormatRegistry`] and the three
+//! reported workloads (SpMV, SpMM-4, SpMM-32): for every corpus matrix
+//! and GPU it asks the performance model for the best *registered* format
+//! under each workload, then reports
+//!
+//! 1. the per-workload label distribution (the Table 3 shape, one block
+//!    per workload), and
+//! 2. the disagreement table: for each workload pair, how many matrices
+//!    change their best format when the workload changes — the number
+//!    that justifies treating labels as `(workload → format)` instead of
+//!    a single format per matrix.
+
+use super::ExperimentContext;
+use serde::{Deserialize, Serialize};
+use spsel_gpusim::{best_format_for, Gpu};
+use spsel_matrix::{Format, FormatRegistry, Workload};
+
+/// Which registry the zoo experiment labels against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegistryChoice {
+    /// The paper's four CUSP formats.
+    CuspDefault,
+    /// CUSP four plus BSR and SELL-C-σ.
+    Extended,
+    /// Every format the workspace knows (adds DIA).
+    Full,
+}
+
+impl RegistryChoice {
+    /// Materialize the chosen registry.
+    pub fn registry(self) -> FormatRegistry {
+        match self {
+            RegistryChoice::CuspDefault => FormatRegistry::cusp_default(),
+            RegistryChoice::Extended => FormatRegistry::extended(),
+            RegistryChoice::Full => FormatRegistry::full(),
+        }
+    }
+}
+
+/// Experiment parameters (also the experiment-cache key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FormatZooConfig {
+    /// Registry to label against.
+    pub registry: RegistryChoice,
+}
+
+impl Default for FormatZooConfig {
+    fn default() -> Self {
+        FormatZooConfig {
+            registry: RegistryChoice::Extended,
+        }
+    }
+}
+
+/// Label distribution of one workload: the Table 3 shape over the
+/// full format universe (unregistered formats stay zero).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadDistribution {
+    /// Workload wire name (`spmv`, `spmm4`, `spmm32`).
+    pub workload: String,
+    /// `per_gpu[g][f]`: matrices labeled `Format::UNIVERSE[f]` on
+    /// `Gpu::ALL[g]`.
+    pub per_gpu: [[usize; Format::UNIVERSE_COUNT]; 3],
+    /// Labeled-matrix count per GPU (matrices with any feasible format).
+    pub totals: [usize; 3],
+}
+
+/// One row of the cross-workload disagreement table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DisagreementRow {
+    /// GPU name.
+    pub gpu: String,
+    /// First workload of the pair.
+    pub from: String,
+    /// Second workload of the pair.
+    pub to: String,
+    /// Matrices labeled under both workloads.
+    pub total: usize,
+    /// Matrices whose best format differs between the two workloads.
+    pub disagreements: usize,
+    /// The most common label transition, as `"CSR->ELL"` (empty when the
+    /// workloads agree everywhere).
+    pub top_shift: String,
+}
+
+impl DisagreementRow {
+    /// Disagreement rate in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.disagreements as f64 / self.total as f64
+        }
+    }
+}
+
+/// Format-zoo experiment output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FormatZoo {
+    /// Names of the registered formats, registry order.
+    pub registry_formats: Vec<String>,
+    /// The registry digest the labels were computed under.
+    pub registry_digest: String,
+    /// One distribution block per workload in [`Workload::ALL`] order.
+    pub distributions: Vec<WorkloadDistribution>,
+    /// Disagreement rows: every GPU × ordered workload pair.
+    pub disagreement: Vec<DisagreementRow>,
+}
+
+/// Label the corpus per workload and tabulate distributions and
+/// disagreements.
+pub fn run(ctx: &ExperimentContext, cfg: &FormatZooConfig) -> FormatZoo {
+    let registry = cfg.registry.registry();
+    let workloads = Workload::ALL;
+
+    // labels[w][g][i]: best registered format of record i on GPU g under
+    // workload w (None: nothing feasible, or the GPU lost the record).
+    let labels: Vec<Vec<Vec<Option<Format>>>> = workloads
+        .iter()
+        .map(|&w| {
+            Gpu::ALL
+                .iter()
+                .map(|&g| {
+                    let spec = g.spec();
+                    (0..ctx.corpus.len())
+                        .map(|i| {
+                            // Stay on each GPU's surviving dataset so a
+                            // quarantined or infeasible record does not
+                            // re-enter through the zoo path.
+                            ctx.benches[g as usize][i]?;
+                            let r = &ctx.corpus.records[i];
+                            best_format_for(&spec, &r.stats, r.id, &registry, w)
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let distributions = workloads
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| {
+            let mut per_gpu = [[0usize; Format::UNIVERSE_COUNT]; 3];
+            let mut totals = [0usize; 3];
+            for g in 0..Gpu::ALL.len() {
+                for f in labels[wi][g].iter().flatten() {
+                    per_gpu[g][f.index()] += 1;
+                    totals[g] += 1;
+                }
+            }
+            WorkloadDistribution {
+                workload: w.name(),
+                per_gpu,
+                totals,
+            }
+        })
+        .collect();
+
+    let mut disagreement = Vec::new();
+    for (g, gpu) in Gpu::ALL.iter().enumerate() {
+        for a in 0..workloads.len() {
+            for b in a + 1..workloads.len() {
+                let mut total = 0;
+                let mut disagreements = 0;
+                let mut shifts: Vec<((Format, Format), usize)> = Vec::new();
+                for i in 0..ctx.corpus.len() {
+                    let (Some(fa), Some(fb)) = (labels[a][g][i], labels[b][g][i]) else {
+                        continue;
+                    };
+                    total += 1;
+                    if fa != fb {
+                        disagreements += 1;
+                        match shifts.iter_mut().find(|(k, _)| *k == (fa, fb)) {
+                            Some((_, n)) => *n += 1,
+                            None => shifts.push(((fa, fb), 1)),
+                        }
+                    }
+                }
+                let top_shift = shifts
+                    .iter()
+                    .max_by_key(|&&(_, n)| n)
+                    .map(|((fa, fb), _)| format!("{}->{}", fa.name(), fb.name()))
+                    .unwrap_or_default();
+                disagreement.push(DisagreementRow {
+                    gpu: gpu.name().to_string(),
+                    from: workloads[a].name(),
+                    to: workloads[b].name(),
+                    total,
+                    disagreements,
+                    top_shift,
+                });
+            }
+        }
+    }
+
+    FormatZoo {
+        registry_formats: registry.formats().iter().map(|f| f.name().into()).collect(),
+        registry_digest: registry.digest(),
+        distributions,
+        disagreement,
+    }
+}
+
+impl FormatZoo {
+    /// Total disagreements across all rows (the headline number: zero
+    /// would mean the workload axis is redundant).
+    pub fn total_disagreements(&self) -> usize {
+        self.disagreement.iter().map(|r| r.disagreements).sum()
+    }
+
+    /// Render both tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Format zoo: registry [{}] digest {}\n\n",
+            self.registry_formats.join(", "),
+            self.registry_digest
+        ));
+        out.push_str("Per-workload best-format distribution\n");
+        let shown: Vec<Format> = Format::UNIVERSE
+            .into_iter()
+            .filter(|f| self.registry_formats.iter().any(|n| n == f.name()))
+            .collect();
+        for dist in &self.distributions {
+            out.push_str(&format!("  workload {}\n", dist.workload));
+            out.push_str(&format!(
+                "  {:<8}{:>8}{:>8}{:>8}\n",
+                "", "Pascal", "Volta", "Turing"
+            ));
+            for f in &shown {
+                out.push_str(&format!("  {:<8}", f.name()));
+                for g in 0..3 {
+                    out.push_str(&format!("{:>8}", dist.per_gpu[g][f.index()]));
+                }
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "  {:<8}{:>8}{:>8}{:>8}\n",
+                "Total", dist.totals[0], dist.totals[1], dist.totals[2]
+            ));
+        }
+        out.push_str("\nCross-workload label disagreement\n");
+        out.push_str(&format!(
+            "  {:<8}{:<16}{:>8}{:>10}{:>8}  {}\n",
+            "GPU", "pair", "total", "disagree", "rate", "top shift"
+        ));
+        for r in &self.disagreement {
+            out.push_str(&format!(
+                "  {:<8}{:<16}{:>8}{:>10}{:>7.1}%  {}\n",
+                r.gpu,
+                format!("{}->{}", r.from, r.to),
+                r.total,
+                r.disagreements,
+                100.0 * r.rate(),
+                r.top_shift
+            ));
+        }
+        out.push_str(&format!(
+            "  total disagreements: {}\n",
+            self.total_disagreements()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    #[test]
+    fn distributions_sum_and_disagreement_rows_cover_pairs() {
+        let ctx = ExperimentContext::new(CorpusConfig::small(30, 5));
+        let zoo = run(&ctx, &FormatZooConfig::default());
+        assert_eq!(zoo.distributions.len(), Workload::ALL.len());
+        for dist in &zoo.distributions {
+            for g in 0..3 {
+                assert_eq!(dist.per_gpu[g].iter().sum::<usize>(), dist.totals[g]);
+            }
+        }
+        // 3 GPUs x 3 unordered workload pairs.
+        assert_eq!(zoo.disagreement.len(), 9);
+        let r = zoo.render();
+        assert!(r.contains("spmm32"));
+        assert!(r.contains("disagree"));
+    }
+
+    #[test]
+    fn extended_registry_disagrees_somewhere() {
+        // The acceptance criterion: the disagreement table must have
+        // nonzero rows under the extended registry.
+        let ctx = ExperimentContext::new(CorpusConfig::small(40, 7));
+        let zoo = run(&ctx, &FormatZooConfig::default());
+        assert!(
+            zoo.total_disagreements() > 0,
+            "no matrix changed label across workloads"
+        );
+    }
+
+    #[test]
+    fn default_registry_spmv_block_matches_table3() {
+        // The zoo's SpMV distribution under the CUSP registry must equal
+        // Table 3's per-GPU distribution: same model, same noise lanes.
+        let ctx = ExperimentContext::new(CorpusConfig::small(25, 9));
+        let zoo = run(
+            &ctx,
+            &FormatZooConfig {
+                registry: RegistryChoice::CuspDefault,
+            },
+        );
+        let t3 = super::super::table3::run(&ctx);
+        let spmv = &zoo.distributions[0];
+        assert_eq!(spmv.workload, "spmv");
+        for g in 0..3 {
+            for f in Format::ALL {
+                assert_eq!(
+                    spmv.per_gpu[g][f.index()],
+                    t3.per_gpu[g][f.index()],
+                    "GPU {g} format {f}"
+                );
+            }
+            assert_eq!(spmv.totals[g], t3.totals[g]);
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! paper's layout.
 
 pub mod ablation;
+pub mod formatzoo;
 pub mod table2;
 pub mod table3;
 pub mod table4;

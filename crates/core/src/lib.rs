@@ -47,3 +47,18 @@ pub use speedup::{selection_quality, SelectionQuality};
 pub use supervised::{SupervisedConfig, SupervisedModel};
 pub use telemetry::{DegradationReport, RunReport};
 pub use transfer::{transfer_semi, transfer_semi_budgets, transfer_supervised, RetrainBudget};
+
+/// Class count for a training label set: the paper's 4-class space
+/// ([`spsel_matrix::Format::COUNT`]) when every label is one of the CUSP
+/// formats — keeping the default registry bit-identical to the historical
+/// pipeline — and one past the largest stable format id otherwise. This
+/// is derived from data rather than stored in any serialized config so
+/// that pre-registry model artifacts keep loading unchanged.
+pub fn label_class_count(labels: impl IntoIterator<Item = spsel_matrix::Format>) -> usize {
+    labels
+        .into_iter()
+        .map(|l| l.index() + 1)
+        .max()
+        .unwrap_or(0)
+        .max(spsel_matrix::Format::COUNT)
+}

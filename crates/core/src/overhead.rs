@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use spsel_gpusim::cost::ConversionCostModel;
-use spsel_gpusim::SpmvTimes;
+use spsel_gpusim::{SpmvTimes, WorkloadTimes};
 use spsel_matrix::Format;
 
 /// Decision produced by the overhead-conscious rule.
@@ -62,6 +62,61 @@ pub fn amortized_best(
         total_us,
         csr_total_us: csr_total,
     }
+}
+
+/// [`amortized_best`] generalized to any workload and format set: pick
+/// the format in `formats` minimizing `conversion + iterations * kernel`,
+/// where kernel times come from a [`WorkloadTimes`] table (SpMV or SpMM)
+/// and conversion is still priced in CSR-SpMV-equivalents, with the CSR
+/// entry of `times` standing in for one "unit" of work.
+///
+/// `formats` must contain [`Format::Csr`] (every registry does); entries
+/// absent from `formats` are never chosen even if `times` has them.
+pub fn amortized_best_workload(
+    times: &WorkloadTimes,
+    formats: &[Format],
+    conv: &ConversionCostModel,
+    iterations: usize,
+) -> AmortizedChoice {
+    let csr_unit = times.get(Format::Csr);
+    let total = |f: Format| -> f64 {
+        let t = times.get(f);
+        if !t.is_finite() || !csr_unit.is_finite() {
+            return f64::INFINITY;
+        }
+        conv.relative(f) * csr_unit + iterations as f64 * t
+    };
+    let csr_total = total(Format::Csr);
+    let (format, total_us) = formats
+        .iter()
+        .map(|&f| (f, total(f)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or((Format::Csr, csr_total));
+    AmortizedChoice {
+        format,
+        total_us,
+        csr_total_us: csr_total,
+    }
+}
+
+/// [`break_even_iterations`] over a [`WorkloadTimes`] table: the smallest
+/// number of workload invocations after which converting from CSR pays
+/// off, or `None` if `format` is never faster than CSR (or infeasible).
+pub fn break_even_iterations_workload(
+    times: &WorkloadTimes,
+    conv: &ConversionCostModel,
+    format: Format,
+) -> Option<usize> {
+    let csr = times.get(Format::Csr);
+    if format == Format::Csr {
+        return csr.is_finite().then_some(0);
+    }
+    let t = times.get(format);
+    if !t.is_finite() || !csr.is_finite() || t >= csr {
+        return None;
+    }
+    let n = (conv.relative(format) * csr / (csr - t)).ceil();
+    Some(n as usize)
 }
 
 /// The break-even iteration count for `format`: the smallest number of
@@ -178,6 +233,43 @@ mod tests {
         assert_eq!(flips.last().unwrap().1, Format::Hyb);
         // Iteration counts strictly increase.
         assert!(flips.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn workload_amortized_matches_spmv_rule_on_default_formats() {
+        // Same numbers routed through the workload-generic helper must
+        // reproduce the SpMV-specific rule exactly.
+        let t = times([30.0, 10.0, 25.0, 5.0]);
+        let mut us = [f64::INFINITY; Format::UNIVERSE_COUNT];
+        us[..4].copy_from_slice(&t.us);
+        let wt = WorkloadTimes { us };
+        for iters in [1usize, 100, 294, 10_000] {
+            let a = amortized_best(&t, &conv(), iters);
+            let b = amortized_best_workload(&wt, &Format::ALL, &conv(), iters);
+            assert_eq!(a.format, b.format, "iters={iters}");
+            assert_eq!(a.total_us, b.total_us);
+            assert_eq!(a.csr_total_us, b.csr_total_us);
+        }
+        assert_eq!(
+            break_even_iterations(&t, &conv(), Format::Hyb),
+            break_even_iterations_workload(&wt, &conv(), Format::Hyb),
+        );
+    }
+
+    #[test]
+    fn workload_amortized_respects_the_format_set() {
+        let mut us = [f64::INFINITY; Format::UNIVERSE_COUNT];
+        us[Format::Csr.index()] = 10.0;
+        us[Format::Hyb.index()] = 5.0;
+        us[Format::Bsr.index()] = 1.0; // fastest, but not in the set below
+        let wt = WorkloadTimes { us };
+        let small = [Format::Csr, Format::Hyb];
+        let c = amortized_best_workload(&wt, &small, &conv(), 1_000_000);
+        assert_eq!(c.format, Format::Hyb);
+        let wide = [Format::Csr, Format::Hyb, Format::Bsr];
+        let c = amortized_best_workload(&wt, &wide, &conv(), 1_000_000);
+        assert_eq!(c.format, Format::Bsr);
+        assert!(break_even_iterations_workload(&wt, &conv(), Format::Bsr).is_some());
     }
 
     #[test]

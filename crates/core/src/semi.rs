@@ -118,19 +118,33 @@ pub struct SemiSupervisedSelector {
     labels: Vec<Format>,
 }
 
+/// Tie-break preference across the whole format universe: the paper's
+/// CSR-first convention for the CUSP four, extended formats last.
+const TIE_ORDER: [Format; Format::UNIVERSE_COUNT] = [
+    Format::Csr,
+    Format::Ell,
+    Format::Hyb,
+    Format::Coo,
+    Format::Bsr,
+    Format::Sell,
+    Format::Dia,
+];
+
 /// Majority format among `labels`, ties broken toward the globally more
 /// common format (lower Format index order as final tie-break).
 fn majority(labels: &[Format], fallback: Format) -> Format {
     if labels.is_empty() {
         return fallback;
     }
-    let mut counts = [0usize; Format::COUNT];
+    let mut counts = [0usize; Format::UNIVERSE_COUNT];
     for l in labels {
         counts[l.index()] += 1;
     }
     // CSR-first order mirrors the "default to CSR" convention on ties
-    // (strict comparison keeps the earliest maximum).
-    let order = [Format::Csr, Format::Ell, Format::Hyb, Format::Coo];
+    // (strict comparison keeps the earliest maximum). Extended-registry
+    // formats vote after the CUSP four, so any label set confined to the
+    // default registry behaves exactly as before.
+    let order = TIE_ORDER;
     let mut best = order[0];
     for f in order {
         if counts[f.index()] > counts[best.index()] {
@@ -140,12 +154,20 @@ fn majority(labels: &[Format], fallback: Format) -> Format {
     best
 }
 
+/// Public majority vote over a label set: the format most of `labels`
+/// name, ties broken CSR-first ([`majority`]'s rule), `fallback` when the
+/// set is empty. Used by artifact training to label clusters under
+/// alternative workloads with the same rule the fit-time labeler uses.
+pub fn majority_label(labels: &[Format], fallback: Format) -> Format {
+    majority(labels, fallback)
+}
+
 /// Weighted majority: each `(label, weight)` pair contributes its weight to
 /// the label's count. Exact ties prefer `prior` when given (evidence that
 /// merely ties must not overturn the label a cluster already carries),
 /// otherwise fall back to CSR-first order as in [`majority`].
 fn weighted_majority(votes: &[(Format, f64)], fallback: Format, prior: Option<Format>) -> Format {
-    let mut counts = [0.0f64; Format::COUNT];
+    let mut counts = [0.0f64; Format::UNIVERSE_COUNT];
     let mut total = 0.0;
     for &(l, w) in votes {
         counts[l.index()] += w;
@@ -154,7 +176,7 @@ fn weighted_majority(votes: &[(Format, f64)], fallback: Format, prior: Option<Fo
     if total == 0.0 {
         return fallback;
     }
-    let order = [Format::Csr, Format::Ell, Format::Hyb, Format::Coo];
+    let order = TIE_ORDER;
     let mut best = order[0];
     for f in order {
         if counts[f.index()] > counts[best.index()] {
@@ -311,7 +333,11 @@ impl SemiSupervisedSelector {
                     .map(|&(i, _)| self.embedded[i].clone())
                     .collect();
                 let y: Vec<usize> = trusted.iter().map(|&(_, l)| l.index()).collect();
-                let data = Dataset::new(x, y, Format::COUNT);
+                // Class count is derived from the labels (not stored in
+                // SemiConfig, which old artifacts serialize): all-CUSP
+                // label sets keep the historical 4-class space.
+                let nc = crate::label_class_count(trusted.iter().map(|&(_, l)| l));
+                let data = Dataset::new(x, y, nc);
                 let centroid = &self.clustering.centroids[c];
                 match self.config.labeler {
                     Labeler::Vote => maj,
@@ -359,6 +385,12 @@ impl SemiSupervisedSelector {
     pub fn predict(&self, features: &FeatureVector) -> Format {
         let z = self.preprocessor.embed(features);
         self.labels[self.clustering.assign(&z)]
+    }
+
+    /// The cluster a feature vector lands in (without consulting the
+    /// label table) — the hook per-workload label tables index with.
+    pub fn predict_cluster(&self, features: &FeatureVector) -> usize {
+        self.clustering.assign(&self.preprocessor.embed(features))
     }
 
     /// The per-cluster format labels.

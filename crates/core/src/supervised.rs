@@ -149,6 +149,9 @@ impl SupervisedSelector {
             });
         }
         let y: Vec<usize> = labels.iter().map(|l| l.index()).collect();
+        // Registry-aware class space, derived from the labels themselves
+        // (all-CUSP label sets keep the historical 4-class models).
+        let nc = crate::label_class_count(labels.iter().copied());
 
         let (model, pre) = match config.model {
             SupervisedModel::Dt => {
@@ -158,7 +161,7 @@ impl SupervisedSelector {
                     seed: config.seed,
                     ..Default::default()
                 });
-                m.fit(&Dataset::new(x, y, Format::COUNT));
+                m.fit(&Dataset::new(x, y, nc));
                 (ModelImpl::Dt(m), None)
             }
             SupervisedModel::Rf => {
@@ -169,7 +172,7 @@ impl SupervisedSelector {
                     seed: config.seed,
                     ..Default::default()
                 });
-                m.fit(&Dataset::new(x, y, Format::COUNT));
+                m.fit(&Dataset::new(x, y, nc));
                 (ModelImpl::Rf(m), None)
             }
             SupervisedModel::Xgb => {
@@ -179,7 +182,7 @@ impl SupervisedSelector {
                     learning_rate: 0.1,
                     ..Default::default()
                 });
-                m.fit(&Dataset::new(x, y, Format::COUNT));
+                m.fit(&Dataset::new(x, y, nc));
                 (ModelImpl::Xgb(m), None)
             }
             SupervisedModel::Svm | SupervisedModel::Knn => {
@@ -187,7 +190,7 @@ impl SupervisedSelector {
                 let pre =
                     Preprocessor::fit_rows(&rows, Some(spsel_features::pipeline::DEFAULT_PCA_DIM));
                 let x: Vec<Vec<f64>> = rows.iter().map(|r| pre.embed_row(r)).collect();
-                let data = Dataset::new(x, y, Format::COUNT);
+                let data = Dataset::new(x, y, nc);
                 let m = match config.model {
                     SupervisedModel::Svm => {
                         let mut m = LinearSvm::with_defaults();
@@ -223,7 +226,7 @@ impl SupervisedSelector {
                     seed: config.seed,
                     ..Default::default()
                 });
-                m.fit(&Dataset::new(x, y, Format::COUNT));
+                m.fit(&Dataset::new(x, y, nc));
                 (ModelImpl::Cnn(Box::new(m)), None)
             }
         };

@@ -37,12 +37,18 @@ impl Default for ConversionCostModel {
 
 impl ConversionCostModel {
     /// Relative cost of converting to `format` (CSR itself costs nothing).
+    /// The extended formats are not part of this (serialized) model's
+    /// fields; their costs come from the format registry so the two stay
+    /// in lockstep by construction.
     pub fn relative(&self, format: Format) -> f64 {
         match format {
             Format::Csr => 0.0,
             Format::Coo => self.coo,
             Format::Ell => self.ell,
             Format::Hyb => self.hyb,
+            Format::Bsr | Format::Sell | Format::Dia => {
+                spsel_matrix::default_conversion_cost(format)
+            }
         }
     }
 }

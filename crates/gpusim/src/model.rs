@@ -4,7 +4,7 @@ use crate::noise::noise_factor;
 use crate::spec::GpuSpec;
 use serde::{Deserialize, Serialize};
 use spsel_features::MatrixStats;
-use spsel_matrix::Format;
+use spsel_matrix::{Format, FormatRegistry, Workload};
 
 /// Modeled kernel times in microseconds, indexed by [`Format::index`].
 /// Out-of-memory formats are `f64::INFINITY`.
@@ -221,6 +221,297 @@ pub fn best_format(spec: &GpuSpec, stats: &MatrixStats, matrix_id: u64) -> Optio
     predict_times(spec, stats, matrix_id).best()
 }
 
+// --------------------------------------------------------- format zoo model
+//
+// Everything below is the registry/workload-aware extension. The four
+// CUSP formats under `Workload::SpMv` delegate to `explain_times`, so the
+// default registry reproduces every historical prediction bit for bit;
+// BSR/SELL/DIA and the SpMM workloads are new model surface.
+
+/// Fixed per-format stream-efficiency factors of the extended formats.
+/// They live here (not in `KernelCoeffs`) because `GpuSpec` is serialized
+/// inside artifacts: adding coefficients would break old artifacts.
+mod zoo {
+    /// BSR streams dense blocks — near-perfectly coalesced.
+    pub const BSR_FACTOR: f64 = 0.95;
+    /// SELL's slice descriptors add a small indirection on top of ELL.
+    pub const SELL_FACTOR_VS_ELL: f64 = 1.02;
+    /// Fraction of ELL's padding that σ-scoped sorting fails to recover.
+    pub const SELL_PAD_RESIDUE: f64 = 0.2;
+    /// DIA streams lanes with contiguous x access.
+    pub const DIA_FACTOR: f64 = 0.9;
+    /// Fraction of x gather traffic a 2x2 block shares across its rows.
+    pub const BSR_X_SHARE: f64 = 0.6;
+    /// SpMM: COO's k atomic adds per nonzero contend; penalty per column.
+    pub const COO_ATOMIC_PER_K: f64 = 0.05;
+    /// SpMM: dense-row traffic BSR register tiling avoids.
+    pub const BSR_DENSE_SHARE: f64 = 0.55;
+}
+
+/// Modeled BSR slab slots (stored values including zero fill) for 2x2
+/// blocks. Block fill is driven by column locality: matrices that pack
+/// their diagonals densely (`nnz / dia_size` high) cluster into blocks,
+/// scattered matrices decay toward one nonzero per 4-slot block.
+fn bsr_slab_slots(stats: &MatrixStats) -> f64 {
+    let nnz = stats.nnz as f64;
+    let locality = if stats.dia_size > 0 {
+        (nnz / stats.dia_size as f64).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    let fill = 0.25 + 0.75 * locality;
+    nnz / fill
+}
+
+/// Modeled SELL-C-σ slab slots: the nonzeros plus the fraction of ELL's
+/// padding the scoped sort cannot recover.
+fn sell_slab_slots(stats: &MatrixStats) -> f64 {
+    let nnz = stats.nnz as f64;
+    nnz + zoo::SELL_PAD_RESIDUE * (stats.ell_size as f64 - nnz).max(0.0)
+}
+
+/// The diagonal-count budget DIA conversion accepts (kept in lockstep
+/// with the registry's `DiaSpec`).
+fn dia_limit(stats: &MatrixStats) -> usize {
+    ((stats.nrows + stats.ncols) / 4).max(16)
+}
+
+/// Noise-free SpMV breakdown for any registered format. CUSP formats are
+/// the `explain_times` entries unchanged.
+fn spmv_breakdown(spec: &GpuSpec, stats: &MatrixStats, format: Format) -> TimeBreakdown {
+    if format.index() < Format::COUNT {
+        return explain_times(spec, stats)[format.index()];
+    }
+    let c = &spec.coeffs;
+    let bw = spec.bytes_per_us();
+    let xb = x_bytes_per_nnz(spec, stats);
+    let (nnz, nrows) = (stats.nnz as f64, stats.nrows as f64);
+    let mem_cap = spec.memory_bytes() * c.mem_fraction;
+    match format {
+        Format::Bsr => {
+            // 2x2 blocks: values slab + one u32 per block + block row
+            // pointers; the two rows of a block share their x gathers.
+            let slab = bsr_slab_slots(stats);
+            let store = slab * 8.0 + (slab / 4.0) * 4.0 + (nrows / 2.0 + 1.0) * 8.0;
+            if store > mem_cap {
+                return TimeBreakdown::infeasible();
+            }
+            let bytes = store + nnz * xb * zoo::BSR_X_SHARE;
+            let util = utilization(spec, (nrows / 2.0).max(1.0));
+            TimeBreakdown {
+                launch_us: c.launch_us,
+                stream_us: bytes * zoo::BSR_FACTOR / (bw * util),
+                straggler_us: 0.0,
+                utilization: util,
+                feasible: true,
+            }
+        }
+        Format::Sell => {
+            // ELL's coalesced slab walk over a σ-compacted slab, plus the
+            // row permutation on the output side.
+            let slab = sell_slab_slots(stats);
+            let store = slab * 12.0 + nrows * 4.0;
+            if store > mem_cap {
+                return TimeBreakdown::infeasible();
+            }
+            let bytes = store + nnz * xb + nrows * 8.0;
+            let util = utilization(spec, nrows);
+            TimeBreakdown {
+                launch_us: c.launch_us,
+                stream_us: bytes * c.ell_factor * zoo::SELL_FACTOR_VS_ELL / (bw * util),
+                straggler_us: 0.0,
+                utilization: util,
+                feasible: true,
+            }
+        }
+        Format::Dia => {
+            let store = stats.dia_size as f64 * 8.0;
+            if stats.diagonals > dia_limit(stats) || store > mem_cap {
+                return TimeBreakdown::infeasible();
+            }
+            // Lane-major streaming: x is read contiguously per lane, so
+            // the gather is line-efficient even when x misses L2.
+            let bytes = store + stats.dia_size as f64 * 2.0 + nrows * 8.0;
+            let util = utilization(spec, nrows);
+            TimeBreakdown {
+                launch_us: c.launch_us,
+                stream_us: bytes * zoo::DIA_FACTOR / (bw * util),
+                straggler_us: 0.0,
+                utilization: util,
+                feasible: true,
+            }
+        }
+        _ => unreachable!("CUSP formats handled above"),
+    }
+}
+
+/// Bytes of dense-operand traffic per (nonzero, column) pair in SpMM:
+/// the `k`-wide dense row is contiguous, so even an L2 miss streams whole
+/// lines instead of wasting them on an 8-byte gather.
+fn dense_bytes_per_nnz_col(spec: &GpuSpec, stats: &MatrixStats, k: usize) -> f64 {
+    let operand_bytes = stats.ncols as f64 * k as f64 * 8.0;
+    let pressure = (operand_bytes / spec.l2_bytes()).min(1.0);
+    2.0 + 6.0 * pressure
+}
+
+/// Noise-free SpMM (`k` dense columns) breakdown for any registered
+/// format, built from the same launch/stream/straggler decomposition as
+/// SpMV: the matrix is streamed once, the dense operand `k`-wide.
+fn spmm_breakdown(spec: &GpuSpec, stats: &MatrixStats, format: Format, k: usize) -> TimeBreakdown {
+    let base = spmv_breakdown(spec, stats, format);
+    if !base.feasible {
+        return base;
+    }
+    let c = &spec.coeffs;
+    let bw = spec.bytes_per_us();
+    let kf = k as f64;
+    let xk = dense_bytes_per_nnz_col(spec, stats, k);
+    let (nnz, nrows) = (stats.nnz as f64, stats.nrows as f64);
+    let out_bytes = nrows * kf * 8.0;
+    let (matrix_bytes, eff, items, extra_launches) = match format {
+        // COO performs k atomic adds per nonzero; contention grows with k.
+        Format::Coo => (
+            nnz * 16.0,
+            c.coo_factor * (1.0 + zoo::COO_ATOMIC_PER_K * kf),
+            nnz / 32.0,
+            1.0,
+        ),
+        Format::Csr => {
+            let divergence = if stats.nnz_mean > 0.0 {
+                (stats.nnz_max as f64 / (stats.nnz_mean + 1.0)).clamp(1.0, 32.0)
+            } else {
+                1.0
+            };
+            let penalty = c.csr_penalty * (1.0 + c.csr_divergence * (divergence - 1.0));
+            (nnz * 12.0 + nrows * 16.0, penalty, nrows, 0.0)
+        }
+        Format::Ell => (stats.ell_size as f64 * 12.0, c.ell_factor, nrows, 0.0),
+        Format::Hyb => {
+            // Blend: ELL phase plus a COO tail with the atomic-k penalty.
+            let tail = stats.hyb_coo_nnz as f64;
+            let bytes = stats.hyb_ell_size as f64 * 12.0 + tail * 16.0;
+            let frac = if nnz > 0.0 { tail / nnz } else { 0.0 };
+            let eff = c.ell_factor * (1.0 - frac)
+                + c.coo_factor * (1.0 + zoo::COO_ATOMIC_PER_K * kf) * frac;
+            (bytes, eff, nrows, c.hyb_extra_launches)
+        }
+        // Register tiling: a block's dense rows live in registers across
+        // its columns, shaving dense traffic.
+        Format::Bsr => {
+            let slab = bsr_slab_slots(stats);
+            (
+                slab * 8.0 + (slab / 4.0) * 4.0,
+                zoo::BSR_FACTOR,
+                (nrows / 2.0).max(1.0),
+                0.0,
+            )
+        }
+        Format::Sell => (
+            sell_slab_slots(stats) * 12.0,
+            c.ell_factor * zoo::SELL_FACTOR_VS_ELL,
+            nrows,
+            0.0,
+        ),
+        Format::Dia => (stats.dia_size as f64 * 8.0, zoo::DIA_FACTOR, nrows, 0.0),
+    };
+    let dense_share = match format {
+        Format::Bsr => zoo::BSR_DENSE_SHARE,
+        _ => 1.0,
+    };
+    let bytes = matrix_bytes + nnz * kf * xk * dense_share + out_bytes;
+    let util = utilization(spec, items * kf.min(4.0));
+    TimeBreakdown {
+        launch_us: (1.0 + extra_launches) * c.launch_us,
+        stream_us: bytes * eff / (bw * util),
+        // The straggler row's loads each feed k register FMAs: the
+        // serialized chain is load-bound, so it does not scale with k.
+        straggler_us: base.straggler_us,
+        utilization: util,
+        feasible: true,
+    }
+}
+
+/// Noise-free breakdown of one `(format, workload)` kernel. For the four
+/// CUSP formats under [`Workload::SpMv`] this is exactly the matching
+/// [`explain_times`] entry.
+pub fn explain_workload(
+    spec: &GpuSpec,
+    stats: &MatrixStats,
+    format: Format,
+    workload: Workload,
+) -> TimeBreakdown {
+    match workload {
+        Workload::SpMv => spmv_breakdown(spec, stats, format),
+        Workload::SpMm { k } => spmm_breakdown(spec, stats, format, k),
+    }
+}
+
+/// Modeled kernel times for every format of a registry under one
+/// workload, indexed by [`Format::index`]. Formats outside the registry
+/// are `f64::INFINITY`, same as out-of-memory ones.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadTimes {
+    /// Microseconds per stable format id (`Format::UNIVERSE` order).
+    pub us: [f64; Format::UNIVERSE_COUNT],
+}
+
+impl WorkloadTimes {
+    /// Time of one format.
+    pub fn get(&self, f: Format) -> f64 {
+        self.us[f.index()]
+    }
+
+    /// The fastest feasible registered format.
+    pub fn best(&self) -> Option<Format> {
+        let (mut best, mut best_t) = (None, f64::INFINITY);
+        for f in Format::UNIVERSE {
+            let t = self.get(f);
+            if t < best_t {
+                best_t = t;
+                best = Some(f);
+            }
+        }
+        best
+    }
+}
+
+/// Model the kernel times of every format in `registry` for `workload`.
+///
+/// Noise lanes: SpMV keeps the historical `(matrix, format, gpu)` lanes —
+/// [`predict_times`] and this function agree exactly on the CUSP formats —
+/// while each SpMM `k` draws from its own disjoint lane block.
+pub fn predict_workload_times(
+    spec: &GpuSpec,
+    stats: &MatrixStats,
+    matrix_id: u64,
+    registry: &FormatRegistry,
+    workload: Workload,
+) -> WorkloadTimes {
+    let gpu_idx = spec.gpu as usize;
+    let mut us = [f64::INFINITY; Format::UNIVERSE_COUNT];
+    for f in registry.formats() {
+        let t = explain_workload(spec, stats, f, workload).total_us();
+        us[f.index()] = if t.is_finite() {
+            let lane = f.index() + 8 * workload.lane() as usize;
+            t * noise_factor(matrix_id, lane, gpu_idx)
+        } else {
+            t
+        };
+    }
+    WorkloadTimes { us }
+}
+
+/// The fastest feasible format of `registry` for `workload`.
+pub fn best_format_for(
+    spec: &GpuSpec,
+    stats: &MatrixStats,
+    matrix_id: u64,
+    registry: &FormatRegistry,
+    workload: Workload,
+) -> Option<Format> {
+    predict_workload_times(spec, stats, matrix_id, registry, workload).best()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +688,129 @@ mod tests {
         for gpu in [pascal_gtx1080(), volta_v100(), turing_rtx8000()] {
             let t = predict_times(&gpu, &s, 13);
             assert!(t.best_speedup_over_csr() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn default_registry_spmv_is_bit_identical_to_predict_times() {
+        // The whole point of the registry refactor: the 4-format SpMV
+        // path must reproduce the historical model exactly — same
+        // formulas, same noise lanes, same bits.
+        let reg = FormatRegistry::cusp_default();
+        let mats = [
+            stats_of(&gen::random_uniform(3000, 3000, 9, 1)),
+            stats_of(&gen::power_law(1500, 1500, 2, 2.2, 400, 5)),
+            stats_of(&gen::banded(2000, 6, 0.8, 9)),
+        ];
+        for gpu in [pascal_gtx1080(), volta_v100(), turing_rtx8000()] {
+            for (id, s) in mats.iter().enumerate() {
+                let old = predict_times(&gpu, s, id as u64 * 37 + 1);
+                let new = predict_workload_times(&gpu, s, id as u64 * 37 + 1, &reg, Workload::SpMv);
+                for f in Format::ALL {
+                    assert_eq!(
+                        old.get(f).to_bits(),
+                        new.get(f).to_bits(),
+                        "{f} diverged on {}",
+                        gpu.model
+                    );
+                }
+                for f in [Format::Bsr, Format::Sell, Format::Dia] {
+                    assert!(new.get(f).is_infinite(), "{f} outside the default registry");
+                }
+                assert_eq!(old.best(), new.best());
+            }
+        }
+    }
+
+    #[test]
+    fn extended_formats_produce_finite_spmv_times() {
+        let s = stats_of(&gen::banded(4000, 5, 0.9, 3));
+        let reg = FormatRegistry::full();
+        let t = predict_workload_times(&volta_v100(), &s, 11, &reg, Workload::SpMv);
+        for f in Format::UNIVERSE {
+            assert!(t.get(f).is_finite() && t.get(f) > 0.0, "{f}");
+        }
+    }
+
+    #[test]
+    fn dia_is_infeasible_for_scattered_matrices() {
+        // Power-law structure occupies nearly every diagonal: the model
+        // must reject DIA exactly like the registry's conversion does.
+        let s = stats_of(&gen::power_law(800, 800, 2, 2.1, 300, 7));
+        assert!(s.diagonals > dia_limit(&s));
+        let b = explain_workload(&volta_v100(), &s, Format::Dia, Workload::SpMv);
+        assert!(!b.feasible);
+    }
+
+    #[test]
+    fn spmm_amortizes_matrix_traffic_per_column() {
+        // Per dense column, SpMM must be cheaper than SpMV: the matrix is
+        // streamed once for k columns.
+        let s = stats_of(&gen::random_uniform(5000, 5000, 10, 2));
+        for f in [Format::Csr, Format::Ell] {
+            let mv = explain_workload(&volta_v100(), &s, f, Workload::SpMv).total_us();
+            let mm = explain_workload(&volta_v100(), &s, f, Workload::SpMm { k: 32 }).total_us();
+            assert!(mm < 32.0 * mv, "{f}: {mm} !< 32 * {mv}");
+            assert!(mm > mv, "{f}: k=32 cannot be cheaper than one SpMV");
+        }
+    }
+
+    #[test]
+    fn coo_atomics_hurt_at_high_k() {
+        // COO's relative standing must degrade as k grows: each nonzero
+        // issues k atomic adds while CSR accumulates in registers.
+        let s = stats_of(&gen::random_uniform(4000, 4000, 8, 4));
+        let spec = volta_v100();
+        let ratio_at = |k: usize| {
+            let coo = explain_workload(&spec, &s, Format::Coo, Workload::SpMm { k }).total_us();
+            let csr = explain_workload(&spec, &s, Format::Csr, Workload::SpMm { k }).total_us();
+            coo / csr
+        };
+        assert!(ratio_at(32) > ratio_at(4));
+        assert!(ratio_at(4) > ratio_at(1));
+    }
+
+    #[test]
+    fn workloads_disagree_on_some_matrices() {
+        // The cross-workload disagreement table must have nonzero rows:
+        // over a family sweep, at least one matrix picks different
+        // formats under SpMV and SpMM-32 in the extended registry.
+        let reg = FormatRegistry::extended();
+        let spec = turing_rtx8000();
+        let mut disagree = 0;
+        for seed in 0..40u64 {
+            let s = match seed % 4 {
+                0 => stats_of(&gen::random_uniform(2000, 2000, 6, seed)),
+                1 => stats_of(&gen::banded(3000, 4, 0.8, seed)),
+                2 => stats_of(&gen::power_law(1200, 1200, 2, 2.3, 400, seed)),
+                _ => stats_of(&gen::row_skewed(1500, 1500, 2, 90, 0.1, seed)),
+            };
+            let a = best_format_for(&spec, &s, seed, &reg, Workload::SpMv);
+            let b = best_format_for(&spec, &s, seed, &reg, Workload::SpMm { k: 32 });
+            if a != b {
+                disagree += 1;
+            }
+        }
+        assert!(disagree > 0, "no matrix changed label across workloads");
+    }
+
+    #[test]
+    fn spmm_noise_lanes_are_disjoint_from_spmv() {
+        let reg = FormatRegistry::cusp_default();
+        let s = stats_of(&gen::random_uniform(3000, 3000, 9, 1));
+        let spec = volta_v100();
+        let mv = predict_workload_times(&spec, &s, 5, &reg, Workload::SpMv);
+        let mm4 = predict_workload_times(&spec, &s, 5, &reg, Workload::SpMm { k: 4 });
+        let mm32 = predict_workload_times(&spec, &s, 5, &reg, Workload::SpMm { k: 32 });
+        // Same breakdown would still noise differently per workload.
+        for f in Format::ALL {
+            let n_mv = mv.get(f) / explain_workload(&spec, &s, f, Workload::SpMv).total_us();
+            let n4 =
+                mm4.get(f) / explain_workload(&spec, &s, f, Workload::SpMm { k: 4 }).total_us();
+            let n32 =
+                mm32.get(f) / explain_workload(&spec, &s, f, Workload::SpMm { k: 32 }).total_us();
+            assert_ne!(n_mv.to_bits(), n4.to_bits(), "{f}");
+            assert_ne!(n4.to_bits(), n32.to_bits(), "{f}");
         }
     }
 }

@@ -1,0 +1,324 @@
+//! Blocked sparse row (BSR): dense `b x b` blocks addressed CSR-style.
+//!
+//! BSR groups the matrix into aligned `b x b` tiles and stores every tile
+//! that holds at least one nonzero as a dense block. Block rows are
+//! indexed by a CSR-like pointer array, blocks within a row are sorted by
+//! block column. The payoff is register blocking: a multi-vector product
+//! (SpMM) reads each block once and reuses it for every dense column,
+//! which is why blocked formats win for GNN-style workloads (Qiu et al.).
+//! The cost is zero fill: a scattered matrix stores mostly-zero blocks.
+
+use crate::{CooMatrix, CsrMatrix, MatrixError, Result, SpMm, SpMv};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Default block edge used by the registry's BSR entry.
+pub const DEFAULT_BLOCK: usize = 2;
+
+/// Sparse matrix in BSR format with square `b x b` blocks.
+///
+/// Edge blocks are zero-padded; padding slots multiply against `x`
+/// entries that exist (block columns never extend past the padded
+/// column count), contributing exact zeros.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// Block edge length.
+    b: usize,
+    /// Block-row pointer (`nblockrows + 1` entries, counts blocks).
+    block_ptr: Vec<usize>,
+    /// Block column index per stored block, ascending within a block row.
+    block_col: Vec<u32>,
+    /// Dense block payloads, row-major inside each `b x b` block.
+    blocks: Vec<f64>,
+    /// True (unpadded) nonzero count.
+    nnz: usize,
+}
+
+impl BsrMatrix {
+    /// Convert from CSR with block edge `b`.
+    ///
+    /// Fails with [`MatrixError::BsrBadBlock`] when `b == 0`.
+    pub fn try_from_csr(csr: &CsrMatrix, b: usize) -> Result<Self> {
+        if b == 0 {
+            return Err(MatrixError::BsrBadBlock { block: b });
+        }
+        let nrows = csr.nrows();
+        let ncols = csr.ncols();
+        let nblockrows = nrows.div_ceil(b);
+        let mut block_ptr = Vec::with_capacity(nblockrows + 1);
+        block_ptr.push(0usize);
+        let mut block_col: Vec<u32> = Vec::new();
+        let mut blocks: Vec<f64> = Vec::new();
+        // Scratch: block column -> position in the current block row.
+        let nblockcols = ncols.div_ceil(b);
+        let mut slot = vec![usize::MAX; nblockcols];
+        let mut active: Vec<u32> = Vec::new();
+        for br in 0..nblockrows {
+            let row_lo = br * b;
+            let row_hi = (row_lo + b).min(nrows);
+            active.clear();
+            // First pass: which block columns does this block row touch?
+            for r in row_lo..row_hi {
+                let (cols, _) = csr.row(r);
+                for &c in cols {
+                    let bc = c as usize / b;
+                    if slot[bc] == usize::MAX {
+                        slot[bc] = 0; // mark
+                        active.push(bc as u32);
+                    }
+                }
+            }
+            active.sort_unstable();
+            let base = blocks.len();
+            for (i, &bc) in active.iter().enumerate() {
+                slot[bc as usize] = base / (b * b) + i;
+            }
+            blocks.resize(base + active.len() * b * b, 0.0);
+            // Second pass: scatter values into their dense blocks.
+            for r in row_lo..row_hi {
+                let lr = r - row_lo;
+                let (cols, vals) = csr.row(r);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let bc = c as usize / b;
+                    let lc = c as usize % b;
+                    let blk = slot[bc];
+                    blocks[blk * b * b + lr * b + lc] = v;
+                }
+            }
+            for &bc in &active {
+                slot[bc as usize] = usize::MAX;
+            }
+            block_col.extend_from_slice(&active);
+            block_ptr.push(block_col.len());
+        }
+        Ok(BsrMatrix {
+            nrows,
+            ncols,
+            b,
+            block_ptr,
+            block_col,
+            blocks,
+            nnz: csr.nnz(),
+        })
+    }
+
+    /// Block edge length.
+    pub fn block(&self) -> usize {
+        self.b
+    }
+
+    /// Number of stored dense blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.block_col.len()
+    }
+
+    /// Total stored slots including zero fill (`n_blocks * b * b`).
+    pub fn slab_size(&self) -> usize {
+        self.n_blocks() * self.b * self.b
+    }
+
+    /// Fraction of stored slots holding true nonzeros (the blocking
+    /// analogue of ELL's fill fraction).
+    pub fn fill_fraction(&self) -> f64 {
+        if self.slab_size() == 0 {
+            1.0
+        } else {
+            self.nnz as f64 / self.slab_size() as f64
+        }
+    }
+
+    /// Convert back to COO (drops zero fill).
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz);
+        let b = self.b;
+        for br in 0..self.block_ptr.len() - 1 {
+            for blk in self.block_ptr[br]..self.block_ptr[br + 1] {
+                let bc = self.block_col[blk] as usize;
+                for lr in 0..b {
+                    let r = br * b + lr;
+                    if r >= self.nrows {
+                        break;
+                    }
+                    for lc in 0..b {
+                        let c = bc * b + lc;
+                        if c >= self.ncols {
+                            break;
+                        }
+                        let v = self.blocks[blk * b * b + lr * b + lc];
+                        if v != 0.0 {
+                            triplets.push((r, c, v));
+                        }
+                    }
+                }
+            }
+        }
+        CooMatrix::from_triplets(self.nrows, self.ncols, &triplets)
+            .expect("BSR blocks hold a valid matrix")
+    }
+
+    /// One row's dot product against `x`, walking this row's slice of
+    /// every block in its block row (ascending block column, ascending
+    /// column within the block — the same left-to-right order the other
+    /// kernels use).
+    #[inline]
+    fn row_dot(&self, r: usize, x: &[f64]) -> f64 {
+        let b = self.b;
+        let br = r / b;
+        let lr = r % b;
+        let mut sum = 0.0;
+        for blk in self.block_ptr[br]..self.block_ptr[br + 1] {
+            let bc = self.block_col[blk] as usize;
+            let lane = &self.blocks[blk * b * b + lr * b..blk * b * b + lr * b + b];
+            let c0 = bc * b;
+            let width = b.min(self.ncols - c0);
+            for (lc, &v) in lane[..width].iter().enumerate() {
+                if v != 0.0 {
+                    sum += v * x[c0 + lc];
+                }
+            }
+        }
+        sum
+    }
+}
+
+impl SpMv for BsrMatrix {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.check_dims(x, y).unwrap();
+        for (r, out) in y.iter_mut().enumerate() {
+            *out = self.row_dot(r, x);
+        }
+    }
+
+    fn spmv_par(&self, x: &[f64], y: &mut [f64]) {
+        self.check_dims(x, y).unwrap();
+        y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+            *yr = self.row_dot(r, x);
+        });
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.block_ptr.len() * std::mem::size_of::<usize>()
+            + self.block_col.len() * 4
+            + self.blocks.len() * 8
+    }
+}
+
+impl SpMm for BsrMatrix {
+    /// Register-blocked SpMM: each dense block is read once and reused
+    /// for all `k` dense columns.
+    fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        self.check_spmm_dims(x, k, y).unwrap();
+        y.fill(0.0);
+        let b = self.b;
+        for br in 0..self.block_ptr.len() - 1 {
+            let row_lo = br * b;
+            let rows = b.min(self.nrows - row_lo);
+            for blk in self.block_ptr[br]..self.block_ptr[br + 1] {
+                let bc = self.block_col[blk] as usize;
+                let c0 = bc * b;
+                let width = b.min(self.ncols - c0);
+                for lr in 0..rows {
+                    let yrow = &mut y[(row_lo + lr) * k..(row_lo + lr + 1) * k];
+                    let lane = &self.blocks[blk * b * b + lr * b..blk * b * b + lr * b + width];
+                    for (lc, &v) in lane.iter().enumerate() {
+                        if v == 0.0 {
+                            continue;
+                        }
+                        let xrow = &x[(c0 + lc) * k..(c0 + lc + 1) * k];
+                        for (yj, &xj) in yrow.iter_mut().zip(xrow) {
+                            *yj += v * xj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from(&gen::power_law(37, 41, 2, 2.2, 20, 5))
+    }
+
+    #[test]
+    fn roundtrip_through_coo() {
+        let csr = sample();
+        for b in [1, 2, 3, 4, 8] {
+            let bsr = BsrMatrix::try_from_csr(&csr, b).unwrap();
+            assert_eq!(CsrMatrix::from(&bsr.to_coo()), csr, "b={b}");
+            assert_eq!(bsr.nnz(), csr.nnz());
+        }
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let csr = sample();
+        let x: Vec<f64> = (0..41).map(|i| (i as f64 * 0.3).sin() + 0.1).collect();
+        let mut want = vec![0.0; 37];
+        csr.spmv(&x, &mut want);
+        for b in [1, 2, 4] {
+            let bsr = BsrMatrix::try_from_csr(&csr, b).unwrap();
+            let (mut y1, mut y2) = (vec![0.0; 37], vec![0.0; 37]);
+            bsr.spmv(&x, &mut y1);
+            bsr.spmv_par(&x, &mut y2);
+            for r in 0..37 {
+                assert!((y1[r] - want[r]).abs() < 1e-12, "b={b} row {r}");
+                assert!((y2[r] - want[r]).abs() < 1e-12, "b={b} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_block_edge_is_a_typed_error() {
+        let err = BsrMatrix::try_from_csr(&sample(), 0).unwrap_err();
+        assert!(matches!(err, MatrixError::BsrBadBlock { block: 0 }));
+    }
+
+    #[test]
+    fn block_one_is_fill_free() {
+        let csr = sample();
+        let bsr = BsrMatrix::try_from_csr(&csr, 1).unwrap();
+        assert_eq!(bsr.slab_size(), csr.nnz());
+        assert_eq!(bsr.fill_fraction(), 1.0);
+    }
+
+    #[test]
+    fn banded_matrices_block_densely() {
+        // A banded matrix's 2x2 blocks are mostly full, a scattered one's
+        // mostly empty — the fill fraction tells them apart.
+        let banded =
+            BsrMatrix::try_from_csr(&CsrMatrix::from(&gen::banded(64, 2, 1.0, 3)), 2).unwrap();
+        let scattered =
+            BsrMatrix::try_from_csr(&CsrMatrix::from(&gen::random_uniform(64, 64, 4, 3)), 2)
+                .unwrap();
+        assert!(banded.fill_fraction() > scattered.fill_fraction());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csr = CsrMatrix::from(&CooMatrix::zeros(5, 7));
+        let bsr = BsrMatrix::try_from_csr(&csr, 2).unwrap();
+        assert_eq!(bsr.n_blocks(), 0);
+        let mut y = [1.0; 5];
+        bsr.spmv(&[0.0; 7], &mut y);
+        assert_eq!(y, [0.0; 5]);
+    }
+}

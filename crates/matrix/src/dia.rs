@@ -63,6 +63,12 @@ impl DiaMatrix {
         &self.offsets
     }
 
+    /// Raw diagonal-major lane data (`num_diagonals * nrows` slots).
+    /// Exposed for the SpMM kernel.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Total stored slots including padding (the paper's `dia_size`).
     pub fn storage_size(&self) -> usize {
         self.data.len()

@@ -98,6 +98,12 @@ impl EllMatrix {
         }
     }
 
+    /// Raw column-major slab arrays `(col_idx, vals)`; padding slots hold
+    /// [`ELL_PAD`] / `0.0`. Exposed for the SpMM kernel and diagnostics.
+    pub fn slab(&self) -> (&[u32], &[f64]) {
+        (&self.col_idx, &self.vals)
+    }
+
     /// Convert back to COO (drops padding).
     pub fn to_coo(&self) -> CooMatrix {
         let mut triplets = Vec::with_capacity(self.nnz);

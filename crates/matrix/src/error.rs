@@ -21,6 +21,8 @@ pub enum MatrixError {
     /// A DIA conversion was rejected because the number of occupied
     /// diagonals exceeds the configured limit.
     DiaTooManyDiagonals { diagonals: usize, limit: usize },
+    /// A BSR conversion was asked for an unusable block edge.
+    BsrBadBlock { block: usize },
     /// Vector length did not match the matrix shape.
     DimensionMismatch {
         expected: usize,
@@ -56,6 +58,9 @@ impl fmt::Display for MatrixError {
                 f,
                 "DIA conversion rejected: {diagonals} occupied diagonals, limit {limit}"
             ),
+            MatrixError::BsrBadBlock { block } => {
+                write!(f, "BSR conversion rejected: block edge {block} is unusable")
+            }
             MatrixError::DimensionMismatch {
                 expected,
                 got,

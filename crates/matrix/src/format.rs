@@ -3,10 +3,15 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Sparse storage formats benchmarked by the paper (CUSP's four formats).
+/// Sparse storage formats known to the workspace.
 ///
-/// `Format::ALL` iterates in the fixed order used throughout the workspace
-/// (COO, CSR, ELL, HYB) which matches the row order of Table 3 in the paper.
+/// The first four variants are CUSP's formats — the paper's original label
+/// space. `Format::ALL` iterates them in the fixed order used throughout
+/// the workspace (COO, CSR, ELL, HYB), matching the row order of Table 3.
+/// The remaining variants (BSR, SELL-C-σ, DIA) only enter the selection
+/// problem through an extended [`crate::FormatRegistry`]; every id is
+/// stable, so artifacts and noise lanes never shift when the registry
+/// grows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Format {
     /// Coordinate format: explicit (row, col, value) triplets.
@@ -17,17 +22,40 @@ pub enum Format {
     Ell,
     /// Hybrid: ELL for the regular part plus COO for overflow entries.
     Hyb,
+    /// Blocked sparse row: dense `b x b` blocks addressed CSR-style.
+    Bsr,
+    /// SELL-C-σ: sliced ELLPACK with scoped row sorting.
+    Sell,
+    /// Diagonal format: one dense lane per occupied diagonal.
+    Dia,
 }
 
 impl Format {
-    /// All four benchmarked formats in canonical order.
+    /// The four CUSP formats in canonical order — the paper's original
+    /// (and the default registry's) label space.
     pub const ALL: [Format; 4] = [Format::Coo, Format::Csr, Format::Ell, Format::Hyb];
 
-    /// Number of benchmarked formats (the number of classes in the
-    /// classification problem).
+    /// Number of formats in the paper's classification problem (the
+    /// default registry's class count).
     pub const COUNT: usize = 4;
 
-    /// Stable small integer id; used as the class label in ML code.
+    /// Every format the workspace knows, in stable id order.
+    pub const UNIVERSE: [Format; 7] = [
+        Format::Coo,
+        Format::Csr,
+        Format::Ell,
+        Format::Hyb,
+        Format::Bsr,
+        Format::Sell,
+        Format::Dia,
+    ];
+
+    /// Number of formats in [`Format::UNIVERSE`].
+    pub const UNIVERSE_COUNT: usize = 7;
+
+    /// Stable small integer id; used as the class label in ML code and as
+    /// the per-format noise lane in the GPU model. Ids never change when
+    /// new formats are appended.
     #[inline]
     pub fn index(self) -> usize {
         match self {
@@ -35,13 +63,16 @@ impl Format {
             Format::Csr => 1,
             Format::Ell => 2,
             Format::Hyb => 3,
+            Format::Bsr => 4,
+            Format::Sell => 5,
+            Format::Dia => 6,
         }
     }
 
     /// Inverse of [`Format::index`]. Panics on out-of-range ids.
     #[inline]
     pub fn from_index(i: usize) -> Format {
-        Format::ALL[i]
+        Format::UNIVERSE[i]
     }
 
     /// Short upper-case name as printed in the paper's tables.
@@ -51,6 +82,9 @@ impl Format {
             Format::Csr => "CSR",
             Format::Ell => "ELL",
             Format::Hyb => "HYB",
+            Format::Bsr => "BSR",
+            Format::Sell => "SELL",
+            Format::Dia => "DIA",
         }
     }
 }
@@ -70,6 +104,9 @@ impl std::str::FromStr for Format {
             "CSR" => Ok(Format::Csr),
             "ELL" => Ok(Format::Ell),
             "HYB" => Ok(Format::Hyb),
+            "BSR" => Ok(Format::Bsr),
+            "SELL" | "SELL-C-SIGMA" => Ok(Format::Sell),
+            "DIA" => Ok(Format::Dia),
             other => Err(format!("unknown format `{other}`")),
         }
     }
@@ -81,14 +118,22 @@ mod tests {
 
     #[test]
     fn index_roundtrip() {
-        for f in Format::ALL {
+        for (i, f) in Format::UNIVERSE.into_iter().enumerate() {
+            assert_eq!(f.index(), i);
             assert_eq!(Format::from_index(f.index()), f);
         }
     }
 
     #[test]
+    fn cusp_prefix_is_stable() {
+        // The paper's four-class label space must stay at ids 0..3 no
+        // matter what the universe grows to.
+        assert_eq!(&Format::UNIVERSE[..Format::COUNT], &Format::ALL);
+    }
+
+    #[test]
     fn parse_names() {
-        for f in Format::ALL {
+        for f in Format::UNIVERSE {
             assert_eq!(f.name().parse::<Format>().unwrap(), f);
             assert_eq!(f.name().to_lowercase().parse::<Format>().unwrap(), f);
         }

@@ -147,6 +147,12 @@ impl HybMatrix {
         &self.coo
     }
 
+    /// Raw column-major ELL slab arrays `(cols, vals)` of the regular
+    /// part. Exposed for the SpMM kernel.
+    pub fn ell_slab(&self) -> (&[u32], &[f64]) {
+        (&self.ell_cols, &self.ell_vals)
+    }
+
     /// Convert back to COO (merging ELL and overflow parts).
     pub fn to_coo(&self) -> CooMatrix {
         let mut triplets = Vec::with_capacity(self.nnz());

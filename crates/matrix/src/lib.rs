@@ -28,6 +28,7 @@
 //! assert_eq!(y, [3.0, 3.0]);
 //! ```
 
+pub mod bsr;
 pub mod coo;
 pub mod csr;
 pub mod dia;
@@ -38,9 +39,12 @@ pub mod gen;
 pub mod hyb;
 pub mod io;
 pub mod permute;
+pub mod registry;
 pub mod sell;
+pub mod spmm;
 pub mod spmv;
 
+pub use bsr::BsrMatrix;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dia::DiaMatrix;
@@ -48,7 +52,9 @@ pub use ell::EllMatrix;
 pub use error::MatrixError;
 pub use format::Format;
 pub use hyb::HybMatrix;
+pub use registry::{default_conversion_cost, FormatRegistry, FormatSpec, SparseKernel, Workload};
 pub use sell::SellMatrix;
+pub use spmm::SpMm;
 pub use spmv::SpMv;
 
 /// Result alias for fallible matrix operations.

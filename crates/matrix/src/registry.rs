@@ -1,0 +1,562 @@
+//! The format/workload registry: the selection label space as data.
+//!
+//! The paper freezes the classification problem at CUSP's four formats
+//! and a single workload (SpMV). This module turns both axes into data:
+//!
+//! * [`FormatSpec`] describes one candidate format — stable id, display
+//!   name, relative conversion cost, and a kernel factory that builds the
+//!   format from CSR and exposes SpMV/SpMM through [`SparseKernel`];
+//! * [`FormatRegistry`] is an ordered set of specs. The
+//!   [`FormatRegistry::cusp_default`] registry reproduces the paper's
+//!   label space exactly (same four formats, same order, same class
+//!   count); [`FormatRegistry::extended`] adds BSR and SELL-C-σ, and
+//!   [`FormatRegistry::full`] adds DIA on top;
+//! * [`Workload`] names the kernel being selected for: SpMV, or a
+//!   multi-vector SpMM with `k` dense columns (GNN-style inference).
+//!
+//! A registry's [`FormatRegistry::digest`] is a stable hex fingerprint of
+//! its format names, order, and conversion costs. Model artifacts embed
+//! it next to the feature-pipeline digest: a model trained against one
+//! label space refuses to serve another.
+
+use crate::{BsrMatrix, CsrMatrix, DiaMatrix, EllMatrix, Format, HybMatrix, Result, SellMatrix};
+use crate::{CooMatrix, SpMm, SpMv};
+
+/// The kernel workload a selection decision is made for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Sparse matrix–vector product `y = A x` (the paper's workload).
+    SpMv,
+    /// Sparse matrix–dense matrix product `Y = A X` with `k` columns.
+    SpMm {
+        /// Number of dense right-hand-side columns.
+        k: usize,
+    },
+}
+
+impl Workload {
+    /// The dense column count `spmm` parses to when no `k` is given.
+    pub const DEFAULT_SPMM_K: usize = 4;
+
+    /// The workloads the experiments report on: SpMV plus the two SpMM
+    /// shapes of GNN inference.
+    pub const ALL: [Workload; 3] = [
+        Workload::SpMv,
+        Workload::SpMm { k: 4 },
+        Workload::SpMm { k: 32 },
+    ];
+
+    /// Canonical lower-case wire name: `spmv`, `spmm4`, `spmm32`, ...
+    pub fn name(self) -> String {
+        match self {
+            Workload::SpMv => "spmv".to_string(),
+            Workload::SpMm { k } => format!("spmm{k}"),
+        }
+    }
+
+    /// Parse a wire name. `spmv` and `spmmN` are accepted case-insensitively;
+    /// a bare `spmm` means `spmm4` ([`Workload::DEFAULT_SPMM_K`]).
+    pub fn parse(s: &str) -> std::result::Result<Workload, String> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "spmv" => Ok(Workload::SpMv),
+            "spmm" => Ok(Workload::SpMm {
+                k: Workload::DEFAULT_SPMM_K,
+            }),
+            other => {
+                if let Some(digits) = other.strip_prefix("spmm") {
+                    match digits.parse::<usize>() {
+                        Ok(k) if (1..=4096).contains(&k) => return Ok(Workload::SpMm { k }),
+                        _ => {}
+                    }
+                }
+                Err(format!(
+                    "unknown workload `{s}` (expected spmv, spmm, or spmmN with 1 <= N <= 4096)"
+                ))
+            }
+        }
+    }
+
+    /// Number of dense right-hand-side columns (1 for SpMV).
+    pub fn k(self) -> usize {
+        match self {
+            Workload::SpMv => 1,
+            Workload::SpMm { k } => k,
+        }
+    }
+
+    /// Noise-lane tag: 0 for SpMV so the default path reproduces the
+    /// historical per-format noise lanes bit for bit; SpMM workloads get
+    /// disjoint lanes keyed by `k`.
+    pub fn lane(self) -> u64 {
+        match self {
+            Workload::SpMv => 0,
+            Workload::SpMm { k } => k as u64,
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// A built kernel instance: the object-safe union of [`SpMv`] and
+/// [`SpMm`] the registry dispatches through.
+pub trait SparseKernel: Send + Sync {
+    /// Sequential SpMV (`y = A x`).
+    fn spmv(&self, x: &[f64], y: &mut [f64]);
+    /// Sequential SpMM (`Y = A X`, row-major `k`-column operands).
+    fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]);
+    /// Bytes occupied by the format's arrays, padding included.
+    fn memory_bytes(&self) -> usize;
+}
+
+impl<T: SpMm + Send + Sync> SparseKernel for T {
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        SpMv::spmv(self, x, y)
+    }
+
+    fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        SpMm::spmm(self, x, k, y)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        SpMv::memory_bytes(self)
+    }
+}
+
+/// One candidate format of the selection problem.
+pub trait FormatSpec: Send + Sync {
+    /// The stable format id this spec selects.
+    fn format(&self) -> Format;
+
+    /// Display name (defaults to the format's canonical name).
+    fn name(&self) -> &'static str {
+        self.format().name()
+    }
+
+    /// Conversion cost from CSR relative to one SpMV, in the units of the
+    /// paper's Table 8 (CSR itself is 0).
+    fn conversion_cost(&self) -> f64;
+
+    /// Build a kernel instance from CSR. Conversion failures (ELL width
+    /// blow-up, DIA diagonal blow-up) surface as typed errors — the
+    /// format is infeasible for that matrix, exactly like the paper's
+    /// CUSP conversion failures.
+    fn build(&self, csr: &CsrMatrix) -> Result<Box<dyn SparseKernel>>;
+}
+
+/// Conversion costs in relative-SpMV units. The four CUSP numbers are the
+/// paper's Table 8 medians (kept in sync with the gpusim
+/// `ConversionCostModel`); the extended formats are modeled from their
+/// construction passes: BSR scatters into dense blocks (two CSR passes
+/// plus zero fill), SELL adds a scoped sort to an ELL-style scatter, DIA
+/// is a single scatter over the diagonal census it already shares with
+/// feature extraction.
+mod costs {
+    pub const COO: f64 = 9.0;
+    pub const CSR: f64 = 0.0;
+    pub const ELL: f64 = 102.0;
+    pub const HYB: f64 = 147.0;
+    pub const BSR: f64 = 76.0;
+    pub const SELL: f64 = 58.0;
+    pub const DIA: f64 = 44.0;
+}
+
+struct CooSpec;
+struct CsrSpec;
+struct EllSpec;
+struct HybSpec;
+struct BsrSpec;
+struct SellSpec;
+struct DiaSpec;
+
+impl FormatSpec for CooSpec {
+    fn format(&self) -> Format {
+        Format::Coo
+    }
+
+    fn conversion_cost(&self) -> f64 {
+        costs::COO
+    }
+
+    fn build(&self, csr: &CsrMatrix) -> Result<Box<dyn SparseKernel>> {
+        Ok(Box::new(CooMatrix::from(csr)))
+    }
+}
+
+impl FormatSpec for CsrSpec {
+    fn format(&self) -> Format {
+        Format::Csr
+    }
+
+    fn conversion_cost(&self) -> f64 {
+        costs::CSR
+    }
+
+    fn build(&self, csr: &CsrMatrix) -> Result<Box<dyn SparseKernel>> {
+        Ok(Box::new(csr.clone()))
+    }
+}
+
+impl FormatSpec for EllSpec {
+    fn format(&self) -> Format {
+        Format::Ell
+    }
+
+    fn conversion_cost(&self) -> f64 {
+        costs::ELL
+    }
+
+    fn build(&self, csr: &CsrMatrix) -> Result<Box<dyn SparseKernel>> {
+        Ok(Box::new(EllMatrix::try_from_csr(csr)?))
+    }
+}
+
+impl FormatSpec for HybSpec {
+    fn format(&self) -> Format {
+        Format::Hyb
+    }
+
+    fn conversion_cost(&self) -> f64 {
+        costs::HYB
+    }
+
+    fn build(&self, csr: &CsrMatrix) -> Result<Box<dyn SparseKernel>> {
+        Ok(Box::new(HybMatrix::from_csr(csr)))
+    }
+}
+
+impl FormatSpec for BsrSpec {
+    fn format(&self) -> Format {
+        Format::Bsr
+    }
+
+    fn conversion_cost(&self) -> f64 {
+        costs::BSR
+    }
+
+    fn build(&self, csr: &CsrMatrix) -> Result<Box<dyn SparseKernel>> {
+        Ok(Box::new(BsrMatrix::try_from_csr(
+            csr,
+            crate::bsr::DEFAULT_BLOCK,
+        )?))
+    }
+}
+
+impl FormatSpec for SellSpec {
+    fn format(&self) -> Format {
+        Format::Sell
+    }
+
+    fn conversion_cost(&self) -> f64 {
+        costs::SELL
+    }
+
+    fn build(&self, csr: &CsrMatrix) -> Result<Box<dyn SparseKernel>> {
+        // C = 32 slices with a 4-slice sorting scope: the SELL-C-σ
+        // defaults of the original paper for wide-SIMD targets.
+        Ok(Box::new(SellMatrix::from_csr(csr, 32, 128)))
+    }
+}
+
+impl FormatSpec for DiaSpec {
+    fn format(&self) -> Format {
+        Format::Dia
+    }
+
+    fn conversion_cost(&self) -> f64 {
+        costs::DIA
+    }
+
+    fn build(&self, csr: &CsrMatrix) -> Result<Box<dyn SparseKernel>> {
+        // The same blow-up guard the feature extractor uses: a matrix
+        // occupying more diagonals than rows+cols/4 pads hopelessly.
+        let limit = ((csr.nrows() + csr.ncols()) / 4).max(16);
+        Ok(Box::new(DiaMatrix::try_from_csr(csr, limit)?))
+    }
+}
+
+/// The conversion cost the built-in [`FormatSpec`] for `format` reports.
+/// Exposed so cost accounting outside this crate (gpusim's Table 8 model)
+/// can stay in lockstep with the registry without duplicating numbers.
+pub fn default_conversion_cost(format: Format) -> f64 {
+    match format {
+        Format::Coo => costs::COO,
+        Format::Csr => costs::CSR,
+        Format::Ell => costs::ELL,
+        Format::Hyb => costs::HYB,
+        Format::Bsr => costs::BSR,
+        Format::Sell => costs::SELL,
+        Format::Dia => costs::DIA,
+    }
+}
+
+fn spec_of(format: Format) -> Box<dyn FormatSpec> {
+    match format {
+        Format::Coo => Box::new(CooSpec),
+        Format::Csr => Box::new(CsrSpec),
+        Format::Ell => Box::new(EllSpec),
+        Format::Hyb => Box::new(HybSpec),
+        Format::Bsr => Box::new(BsrSpec),
+        Format::Sell => Box::new(SellSpec),
+        Format::Dia => Box::new(DiaSpec),
+    }
+}
+
+/// An ordered set of candidate formats: the label space of the selection
+/// problem, as a value instead of a hardcoded enum walk.
+pub struct FormatRegistry {
+    specs: Vec<Box<dyn FormatSpec>>,
+}
+
+impl FormatRegistry {
+    /// Build a registry from an explicit format list (built-in specs).
+    ///
+    /// # Panics
+    /// Panics if `formats` contains duplicates — a registry is a set.
+    pub fn of(formats: &[Format]) -> Self {
+        for (i, f) in formats.iter().enumerate() {
+            assert!(
+                !formats[..i].contains(f),
+                "duplicate format {f} in registry"
+            );
+        }
+        FormatRegistry {
+            specs: formats.iter().map(|&f| spec_of(f)).collect(),
+        }
+    }
+
+    /// The paper's label space: CUSP's four formats in Table 3 order.
+    /// This registry reproduces every existing experiment bit for bit.
+    pub fn cusp_default() -> Self {
+        Self::of(&Format::ALL)
+    }
+
+    /// The six-format zoo: CUSP's four plus BSR and SELL-C-σ.
+    pub fn extended() -> Self {
+        Self::of(&[
+            Format::Coo,
+            Format::Csr,
+            Format::Ell,
+            Format::Hyb,
+            Format::Bsr,
+            Format::Sell,
+        ])
+    }
+
+    /// Every format the workspace knows, DIA included.
+    pub fn full() -> Self {
+        Self::of(&Format::UNIVERSE)
+    }
+
+    /// Number of registered formats.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the registry is empty (it never is, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The registered formats in registry order.
+    pub fn formats(&self) -> Vec<Format> {
+        self.specs.iter().map(|s| s.format()).collect()
+    }
+
+    /// Iterate the registered specs in order.
+    pub fn specs(&self) -> impl Iterator<Item = &dyn FormatSpec> {
+        self.specs.iter().map(|s| s.as_ref())
+    }
+
+    /// The spec for `format`, if registered.
+    pub fn spec(&self, format: Format) -> Option<&dyn FormatSpec> {
+        self.specs
+            .iter()
+            .find(|s| s.format() == format)
+            .map(|s| s.as_ref())
+    }
+
+    /// Whether `format` is registered.
+    pub fn contains(&self, format: Format) -> bool {
+        self.spec(format).is_some()
+    }
+
+    /// Registry-order position of `format`.
+    pub fn position(&self, format: Format) -> Option<usize> {
+        self.specs.iter().position(|s| s.format() == format)
+    }
+
+    /// Parse a format name against this registry only: names outside the
+    /// registered set are rejected even when the workspace knows them.
+    pub fn by_name(&self, name: &str) -> Option<Format> {
+        let upper = name.to_ascii_uppercase();
+        self.specs
+            .iter()
+            .map(|s| s.format())
+            .find(|f| f.name() == upper)
+    }
+
+    /// Class count for ML code trained on this registry's labels: one
+    /// past the largest stable id, so class vectors index directly by
+    /// [`Format::index`]. The default registry yields exactly
+    /// [`Format::COUNT`].
+    pub fn class_count(&self) -> usize {
+        self.specs
+            .iter()
+            .map(|s| s.format().index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Stable fingerprint of the label space: format names in registry
+    /// order plus each conversion cost, FNV-1a hashed to 16 hex chars.
+    /// Any change to the set, the order, or a cost changes the digest.
+    pub fn digest(&self) -> String {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(b"format-registry-v1");
+        for s in &self.specs {
+            eat(s.name().as_bytes());
+            eat(&s.conversion_cost().to_bits().to_le_bytes());
+        }
+        format!("{h:016x}")
+    }
+}
+
+impl Default for FormatRegistry {
+    fn default() -> Self {
+        Self::cusp_default()
+    }
+}
+
+impl std::fmt::Debug for FormatRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FormatRegistry")
+            .field("formats", &self.formats())
+            .field("digest", &self.digest())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn default_registry_is_the_paper_label_space() {
+        let reg = FormatRegistry::cusp_default();
+        assert_eq!(reg.formats(), Format::ALL.to_vec());
+        assert_eq!(reg.class_count(), Format::COUNT);
+    }
+
+    #[test]
+    fn extended_registry_grows_the_class_space() {
+        let reg = FormatRegistry::extended();
+        assert_eq!(reg.len(), 6);
+        assert!(reg.contains(Format::Bsr));
+        assert!(reg.contains(Format::Sell));
+        assert!(!reg.contains(Format::Dia));
+        assert_eq!(reg.class_count(), 6);
+        assert_eq!(FormatRegistry::full().class_count(), 7);
+    }
+
+    #[test]
+    fn digests_separate_set_order_and_cost() {
+        let a = FormatRegistry::cusp_default().digest();
+        assert_eq!(a, FormatRegistry::cusp_default().digest());
+        assert_eq!(a.len(), 16);
+        assert_ne!(a, FormatRegistry::extended().digest());
+        assert_ne!(
+            FormatRegistry::of(&[Format::Coo, Format::Csr]).digest(),
+            FormatRegistry::of(&[Format::Csr, Format::Coo]).digest()
+        );
+    }
+
+    #[test]
+    fn by_name_is_scoped_to_the_registry() {
+        let reg = FormatRegistry::cusp_default();
+        assert_eq!(reg.by_name("csr"), Some(Format::Csr));
+        assert_eq!(reg.by_name("BSR"), None, "BSR is not in the default set");
+        assert_eq!(FormatRegistry::extended().by_name("BSR"), Some(Format::Bsr));
+    }
+
+    #[test]
+    fn every_spec_builds_and_its_kernels_agree() {
+        let csr = CsrMatrix::from(&gen::banded(48, 3, 0.9, 7));
+        let x: Vec<f64> = (0..48).map(|i| (i as f64 * 0.21).cos()).collect();
+        let mut want = vec![0.0; 48];
+        SpMv::spmv(&csr, &x, &mut want);
+        for spec in FormatRegistry::full().specs() {
+            let kernel = spec.build(&csr).unwrap();
+            let mut y = vec![0.0; 48];
+            kernel.spmv(&x, &mut y);
+            for r in 0..48 {
+                assert!(
+                    (y[r] - want[r]).abs() <= 1e-12 * (1.0 + want[r].abs()),
+                    "{} row {r}: {} vs {}",
+                    spec.name(),
+                    y[r],
+                    want[r]
+                );
+            }
+            // SpMM with k = 1 must match SpMV up to reassociation.
+            let mut ym = vec![0.0; 48];
+            kernel.spmm(&x, 1, &mut ym);
+            for r in 0..48 {
+                assert!(
+                    (ym[r] - want[r]).abs() <= 1e-12 * (1.0 + want[r].abs()),
+                    "{} spmm row {r}",
+                    spec.name()
+                );
+            }
+            assert!(kernel.memory_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn infeasible_conversions_error_typed() {
+        // One hub row: ELL rejects; scattered anti-diagonal: DIA rejects.
+        let hub: Vec<_> = (0..60).map(|c| (0usize, c, 1.0)).collect();
+        let hub = CsrMatrix::from(&CooMatrix::from_triplets(200, 64, &hub).unwrap());
+        let reg = FormatRegistry::full();
+        assert!(reg.spec(Format::Ell).unwrap().build(&hub).is_err());
+        assert!(reg.spec(Format::Csr).unwrap().build(&hub).is_ok());
+    }
+
+    #[test]
+    fn workload_names_roundtrip() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::parse(&w.name()).unwrap(), w);
+        }
+        assert_eq!(Workload::parse("SpMV").unwrap(), Workload::SpMv);
+        assert_eq!(
+            Workload::parse("spmm").unwrap(),
+            Workload::SpMm {
+                k: Workload::DEFAULT_SPMM_K
+            }
+        );
+        assert_eq!(Workload::parse("spmm32").unwrap(), Workload::SpMm { k: 32 });
+        assert!(Workload::parse("gemm").is_err());
+        assert!(Workload::parse("spmm0").is_err());
+        assert!(Workload::parse("spmm99999").is_err());
+    }
+
+    #[test]
+    fn workload_lanes_keep_spmv_at_zero() {
+        assert_eq!(Workload::SpMv.lane(), 0);
+        assert_ne!(
+            Workload::SpMm { k: 4 }.lane(),
+            Workload::SpMm { k: 32 }.lane()
+        );
+    }
+}

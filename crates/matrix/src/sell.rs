@@ -137,6 +137,19 @@ impl SellMatrix {
         }
     }
 
+    /// Raw slab arrays `(col_idx, vals)`, slice-local column-major;
+    /// padding slots hold [`SELL_PAD`] / `0.0`. Exposed for the SpMM
+    /// kernel.
+    pub fn slab(&self) -> (&[u32], &[f64]) {
+        (&self.col_idx, &self.vals)
+    }
+
+    /// Slice structure `(slice_widths, slice_ptr, perm)`: per-slice
+    /// widths, slab start offsets, and the scoped row permutation.
+    pub fn slices(&self) -> (&[usize], &[usize], &[u32]) {
+        (&self.slice_widths, &self.slice_ptr, &self.perm)
+    }
+
     /// Convert back to COO (drops padding, undoes the row permutation).
     pub fn to_coo(&self) -> CooMatrix {
         let mut triplets = Vec::with_capacity(self.nnz);

@@ -1,0 +1,181 @@
+//! The `SpMm` trait: multi-vector products (`Y = A * X`) for every format.
+//!
+//! SpMM is the second workload of the selection problem: GNN inference
+//! multiplies a sparse adjacency/weight matrix against a dense feature
+//! block of `k` columns (Qiu et al. use exactly this shape per layer).
+//! Operands are row-major: `x` is `ncols x k`, `y` is `nrows x k`, so one
+//! sparse entry updates a contiguous `k`-slice of the output — the memory
+//! access pattern that rewards formats with block reuse.
+//!
+//! Accumulation order contract: every implementation walks each output
+//! row's nonzeros in ascending column order, summing left to right from
+//! `0.0`, exactly like the COO reference walk (the HYB tail is the one
+//! documented exception — its overflow entries come after the ELL bulk).
+//! The dense-reference property suite (`tests/spmm_dense_reference.rs`)
+//! pins COO to the dense walk bit for bit and the rest to a 1e-12
+//! relative bound.
+
+use crate::ell::ELL_PAD;
+use crate::sell::SELL_PAD;
+use crate::{CooMatrix, CsrMatrix, DiaMatrix, EllMatrix, HybMatrix, MatrixError, SellMatrix, SpMv};
+
+/// Sparse matrix–dense matrix multiplication, `Y = A * X` with `X` a
+/// row-major `ncols x k` block and `Y` a row-major `nrows x k` block.
+pub trait SpMm: SpMv {
+    /// Overwrite `y` with `A * x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols() * k` or `y.len() != nrows() * k`
+    /// (checked via [`SpMm::check_spmm_dims`] in every implementation).
+    fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]);
+
+    /// Validate SpMM operand shapes; shared by all implementations.
+    fn check_spmm_dims(&self, x: &[f64], k: usize, y: &[f64]) -> Result<(), MatrixError> {
+        if x.len() != self.ncols() * k {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.ncols() * k,
+                got: x.len(),
+                what: "x block",
+            });
+        }
+        if y.len() != self.nrows() * k {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.nrows() * k,
+                got: y.len(),
+                what: "y block",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Scale-accumulate one sparse entry against a k-slice: `y += v * x`.
+#[inline]
+fn axpy(v: f64, x: &[f64], y: &mut [f64]) {
+    for (yj, &xj) in y.iter_mut().zip(x) {
+        *yj += v * xj;
+    }
+}
+
+impl SpMm for CooMatrix {
+    /// Reference kernel: triplets are stored row-major sorted, so each
+    /// output row accumulates in ascending column order.
+    fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        self.check_spmm_dims(x, k, y).unwrap();
+        y.fill(0.0);
+        for (r, c, v) in self.iter() {
+            axpy(v, &x[c * k..(c + 1) * k], &mut y[r * k..(r + 1) * k]);
+        }
+    }
+}
+
+impl SpMm for CsrMatrix {
+    fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        self.check_spmm_dims(x, k, y).unwrap();
+        y.fill(0.0);
+        for r in 0..self.nrows() {
+            let yrow = &mut y[r * k..(r + 1) * k];
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                axpy(v, &x[c as usize * k..(c as usize + 1) * k], yrow);
+            }
+        }
+    }
+}
+
+impl SpMm for EllMatrix {
+    /// Row-major traversal of the slab: slot `k` of a row is its `k`-th
+    /// nonzero in sorted column order, so accumulation matches CSR.
+    fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        self.check_spmm_dims(x, k, y).unwrap();
+        y.fill(0.0);
+        let nrows = self.nrows();
+        let (slab_cols, slab_vals) = self.slab();
+        for r in 0..nrows {
+            let yrow = &mut y[r * k..(r + 1) * k];
+            for slot in 0..self.width() {
+                let c = slab_cols[slot * nrows + r];
+                if c != ELL_PAD {
+                    let v = slab_vals[slot * nrows + r];
+                    axpy(v, &x[c as usize * k..(c as usize + 1) * k], yrow);
+                }
+            }
+        }
+    }
+}
+
+impl SpMm for HybMatrix {
+    /// ELL bulk first, COO tail second (the documented reassociation:
+    /// spilled entries accumulate after the row's ELL entries).
+    fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        self.check_spmm_dims(x, k, y).unwrap();
+        y.fill(0.0);
+        let nrows = self.nrows();
+        let (ell_cols, ell_vals) = self.ell_slab();
+        for r in 0..nrows {
+            let yrow = &mut y[r * k..(r + 1) * k];
+            for slot in 0..self.ell_width() {
+                let c = ell_cols[slot * nrows + r];
+                if c != ELL_PAD {
+                    let v = ell_vals[slot * nrows + r];
+                    axpy(v, &x[c as usize * k..(c as usize + 1) * k], yrow);
+                }
+            }
+        }
+        for (r, c, v) in self.coo_part().iter() {
+            axpy(v, &x[c * k..(c + 1) * k], &mut y[r * k..(r + 1) * k]);
+        }
+    }
+}
+
+impl SpMm for SellMatrix {
+    /// Per-lane traversal: each original row's nonzeros live in one lane
+    /// of one slice in ascending column order, so per-row accumulation
+    /// matches CSR despite the row permutation.
+    fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        self.check_spmm_dims(x, k, y).unwrap();
+        y.fill(0.0);
+        let c_height = self.chunk_height();
+        let (slab_cols, slab_vals) = self.slab();
+        let (widths, ptr, perm) = self.slices();
+        for s in 0..self.n_slices() {
+            let base = ptr[s];
+            let lanes = ((s + 1) * c_height).min(self.nrows()) - s * c_height;
+            let rows = &perm[s * c_height..s * c_height + lanes];
+            for (lane, &orig) in rows.iter().enumerate() {
+                let yrow = &mut y[orig as usize * k..(orig as usize + 1) * k];
+                for slot in 0..widths[s] {
+                    let cc = slab_cols[base + slot * c_height + lane];
+                    if cc != SELL_PAD {
+                        let v = slab_vals[base + slot * c_height + lane];
+                        axpy(v, &x[cc as usize * k..(cc as usize + 1) * k], yrow);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl SpMm for DiaMatrix {
+    /// Per-row walk over the sorted offsets: for a fixed row, ascending
+    /// diagonal offset is ascending column, so accumulation matches CSR.
+    fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        self.check_spmm_dims(x, k, y).unwrap();
+        y.fill(0.0);
+        let nrows = self.nrows();
+        let ncols = self.ncols();
+        let data = self.data();
+        for r in 0..nrows {
+            let yrow = &mut y[r * k..(r + 1) * k];
+            for (lane, &off) in self.offsets().iter().enumerate() {
+                let c = r as i64 + off;
+                if c >= 0 && (c as usize) < ncols {
+                    let v = data[lane * nrows + r];
+                    if v != 0.0 {
+                        axpy(v, &x[c as usize * k..(c as usize + 1) * k], yrow);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Every registered format's SpMM against a naive dense reference.
+//!
+//! The reference walks each output row's nonzeros in ascending-column
+//! order, accumulating left to right from 0.0 and skipping structural
+//! zeros — the same contract every sparse SpMM kernel documents. Under
+//! that contract the COO kernel is *bit-identical* to the reference;
+//! formats that reorder the walk (HYB's spilled tail, SELL's permuted
+//! slices, BSR's blocked scatter) or that carry explicit zero fill are
+//! held to a 1e-12 relative bound instead, which is documented at each
+//! assertion site.
+
+use proptest::prelude::*;
+use spsel_matrix::{gen, CooMatrix, CsrMatrix, Format, FormatRegistry, SpMm, SpMv};
+
+/// Deterministic row-major dense operand with mixed-sign entries.
+fn dense_x(ncols: usize, k: usize) -> Vec<f64> {
+    (0..ncols * k)
+        .map(|j| 0.5 + (j % 13) as f64 * 0.25 - (j % 7) as f64 * 0.4)
+        .collect()
+}
+
+/// Naive dense multiply that skips zeros, walking each row's columns
+/// ascending — the accumulation order the sparse kernels promise.
+fn dense_reference(coo: &CooMatrix, x: &[f64], k: usize) -> Vec<f64> {
+    let dense = coo.to_dense();
+    let (nrows, ncols) = (coo.nrows(), coo.ncols());
+    let mut y = vec![0.0; nrows * k];
+    for r in 0..nrows {
+        for c in 0..ncols {
+            let v = dense[r][c];
+            if v != 0.0 {
+                for j in 0..k {
+                    y[r * k + j] += v * x[c * k + j];
+                }
+            }
+        }
+    }
+    y
+}
+
+fn spmm_of(m: &(impl SpMm + ?Sized), x: &[f64], k: usize, nrows: usize) -> Vec<f64> {
+    let mut y = vec![0.0; nrows * k];
+    m.spmm(x, k, &mut y);
+    y
+}
+
+fn assert_close(label: &str, a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "{label}: length");
+    for (i, (va, vb)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (va - vb).abs() <= 1e-12 * (1.0 + va.abs().max(vb.abs())),
+            "{label} slot {i}: {va} vs {vb}"
+        );
+    }
+}
+
+fn families(seed: u64) -> Vec<CooMatrix> {
+    let s = seed as usize;
+    vec![
+        gen::random_uniform(24 + s % 40, 30 + s % 24, 5, seed),
+        gen::banded(32 + s % 48, 3 + s % 4, 0.7, seed),
+        gen::power_law(40 + s % 48, 60, 2, 2.2, 30, seed),
+        gen::row_skewed(32 + s % 32, 70, 2, 24, 0.15, seed),
+    ]
+}
+
+/// Run every registry format on `coo` for one `k`, asserting against the
+/// dense reference. COO is additionally checked bit for bit.
+fn check_all_formats(coo: &CooMatrix, k: usize) {
+    let csr = CsrMatrix::from(coo);
+    let x = dense_x(coo.ncols(), k);
+    let want = dense_reference(coo, &x, k);
+
+    // COO iterates (row-major, ascending columns) exactly like the
+    // reference: bit-for-bit equality, not just closeness.
+    let got = spmm_of(coo, &x, k, coo.nrows());
+    for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "COO slot {i}: {a} vs {b}");
+    }
+
+    for spec in FormatRegistry::full().specs() {
+        let kernel = match spec.build(&csr) {
+            Ok(kernel) => kernel,
+            // ELL/DIA legitimately reject imbalanced or scattered
+            // matrices; conversion feasibility is covered elsewhere.
+            Err(_) => continue,
+        };
+        let mut y = vec![0.0; coo.nrows() * k];
+        kernel.spmm(&x, k, &mut y);
+        // 1e-12 relative: HYB's tail, SELL's permutation, and BSR's
+        // zero-fill skip reassociate sums (and can flip ±0.0).
+        assert_close(spec.name(), &y, &want);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_format_matches_dense_reference(seed in 0u64..5_000, ki in 0usize..3) {
+        let k = [1, 4, 32][ki];
+        for coo in families(seed) {
+            check_all_formats(&coo, k);
+        }
+    }
+
+    #[test]
+    fn spmm_k1_agrees_with_spmv(seed in 0u64..5_000) {
+        // k = 1 SpMM and SpMV are the same contraction; per format they
+        // must agree to the shared tolerance on every family.
+        let csr_families = families(seed);
+        for coo in &csr_families {
+            let csr = CsrMatrix::from(coo);
+            let x = dense_x(coo.ncols(), 1);
+            for spec in FormatRegistry::full().specs() {
+                if let Ok(kernel) = spec.build(&csr) {
+                    let mut y_mv = vec![0.0; coo.nrows()];
+                    kernel.spmv(&x, &mut y_mv);
+                    let mut y_mm = vec![0.0; coo.nrows()];
+                    kernel.spmm(&x, 1, &mut y_mm);
+                    assert_close(spec.name(), &y_mm, &y_mv);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_are_zero(nr in 0usize..5, nc in 0usize..5, ki in 0usize..3) {
+        let k = [1, 4, 32][ki];
+        let coo = CooMatrix::zeros(nr, nc);
+        let csr = CsrMatrix::from(&coo);
+        let x = dense_x(nc, k);
+        for spec in FormatRegistry::full().specs() {
+            let kernel = spec.build(&csr).unwrap();
+            let mut y = vec![1.0; nr * k];
+            kernel.spmm(&x, k, &mut y);
+            prop_assert!(y.iter().all(|&v| v == 0.0), "{} left residue", spec.name());
+        }
+    }
+}
+
+/// Adversarial shapes outside the random families: a hub row (heavy
+/// imbalance), a single row, a single dense column, and a matrix whose
+/// values cancel catastrophically — the case where accumulation-order
+/// differences would surface loudest.
+#[test]
+fn adversarial_matrices_match_dense_reference() {
+    let hub: Vec<_> = (0..48).map(|c| (0usize, c, 1.0 + c as f64 * 0.5)).collect();
+    let one_col: Vec<_> = (0..40).map(|r| (r, 3usize, 0.25 + r as f64)).collect();
+    let cancel: Vec<_> = (0..32)
+        .flat_map(|r| [(r, r, 1e9), (r, (r + 1) % 32, -1e9), (r, (r + 2) % 32, 1.0)])
+        .collect();
+    let cases = [
+        CooMatrix::from_triplets(120, 48, &hub).unwrap(),
+        CooMatrix::from_triplets(1, 9, &[(0, 0, 2.0), (0, 5, -1.5), (0, 8, 4.0)]).unwrap(),
+        CooMatrix::from_triplets(40, 8, &one_col).unwrap(),
+        CooMatrix::from_triplets(32, 32, &cancel).unwrap(),
+    ];
+    for coo in &cases {
+        for k in [1, 4, 32] {
+            check_all_formats(coo, k);
+        }
+    }
+}
+
+/// The registry's extended set must cover exactly the formats the
+/// disagreement experiments serve, each with a working SpMM.
+#[test]
+fn extended_registry_formats_all_spmm() {
+    let coo = gen::banded(64, 4, 0.8, 11);
+    let csr = CsrMatrix::from(&coo);
+    let x = dense_x(coo.ncols(), 4);
+    let want = dense_reference(&coo, &x, 4);
+    let reg = FormatRegistry::extended();
+    assert!(reg.contains(Format::Bsr) && reg.contains(Format::Sell));
+    for spec in reg.specs() {
+        let kernel = spec.build(&csr).unwrap();
+        let mut y = vec![0.0; coo.nrows() * 4];
+        kernel.spmm(&x, 4, &mut y);
+        assert_close(spec.name(), &y, &want);
+    }
+}

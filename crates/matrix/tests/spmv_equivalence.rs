@@ -1,4 +1,4 @@
-//! Equivalence of the unrolled CSR SpMV kernel against the COO reference.
+//! Equivalence of every SpMV kernel against the COO reference.
 //!
 //! The CSR inner loop is 4-wide unrolled, which re-associates the row sum
 //! for rows with 4+ nonzeros — so dense-ish matrices are gated to a
@@ -8,7 +8,7 @@
 //! per-row dot, so they must always agree exactly.
 
 use proptest::prelude::*;
-use spsel_matrix::{gen, CooMatrix, CsrMatrix, SpMv};
+use spsel_matrix::{gen, BsrMatrix, CooMatrix, CsrMatrix, DiaMatrix, SellMatrix, SpMv};
 
 /// Deterministic dense vector with non-trivial, mixed-sign entries.
 fn dense_x(n: usize) -> Vec<f64> {
@@ -88,4 +88,107 @@ proptest! {
         let y = spmv_of(&csr, &x);
         prop_assert!(y.iter().all(|&v| v == 0.0));
     }
+
+    #[test]
+    fn sell_matches_coo_across_matrix_families(seed in 0u64..5_000) {
+        let s = seed as usize;
+        let families = [
+            gen::random_uniform(30 + s % 50, 40 + s % 30, 6, seed),
+            gen::banded(40 + s % 60, 3 + s % 5, 0.7, seed),
+            gen::power_law(50 + s % 60, 70, 2, 2.2, 40, seed),
+            gen::row_skewed(40 + s % 40, 90, 2, 30, 0.15, seed),
+        ];
+        // Sweep chunk/scope shapes including C that doesn't divide nrows.
+        let (c, sigma) = [(4, 16), (8, 64), (32, 128)][s % 3];
+        for coo in &families {
+            let sell = SellMatrix::from_csr(&CsrMatrix::from(coo), c, sigma);
+            let x = dense_x(coo.ncols());
+            assert_close(&spmv_of(&sell, &x), &spmv_of(coo, &x));
+            let mut par = vec![0.0; sell.nrows()];
+            sell.spmv_par(&x, &mut par);
+            assert_close(&spmv_of(&sell, &x), &par);
+        }
+    }
+
+    #[test]
+    fn dia_matches_coo_on_banded_families(seed in 0u64..5_000) {
+        // DIA only converts band-limited matrices; generate within its
+        // diagonal budget and let the limit scale with the band.
+        let s = seed as usize;
+        let coo = gen::banded(40 + s % 60, 2 + s % 6, 0.6 + (s % 4) as f64 * 0.1, seed);
+        let dia = DiaMatrix::try_from_csr(&CsrMatrix::from(&coo), 64).unwrap();
+        let x = dense_x(coo.ncols());
+        assert_close(&spmv_of(&dia, &x), &spmv_of(&coo, &x));
+        let mut par = vec![0.0; dia.nrows()];
+        dia.spmv_par(&x, &mut par);
+        assert_close(&spmv_of(&dia, &x), &par);
+    }
+
+    #[test]
+    fn bsr_matches_coo_across_matrix_families(seed in 0u64..5_000, b in 1usize..5) {
+        let s = seed as usize;
+        let families = [
+            gen::random_uniform(30 + s % 50, 40 + s % 30, 6, seed),
+            gen::banded(40 + s % 60, 3 + s % 5, 0.7, seed),
+            gen::power_law(50 + s % 60, 70, 2, 2.2, 40, seed),
+        ];
+        for coo in &families {
+            let bsr = BsrMatrix::try_from_csr(&CsrMatrix::from(coo), b).unwrap();
+            let x = dense_x(coo.ncols());
+            assert_close(&spmv_of(&bsr, &x), &spmv_of(coo, &x));
+            let mut par = vec![0.0; bsr.nrows()];
+            bsr.spmv_par(&x, &mut par);
+            assert_close(&spmv_of(&bsr, &x), &par);
+        }
+    }
+
+    #[test]
+    fn new_formats_empty_and_degenerate_shapes_are_zero(nr in 0usize..6, nc in 0usize..6) {
+        let csr = CsrMatrix::from(&CooMatrix::zeros(nr, nc));
+        let x = dense_x(nc);
+        let sell = SellMatrix::from_csr(&csr, 4, 16);
+        prop_assert!(spmv_of(&sell, &x).iter().all(|&v| v == 0.0));
+        let dia = DiaMatrix::try_from_csr(&csr, 16).unwrap();
+        prop_assert!(spmv_of(&dia, &x).iter().all(|&v| v == 0.0));
+        let bsr = BsrMatrix::try_from_csr(&csr, 2).unwrap();
+        prop_assert!(spmv_of(&bsr, &x).iter().all(|&v| v == 0.0));
+    }
+}
+
+/// A 1×n hub row inside a tall matrix: the imbalance case ELL rejects.
+/// SELL and BSR must still convert and agree with the COO reference.
+#[test]
+fn hub_matrix_sell_and_bsr_agree_with_coo() {
+    let hub: Vec<_> = (0..60).map(|c| (0usize, c, 1.0 + c as f64 * 0.5)).collect();
+    let coo = CooMatrix::from_triplets(200, 64, &hub).unwrap();
+    let csr = CsrMatrix::from(&coo);
+    let x = dense_x(64);
+    let want = spmv_of(&coo, &x);
+    for (c, sigma) in [(4, 16), (32, 128)] {
+        assert_close(&spmv_of(&SellMatrix::from_csr(&csr, c, sigma), &x), &want);
+    }
+    for b in [1, 2, 3] {
+        assert_close(
+            &spmv_of(&BsrMatrix::try_from_csr(&csr, b).unwrap(), &x),
+            &want,
+        );
+    }
+}
+
+/// Single-row matrices exercise slice/block boundaries of height one.
+#[test]
+fn single_row_matrix_across_new_formats() {
+    let coo = CooMatrix::from_triplets(1, 7, &[(0, 1, 2.0), (0, 4, -3.0), (0, 6, 0.5)]).unwrap();
+    let csr = CsrMatrix::from(&coo);
+    let x = dense_x(7);
+    let want = spmv_of(&coo, &x);
+    assert_close(&spmv_of(&SellMatrix::from_csr(&csr, 8, 64), &x), &want);
+    assert_close(
+        &spmv_of(&DiaMatrix::try_from_csr(&csr, 16).unwrap(), &x),
+        &want,
+    );
+    assert_close(
+        &spmv_of(&BsrMatrix::try_from_csr(&csr, 2).unwrap(), &x),
+        &want,
+    );
 }

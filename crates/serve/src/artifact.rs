@@ -24,12 +24,16 @@ use crate::error::ServeError;
 use serde::{Deserialize, Serialize};
 use spsel_core::cache::{Cache, KeyWriter};
 use spsel_core::corpus::{Corpus, CorpusConfig};
+use spsel_core::experiments::formatzoo::RegistryChoice;
 use spsel_core::experiments::ExperimentContext;
-use spsel_core::semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
+use spsel_core::semi::{
+    majority_label, ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector,
+};
 use spsel_core::CoreResult;
 use spsel_features::{FeatureId, NUM_FEATURES};
 use spsel_gpusim::cost::ConversionCostModel;
-use spsel_matrix::Format;
+use spsel_gpusim::{best_format_for, Gpu};
+use spsel_matrix::{Format, FormatRegistry, Workload};
 use std::path::Path;
 
 /// Version of the artifact serialization format. Bump on any change to
@@ -49,8 +53,45 @@ pub fn feature_pipeline_digest() -> String {
     w.finish_hex()
 }
 
-/// One GPU's trained selector plus its self-describing label table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// The registry a digest names, when this build provides it. An
+/// artifact whose digest is none of these cannot be served — its label
+/// space (format set, order, or conversion costs) differs from anything
+/// this build can decide over.
+pub fn registry_for_digest(digest: &str) -> Option<FormatRegistry> {
+    [
+        FormatRegistry::cusp_default(),
+        FormatRegistry::extended(),
+        FormatRegistry::full(),
+    ]
+    .into_iter()
+    .find(|r| r.digest() == digest)
+}
+
+fn known_registry_digests() -> String {
+    [
+        FormatRegistry::cusp_default(),
+        FormatRegistry::extended(),
+        FormatRegistry::full(),
+    ]
+    .iter()
+    .map(|r| r.digest())
+    .collect::<Vec<_>>()
+    .join(", ")
+}
+
+/// One workload's per-cluster label table: `labels[c]` is the best
+/// format for cluster `c` under this workload (majority vote over the
+/// cluster's training members, falling back to the SpMV label).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadLabels {
+    /// Workload wire name (`spmm4`, `spmm32`, ...).
+    pub workload: String,
+    /// One format label per cluster, cluster order.
+    pub labels: Vec<Format>,
+}
+
+/// One GPU's trained selector plus its self-describing label tables.
+#[derive(Debug, Clone, Serialize)]
 pub struct GpuArtifact {
     /// GPU name (`Pascal`, `Volta`, `Turing`).
     pub gpu: String,
@@ -60,17 +101,41 @@ pub struct GpuArtifact {
     /// `spsel inspect` (and foreign tooling) can read the decision table
     /// without understanding the full selector encoding.
     pub cluster_labels: Vec<Format>,
+    /// Per-workload cluster label tables for the non-SpMV workloads;
+    /// empty in pre-workload artifacts (every workload then falls back
+    /// to the SpMV labels).
+    pub workload_labels: Vec<WorkloadLabels>,
     /// Matrices the selector was trained on.
     pub training_records: usize,
 }
 
+impl serde::Deserialize for GpuArtifact {
+    // Hand-written so `workload_labels` may be absent: pre-workload
+    // artifacts keep loading (the derive demands every key).
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = serde::expect_object(v, "GpuArtifact")?;
+        Ok(GpuArtifact {
+            gpu: serde::get_field(obj, "gpu", "GpuArtifact")?,
+            selector: serde::get_field(obj, "selector", "GpuArtifact")?,
+            cluster_labels: serde::get_field(obj, "cluster_labels", "GpuArtifact")?,
+            workload_labels: serde::get_field_opt(obj, "workload_labels")?.unwrap_or_default(),
+            training_records: serde::get_field(obj, "training_records", "GpuArtifact")?,
+        })
+    }
+}
+
 /// A complete, versioned serving model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ModelArtifact {
     /// Serialization version — must equal [`ARTIFACT_VERSION`] to load.
     pub artifact_version: u32,
     /// Feature-pipeline digest — must equal [`feature_pipeline_digest`].
     pub feature_digest: String,
+    /// Format-registry digest: the label space the model was trained
+    /// over. Must name a registry this build provides
+    /// ([`registry_for_digest`]); pre-registry artifacts (no such field)
+    /// default to the CUSP four.
+    pub registry_digest: String,
     /// Hex digest of the training context (corpus + every benchmark bit).
     pub context_digest: String,
     /// Corpus configuration the model was trained on.
@@ -79,6 +144,24 @@ pub struct ModelArtifact {
     pub conversion: ConversionCostModel,
     /// One entry per GPU that produced a usable training set.
     pub gpus: Vec<GpuArtifact>,
+}
+
+impl serde::Deserialize for ModelArtifact {
+    // Hand-written so `registry_digest` may be absent: pre-registry
+    // artifacts load as CUSP-default models.
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = serde::expect_object(v, "ModelArtifact")?;
+        Ok(ModelArtifact {
+            artifact_version: serde::get_field(obj, "artifact_version", "ModelArtifact")?,
+            feature_digest: serde::get_field(obj, "feature_digest", "ModelArtifact")?,
+            registry_digest: serde::get_field_opt(obj, "registry_digest")?
+                .unwrap_or_else(|| FormatRegistry::cusp_default().digest()),
+            context_digest: serde::get_field(obj, "context_digest", "ModelArtifact")?,
+            corpus: serde::get_field(obj, "corpus", "ModelArtifact")?,
+            conversion: serde::get_field(obj, "conversion", "ModelArtifact")?,
+            gpus: serde::get_field(obj, "gpus", "ModelArtifact")?,
+        })
+    }
 }
 
 /// Training-time configuration: which labeler/seed to use and how the
@@ -94,6 +177,10 @@ pub struct TrainConfig {
     pub cluster_divisor: usize,
     /// Lower bound on the cluster count.
     pub min_clusters: usize,
+    /// Format registry (label space) to train over. The default —
+    /// [`RegistryChoice::CuspDefault`] — reproduces the historical
+    /// pipeline bit-for-bit: measured bench labels, same class count.
+    pub registry: RegistryChoice,
 }
 
 impl Default for TrainConfig {
@@ -103,6 +190,7 @@ impl Default for TrainConfig {
             labeler: Labeler::Vote,
             cluster_divisor: 10,
             min_clusters: 4,
+            registry: RegistryChoice::CuspDefault,
         }
     }
 }
@@ -130,6 +218,7 @@ impl TrainConfig {
         w.str(self.labeler.name());
         w.usize(self.cluster_divisor);
         w.usize(self.min_clusters);
+        w.str(&self.registry.registry().digest());
         w.finish()
     }
 }
@@ -138,6 +227,7 @@ impl TrainConfig {
 /// GPUs that lost their whole benchmark run (fault degradation) are
 /// skipped; an error is returned only when *no* GPU is trainable.
 pub fn train(ctx: &ExperimentContext, tc: &TrainConfig) -> CoreResult<ModelArtifact> {
+    let registry = tc.registry.registry();
     let mut gpus = Vec::new();
     for gpu in ctx.active_gpus() {
         let indices = ctx.dataset(gpu);
@@ -145,15 +235,36 @@ pub fn train(ctx: &ExperimentContext, tc: &TrainConfig) -> CoreResult<ModelArtif
             continue;
         }
         let features = ctx.features(&indices);
-        let labels = match Corpus::labels(ctx.bench(gpu), &indices) {
-            Ok(l) => l,
-            Err(_) => continue,
+        // SpMV training labels: the measured bench labels under the CUSP
+        // default registry — bit-identical to the historical pipeline —
+        // and model-derived best-of-registry labels otherwise (the bench
+        // harness only measures the CUSP four).
+        let labels: Vec<Format> = match tc.registry {
+            RegistryChoice::CuspDefault => match Corpus::labels(ctx.bench(gpu), &indices) {
+                Ok(l) => l,
+                Err(_) => continue,
+            },
+            _ => {
+                let spec = gpu.spec();
+                indices
+                    .iter()
+                    .map(|&i| {
+                        let r = &ctx.corpus.records[i];
+                        best_format_for(&spec, &r.stats, r.id, &registry, Workload::SpMv)
+                            .unwrap_or(Format::Csr)
+                    })
+                    .collect()
+            }
         };
         let selector =
             SemiSupervisedSelector::fit(&features, &labels, tc.semi_config(indices.len()));
+        let cluster_labels = selector.cluster_labels().to_vec();
+        let workload_labels =
+            workload_label_tables(ctx, gpu, &indices, &selector, &registry, &cluster_labels);
         gpus.push(GpuArtifact {
             gpu: gpu.name().to_string(),
-            cluster_labels: selector.cluster_labels().to_vec(),
+            cluster_labels,
+            workload_labels,
             training_records: indices.len(),
             selector,
         });
@@ -164,11 +275,48 @@ pub fn train(ctx: &ExperimentContext, tc: &TrainConfig) -> CoreResult<ModelArtif
     Ok(ModelArtifact {
         artifact_version: ARTIFACT_VERSION,
         feature_digest: feature_pipeline_digest(),
+        registry_digest: registry.digest(),
         context_digest: format!("{:016x}", ctx.digest()),
         corpus: ctx.corpus.config().clone(),
         conversion: ConversionCostModel::default(),
         gpus,
     })
+}
+
+/// One per-cluster label table per non-SpMV workload: every cluster is
+/// labeled by majority vote over its training members' best registered
+/// format under that workload, falling back to the cluster's SpMV label
+/// when no member has a feasible format.
+fn workload_label_tables(
+    ctx: &ExperimentContext,
+    gpu: Gpu,
+    indices: &[usize],
+    selector: &SemiSupervisedSelector,
+    registry: &FormatRegistry,
+    cluster_labels: &[Format],
+) -> Vec<WorkloadLabels> {
+    let spec = gpu.spec();
+    let assignments = &selector.clustering().assignments;
+    let nc = cluster_labels.len();
+    Workload::ALL
+        .into_iter()
+        .filter(|&w| w != Workload::SpMv)
+        .map(|w| {
+            let mut members: Vec<Vec<Format>> = vec![Vec::new(); nc];
+            for (pos, &i) in indices.iter().enumerate() {
+                let r = &ctx.corpus.records[i];
+                if let Some(f) = best_format_for(&spec, &r.stats, r.id, registry, w) {
+                    members[assignments[pos]].push(f);
+                }
+            }
+            WorkloadLabels {
+                workload: w.name(),
+                labels: (0..nc)
+                    .map(|c| majority_label(&members[c], cluster_labels[c]))
+                    .collect(),
+            }
+        })
+        .collect()
 }
 
 /// Train with the artifact-bytes cache: a warm rerun with the same
@@ -199,7 +347,10 @@ pub fn to_json(artifact: &ModelArtifact) -> String {
 
 /// Parse and validate an artifact: version first (so any future encoding
 /// still gets a precise [`ServeError::VersionMismatch`], not a parse
-/// error), then the full decode, then the feature-pipeline digest.
+/// error), then the full decode, then the feature-pipeline digest, then
+/// the format-registry digest (which must name a registry this build
+/// provides; absent means CUSP default, so pre-registry artifacts keep
+/// loading).
 pub fn from_json(payload: &str) -> Result<ModelArtifact, ServeError> {
     let value: serde::Value = serde_json::from_str(payload).map_err(|e| ServeError::Malformed {
         message: e.to_string(),
@@ -220,6 +371,21 @@ pub fn from_json(payload: &str) -> Result<ModelArtifact, ServeError> {
             expected: ARTIFACT_VERSION,
         });
     }
+    // Registry digest is also peeked before the full decode: a model
+    // trained over a format set this build does not provide must get the
+    // precise mismatch error even if the rest of the payload has drifted
+    // with it.
+    let registry_digest: String = serde::get_field_opt(fields, "registry_digest")
+        .map_err(|e| ServeError::Malformed {
+            message: e.to_string(),
+        })?
+        .unwrap_or_else(|| FormatRegistry::cusp_default().digest());
+    if registry_for_digest(&registry_digest).is_none() {
+        return Err(ServeError::RegistryDigestMismatch {
+            found: registry_digest,
+            expected: known_registry_digests(),
+        });
+    }
     let artifact = ModelArtifact::from_value(&value).map_err(|e| ServeError::Malformed {
         message: e.to_string(),
     })?;
@@ -227,6 +393,25 @@ pub fn from_json(payload: &str) -> Result<ModelArtifact, ServeError> {
     if artifact.feature_digest != expected {
         return Err(ServeError::FeatureDigestMismatch {
             found: artifact.feature_digest,
+            expected,
+        });
+    }
+    Ok(artifact)
+}
+
+/// Like [`from_json`], but additionally requires the artifact's registry
+/// digest to equal `registry`'s exactly — for callers that have already
+/// committed to a specific format set (e.g. a daemon started with an
+/// explicit registry choice).
+pub fn from_json_with(
+    payload: &str,
+    registry: &FormatRegistry,
+) -> Result<ModelArtifact, ServeError> {
+    let artifact = from_json(payload)?;
+    let expected = registry.digest();
+    if artifact.registry_digest != expected {
+        return Err(ServeError::RegistryDigestMismatch {
+            found: artifact.registry_digest,
             expected,
         });
     }
@@ -319,5 +504,53 @@ mod tests {
         assert_eq!(err.code(), "malformed");
         let err = from_json(r#"{"no_version": true}"#).unwrap_err();
         assert_eq!(err.code(), "malformed");
+    }
+
+    #[test]
+    fn unknown_registry_digest_is_a_typed_error() {
+        let payload = format!(
+            r#"{{"artifact_version": {ARTIFACT_VERSION},
+                "feature_digest": "{}",
+                "registry_digest": "ffffffffffffffff"}}"#,
+            feature_pipeline_digest()
+        );
+        let err = from_json(&payload).unwrap_err();
+        assert_eq!(err.code(), "registry_digest_mismatch");
+        assert!(err.to_string().contains("ffffffffffffffff"));
+    }
+
+    #[test]
+    fn every_built_in_registry_digest_resolves() {
+        for reg in [
+            FormatRegistry::cusp_default(),
+            FormatRegistry::extended(),
+            FormatRegistry::full(),
+        ] {
+            let found = registry_for_digest(&reg.digest()).expect("digest must resolve");
+            assert_eq!(found.digest(), reg.digest());
+        }
+        assert!(registry_for_digest("0000000000000000").is_none());
+    }
+
+    #[test]
+    fn missing_registry_digest_defaults_to_cusp_default() {
+        // Pre-registry artifacts never serialized the field; they must
+        // decode as CUSP-default models.
+        let v: serde::Value = serde_json::from_str(
+            r#"{"artifact_version": 1,
+                "feature_digest": "aa",
+                "context_digest": "bb",
+                "corpus": {"matrices": 1, "seed": 2, "rows_min": 3, "rows_max": 4},
+                "conversion": {"cost": {}},
+                "gpus": []}"#,
+        )
+        .unwrap();
+        let obj = serde::expect_object(&v, "ModelArtifact").unwrap();
+        let digest: Option<String> = serde::get_field_opt(obj, "registry_digest").unwrap();
+        assert!(digest.is_none());
+        assert_eq!(
+            digest.unwrap_or_else(|| FormatRegistry::cusp_default().digest()),
+            FormatRegistry::cusp_default().digest()
+        );
     }
 }

@@ -24,23 +24,27 @@
 //! [`crate::journal`] for the durable format, compaction, and the crash
 //! harness).
 
-use crate::artifact::{self, feature_pipeline_digest, ModelArtifact, ARTIFACT_VERSION};
+use crate::artifact::{
+    self, feature_pipeline_digest, registry_for_digest, ModelArtifact, ARTIFACT_VERSION,
+};
 use crate::error::ServeError;
 use crate::journal::{self, CrashPoint, FeedbackJournal, JournalLine};
 use crate::metrics::ServeMetrics;
 use crate::protocol::{
-    parse_format, parse_gpu, FeedbackReply, FormatTime, GpuStats, LifecycleStats, SelectBody,
-    SelectReply, StatsReply, SwapReply, SyncReply,
+    parse_format, parse_gpu, parse_workload, FeedbackReply, FormatTime, GpuStats, LifecycleStats,
+    SelectBody, SelectReply, StatsReply, SwapReply, SyncReply,
 };
 use spsel_core::cache::KeyWriter;
-use spsel_core::overhead::{amortized_best, break_even_iterations};
+use spsel_core::overhead::{
+    amortized_best, amortized_best_workload, break_even_iterations, break_even_iterations_workload,
+};
 use spsel_core::semi::SemiSupervisedSelector;
 use spsel_core::telemetry::ServingReport;
 use spsel_core::{DecisionPhaseNs, ShardedOnlineSelector};
 use spsel_features::{FeatureExtractor, FeatureId, FeatureVector, MatrixStats, NUM_FEATURES};
 use spsel_gpusim::cost::ConversionCostModel;
-use spsel_gpusim::{predict_times, Gpu};
-use spsel_matrix::{io, CsrMatrix, Format};
+use spsel_gpusim::{predict_times, predict_workload_times, Gpu};
+use spsel_matrix::{io, CsrMatrix, Format, FormatRegistry, Workload};
 use std::cell::RefCell;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -103,29 +107,44 @@ struct GpuState {
     batch: SemiSupervisedSelector,
     online: ShardedOnlineSelector,
     training_records: usize,
+    /// Per-workload cluster-label tables (training-cluster order), for
+    /// every registered workload other than SpMV. SpMV labels live in
+    /// the online selector itself; online clusters past the training
+    /// set fall back to the SpMV decision.
+    workload_labels: Vec<(Workload, Vec<Format>)>,
 }
 
 /// Everything that swaps atomically when a retrained artifact is
-/// published: the per-GPU selectors, the conversion model, and the
-/// identity of the training context they came from.
+/// published: the per-GPU selectors, the conversion model, the format
+/// registry the labels were drawn from, and the identity of the training
+/// context they came from.
 struct ModelState {
     states: Vec<GpuState>,
     conversion: ConversionCostModel,
+    registry: FormatRegistry,
     artifact_version: u32,
     context_digest: String,
 }
 
+type SelectorSeed = (
+    Gpu,
+    SemiSupervisedSelector,
+    usize,
+    Vec<(Workload, Vec<Format>)>,
+);
+
 impl ModelState {
     fn build(
-        selectors: Vec<(Gpu, SemiSupervisedSelector, usize)>,
+        selectors: Vec<SelectorSeed>,
         conversion: ConversionCostModel,
+        registry: FormatRegistry,
         opts: &EngineOptions,
         shards: usize,
         context_digest: String,
     ) -> ModelState {
         let states = selectors
             .into_iter()
-            .map(|(gpu, batch, training_records)| GpuState {
+            .map(|(gpu, batch, training_records, workload_labels)| GpuState {
                 gpu,
                 online: ShardedOnlineSelector::from_batch(
                     &batch,
@@ -135,11 +154,13 @@ impl ModelState {
                 ),
                 batch,
                 training_records,
+                workload_labels,
             })
             .collect();
         ModelState {
             states,
             conversion,
+            registry,
             artifact_version: ARTIFACT_VERSION,
             context_digest,
         }
@@ -150,14 +171,32 @@ impl ModelState {
         opts: &EngineOptions,
         shards: usize,
     ) -> Result<ModelState, ServeError> {
+        let registry = registry_for_digest(&artifact.registry_digest).ok_or_else(|| {
+            ServeError::RegistryDigestMismatch {
+                found: artifact.registry_digest.clone(),
+                expected: FormatRegistry::cusp_default().digest(),
+            }
+        })?;
         let mut pairs = Vec::new();
         for g in &artifact.gpus {
             let gpu = parse_gpu(&g.gpu)?;
-            pairs.push((gpu, g.selector.clone(), g.training_records));
+            // Workload names the build does not know are skipped, not
+            // fatal: the SpMV fallback still answers them correctly.
+            let workload_labels = g
+                .workload_labels
+                .iter()
+                .filter_map(|wl| {
+                    Workload::parse(&wl.workload)
+                        .ok()
+                        .map(|w| (w, wl.labels.clone()))
+                })
+                .collect();
+            pairs.push((gpu, g.selector.clone(), g.training_records, workload_labels));
         }
         Ok(ModelState::build(
             pairs,
             artifact.conversion,
+            registry,
             opts,
             shards,
             artifact.context_digest.clone(),
@@ -226,14 +265,26 @@ impl Engine {
     }
 
     /// Build from freshly fitted selectors (the CLI's train-on-demand
-    /// path); `training_records` rides along for stats.
+    /// path); `training_records` rides along for stats. Always a
+    /// CUSP-default model: the CLI path labels SpMV only.
     pub fn from_selectors(
         selectors: Vec<(Gpu, SemiSupervisedSelector, usize)>,
         conversion: ConversionCostModel,
         opts: &EngineOptions,
     ) -> Self {
         let shards = Self::shard_count(opts);
-        let model = ModelState::build(selectors, conversion, opts, shards, String::new());
+        let seeds = selectors
+            .into_iter()
+            .map(|(gpu, batch, n)| (gpu, batch, n, Vec::new()))
+            .collect();
+        let model = ModelState::build(
+            seeds,
+            conversion,
+            FormatRegistry::cusp_default(),
+            opts,
+            shards,
+            String::new(),
+        );
         Self::assemble(model, *opts, shards)
     }
 
@@ -474,6 +525,7 @@ impl Engine {
     /// codepath: CLI, daemon, and batch requests all land here.
     pub fn select(&self, body: &SelectBody) -> Result<SelectReply, ServeError> {
         let gpu = parse_gpu(&body.gpu)?;
+        let workload = parse_workload(&body.workload)?;
         let model = self.model();
         model.state(gpu)?;
         let (fv, stats, extract_ns) = self.resolve_features_timed(body)?;
@@ -488,23 +540,72 @@ impl Engine {
             self.metrics.decision_phases(extract_ns, phases);
         }
 
-        let times = predict_times(&gpu.spec(), &stats, matrix_id(&fv));
-        let amortized = amortized_best(&times, &model.conversion, iterations);
-        let break_even = break_even_iterations(&times, &model.conversion, amortized.format);
-        let predicted = Format::ALL
-            .into_iter()
-            .map(|f| {
-                let t = times.get(f);
-                FormatTime {
-                    format: f.name().to_string(),
-                    us: t.is_finite().then_some(t),
-                }
-            })
-            .collect();
+        // The SpMV path is the original four-format codepath, untouched:
+        // a CUSP-default model answers SpMV requests byte-identically to
+        // builds that predate workloads. Other workloads (and wider
+        // registries) go through the workload-generic tables.
+        let legacy_spmv = workload == Workload::SpMv
+            && model.registry.digest() == FormatRegistry::cusp_default().digest();
+        let (format, predicted, amortized, break_even) = if legacy_spmv {
+            let times = predict_times(&gpu.spec(), &stats, matrix_id(&fv));
+            let amortized = amortized_best(&times, &model.conversion, iterations);
+            let break_even = break_even_iterations(&times, &model.conversion, amortized.format);
+            let predicted = Format::ALL
+                .into_iter()
+                .map(|f| {
+                    let t = times.get(f);
+                    FormatTime {
+                        format: f.name().to_string(),
+                        us: t.is_finite().then_some(t),
+                    }
+                })
+                .collect();
+            (decision.format, predicted, amortized, break_even)
+        } else {
+            let state = model.state(gpu)?;
+            // Non-SpMV format: the cluster's per-workload label when the
+            // cluster was seen in training; the SpMV decision otherwise
+            // (online clusters opened after training have no table row).
+            let format = if workload == Workload::SpMv {
+                decision.format
+            } else {
+                state
+                    .workload_labels
+                    .iter()
+                    .find(|(w, _)| *w == workload)
+                    .and_then(|(_, labels)| labels.get(decision.cluster))
+                    .copied()
+                    .unwrap_or(decision.format)
+            };
+            let times = predict_workload_times(
+                &gpu.spec(),
+                &stats,
+                matrix_id(&fv),
+                &model.registry,
+                workload,
+            );
+            let formats = model.registry.formats();
+            let amortized =
+                amortized_best_workload(&times, &formats, &model.conversion, iterations);
+            let break_even =
+                break_even_iterations_workload(&times, &model.conversion, amortized.format);
+            let predicted = formats
+                .iter()
+                .map(|&f| {
+                    let t = times.get(f);
+                    FormatTime {
+                        format: f.name().to_string(),
+                        us: t.is_finite().then_some(t),
+                    }
+                })
+                .collect();
+            (format, predicted, amortized, break_even)
+        };
 
         Ok(SelectReply {
             gpu: gpu.name().to_string(),
-            format: decision.format.name().to_string(),
+            workload: workload.name(),
+            format: format.name().to_string(),
             cluster: decision.cluster,
             cluster_size: view.cluster_size,
             centroid_distance: view.distance,

@@ -29,6 +29,11 @@ pub enum ServeError {
         /// The offending name.
         name: String,
     },
+    /// The request named a workload this build does not simulate.
+    UnknownWorkload {
+        /// The offending name.
+        name: String,
+    },
     /// Feedback referenced a cluster index the online selector does not
     /// have (would otherwise be an assertion failure deep in the core).
     UnknownCluster {
@@ -114,6 +119,14 @@ pub enum ServeError {
         /// Which lock (e.g. `journal writer`, `engine lifecycle`).
         what: String,
     },
+    /// The artifact was trained against a format registry this build
+    /// does not provide (different format set or conversion costs).
+    RegistryDigestMismatch {
+        /// Digest found in the artifact.
+        found: String,
+        /// Digest(s) this build accepts.
+        expected: String,
+    },
     /// A swap or sync named (or delivered) state from a different
     /// training context than the one being extended.
     ContextDigestMismatch {
@@ -133,6 +146,7 @@ impl ServeError {
             ServeError::BadRequest { .. } => "bad_request",
             ServeError::UnknownGpu { .. } => "unknown_gpu",
             ServeError::UnknownFormat { .. } => "unknown_format",
+            ServeError::UnknownWorkload { .. } => "unknown_workload",
             ServeError::UnknownCluster { .. } => "unknown_cluster",
             ServeError::FeatureDim { .. } => "feature_dim",
             ServeError::Io { .. } => "io",
@@ -144,6 +158,7 @@ impl ServeError {
             ServeError::FeatureDigestMismatch { .. } => "feature_digest_mismatch",
             ServeError::Malformed { .. } => "malformed",
             ServeError::LockPoisoned { .. } => "lock_poisoned",
+            ServeError::RegistryDigestMismatch { .. } => "registry_digest_mismatch",
             ServeError::ContextDigestMismatch { .. } => "context_digest_mismatch",
             ServeError::Core(_) => "core",
         }
@@ -171,7 +186,15 @@ impl fmt::Display for ServeError {
             ServeError::UnknownFormat { name } => {
                 write!(
                     f,
-                    "unknown format `{name}` (expected COO, CSR, ELL, or HYB)"
+                    "unknown format `{name}` (expected COO, CSR, ELL, HYB, \
+                     BSR, SELL, or DIA)"
+                )
+            }
+            ServeError::UnknownWorkload { name } => {
+                write!(
+                    f,
+                    "unknown workload `{name}` (expected `spmv`, `spmm`, or \
+                     `spmm<k>` with k in 1..=4096)"
                 )
             }
             ServeError::UnknownCluster {
@@ -227,6 +250,12 @@ impl fmt::Display for ServeError {
                 "internal {what} lock was poisoned by a panicking holder; \
                  this request failed but the daemon is still serving"
             ),
+            ServeError::RegistryDigestMismatch { found, expected } => write!(
+                f,
+                "artifact was trained against format registry {found}, which \
+                 this build does not provide (expected {expected}); re-run \
+                 `spsel train`"
+            ),
             ServeError::ContextDigestMismatch { found, expected } => write!(
                 f,
                 "training-context digest {found} does not match the serving \
@@ -272,7 +301,10 @@ mod tests {
                 message: "x".into(),
             },
             ServeError::UnknownGpu { name: "TPU".into() },
-            ServeError::UnknownFormat { name: "BSR".into() },
+            ServeError::UnknownFormat { name: "CSC".into() },
+            ServeError::UnknownWorkload {
+                name: "gemm".into(),
+            },
             ServeError::UnknownCluster {
                 gpu: "Volta".into(),
                 cluster: 99,
@@ -315,6 +347,10 @@ mod tests {
             },
             ServeError::LockPoisoned {
                 what: "journal writer".into(),
+            },
+            ServeError::RegistryDigestMismatch {
+                found: "ee".into(),
+                expected: "ff".into(),
             },
             ServeError::ContextDigestMismatch {
                 found: "cc".into(),

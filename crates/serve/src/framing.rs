@@ -324,6 +324,7 @@ fn put_select_body(out: &mut Vec<u8>, body: &SelectBody) {
     put_str(out, &body.gpu);
     put_opt(out, &body.iterations, |o, &i| put_u64(o, i as u64));
     put_opt(out, &body.learn, |o, &l| put_bool(o, l));
+    put_opt(out, &body.workload, |o, s| put_str(o, s));
 }
 
 fn read_select_body(r: &mut ByteReader) -> Result<SelectBody, ServeError> {
@@ -339,12 +340,14 @@ fn read_select_body(r: &mut ByteReader) -> Result<SelectBody, ServeError> {
     let gpu = r.string("gpu")?;
     let iterations = r.opt("iterations", |r| r.usize("iterations"))?;
     let learn = r.opt("learn", |r| r.bool("learn"))?;
+    let workload = r.opt("workload", |r| r.string("workload"))?;
     Ok(SelectBody {
         matrix,
         features,
         gpu,
         iterations,
         learn,
+        workload,
     })
 }
 
@@ -359,10 +362,11 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             iterations,
             deadline_ms,
             learn,
+            workload,
         } => {
             put_select_body(
                 &mut body,
-                &Request::select_body(matrix, features, gpu, *iterations, *learn),
+                &Request::select_body(matrix, features, gpu, *iterations, *learn, workload),
             );
             put_opt(&mut body, deadline_ms, |o, &d| put_u64(o, d));
             kind::SELECT
@@ -416,6 +420,7 @@ pub fn decode_request(kind_byte: u8, body: &[u8]) -> Result<Request, ServeError>
                 iterations: b.iterations,
                 deadline_ms,
                 learn: b.learn,
+                workload: b.workload,
             }
         }
         kind::BATCH => {
@@ -465,6 +470,7 @@ pub fn decode_request(kind_byte: u8, body: &[u8]) -> Result<Request, ServeError>
 
 fn put_select_reply(out: &mut Vec<u8>, reply: &SelectReply) {
     put_str(out, &reply.gpu);
+    put_str(out, &reply.workload);
     put_str(out, &reply.format);
     put_u64(out, reply.cluster as u64);
     put_u64(out, reply.cluster_size as u64);
@@ -488,6 +494,7 @@ fn put_select_reply(out: &mut Vec<u8>, reply: &SelectReply) {
 fn read_select_reply(r: &mut ByteReader) -> Result<SelectReply, ServeError> {
     Ok(SelectReply {
         gpu: r.string("gpu")?,
+        workload: r.string("workload")?,
         format: r.string("format")?,
         cluster: r.usize("cluster")?,
         cluster_size: r.usize("cluster_size")?,

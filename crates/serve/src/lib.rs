@@ -49,7 +49,10 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use artifact::{feature_pipeline_digest, ModelArtifact, TrainConfig, ARTIFACT_VERSION};
+pub use artifact::{
+    feature_pipeline_digest, registry_for_digest, ModelArtifact, TrainConfig, WorkloadLabels,
+    ARTIFACT_VERSION,
+};
 pub use client::{Client, Protocol};
 pub use engine::{Engine, EngineOptions, JournalConfig};
 pub use error::{ErrorEnvelope, ServeError};
@@ -61,6 +64,7 @@ pub use journal::{
 };
 pub use metrics::ServeMetrics;
 pub use protocol::{
-    LifecycleStats, Request, Response, SelectBody, SelectReply, SwapReply, SyncReply,
+    parse_workload, LifecycleStats, Request, Response, SelectBody, SelectReply, SwapReply,
+    SyncReply,
 };
 pub use server::{ServeOptions, Server};

@@ -13,11 +13,16 @@ use crate::error::{ErrorEnvelope, ServeError};
 use serde::{Deserialize, Serialize};
 use spsel_core::telemetry::ServingReport;
 use spsel_gpusim::Gpu;
-use spsel_matrix::Format;
+use spsel_matrix::{Format, Workload};
 
 /// One format-selection query: a matrix by path *or* by inline Table 1
 /// feature vector, on one GPU, for an iteration horizon.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (the derive requires every key): the
+/// optional fields — `workload` in particular — may be absent on the
+/// wire, and an absent `workload` means SpMV, which keeps every
+/// pre-workload client bit-compatible.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SelectBody {
     /// Path to a Matrix Market file, readable by the server process.
     pub matrix: Option<String>,
@@ -32,10 +37,31 @@ pub struct SelectBody {
     /// Whether this observation may update the online clustering
     /// (default true; set false for read-only probes).
     pub learn: Option<bool>,
+    /// Workload to decide for (`spmv`, `spmm`, `spmm32`, ...); absent
+    /// means SpMV — full wire compatibility with pre-workload clients.
+    pub workload: Option<String>,
+}
+
+impl serde::Deserialize for SelectBody {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = serde::expect_object(v, "SelectBody")?;
+        Ok(SelectBody {
+            matrix: serde::get_field_opt(obj, "matrix")?,
+            features: serde::get_field_opt(obj, "features")?,
+            gpu: serde::get_field(obj, "gpu", "SelectBody")?,
+            iterations: serde::get_field_opt(obj, "iterations")?,
+            learn: serde::get_field_opt(obj, "learn")?,
+            workload: serde::get_field_opt(obj, "workload")?,
+        })
+    }
 }
 
 /// One request line.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written so optional `Select` fields (deadline,
+/// learn flag, workload) may be absent on the wire; the derive would
+/// demand every key and break older clients.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub enum Request {
     /// Select a format for one matrix.
     Select {
@@ -52,6 +78,8 @@ pub enum Request {
         deadline_ms: Option<u64>,
         /// Whether the online clustering may learn from this observation.
         learn: Option<bool>,
+        /// Workload to decide for; absent means SpMV.
+        workload: Option<String>,
     },
     /// Select for many matrices in one round-trip; the worker fans the
     /// bodies out through the parallel runtime.
@@ -98,14 +126,75 @@ pub enum Request {
     Shutdown,
 }
 
+impl serde::Deserialize for Request {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => match s.as_str() {
+                "Stats" => Ok(Request::Stats),
+                "Shutdown" => Ok(Request::Shutdown),
+                other => Err(serde::Error::unknown_variant(other, "Request")),
+            },
+            serde::Value::Object(pairs) if pairs.len() == 1 => {
+                let (key, val) = &pairs[0];
+                match key.as_str() {
+                    "Select" => {
+                        let obj = serde::expect_object(val, "Request::Select")?;
+                        Ok(Request::Select {
+                            matrix: serde::get_field_opt(obj, "matrix")?,
+                            features: serde::get_field_opt(obj, "features")?,
+                            gpu: serde::get_field(obj, "gpu", "Request::Select")?,
+                            iterations: serde::get_field_opt(obj, "iterations")?,
+                            deadline_ms: serde::get_field_opt(obj, "deadline_ms")?,
+                            learn: serde::get_field_opt(obj, "learn")?,
+                            workload: serde::get_field_opt(obj, "workload")?,
+                        })
+                    }
+                    "Batch" => {
+                        let obj = serde::expect_object(val, "Request::Batch")?;
+                        Ok(Request::Batch {
+                            requests: serde::get_field(obj, "requests", "Request::Batch")?,
+                            deadline_ms: serde::get_field_opt(obj, "deadline_ms")?,
+                        })
+                    }
+                    "Feedback" => {
+                        let obj = serde::expect_object(val, "Request::Feedback")?;
+                        Ok(Request::Feedback {
+                            gpu: serde::get_field(obj, "gpu", "Request::Feedback")?,
+                            cluster: serde::get_field(obj, "cluster", "Request::Feedback")?,
+                            best: serde::get_field(obj, "best", "Request::Feedback")?,
+                        })
+                    }
+                    "Swap" => {
+                        let obj = serde::expect_object(val, "Request::Swap")?;
+                        Ok(Request::Swap {
+                            path: serde::get_field(obj, "path", "Request::Swap")?,
+                            expected_digest: serde::get_field_opt(obj, "expected_digest")?,
+                        })
+                    }
+                    "Sync" => {
+                        let obj = serde::expect_object(val, "Request::Sync")?;
+                        Ok(Request::Sync {
+                            from_seq: serde::get_field(obj, "from_seq", "Request::Sync")?,
+                        })
+                    }
+                    other => Err(serde::Error::unknown_variant(other, "Request")),
+                }
+            }
+            other => Err(serde::Error::expected("variant of Request", other.kind())),
+        }
+    }
+}
+
 impl Request {
     /// View a `Select` request as the batchable body it carries.
+    #[allow(clippy::too_many_arguments)]
     pub fn select_body(
         matrix: &Option<String>,
         features: &Option<Vec<f64>>,
         gpu: &str,
         iterations: Option<usize>,
         learn: Option<bool>,
+        workload: &Option<String>,
     ) -> SelectBody {
         SelectBody {
             matrix: matrix.clone(),
@@ -113,6 +202,7 @@ impl Request {
             gpu: gpu.to_string(),
             iterations,
             learn,
+            workload: workload.clone(),
         }
     }
 }
@@ -132,6 +222,8 @@ pub struct FormatTime {
 pub struct SelectReply {
     /// GPU the decision is for.
     pub gpu: String,
+    /// Workload the decision is for (`spmv` unless requested otherwise).
+    pub workload: String,
     /// Recommended format (the cluster's label).
     pub format: String,
     /// Cluster the matrix was assigned to.
@@ -406,14 +498,27 @@ pub fn parse_gpu(name: &str) -> Result<Gpu, ServeError> {
         })
 }
 
-/// Parse a storage-format name from the wire (case-insensitive).
+/// Parse a storage-format name from the wire (case-insensitive). The
+/// whole format universe parses — feedback may name any format a served
+/// registry could have recommended, not only the CUSP four.
 pub fn parse_format(name: &str) -> Result<Format, ServeError> {
-    Format::ALL
+    Format::UNIVERSE
         .into_iter()
         .find(|f| f.name().eq_ignore_ascii_case(name))
         .ok_or_else(|| ServeError::UnknownFormat {
             name: name.to_string(),
         })
+}
+
+/// Parse a workload name from the wire (`spmv`, `spmm`, `spmm32`, ...);
+/// `None` means the client predates workloads and gets SpMV.
+pub fn parse_workload(workload: &Option<String>) -> Result<Workload, ServeError> {
+    match workload {
+        None => Ok(Workload::SpMv),
+        Some(name) => {
+            Workload::parse(name).map_err(|_| ServeError::UnknownWorkload { name: name.clone() })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -430,6 +535,7 @@ mod tests {
                 iterations: Some(500),
                 deadline_ms: Some(20),
                 learn: Some(false),
+                workload: Some("spmm32".into()),
             },
             Request::Batch {
                 requests: vec![SelectBody {
@@ -438,6 +544,7 @@ mod tests {
                     gpu: "Pascal".into(),
                     iterations: None,
                     learn: None,
+                    workload: None,
                 }],
                 deadline_ms: None,
             },
@@ -488,6 +595,66 @@ mod tests {
         assert!(parse_gpu("TPU").is_err());
         assert_eq!(parse_format("hyb").unwrap(), Format::Hyb);
         assert_eq!(parse_format("Csr").unwrap(), Format::Csr);
-        assert!(parse_format("BSR").is_err());
+        assert_eq!(parse_format("BSR").unwrap(), Format::Bsr);
+        assert_eq!(parse_format("sell").unwrap(), Format::Sell);
+        assert!(parse_format("CSC").is_err());
+    }
+
+    #[test]
+    fn workload_names_parse_and_default_to_spmv() {
+        assert_eq!(parse_workload(&None).unwrap(), Workload::SpMv);
+        assert_eq!(
+            parse_workload(&Some("SPMV".into())).unwrap(),
+            Workload::SpMv
+        );
+        assert_eq!(
+            parse_workload(&Some("spmm".into())).unwrap(),
+            Workload::SpMm {
+                k: Workload::DEFAULT_SPMM_K
+            }
+        );
+        assert_eq!(
+            parse_workload(&Some("spmm32".into())).unwrap(),
+            Workload::SpMm { k: 32 }
+        );
+        let err = parse_workload(&Some("gemm".into())).unwrap_err();
+        assert_eq!(err.code(), "unknown_workload");
+    }
+
+    #[test]
+    fn select_requests_without_optional_keys_still_parse() {
+        // Pre-workload clients omit `workload` (and may omit the other
+        // optional keys); the hand-written Deserialize must accept that.
+        let line = r#"{"Select":{"gpu":"Volta","features":[1.0,2.0]}}"#;
+        let req: Request = serde_json::from_str(line).unwrap();
+        match req {
+            Request::Select {
+                gpu,
+                workload,
+                deadline_ms,
+                matrix,
+                ..
+            } => {
+                assert_eq!(gpu, "Volta");
+                assert_eq!(workload, None);
+                assert_eq!(deadline_ms, None);
+                assert_eq!(matrix, None);
+            }
+            other => panic!("expected Select, got {other:?}"),
+        }
+        let line = r#"{"Batch":{"requests":[{"gpu":"Pascal"}]}}"#;
+        let req: Request = serde_json::from_str(line).unwrap();
+        match req {
+            Request::Batch {
+                requests,
+                deadline_ms,
+            } => {
+                assert_eq!(requests.len(), 1);
+                assert_eq!(requests[0].gpu, "Pascal");
+                assert_eq!(requests[0].workload, None);
+                assert_eq!(deadline_ms, None);
+            }
+            other => panic!("expected Batch, got {other:?}"),
+        }
     }
 }

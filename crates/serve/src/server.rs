@@ -231,6 +231,7 @@ pub fn handle_request(
             iterations,
             deadline_ms,
             learn,
+            workload,
         } => {
             let deadline = deadline_ms.unwrap_or(default_deadline_ms);
             // Admission check: if the deadline elapsed while the request
@@ -239,7 +240,7 @@ pub fn handle_request(
             if let Some(rejection) = admission_check(metrics, received, deadline) {
                 return (rejection, false);
             }
-            let body = Request::select_body(matrix, features, gpu, *iterations, *learn);
+            let body = Request::select_body(matrix, features, gpu, *iterations, *learn, workload);
             let response = select_response(engine, &body);
             (
                 enforce_deadline(metrics, response, received, deadline),

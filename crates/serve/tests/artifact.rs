@@ -23,6 +23,7 @@ fn body(gpu: &str, features: Vec<f64>) -> SelectBody {
         gpu: gpu.to_string(),
         iterations: Some(500),
         learn: Some(false),
+        workload: None,
     }
 }
 

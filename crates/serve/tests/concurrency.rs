@@ -44,6 +44,7 @@ fn body(seed: u64, gpu: &str, learn: bool) -> SelectBody {
         gpu: gpu.to_string(),
         iterations: Some(300),
         learn: Some(learn),
+        workload: None,
     }
 }
 

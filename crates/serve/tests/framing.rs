@@ -86,6 +86,13 @@ fn arb_select_body() -> impl Strategy<Value = SelectBody> {
                 1 => Some(false),
                 _ => Some(true),
             },
+            workload: match word % 5 {
+                0 => Some("spmv".to_string()),
+                1 => Some("spmm4".to_string()),
+                2 => Some("spmm32".to_string()),
+                3 => Some(format!("workload-§-{word:x}")),
+                _ => None,
+            },
         })
 }
 
@@ -103,6 +110,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     gpu: "Volta".into(),
                     iterations: None,
                     learn: None,
+                    workload: None,
                 });
                 Request::Select {
                     matrix: body.matrix,
@@ -111,6 +119,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     iterations: body.iterations,
                     deadline_ms: (word & 1 != 0).then_some(word >> 1),
                     learn: body.learn,
+                    workload: body.workload,
                 }
             }
             1 => Request::Batch {
@@ -198,6 +207,7 @@ fn lifecycle_from(pool: &[u64]) -> LifecycleStats {
 fn select_reply_from(pool: &[u64]) -> SelectReply {
     SelectReply {
         gpu: GPUS[pool[0] as usize % GPUS.len()].to_string(),
+        workload: ["spmv", "spmm4", "spmm32"][pool[14] as usize % 3].to_string(),
         format: FORMATS[pool[1] as usize % FORMATS.len()].to_string(),
         cluster: pool[2] as usize % 1_000_000,
         cluster_size: pool[3] as usize % 1_000_000,
@@ -345,6 +355,7 @@ proptest! {
             iterations: Some(word as usize % 10_000),
             deadline_ms: Some(word % 100_000),
             learn: Some(word & 1 != 0),
+            workload: None,
         };
         let wire = framing::encode_request(&request);
         let mut buf = FrameBuffer::new();
@@ -450,6 +461,7 @@ fn json_and_binary_replies_are_bit_identical() {
             iterations: Some(300 + s as usize),
             deadline_ms: None,
             learn: Some(false),
+            workload: None,
         })
         .collect();
     requests.push(Request::Batch {
@@ -460,6 +472,7 @@ fn json_and_binary_replies_are_bit_identical() {
                 gpu: GPUS[s as usize % GPUS.len()].to_string(),
                 iterations: None,
                 learn: Some(false),
+                workload: None,
             })
             .collect(),
         deadline_ms: None,
@@ -472,6 +485,7 @@ fn json_and_binary_replies_are_bit_identical() {
         iterations: None,
         deadline_ms: None,
         learn: Some(false),
+        workload: None,
     });
     requests.push(Request::Feedback {
         gpu: "Volta".into(),

@@ -37,6 +37,7 @@ fn select_request(features: Vec<f64>, learn: bool) -> Request {
         iterations: Some(500),
         deadline_ms: None,
         learn: Some(learn),
+        workload: None,
     }
 }
 

@@ -46,6 +46,7 @@ fn body(features: Vec<f64>, gpu: &str, learn: bool) -> SelectBody {
         gpu: gpu.into(),
         iterations: Some(500),
         learn: Some(learn),
+        workload: None,
     }
 }
 
@@ -380,6 +381,7 @@ fn hot_swap_under_live_flood_drops_nothing() {
                         iterations: Some(400),
                         deadline_ms: None,
                         learn: Some(false),
+                        workload: None,
                     };
                     let response = client.roundtrip(&request).expect("flood roundtrip");
                     assert!(response.ok, "flood request failed: {response:?}");
@@ -419,6 +421,7 @@ fn hot_swap_under_live_flood_drops_nothing() {
                 iterations: Some(500),
                 deadline_ms: None,
                 learn: Some(false),
+                workload: None,
             })
             .unwrap();
         assert_eq!(

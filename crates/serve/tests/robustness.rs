@@ -65,6 +65,7 @@ fn select_request(seed: u64) -> Request {
         iterations: Some(200),
         deadline_ms: None,
         learn: Some(false),
+        workload: None,
     }
 }
 
@@ -326,6 +327,7 @@ fn slow_reader_does_not_stall_other_connections() {
             gpu: "Pascal".into(),
             iterations: None,
             learn: Some(false),
+            workload: None,
         })
         .collect();
     let batch = serde_json::to_string(&Request::Batch {
@@ -517,6 +519,7 @@ fn soak_256_binary_connections_zero_failures() {
                                 iterations: Some(100),
                                 deadline_ms: None,
                                 learn: Some(false),
+                                workload: None,
                             };
                             conn.send(&request).expect("send");
                             issued[i] += 1;
@@ -585,6 +588,7 @@ fn pipelined_request_behind_a_long_batch_exceeds_its_deadline() {
             gpu: "Turing".into(),
             iterations: None,
             learn: Some(false),
+            workload: None,
         })
         .collect();
     // One write syscall for handshake + both frames, so both requests
@@ -602,6 +606,7 @@ fn pipelined_request_behind_a_long_batch_exceeds_its_deadline() {
         iterations: None,
         deadline_ms: Some(1),
         learn: Some(false),
+        workload: None,
     }));
     let mut stream = TcpStream::connect(addr).expect("connects");
     stream

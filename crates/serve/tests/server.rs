@@ -58,6 +58,7 @@ fn select_request(gpu: &str, features: Vec<f64>) -> Request {
         iterations: Some(400),
         deadline_ms: None,
         learn: Some(true),
+        workload: None,
     }
 }
 
@@ -92,6 +93,7 @@ fn daemon_answers_every_request_type_and_shuts_down_cleanly() {
             iterations: None,
             deadline_ms: None,
             learn: Some(false),
+            workload: None,
         })
         .unwrap();
     std::fs::remove_file(&mtx).ok();
@@ -107,6 +109,7 @@ fn daemon_answers_every_request_type_and_shuts_down_cleanly() {
             gpu: "turing".into(),
             iterations: Some(100),
             learn: Some(true),
+            workload: None,
         })
         .collect();
     let response = client
@@ -143,6 +146,7 @@ fn daemon_answers_every_request_type_and_shuts_down_cleanly() {
                 iterations: None,
                 deadline_ms: None,
                 learn: None,
+                workload: None,
             },
             "feature_dim",
         ),
@@ -255,6 +259,7 @@ fn select_deadline_is_enforced_before_compute() {
         iterations: None,
         deadline_ms: Some(10),
         learn: Some(true),
+        workload: None,
     };
     let (response, stop) = handle_request(&engine, &request, late, 0);
     assert!(!stop);
@@ -283,6 +288,7 @@ fn batch_deadline_skips_items_cooperatively() {
             gpu: "volta".into(),
             iterations: Some(100),
             learn: Some(true),
+            workload: None,
         })
         .collect();
 
@@ -345,6 +351,7 @@ fn identical_requests_get_identical_responses_when_not_learning() {
         iterations: Some(250),
         deadline_ms: None,
         learn: Some(false),
+        workload: None,
     };
     let first = client.roundtrip(&request).unwrap();
     assert!(first.ok);

@@ -10,7 +10,9 @@ use spselect::core::corpus::{Corpus, CorpusConfig};
 use spselect::core::semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
 use spselect::features::FeatureVector;
 use spselect::gpusim::Gpu;
-use spselect::matrix::{gen, CooMatrix, CsrMatrix, EllMatrix, Format, HybMatrix, SpMv};
+use spselect::matrix::{
+    gen, BsrMatrix, CooMatrix, CsrMatrix, DiaMatrix, EllMatrix, Format, HybMatrix, SellMatrix, SpMv,
+};
 
 fn main() {
     // 1. Build a small corpus and benchmark it on the Turing model.
@@ -64,6 +66,13 @@ fn main() {
             .expect("stencil is ELL-friendly")
             .spmv(&x, &mut y),
         Format::Hyb => HybMatrix::from_csr(&csr).spmv(&x, &mut y),
+        Format::Bsr => BsrMatrix::try_from_csr(&csr, 4)
+            .expect("stencil blocks cleanly")
+            .spmv(&x, &mut y),
+        Format::Sell => SellMatrix::from_csr(&csr, 32, 128).spmv(&x, &mut y),
+        Format::Dia => DiaMatrix::try_from_csr(&csr, 64)
+            .expect("stencil has few diagonals")
+            .spmv(&x, &mut y),
     }
     println!("\nSpMV in {prediction}: y[0..4] = {:?}", &y[..4]);
 }

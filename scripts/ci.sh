@@ -345,4 +345,51 @@ wait "$SERVE_PID"
 ./target/release/spsel request "$LEADER_ADDR" '"Shutdown"' >/dev/null
 wait "$LEADER_PID"
 
+echo "==> table byte-identity gate (quick tables vs committed baselines)"
+# The default 4-format registry must keep reproducing the paper tables
+# bit-for-bit: regenerate table 4/6/7 with --quick --no-cache and compare
+# text and JSON against the committed baselines. Any drift — a registry
+# change leaking into the default label pipeline, a reordered format, a
+# float formatting change — fails the build here.
+cargo build -q --release --offline -p spsel-bench \
+    --bin table6 --bin table7 --bin formatzoo
+for t in table4 table6 table7; do
+    ./target/release/"$t" --quick --no-cache --json "$SMOKE_DIR/$t.json" \
+        > "$SMOKE_DIR/$t.txt" 2>/dev/null
+    cmp "baselines/$t.txt" "$SMOKE_DIR/$t.txt"
+    cmp "baselines/$t.json" "$SMOKE_DIR/$t.json"
+done
+
+echo "==> format-zoo smoke (extended registry, nonzero disagreement table)"
+# The extended registry must label all three workloads and find real
+# cross-workload disagreement — a zero total would mean the SpMM cost
+# model collapsed onto SpMV.
+./target/release/formatzoo --quick --no-cache \
+    --json "$SMOKE_DIR/formatzoo.json" > "$SMOKE_DIR/formatzoo.txt" 2>/dev/null
+grep -q 'total cross-workload disagreements: [1-9]' "$SMOKE_DIR/formatzoo.txt"
+grep -q '"registry_digest"' "$SMOKE_DIR/formatzoo.json"
+
+echo "==> workload serving smoke (explicit workload over both protocols)"
+# A select with an explicit workload must round-trip over JSON and the
+# binary framing with byte-identical replies; an unknown workload must be
+# a typed error envelope, not a dropped connection.
+spawn_daemon "$SMOKE_DIR/wl.out" --model "$SMOKE_DIR/model.spsel"
+WL_REQ="{\"Select\":{\"matrix\":\"$SMOKE_DIR/smoke.mtx\",\"features\":null,\"gpu\":\"pascal\",\"iterations\":500,\"deadline_ms\":null,\"learn\":false,\"workload\":\"spmm4\"}}"
+./target/release/spsel request "$ADDR" "$WL_REQ" > "$SMOKE_DIR/wl-json.json"
+./target/release/spsel request --binary "$ADDR" "$WL_REQ" > "$SMOKE_DIR/wl-bin.json"
+cmp "$SMOKE_DIR/wl-json.json" "$SMOKE_DIR/wl-bin.json"
+grep -q '"workload":"spmm4"' "$SMOKE_DIR/wl-json.json"
+BAD_WL_REQ="{\"Select\":{\"matrix\":\"$SMOKE_DIR/smoke.mtx\",\"features\":null,\"gpu\":\"pascal\",\"iterations\":500,\"deadline_ms\":null,\"learn\":false,\"workload\":\"gemm\"}}"
+./target/release/spsel request "$ADDR" "$BAD_WL_REQ" > "$SMOKE_DIR/wl-bad.json"
+grep -q '"code":"unknown_workload"' "$SMOKE_DIR/wl-bad.json"
+# ...and the connection-level path: loadgen tags every select with the
+# workload, drives both protocols, and records it in the bench JSON.
+./target/release/loadgen --clients 4 --requests 5 --read-frac 1.0 \
+    --protocol both --workload spmm4 --addr "$ADDR" \
+    --bench-json "$SMOKE_DIR/BENCH_wl.json" > "$SMOKE_DIR/loadgen-wl.txt" 2>/dev/null
+grep -q ' 0 failed' "$SMOKE_DIR/loadgen-wl.txt"
+grep -q '"workload": *"spmm4"' "$SMOKE_DIR/BENCH_wl.json"
+./target/release/spsel request "$ADDR" '"Shutdown"' >/dev/null
+wait "$SERVE_PID"
+
 echo "CI green."

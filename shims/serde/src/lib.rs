@@ -117,6 +117,21 @@ pub fn get_field<T: Deserialize>(obj: &[(String, Value)], key: &str, ty: &str) -
     T::from_value(v)
 }
 
+/// Helper for hand-written impls of backwards-compatible formats: extract
+/// field `key` if present, yielding `None` when the key is absent or
+/// `null`. Unlike [`get_field`] with an `Option<T>` target (which still
+/// demands the key exist), this is what "optional field added in a later
+/// schema version" actually needs.
+pub fn get_field_opt<T: Deserialize>(
+    obj: &[(String, Value)],
+    key: &str,
+) -> Result<Option<T>, Error> {
+    match obj.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => T::from_value(v).map(Some),
+    }
+}
+
 // ---------------------------------------------------------------- primitives
 
 impl Serialize for bool {
