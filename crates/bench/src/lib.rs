@@ -52,7 +52,9 @@ impl HarnessOptions {
     /// Parse from `std::env::args`:
     ///
     /// * `--quick` — small corpus and reduced models (smoke test);
-    /// * `--base N` — number of base matrices (default 1929);
+    /// * `--base N` — number of base matrices (default 1929, or 120
+    ///   under `--quick`; composes with `--quick` so overlapping-base
+    ///   cache runs can stay quick-sized);
     /// * `--augment N` — permuted copies per base (default 1);
     /// * `--seed S` — corpus seed;
     /// * `--images` — rasterize density images (needed for the CNN);
@@ -78,7 +80,7 @@ impl HarnessOptions {
             })
             .unwrap_or_else(|| "run".to_string());
         let mut quick = false;
-        let mut n_base = 1929usize;
+        let mut n_base: Option<usize> = None;
         let mut augment = 1usize;
         let mut seed = 0xC0FFEEu64;
         let mut images = false;
@@ -115,7 +117,7 @@ impl HarnessOptions {
                 }
                 "--base" => {
                     i += 1;
-                    n_base = args[i].parse().expect("--base takes a number");
+                    n_base = Some(args[i].parse().expect("--base takes a number"));
                 }
                 "--augment" => {
                     i += 1;
@@ -142,10 +144,10 @@ impl HarnessOptions {
             i += 1;
         }
         let mut corpus = if quick {
-            CorpusConfig::small(120, seed)
+            CorpusConfig::small(n_base.unwrap_or(120), seed)
         } else {
             CorpusConfig {
-                n_base,
+                n_base: n_base.unwrap_or(1929),
                 augment_copies: augment,
                 seed,
                 with_images: false,

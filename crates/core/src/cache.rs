@@ -5,10 +5,21 @@
 //! JSON file per artifact, named by a stable FNV-1a hash of everything
 //! that determines the artifact's content:
 //!
-//! * corpus files — `(CORPUS_VERSION, CorpusConfig)`;
-//! * benchmark files — `(CORPUS_VERSION, CorpusConfig, Gpu)`, with every
-//!   entry additionally tagged by its record index and record id, which
-//!   are re-validated on load;
+//! * record shards (`rshard-<family>-<shard>.json`) — a fixed-size run of
+//!   [`SHARD_RECORDS`] generator candidates (matrix stats, features,
+//!   images), keyed by `(CORPUS_VERSION, RECORD_VERSION, generator
+//!   params)`. The family key deliberately excludes `n_base`: two corpus
+//!   configs that differ only in size share every shard they overlap on,
+//!   so `--base 1929` reuses the records of a `--base 2000` run
+//!   record-for-record instead of regenerating the world;
+//! * benchmark shards (`bshard-<family>-<shard>-<axes>.json`) — the
+//!   benchmark cell of every record in one record shard on one GPU, the
+//!   axes hash covering `(gpu, fault config, workload set)`. Cell ids are
+//!   re-validated against the record shard on load;
+//! * growth shards (`gshard-<family>-<shard>.json`) — serve-time matrices
+//!   promoted into the corpus by `spsel corpus ingest`: each entry is a
+//!   full record plus its benchmark cells on every GPU, appended without
+//!   ever rewriting an existing shard (see [`Cache::append_growth`]);
 //! * experiment files — `(EXPERIMENT_VERSION, table name, context digest,
 //!   experiment params)`, so a warm rerun of a table binary skips model
 //!   training entirely;
@@ -22,9 +33,14 @@
 //!
 //! Any change to the corpus generator or benchmark model must bump
 //! [`CORPUS_VERSION`], which invalidates every cached artifact at once;
+//! a change to the record/shard encoding alone bumps [`RECORD_VERSION`];
 //! any change to experiment semantics (protocols, models, metrics) must
 //! bump [`EXPERIMENT_VERSION`], which invalidates the experiment layer
 //! while keeping the more expensive corpus/benchmark artifacts.
+//!
+//! Monolithic v1 artifacts (`corpus-<hash>.json` / `bench-<hash>.json`)
+//! are not converted: the sharded layout ignores them and [`Cache::gc`]
+//! evicts them unconditionally.
 //!
 //! The cache is strictly best-effort and corruption-tolerant: a missing,
 //! truncated, stale, or otherwise unreadable file is a cache miss and the
@@ -36,7 +52,7 @@
 //! Setting `SPSEL_NO_CACHE=1` disables the cache entirely (see
 //! [`Cache::from_env`]).
 
-use crate::corpus::{Corpus, CorpusConfig, MatrixRecord};
+use crate::corpus::{CorpusConfig, MatrixRecord};
 use crate::telemetry::CacheReport;
 use serde::{Deserialize, Serialize};
 use spsel_gpusim::{BenchResult, FaultConfig, Gpu};
@@ -48,7 +64,30 @@ use std::time::{Duration, SystemTime};
 /// Version of the corpus generator + benchmark model semantics. Bump on
 /// any change that alters generated records or benchmark results, so
 /// stale cache entries can never be mistaken for current ones.
-pub const CORPUS_VERSION: u32 = 1;
+///
+/// v2: record ids became `n_base`-independent (`(copy << 32) | base`)
+/// so benchmark cells are shareable across corpus sizes.
+pub const CORPUS_VERSION: u32 = 2;
+
+/// Version of the per-record shard encoding. Bump on any change to the
+/// shard file layout or record key schema that leaves generator and
+/// benchmark semantics untouched.
+pub const RECORD_VERSION: u32 = 1;
+
+/// Generator candidates per record shard. Shards are generated and
+/// benchmarked whole — cheap overgeneration past `n_base` buys maximal
+/// sharing between overlapping corpus sizes — and the fixed size keeps
+/// file counts sane (a paper-scale corpus is ~32 shards, not ~2000
+/// per-record files).
+pub const SHARD_RECORDS: usize = 64;
+
+/// Fault axis of cached benchmark cells. Fault-injected runs bypass the
+/// cache in both directions, so only the fault-free axis is ever stored.
+pub const BENCH_FAULT_AXIS: &str = "off";
+
+/// Workload set the cached benchmark cells cover (the label tables
+/// benchmarked per record; see `spsel_gpusim::benchmark_corpus`).
+pub const BENCH_WORKLOAD_AXIS: &str = "spmv";
 
 /// Version of the experiment semantics (CV protocols, models, metrics).
 /// Bump on any change that alters a table's numbers for the same context,
@@ -156,26 +195,98 @@ impl KeyWriter {
     }
 }
 
+/// Generator parameters a shard belongs to: everything in a
+/// [`CorpusConfig`] *except* `n_base`, so configs that differ only in
+/// corpus size hash to the same shard family. Stored in every shard file
+/// and re-validated on load (hashes can collide and files can be renamed
+/// by hand).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ShardFamily {
+    augment_copies: usize,
+    seed: u64,
+    with_images: bool,
+    image_resolution: usize,
+    size_scale: f64,
+}
+
+impl ShardFamily {
+    fn of(cfg: &CorpusConfig) -> Self {
+        ShardFamily {
+            augment_copies: cfg.augment_copies,
+            seed: cfg.seed,
+            with_images: cfg.with_images,
+            image_resolution: cfg.image_resolution,
+            size_scale: cfg.size_scale,
+        }
+    }
+
+    fn key_hex(&self) -> String {
+        let mut w = KeyWriter::new();
+        w.u32(CORPUS_VERSION);
+        w.u32(RECORD_VERSION);
+        w.usize(self.augment_copies);
+        w.u64(self.seed);
+        w.bool(self.with_images);
+        w.usize(self.image_resolution);
+        w.f64(self.size_scale);
+        w.finish_hex()
+    }
+}
+
+/// One shard of generator candidates: `groups[k]` holds the records
+/// (base + augmented copies) of candidate `shard * SHARD_RECORDS + k`,
+/// or `None` when the candidate failed the CUSP ELL filter.
 #[derive(Serialize, Deserialize)]
-struct CorpusFile {
+struct RecordShardFile {
     version: u32,
-    config: CorpusConfig,
-    records: Vec<MatrixRecord>,
+    record_version: u32,
+    family: ShardFamily,
+    shard: usize,
+    groups: Vec<Option<Vec<MatrixRecord>>>,
 }
 
 #[derive(Serialize, Deserialize)]
-struct BenchEntry {
-    index: usize,
+struct BenchCell {
     id: u64,
     result: Option<BenchResult>,
 }
 
+/// Benchmark cells of one record shard on one `(gpu, faults, workloads)`
+/// axis, in the record shard's id order.
 #[derive(Serialize, Deserialize)]
-struct BenchFile {
+struct BenchShardFile {
     version: u32,
-    config: CorpusConfig,
+    record_version: u32,
+    family: ShardFamily,
+    shard: usize,
     gpu: String,
-    entries: Vec<BenchEntry>,
+    faults: String,
+    workloads: String,
+    cells: Vec<BenchCell>,
+}
+
+/// One serve-time matrix promoted into the training corpus: the record
+/// (reconstructed from journaled features) plus its benchmark cells in
+/// `Gpu::ALL` order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrownRecord {
+    /// Journal sequence number of the `Observe` this record came from.
+    pub source_seq: u64,
+    /// The promoted record (`family: Observed`, id from the decision
+    /// engine's feature hash so re-ingesting the same matrix dedups).
+    pub record: MatrixRecord,
+    /// `benches[g]` is the benchmark cell on `Gpu::ALL[g]`.
+    pub benches: Vec<Option<BenchResult>>,
+}
+
+/// Append-only shard of grown records for one family.
+#[derive(Serialize, Deserialize)]
+struct GrowthShardFile {
+    version: u32,
+    record_version: u32,
+    family: ShardFamily,
+    shard: usize,
+    records: Vec<GrownRecord>,
 }
 
 /// One cached experiment result. The payload is the table's result struct
@@ -213,6 +324,9 @@ struct Counters {
     misses: AtomicU64,
     stores: AtomicU64,
     corrupt: AtomicU64,
+    record_hits: AtomicU64,
+    record_misses: AtomicU64,
+    records_ingested: AtomicU64,
     corruption_injected: AtomicU64,
     experiment_hits: AtomicU64,
     experiment_misses: AtomicU64,
@@ -297,6 +411,9 @@ impl Cache {
             misses: self.counters.misses.load(Ordering::Relaxed),
             stores: self.counters.stores.load(Ordering::Relaxed),
             corrupt: self.counters.corrupt.load(Ordering::Relaxed),
+            record_hits: self.counters.record_hits.load(Ordering::Relaxed),
+            record_misses: self.counters.record_misses.load(Ordering::Relaxed),
+            records_ingested: self.counters.records_ingested.load(Ordering::Relaxed),
             experiment_hits: self.counters.experiment_hits.load(Ordering::Relaxed),
             experiment_misses: self.counters.experiment_misses.load(Ordering::Relaxed),
             experiment_stores: self.counters.experiment_stores.load(Ordering::Relaxed),
@@ -306,27 +423,39 @@ impl Cache {
         }
     }
 
-    /// Path of the corpus artifact for `cfg`.
-    pub fn corpus_path(&self, cfg: &CorpusConfig) -> Option<PathBuf> {
-        let mut w = KeyWriter::new();
-        w.u32(CORPUS_VERSION);
-        w.corpus_config(cfg);
-        let key = w.finish_hex();
+    /// Path of record shard `shard` for `cfg`'s family. Independent of
+    /// `cfg.n_base`, so overlapping corpus sizes share shards.
+    pub fn record_shard_path(&self, cfg: &CorpusConfig, shard: usize) -> Option<PathBuf> {
+        let fam = ShardFamily::of(cfg).key_hex();
         self.root
             .as_ref()
-            .map(|r| r.join(format!("corpus-{key}.json")))
+            .map(|r| r.join(format!("rshard-{fam}-{shard:04}.json")))
     }
 
-    /// Path of the benchmark artifact for `(cfg, gpu)`.
-    pub fn bench_path(&self, cfg: &CorpusConfig, gpu: Gpu) -> Option<PathBuf> {
+    /// Hash of the benchmark axes: GPU, fault config, workload set.
+    fn bench_axes_hex(gpu: Gpu) -> String {
         let mut w = KeyWriter::new();
-        w.u32(CORPUS_VERSION);
-        w.corpus_config(cfg);
         w.str(gpu.name());
-        let key = w.finish_hex();
+        w.str(BENCH_FAULT_AXIS);
+        w.str(BENCH_WORKLOAD_AXIS);
+        w.finish_hex()
+    }
+
+    /// Path of the benchmark shard for `(cfg family, shard, gpu)`.
+    pub fn bench_shard_path(&self, cfg: &CorpusConfig, shard: usize, gpu: Gpu) -> Option<PathBuf> {
+        let fam = ShardFamily::of(cfg).key_hex();
+        let axes = Self::bench_axes_hex(gpu);
         self.root
             .as_ref()
-            .map(|r| r.join(format!("bench-{key}.json")))
+            .map(|r| r.join(format!("bshard-{fam}-{shard:04}-{axes}.json")))
+    }
+
+    /// Path of growth shard `shard` for `cfg`'s family.
+    pub fn growth_shard_path(&self, cfg: &CorpusConfig, shard: usize) -> Option<PathBuf> {
+        let fam = ShardFamily::of(cfg).key_hex();
+        self.root
+            .as_ref()
+            .map(|r| r.join(format!("gshard-{fam}-{shard:04}.json")))
     }
 
     /// Path of the experiment artifact for `(table, context digest,
@@ -365,30 +494,49 @@ impl Cache {
         eprintln!("cache: corrupt artifact {} (recomputing)", path.display());
     }
 
-    /// Load a cached corpus for `cfg`, if a valid artifact exists.
-    pub fn load_corpus(&self, cfg: &CorpusConfig) -> Option<Corpus> {
-        let path = self.corpus_path(cfg)?;
-        let loaded = match read_json::<CorpusFile>(&path) {
+    /// Load record shard `shard` of `cfg`'s family, if a valid artifact
+    /// exists. `base_offset` is the number of filter-passing candidates
+    /// in all earlier shards; the shard's base indices and record ids are
+    /// re-validated against it (and against the family's augment count),
+    /// so a corrupt-but-parsable or renamed shard can never smuggle wrong
+    /// records into a corpus. A hit counts every contained record as a
+    /// record-level hit.
+    pub fn load_record_shard(
+        &self,
+        cfg: &CorpusConfig,
+        shard: usize,
+        base_offset: usize,
+    ) -> Option<Vec<Option<Vec<MatrixRecord>>>> {
+        let path = self.record_shard_path(cfg, shard)?;
+        let loaded = match read_json::<RecordShardFile>(&path) {
             ReadOutcome::Corrupt => {
                 self.corrupt_miss(&path);
                 return None;
             }
             ReadOutcome::Missing => None,
-            // The hash already encodes version + config, but re-validate:
-            // hashes can collide and files can be renamed by hand.
             ReadOutcome::Ok(file) => {
-                if file.version == CORPUS_VERSION && &file.config == cfg {
-                    Some(Corpus::from_parts(file.records, file.config))
+                let envelope_ok = file.version == CORPUS_VERSION
+                    && file.record_version == RECORD_VERSION
+                    && file.family == ShardFamily::of(cfg)
+                    && file.shard == shard
+                    && file.groups.len() == SHARD_RECORDS;
+                if envelope_ok && record_groups_valid(&file.groups, base_offset, cfg.augment_copies)
+                {
+                    Some(file.groups)
                 } else {
                     None
                 }
             }
         };
         match loaded {
-            Some(c) => {
+            Some(groups) => {
                 self.hit();
+                let n: usize = groups.iter().flatten().map(|g| g.len()).sum();
+                self.counters
+                    .record_hits
+                    .fetch_add(n as u64, Ordering::Relaxed);
                 Self::touch(&path);
-                Some(c)
+                Some(groups)
             }
             None => {
                 self.miss();
@@ -397,18 +545,31 @@ impl Cache {
         }
     }
 
-    /// Persist a corpus (best-effort).
-    pub fn store_corpus(&self, corpus: &Corpus) {
-        let Some(path) = self.corpus_path(corpus.config()) else {
+    /// Persist a freshly generated record shard (best-effort). Every
+    /// contained record counts as a record-level miss: a store happens
+    /// exactly when a shard had to be regenerated.
+    pub fn store_record_shard(
+        &self,
+        cfg: &CorpusConfig,
+        shard: usize,
+        groups: &[Option<Vec<MatrixRecord>>],
+    ) {
+        let Some(path) = self.record_shard_path(cfg, shard) else {
             return;
         };
-        let file = CorpusFile {
+        let file = RecordShardFile {
             version: CORPUS_VERSION,
-            config: corpus.config().clone(),
-            records: corpus.records.clone(),
+            record_version: RECORD_VERSION,
+            family: ShardFamily::of(cfg),
+            shard,
+            groups: groups.to_vec(),
         };
         if write_json_atomic(&path, &file, self.store_corruption(&path)) {
             self.counters.stores.fetch_add(1, Ordering::Relaxed);
+            let n: usize = groups.iter().flatten().map(|g| g.len()).sum();
+            self.counters
+                .record_misses
+                .fetch_add(n as u64, Ordering::Relaxed);
         }
     }
 
@@ -423,16 +584,18 @@ impl Cache {
         Some(frac)
     }
 
-    /// Load cached benchmark results for `(cfg, gpu)`, validating every
-    /// entry against the records it claims to describe.
-    pub fn load_bench(
+    /// Load the benchmark cells of record shard `shard` on `gpu`,
+    /// validating every cell against the record ids it claims to
+    /// describe. A hit counts every cell as a record-level hit.
+    pub fn load_bench_shard(
         &self,
         cfg: &CorpusConfig,
+        shard: usize,
         gpu: Gpu,
-        records: &[MatrixRecord],
+        ids: &[u64],
     ) -> Option<Vec<Option<BenchResult>>> {
-        let path = self.bench_path(cfg, gpu)?;
-        let loaded = match read_json::<BenchFile>(&path) {
+        let path = self.bench_shard_path(cfg, shard, gpu)?;
+        let loaded = match read_json::<BenchShardFile>(&path) {
             ReadOutcome::Corrupt => {
                 self.corrupt_miss(&path);
                 return None;
@@ -440,16 +603,16 @@ impl Cache {
             ReadOutcome::Missing => None,
             ReadOutcome::Ok(file) => {
                 let valid = file.version == CORPUS_VERSION
-                    && &file.config == cfg
+                    && file.record_version == RECORD_VERSION
+                    && file.family == ShardFamily::of(cfg)
+                    && file.shard == shard
                     && file.gpu == gpu.name()
-                    && file.entries.len() == records.len()
-                    && file
-                        .entries
-                        .iter()
-                        .enumerate()
-                        .all(|(i, e)| e.index == i && e.id == records[i].id);
+                    && file.faults == BENCH_FAULT_AXIS
+                    && file.workloads == BENCH_WORKLOAD_AXIS
+                    && file.cells.len() == ids.len()
+                    && file.cells.iter().zip(ids).all(|(c, &id)| c.id == id);
                 if valid {
-                    Some(file.entries.into_iter().map(|e| e.result).collect())
+                    Some(file.cells.into_iter().map(|c| c.result).collect::<Vec<_>>())
                 } else {
                     None
                 }
@@ -458,6 +621,9 @@ impl Cache {
         match loaded {
             Some(r) => {
                 self.hit();
+                self.counters
+                    .record_hits
+                    .fetch_add(r.len() as u64, Ordering::Relaxed);
                 Self::touch(&path);
                 Some(r)
             }
@@ -468,36 +634,162 @@ impl Cache {
         }
     }
 
-    /// Persist benchmark results (best-effort).
-    pub fn store_bench(
+    /// Persist freshly benchmarked cells for one record shard on one GPU
+    /// (best-effort). Every cell counts as a record-level miss.
+    pub fn store_bench_shard(
         &self,
         cfg: &CorpusConfig,
+        shard: usize,
         gpu: Gpu,
-        records: &[MatrixRecord],
+        ids: &[u64],
         results: &[Option<BenchResult>],
     ) {
-        let Some(path) = self.bench_path(cfg, gpu) else {
+        let Some(path) = self.bench_shard_path(cfg, shard, gpu) else {
             return;
         };
-        debug_assert_eq!(records.len(), results.len());
-        let file = BenchFile {
+        debug_assert_eq!(ids.len(), results.len());
+        let file = BenchShardFile {
             version: CORPUS_VERSION,
-            config: cfg.clone(),
+            record_version: RECORD_VERSION,
+            family: ShardFamily::of(cfg),
+            shard,
             gpu: gpu.name().to_string(),
-            entries: records
+            faults: BENCH_FAULT_AXIS.to_string(),
+            workloads: BENCH_WORKLOAD_AXIS.to_string(),
+            cells: ids
                 .iter()
                 .zip(results)
-                .enumerate()
-                .map(|(index, (r, result))| BenchEntry {
-                    index,
-                    id: r.id,
+                .map(|(&id, result)| BenchCell {
+                    id,
                     result: *result,
                 })
                 .collect(),
         };
         if write_json_atomic(&path, &file, self.store_corruption(&path)) {
             self.counters.stores.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .record_misses
+                .fetch_add(ids.len() as u64, Ordering::Relaxed);
         }
+    }
+
+    /// Growth shard paths for `cfg`'s family, sorted by shard index.
+    fn growth_paths(&self, cfg: &CorpusConfig) -> Vec<(usize, PathBuf)> {
+        let Some(root) = self.root.as_deref() else {
+            return Vec::new();
+        };
+        let fam = ShardFamily::of(cfg).key_hex();
+        let prefix = format!("gshard-{fam}-");
+        let Ok(entries) = std::fs::read_dir(root) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(idx) = name
+                .strip_prefix(&prefix)
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|idx| idx.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            out.push((idx, entry.path()));
+        }
+        out.sort();
+        out
+    }
+
+    /// Read all grown records for `cfg`'s family, deduplicated by record
+    /// id (first occurrence wins). Corrupt shards are skipped — growth
+    /// degrades to whatever subset still reads.
+    fn read_growth(&self, cfg: &CorpusConfig, count: bool) -> Vec<GrownRecord> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for (shard, path) in self.growth_paths(cfg) {
+            match read_json::<GrowthShardFile>(&path) {
+                ReadOutcome::Corrupt => self.corrupt_miss(&path),
+                ReadOutcome::Missing => {}
+                ReadOutcome::Ok(file) => {
+                    let valid = file.version == CORPUS_VERSION
+                        && file.record_version == RECORD_VERSION
+                        && file.family == ShardFamily::of(cfg)
+                        && file.shard == shard;
+                    if !valid {
+                        continue;
+                    }
+                    if count {
+                        self.hit();
+                        Self::touch(&path);
+                    }
+                    for r in file.records {
+                        if seen.insert(r.record.id) {
+                            out.push(r);
+                        }
+                    }
+                }
+            }
+        }
+        if count {
+            self.counters
+                .record_hits
+                .fetch_add(out.len() as u64, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Load every grown record for `cfg`'s family (deduplicated by id).
+    /// Each record counts as a record-level hit: a grown record served
+    /// from the cache is one the trainer did not have to benchmark.
+    pub fn load_growth(&self, cfg: &CorpusConfig) -> Vec<GrownRecord> {
+        self.read_growth(cfg, true)
+    }
+
+    /// Append grown records to `cfg`'s family, skipping ids already
+    /// present in existing growth shards (or duplicated within `batch`).
+    /// New records land in fresh shard files — existing shards are never
+    /// rewritten — and each appended record counts toward
+    /// `records_ingested`. Returns how many records were appended.
+    pub fn append_growth(&self, cfg: &CorpusConfig, batch: &[GrownRecord]) -> usize {
+        if self.root.is_none() {
+            return 0;
+        }
+        let mut seen: std::collections::HashSet<u64> = self
+            .read_growth(cfg, false)
+            .iter()
+            .map(|g| g.record.id)
+            .collect();
+        let fresh: Vec<GrownRecord> = batch
+            .iter()
+            .filter(|g| seen.insert(g.record.id))
+            .cloned()
+            .collect();
+        if fresh.is_empty() {
+            return 0;
+        }
+        let next = self.growth_paths(cfg).last().map_or(0, |(i, _)| i + 1);
+        let mut appended = 0;
+        for (k, chunk) in fresh.chunks(SHARD_RECORDS).enumerate() {
+            let shard = next + k;
+            let Some(path) = self.growth_shard_path(cfg, shard) else {
+                continue;
+            };
+            let file = GrowthShardFile {
+                version: CORPUS_VERSION,
+                record_version: RECORD_VERSION,
+                family: ShardFamily::of(cfg),
+                shard,
+                records: chunk.to_vec(),
+            };
+            if write_json_atomic(&path, &file, self.store_corruption(&path)) {
+                self.counters.stores.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .records_ingested
+                    .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                appended += chunk.len();
+            }
+        }
+        appended
     }
 
     /// Load a cached experiment result for `(table, context digest,
@@ -649,8 +941,17 @@ impl Cache {
 
     /// Garbage-collect the cache directory: evict artifacts older than
     /// `max_age`, then evict oldest-first until the directory fits in
-    /// `max_bytes`. A disabled cache GC is a no-op. Artifacts touched on
-    /// every hit, so live entries stay young.
+    /// `max_bytes`. A disabled cache GC is a no-op. Artifacts are touched
+    /// on every hit, so live entries stay young.
+    ///
+    /// Eviction operates on *shard families*, not bare files: a record
+    /// shard and the benchmark shards derived from it form one unit whose
+    /// age is its youngest member's, and the unit lives or dies together
+    /// — GC can never evict a record shard that a recently-used benchmark
+    /// shard still references (or strand benchmark cells whose records
+    /// are gone). Experiment, model, and growth artifacts are singleton
+    /// units. Monolithic v1 `corpus-*`/`bench-*` artifacts are unreadable
+    /// by the sharded layout and are evicted unconditionally.
     pub fn gc(&self, cfg: &GcConfig) -> GcReport {
         let mut report = GcReport::default();
         let Some(root) = self.root.as_deref() else {
@@ -660,8 +961,12 @@ impl Cache {
             return report;
         };
         let now = SystemTime::now();
-        // (mtime, size, path) for every artifact, oldest first.
-        let mut files: Vec<(SystemTime, u64, PathBuf)> = Vec::new();
+        struct Unit {
+            mtime: SystemTime,
+            bytes: u64,
+            files: Vec<(PathBuf, u64)>,
+        }
+        let mut units: std::collections::HashMap<String, Unit> = std::collections::HashMap::new();
         for entry in entries.flatten() {
             let path = entry.path();
             let name = entry.file_name();
@@ -671,34 +976,91 @@ impl Cache {
                 continue;
             }
             let Ok(meta) = entry.metadata() else { continue };
+            report.scanned += 1;
+            if name.starts_with("corpus-") || name.starts_with("bench-") {
+                if std::fs::remove_file(&path).is_ok() {
+                    report.evicted += 1;
+                    report.bytes_evicted += meta.len();
+                }
+                continue;
+            }
             let mtime = meta.modified().unwrap_or(now);
-            files.push((mtime, meta.len(), path));
+            let unit = units.entry(gc_unit_key(&name)).or_insert(Unit {
+                mtime,
+                bytes: 0,
+                files: Vec::new(),
+            });
+            if mtime > unit.mtime {
+                unit.mtime = mtime;
+            }
+            unit.bytes += meta.len();
+            unit.files.push((path, meta.len()));
         }
-        files.sort_by_key(|(mtime, _, _)| *mtime);
-        report.scanned = files.len();
-        let mut kept_bytes: u64 = files.iter().map(|(_, len, _)| len).sum();
-        for (i, (mtime, len, path)) in files.iter().enumerate() {
+        let mut units: Vec<(String, Unit)> = units.into_iter().collect();
+        units.sort_by(|(ka, a), (kb, b)| a.mtime.cmp(&b.mtime).then_with(|| ka.cmp(kb)));
+        let mut kept_bytes: u64 = units.iter().map(|(_, u)| u.bytes).sum();
+        let mut kept_files: usize = units.iter().map(|(_, u)| u.files.len()).sum();
+        for (_, unit) in units.iter() {
             let expired = now
-                .duration_since(*mtime)
+                .duration_since(unit.mtime)
                 .map(|age| age > cfg.max_age)
                 .unwrap_or(false);
-            // Oldest-first: everything after this entry is younger, so
-            // once the directory fits, the rest survives.
+            // Oldest-first: every unit after this one is younger, so once
+            // the directory fits, the rest survives.
             let oversized = kept_bytes > cfg.max_bytes;
             if !expired && !oversized {
-                report.bytes_kept = kept_bytes;
-                report.kept = files.len() - i;
-                return report;
+                break;
             }
-            if std::fs::remove_file(path).is_ok() {
-                report.evicted += 1;
-                report.bytes_evicted += len;
-                kept_bytes -= len;
+            for (path, len) in &unit.files {
+                if std::fs::remove_file(path).is_ok() {
+                    report.evicted += 1;
+                    report.bytes_evicted += len;
+                    kept_bytes -= len;
+                    kept_files -= 1;
+                }
             }
         }
+        report.kept = kept_files;
         report.bytes_kept = kept_bytes;
         report
     }
+}
+
+/// Eviction-unit key for one artifact file name: `rshard-F-S.json` and
+/// `bshard-F-S-<axes>.json` share the unit `shard-F-S`; everything else
+/// is a singleton unit.
+fn gc_unit_key(name: &str) -> String {
+    let stem = name.strip_suffix(".json").unwrap_or(name);
+    let parts: Vec<&str> = stem.split('-').collect();
+    match parts.as_slice() {
+        ["rshard", fam, idx] | ["bshard", fam, idx, _] => format!("shard-{fam}-{idx}"),
+        _ => format!("file-{stem}"),
+    }
+}
+
+/// Structural validation of a record shard's groups against the position
+/// it must occupy: base indices consecutive from `base_offset`, ids
+/// following the stable `record_id` scheme, exactly `1 + augment_copies`
+/// records per passing candidate with the base record first.
+fn record_groups_valid(
+    groups: &[Option<Vec<MatrixRecord>>],
+    base_offset: usize,
+    augment_copies: usize,
+) -> bool {
+    for (base, group) in (base_offset..).zip(groups.iter().flatten()) {
+        if group.len() != 1 + augment_copies {
+            return false;
+        }
+        for (copy, r) in group.iter().enumerate() {
+            if r.base_index != base
+                || r.id != crate::corpus::record_id(base, copy)
+                || r.augmented != (copy > 0)
+            {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// Limits for [`Cache::gc`].
@@ -799,11 +1161,68 @@ mod tests {
         let a = CorpusConfig::small(10, 1);
         let b = CorpusConfig::small(10, 2);
         let cache = Cache::new("/tmp/unused");
-        assert_eq!(cache.corpus_path(&a), cache.corpus_path(&a));
-        assert_ne!(cache.corpus_path(&a), cache.corpus_path(&b));
+        assert_eq!(
+            cache.record_shard_path(&a, 0),
+            cache.record_shard_path(&a, 0)
+        );
         assert_ne!(
-            cache.bench_path(&a, Gpu::Pascal),
-            cache.bench_path(&a, Gpu::Volta)
+            cache.record_shard_path(&a, 0),
+            cache.record_shard_path(&b, 0)
+        );
+        assert_ne!(
+            cache.record_shard_path(&a, 0),
+            cache.record_shard_path(&a, 1)
+        );
+        assert_ne!(
+            cache.bench_shard_path(&a, 0, Gpu::Pascal),
+            cache.bench_shard_path(&a, 0, Gpu::Volta)
+        );
+    }
+
+    #[test]
+    fn shard_keys_are_independent_of_corpus_size() {
+        // The whole point of the sharded layout: configs differing only
+        // in n_base address the same shard files.
+        let a = CorpusConfig::small(10, 1);
+        let mut b = a.clone();
+        b.n_base = 2000;
+        let cache = Cache::new("/tmp/unused");
+        assert_eq!(
+            cache.record_shard_path(&a, 3),
+            cache.record_shard_path(&b, 3)
+        );
+        assert_eq!(
+            cache.bench_shard_path(&a, 3, Gpu::Turing),
+            cache.bench_shard_path(&b, 3, Gpu::Turing)
+        );
+        assert_eq!(
+            cache.growth_shard_path(&a, 0),
+            cache.growth_shard_path(&b, 0)
+        );
+        // But any generator parameter separates families.
+        let mut c = a.clone();
+        c.size_scale = f64::from_bits(c.size_scale.to_bits() + 1);
+        assert_ne!(
+            cache.record_shard_path(&a, 3),
+            cache.record_shard_path(&c, 3)
+        );
+    }
+
+    #[test]
+    fn gc_unit_keys_group_record_and_bench_shards() {
+        assert_eq!(gc_unit_key("rshard-aa-0001.json"), "shard-aa-0001");
+        assert_eq!(gc_unit_key("bshard-aa-0001-ff.json"), "shard-aa-0001");
+        assert_ne!(
+            gc_unit_key("rshard-aa-0001.json"),
+            gc_unit_key("rshard-aa-0002.json")
+        );
+        assert_ne!(
+            gc_unit_key("gshard-aa-0001.json"),
+            gc_unit_key("rshard-aa-0001.json")
+        );
+        assert_ne!(
+            gc_unit_key("experiment-ab.json"),
+            gc_unit_key("model-ab.json")
         );
     }
 
@@ -812,12 +1231,15 @@ mod tests {
         let cache = Cache::disabled();
         let cfg = CorpusConfig::small(4, 1);
         assert!(!cache.enabled());
-        assert!(cache.corpus_path(&cfg).is_none());
-        assert!(cache.load_corpus(&cfg).is_none());
+        assert!(cache.record_shard_path(&cfg, 0).is_none());
+        assert!(cache.load_record_shard(&cfg, 0, 0).is_none());
+        assert!(cache.load_growth(&cfg).is_empty());
+        assert_eq!(cache.append_growth(&cfg, &[]), 0);
         let report = cache.report();
         assert!(!report.enabled);
         // A disabled load is not a miss: the cache was never consulted.
         assert_eq!((report.hits, report.misses, report.stores), (0, 0, 0));
+        assert_eq!((report.record_hits, report.record_misses), (0, 0));
         assert!(cache.experiment_path("t", 1, &0u32).is_none());
         assert!(cache.load_experiment::<u32, _>("t", 1, &0u32).is_none());
         assert_eq!(cache.report().experiment_misses, 0);
@@ -848,12 +1270,12 @@ mod tests {
         f.str("bc");
         assert_ne!(e.finish(), f.finish());
 
-        // size_scale reaches the corpus key as a bit pattern.
+        // size_scale reaches the shard family key as a bit pattern.
         let mut base = CorpusConfig::small(10, 1);
         let cache = Cache::new("/tmp/unused");
-        let p1 = cache.corpus_path(&base);
+        let p1 = cache.record_shard_path(&base, 0);
         base.size_scale = f64::from_bits(base.size_scale.to_bits() + 1);
-        assert_ne!(p1, cache.corpus_path(&base));
+        assert_ne!(p1, cache.record_shard_path(&base, 0));
     }
 
     #[test]

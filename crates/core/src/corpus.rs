@@ -11,6 +11,7 @@
 //! [`FeatureVector`] and (optionally) a [`DensityImage`], and then dropped,
 //! so corpus construction is cheap in memory.
 
+use crate::cache::{Cache, SHARD_RECORDS};
 use crate::error::{CoreError, CoreResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -82,6 +83,16 @@ impl CorpusConfig {
         self.image_resolution = resolution;
         self
     }
+}
+
+/// Stable identifier of the `copy`-th record derived from base matrix
+/// `base_index`. Base records keep their base index; augmentation copy
+/// `c ≥ 1` is `(c << 32) | base_index`. Unlike the pre-v2 scheme
+/// (`base + copy * n_base`), this never depends on the corpus size, so
+/// the id — and the benchmark noise it seeds — is shared by every corpus
+/// config in the same generator family.
+pub fn record_id(base_index: usize, copy: usize) -> u64 {
+    ((copy as u64) << 32) | base_index as u64
 }
 
 /// One corpus entry: everything the experiments need, matrix dropped.
@@ -200,6 +211,9 @@ fn generate_base(i: usize, cfg: &CorpusConfig) -> (Family, CooMatrix) {
             let heavy_frac = rng.gen_range(0.0005..0.01);
             gen::row_skewed(n, n, light, heavy.max(light + 1), heavy_frac, seed)
         }
+        // Observed records come from serve-time ingest, never from the
+        // generator; the family roll above cannot produce this arm.
+        Family::Observed => unreachable!("Observed is not a generator family"),
     };
     (family, m)
 }
@@ -229,71 +243,137 @@ fn record_from(
     }
 }
 
+/// Shard plan of a built corpus: for every record shard consumed, the
+/// ids and stats of *all* its records (including those past `n_base`),
+/// so benchmark caching operates on whole shards and overlapping corpus
+/// sizes share benchmark cells record-for-record.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusPlan {
+    /// Per-shard record manifests, in shard order.
+    pub shards: Vec<ShardRecords>,
+}
+
+/// Manifest of one record shard: everything benchmarking needs.
+#[derive(Debug, Clone)]
+pub struct ShardRecords {
+    /// Shard index within the generator family.
+    pub index: usize,
+    /// Record ids, in generation order.
+    pub ids: Vec<u64>,
+    /// Matching structural stats.
+    pub stats: Vec<MatrixStats>,
+}
+
 impl Corpus {
+    /// Build the corpus without a cache; see [`Corpus::build_cached`].
+    pub fn build(cfg: CorpusConfig) -> Corpus {
+        Self::build_cached(cfg, &Cache::disabled()).0
+    }
+
     /// Build the corpus: generate base matrices (skipping candidates that
     /// fail the CUSP ELL rule, as the paper does), then derive permuted
     /// augmentation copies.
     ///
-    /// Generation streams in small parallel batches: each kept matrix is
-    /// reduced to its records (stats, features, image) and dropped before
-    /// the next batch, so peak memory stays at O(batch) matrices instead
-    /// of the whole corpus (which would be tens of GB at paper scale).
-    pub fn build(cfg: CorpusConfig) -> Corpus {
-        const BATCH: usize = 32;
+    /// Generation walks fixed-size shards of candidates; each shard is
+    /// loaded from `cache` when a valid artifact exists and generated in
+    /// parallel (then stored back) otherwise. Candidates are
+    /// deterministic functions of their generation index and shards are
+    /// always materialized whole, so the records — ids, base indices,
+    /// stats — are identical whichever mix of cached and fresh shards a
+    /// build consumes, and identical across corpus sizes on the shared
+    /// prefix. Each kept matrix is reduced to its records (stats,
+    /// features, image) and dropped before the next shard, so peak
+    /// memory stays at O(threads) matrices instead of the whole corpus
+    /// (which would be tens of GB at paper scale).
+    ///
+    /// Returns the corpus plus the [`CorpusPlan`] listing every shard
+    /// record (including overgenerated ones past `n_base`) for shard-
+    /// granular benchmark caching.
+    pub fn build_cached(cfg: CorpusConfig, cache: &Cache) -> (Corpus, CorpusPlan) {
         let mut records: Vec<MatrixRecord> =
             Vec::with_capacity(cfg.n_base * (1 + cfg.augment_copies));
-        let mut base_index = 0usize;
-        let mut next_gen_index = 0usize;
-        while base_index < cfg.n_base {
-            // Candidates are deterministic functions of their generation
-            // index, so the corpus is reproducible regardless of how many
-            // batches the filter consumes.
-            let batch_records: Vec<Vec<MatrixRecord>> = (next_gen_index..next_gen_index + BATCH)
-                .into_par_iter()
-                .map(|gen_index| {
-                    let (family, m) = generate_base(gen_index, &cfg);
-                    let stats = MatrixStats::from_row_counts(m.nrows(), m.ncols(), &m.row_counts());
-                    if !cusp_ell_feasible(&stats) || stats.nnz == 0 {
-                        return Vec::new();
-                    }
-                    // Records receive their final base_index and id below
-                    // (they depend on how many earlier candidates passed).
-                    let mut out = Vec::with_capacity(1 + cfg.augment_copies);
-                    out.push(record_from(0, family, gen_index, false, &m, &cfg));
-                    let mut rng =
-                        StdRng::seed_from_u64(cfg.seed ^ 0xA06 ^ (gen_index as u64) << 20);
-                    for _ in 0..cfg.augment_copies {
-                        let pm = permute::random_permuted(&m, &mut rng);
-                        out.push(record_from(0, family, gen_index, true, &pm, &cfg));
-                    }
-                    out
-                })
-                .collect();
-            next_gen_index += BATCH;
-            for group in batch_records {
-                if group.is_empty() || base_index >= cfg.n_base {
-                    continue;
+        let mut plan = CorpusPlan::default();
+        // Filter-passing candidates seen so far, across all shards: the
+        // running count assigns base indices (and therefore ids) without
+        // any reference to n_base.
+        let mut passing = 0usize;
+        let mut shard = 0usize;
+        while passing < cfg.n_base {
+            let groups = cache
+                .load_record_shard(&cfg, shard, passing)
+                .unwrap_or_else(|| {
+                    let groups = Self::generate_shard(&cfg, shard, passing);
+                    cache.store_record_shard(&cfg, shard, &groups);
+                    groups
+                });
+            let mut ids = Vec::new();
+            let mut stats = Vec::new();
+            for group in groups.iter().flatten() {
+                for r in group {
+                    ids.push(r.id);
+                    stats.push(r.stats.clone());
                 }
-                for (copy, mut r) in group.into_iter().enumerate() {
-                    r.base_index = base_index;
-                    r.id = if copy == 0 {
-                        base_index as u64
-                    } else {
-                        (base_index + copy * cfg.n_base) as u64
-                    };
-                    records.push(r);
+                if passing < cfg.n_base {
+                    records.extend(group.iter().cloned());
                 }
-                base_index += 1;
+                passing += 1;
             }
+            plan.shards.push(ShardRecords {
+                index: shard,
+                ids,
+                stats,
+            });
+            shard += 1;
         }
 
         // Base records first, copies after, mirroring the previous layout
         // (stable sort preserves generation order within the groups).
         records.sort_by_key(|r| (r.augmented, r.base_index));
-        Corpus {
-            records,
-            config: cfg,
+        (
+            Corpus {
+                records,
+                config: cfg,
+            },
+            plan,
+        )
+    }
+
+    /// Generate one whole shard of candidates. `base_offset` is the
+    /// filter-passing count of all earlier shards; it fixes the base
+    /// indices and ids of this shard's records.
+    fn generate_shard(
+        cfg: &CorpusConfig,
+        shard: usize,
+        base_offset: usize,
+    ) -> Vec<Option<Vec<MatrixRecord>>> {
+        let start = shard * SHARD_RECORDS;
+        let mut groups: Vec<Option<Vec<MatrixRecord>>> = (start..start + SHARD_RECORDS)
+            .into_par_iter()
+            .map(|gen_index| {
+                let (family, m) = generate_base(gen_index, cfg);
+                let stats = MatrixStats::from_row_counts(m.nrows(), m.ncols(), &m.row_counts());
+                if !cusp_ell_feasible(&stats) || stats.nnz == 0 {
+                    return None;
+                }
+                // Records receive their final base_index and id below
+                // (they depend on how many earlier candidates passed).
+                let mut out = Vec::with_capacity(1 + cfg.augment_copies);
+                out.push(record_from(0, family, gen_index, false, &m, cfg));
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA06 ^ (gen_index as u64) << 20);
+                for _ in 0..cfg.augment_copies {
+                    let pm = permute::random_permuted(&m, &mut rng);
+                    out.push(record_from(0, family, gen_index, true, &pm, cfg));
+                }
+                Some(out)
+            })
+            .collect();
+        for (base, group) in (base_offset..).zip(groups.iter_mut().flatten()) {
+            for (copy, r) in group.iter_mut().enumerate() {
+                r.base_index = base;
+                r.id = record_id(base, copy);
+            }
         }
+        groups
     }
 
     /// Reassemble a corpus from records and the config that produced them
@@ -323,6 +403,37 @@ impl Corpus {
         let stats: Vec<MatrixStats> = self.records.iter().map(|r| r.stats.clone()).collect();
         let ids: Vec<u64> = self.records.iter().map(|r| r.id).collect();
         benchmark_corpus(&gpu.spec(), &stats, &ids)
+    }
+
+    /// Benchmark every record on one GPU through the shard cache: each
+    /// record shard's cells are loaded when a valid benchmark shard
+    /// exists and computed (then stored back) otherwise. Whole shards
+    /// are benchmarked — including records past `n_base` — so the cells
+    /// are shared verbatim by every corpus size in the family. The
+    /// benchmark model is per-record pure, so the outcome is
+    /// bit-identical to [`Corpus::benchmark`].
+    pub fn benchmark_cached(
+        &self,
+        plan: &CorpusPlan,
+        gpu: Gpu,
+        cache: &Cache,
+    ) -> Vec<Option<BenchResult>> {
+        let spec = gpu.spec();
+        let mut by_id: std::collections::HashMap<u64, Option<BenchResult>> =
+            std::collections::HashMap::new();
+        for sh in &plan.shards {
+            let cells = cache
+                .load_bench_shard(&self.config, sh.index, gpu, &sh.ids)
+                .unwrap_or_else(|| {
+                    let results = benchmark_corpus(&spec, &sh.stats, &sh.ids);
+                    cache.store_bench_shard(&self.config, sh.index, gpu, &sh.ids, &results);
+                    results
+                });
+            for (&id, cell) in sh.ids.iter().zip(cells) {
+                by_id.insert(id, cell);
+            }
+        }
+        self.records.iter().map(|r| by_id[&r.id]).collect()
     }
 
     /// Resiliently benchmark every record on one GPU: trial-level

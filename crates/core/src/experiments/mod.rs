@@ -82,13 +82,7 @@ impl ExperimentContext {
         faults: &FaultConfig,
         policy: &TrialPolicy,
     ) -> Self {
-        let corpus = report.time("corpus_build", || {
-            cache.load_corpus(&cfg).unwrap_or_else(|| {
-                let corpus = Corpus::build(cfg.clone());
-                cache.store_corpus(&corpus);
-                corpus
-            })
-        });
+        let (corpus, plan) = report.time("corpus_build", || Corpus::build_cached(cfg, cache));
         let mut degradation = DegradationReport {
             faults_enabled: faults.enabled(),
             fault_seed: faults.seed,
@@ -107,20 +101,7 @@ impl ExperimentContext {
                 .into_par_iter()
                 .map(|g| {
                     if !faults.enabled() {
-                        return GpuRun::Clean(
-                            cache
-                                .load_bench(corpus.config(), g, &corpus.records)
-                                .unwrap_or_else(|| {
-                                    let results = corpus.benchmark(g);
-                                    cache.store_bench(
-                                        corpus.config(),
-                                        g,
-                                        &corpus.records,
-                                        &results,
-                                    );
-                                    results
-                                }),
-                        );
+                        return GpuRun::Clean(corpus.benchmark_cached(&plan, g, cache));
                     }
                     if faults.gpu_outage(g as usize) {
                         return GpuRun::Outage;
@@ -172,16 +153,47 @@ impl ExperimentContext {
         }
     }
 
+    /// Extend the context with grown records ingested from serve-time
+    /// journals (`spsel corpus ingest`): every grown record of the
+    /// corpus config's generator family not already present is appended
+    /// to the corpus together with its cached benchmark cells, so a
+    /// retrain touches only new records — nothing is regenerated or
+    /// re-benchmarked. Returns how many records were appended. The
+    /// grown records participate in [`ExperimentContext::digest`], so
+    /// experiment and model cache keys track corpus growth.
+    pub fn extend_with_growth(&mut self, cache: &Cache) -> usize {
+        let grown = cache.load_growth(self.corpus.config());
+        let mut have: std::collections::HashSet<u64> =
+            self.corpus.records.iter().map(|r| r.id).collect();
+        let mut added = 0;
+        for g in grown {
+            if g.benches.len() != self.benches.len() || !have.insert(g.record.id) {
+                continue;
+            }
+            for (per_gpu, cell) in self.benches.iter_mut().zip(&g.benches) {
+                per_gpu.push(*cell);
+            }
+            self.corpus.records.push(g.record);
+            added += 1;
+        }
+        added
+    }
+
     /// Canonical digest of everything an experiment's numbers can depend
-    /// on: corpus version + config (floats as bit patterns) and, per GPU,
-    /// every benchmark entry (presence, the four per-format timings as bit
-    /// patterns, and the best-format index). Two contexts with equal
-    /// digests produce bit-identical tables for equal experiment params,
-    /// which is what keys the experiment-phase cache.
+    /// on: corpus version + config (floats as bit patterns), every record
+    /// id (so grown corpora key differently from their seed corpus), and,
+    /// per GPU, every benchmark entry (presence, the four per-format
+    /// timings as bit patterns, and the best-format index). Two contexts
+    /// with equal digests produce bit-identical tables for equal
+    /// experiment params, which is what keys the experiment-phase cache.
     pub fn digest(&self) -> u64 {
         let mut w = crate::cache::KeyWriter::new();
         w.u32(crate::cache::CORPUS_VERSION);
         w.corpus_config(self.corpus.config());
+        w.usize(self.corpus.len());
+        for r in &self.corpus.records {
+            w.u64(r.id);
+        }
         w.usize(self.benches.len());
         for per_gpu in &self.benches {
             w.usize(per_gpu.len());

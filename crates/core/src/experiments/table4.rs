@@ -3,7 +3,8 @@
 
 use super::{ExperimentContext, SemiRow};
 use crate::semi::{ClusterMethod, Labeler, SemiConfig};
-use crate::transfer::local_semi;
+use crate::share::FitPool;
+use crate::transfer::local_semi_pooled;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -58,8 +59,13 @@ const LABELERS: [Labeler; 3] = [
 /// The nine (clustering, labeler) cells of every GPU run through the
 /// parallel runtime: each cell reads shared inputs, derives all its work
 /// from `cfg.seed`, and fills only its own output slot, so any worker
-/// count produces the same table as a serial run.
+/// count produces the same table as a serial run. The three labeler
+/// cells of one `(GPU, method, nc)` cluster identical data, so their
+/// per-fold clusterings (and Mean-Shift's full-dataset NC probe) come
+/// from a shared [`FitPool`] and are fitted once instead of three times;
+/// cell outputs are bit-identical to unpooled fits.
 pub fn run(ctx: &ExperimentContext, cfg: &Table4Config) -> Table4 {
+    let pool = FitPool::new();
     let mut gpus = Vec::new();
     let mut inputs = Vec::new();
     for gpu in ctx.active_gpus() {
@@ -100,16 +106,13 @@ pub fn run(ctx: &ExperimentContext, cfg: &Table4Config) -> Table4 {
                     ClusterMethod::MeanShift => ClusterMethod::MeanShift,
                 };
                 let semi_cfg = SemiConfig::new(m, labeler, cfg.seed);
-                let q = local_semi(features, results, semi_cfg, cfg.folds, cfg.seed);
+                let q = local_semi_pooled(features, results, semi_cfg, cfg.folds, cfg.seed, &pool);
                 // Report the NC actually used: for Mean-Shift, measure
                 // the discovered cluster count on the full dataset.
                 let nc_used = match m {
-                    ClusterMethod::MeanShift => crate::semi::SemiSupervisedSelector::fit(
-                        features,
-                        &results.iter().map(|r| r.best).collect::<Vec<_>>(),
-                        semi_cfg,
-                    )
-                    .n_clusters(),
+                    ClusterMethod::MeanShift => pool
+                        .clustering(features, m, semi_cfg.seed, semi_cfg.pca_dim)
+                        .n_clusters(),
                     _ => nc,
                 };
                 let row = SemiRow {

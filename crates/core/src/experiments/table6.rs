@@ -2,9 +2,10 @@
 //! KNN, XGBoost, CNN) on each GPU, with the GT / CSR / Threshold columns.
 
 use super::ExperimentContext;
+use crate::share::FitPool;
 use crate::speedup::SelectionQuality;
 use crate::supervised::{SupervisedConfig, SupervisedModel};
-use crate::transfer::local_supervised;
+use crate::transfer::local_supervised_pooled;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -57,7 +58,11 @@ pub struct Table6 {
 /// All (model, GPU) cells run through the parallel runtime: each cell
 /// derives its work from `cfg.seed` alone and fills only its own output
 /// slot, so any worker count produces the same table as a serial run.
+/// Featural fits are drawn from a shared [`FitPool`], so cells that
+/// would train an identical model (same features, labels, and config)
+/// fit it once; outputs are bit-identical to unpooled fits.
 pub fn run(ctx: &ExperimentContext, cfg: &Table6Config) -> Table6 {
+    let pool = FitPool::new();
     let models: Vec<SupervisedModel> = SupervisedModel::ALL
         .into_iter()
         .filter(|m| cfg.with_cnn || !m.needs_images())
@@ -91,7 +96,9 @@ pub fn run(ctx: &ExperimentContext, cfg: &Table6Config) -> Table6 {
                 SupervisedConfig::new(model, cfg.seed)
             };
             let images_arg = model.needs_images().then_some(images.as_slice());
-            match local_supervised(features, images_arg, results, sup_cfg, cfg.folds, cfg.seed) {
+            match local_supervised_pooled(
+                features, images_arg, results, sup_cfg, cfg.folds, cfg.seed, &pool,
+            ) {
                 Ok(quality) => (
                     g,
                     Some(Table6Row {

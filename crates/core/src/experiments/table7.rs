@@ -3,9 +3,10 @@
 //! CNN for cost, and the Volta-to-Pascal pair for space).
 
 use super::ExperimentContext;
+use crate::share::FitPool;
 use crate::speedup::SelectionQuality;
 use crate::supervised::{SupervisedConfig, SupervisedModel};
-use crate::transfer::{transfer_supervised, RetrainBudget, TransferInput};
+use crate::transfer::{transfer_supervised_budgets, RetrainBudget, TransferInput};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use spsel_gpusim::Gpu;
@@ -63,7 +64,13 @@ pub struct Table7 {
 /// All (model, pair) cells run through the parallel runtime: each cell
 /// derives its work from `cfg.seed` alone and fills only its own output
 /// slot, so any worker count produces the same table as a serial run.
+/// Each cell evaluates its three budgets through
+/// [`transfer_supervised_budgets`] — one k-fold split computation per
+/// cell, with fits drawn from a shared [`FitPool`] so budgets (or
+/// cells) whose training inputs coincide fit once; per-budget outputs
+/// are bit-identical to the single-budget protocol.
 pub fn run(ctx: &ExperimentContext, cfg: &Table7Config) -> Table7 {
+    let pool = FitPool::new();
     let common = ctx.common_subset();
     let features = ctx.features(&common);
     let active = ctx.active_gpus();
@@ -102,20 +109,17 @@ pub fn run(ctx: &ExperimentContext, cfg: &Table7Config) -> Table7 {
             } else {
                 SupervisedConfig::new(model, cfg.seed)
             };
-            let mut budgets = Vec::with_capacity(3);
-            for budget in RetrainBudget::ALL {
-                match transfer_supervised(input, sup_cfg, budget, cfg.folds, cfg.seed) {
-                    Ok(q) => budgets.push(q),
-                    Err(e) => {
-                        eprintln!("degradation: skipping {} transfer: {e}", model.name());
-                        break;
-                    }
+            let row = match transfer_supervised_budgets(input, sup_cfg, cfg.folds, cfg.seed, &pool)
+            {
+                Ok(budgets) => Some(Table7Row {
+                    model: model.name().to_string(),
+                    budgets,
+                }),
+                Err(e) => {
+                    eprintln!("degradation: skipping {} transfer: {e}", model.name());
+                    None
                 }
-            }
-            let row = (budgets.len() == 3).then(|| Table7Row {
-                model: model.name().to_string(),
-                budgets: [budgets[0], budgets[1], budgets[2]],
-            });
+            };
             (p, row)
         })
         .collect();

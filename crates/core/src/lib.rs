@@ -27,6 +27,7 @@ pub mod online;
 pub mod overhead;
 pub mod regression;
 pub mod semi;
+pub mod share;
 pub mod speedup;
 pub mod supervised;
 pub mod telemetry;

@@ -94,6 +94,25 @@ impl SemiConfig {
     }
 }
 
+/// The labeler-independent half of a fitted selector: the embedding
+/// pipeline, the clustering, and the embedded training points. Produced
+/// by [`SemiSupervisedSelector::fit_clustering`]; turned into a full
+/// selector — for any labeler — by
+/// [`SemiSupervisedSelector::from_clustering`].
+#[derive(Debug, Clone)]
+pub struct FittedClustering {
+    preprocessor: Preprocessor,
+    clustering: Clustering,
+    embedded: Vec<Vec<f64>>,
+}
+
+impl FittedClustering {
+    /// Number of clusters the fit produced (Mean-Shift decides its own).
+    pub fn n_clusters(&self) -> usize {
+        self.clustering.n_clusters()
+    }
+}
+
 /// A fitted semi-supervised selector.
 ///
 /// Serializes in full (pipeline, clustering, per-member label state) so a
@@ -210,23 +229,51 @@ impl SemiSupervisedSelector {
     /// assert_eq!(sel.predict(&features[0]), Format::Ell);
     /// ```
     pub fn fit(features: &[FeatureVector], labels: &[Format], config: SemiConfig) -> Self {
-        assert_eq!(features.len(), labels.len(), "one label per matrix");
+        let fc = Self::fit_clustering(features, config.method, config.seed, config.pca_dim);
+        Self::from_clustering(&fc, labels, config)
+    }
+
+    /// Stage 1 alone: embed and cluster `features`. The result depends
+    /// only on `(features, method, seed, pca_dim)` — not on the labeler
+    /// or on any benchmark label — so table cells that train different
+    /// labelers on the same fold of the same GPU can share one fitted
+    /// clustering (see `spsel_core::share::FitPool`).
+    pub fn fit_clustering(
+        features: &[FeatureVector],
+        method: ClusterMethod,
+        seed: u64,
+        pca_dim: usize,
+    ) -> FittedClustering {
         assert!(!features.is_empty(), "cannot fit on an empty corpus");
         let rows: Vec<Vec<f64>> = features.iter().map(|f| f.as_slice().to_vec()).collect();
-        let preprocessor = Preprocessor::fit_rows(&rows, Some(config.pca_dim));
+        let preprocessor = Preprocessor::fit_rows(&rows, Some(pca_dim));
         let embedded: Vec<Vec<f64>> = rows.iter().map(|r| preprocessor.embed_row(r)).collect();
 
-        let clustering = match config.method {
-            ClusterMethod::KMeans { nc } => KMeans::new(nc, config.seed).fit(&embedded),
+        let clustering = match method {
+            ClusterMethod::KMeans { nc } => KMeans::new(nc, seed).fit(&embedded),
             ClusterMethod::MeanShift => MeanShift::default().fit(&embedded),
-            ClusterMethod::Birch { nc } => Birch::new(nc, config.seed).fit(&embedded),
+            ClusterMethod::Birch { nc } => Birch::new(nc, seed).fit(&embedded),
         };
-
-        let mut selector = SemiSupervisedSelector {
-            config,
+        FittedClustering {
             preprocessor,
             clustering,
             embedded,
+        }
+    }
+
+    /// Stage 2 alone: label the clusters of a pre-fitted embedding.
+    /// `fit(features, labels, config)` is definitionally
+    /// `from_clustering(&fit_clustering(features, ...), labels, config)`,
+    /// so a selector built from a shared clustering is bit-identical to
+    /// one fitted from scratch. `config` must be the configuration the
+    /// clustering was fitted under (method, seed, pca_dim).
+    pub fn from_clustering(fc: &FittedClustering, labels: &[Format], config: SemiConfig) -> Self {
+        assert_eq!(fc.embedded.len(), labels.len(), "one label per matrix");
+        let mut selector = SemiSupervisedSelector {
+            config,
+            preprocessor: fc.preprocessor.clone(),
+            clustering: fc.clustering.clone(),
+            embedded: fc.embedded.clone(),
             member_labels: labels.to_vec(),
             member_fresh: vec![true; labels.len()],
             labels: Vec::new(),

@@ -1,0 +1,142 @@
+//! Cross-cell sharing of fitted models (the training hot path).
+//!
+//! Table cells are independent experiments, but many of them train on
+//! the *same data*: Table 4's three labeler columns cluster the same
+//! `(GPU, fold)` split with the same method before labeling it three
+//! different ways, and Table 7's three retraining budgets often reduce
+//! to identical label vectors on a fold. [`FitPool`] is a
+//! content-addressed pool of fitted artifacts: callers key a fit by the
+//! exact bit patterns of everything that determines it (feature values,
+//! labels, method, seed), so two cells that would compute the same model
+//! compute it once — and a cell that would not, never shares by
+//! accident. Keys use the cache layer's [`KeyWriter`] FNV hashing.
+//!
+//! The pool is an in-memory, per-run structure shared across a table's
+//! parallel cells; fits never run under the pool lock, so concurrent
+//! cells that race on the same key at worst duplicate a deterministic
+//! fit (first insert wins).
+
+use crate::cache::KeyWriter;
+use crate::error::CoreResult;
+use crate::semi::{ClusterMethod, FittedClustering, SemiSupervisedSelector};
+use crate::supervised::{SupervisedConfig, SupervisedSelector};
+use spsel_features::FeatureVector;
+use spsel_matrix::Format;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Content-addressed pool of fitted clusterings and supervised models.
+#[derive(Default)]
+pub struct FitPool {
+    clusterings: Mutex<HashMap<u64, Arc<FittedClustering>>>,
+    supervised: Mutex<HashMap<u64, Arc<SupervisedSelector>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn feed_features(w: &mut KeyWriter, features: &[FeatureVector]) {
+    w.usize(features.len());
+    for f in features {
+        for &v in f.as_slice() {
+            w.f64(v);
+        }
+    }
+}
+
+fn feed_method(w: &mut KeyWriter, method: ClusterMethod) {
+    match method {
+        ClusterMethod::KMeans { nc } => {
+            w.str("kmeans");
+            w.usize(nc);
+        }
+        ClusterMethod::MeanShift => w.str("meanshift"),
+        ClusterMethod::Birch { nc } => {
+            w.str("birch");
+            w.usize(nc);
+        }
+    }
+}
+
+impl FitPool {
+    /// Fresh, empty pool.
+    pub fn new() -> Self {
+        FitPool::default()
+    }
+
+    /// Fits served from the pool instead of recomputed.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Fits actually computed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The clustering of `(features, method, seed, pca_dim)` — fitted at
+    /// most once per pool, whatever labeler (or table cell) asks for it.
+    pub fn clustering(
+        &self,
+        features: &[FeatureVector],
+        method: ClusterMethod,
+        seed: u64,
+        pca_dim: usize,
+    ) -> Arc<FittedClustering> {
+        let mut w = KeyWriter::new();
+        w.str("clustering");
+        feed_method(&mut w, method);
+        w.u64(seed);
+        w.usize(pca_dim);
+        feed_features(&mut w, features);
+        let key = w.finish();
+        if let Some(fc) = self.clusterings.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return fc.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fc = Arc::new(SemiSupervisedSelector::fit_clustering(
+            features, method, seed, pca_dim,
+        ));
+        self.clusterings
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(fc)
+            .clone()
+    }
+
+    /// The supervised selector of `(features, labels, cfg)` — for models
+    /// trained on features alone (CNN cells carry density images and fit
+    /// outside the pool). Budgets or cells whose label vectors coincide
+    /// on the same fold share one fit.
+    pub fn supervised(
+        &self,
+        features: &[FeatureVector],
+        labels: &[Format],
+        cfg: SupervisedConfig,
+    ) -> CoreResult<Arc<SupervisedSelector>> {
+        let mut w = KeyWriter::new();
+        w.str("supervised");
+        w.str(&serde_json::to_string(&cfg).expect("supervised config serializes"));
+        w.usize(labels.len());
+        for l in labels {
+            w.usize(l.index());
+        }
+        feed_features(&mut w, features);
+        let key = w.finish();
+        if let Some(sel) = self.supervised.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(sel.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let sel = Arc::new(SupervisedSelector::fit(features, None, labels, cfg)?);
+        Ok(self
+            .supervised
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(sel)
+            .clone())
+    }
+}

@@ -34,6 +34,15 @@ pub struct CacheReport {
     /// Misses caused specifically by an unreadable (truncated or
     /// garbage) artifact, as opposed to an absent or stale one.
     pub corrupt: u64,
+    /// Individual records (and benchmark cells) served from shard
+    /// artifacts instead of being regenerated or re-benchmarked.
+    pub record_hits: u64,
+    /// Individual records (and benchmark cells) that had to be computed
+    /// fresh and were written back into shard artifacts.
+    pub record_misses: u64,
+    /// Serve-time records appended to the corpus by `spsel corpus
+    /// ingest` this run.
+    pub records_ingested: u64,
     /// Experiment-phase results served from disk (each one skips a whole
     /// table's training/CV work).
     pub experiment_hits: u64,

@@ -8,6 +8,7 @@
 
 use crate::error::CoreResult;
 use crate::semi::{SemiConfig, SemiSupervisedSelector};
+use crate::share::FitPool;
 use crate::speedup::{selection_quality, SelectionQuality};
 use crate::supervised::{SupervisedConfig, SupervisedSelector};
 use rayon::prelude::*;
@@ -112,6 +113,36 @@ pub fn local_semi(
     SelectionQuality::average(&qualities)
 }
 
+/// [`local_semi`] with the per-fold clustering drawn from a shared
+/// [`FitPool`]: cells that train different labelers on the same
+/// `(features, method, seed)` fold fit the clustering once.
+/// `SemiSupervisedSelector::fit` is definitionally
+/// `from_clustering(fit_clustering(..))`, so the cell output is
+/// bit-identical to the unpooled protocol (proven in
+/// `tests/share.rs`).
+pub fn local_semi_pooled(
+    features: &[FeatureVector],
+    results: &[BenchResult],
+    cfg: SemiConfig,
+    folds: usize,
+    seed: u64,
+    pool: &FitPool,
+) -> SelectionQuality {
+    let y: Vec<usize> = results.iter().map(|r| r.best.index()).collect();
+    let qualities: Vec<SelectionQuality> = stratified_kfold(&y, Format::COUNT, folds, seed)
+        .into_par_iter()
+        .map(|(train, test)| {
+            let train_features = features_of(features, &train);
+            let fc = pool.clustering(&train_features, cfg.method, cfg.seed, cfg.pca_dim);
+            let sel =
+                SemiSupervisedSelector::from_clustering(&fc, &labels_of(results, &train), cfg);
+            let preds = sel.predict_batch(&features_of(features, &test));
+            selection_quality(&preds, &results_of(results, &test))
+        })
+        .collect();
+    SelectionQuality::average(&qualities)
+}
+
 /// Local protocol for a supervised model. Errors when the model cannot be
 /// fit (e.g. CNN without images) instead of panicking.
 pub fn local_supervised(
@@ -135,6 +166,40 @@ pub fn local_supervised(
             )?;
             let test_imgs = images_of(images, &test);
             let preds = sel.predict_batch(&features_of(features, &test), test_imgs.as_deref());
+            Ok(selection_quality(&preds, &results_of(results, &test)))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect::<CoreResult<_>>()?;
+    Ok(SelectionQuality::average(&qualities))
+}
+
+/// [`local_supervised`] with featural fits drawn from a shared
+/// [`FitPool`]. CNN cells (images present) fit directly — an image
+/// tensor is not part of the pool key — so only cells whose fit is fully
+/// determined by `(features, labels, config)` ever share.
+pub fn local_supervised_pooled(
+    features: &[FeatureVector],
+    images: Option<&[Option<DensityImage>]>,
+    results: &[BenchResult],
+    cfg: SupervisedConfig,
+    folds: usize,
+    seed: u64,
+    pool: &FitPool,
+) -> CoreResult<SelectionQuality> {
+    if images.is_some() {
+        return local_supervised(features, images, results, cfg, folds, seed);
+    }
+    let y: Vec<usize> = results.iter().map(|r| r.best.index()).collect();
+    let qualities: Vec<SelectionQuality> = stratified_kfold(&y, Format::COUNT, folds, seed)
+        .into_par_iter()
+        .map(|(train, test)| -> CoreResult<SelectionQuality> {
+            let sel = pool.supervised(
+                &features_of(features, &train),
+                &labels_of(results, &train),
+                cfg,
+            )?;
+            let preds = sel.predict_batch(&features_of(features, &test), None);
             Ok(selection_quality(&preds, &results_of(results, &test)))
         })
         .collect::<Vec<_>>()
@@ -251,6 +316,69 @@ pub fn transfer_supervised(
         .into_iter()
         .collect::<CoreResult<_>>()?;
     Ok(SelectionQuality::average(&qualities))
+}
+
+/// [`transfer_supervised`] at all three budgets with one k-fold split
+/// computation and fits drawn from a shared [`FitPool`]: budgets whose
+/// label vectors coincide on a fold (always true when the stratified
+/// subset happens to agree with the source labels, and common between
+/// 0% and small budgets) share one fit. Per budget, the result is
+/// bit-identical to the single-budget protocol.
+pub fn transfer_supervised_budgets(
+    input: TransferInput<'_>,
+    cfg: SupervisedConfig,
+    folds: usize,
+    seed: u64,
+    pool: &FitPool,
+) -> CoreResult<[SelectionQuality; 3]> {
+    let y_target: Vec<usize> = input.target.iter().map(|r| r.best.index()).collect();
+    let per_fold: Vec<[SelectionQuality; 3]> =
+        stratified_kfold(&y_target, Format::COUNT, folds, seed)
+            .into_par_iter()
+            .map(|(train, test)| -> CoreResult<[SelectionQuality; 3]> {
+                let train_features = features_of(input.features, &train);
+                let test_features = features_of(input.features, &test);
+                let test_results = results_of(input.target, &test);
+                let train_imgs = images_of(input.images, &train);
+                let test_imgs = images_of(input.images, &test);
+                let source_labels = labels_of(input.source, &train);
+                let train_y: Vec<usize> = train
+                    .iter()
+                    .map(|&i| input.target[i].best.index())
+                    .collect();
+                let mut qs = Vec::with_capacity(RetrainBudget::ALL.len());
+                for budget in RetrainBudget::ALL {
+                    let mut labels = source_labels.clone();
+                    if budget.fraction() > 0.0 {
+                        let sub =
+                            stratified_subsample(&train_y, Format::COUNT, budget.fraction(), seed);
+                        for &p in &sub {
+                            labels[p] = input.target[train[p]].best;
+                        }
+                    }
+                    let preds = if input.images.is_none() {
+                        let sel = pool.supervised(&train_features, &labels, cfg)?;
+                        sel.predict_batch(&test_features, None)
+                    } else {
+                        let sel = SupervisedSelector::fit(
+                            &train_features,
+                            train_imgs.as_deref(),
+                            &labels,
+                            cfg,
+                        )?;
+                        sel.predict_batch(&test_features, test_imgs.as_deref())
+                    };
+                    qs.push(selection_quality(&preds, &test_results));
+                }
+                Ok([qs[0], qs[1], qs[2]])
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect::<CoreResult<_>>()?;
+    Ok([0, 1, 2].map(|b| {
+        let per_budget: Vec<SelectionQuality> = per_fold.iter().map(|f| f[b]).collect();
+        SelectionQuality::average(&per_budget)
+    }))
 }
 
 #[cfg(test)]

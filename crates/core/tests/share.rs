@@ -1,0 +1,139 @@
+//! Cross-cell fit sharing is *provably free*: every pooled protocol in
+//! `spsel_core::transfer` must produce results bit-identical to its
+//! unpooled reference implementation, while actually sharing fits (the
+//! pool reports hits). These tests are the equivalence proof the table
+//! runners rely on.
+
+use spsel_core::corpus::CorpusConfig;
+use spsel_core::experiments::ExperimentContext;
+use spsel_core::semi::{ClusterMethod, Labeler, SemiConfig, SemiSupervisedSelector};
+use spsel_core::share::FitPool;
+use spsel_core::speedup::SelectionQuality;
+use spsel_core::supervised::{SupervisedConfig, SupervisedModel};
+use spsel_core::transfer::{
+    local_semi, local_semi_pooled, local_supervised, local_supervised_pooled, transfer_supervised,
+    transfer_supervised_budgets, RetrainBudget, TransferInput,
+};
+use spsel_gpusim::Gpu;
+
+/// Bitwise equality: shared fits must not move a result by even one ulp.
+fn assert_bit_identical(a: &SelectionQuality, b: &SelectionQuality, what: &str) {
+    assert_eq!(a.acc.to_bits(), b.acc.to_bits(), "{what}: acc");
+    assert_eq!(a.f1.to_bits(), b.f1.to_bits(), "{what}: f1");
+    assert_eq!(a.mcc.to_bits(), b.mcc.to_bits(), "{what}: mcc");
+    assert_eq!(a.gt.to_bits(), b.gt.to_bits(), "{what}: gt");
+    assert_eq!(a.csr.to_bits(), b.csr.to_bits(), "{what}: csr");
+    assert_eq!((a.threshold, a.n), (b.threshold, b.n), "{what}: counts");
+}
+
+fn context() -> ExperimentContext {
+    ExperimentContext::new(CorpusConfig::small(30, 2))
+}
+
+#[test]
+fn pooled_local_semi_is_bit_identical_and_actually_shares() {
+    let ctx = context();
+    let gpu = Gpu::Turing;
+    let indices = ctx.dataset(gpu);
+    let features = ctx.features(&indices);
+    let results = ctx.results(gpu, &indices).unwrap();
+
+    let pool = FitPool::new();
+    for method in [
+        ClusterMethod::KMeans { nc: 6 },
+        ClusterMethod::MeanShift,
+        ClusterMethod::Birch { nc: 6 },
+    ] {
+        for labeler in [
+            Labeler::Vote,
+            Labeler::LogisticRegression,
+            Labeler::RandomForest,
+        ] {
+            let cfg = SemiConfig::new(method, labeler, 1);
+            let unpooled = local_semi(&features, &results, cfg, 3, 1);
+            let pooled = local_semi_pooled(&features, &results, cfg, 3, 1, &pool);
+            assert_bit_identical(
+                &pooled,
+                &unpooled,
+                &format!("{}-{}", method.name(), labeler.name()),
+            );
+        }
+    }
+    // Three labelers per method cluster identical folds: two thirds of
+    // all clustering fits must come from the pool.
+    assert!(
+        pool.hits() >= 2 * pool.misses(),
+        "{:?}",
+        (pool.hits(), pool.misses())
+    );
+}
+
+#[test]
+fn fit_decomposes_into_fit_clustering_then_from_clustering() {
+    let ctx = context();
+    let indices = ctx.dataset(Gpu::Pascal);
+    let features = ctx.features(&indices);
+    let results = ctx.results(Gpu::Pascal, &indices).unwrap();
+    let labels: Vec<_> = results.iter().map(|r| r.best).collect();
+
+    let cfg = SemiConfig::new(ClusterMethod::KMeans { nc: 5 }, Labeler::Vote, 9);
+    let direct = SemiSupervisedSelector::fit(&features, &labels, cfg);
+    let fc = SemiSupervisedSelector::fit_clustering(&features, cfg.method, cfg.seed, cfg.pca_dim);
+    let staged = SemiSupervisedSelector::from_clustering(&fc, &labels, cfg);
+    assert!(fc.n_clusters() > 0);
+    assert_eq!(
+        direct.predict_batch(&features),
+        staged.predict_batch(&features),
+        "the two-stage fit must predict identically to the one-shot fit"
+    );
+}
+
+#[test]
+fn pooled_local_supervised_is_bit_identical() {
+    let ctx = context();
+    let gpu = Gpu::Volta;
+    let indices = ctx.dataset(gpu);
+    let features = ctx.features(&indices);
+    let results = ctx.results(gpu, &indices).unwrap();
+
+    let pool = FitPool::new();
+    for model in [SupervisedModel::Dt, SupervisedModel::Knn] {
+        let cfg = SupervisedConfig::quick(model, 3);
+        let unpooled = local_supervised(&features, None, &results, cfg, 3, 3).unwrap();
+        let pooled = local_supervised_pooled(&features, None, &results, cfg, 3, 3, &pool).unwrap();
+        assert_bit_identical(&pooled, &unpooled, &format!("{model:?}"));
+    }
+    let misses_after_first = pool.misses();
+    // Re-running an identical cell is served entirely from the pool.
+    let cfg = SupervisedConfig::quick(SupervisedModel::Dt, 3);
+    local_supervised_pooled(&features, None, &results, cfg, 3, 3, &pool).unwrap();
+    assert_eq!(
+        pool.misses(),
+        misses_after_first,
+        "no refit on identical cell"
+    );
+    assert!(pool.hits() >= 3, "per-fold fits served from the pool");
+}
+
+#[test]
+fn budgets_protocol_matches_per_budget_protocol() {
+    let ctx = context();
+    let common = ctx.common_subset();
+    let features = ctx.features(&common);
+    let source = ctx.results(Gpu::Pascal, &common).unwrap();
+    let target = ctx.results(Gpu::Turing, &common).unwrap();
+    let input = || TransferInput {
+        features: &features,
+        images: None,
+        source: &source,
+        target: &target,
+    };
+
+    let cfg = SupervisedConfig::quick(SupervisedModel::Dt, 5);
+    let pool = FitPool::new();
+    let all = transfer_supervised_budgets(input(), cfg, 3, 5, &pool).unwrap();
+    for (i, budget) in RetrainBudget::ALL.into_iter().enumerate() {
+        let single = transfer_supervised(input(), cfg, budget, 3, 5).unwrap();
+        assert_bit_identical(&all[i], &single, &format!("{budget:?}"));
+    }
+}

@@ -36,6 +36,10 @@ pub enum Family {
     Kronecker,
     /// Bimodal row degrees (mixture of two uniform populations).
     Bimodal,
+    /// Not generated: observed at serve time and promoted into the
+    /// training corpus by `spsel corpus ingest`. Deliberately absent
+    /// from [`Family::ALL`], which enumerates only generators.
+    Observed,
 }
 
 impl Family {
@@ -66,6 +70,7 @@ impl Family {
             Family::RowSkewed => "row_skewed",
             Family::Kronecker => "kronecker",
             Family::Bimodal => "bimodal",
+            Family::Observed => "observed",
         }
     }
 }

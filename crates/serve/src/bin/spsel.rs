@@ -3,16 +3,21 @@
 //! ```sh
 //! spsel train --out model.spsel [--quick | --base N] [--seed S]
 //!             [--cache DIR | --no-cache] [--cache-gc] [--json REPORT]
+//! spsel corpus ingest --journal PATH [--quick] [--seed S] [--cache DIR]
 //! spsel inspect MODEL
 //! spsel request [--binary] ADDR JSON   # one wire round-trip against a daemon
 //! ```
 //!
-//! `train` builds (or loads from cache) the benchmark context, fits one
-//! selector per GPU, and writes a versioned artifact; a warm rerun with
-//! the same corpus and training config is served from the artifact-bytes
-//! cache without retraining. `inspect` prints an artifact's provenance
-//! and per-GPU cluster-label tables. All failures exit nonzero with the
-//! serve error envelope on stderr.
+//! `train` builds (or loads from cache) the benchmark context — extended
+//! with any grown records previously ingested for the corpus family —
+//! fits one selector per GPU, and writes a versioned artifact; a warm
+//! rerun with the same corpus and training config is served from the
+//! artifact-bytes cache without retraining. `corpus ingest` promotes
+//! journaled serve-time observations into the cache's growth shards
+//! (benchmarking only the new matrices), closing the serve→train loop.
+//! `inspect` prints an artifact's provenance and per-GPU cluster-label
+//! tables. All failures exit nonzero with the serve error envelope on
+//! stderr.
 
 use spsel_core::cache::{Cache, GcConfig, DEFAULT_CACHE_DIR};
 use spsel_core::corpus::CorpusConfig;
@@ -22,6 +27,7 @@ use spsel_core::CoreError;
 use spsel_matrix::Format;
 use spsel_serve::artifact::{self, TrainConfig, ARTIFACT_VERSION};
 use spsel_serve::{Client, ServeError};
+use std::path::Path;
 use std::time::Instant;
 
 fn main() {
@@ -45,10 +51,12 @@ fn main() {
 fn run(args: &[String]) -> Result<(), ServeError> {
     match args.first().map(String::as_str) {
         Some("train") => train(&args[1..]),
+        Some("corpus") => corpus(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
         Some("request") => request(&args[1..]),
         _ => Err(CoreError::invalid_argument(
-            "usage: spsel train --out MODEL | spsel inspect MODEL | spsel request ADDR JSON",
+            "usage: spsel train --out MODEL | spsel corpus ingest --journal PATH \
+             | spsel inspect MODEL | spsel request ADDR JSON",
         )
         .into()),
     }
@@ -107,18 +115,7 @@ fn train(args: &[String]) -> Result<(), ServeError> {
     let out = out
         .ok_or_else(|| ServeError::from(CoreError::invalid_argument("train needs --out MODEL")))?;
 
-    let cfg = if quick {
-        CorpusConfig::small(120, seed)
-    } else {
-        CorpusConfig {
-            n_base,
-            augment_copies: 0,
-            seed,
-            with_images: false,
-            image_resolution: 32,
-            size_scale: 1.0,
-        }
-    };
+    let cfg = training_corpus_config(quick, n_base, seed);
     let cache = if no_cache {
         Cache::disabled()
     } else {
@@ -133,9 +130,13 @@ fn train(args: &[String]) -> Result<(), ServeError> {
     }
 
     let mut report = RunReport::new("spsel-train");
-    let context = report.time("context", || {
+    let mut context = report.time("context", || {
         ExperimentContext::build(cfg, &cache, &mut RunReport::new("inner"))
     });
+    let grown = report.time("growth", || context.extend_with_growth(&cache));
+    if grown > 0 {
+        println!("corpus growth: {grown} ingested records joined the training set");
+    }
     let tc = TrainConfig::default();
     let start = Instant::now();
     let model = artifact::train_cached(&context, &tc, &cache)?;
@@ -173,6 +174,90 @@ fn train(args: &[String]) -> Result<(), ServeError> {
             message: e.to_string(),
         })?;
     }
+    Ok(())
+}
+
+/// The corpus config `spsel train` trains on. `corpus ingest` builds the
+/// same config so grown records land in the family the trainer reads
+/// (growth shards are keyed by every generator parameter except
+/// `n_base`).
+fn training_corpus_config(quick: bool, n_base: usize, seed: u64) -> CorpusConfig {
+    if quick {
+        CorpusConfig::small(120, seed)
+    } else {
+        CorpusConfig {
+            n_base,
+            augment_copies: 0,
+            seed,
+            with_images: false,
+            image_resolution: 32,
+            size_scale: 1.0,
+        }
+    }
+}
+
+fn corpus(args: &[String]) -> Result<(), ServeError> {
+    match args.first().map(String::as_str) {
+        Some("ingest") => ingest(&args[1..]),
+        _ => Err(CoreError::invalid_argument("usage: spsel corpus ingest --journal PATH").into()),
+    }
+}
+
+fn ingest(args: &[String]) -> Result<(), ServeError> {
+    let mut journal = None;
+    let mut quick = false;
+    let mut seed = 0xC0FFEEu64;
+    let mut cache_dir = DEFAULT_CACHE_DIR.to_string();
+    let mut no_cache = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--journal" => {
+                journal = Some(value::<String>(args, i, "--journal")?);
+                i += 1;
+            }
+            "--seed" => {
+                seed = value(args, i, "--seed")?;
+                i += 1;
+            }
+            "--cache" => {
+                cache_dir = value(args, i, "--cache")?;
+                i += 1;
+            }
+            "--quick" => quick = true,
+            "--no-cache" => no_cache = true,
+            other => {
+                return Err(
+                    CoreError::invalid_argument(format!("unknown argument `{other}`")).into(),
+                )
+            }
+        }
+        i += 1;
+    }
+    let journal = journal.ok_or_else(|| {
+        ServeError::from(CoreError::invalid_argument("ingest needs --journal PATH"))
+    })?;
+    if no_cache {
+        return Err(CoreError::invalid_argument(
+            "ingest writes growth shards to the cache; it cannot run with --no-cache",
+        )
+        .into());
+    }
+    // n_base never reaches the shard family key; 0 keeps it obvious that
+    // ingest grows *every* corpus size of the family at once.
+    let cfg = training_corpus_config(quick, 0, seed);
+    let cache = Cache::from_env(&cache_dir);
+    if !cache.enabled() {
+        return Err(CoreError::invalid_argument(
+            "ingest writes growth shards to the cache; unset SPSEL_NO_CACHE to run it",
+        )
+        .into());
+    }
+    let report = spsel_serve::ingest::ingest_journal(Path::new(&journal), &cfg, &cache)?;
+    println!(
+        "ingested {journal}: {} observations, {} distinct matrices, {} appended ({} malformed lines)",
+        report.observed, report.candidates, report.appended, report.malformed
+    );
     Ok(())
 }
 

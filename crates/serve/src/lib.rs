@@ -33,6 +33,10 @@
 //!   a short tail; torn tails from a mid-write crash are sealed and
 //!   counted, never fatal. The same machinery powers zero-downtime
 //!   artifact hot-swap (`Swap`) and replica catch-up (`Sync`).
+//! * [`ingest`] — corpus growth: `spsel corpus ingest` replays journaled
+//!   observations into the persistent cache's growth shards, so the next
+//!   `spsel train` learns from serve-time matrices without regenerating
+//!   or re-benchmarking anything that already exists.
 //!
 //! The daemon binary is `spsel-serve`; the artifact CLI is `spsel`
 //! (`train`, `inspect`, `request`); `loadgen` in the bench crate drives
@@ -44,6 +48,7 @@ pub mod engine;
 pub mod error;
 pub mod event_loop;
 pub mod framing;
+pub mod ingest;
 pub mod journal;
 pub mod metrics;
 pub mod protocol;
@@ -57,6 +62,7 @@ pub use client::{Client, Protocol};
 pub use engine::{Engine, EngineOptions, JournalConfig};
 pub use error::{ErrorEnvelope, ServeError};
 pub use framing::{FrameBuffer, MAGIC, MAX_FRAME};
+pub use ingest::{ingest_journal, IngestReport};
 pub use journal::{
     checkpoint_path, load_checkpoint, parse_checkpoint, parse_line, read_journal, write_checkpoint,
     Checkpoint, CheckpointGpu, CrashPoint, FeedbackJournal, JournalLine, JournalRecord,

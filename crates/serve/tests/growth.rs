@@ -1,0 +1,104 @@
+//! The closed serve→train loop, end to end: a daemon-shaped engine
+//! journals `learn: true` observations, `ingest` promotes them into the
+//! cache's growth shards, and the next training run picks them up — with
+//! a changed context digest, so every downstream cache key rolls over.
+
+use spsel_core::cache::Cache;
+use spsel_core::corpus::CorpusConfig;
+use spsel_core::experiments::ExperimentContext;
+use spsel_core::telemetry::RunReport;
+use spsel_features::{FeatureVector, MatrixStats};
+use spsel_matrix::gen::Family;
+use spsel_matrix::{gen, CsrMatrix};
+use spsel_serve::artifact::{self, TrainConfig};
+use spsel_serve::{ingest_journal, Engine, EngineOptions, SelectBody};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spsel-growth-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Features for a matrix shape the small training corpus never saw.
+fn novel_features(seed: u64) -> Vec<f64> {
+    let csr = CsrMatrix::from(&gen::bimodal(1200, 1200, 3, 30, 0.3, seed));
+    FeatureVector::from_stats(&MatrixStats::from_csr(&csr))
+        .as_slice()
+        .to_vec()
+}
+
+fn select(features: Vec<f64>, learn: bool) -> SelectBody {
+    SelectBody {
+        matrix: None,
+        features: Some(features),
+        gpu: "pascal".into(),
+        iterations: Some(500),
+        learn: Some(learn),
+        workload: None,
+    }
+}
+
+#[test]
+fn serve_journal_ingest_retrain_closes_the_loop() {
+    let dir = temp_dir("e2e");
+    let cache = Cache::new(dir.join("cache"));
+    let cfg = CorpusConfig::small(25, 6);
+    let ctx = ExperimentContext::build(cfg.clone(), &cache, &mut RunReport::new("growth-e2e"));
+    let model = artifact::train(&ctx, &TrainConfig::default()).unwrap();
+    let cold_digest = ctx.digest();
+
+    // Serve: three novel matrices decided with learn:true, one repeated
+    // (same matrix observed twice must not grow the corpus twice) and one
+    // read-only probe (learn:false must not be journaled at all).
+    let journal = dir.join("serve.journal");
+    let mut engine = Engine::from_artifact(&model, &EngineOptions::default()).unwrap();
+    engine.attach_journal(&journal).unwrap();
+    for seed in [101u64, 202, 303, 101] {
+        let reply = engine.select(&select(novel_features(seed), true)).unwrap();
+        assert!(!reply.format.is_empty());
+    }
+    engine.select(&select(novel_features(404), false)).unwrap();
+    assert_eq!(engine.serving_report().observes_journaled, 4);
+    drop(engine);
+
+    // Ingest: 4 observations collapse to 3 distinct matrices, each
+    // benchmarked once per GPU and appended to the family's growth shards.
+    let ingested = ingest_journal(&journal, &cfg, &cache).unwrap();
+    assert_eq!(ingested.observed, 4);
+    assert_eq!(ingested.malformed, 0);
+    assert_eq!(ingested.candidates, 3, "repeat observation collapses");
+    assert_eq!(ingested.appended, 3);
+    assert_eq!(cache.report().records_ingested, 3);
+    // Re-running the same ingest is a no-op.
+    assert_eq!(ingest_journal(&journal, &cfg, &cache).unwrap().appended, 0);
+
+    // Retrain: the rebuilt context extends with exactly the ingested
+    // records, its digest rolls over, and the retrained artifact carries
+    // the grown corpus.
+    let mut grown = ExperimentContext::build(cfg, &cache, &mut RunReport::new("retrain"));
+    assert_eq!(grown.digest(), cold_digest, "rebuild alone changes nothing");
+    let added = grown.extend_with_growth(&cache);
+    assert_eq!(added, 3);
+    assert_ne!(grown.digest(), cold_digest, "growth rolls the digest");
+    assert_eq!(
+        grown
+            .corpus
+            .records
+            .iter()
+            .filter(|r| r.family == Family::Observed)
+            .count(),
+        3
+    );
+    let retrained = artifact::train(&grown, &TrainConfig::default()).unwrap();
+    assert_ne!(retrained.context_digest, model.context_digest);
+    for (new, old) in retrained.gpus.iter().zip(&model.gpus) {
+        assert!(
+            new.training_records >= old.training_records,
+            "{}: grown training set shrank",
+            new.gpu
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -69,6 +69,29 @@ grep -q '"experiment_misses": *0' "$SMOKE_DIR/table4-warm.json.report.json"
 cmp "$SMOKE_DIR/table4-cold.txt" "$SMOKE_DIR/table4-warm.txt"
 cmp "$SMOKE_DIR/table4-cold.json" "$SMOKE_DIR/table4-warm.json"
 
+echo "==> record-cache smoke (overlapping --base runs share every record)"
+# Record keys are independent of the corpus size, so a run at a smaller
+# --base must assemble its whole corpus from the shards a larger run left
+# behind: record-level hits only, zero record misses, and tables byte-
+# identical to an uncached run of the same size.
+./target/release/table4 --quick --base 132 --cache "$SMOKE_DIR/rcache" \
+    --json "$SMOKE_DIR/t4-large.json" > "$SMOKE_DIR/t4-large.txt"
+./target/release/table4 --quick --base 120 --cache "$SMOKE_DIR/rcache" \
+    --json "$SMOKE_DIR/t4-overlap.json" > "$SMOKE_DIR/t4-overlap.txt"
+OVERLAP_REPORT="$SMOKE_DIR/t4-overlap.json.report.json"
+grep -q '"record_misses": *0' "$OVERLAP_REPORT"
+grep -Eq '"record_hits": *[1-9]' "$OVERLAP_REPORT"
+# The acceptance bar is a >=90% record-level hit ratio on the warm run.
+awk -F'"record_hits": *' '
+    NF > 1 { split($2, a, /[,}\n]/); hits = a[1] + 0 }
+    /"record_misses"/ { split($0, m, /"record_misses": */); split(m[2], b, /[,}\n]/); misses = b[1] + 0 }
+    END { exit !(hits > 0 && hits / (hits + misses) >= 0.9) }
+' "$OVERLAP_REPORT" || { echo "record hit ratio below 90% in $OVERLAP_REPORT" >&2; exit 1; }
+./target/release/table4 --quick --base 120 --no-cache \
+    --json "$SMOKE_DIR/t4-ref.json" > "$SMOKE_DIR/t4-ref.txt"
+cmp "$SMOKE_DIR/t4-ref.txt" "$SMOKE_DIR/t4-overlap.txt"
+cmp "$SMOKE_DIR/t4-ref.json" "$SMOKE_DIR/t4-overlap.json"
+
 echo "==> serving smoke (artifact train/inspect, daemon round-trips, loadgen)"
 cargo build -q --release --offline -p spsel-serve -p spsel-bench \
     --bin spsel --bin spsel-serve --bin select --bin loadgen
@@ -391,5 +414,26 @@ grep -q ' 0 failed' "$SMOKE_DIR/loadgen-wl.txt"
 grep -q '"workload": *"spmm4"' "$SMOKE_DIR/BENCH_wl.json"
 ./target/release/spsel request "$ADDR" '"Shutdown"' >/dev/null
 wait "$SERVE_PID"
+
+echo "==> corpus growth smoke (journal ingest feeds the next training run)"
+# The serving smokes above journaled learn:true observations next to the
+# artifact. Ingest promotes the distinct ones into the cache's growth
+# shards; a retrain against the same cache must fold them in (the grown
+# context keys differently, so the artifact-bytes cache cannot hit) and
+# a second ingest of the same journal must append nothing.
+./target/release/spsel corpus ingest --journal "$SMOKE_DIR/model.spsel.journal" \
+    --quick --cache "$SMOKE_DIR/cache" > "$SMOKE_DIR/ingest.txt"
+grep -Eq '[1-9][0-9]* appended' "$SMOKE_DIR/ingest.txt"
+./target/release/spsel corpus ingest --journal "$SMOKE_DIR/model.spsel.journal" \
+    --quick --cache "$SMOKE_DIR/cache" > "$SMOKE_DIR/ingest2.txt"
+grep -q ' 0 appended' "$SMOKE_DIR/ingest2.txt"
+./target/release/spsel train --out "$SMOKE_DIR/model-grown.spsel" --quick \
+    --cache "$SMOKE_DIR/cache" --json "$SMOKE_DIR/train-grown.json" \
+    > "$SMOKE_DIR/train-grown.txt"
+grep -q 'corpus growth:' "$SMOKE_DIR/train-grown.txt"
+if grep -q 'artifact-cache hit' "$SMOKE_DIR/train-grown.txt"; then
+    echo "grown corpus must not be served from the pre-growth artifact cache" >&2
+    exit 1
+fi
 
 echo "CI green."
